@@ -1,0 +1,138 @@
+(* Benchmark entry point: regenerates every data figure of the paper
+   (Figure 4 schedule counting; Figures 5, 7, 9 collection-throughput
+   sweeps), prints the headline paper-vs-measured ratios, and runs a
+   Bechamel micro-benchmark table of per-operation STM overheads (the
+   "metadata management overhead" of Section 3.3) on real hardware.
+
+     dune exec bench/main.exe                 # everything, default scale
+     dune exec bench/main.exe -- --quick      # smaller sweep (CI-sized)
+     dune exec bench/main.exe -- --paper      # paper-scale parameters
+     dune exec bench/main.exe -- fig5 micro   # selected sections only
+   Sections: fig4 fig5 fig7 fig9 summary bank ablations micro.
+
+   The full parameter space (list size, ratios, duration, threads,
+   seed, cores) is exposed by bin/tmbench.exe. *)
+
+module F = Polytm_bench_kit.Figures
+module Report = Polytm_bench_kit.Report
+module Workload = Polytm_bench_kit.Workload
+
+(* ---- micro benchmarks (Bechamel, real time, one domain) --------------- *)
+
+module D = Polytm_runtime.Domain_runtime
+module SD = Polytm.Stm.Make (Polytm_runtime.Domain_runtime)
+
+let micro_tests () =
+  let open Bechamel in
+  let stm = SD.create () in
+  let cell = SD.tvar stm 0 in
+  let cells = Array.init 64 (fun i -> SD.tvar stm i) in
+  let raw = Atomic.make 0 in
+  let read_many sem n =
+    Test.make
+      ~name:(Printf.sprintf "tx %s: %d reads" (Polytm.Semantics.to_string sem) n)
+      (Staged.stage (fun () ->
+           SD.atomically ~sem stm (fun tx ->
+               let acc = ref 0 in
+               for i = 0 to n - 1 do
+                 acc := !acc + SD.read tx cells.(i)
+               done;
+               !acc)))
+  in
+  [
+    Test.make ~name:"raw atomic read" (Staged.stage (fun () -> Atomic.get raw));
+    Test.make ~name:"raw atomic write" (Staged.stage (fun () -> Atomic.set raw 1));
+    Test.make ~name:"tx begin+commit (empty)"
+      (Staged.stage (fun () -> SD.atomically stm (fun _ -> ())));
+    Test.make ~name:"tx classic: 1 read"
+      (Staged.stage (fun () -> SD.atomically stm (fun tx -> SD.read tx cell)));
+    Test.make ~name:"tx classic: 1 write"
+      (Staged.stage (fun () -> SD.atomically stm (fun tx -> SD.write tx cell 1)));
+    read_many Polytm.Semantics.Classic 64;
+    read_many Polytm.Semantics.Elastic 64;
+    read_many Polytm.Semantics.Snapshot 64;
+    Test.make ~name:"tx classic: read-modify-write"
+      (Staged.stage (fun () ->
+           SD.atomically stm (fun tx -> SD.write tx cell (SD.read tx cell + 1))));
+  ]
+
+let run_micro () =
+  let open Bechamel in
+  Format.printf
+    "@.== MICRO: per-operation cost on real hardware (%s), 1 domain@.@."
+    Polytm_runtime.Domain_runtime.name;
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let instances = [ Toolkit.Instance.monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:None () in
+  let grouped = Test.make_grouped ~name:"micro" (micro_tests ()) in
+  let raw = Benchmark.all cfg instances grouped in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        match Analyze.OLS.estimates ols with
+        | Some (est :: _) -> (name, est) :: acc
+        | Some [] | None -> acc)
+      results []
+  in
+  Format.printf "%-40s %14s@." "operation" "ns/op";
+  Format.printf "%s@." (String.make 56 '-');
+  List.iter
+    (fun (name, est) -> Format.printf "%-40s %14.1f@." name est)
+    (List.sort compare rows)
+
+(* ---- driver ------------------------------------------------------------ *)
+
+let wants args what = args = [] || List.mem what args
+
+let () =
+  let argv = List.tl (Array.to_list Sys.argv) in
+  let flags, sections = List.partition (fun a -> String.length a > 0 && a.[0] = '-') argv in
+  let params =
+    if List.mem "--paper" flags then F.paper_params
+    else if List.mem "--quick" flags then
+      {
+        F.default_params with
+        F.spec = Workload.spec_of_size 256;
+        duration = 60_000;
+        threads_list = [ 1; 4; 16; 64 ];
+      }
+    else F.default_params
+  in
+  let t0 = Unix.gettimeofday () in
+  if wants sections "fig4" then Format.printf "%a" Report.pp_fig4 ();
+  let need_matrix =
+    List.exists (wants sections) [ "fig5"; "fig7"; "fig9"; "summary" ]
+  in
+  if need_matrix then begin
+    Format.printf
+      "@.collection benchmark: %d initial elements, %d%% updates, %d%% size, \
+       %d virtual ticks per run, %d effective cores@."
+      params.F.spec.Workload.initial_size params.F.spec.Workload.update_pct
+      params.F.spec.Workload.size_pct params.F.duration params.F.cores;
+    let m =
+      F.run_all
+        ~progress:(fun msg ->
+          Format.eprintf "[%6.1fs] %s@." (Unix.gettimeofday () -. t0) msg)
+        params
+    in
+    if wants sections "fig5" then begin
+      Format.printf "%a" Report.pp_figure (F.fig5_of m);
+      Format.printf "%a" Report.pp_chart (F.fig5_of m)
+    end;
+    if wants sections "fig7" then Format.printf "%a" Report.pp_figure (F.fig7_of m);
+    if wants sections "fig9" then Format.printf "%a" Report.pp_figure (F.fig9_of m);
+    if wants sections "summary" then
+      Format.printf "%a" Report.pp_claims (F.claims m)
+  end;
+  if wants sections "bank" then
+    Format.printf "%a" Polytm_bench_kit.Bank.pp_results
+      (Polytm_bench_kit.Bank.compare_semantics ());
+  if wants sections "ablations" then
+    List.iter
+      (fun t -> Format.printf "%a" Polytm_bench_kit.Ablations.pp_table t)
+      (Polytm_bench_kit.Ablations.all ());
+  if wants sections "micro" then run_micro ();
+  Format.printf "@.total wall time: %.1fs@." (Unix.gettimeofday () -. t0)

@@ -1,0 +1,226 @@
+(* tmbench — parameterised driver for the paper's collection benchmark.
+
+   Everything the figures depend on is a flag here: list size, update
+   and size ratios, run duration (virtual ticks), thread counts,
+   effective hardware parallelism, RNG seed, and which systems to
+   sweep.  `tmbench figures` regenerates Figures 4/5/7/9 like
+   bench/main.exe; `tmbench sweep` runs a single system and prints its
+   points with full STM statistics, which is what the ablation studies
+   in EXPERIMENTS.md use. *)
+
+module F = Polytm_bench_kit.Figures
+module H = Polytm_bench_kit.Harness
+module W = Polytm_bench_kit.Workload
+module Report = Polytm_bench_kit.Report
+open Cmdliner
+
+(* ---- shared options ---------------------------------------------------- *)
+
+let size_t =
+  Arg.(value & opt int 1024 & info [ "size"; "n" ] ~docv:"N"
+         ~doc:"Initial number of elements in the collection.")
+
+let update_t =
+  Arg.(value & opt int 10 & info [ "update" ] ~docv:"PCT"
+         ~doc:"Percentage of update operations (add+remove).")
+
+let sizepct_t =
+  Arg.(value & opt int 10 & info [ "sizepct" ] ~docv:"PCT"
+         ~doc:"Percentage of size operations.")
+
+let duration_t =
+  Arg.(value & opt int 300_000 & info [ "duration" ] ~docv:"TICKS"
+         ~doc:"Virtual ticks per run.")
+
+let threads_t =
+  Arg.(value & opt (list int) [ 1; 2; 4; 8; 16; 32; 64 ]
+       & info [ "threads"; "t" ] ~docv:"LIST"
+           ~doc:"Comma-separated virtual thread counts to sweep.")
+
+let seed_t =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"RNG seed.")
+
+let cores_t =
+  Arg.(value & opt int 16 & info [ "cores" ] ~docv:"P"
+         ~doc:"Effective hardware parallelism for the Brent bound \
+               (the Niagara 2 substitute; see DESIGN.md).")
+
+let structure_t =
+  let parse = function
+    | "list" -> Ok F.List_structure
+    | "hash" -> Ok F.Hash_structure
+    | "skiplist" -> Ok F.Skiplist_structure
+    | s -> Error (`Msg (Printf.sprintf "unknown structure %S" s))
+  in
+  let print ppf st = Format.pp_print_string ppf (F.structure_name st) in
+  Arg.(value
+       & opt (conv (parse, print)) F.List_structure
+       & info [ "structure" ] ~docv:"KIND"
+           ~doc:"Search structure backing the STM systems: list (the                  paper's), hash, or skiplist.")
+
+let paper_t =
+  Arg.(value & flag & info [ "paper" ]
+         ~doc:"Use the paper's parameters (4096 elements, longer runs); \
+               overrides $(b,--size) and $(b,--duration).")
+
+let params_of size update sizepct duration threads seed cores structure paper
+    =
+  if paper then
+    { F.paper_params with F.threads_list = threads; seed; cores; structure }
+  else
+    {
+      F.spec =
+        {
+          W.initial_size = size;
+          key_range = 2 * size;
+          update_pct = update;
+          size_pct = sizepct;
+        };
+      duration;
+      threads_list = threads;
+      seed;
+      cores;
+      structure;
+    }
+
+let params_t =
+  Term.(
+    const params_of $ size_t $ update_t $ sizepct_t $ duration_t $ threads_t
+    $ seed_t $ cores_t $ structure_t $ paper_t)
+
+let progress () =
+  let t0 = Unix.gettimeofday () in
+  fun msg -> Format.eprintf "[%6.1fs] %s@." (Unix.gettimeofday () -. t0) msg
+
+(* ---- figures command --------------------------------------------------- *)
+
+let csv_t =
+  Arg.(value & opt (some string) None
+       & info [ "csv" ] ~docv:"FILE"
+           ~doc:"Also write every measured point as CSV (for plotting).")
+
+let write_csv file m =
+  let oc = open_out file in
+  output_string oc "figure,system,threads,speedup,throughput,completed,failed\n";
+  List.iter
+    (fun (fig, series) ->
+      List.iter
+        (fun s ->
+          List.iter
+            (fun p ->
+              Printf.fprintf oc "%s,%s,%d,%f,%f,%d,%d\n" fig
+                s.F.series_label p.F.threads p.F.speedup p.F.throughput
+                p.F.completed p.F.failed)
+            s.F.points)
+        series)
+    [
+      ("fig5", (F.fig5_of m).F.series);
+      ("fig7", (F.fig7_of m).F.series);
+      ("fig9", (F.fig9_of m).F.series);
+    ];
+  close_out oc
+
+let figures_cmd =
+  let run params csv =
+    Format.printf "%a" Report.pp_fig4 ();
+    let m = F.run_all ~progress:(progress ()) params in
+    Format.printf "%a" Report.pp_figure (F.fig5_of m);
+    Format.printf "%a" Report.pp_figure (F.fig7_of m);
+    Format.printf "%a" Report.pp_figure (F.fig9_of m);
+    Format.printf "%a" Report.pp_claims (F.claims m);
+    match csv with
+    | Some file ->
+        write_csv file m;
+        Format.printf "@.points written to %s@." file
+    | None -> ()
+  in
+  Cmd.v
+    (Cmd.info "figures" ~doc:"Regenerate Figures 4, 5, 7 and 9 plus the \
+                              headline ratio table.")
+    Term.(const run $ params_t $ csv_t)
+
+(* ---- sweep command ----------------------------------------------------- *)
+
+let system_of_name = function
+  | "seq" -> Ok (fun _ -> F.seq_system)
+  | "classic" -> Ok F.classic_system_of
+  | "collection" | "cow" -> Ok (fun _ -> F.collection_system)
+  | "elastic" -> Ok F.elastic_system_of
+  | "mixed" -> Ok F.mixed_system_of
+  | s -> Error (Printf.sprintf "unknown system %S" s)
+
+let system_t =
+  let parse s = Result.map_error (fun m -> `Msg m) (system_of_name s) in
+  let print ppf sys_of =
+    Format.pp_print_string ppf (sys_of F.List_structure).F.sys_label
+  in
+  Arg.(
+    required
+    & pos 0 (some (conv (parse, print))) None
+    & info [] ~docv:"SYSTEM"
+        ~doc:"One of: seq, classic, collection, elastic, mixed.")
+
+let sweep_cmd =
+  let run params sys_of =
+    let sys = sys_of params.F.structure in
+    let baseline = F.sequential_baseline params in
+    Format.printf "system: %s@." sys.F.sys_label;
+    Format.printf "baseline: %.3f ops/ktick@.@." baseline;
+    let series = F.run_series ~progress:(progress ()) params ~baseline sys in
+    Format.printf "%8s %10s %10s %10s %8s@." "threads" "speedup" "ops/ktick"
+      "completed" "failed";
+    List.iter
+      (fun p ->
+        Format.printf "%8d %10.2f %10.3f %10d %8d@." p.F.threads p.F.speedup
+          p.F.throughput p.F.completed p.F.failed;
+        match p.F.stm_stats with
+        | Some s ->
+            Format.printf "         %s@."
+              (String.concat " " (String.split_on_char '\n' s))
+        | None -> ())
+      series.F.points
+  in
+  Cmd.v
+    (Cmd.info "sweep" ~doc:"Sweep one system over the thread counts and \
+                            print points with full STM statistics.")
+    Term.(const run $ params_t $ system_t)
+
+(* ---- fig4 command ------------------------------------------------------ *)
+
+let fig4_cmd =
+  let run () = Format.printf "%a" Report.pp_fig4 () in
+  Cmd.v
+    (Cmd.info "fig4" ~doc:"Schedule enumeration for Figure 4 only (fast).")
+    Term.(const run $ const ())
+
+let ablations_cmd =
+  let run () =
+    List.iter
+      (fun t -> Format.printf "%a" Polytm_bench_kit.Ablations.pp_table t)
+      (Polytm_bench_kit.Ablations.all ())
+  in
+  Cmd.v
+    (Cmd.info "ablations"
+       ~doc:"Run the design-choice ablations: contention managers, elastic              window size, timestamp extension, semantics decomposition.")
+    Term.(const run $ const ())
+
+let bank_cmd =
+  let run () =
+    Format.printf "%a" Polytm_bench_kit.Bank.pp_results
+      (Polytm_bench_kit.Bank.compare_semantics ())
+  in
+  Cmd.v
+    (Cmd.info "bank"
+       ~doc:"The bank benchmark: transfers vs whole-bank balance audits,              classic vs snapshot (Section 4.3's toxic read-only              transactions).")
+    Term.(const run $ const ())
+
+let () =
+  let doc =
+    "Benchmarks reproducing 'Democratizing Transactional Programming' \
+     (Middleware 2011)."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group
+          (Cmd.info "tmbench" ~version:"1.0.0" ~doc)
+          [ figures_cmd; sweep_cmd; fig4_cmd; ablations_cmd; bank_cmd ]))

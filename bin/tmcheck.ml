@@ -1,0 +1,322 @@
+(* tmcheck — correctness-checking playground.
+
+   Exposes the history checkers and the bounded model checker on the
+   command line:
+
+     tmcheck fig4                 enumerate the Figure 4 schedules
+     tmcheck paper-history        analyse the Section 4.2 history H
+     tmcheck enumerate ...        enumerate custom 3-transaction programs
+     tmcheck explore SCENARIO     exhaustively model-check a scenario
+     tmcheck record               run a random STM workload and verify
+                                  its recorded history against opacity *)
+
+open Cmdliner
+module Hist = Polytm_history.History
+module Program = Polytm_history.Program
+
+(* ---- fig4 -------------------------------------------------------------- *)
+
+let fig4_cmd =
+  let run () =
+    let a = Program.count_accepted Program.fig4_programs in
+    Format.printf "programs: Pt = tx{r(x) r(y) r(z)}, P1 = tx{w(x)}, P2 = tx{w(z)}@.";
+    Format.printf "interleavings:          %d@." a.Program.total;
+    Format.printf "serializable:           %d@." a.Program.serializable;
+    Format.printf "opaque:                 %d@." a.Program.opaque;
+    Format.printf "elastic-opaque:         %d  (no elastic transaction declared;@.                            with Pt elastic all 20 are accepted — try:@.                            tmcheck enumerate e:rx,ry,rz wx wz)@." a.Program.elastic_opaque;
+    Format.printf "@.precluded by opacity:@.";
+    List.iter
+      (fun h ->
+        if not (Polytm_history.Opacity.accepts h) then
+          Format.printf "  %a@." Hist.pp h)
+      (Program.interleavings Program.fig4_programs)
+  in
+  Cmd.v (Cmd.info "fig4" ~doc:"Enumerate the Figure 4 schedules.")
+    Term.(const run $ const ())
+
+(* ---- the paper's Section 4.2 history ----------------------------------- *)
+
+let paper_history_cmd =
+  let run () =
+    let r = Hist.read and w = Hist.write in
+    let h = Hist.make [ r 1 0; r 1 1; r 2 0; r 2 1; w 2 0; r 1 2; w 1 1 ] in
+    Format.printf "H = %a@." Hist.pp h;
+    Format.printf "   (x = head, y = n, z = t; i = 1, j = 2)@.@.";
+    Format.printf "serializable:        %b@." (Polytm_history.Serializability.accepts h);
+    Format.printf "opaque:              %b@." (Polytm_history.Opacity.accepts h);
+    Format.printf "elastic (1 elastic): %b@."
+      (Polytm_history.Elastic.accepts ~elastic:[ 1 ] h);
+    Format.printf "@.consistent cuts of transaction 1:@.";
+    List.iter
+      (fun cuts ->
+        Format.printf "  positions [%s]@."
+          (String.concat "; " (List.map string_of_int cuts)))
+      (Polytm_history.Elastic.consistent_cuts h 1)
+  in
+  Cmd.v
+    (Cmd.info "paper-history"
+       ~doc:"Analyse the paper's Section 4.2 history H.")
+    Term.(const run $ const ())
+
+(* ---- custom enumeration ------------------------------------------------ *)
+
+let parse_accesses s =
+  (* "rx,ry,wz" -> [Read 0; Read 1; Write 2] *)
+  let loc_of_char c =
+    match c with
+    | 'x' -> 0
+    | 'y' -> 1
+    | 'z' -> 2
+    | 'w' -> 3
+    | c -> Char.code c - Char.code 'a' + 4
+  in
+  List.map
+    (fun tok ->
+      if String.length tok <> 2 then failwith "access must be like rx or wz";
+      let loc = loc_of_char tok.[1] in
+      match tok.[0] with
+      | 'r' -> Hist.Read loc
+      | 'w' -> Hist.Write loc
+      | _ -> failwith "access must start with r or w")
+    (String.split_on_char ',' s)
+
+let program_t idx name =
+  Arg.(
+    value
+    & pos idx (some string) None
+    & info [] ~docv:name
+        ~doc:
+          (Printf.sprintf
+             "Accesses of transaction %s: comma-separated rl/wl tokens with \
+              l in x,y,z,w (e.g. rx,ry,wz).  Prefix with e: for elastic."
+             name))
+
+let enumerate_cmd =
+  let run p0 p1 p2 =
+    let parse id = function
+      | None -> None
+      | Some s ->
+          let elastic = String.length s > 2 && String.sub s 0 2 = "e:" in
+          let body = if elastic then String.sub s 2 (String.length s - 2) else s in
+          let accesses = parse_accesses body in
+          Some
+            (if elastic then Program.elastic id accesses
+             else Program.classic id accesses)
+    in
+    let programs = List.filter_map Fun.id [ parse 0 p0; parse 1 p1; parse 2 p2 ] in
+    if programs = [] then Format.printf "no programs given@."
+    else begin
+      let a = Program.count_accepted programs in
+      Format.printf "interleavings:  %d@." a.Program.total;
+      Format.printf "serializable:   %d@." a.Program.serializable;
+      Format.printf "opaque:         %d@." a.Program.opaque;
+      Format.printf "elastic-opaque: %d@." a.Program.elastic_opaque
+    end
+  in
+  Cmd.v
+    (Cmd.info "enumerate"
+       ~doc:"Enumerate all schedules of up to three transactions and count \
+             acceptance under each criterion.")
+    Term.(const run $ program_t 0 "T0" $ program_t 1 "T1" $ program_t 2 "T2")
+
+(* ---- model checking ----------------------------------------------------- *)
+
+module Sim = Polytm_runtime.Sim
+module Explore = Polytm_runtime.Explore
+module R = Polytm_runtime.Sim_runtime
+module AM = Polytm_structs.Adapters.Make (Polytm_runtime.Sim_runtime)
+
+let scenarios : (string * string * (unit -> unit)) list =
+  [
+    ( "stm-increments",
+      "two concurrent transactional increments never lose an update",
+      fun () ->
+        let stm = AM.S.create ~cm:Polytm.Contention.Suicide () in
+        let v = AM.S.tvar stm 0 in
+        let incr () =
+          AM.S.atomically stm (fun tx -> AM.S.write tx v (AM.S.read tx v + 1))
+        in
+        let t1 = Sim.spawn incr and t2 = Sim.spawn incr in
+        Sim.join t1;
+        Sim.join t2;
+        assert (AM.S.atomically stm (fun tx -> AM.S.read tx v) = 2) );
+    ( "elastic-adjacent-removes",
+      "adjacent removes on the elastic list leave exactly the third element",
+      fun () ->
+        let stm = AM.S.create ~cm:Polytm.Contention.Suicide () in
+        let t = AM.List_set.create ~parse_sem:Polytm.Semantics.Elastic stm in
+        ignore (AM.List_set.add t 1);
+        ignore (AM.List_set.add t 2);
+        ignore (AM.List_set.add t 3);
+        let t1 = Sim.spawn (fun () -> ignore (AM.List_set.remove t 1)) in
+        let t2 = Sim.spawn (fun () -> ignore (AM.List_set.remove t 2)) in
+        Sim.join t1;
+        Sim.join t2;
+        assert (AM.List_set.to_list t = [ 3 ]) );
+    ( "lockfree-add-remove",
+      "the Harris list stays correct under a concurrent add and remove",
+      fun () ->
+        let t = AM.Lockfree.create () in
+        ignore (AM.Lockfree.add t 1);
+        ignore (AM.Lockfree.add t 2);
+        let t1 = Sim.spawn (fun () -> ignore (AM.Lockfree.remove t 1)) in
+        let t2 = Sim.spawn (fun () -> ignore (AM.Lockfree.add t 3)) in
+        Sim.join t1;
+        Sim.join t2;
+        assert (AM.Lockfree.to_list t = [ 2; 3 ]) );
+  ]
+
+let scenario_t =
+  let parse s =
+    match List.find_opt (fun (n, _, _) -> n = s) scenarios with
+    | Some sc -> Ok sc
+    | None ->
+        Error
+          (`Msg
+             (Printf.sprintf "unknown scenario %S; available: %s" s
+                (String.concat ", " (List.map (fun (n, _, _) -> n) scenarios))))
+  in
+  let print ppf (n, _, _) = Format.pp_print_string ppf n in
+  Arg.(
+    required
+    & pos 0 (some (conv (parse, print))) None
+    & info [] ~docv:"SCENARIO" ~doc:"Scenario name (see command doc).")
+
+let explore_cmd =
+  let run (name, doc, program) max_executions =
+    Format.printf "scenario %s: %s@." name doc;
+    match
+      Explore.check ~max_executions ~max_depth:50 ~step_limit:2_000 program
+    with
+    | outcome ->
+        Format.printf "explored %d schedules%s — no violation@."
+          outcome.Explore.executions
+          (if outcome.Explore.truncated then " (bounded)" else " (complete)")
+    | exception Explore.Violation { schedule; exn } ->
+        Format.printf "VIOLATION (%s) under schedule [%s]@."
+          (Printexc.to_string exn)
+          (String.concat "; "
+             (List.map string_of_int (Array.to_list schedule)));
+        exit 1
+  in
+  let max_t =
+    Arg.(value & opt int 100_000 & info [ "max-executions" ] ~docv:"N")
+  in
+  Cmd.v
+    (Cmd.info "explore"
+       ~doc:
+         (Printf.sprintf
+            "Exhaustively model-check a scenario.  Scenarios: %s."
+            (String.concat ", " (List.map (fun (n, _, _) -> n) scenarios))))
+    Term.(const run $ scenario_t $ max_t)
+
+(* ---- record & verify ---------------------------------------------------- *)
+
+let record_cmd =
+  let run seed threads txs =
+    let stm = AM.S.create () in
+    let vars = Array.init 4 (fun _ -> AM.S.tvar stm 0) in
+    AM.S.record stm true;
+    let (), _ =
+      Sim.run ~policy:(Sim.Random_sched seed) (fun () ->
+          R.parallel
+            (List.init threads (fun t () ->
+                 let rng = Polytm_util.Rng.create (seed + t) in
+                 for _ = 1 to txs do
+                   AM.S.atomically stm (fun tx ->
+                       let a = vars.(Polytm_util.Rng.int rng 4) in
+                       let v = AM.S.read tx a in
+                       if Polytm_util.Rng.bool rng then
+                         AM.S.write tx
+                           vars.(Polytm_util.Rng.int rng 4)
+                           (v + 1))
+                 done)))
+    in
+    AM.S.record stm false;
+    let events = AM.S.recorded_events stm in
+    let aborted = AM.S.recorded_aborted stm in
+    let h =
+      Hist.make ~aborted
+        (List.map
+           (fun e ->
+             {
+               Hist.tx = e.AM.S.rec_tx;
+               action =
+                 (if e.AM.S.rec_write then Hist.Write e.AM.S.rec_loc
+                  else Hist.Read e.AM.S.rec_loc);
+             })
+           events)
+    in
+    Format.printf "recorded %d events, %d transactions (%d aborted)@."
+      (List.length events)
+      (List.length (Hist.txs h))
+      (List.length aborted);
+    Format.printf "history: %a@." Hist.pp h;
+    Format.printf "opacity checker accepts: %b@." (Polytm_history.Opacity.accepts h)
+  in
+  let seed_t = Arg.(value & opt int 7 & info [ "seed" ]) in
+  let threads_t = Arg.(value & opt int 3 & info [ "threads" ]) in
+  let txs_t = Arg.(value & opt int 3 & info [ "txs" ]) in
+  Cmd.v
+    (Cmd.info "record"
+       ~doc:"Run a random STM workload under the simulator, record its \
+             history, and verify it against the opacity checker.")
+    Term.(const run $ seed_t $ threads_t $ txs_t)
+
+(* ---- conflict-graph visualisation --------------------------------------- *)
+
+let dot_cmd =
+  let run seed threads txs =
+    let stm = AM.S.create () in
+    let vars = Array.init 4 (fun _ -> AM.S.tvar stm 0) in
+    AM.S.record stm true;
+    let (), _ =
+      Sim.run ~policy:(Sim.Random_sched seed) (fun () ->
+          R.parallel
+            (List.init threads (fun t () ->
+                 let rng = Polytm_util.Rng.create (seed + t) in
+                 for _ = 1 to txs do
+                   AM.S.atomically stm (fun tx ->
+                       let a = vars.(Polytm_util.Rng.int rng 4) in
+                       let v = AM.S.read tx a in
+                       if Polytm_util.Rng.bool rng then
+                         AM.S.write tx
+                           vars.(Polytm_util.Rng.int rng 4)
+                           (v + 1))
+                 done)))
+    in
+    AM.S.record stm false;
+    let h =
+      Hist.make
+        ~aborted:(AM.S.recorded_aborted stm)
+        (List.map
+           (fun e ->
+             {
+               Hist.tx = e.AM.S.rec_tx;
+               action =
+                 (if e.AM.S.rec_write then Hist.Write e.AM.S.rec_loc
+                  else Hist.Read e.AM.S.rec_loc);
+             })
+           (AM.S.recorded_events stm))
+    in
+    let g, ids = Polytm_history.Opacity.strict_serialization_graph h in
+    print_string
+      (Polytm_history.Digraph.to_dot
+         ~names:(fun i -> Printf.sprintf "tx%d" ids.(i))
+         g)
+  in
+  let seed_t = Arg.(value & opt int 7 & info [ "seed" ]) in
+  let threads_t = Arg.(value & opt int 3 & info [ "threads" ]) in
+  let txs_t = Arg.(value & opt int 3 & info [ "txs" ]) in
+  Cmd.v
+    (Cmd.info "dot"
+       ~doc:"Record a random STM workload and print its strict              serialisation graph (conflict + real-time edges) as              Graphviz DOT.")
+    Term.(const run $ seed_t $ threads_t $ txs_t)
+
+let () =
+  let doc = "History checkers and bounded model checking for PolyTM." in
+  exit
+    (Cmd.eval
+       (Cmd.group
+          (Cmd.info "tmcheck" ~version:"1.0.0" ~doc)
+          [ fig4_cmd; paper_history_cmd; enumerate_cmd; explore_cmd; record_cmd; dot_cmd ]))

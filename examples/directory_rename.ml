@@ -1,0 +1,74 @@
+(* The paper's Figure 3: Bob composes Alice's component operations
+   [remove] and [create] into a new operation [rename] that preserves
+   the safety and liveness of its components.
+
+   Run with:  dune exec examples/directory_rename.exe
+
+   Two directories, two threads renaming files in opposite directions
+   (d1 -> d2 while d2 -> d1): the scenario that deadlocks naive
+   lock-based designs unless every programmer knows the global lock
+   ordering (the paper cites GFS's depth-ordered directory locks and
+   Linux's mm/filemap.c comment block).  With transactions, Bob writes
+   [rename] without knowing anything about Alice's implementation, and
+   the simulator runs every seed to completion: conflicts are resolved
+   by the contention manager, not by programmer-supplied ordering. *)
+
+module Sim = Polytm_runtime.Sim
+module R = Polytm_runtime.Sim_runtime
+module S = Polytm.Stm.Make (Polytm_runtime.Sim_runtime)
+module Dir = Polytm_structs.Stm_hash_set.Make (S)
+open Polytm
+
+let () =
+  let deadlocks = ref 0 and runs = ref 0 in
+  for seed = 1 to 50 do
+    incr runs;
+    let stm = S.create () in
+    (* Alice's module: a directory holding file ids, with remove and
+       create operations. *)
+    let d1 = Dir.create ~size_sem:Semantics.Snapshot stm in
+    let d2 = Dir.create ~size_sem:Semantics.Snapshot stm in
+    for f = 0 to 9 do
+      ignore (Dir.add d1 f);
+      ignore (Dir.add d2 (100 + f))
+    done;
+
+    (* Bob's composite: atomically move a file between directories.
+       The nested Dir operations flatten into this outer classic
+       transaction. *)
+    let rename ~from_dir ~to_dir file =
+      S.atomically stm (fun _tx ->
+          if Dir.remove from_dir file then ignore (Dir.add to_dir file))
+    in
+
+    let total () =
+      S.atomically ~sem:Semantics.Snapshot stm (fun _tx ->
+          Dir.size d1 + Dir.size d2)
+    in
+
+    match
+      Sim.run ~policy:(Sim.Random_sched seed) (fun () ->
+          R.parallel
+            [
+              (fun () ->
+                for f = 0 to 9 do
+                  rename ~from_dir:d1 ~to_dir:d2 f
+                done);
+              (fun () ->
+                for f = 100 to 109 do
+                  rename ~from_dir:d2 ~to_dir:d1 f
+                done);
+              (fun () ->
+                (* An auditor sees a constant total throughout. *)
+                for _ = 1 to 5 do
+                  assert (total () = 20)
+                done);
+            ])
+    with
+    | (), _ -> ()
+    | exception Sim.Deadlock _ -> incr deadlocks
+  done;
+  Printf.printf "cross-directory renames: %d/%d seeds completed, %d deadlocks\n"
+    (!runs - !deadlocks) !runs !deadlocks;
+  assert (!deadlocks = 0);
+  print_endline "directory_rename OK"

@@ -1,0 +1,127 @@
+(* A travel-reservation service (in the spirit of STAMP's `vacation`
+   benchmark): three inventory tables and a customer table, updated by
+   multi-table transactions while an auditor takes snapshot reports.
+
+   Run with:  dune exec examples/reservation.exe
+
+   What it demonstrates:
+   - transactions spanning several data structures (two Stm_maps per
+     booking) with no visible locking;
+   - the snapshot semantics on a *composite* read: the auditor sums
+     inventory across all three tables plus every customer's bookings
+     in one consistent view, without ever aborting the booking threads;
+   - failure atomicity: a booking that finds any leg unavailable
+     aborts the whole itinerary via orelse. *)
+
+module Sim = Polytm_runtime.Sim
+module R = Polytm_runtime.Sim_runtime
+module S = Polytm.Stm.Make (Polytm_runtime.Sim_runtime)
+module Map = Polytm_structs.Stm_map.Make (S)
+open Polytm
+
+type world = {
+  stm : S.t;
+  cars : unit Map.t;  (* available resource units, one binding each *)
+  rooms : unit Map.t;
+  flights : unit Map.t;
+  bookings : int Map.t;  (* customer id -> number of reserved legs *)
+}
+
+let capacity = 30
+
+let make_world () =
+  let stm = S.create () in
+  let table () =
+    let m = Map.create stm in
+    for i = 0 to capacity - 1 do
+      ignore (Map.add m i ())
+    done;
+    m
+  in
+  {
+    stm;
+    cars = table ();
+    rooms = table ();
+    flights = table ();
+    bookings = Map.create ~size_sem:Semantics.Snapshot stm;
+  }
+
+(* Take any available unit out of a table; abort the enclosing
+   transaction when the table is empty (rolled back by orelse). *)
+let take tx w table =
+  let rec try_from i =
+    if i >= capacity then S.abort tx
+    else if Map.remove table i then ()
+    else try_from (i + 1)
+  in
+  ignore w;
+  try_from 0
+
+(* Book an itinerary: one unit from each requested table, all or
+   nothing. *)
+let book w customer ~car ~room ~flight =
+  S.atomically w.stm (fun tx ->
+      S.orelse tx
+        (fun tx ->
+          if car then take tx w w.cars;
+          if room then take tx w w.rooms;
+          if flight then take tx w w.flights;
+          let legs = Bool.to_int car + Bool.to_int room + Bool.to_int flight in
+          let current = Option.value ~default:0 (Map.find_opt w.bookings customer) in
+          ignore (Map.add w.bookings customer (current + legs));
+          true)
+        (fun _ -> false))
+
+(* The auditor: inventory remaining + legs booked must always equal
+   3 * capacity, across four structures, read in one snapshot. *)
+let audit w =
+  S.atomically ~sem:Semantics.Snapshot w.stm (fun _tx ->
+      let remaining =
+        Map.size w.cars + Map.size w.rooms + Map.size w.flights
+      in
+      let booked = Map.fold w.bookings (fun acc _ legs -> acc + legs) 0 in
+      (remaining, booked))
+
+let () =
+  let w = make_world () in
+  let booked_ok = ref 0 and booked_failed = ref 0 in
+  let audits = ref 0 and bad_audits = ref 0 in
+  let (), info =
+    Sim.run (fun () ->
+        let customers =
+          List.init 6 (fun c ->
+              Sim.spawn (fun () ->
+                  let rng = Polytm_util.Rng.create (c + 1) in
+                  for _ = 1 to 8 do
+                    let car = Polytm_util.Rng.bool rng
+                    and room = Polytm_util.Rng.bool rng
+                    and flight = Polytm_util.Rng.bool rng in
+                    if car || room || flight then
+                      if book w c ~car ~room ~flight then incr booked_ok
+                      else incr booked_failed
+                  done))
+        in
+        let auditor =
+          Sim.spawn (fun () ->
+              for _ = 1 to 10 do
+                let remaining, booked = audit w in
+                incr audits;
+                if remaining + booked <> 3 * capacity then incr bad_audits;
+                Sim.yield ()
+              done)
+        in
+        List.iter Sim.join customers;
+        Sim.join auditor)
+  in
+  let remaining, booked = audit w in
+  Printf.printf "bookings: %d succeeded, %d rejected (sold out)\n" !booked_ok
+    !booked_failed;
+  Printf.printf "final state: %d units remaining, %d legs booked (total %d)\n"
+    remaining booked (remaining + booked);
+  Printf.printf "audits while booking: %d, inconsistent: %d\n" !audits
+    !bad_audits;
+  Printf.printf "virtual makespan: %d ticks\n" info.Sim.makespan;
+  Format.printf "stm stats: %a@." S.pp_stats (S.stats w.stm);
+  assert (remaining + booked = 3 * capacity);
+  assert (!bad_audits = 0);
+  print_endline "reservation OK"

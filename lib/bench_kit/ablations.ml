@@ -1,0 +1,207 @@
+(** Ablation studies for the design choices DESIGN.md calls out:
+
+    - contention-management policy (Section 2.2's “dedicated service”):
+      same classic workload under Suicide / Backoff / Polite / Greedy;
+    - elastic window size: E-STM uses a bounded window (default 2);
+      larger windows validate more and cut less;
+    - timestamp extension: the TinySTM refinement our classic system
+      disables to stay faithful to TL2 — how much it buys back;
+    - mixed-semantics decomposition: which of the two relaxations
+      (elastic parses, snapshot size) contributes what, by toggling
+      them independently. *)
+
+module A = Polytm_structs.Adapters
+module AM = Polytm_structs.Adapters.Make (Polytm_runtime.Sim_runtime)
+
+type row = {
+  row_label : string;
+  row_throughput : float;  (** ops per 1000 virtual ticks *)
+  row_completed : int;
+  row_aborts : int;
+  row_detail : string;
+}
+
+type table = { table_title : string; rows : row list }
+
+let run_stm_config ~label ~spec ~threads ~duration ~seed ~profile ?cm
+    ?elastic_window ?versions ?(extend_on_stale = true) () =
+  let stm = ref None in
+  let make () =
+    let s =
+      AM.S.create ~max_attempts:200 ?cm ?elastic_window ?versions
+        ~extend_on_stale ()
+    in
+    stm := Some s;
+    ( AM.stm_list ~profile s,
+      (function AM.S.Too_many_attempts _ -> true | _ -> false),
+      fun () -> None )
+  in
+  let r = Harness.run ~label ~make ~spec ~threads ~duration ~seed () in
+  let st = AM.S.stats (Option.get !stm) in
+  {
+    row_label = label;
+    row_throughput = r.Harness.throughput;
+    row_completed = r.Harness.completed;
+    row_aborts = st.AM.S.aborts;
+    row_detail =
+      Printf.sprintf
+        "lock_busy=%d read_invalid=%d window_broken=%d snap_old=%d cuts=%d \
+         extensions=%d failed_ops=%d"
+        st.AM.S.lock_busy st.AM.S.read_invalid st.AM.S.window_broken
+        st.AM.S.snapshot_too_old st.AM.S.cuts st.AM.S.extensions
+        r.Harness.failed;
+  }
+
+(* High-contention setting: a small hot list exposes the policies. *)
+let contention_managers ?(threads = 32) ?(duration = 150_000) ?(seed = 11) () =
+  let spec = Workload.spec_of_size 64 in
+  let spec = { spec with Workload.update_pct = 40; size_pct = 5 } in
+  let policies =
+    [
+      ("suicide", Polytm.Contention.Suicide);
+      ("backoff", Polytm.Contention.Backoff { base = 4; cap = 1024 });
+      ("polite", Polytm.Contention.Polite { spins = 16 });
+      ("greedy", Polytm.Contention.Greedy);
+    ]
+  in
+  {
+    table_title =
+      Printf.sprintf
+        "Contention managers (classic, %d-element hot list, 40%% updates, %d \
+         threads)"
+        spec.Workload.initial_size threads;
+    rows =
+      List.map
+        (fun (name, cm) ->
+          run_stm_config ~label:name ~spec ~threads ~duration ~seed
+            ~profile:A.classic_profile ~cm ())
+        policies;
+  }
+
+let window_sizes ?(threads = 32) ?(duration = 150_000) ?(seed = 12) () =
+  let spec = Workload.default_spec in
+  {
+    table_title =
+      Printf.sprintf "Elastic window size (elastic+classic profile, %d threads)"
+        threads;
+    rows =
+      List.map
+        (fun w ->
+          run_stm_config
+            ~label:(Printf.sprintf "window=%d" w)
+            ~spec ~threads ~duration ~seed ~profile:A.elastic_classic_profile
+            ~elastic_window:w ())
+        (* window=1 is rejected by the list structure (a remove's
+           write neighbourhood spans two pointers). *)
+        [ 2; 4; 8 ];
+  }
+
+let timestamp_extension ?(threads = 32) ?(duration = 150_000) ?(seed = 13) () =
+  let spec = Workload.default_spec in
+  {
+    table_title =
+      Printf.sprintf
+        "Timestamp extension (classic profile, %d threads): TL2 vs TinySTM"
+        threads;
+    rows =
+      [
+        run_stm_config ~label:"TL2 (abort on stale read)" ~spec ~threads
+          ~duration ~seed ~profile:A.classic_profile ~extend_on_stale:false ();
+        run_stm_config ~label:"TinySTM (extend on stale read)" ~spec ~threads
+          ~duration ~seed ~profile:A.classic_profile ~extend_on_stale:true ();
+      ];
+  }
+
+let semantics_decomposition ?(threads = 64) ?(duration = 150_000) ?(seed = 14)
+    () =
+  let spec = Workload.default_spec in
+  let profiles =
+    [
+      ("classic parses + classic size", A.classic_profile);
+      ("elastic parses + classic size", A.elastic_classic_profile);
+      ( "classic parses + snapshot size",
+        { A.profile_name = "classic+snapshot"; parse_sem = Classic;
+          size_sem = Snapshot } );
+      ("elastic parses + snapshot size", A.mixed_profile);
+    ]
+  in
+  {
+    table_title =
+      Printf.sprintf
+        "Which relaxation pays?  Semantics decomposition at %d threads" threads;
+    rows =
+      List.map
+        (fun (label, profile) ->
+          run_stm_config ~label ~spec ~threads ~duration ~seed ~profile ())
+        profiles;
+  }
+
+(* How much of the mixed model's advantage survives as the update
+   ratio grows (more updates = more version churn, more snapshot
+   fallbacks, shorter useful windows). *)
+let update_sensitivity ?(threads = 32) ?(duration = 150_000) ?(seed = 15) () =
+  let rows =
+    List.concat_map
+      (fun update_pct ->
+        let spec =
+          { Workload.default_spec with Workload.update_pct; size_pct = 10 }
+        in
+        List.map
+          (fun (name, profile, extend) ->
+            run_stm_config
+              ~label:(Printf.sprintf "%s @ %d%% updates" name update_pct)
+              ~spec ~threads ~duration ~seed ~profile ~extend_on_stale:extend
+              ())
+          [
+            ("classic", A.classic_profile, false);
+            ("mixed", A.mixed_profile, true);
+          ])
+      [ 2; 10; 40 ]
+  in
+  {
+    table_title =
+      Printf.sprintf "Update-ratio sensitivity (%d threads, 10%% size)" threads;
+    rows;
+  }
+
+(* Probing §5.1's claim that two versions suffice: snapshot-heavy
+   workload under 1 / 2 / 4 retained versions per location. *)
+let version_depth ?(threads = 32) ?(duration = 150_000) ?(seed = 16) () =
+  let spec =
+    { Workload.default_spec with Workload.update_pct = 20; size_pct = 20 }
+  in
+  {
+    table_title =
+      Printf.sprintf
+        "Multiversion depth (mixed profile, %d%% updates, %d%% snapshot size, %d threads) - the paper keeps 2"
+        spec.Workload.update_pct spec.Workload.size_pct threads;
+    rows =
+      List.map
+        (fun k ->
+          run_stm_config
+            ~label:(Printf.sprintf "versions=%d" k)
+            ~spec ~threads ~duration ~seed ~profile:A.mixed_profile
+            ~versions:k ())
+        [ 1; 2; 4 ];
+  }
+
+let all () =
+  [
+    contention_managers ();
+    window_sizes ();
+    timestamp_extension ();
+    semantics_decomposition ();
+    update_sensitivity ();
+    version_depth ();
+  ]
+
+let pp_table ppf t =
+  Format.fprintf ppf "@.== ABLATION: %s@.@." t.table_title;
+  Format.fprintf ppf "%-32s %10s %10s %8s@." "configuration" "ops/ktick"
+    "completed" "aborts";
+  Format.fprintf ppf "%s@." (String.make 64 '-');
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "%-32s %10.2f %10d %8d@.    %s@." r.row_label
+        r.row_throughput r.row_completed r.row_aborts r.row_detail)
+    t.rows

@@ -1,0 +1,125 @@
+(** The bank benchmark (Harmanci, Gramoli, Felber & Fetzer, JPDC 2010 —
+    reference [40]; Section 4.3 likens the aborting classic [size] to
+    the bank's {e balance} operations).
+
+    Threads transfer money between accounts (short read-2/write-2
+    classic transactions) while auditors compute the global balance
+    (read-everything transactions).  A classic balance aborts whenever
+    any transfer commits under it — the “toxic transaction” pattern
+    [41] — while a snapshot balance reads a consistent past and never
+    conflicts.  The run also checks correctness on the fly: every
+    balance observed must equal the initial total. *)
+
+module A = Polytm_structs.Adapters
+module AM = Polytm_structs.Adapters.Make (Polytm_runtime.Sim_runtime)
+module R = Polytm_runtime.Sim_runtime
+module Sim = Polytm_runtime.Sim
+
+type config = {
+  accounts : int;
+  initial : int;  (** per-account starting balance *)
+  balance_pct : int;  (** percentage of balance operations *)
+  threads : int;
+  duration : int;
+  seed : int;
+}
+
+let default_config =
+  {
+    accounts = 64;
+    initial = 100;
+    balance_pct = 10;
+    threads = 32;
+    duration = 150_000;
+    seed = 21;
+  }
+
+type result = {
+  label : string;
+  transfers : int;
+  balances : int;
+  bad_balances : int;  (** balances that did not see the invariant total *)
+  failed_ops : int;  (** operations abandoned after too many aborts *)
+  throughput : float;  (** completed ops per 1000 virtual ticks *)
+  aborts : int;
+  stale_reads : int;
+}
+
+(* One benchmark run with the given semantics for balance operations. *)
+let run ?(config = default_config) ~balance_sem ~label () =
+  let stm = AM.S.create ~max_attempts:200 () in
+  let accounts = Array.init config.accounts (fun _ -> AM.S.tvar stm config.initial) in
+  let expected_total = config.accounts * config.initial in
+  let transfers = ref 0
+  and balances = ref 0
+  and bad = ref 0
+  and failed = ref 0 in
+  let master = Polytm_util.Rng.create config.seed in
+  let bodies =
+    List.init config.threads (fun _ ->
+        let rng = Polytm_util.Rng.split master in
+        fun () ->
+          while Sim.now () < config.duration do
+            match
+              if Polytm_util.Rng.int rng 100 < config.balance_pct then begin
+                let total =
+                  AM.S.atomically ~sem:balance_sem stm (fun tx ->
+                      Array.fold_left
+                        (fun acc a -> acc + AM.S.read tx a)
+                        0 accounts)
+                in
+                incr balances;
+                if total <> expected_total then incr bad
+              end
+              else begin
+                let src = Polytm_util.Rng.int rng config.accounts
+                and dst = Polytm_util.Rng.int rng config.accounts
+                and amount = Polytm_util.Rng.int rng 20 in
+                AM.S.atomically stm (fun tx ->
+                    let s = AM.S.read tx accounts.(src) in
+                    AM.S.write tx accounts.(src) (s - amount);
+                    let d = AM.S.read tx accounts.(dst) in
+                    AM.S.write tx accounts.(dst) (d + amount));
+                incr transfers
+              end
+            with
+            | () -> ()
+            | exception AM.S.Too_many_attempts _ -> incr failed
+          done)
+  in
+  let (), _info = Sim.run (fun () -> R.parallel bodies) in
+  let st = AM.S.stats stm in
+  {
+    label;
+    transfers = !transfers;
+    balances = !balances;
+    bad_balances = !bad;
+    failed_ops = !failed;
+    throughput =
+      1000.0
+      *. float_of_int (!transfers + !balances)
+      /. (float_of_int config.duration
+          *. max 1.0 (float_of_int config.threads /. 16.));
+    aborts = st.AM.S.aborts;
+    stale_reads = st.AM.S.stale_reads;
+  }
+
+let compare_semantics ?config () =
+  [
+    run ?config ~balance_sem:Polytm.Semantics.Classic ~label:"classic balance" ();
+    run ?config ~balance_sem:Polytm.Semantics.Snapshot ~label:"snapshot balance" ();
+  ]
+
+let pp_results ppf results =
+  Format.fprintf ppf
+    "@.== BANK: transfers vs whole-bank balance (Section 4.3's toxic \
+     read-only transactions)@.@.";
+  Format.fprintf ppf "%-18s %10s %10s %10s %8s %8s %8s %8s@." "balance mode"
+    "ops/ktick" "transfers" "balances" "bad" "failed" "aborts" "stale";
+  Format.fprintf ppf "%s@." (String.make 88 '-');
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "%-18s %10.2f %10d %10d %8d %8d %8d %8d@." r.label
+        r.throughput r.transfers r.balances r.bad_balances r.failed_ops
+        r.aborts r.stale_reads)
+    results

@@ -1,0 +1,114 @@
+(** Plain-text rendering of figures: a speedup table (threads down,
+    systems across), a small ASCII chart per series, and the headline
+    claim comparison. *)
+
+let hrule ppf width = Format.fprintf ppf "%s@." (String.make width '-')
+
+let pp_figure ppf (f : Figures.figure) =
+  Format.fprintf ppf "@.== %s: %s@." (String.uppercase_ascii f.Figures.fig_id)
+    f.Figures.title.Figures.caption;
+  Format.fprintf ppf "   paper: %s@.@." f.Figures.title.Figures.paper_claim;
+  let labels = List.map (fun s -> s.Figures.series_label) f.Figures.series in
+  let col_width =
+    List.fold_left (fun acc l -> max acc (String.length l)) 10 labels + 2
+  in
+  Format.fprintf ppf "%8s" "threads";
+  List.iter (fun l -> Format.fprintf ppf " | %*s" col_width l) labels;
+  Format.fprintf ppf "@.";
+  hrule ppf (8 + ((col_width + 3) * List.length labels));
+  let threads =
+    match f.Figures.series with
+    | [] -> []
+    | s :: _ -> List.map (fun p -> p.Figures.threads) s.Figures.points
+  in
+  List.iter
+    (fun t ->
+      Format.fprintf ppf "%8d" t;
+      List.iter
+        (fun s ->
+          match
+            List.find_opt
+              (fun p -> p.Figures.threads = t)
+              s.Figures.points
+          with
+          | Some p -> Format.fprintf ppf " | %*.2f" col_width p.Figures.speedup
+          | None -> Format.fprintf ppf " | %*s" col_width "-")
+        f.Figures.series;
+      Format.fprintf ppf "@.")
+    threads;
+  Format.fprintf ppf "@.(speedup over the 1-thread sequential list; baseline \
+                      throughput %.3f ops/ktick)@."
+    f.Figures.baseline_throughput
+
+(* Fixed-height ASCII chart: one line per system, speedup scaled to the
+   figure's maximum. *)
+let pp_chart ppf (f : Figures.figure) =
+  let max_speedup =
+    List.fold_left
+      (fun acc s ->
+        List.fold_left (fun a p -> max a p.Figures.speedup) acc s.Figures.points)
+      1e-9 f.Figures.series
+  in
+  Format.fprintf ppf "@.%s (bar = speedup, full scale %.1fx)@."
+    (String.uppercase_ascii f.Figures.fig_id)
+    max_speedup;
+  List.iter
+    (fun s ->
+      Format.fprintf ppf "  %s@." s.Figures.series_label;
+      List.iter
+        (fun p ->
+          let bar =
+            int_of_float (40. *. p.Figures.speedup /. max_speedup)
+          in
+          Format.fprintf ppf "  %4d | %s %.2fx%s@." p.Figures.threads
+            (String.make (max 0 bar) '#')
+            p.Figures.speedup
+            (if p.Figures.failed > 0 then
+               Printf.sprintf "  (%d ops abandoned)" p.Figures.failed
+             else ""))
+        s.Figures.points)
+    f.Figures.series
+
+let pp_claims ppf claims =
+  Format.fprintf ppf "@.== Headline ratios: paper vs measured@.@.";
+  Format.fprintf ppf "%-55s %10s %10s@." "claim" "paper" "measured";
+  hrule ppf 77;
+  List.iter
+    (fun c ->
+      Format.fprintf ppf "%-55s %9.1fx %9.2fx@." c.Figures.claim_label
+        c.Figures.paper_value c.Figures.measured)
+    claims
+
+let pp_fig4 ppf () =
+  let r = Polytm_history.Program.fig4 () in
+  Format.fprintf ppf
+    "@.== FIG4: proportion of correct linked-list schedules precluded by \
+     opacity@.@.";
+  Format.fprintf ppf "   programs: Pt = tx{r(x) r(y) r(z)}, P1 = tx{w(x)}, \
+                      P2 = tx{w(z)}@.@.";
+  Format.fprintf ppf "   total interleavings          %4d   (paper: 20)@."
+    r.Polytm_history.Program.schedules;
+  Format.fprintf ppf "   accepted by opacity          %4d   (paper: 16)@."
+    r.Polytm_history.Program.accepted_by_opacity;
+  Format.fprintf ppf "   precluded                    %4d   (paper: 4)@."
+    r.Polytm_history.Program.precluded;
+  Format.fprintf ppf "   precluded ratio             %4.0f%%   (paper: 20%%)@."
+    (100. *. r.Polytm_history.Program.precluded_ratio);
+  Format.fprintf ppf
+    "@.   note: the paper's own preclusion rule (Pt<P1, P1<P2, P2<Pt) is@.\
+    \   satisfied by exactly 3 of the 20 interleavings; both the conflict-@.\
+    \   graph checker and the brute-force checker agree on 3/20 = 15%%.@.\
+    \   See EXPERIMENTS.md (E1) for the placement analysis.@.";
+  let a =
+    Polytm_history.Program.count_accepted
+      [
+        Polytm_history.Program.elastic 0
+          [ Polytm_history.History.Read 0; Read 1; Read 2 ];
+        Polytm_history.Program.classic 1 [ Polytm_history.History.Write 0 ];
+        Polytm_history.Program.classic 2 [ Polytm_history.History.Write 2 ];
+      ]
+  in
+  Format.fprintf ppf
+    "@.   with Pt elastic instead: %d/%d schedules accepted — elasticity@.\
+    \   recovers every correct schedule of this workload.@."
+    a.Polytm_history.Program.elastic_opaque a.Polytm_history.Program.total

@@ -1,0 +1,45 @@
+(** Workload generation for the collection benchmark.
+
+    The paper's setting (Sections 3.3, 4.3, 5.2): a collection of 2^12
+    elements with [contains], [add], [remove] and [size], “with an
+    update and a size ratio of 10% each” — i.e. 10% updates (split
+    evenly between add and remove so the size stays near its initial
+    value), 10% size, 80% contains.  Keys are drawn uniformly from a
+    range twice the initial cardinality; the prefill inserts every
+    even key, so adds and removes hit present and absent keys with
+    equal probability. *)
+
+type op = Contains of int | Add of int | Remove of int | Size
+
+type spec = {
+  initial_size : int;  (** elements prefilled (paper: 4096) *)
+  key_range : int;  (** keys drawn from [0, key_range) *)
+  update_pct : int;  (** percentage of add+remove operations *)
+  size_pct : int;  (** percentage of size operations *)
+}
+
+let paper_spec =
+  { initial_size = 4096; key_range = 8192; update_pct = 10; size_pct = 10 }
+
+(** Scaled-down default keeping the paper's ratios: 2^10 elements. *)
+let default_spec =
+  { initial_size = 1024; key_range = 2048; update_pct = 10; size_pct = 10 }
+
+let spec_of_size n =
+  { default_spec with initial_size = n; key_range = 2 * n }
+
+let prefill_keys spec = List.init spec.initial_size (fun i -> 2 * i)
+
+let next_op spec rng =
+  let d = Polytm_util.Rng.int rng 100 in
+  if d < spec.size_pct then Size
+  else if d < spec.size_pct + spec.update_pct then
+    let key = Polytm_util.Rng.int rng spec.key_range in
+    if Polytm_util.Rng.bool rng then Add key else Remove key
+  else Contains (Polytm_util.Rng.int rng spec.key_range)
+
+let pp_op ppf = function
+  | Contains k -> Format.fprintf ppf "contains(%d)" k
+  | Add k -> Format.fprintf ppf "add(%d)" k
+  | Remove k -> Format.fprintf ppf "remove(%d)" k
+  | Size -> Format.fprintf ppf "size()"

@@ -1,0 +1,49 @@
+(** Contention-management policies (paper, Section 2.2: “Deciding upon
+    the conflict resolution strategy is the task of a dedicated
+    service, called a contention manager” — Scherer & Scott, PODC'05).
+
+    A policy answers two questions: how long to wait for a busy write
+    lock before giving up, and how long to back off before re-running
+    an aborted transaction.  [Greedy] additionally arbitrates by age:
+    the older transaction may kill the younger lock holder instead of
+    aborting itself. *)
+
+type t =
+  | Suicide  (** abort self immediately on conflict, retry at once *)
+  | Backoff of { base : int; cap : int }
+      (** abort self, wait [min cap (base * 2^attempt)] before retrying
+          (randomised jitter is deliberately avoided: runs stay
+          deterministic under the simulator) *)
+  | Polite of { spins : int }
+      (** spin up to [spins] pauses on a busy lock before aborting;
+          retry immediately *)
+  | Greedy
+      (** timestamp priority: on a busy lock, the older transaction
+          requests the younger owner's death and waits; the younger
+          aborts itself.  Livelock-free by age monotonicity. *)
+
+let default = Backoff { base = 4; cap = 1024 }
+
+let to_string = function
+  | Suicide -> "suicide"
+  | Backoff { base; cap } -> Printf.sprintf "backoff(%d,%d)" base cap
+  | Polite { spins } -> Printf.sprintf "polite(%d)" spins
+  | Greedy -> "greedy"
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+(* How many pauses to spend spinning on a busy lock before the abort
+   decision. *)
+let lock_spins = function
+  | Suicide -> 0
+  | Backoff _ -> 1
+  | Polite { spins } -> spins
+  | Greedy -> 1
+
+(* Backoff duration before re-running attempt [attempt] (1-based). *)
+let retry_pause policy ~attempt =
+  match policy with
+  | Suicide | Polite _ | Greedy -> 0
+  | Backoff { base; cap } ->
+      let rec shifted acc n = if n <= 0 || acc >= cap then acc else shifted (acc * 2) (n - 1) in
+      min cap (shifted base (attempt - 1))

@@ -1,0 +1,45 @@
+(** PolyTM — a polymorphic software transactional memory.
+
+    OCaml reproduction of {e Democratizing Transactional Programming}
+    (Gramoli & Guerraoui, Middleware 2011): one STM runtime, several
+    transaction semantics, chosen per transaction and co-existing on
+    shared data.
+
+    {1 Entry points}
+
+    - {!Stm.Make} builds the STM over an execution substrate
+      ({!Polytm_runtime.Sim_runtime} for deterministic simulation and
+      model checking, {!Polytm_runtime.Domain_runtime} for real
+      parallelism).  Its signature is {!Stm_intf.S}.
+    - {!Semantics} lists the available transaction semantics
+      ([Classic], [Elastic], [Snapshot]) and the composition rule for
+      nesting.
+    - {!Contention} is the pluggable contention-management policy.
+
+    {1 Sixty-second tour}
+
+    {[
+      module S = Polytm.Stm.Make (Polytm_runtime.Domain_runtime)
+
+      let stm = S.create ()
+      let account = S.tvar stm 100
+
+      (* novice: delimit sequential code *)
+      let deposit n =
+        S.atomically stm (fun tx -> S.write tx account (S.read tx account + n))
+
+      (* expert: a read-only audit that never aborts the deposits *)
+      let audit () =
+        S.atomically ~sem:Polytm.Semantics.Snapshot stm (fun tx ->
+            S.read tx account)
+    ]}
+
+    Transactional data structures with per-operation semantics live in
+    [Polytm_structs]; benchmarks reproducing the paper's figures in
+    [Polytm_bench_kit]; the formal history checkers in
+    [Polytm_history]. *)
+
+module Semantics = Semantics
+module Contention = Contention
+module Stm_intf = Stm_intf
+module Stm = Stm

@@ -1,0 +1,40 @@
+(** Transaction semantics — the heart of the paper's proposal.
+
+    A {e polymorphic} transactional memory lets every transaction pick
+    its own semantics at [tx-begin] while sharing data with
+    transactions of other semantics (paper, Section 5).  The default is
+    the strongest one, so novices can ignore the choice entirely. *)
+
+type t =
+  | Classic
+      (** Opacity / single-global-lock atomicity: all accesses appear
+          to take effect at one indivisible point.  The default. *)
+  | Elastic
+      (** Elastic-opacity (DISC'09): the transaction may be cut into
+          consecutive pieces when no conflict spans a cut boundary.
+          Intended for search-structure parses; composes with the
+          other semantics. *)
+  | Snapshot
+      (** Read-only atomic snapshot via multiversioning: reads may
+          return slightly stale but mutually consistent values, so the
+          transaction neither aborts updaters nor is aborted by them
+          (paper, Section 5.1).  Writing inside a snapshot transaction
+          is an error. *)
+
+let to_string = function
+  | Classic -> "classic"
+  | Elastic -> "elastic"
+  | Snapshot -> "snapshot"
+
+let pp ppf s = Format.pp_print_string ppf (to_string s)
+
+let equal (a : t) (b : t) = a = b
+
+(* When transactions nest, the outer label wins (paper, Section 4.2:
+   Bob composes Alice's elastic add into a classic addIfAbsent by
+   labelling the outer block). *)
+let compose ~outer ~inner:_ = outer
+
+let allows_write = function
+  | Classic | Elastic -> true
+  | Snapshot -> false

@@ -1,0 +1,745 @@
+(** The polymorphic software transactional memory.
+
+    The algorithm is a word-based, TL2-style STM (Dice, Shalev &
+    Shavit, DISC'06 — reference [16] of the paper: the very library the
+    paper benchmarks against) extended with the paper's two relaxed
+    semantics:
+
+    - {b classic}: lazy versioning with a global version clock;
+      read-set validation at commit, with TinySTM-style timestamp
+      extension on stale reads;
+    - {b elastic} (E-STM, DISC'09): before its first write a
+      transaction only keeps a sliding window of its most recent reads;
+      a stale read triggers a {e cut} — the window is revalidated and
+      the timestamp advanced — instead of an abort;
+    - {b snapshot}: every committing writer backs up the previous
+      (value, version) pair in the location itself, so a read-only
+      snapshot transaction whose start time [ub] predates the current
+      version can fall back to the backup and never aborts updaters
+      (paper, Section 5.1: two versions suffice).
+
+    All three semantics share the same locations, locks and clock —
+    that co-existence is the paper's challenge — and the commit
+    protocol guarantees each transaction its own guarantee.
+
+    Locks are per-location and held only during commit, acquired in
+    ascending location order (no deadlock); contention policies decide
+    spinning, backoff, and (for [Greedy]) cross-transaction kills.
+
+    Extensions beyond the paper's core proposal, all exposed through
+    {!Stm_intf.S}: [orelse] alternatives, early release, lifecycle
+    hooks (compensations and finalisers, the basis of transactional
+    boosting), serial-irrevocable transactions, and an execution-order
+    event recorder that the test suite feeds to the formal opacity and
+    elastic-opacity checkers. *)
+
+module IMap = Map.Make (Int)
+
+module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) : Stm_intf.S = struct
+  type abort_reason =
+    | Lock_busy
+    | Read_invalid
+    | Window_broken
+    | Snapshot_too_old
+    | Killed
+    | Explicit
+
+  exception Too_many_attempts of abort_reason * int
+  exception Invalid_operation of string
+
+  (* Internal control-flow signal; [atomically] is the only catcher. *)
+  exception Abort_tx of abort_reason
+
+  type owner = { serial : int; killed : bool R.atomic }
+
+  type lock_state = Unlocked of int  (** version *) | Locked of owner
+
+  type 'a versioned = {
+    value : 'a;
+    version : int;
+    older : ('a * int) list;
+        (** previous (value, version) pairs, newest first, bounded by
+            the instance's [versions - 1] (paper §5.1 keeps exactly
+            one backup: [versions = 2]) *)
+  }
+
+  type 'a tvar = {
+    id : int;
+    lock : lock_state R.atomic;
+    data : 'a versioned R.atomic;
+  }
+
+  type rentry = REntry : { rvar : 'a tvar; rversion : int } -> rentry
+
+  type wentry =
+    | WEntry : {
+        wvar : 'a tvar;
+        mutable wvalue : 'a;
+        mutable locked_version : int;
+      }
+        -> wentry
+
+  type recorded = {
+    rec_tx : int;
+    rec_loc : int;
+    rec_write : bool;
+    rec_sem : Semantics.t;
+  }
+
+  type tx = {
+    stm : t;
+    serial : int;
+    sem : Semantics.t;
+    owner : owner;
+    mutable rv : int;  (** validity timestamp *)
+    snapshot_ub : int;  (** snapshot upper bound, fixed at start *)
+    mutable reads : rentry list;
+    mutable window : rentry list;  (** elastic window, newest first *)
+    mutable writes : wentry IMap.t;
+    mutable wrote : bool;  (** an elastic tx stops cutting after a write *)
+    mutable undo : (unit -> unit) list;  (** compensations, newest first *)
+    mutable cleanup : (unit -> unit) list;  (** finalisers, newest first *)
+    mutable live : bool;
+  }
+
+  and t = {
+    clock : int R.atomic;
+    serials : int R.atomic;
+    tvar_ids : int R.atomic;
+    serial_token : bool R.atomic;  (** an irrevocable transaction runs *)
+    active_commits : int R.atomic;  (** write commits currently in flight *)
+    cm : Contention.t;
+    elastic_window : int;
+    max_attempts : int;
+    extend_on_stale : bool;
+    versions : int;  (** values retained per location, including current *)
+    current : tx option R.tls;
+    (* statistics *)
+    c_starts : R.counter;
+    c_commits : R.counter;
+    c_aborts : R.counter;
+    c_lock_busy : R.counter;
+    c_read_invalid : R.counter;
+    c_window_broken : R.counter;
+    c_snapshot_too_old : R.counter;
+    c_killed : R.counter;
+    c_explicit : R.counter;
+    c_cuts : R.counter;
+    c_extensions : R.counter;
+    c_stale_reads : R.counter;
+    c_fast_commits : R.counter;
+    (* history recording: single-scheduler runs only *)
+    mutable recording : bool;
+    mutable log_rev : recorded list;
+    mutable aborted_rev : int list;
+  }
+
+  let create ?(cm = Contention.default) ?(elastic_window = 2)
+      ?(max_attempts = 10_000) ?(extend_on_stale = true) ?(versions = 2) () =
+    if elastic_window < 1 then
+      raise (Invalid_operation "elastic_window must be at least 1");
+    if versions < 1 then
+      raise (Invalid_operation "versions must be at least 1");
+    {
+      clock = R.atomic 0;
+      serials = R.atomic 0;
+      tvar_ids = R.atomic 0;
+      serial_token = R.atomic false;
+      active_commits = R.atomic 0;
+      cm;
+      elastic_window;
+      max_attempts;
+      extend_on_stale;
+      versions;
+      current = R.tls (fun () -> None);
+      c_starts = R.counter ();
+      c_commits = R.counter ();
+      c_aborts = R.counter ();
+      c_lock_busy = R.counter ();
+      c_read_invalid = R.counter ();
+      c_window_broken = R.counter ();
+      c_snapshot_too_old = R.counter ();
+      c_killed = R.counter ();
+      c_explicit = R.counter ();
+      c_cuts = R.counter ();
+      c_extensions = R.counter ();
+      c_stale_reads = R.counter ();
+      c_fast_commits = R.counter ();
+      recording = false;
+      log_rev = [];
+      aborted_rev = [];
+    }
+
+  let tvar stm v =
+    {
+      id = R.fetch_and_add stm.tvar_ids 1;
+      lock = R.atomic (Unlocked 0);
+      data = R.atomic { value = v; version = 0; older = [] };
+    }
+
+  let tvar_id v = v.id
+  let elastic_window_size stm = stm.elastic_window
+
+  let semantics tx = tx.sem
+  let serial tx = tx.serial
+
+  let check_live tx =
+    if not tx.live then
+      raise (Invalid_operation "transaction handle used outside its extent")
+
+  let on_abort tx f =
+    check_live tx;
+    tx.undo <- f :: tx.undo
+
+  let on_cleanup tx f =
+    check_live tx;
+    tx.cleanup <- f :: tx.cleanup
+
+  let record_event tx v ~is_write =
+    if tx.stm.recording then
+      tx.stm.log_rev <-
+        { rec_tx = tx.serial; rec_loc = v.id; rec_write = is_write;
+          rec_sem = tx.sem }
+        :: tx.stm.log_rev
+
+  let record_aborted tx =
+    if tx.stm.recording then tx.stm.aborted_rev <- tx.serial :: tx.stm.aborted_rev
+
+  let abort_with reason = raise (Abort_tx reason)
+
+  (* ------------------------------------------------------------------ *)
+  (* Consistent reads                                                    *)
+
+  (* Spin briefly on a busy lock; under [Greedy] an older transaction
+     kills the younger owner and keeps waiting (the victim aborts at
+     its next conflict check, or finishes write-back and releases). *)
+  let wait_or_die tx (o : owner) budget =
+    if o.serial = tx.serial then
+      raise (Invalid_operation "location accessed during its own commit");
+    if budget > 0 then R.pause 1
+    else
+      match tx.stm.cm with
+      | Contention.Greedy when tx.serial < o.serial ->
+          R.set o.killed true;
+          R.pause 1
+      | Contention.Greedy | Contention.Suicide | Contention.Backoff _
+      | Contention.Polite _ ->
+          abort_with Lock_busy
+
+  (* Read a (value, version) pair that was current at its version:
+     re-read while a commit is in flight on this location. *)
+  let read_versioned tx v =
+    let budget = ref (Contention.lock_spins tx.stm.cm) in
+    let rec loop () =
+      let d = R.get v.data in
+      match R.get v.lock with
+      | Unlocked ver when ver = d.version -> d
+      | Unlocked _ -> loop ()
+      | Locked o ->
+          wait_or_die tx o !budget;
+          decr budget;
+          loop ()
+    in
+    loop ()
+
+  (* ------------------------------------------------------------------ *)
+  (* Validation                                                          *)
+
+  let entry_valid tx (REntry e) =
+    match IMap.find_opt e.rvar.id tx.writes with
+    | Some (WEntry w) when w.locked_version >= 0 ->
+        (* Locked by us at commit: compare against the version seen at
+           lock acquisition. *)
+        w.locked_version = e.rversion
+    | Some _ | None -> (
+        match R.get e.rvar.lock with
+        | Unlocked ver -> ver = e.rversion
+        | Locked _ -> false)
+
+  let validate tx =
+    if not (List.for_all (entry_valid tx) tx.reads) then
+      abort_with Read_invalid;
+    if not (List.for_all (entry_valid tx) tx.window) then
+      abort_with Window_broken
+
+  (* TinySTM-style timestamp extension: move [rv] forward to the
+     current clock if every read so far is still valid. *)
+  let extend tx =
+    let new_rv = R.get tx.stm.clock in
+    validate tx;
+    tx.rv <- new_rv;
+    R.add_counter tx.stm.c_extensions 1
+
+  (* ------------------------------------------------------------------ *)
+  (* Reads, by semantics                                                 *)
+
+  let push_window tx entry =
+    let rec take n = function
+      | [] -> []
+      | _ when n = 0 -> []
+      | e :: rest -> e :: take (n - 1) rest
+    in
+    tx.window <- entry :: take (tx.stm.elastic_window - 1) tx.window
+
+  let classic_read tx v =
+    let rec loop () =
+      let d = read_versioned tx v in
+      if d.version <= tx.rv then d
+      else if not tx.stm.extend_on_stale then
+        (* Faithful TL2 (the paper's comparator): a read past the
+           transaction's timestamp aborts outright. *)
+        abort_with Read_invalid
+      else begin
+        (* TinySTM-style refinement: extend instead of aborting, then
+           RE-READ — the location may have changed again between our
+           data read and the extension's clock read, and that change
+           would be invisible to commit-time validation when the
+           fast-commit path triggers. *)
+        extend tx;
+        loop ()
+      end
+    in
+    let d = loop () in
+    (* Read-set logging is a real cost of word-based STMs (an append
+       and its cache pressure on every read); charge it so the
+       simulator sees the overhead the paper attributes to classic
+       transactions.  The elastic window below is a fixed two-slot
+       buffer and charges half as much — E-STM's bounded log is one of
+       its design points. *)
+    R.pause 2;
+    tx.reads <- REntry { rvar = v; rversion = d.version } :: tx.reads;
+    record_event tx v ~is_write:false;
+    d.value
+
+  let elastic_read tx v =
+    if tx.wrote then begin
+      (* Closing mode: behave classically, the window joins the
+         validation set. *)
+      let d =
+        let rec loop () =
+          let d = read_versioned tx v in
+          if d.version <= tx.rv then d
+          else begin
+            (* Extend, then re-read (see classic_read). *)
+            extend tx;
+            loop ()
+          end
+        in
+        loop ()
+      in
+      R.pause 2;
+      tx.reads <- REntry { rvar = v; rversion = d.version } :: tx.reads;
+      record_event tx v ~is_write:false;
+      d.value
+    end
+    else begin
+      let rec loop () =
+        let d = read_versioned tx v in
+        if d.version <= tx.rv then d
+        else begin
+          (* Cut: the window must still be intact, then this read opens
+             a new piece with a fresh timestamp. *)
+          let new_rv = R.get tx.stm.clock in
+          if not (List.for_all (entry_valid tx) tx.window) then
+            abort_with Window_broken;
+          tx.rv <- new_rv;
+          tx.reads <- [];
+          R.add_counter tx.stm.c_cuts 1;
+          (* Re-read after the cut (see classic_read). *)
+          loop ()
+        end
+      in
+      let d = loop () in
+      R.pause 1;
+      push_window tx (REntry { rvar = v; rversion = d.version });
+      record_event tx v ~is_write:false;
+      d.value
+    end
+
+  let snapshot_read tx v =
+    let ub = tx.snapshot_ub in
+    let rec loop () =
+      let d = R.get v.data in
+      if d.version > ub then
+        (* Any in-flight commit on this location carries a version
+           above [d.version] > [ub], so it cannot affect the value at
+           [ub]: the backup chain is usable without looking at the
+           lock — this is why snapshots never impede updaters. *)
+        let rec from_chain = function
+          | [] -> abort_with Snapshot_too_old
+          | (v, ver) :: rest ->
+              if ver <= ub then begin
+                R.add_counter tx.stm.c_stale_reads 1;
+                v
+              end
+              else from_chain rest
+        in
+        from_chain d.older
+      else
+        (* The current version fits the snapshot, but a commit already
+           holding the lock may have drawn its write version before we
+           drew [ub]; taking [d.value] now could observe half of that
+           transaction (one location written back, another not yet).
+           Wait out the brief write-back and re-read. *)
+        match R.get v.lock with
+        | Unlocked ver when ver = d.version -> d.value
+        | Unlocked _ -> loop ()
+        | Locked _ ->
+            R.pause 1;
+            loop ()
+    in
+    let value = loop () in
+    record_event tx v ~is_write:false;
+    value
+
+  let read : type a. tx -> a tvar -> a =
+   fun tx v ->
+    check_live tx;
+    match IMap.find_opt v.id tx.writes with
+    | Some (WEntry w) ->
+        (* Same id implies same tvar, hence the same value type. *)
+        (Obj.magic w.wvalue : a)
+    | None -> (
+        match tx.sem with
+        | Semantics.Classic -> classic_read tx v
+        | Semantics.Elastic -> elastic_read tx v
+        | Semantics.Snapshot -> snapshot_read tx v)
+
+  let write tx v x =
+    check_live tx;
+    if not (Semantics.allows_write tx.sem) then
+      raise (Invalid_operation "write inside a snapshot transaction");
+    (match IMap.find_opt v.id tx.writes with
+    | Some (WEntry w) -> w.wvalue <- Obj.magic x
+    | None ->
+        tx.writes <-
+          IMap.add v.id
+            (WEntry { wvar = v; wvalue = x; locked_version = -1 })
+            tx.writes);
+    tx.wrote <- true
+
+  let release tx v =
+    check_live tx;
+    let keep (REntry e) = e.rvar.id <> v.id in
+    tx.reads <- List.filter keep tx.reads;
+    tx.window <- List.filter keep tx.window
+
+  let abort _tx = abort_with Explicit
+
+  (* Run the newest entries of [l] down to (but excluding) the saved
+     tail [upto] — the delta registered by a rolled-back branch. *)
+  let run_delta l ~upto =
+    let rec go = function
+      | rest when rest == upto -> ()
+      | [] -> ()
+      | f :: rest ->
+          f ();
+          go rest
+    in
+    go l
+
+  let orelse tx f g =
+    check_live tx;
+    let reads = tx.reads
+    and window = tx.window
+    and writes = tx.writes
+    and wrote = tx.wrote
+    and undo = tx.undo
+    and cleanup = tx.cleanup in
+    try f tx
+    with Abort_tx Explicit ->
+      (* Compensate the branch's eager (boosted) effects, release its
+         abstract locks, then restore the buffered state. *)
+      run_delta tx.undo ~upto:undo;
+      run_delta tx.cleanup ~upto:cleanup;
+      tx.reads <- reads;
+      tx.window <- window;
+      tx.writes <- writes;
+      tx.wrote <- wrote;
+      tx.undo <- undo;
+      tx.cleanup <- cleanup;
+      g tx
+
+  (* ------------------------------------------------------------------ *)
+  (* Commit                                                              *)
+
+  let release_lock (WEntry w) =
+    if w.locked_version >= 0 then begin
+      R.set w.wvar.lock (Unlocked w.locked_version);
+      w.locked_version <- -1
+    end
+
+  let release_all tx = IMap.iter (fun _ e -> release_lock e) tx.writes
+
+  let acquire tx (WEntry w) =
+    let budget = ref (Contention.lock_spins tx.stm.cm) in
+    let rec loop () =
+      match R.get w.wvar.lock with
+      | Unlocked ver as l ->
+          if R.cas w.wvar.lock l (Locked tx.owner) then w.locked_version <- ver
+          else loop ()
+      | Locked o ->
+          wait_or_die tx o !budget;
+          decr budget;
+          loop ()
+    in
+    loop ()
+
+  (* Keep at most [n] elements of a backup chain. *)
+  let rec take_chain n l =
+    if n <= 0 then []
+    else match l with [] -> [] | x :: rest -> x :: take_chain (n - 1) rest
+
+  let write_back tx wv =
+    IMap.iter
+      (fun _ (WEntry w) ->
+        let d = R.get w.wvar.data in
+        R.set w.wvar.data
+          {
+            value = w.wvalue;
+            version = wv;
+            older =
+              take_chain (tx.stm.versions - 1) ((d.value, d.version) :: d.older);
+          };
+        record_event tx w.wvar ~is_write:true;
+        R.set w.wvar.lock (Unlocked wv);
+        w.locked_version <- -1)
+      tx.writes
+
+  let commit ?(holds_token = false) tx =
+    if IMap.is_empty tx.writes then
+      (* Read-only transactions of every semantics commit for free:
+         every read was validated against a single coherent timestamp
+         when it happened. *)
+      ()
+    else begin
+      (* Serial-irrevocable mode: while some irrevocable transaction
+         holds the token, ordinary write commits stall here — before
+         taking any lock, so there is no hold-and-wait. *)
+      if not holds_token then
+        while R.get tx.stm.serial_token do
+          R.pause 4
+        done;
+      ignore (R.fetch_and_add tx.stm.active_commits 1);
+      match
+        (* Ascending id order (IMap.iter) keeps locking deadlock-free. *)
+        IMap.iter (fun _ e -> acquire tx e) tx.writes;
+        if R.get tx.owner.killed then abort_with Killed;
+        let wv = R.fetch_and_add tx.stm.clock 1 + 1 in
+        if wv = tx.rv + 1 then R.add_counter tx.stm.c_fast_commits 1
+        else validate tx;
+        write_back tx wv
+      with
+      | () -> ignore (R.fetch_and_add tx.stm.active_commits (-1))
+      | exception e ->
+          release_all tx;
+          ignore (R.fetch_and_add tx.stm.active_commits (-1));
+          raise e
+    end
+
+  (* ------------------------------------------------------------------ *)
+  (* The transaction loop                                                *)
+
+  let make_tx stm sem =
+    let serial = R.fetch_and_add stm.serials 1 in
+    let rv = R.get stm.clock in
+    {
+      stm;
+      serial;
+      sem;
+      owner = { serial; killed = R.atomic false };
+      rv;
+      snapshot_ub = rv;
+      reads = [];
+      window = [];
+      writes = IMap.empty;
+      wrote = false;
+      undo = [];
+      cleanup = [];
+      live = true;
+    }
+
+  let abort_counter stm = function
+    | Lock_busy -> stm.c_lock_busy
+    | Read_invalid -> stm.c_read_invalid
+    | Window_broken -> stm.c_window_broken
+    | Snapshot_too_old -> stm.c_snapshot_too_old
+    | Killed -> stm.c_killed
+    | Explicit -> stm.c_explicit
+
+  (* Acquire the global serial token and wait for in-flight write
+     commits to drain: afterwards no transaction can commit until the
+     token is released, so the holder's reads can never be invalidated
+     and it is guaranteed to run exactly once. *)
+  let enter_serial_mode stm =
+    let rec take () =
+      if not (R.cas stm.serial_token false true) then begin
+        R.pause 8;
+        take ()
+      end
+    in
+    take ();
+    while R.get stm.active_commits > 0 do
+      R.pause 2
+    done
+
+  let exit_serial_mode stm = R.set stm.serial_token false
+
+  let atomically ?(sem = Semantics.Classic) ?(irrevocable = false) stm f =
+    match R.tls_get stm.current with
+    | Some outer when outer.live && outer.stm == stm ->
+        (* Flat nesting: the outer label prevails (Section 4.2). *)
+        let (_ : Semantics.t) = Semantics.compose ~outer:outer.sem ~inner:sem in
+        f outer
+    | Some _ | None when irrevocable ->
+        if sem = Semantics.Snapshot then
+          raise
+            (Invalid_operation "irrevocable snapshot transactions are pointless");
+        enter_serial_mode stm;
+        let tx = make_tx stm sem in
+        R.add_counter stm.c_starts 1;
+        R.tls_set stm.current (Some tx);
+        let cleanup () =
+          tx.live <- false;
+          R.tls_set stm.current None;
+          exit_serial_mode stm
+        in
+        (match
+           let result = f tx in
+           commit ~holds_token:true tx;
+           result
+         with
+        | result ->
+            cleanup ();
+            List.iter (fun g -> g ()) tx.cleanup;
+            R.add_counter stm.c_commits 1;
+            result
+        | exception Abort_tx _ ->
+            cleanup ();
+            List.iter (fun g -> g ()) tx.undo;
+            List.iter (fun g -> g ()) tx.cleanup;
+            raise
+              (Invalid_operation
+                 "explicit abort inside an irrevocable transaction")
+        | exception e ->
+            (* A user exception: with the world stopped, conflict
+               aborts are impossible, so nothing else reaches here. *)
+            cleanup ();
+            List.iter (fun g -> g ()) tx.undo;
+            List.iter (fun g -> g ()) tx.cleanup;
+            record_aborted tx;
+            R.add_counter stm.c_aborts 1;
+            R.add_counter stm.c_explicit 1;
+            raise e)
+    | Some _ | None ->
+        let rec attempt n =
+          let tx = make_tx stm sem in
+          R.add_counter stm.c_starts 1;
+          R.tls_set stm.current (Some tx);
+          let cleanup () =
+            tx.live <- false;
+            R.tls_set stm.current None
+          in
+          let run_hooks ~aborted =
+            if aborted then List.iter (fun f -> f ()) tx.undo;
+            List.iter (fun f -> f ()) tx.cleanup
+          in
+          match
+            let result = f tx in
+            commit tx;
+            result
+          with
+          | result ->
+              cleanup ();
+              run_hooks ~aborted:false;
+              R.add_counter stm.c_commits 1;
+              result
+          | exception Abort_tx reason ->
+              cleanup ();
+              run_hooks ~aborted:true;
+              record_aborted tx;
+              R.add_counter stm.c_aborts 1;
+              R.add_counter (abort_counter stm reason) 1;
+              if n >= stm.max_attempts then
+                raise (Too_many_attempts (reason, n));
+              let pause = Contention.retry_pause stm.cm ~attempt:n in
+              if pause > 0 then R.pause pause;
+              attempt (n + 1)
+          | exception e ->
+              (* User exception: discard effects, count the attempt as
+                 aborted, propagate. *)
+              cleanup ();
+              run_hooks ~aborted:true;
+              record_aborted tx;
+              R.add_counter stm.c_aborts 1;
+              R.add_counter stm.c_explicit 1;
+              raise e
+        in
+        attempt 1
+
+  (* ------------------------------------------------------------------ *)
+  (* Statistics and recording                                            *)
+
+  type stats = {
+    starts : int;
+    commits : int;
+    aborts : int;
+    lock_busy : int;
+    read_invalid : int;
+    window_broken : int;
+    snapshot_too_old : int;
+    killed : int;
+    explicit_aborts : int;
+    cuts : int;
+    extensions : int;
+    stale_reads : int;
+    fast_commits : int;
+  }
+
+  let stats stm =
+    {
+      starts = R.read_counter stm.c_starts;
+      commits = R.read_counter stm.c_commits;
+      aborts = R.read_counter stm.c_aborts;
+      lock_busy = R.read_counter stm.c_lock_busy;
+      read_invalid = R.read_counter stm.c_read_invalid;
+      window_broken = R.read_counter stm.c_window_broken;
+      snapshot_too_old = R.read_counter stm.c_snapshot_too_old;
+      killed = R.read_counter stm.c_killed;
+      explicit_aborts = R.read_counter stm.c_explicit;
+      cuts = R.read_counter stm.c_cuts;
+      extensions = R.read_counter stm.c_extensions;
+      stale_reads = R.read_counter stm.c_stale_reads;
+      fast_commits = R.read_counter stm.c_fast_commits;
+    }
+
+  let reset_counter c = R.add_counter c (-R.read_counter c)
+
+  let reset_stats stm =
+    List.iter reset_counter
+      [
+        stm.c_starts; stm.c_commits; stm.c_aborts; stm.c_lock_busy;
+        stm.c_read_invalid; stm.c_window_broken; stm.c_snapshot_too_old;
+        stm.c_killed; stm.c_explicit; stm.c_cuts; stm.c_extensions;
+        stm.c_stale_reads; stm.c_fast_commits;
+      ]
+
+  let pp_stats ppf s =
+    Format.fprintf ppf
+      "@[<v>starts=%d commits=%d aborts=%d@ lock_busy=%d read_invalid=%d \
+       window_broken=%d snapshot_too_old=%d killed=%d explicit=%d@ cuts=%d \
+       extensions=%d stale_reads=%d fast_commits=%d@]"
+      s.starts s.commits s.aborts s.lock_busy s.read_invalid s.window_broken
+      s.snapshot_too_old s.killed s.explicit_aborts s.cuts s.extensions
+      s.stale_reads s.fast_commits
+
+  let record stm on =
+    stm.recording <- on;
+    if on then begin
+      stm.log_rev <- [];
+      stm.aborted_rev <- []
+    end
+
+  let recorded_events stm = List.rev stm.log_rev
+  let recorded_aborted stm = List.sort_uniq compare stm.aborted_rev
+end

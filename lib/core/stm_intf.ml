@@ -1,0 +1,198 @@
+(** Public signature of the polymorphic STM produced by {!Stm.Make}. *)
+
+module type S = sig
+  type t
+  (** An STM instance: a version clock, configuration and statistics
+      shared by a set of transactional variables.  Transactions of one
+      instance must only touch that instance's variables. *)
+
+  type 'a tvar
+  (** A transactional variable holding values of type ['a].  Each
+      variable keeps its current value, its version, and one backup
+      version for snapshot transactions (paper, Section 5.1: “in our
+      case two versions were maintained”). *)
+
+  type tx
+  (** An in-flight transaction, passed to every transactional
+      operation.  Obtain one with {!atomically}; never store it. *)
+
+  type abort_reason =
+    | Lock_busy  (** a needed write lock was held too long *)
+    | Read_invalid  (** classic validation failed: a read location changed *)
+    | Window_broken  (** elastic cut impossible: a window entry changed *)
+    | Snapshot_too_old  (** both stored versions are newer than the snapshot *)
+    | Killed  (** a contention manager decided this transaction dies *)
+    | Explicit  (** the user called {!abort} or {!retry_now} *)
+
+  exception Too_many_attempts of abort_reason * int
+  (** Raised by {!atomically} when [max_attempts] consecutive tries
+      aborted; carries the last abort reason. *)
+
+  exception Invalid_operation of string
+  (** Misuse: writing inside a snapshot transaction, using a [tx]
+      outside its dynamic extent, or mixing instances. *)
+
+  (** {1 Instance management} *)
+
+  val create :
+    ?cm:Contention.t ->
+    ?elastic_window:int ->
+    ?max_attempts:int ->
+    ?extend_on_stale:bool ->
+    ?versions:int ->
+    unit ->
+    t
+  (** [create ()] makes a fresh STM instance.  [cm] is the contention
+      manager (default {!Contention.default}); [elastic_window] the
+      number of trailing reads an elastic transaction keeps validating
+      across cuts (default 2, as in E-STM); [max_attempts] bounds
+      retries of one {!atomically} (default 10_000).
+
+      [extend_on_stale] (default [true]) selects the TinySTM-style
+      timestamp extension: a classic read past the transaction's
+      timestamp revalidates the read set and moves the timestamp
+      forward instead of aborting.  Pass [false] for faithful TL2
+      behaviour — the library the paper benchmarks as “classic
+      transactions” — where such reads abort outright.
+
+      [versions] (default 2, the paper's choice in §5.1: “two versions
+      were maintained, this was actually sufficient”) is how many
+      values every location retains, including the current one.
+      Snapshot transactions fall back through the chain; [1] disables
+      multiversioning (snapshots abort on any location overwritten
+      since they started), larger values let snapshots survive heavier
+      update traffic at the cost of memory per location.  The
+      version-depth ablation quantifies the trade-off. *)
+
+  val tvar : t -> 'a -> 'a tvar
+  (** Allocate a transactional variable with an initial value
+      (version 0). *)
+
+  val elastic_window_size : t -> int
+  (** The configured window length.  Elastic data structures check it
+      against the width of their write neighbourhoods: a sorted-list
+      remove touches two adjacent pointers, so it needs at least 2 —
+      a smaller window silently loses the hand-over-hand protection
+      (caught by the library at construction time). *)
+
+  (** {1 Running transactions} *)
+
+  val atomically : ?sem:Semantics.t -> ?irrevocable:bool -> t -> (tx -> 'a) -> 'a
+  (** [atomically stm f] runs [f] as a transaction with semantics
+      [sem] (default [Classic]) and commits its writes atomically,
+      retrying on conflict aborts under the instance's contention
+      manager.  Exceptions raised by [f] (other than the internal abort
+      signal) propagate after the transaction's effects are discarded.
+
+      Nested calls on the same instance are flattened into the outer
+      transaction, whose semantics prevails
+      ({!Semantics.compose}) — this is what makes Alice's elastic
+      operations composable into Bob's classic ones.
+
+      [irrevocable:true] requests {e serial-irrevocable} execution: the
+      transaction acquires a global token, waits for in-flight commits
+      to drain, and then runs with a guarantee that it will never
+      abort — other transactions keep executing but cannot commit until
+      it finishes.  This is the standard escape hatch for transactions
+      with side effects that cannot be compensated (I/O); it is
+      mutually exclusive with [sem:Snapshot] (which never aborts
+      updaters anyway) and expensive by design — everything else's
+      commits stall.  [f] runs exactly once. *)
+
+  val read : tx -> 'a tvar -> 'a
+  (** Transactional read, honouring the transaction's semantics. *)
+
+  val write : tx -> 'a tvar -> 'a -> unit
+  (** Buffered transactional write; takes effect at commit.
+      @raise Invalid_operation inside a snapshot transaction. *)
+
+  val semantics : tx -> Semantics.t
+
+  val abort : tx -> 'a
+  (** Explicitly abort and retry the whole transaction (after the
+      contention manager's backoff). *)
+
+  val orelse : tx -> (tx -> 'a) -> (tx -> 'a) -> 'a
+  (** [orelse tx f g] runs [f]; if [f] aborts explicitly via {!abort},
+      its effects are rolled back and [g] runs instead (composable
+      alternatives in the style of Harris et al., reference [30]).
+      Conflict aborts ([Read_invalid], …) restart the whole
+      transaction, not just [f]. *)
+
+  (** {1 Lifecycle hooks}
+
+      The integration points {e transactional boosting} (Herlihy &
+      Koskinen, PPoPP'08 — reference [39] of the paper) needs: eager
+      operations register a compensating inverse to run if the
+      transaction aborts, and abstract locks register their release to
+      run when it finishes either way. *)
+
+  val on_abort : tx -> (unit -> unit) -> unit
+  (** Register a compensation, run (newest first) if this transaction
+      aborts — including when {!orelse} rolls back its left branch. *)
+
+  val on_cleanup : tx -> (unit -> unit) -> unit
+  (** Register a finaliser, run (newest first) after the transaction
+      commits or aborts, after any compensations. *)
+
+  val serial : tx -> int
+  (** Unique identifier of this transaction attempt (used by boosted
+      structures to implement transaction-scoped abstract locks). *)
+
+  val release : tx -> 'a tvar -> unit
+  (** {e Early release} (Herlihy et al., reference [15]): stop
+      validating an earlier read of the given variable.  Increases
+      concurrency but, as Section 4.1 of the paper warns, breaks
+      composition; the test suite demonstrates the hazard.  No effect
+      on variables in the write set or never read. *)
+
+  (** {1 Statistics} *)
+
+  type stats = {
+    starts : int;
+    commits : int;
+    aborts : int;
+    lock_busy : int;
+    read_invalid : int;
+    window_broken : int;
+    snapshot_too_old : int;
+    killed : int;
+    explicit_aborts : int;
+    cuts : int;  (** elastic cuts performed *)
+    extensions : int;  (** successful classic timestamp extensions *)
+    stale_reads : int;  (** snapshot reads served from the old version *)
+    fast_commits : int;  (** write commits that skipped validation *)
+  }
+
+  val stats : t -> stats
+  val reset_stats : t -> unit
+  val pp_stats : Format.formatter -> stats -> unit
+
+  (** {1 History recording (single-scheduler runs only)}
+
+      When enabled, every shared access performed by committed and
+      aborted transactions is appended, in execution order, to an
+      event log that tests convert into a {!Polytm_history.History.t}
+      and feed to the opacity/elastic checkers.  Recording uses plain
+      mutable state: enable it only under the deterministic simulator
+      or in single-threaded code. *)
+
+  type recorded = {
+    rec_tx : int;  (** transaction serial *)
+    rec_loc : int;  (** tvar identifier *)
+    rec_write : bool;
+    rec_sem : Semantics.t;
+  }
+
+  val record : t -> bool -> unit
+  (** Turn recording on or off (clears the log when turned on). *)
+
+  val recorded_events : t -> recorded list
+  (** Events in execution order. *)
+
+  val recorded_aborted : t -> int list
+  (** Serials of transactions that aborted (each retry attempt is a
+      distinct serial). *)
+
+  val tvar_id : 'a tvar -> int
+end

@@ -1,0 +1,65 @@
+(* Minimal directed-graph utilities for the correctness checkers:
+   cycle detection and topological orders over transaction conflict
+   graphs. *)
+
+type t = { n : int; mutable edges : (int * int) list }
+
+let create n = { n; edges = [] }
+
+let add_edge g i j =
+  if i <> j && not (List.mem (i, j) g.edges) then g.edges <- (i, j) :: g.edges
+
+let successors g i =
+  List.filter_map (fun (a, b) -> if a = i then Some b else None) g.edges
+
+let has_cycle g =
+  (* Colours: 0 unvisited, 1 on stack, 2 done. *)
+  let colour = Array.make g.n 0 in
+  let rec visit v =
+    match colour.(v) with
+    | 1 -> true
+    | 2 -> false
+    | _ ->
+        colour.(v) <- 1;
+        let found = List.exists visit (successors g v) in
+        colour.(v) <- 2;
+        found
+  in
+  let rec any v = v < g.n && (visit v || any (v + 1)) in
+  any 0
+
+let is_acyclic g = not (has_cycle g)
+
+(* All topological orders, for the brute-force cross-validation path;
+   exponential, for small graphs only. *)
+let topological_orders g =
+  let rec extend placed remaining acc =
+    if remaining = [] then List.rev placed :: acc
+    else
+      List.fold_left
+        (fun acc v ->
+          let ready =
+            List.for_all
+              (fun (a, b) -> b <> v || List.mem a placed || not (List.mem a remaining))
+              g.edges
+          in
+          if ready then
+            extend (v :: placed) (List.filter (( <> ) v) remaining) acc
+          else acc)
+        acc remaining
+  in
+  extend [] (List.init g.n Fun.id) []
+
+(* Graphviz rendering, used by `tmcheck dot` to visualise conflict
+   graphs; [names] maps node indices to labels. *)
+let to_dot ?(names = fun i -> Printf.sprintf "n%d" i) g =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "digraph conflicts {\n  rankdir=LR;\n";
+  for i = 0 to g.n - 1 do
+    Buffer.add_string buf (Printf.sprintf "  %d [label=%S];\n" i (names i))
+  done;
+  List.iter
+    (fun (a, b) -> Buffer.add_string buf (Printf.sprintf "  %d -> %d;\n" a b))
+    (List.rev g.edges);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

@@ -1,0 +1,95 @@
+let loc_of = function History.Read l -> l | History.Write l -> l
+
+(* Global indices of transaction [t]'s events in [h]. *)
+let indexed_events h t =
+  List.filteri (fun _ _ -> true) h.History.events
+  |> List.mapi (fun i e -> (i, e))
+  |> List.filter (fun (_, e) -> e.History.tx = t)
+
+let cut_consistent h t cuts =
+  let tev = Array.of_list (indexed_events h t) in
+  let m = Array.length tev in
+  let all_events = Array.of_list h.History.events in
+  let valid_positions = List.for_all (fun c -> c >= 1 && c < m) cuts in
+  if not valid_positions then false
+  else begin
+    (* Writes-last: every cut point is at or before the first write. *)
+    let first_write =
+      let rec find i =
+        if i >= m then m
+        else
+          match (snd tev.(i)).History.action with
+          | History.Write _ -> i
+          | History.Read _ -> find (i + 1)
+      in
+      find 0
+    in
+    List.for_all (fun c -> c <= first_write) cuts
+    && List.for_all
+         (fun c ->
+           let gp, ep = tev.(c - 1) and gq, eq = tev.(c) in
+           let a = loc_of ep.History.action
+           and b = loc_of eq.History.action in
+           let written_between = ref [] in
+           for i = gp + 1 to gq - 1 do
+             let e = all_events.(i) in
+             if e.History.tx <> t then
+               match e.History.action with
+               | History.Write l ->
+                   if not (List.mem l !written_between) then
+                     written_between := l :: !written_between
+               | History.Read _ -> ()
+           done;
+           let w = !written_between in
+           if a = b then not (List.mem a w)
+           else not (List.mem a w && List.mem b w))
+         cuts
+  end
+
+let apply_cut h t cuts ~fresh =
+  let cuts = List.sort_uniq compare cuts in
+  let piece_of k =
+    List.length (List.filter (fun c -> c <= k) cuts)
+  in
+  let counter = ref (-1) in
+  let events =
+    List.map
+      (fun e ->
+        if e.History.tx <> t then e
+        else begin
+          incr counter;
+          { e with History.tx = fresh + piece_of !counter }
+        end)
+      h.History.events
+  in
+  let npieces = List.length cuts + 1 in
+  (History.make ~aborted:h.History.aborted events,
+   List.init npieces (fun i -> fresh + i))
+
+let consistent_cuts h t =
+  let m = List.length (indexed_events h t) in
+  let positions = List.init (max 0 (m - 1)) (fun i -> i + 1) in
+  let rec subsets = function
+    | [] -> [ [] ]
+    | x :: rest ->
+        let s = subsets rest in
+        s @ List.map (fun sub -> x :: sub) s
+  in
+  List.filter (cut_consistent h t) (subsets positions)
+
+let accepts ~elastic h =
+  let fresh0 =
+    1 + List.fold_left max 0 (History.txs h)
+  in
+  (* Try every combination of consistent cuts across the elastic
+     transactions; opacity of any transformed history accepts H. *)
+  let rec try_txs h fresh = function
+    | [] -> Opacity.accepts h
+    | t :: rest ->
+        List.exists
+          (fun cuts ->
+            let h', pieces = apply_cut h t cuts ~fresh in
+            try_txs h' (fresh + List.length pieces) rest)
+          (consistent_cuts h t)
+  in
+  try_txs h fresh0 elastic

@@ -1,0 +1,44 @@
+(** Elastic-opacity — the semantics of {e elastic} transactions
+    (Felber, Gramoli & Guerraoui, DISC 2009; Section 4.2 of the paper).
+
+    An elastic transaction may be {e cut} into consecutive pieces, each
+    of which behaves as a little classic transaction, provided the cut
+    is {e consistent}.  Formally, a history [H] with elastic
+    transactions [E] is accepted iff for every [t ∈ E] there is a cut
+    of [t]'s events into non-empty consecutive pieces such that:
+
+    - {b writes last}: all of [t]'s writes fall in the final piece
+      (operationally, E-STM stops cutting at the first write);
+    - {b boundary consistency}: for each pair of consecutive pieces,
+      with [a] the location of the piece's last access and [b] the
+      location of the next piece's first access, other transactions do
+      not write {e both} [a] and [b] (nor [a] at all, when [a = b])
+      between those two accesses — this is the paper's “no two
+      modifications on [n] and [t] have occurred between [r(n)_{s1}]
+      and [r(t)_{s2}]” condition;
+    - the history in which the pieces replace [t] is opaque
+      ({!Opacity.accepts}).
+
+    Classic transactions in the same history are left uncut, which is
+    exactly the mixed-semantics requirement of Section 5: each
+    transaction keeps its own guarantee. *)
+
+val accepts : elastic:int list -> History.t -> bool
+(** Is there a consistent cut of each elastic transaction making the
+    history opaque?  Exponential in the number of possible cut points;
+    intended for the small histories of the paper's examples and for
+    validating the STM implementation on recorded runs. *)
+
+val cut_consistent : History.t -> int -> int list -> bool
+(** [cut_consistent h t cuts] checks the writes-last and boundary
+    conditions for cutting transaction [t] at the positions [cuts]
+    (each cut point [k] splits between [t]'s [k-1]-th and [k]-th
+    event). *)
+
+val apply_cut : History.t -> int -> int list -> fresh:int -> History.t * int list
+(** Relabel [t]'s pieces with fresh transaction ids starting at
+    [fresh]; returns the transformed history and the piece ids. *)
+
+val consistent_cuts : History.t -> int -> int list list
+(** All consistent cut position sets for transaction [t] in [h]
+    (including the empty cut, when consistent). *)

@@ -1,0 +1,77 @@
+type loc = int
+
+type action = Read of loc | Write of loc
+
+type event = { tx : int; action : action }
+
+type t = { events : event list; aborted : int list }
+
+let make ?(aborted = []) events = { events; aborted }
+
+let read tx loc = { tx; action = Read loc }
+let write tx loc = { tx; action = Write loc }
+
+let txs h =
+  List.sort_uniq compare (List.map (fun e -> e.tx) h.events)
+
+let is_committed h tx = not (List.mem tx h.aborted)
+
+let committed h = List.filter (is_committed h) (txs h)
+
+let events_of h tx = List.filter (fun e -> e.tx = tx) h.events
+
+let committed_projection h =
+  { events = List.filter (fun e -> is_committed h e.tx) h.events; aborted = [] }
+
+let loc_of = function Read l -> l | Write l -> l
+
+let conflicts e1 e2 =
+  e1.tx <> e2.tx
+  && loc_of e1.action = loc_of e2.action
+  && (match (e1.action, e2.action) with
+     | Read _, Read _ -> false
+     | Read _, Write _ | Write _, Read _ | Write _, Write _ -> true)
+
+let precedes_rt h i j =
+  (* i's last event strictly before j's first event. *)
+  let rec last_index idx best tx = function
+    | [] -> best
+    | e :: rest ->
+        last_index (idx + 1) (if e.tx = tx then idx else best) tx rest
+  in
+  let rec first_index idx tx = function
+    | [] -> -1
+    | e :: rest -> if e.tx = tx then idx else first_index (idx + 1) tx rest
+  in
+  let li = last_index 0 (-1) i h.events in
+  let fj = first_index 0 j h.events in
+  li >= 0 && fj >= 0 && li < fj
+
+let loc_name l =
+  match l with
+  | 0 -> "x"
+  | 1 -> "y"
+  | 2 -> "z"
+  | 3 -> "w"
+  | n -> Printf.sprintf "v%d" n
+
+let pp_event ppf e =
+  match e.action with
+  | Read l -> Format.fprintf ppf "r(%s)_%d" (loc_name l) e.tx
+  | Write l -> Format.fprintf ppf "w(%s)_%d" (loc_name l) e.tx
+
+let pp ppf h =
+  Format.fprintf ppf "@[<h>%a@]"
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ") pp_event)
+    h.events;
+  match h.aborted with
+  | [] -> ()
+  | ab ->
+      Format.fprintf ppf " [aborted:%a]"
+        (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ",")
+           Format.pp_print_int)
+        ab
+
+let well_formed h =
+  let ids = txs h in
+  List.for_all (fun a -> List.mem a ids) h.aborted

@@ -1,0 +1,62 @@
+(** Histories of transactional shared-memory accesses.
+
+    This is the formal model of Sections 3.1–3.2 of the paper: a
+    history is a totally ordered sequence of read/write events, each
+    belonging to a transaction; correctness criteria (serializability,
+    opacity, elastic-opacity) are predicates over histories, defined in
+    the sibling modules {!Serializability}, {!Opacity} and {!Elastic}.
+
+    Locations are small integers; {!loc_name} prints the conventional
+    names x, y, z, … used in the paper's examples. *)
+
+type loc = int
+
+type action = Read of loc | Write of loc
+
+type event = { tx : int; action : action }
+
+type t = {
+  events : event list;  (** the global total order, earliest first *)
+  aborted : int list;  (** transactions that aborted; others committed *)
+}
+
+val make : ?aborted:int list -> event list -> t
+
+val read : int -> loc -> event
+(** [read tx loc] is the event [r(loc)] of transaction [tx]. *)
+
+val write : int -> loc -> event
+
+val txs : t -> int list
+(** Transaction identifiers appearing in the history, ascending. *)
+
+val committed : t -> int list
+
+val is_committed : t -> int -> bool
+
+val events_of : t -> int -> event list
+(** The subsequence of events belonging to one transaction. *)
+
+val committed_projection : t -> t
+(** The history restricted to committed transactions. *)
+
+val conflicts : event -> event -> bool
+(** Two events conflict when they target the same location, belong to
+    different transactions, and at least one is a write. *)
+
+val precedes_rt : t -> int -> int -> bool
+(** [precedes_rt h i j] holds when transaction [i]'s last event occurs
+    before transaction [j]'s first event — the real-time order. *)
+
+val loc_name : loc -> string
+(** 0,1,2,3… ↦ "x","y","z","w", then "v4","v5",… *)
+
+val pp_event : Format.formatter -> event -> unit
+(** e.g. [r(x)_1] or [w(z)_2]. *)
+
+val pp : Format.formatter -> t -> unit
+
+val well_formed : t -> bool
+(** No transaction's events are interleaved with … nothing to check on
+    the total order itself; verifies that aborted ids actually appear
+    and that the events list is non-empty per declared transaction. *)

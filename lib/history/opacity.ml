@@ -1,0 +1,82 @@
+(* Build the history in which aborted transactions are replaced by
+   their read projection: their writes never took effect, but their
+   reads must still be explainable by a serial order (that is what
+   distinguishes opacity from mere serializability of the committed
+   projection). *)
+let observable_history h =
+  let events =
+    List.filter
+      (fun e ->
+        History.is_committed h e.History.tx
+        ||
+        match e.History.action with
+        | History.Read _ -> true
+        | History.Write _ -> false)
+      h.History.events
+  in
+  History.make events
+
+let rt_edges h =
+  let ids = History.txs h in
+  List.concat_map
+    (fun i ->
+      List.filter_map
+        (fun j ->
+          if i <> j && History.precedes_rt h i j then Some (i, j) else None)
+        ids)
+    ids
+
+let strict_serialization_graph h =
+  let oh = observable_history h in
+  Serializability.conflict_graph ~extra_edges:(rt_edges oh) oh
+
+let accepts h =
+  let g, _ = strict_serialization_graph h in
+  Digraph.is_acyclic g
+
+(* Independent check: explicitly enumerate serial orders of the
+   transactions and verify each conflict pair and each real-time pair
+   directly against the history, without the graph machinery. *)
+let accepts_brute_force h =
+  let oh = observable_history h in
+  let ids = History.txs oh in
+  let events = Array.of_list oh.History.events in
+  let n = Array.length events in
+  let rec permutations = function
+    | [] -> [ [] ]
+    | xs ->
+        List.concat_map
+          (fun x ->
+            List.map
+              (fun perm -> x :: perm)
+              (permutations (List.filter (( <> ) x) xs)))
+          xs
+  in
+  let witness perm =
+    let pos tx =
+      let rec find i = function
+        | [] -> invalid_arg "perm"
+        | t :: rest -> if t = tx then i else find (i + 1) rest
+      in
+      find 0 perm
+    in
+    let conflicts_ok = ref true in
+    for i = 0 to n - 1 do
+      for j = i + 1 to n - 1 do
+        if History.conflicts events.(i) events.(j) then
+          if pos events.(i).History.tx > pos events.(j).History.tx then
+            conflicts_ok := false
+      done
+    done;
+    !conflicts_ok
+    && List.for_all
+         (fun i ->
+           List.for_all
+             (fun j ->
+               i = j
+               || (not (History.precedes_rt oh i j))
+               || pos i < pos j)
+             ids)
+         ids
+  in
+  List.exists witness (permutations ids)

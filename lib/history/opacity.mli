@@ -1,0 +1,30 @@
+(** Opacity — the semantics of {e classic} transactions.
+
+    Opacity (Guerraoui & Kapalka, reference [3] of the paper) is the
+    "single-global-lock atomicity" the paper assigns to default
+    transactions: committed transactions are serializable {e in an
+    order that extends real-time precedence}, and even aborted
+    transactions never observe inconsistent state.
+
+    This module implements the conflict-based characterisation used in
+    Section 3.2 of the paper to count precluded schedules:
+
+    - committed transactions must admit a serial order preserving both
+      conflict order and real-time order (strict serializability);
+    - every aborted transaction's {e reads} (its writes are discarded)
+      must fit the same order, i.e. adding it as a read-only node
+      keeps the graph acyclic.
+
+    On histories where every transaction commits and conflicts are
+    syntactic (as in all the paper's examples), this coincides with
+    opacity; in general, conflict-based acyclicity is a sufficient
+    condition.  {!accepts_brute_force} cross-validates by explicit
+    search over serial orders. *)
+
+val accepts : History.t -> bool
+
+val accepts_brute_force : History.t -> bool
+
+val strict_serialization_graph : History.t -> Digraph.t * int array
+(** The conflict graph with real-time edges added, over committed
+    transactions plus the read-projections of aborted transactions. *)

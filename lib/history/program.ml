@@ -1,0 +1,78 @@
+type semantics = Classic | Elastic
+
+type t = {
+  id : int;
+  semantics : semantics;
+  accesses : History.action list;
+}
+
+let classic id accesses = { id; semantics = Classic; accesses }
+let elastic id accesses = { id; semantics = Elastic; accesses }
+
+let interleavings programs =
+  (* Backtracking merge of the per-program access sequences. *)
+  let rec go pending acc_rev =
+    if List.for_all (fun (_, rest) -> rest = []) pending then
+      [ History.make (List.rev acc_rev) ]
+    else
+      List.concat_map
+        (fun (p, rest) ->
+          match rest with
+          | [] -> []
+          | a :: rest' ->
+              let pending' =
+                List.map
+                  (fun (q, r) -> if q.id = p.id then (q, rest') else (q, r))
+                  pending
+              in
+              go pending' ({ History.tx = p.id; action = a } :: acc_rev))
+        pending
+  in
+  go (List.map (fun p -> (p, p.accesses)) programs) []
+
+type acceptance = {
+  total : int;
+  serializable : int;
+  opaque : int;
+  elastic_opaque : int;
+}
+
+let count_accepted programs =
+  let elastic_ids =
+    List.filter_map
+      (fun p -> if p.semantics = Elastic then Some p.id else None)
+      programs
+  in
+  let hs = interleavings programs in
+  let count pred = List.length (List.filter pred hs) in
+  {
+    total = List.length hs;
+    serializable = count Serializability.accepts;
+    opaque = count Opacity.accepts;
+    elastic_opaque = count (Elastic.accepts ~elastic:elastic_ids);
+  }
+
+(* x = 0, y = 1, z = 2 per History.loc_name. *)
+let fig4_programs =
+  [
+    classic 0 [ History.Read 0; History.Read 1; History.Read 2 ];
+    classic 1 [ History.Write 0 ];
+    classic 2 [ History.Write 2 ];
+  ]
+
+type fig4_result = {
+  schedules : int;
+  accepted_by_opacity : int;
+  precluded : int;
+  precluded_ratio : float;
+}
+
+let fig4 () =
+  let a = count_accepted fig4_programs in
+  {
+    schedules = a.total;
+    accepted_by_opacity = a.opaque;
+    precluded = a.total - a.opaque;
+    precluded_ratio =
+      float_of_int (a.total - a.opaque) /. float_of_int a.total;
+  }

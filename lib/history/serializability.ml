@@ -1,0 +1,68 @@
+let conflict_graph ?(extra_edges = []) h =
+  let hc = History.committed_projection h in
+  let ids = Array.of_list (History.txs hc) in
+  let node_of tx =
+    let rec find i = if ids.(i) = tx then i else find (i + 1) in
+    find 0
+  in
+  let g = Digraph.create (Array.length ids) in
+  (* Edge i -> j for every pair of conflicting events with i's first. *)
+  let rec pairs = function
+    | [] -> ()
+    | e :: rest ->
+        List.iter
+          (fun e' ->
+            if History.conflicts e e' then
+              Digraph.add_edge g (node_of e.History.tx) (node_of e'.History.tx))
+          rest;
+        pairs rest
+  in
+  pairs hc.History.events;
+  List.iter
+    (fun (i, j) ->
+      if Array.exists (( = ) i) ids && Array.exists (( = ) j) ids then
+        Digraph.add_edge g (node_of i) (node_of j))
+    extra_edges;
+  (g, ids)
+
+let accepts h =
+  let g, _ = conflict_graph h in
+  Digraph.is_acyclic g
+
+(* Explicit search for a witness serial order: for each permutation of
+   the committed transactions, check that every conflicting event pair
+   appears in the order of its transactions. *)
+let accepts_brute_force h =
+  let hc = History.committed_projection h in
+  let ids = History.txs hc in
+  let events = Array.of_list hc.History.events in
+  let n = Array.length events in
+  let order_ok perm =
+    let pos tx =
+      let rec find i = function
+        | [] -> invalid_arg "perm"
+        | t :: rest -> if t = tx then i else find (i + 1) rest
+      in
+      find 0 perm
+    in
+    let ok = ref true in
+    for i = 0 to n - 1 do
+      for j = i + 1 to n - 1 do
+        if History.conflicts events.(i) events.(j) then
+          if pos events.(i).History.tx > pos events.(j).History.tx then
+            ok := false
+      done
+    done;
+    !ok
+  in
+  let rec permutations = function
+    | [] -> [ [] ]
+    | xs ->
+        List.concat_map
+          (fun x ->
+            List.map
+              (fun perm -> x :: perm)
+              (permutations (List.filter (( <> ) x) xs)))
+          xs
+  in
+  List.exists order_ok (permutations ids)

@@ -1,0 +1,24 @@
+(** Conflict serializability of transactional histories.
+
+    A history is (conflict-)serializable when the committed
+    transactions can be totally ordered such that every pair of
+    conflicting events executes in the order of their transactions
+    (Papadimitriou 1979 — reference [2] of the paper).  Equivalently,
+    the conflict graph is acyclic.  Unlike {!Opacity}, plain
+    serializability ignores real-time precedence: a transaction may be
+    serialized before another one that finished earlier. *)
+
+val conflict_graph :
+  ?extra_edges:(int * int) list -> History.t -> Digraph.t * int array
+(** Conflict graph of the committed projection.  Nodes are committed
+    transactions; the returned array maps node index to transaction id.
+    [extra_edges] (pairs of transaction ids) lets callers add
+    real-time or program-order constraints. *)
+
+val accepts : History.t -> bool
+(** Polynomial check: conflict-graph acyclicity. *)
+
+val accepts_brute_force : History.t -> bool
+(** Exponential cross-validation: search for an explicit serial order
+    of the committed transactions preserving all conflict orders.
+    Agrees with {!accepts} on every history (tested by property). *)

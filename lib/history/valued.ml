@@ -1,0 +1,117 @@
+type action = Read of History.loc * int | Write of History.loc * int
+
+type event = { tx : int; action : action }
+
+type t = { events : event list }
+
+let make events = { events }
+
+let txs h =
+  List.sort_uniq compare (List.map (fun e -> e.tx) h.events)
+
+(* Database-style natural annotation: writes take effect immediately in
+   the order of the history; each read sees the current value. *)
+let annotate (h : History.t) =
+  let mem = Hashtbl.create 8 in
+  let counter = ref 0 in
+  let events =
+    List.map
+      (fun (e : History.event) ->
+        match e.History.action with
+        | History.Read l ->
+            let v = Option.value ~default:0 (Hashtbl.find_opt mem l) in
+            { tx = e.History.tx; action = Read (l, v) }
+        | History.Write l ->
+            incr counter;
+            Hashtbl.replace mem l !counter;
+            { tx = e.History.tx; action = Write (l, !counter) })
+      h.History.events
+  in
+  { events }
+
+(* Real-time precedence on the valued history: i's last event before
+   j's first. *)
+let precedes_rt h i j =
+  let index_of pred =
+    let rec go k last = function
+      | [] -> last
+      | e :: rest -> go (k + 1) (if pred e then Some k else last) rest
+    in
+    go 0 None
+  in
+  let last_i = index_of (fun e -> e.tx = i) h.events in
+  let first_j =
+    let rec go k = function
+      | [] -> None
+      | e :: rest -> if e.tx = j then Some k else go (k + 1) rest
+    in
+    go 0 h.events
+  in
+  match (last_i, first_j) with Some a, Some b -> a < b | _ -> false
+
+(* Replay the transactions of [h] serially in [order]: every read must
+   return its recorded value, with a transaction's own writes applied
+   to memory as it goes (transactions are committed, so immediate
+   application within the serial replay is faithful). *)
+let legal_in_order h order =
+  let mem = Hashtbl.create 8 in
+  List.for_all
+    (fun t ->
+      List.for_all
+        (fun e ->
+          if e.tx <> t then true
+          else
+            match e.action with
+            | Read (l, v) ->
+                Option.value ~default:0 (Hashtbl.find_opt mem l) = v
+            | Write (l, v) ->
+                Hashtbl.replace mem l v;
+                true)
+        h.events)
+    order
+
+let view_serializable ?(strict = true) h =
+  let ids = txs h in
+  let rec permutations = function
+    | [] -> [ [] ]
+    | xs ->
+        List.concat_map
+          (fun x ->
+            List.map
+              (fun perm -> x :: perm)
+              (permutations (List.filter (( <> ) x) xs)))
+          xs
+  in
+  let respects_rt order =
+    (not strict)
+    ||
+    let pos t =
+      let rec go k = function
+        | [] -> -1
+        | x :: rest -> if x = t then k else go (k + 1) rest
+      in
+      go 0 order
+    in
+    List.for_all
+      (fun i ->
+        List.for_all
+          (fun j -> i = j || (not (precedes_rt h i j)) || pos i < pos j)
+          ids)
+      ids
+  in
+  List.exists
+    (fun order -> respects_rt order && legal_in_order h order)
+    (permutations ids)
+
+let pp ppf h =
+  let pp_event ppf e =
+    match e.action with
+    | Read (l, v) ->
+        Format.fprintf ppf "r(%s=%d)_%d" (History.loc_name l) v e.tx
+    | Write (l, v) ->
+        Format.fprintf ppf "w(%s:=%d)_%d" (History.loc_name l) v e.tx
+  in
+  Format.fprintf ppf "@[<h>%a@]"
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+       pp_event)
+    h.events

@@ -1,0 +1,44 @@
+(** Value-carrying histories and view serializability.
+
+    The conflict-based checkers ({!Serializability}, {!Opacity}) are
+    sufficient but not necessary: opacity as defined by Guerraoui &
+    Kapalka (reference [3]) is about the {e values} transactions
+    observe.  This module carries values on every event and decides
+    {e (strict) view serializability} by explicit search: is there a
+    serial order of the transactions — extending real-time order in
+    the strict case — under which every read returns the value the
+    replayed memory holds?
+
+    Restricted to histories whose transactions all commit (the regime
+    of the paper's examples); exponential in the number of
+    transactions, meant for small instances and cross-validation
+    against the polynomial conflict checkers.  The canonical
+    separation witness [w1(x) r2(x)]-style blind-write histories that
+    are view- but not conflict-serializable are exercised in the test
+    suite. *)
+
+type action = Read of History.loc * int | Write of History.loc * int
+
+type event = { tx : int; action : action }
+
+type t = { events : event list }
+
+val make : event list -> t
+
+val annotate : History.t -> t
+(** Natural annotation of an unvalued committed history: the [i]-th
+    write carries value [i + 1], and each read observes the last write
+    to its location before it (0 if none) — i.e. values as an
+    immediate-write (database-style) execution of the event sequence
+    would produce them. *)
+
+val view_serializable : ?strict:bool -> t -> bool
+(** Is there a serial order of the transactions (extending the
+    real-time precedence of the original when [strict], the default)
+    that is {e value-legal}: replaying the transactions in that order,
+    one at a time, every read returns its recorded value (a
+    transaction's own earlier write shadows memory)?  Initial memory
+    is all zeroes. *)
+
+val txs : t -> int list
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,45 @@
+(** {!Runtime_intf.RUNTIME} backend over real OCaml domains.
+
+    Used by the preemptive stress tests and the Bechamel
+    micro-benchmarks.  Thread counts should stay near the machine's
+    core count; the figure-scale 1–64-thread sweeps use {!Sim_runtime}
+    instead (see DESIGN.md §2, substitution S1). *)
+
+let name = "domains"
+
+type 'a atomic = 'a Atomic.t
+
+let atomic = Atomic.make
+let get = Atomic.get
+let set = Atomic.set
+let cas = Atomic.compare_and_set
+let fetch_and_add = Atomic.fetch_and_add
+
+type counter = int Atomic.t
+
+let counter () = Atomic.make 0
+let add_counter c n = ignore (Atomic.fetch_and_add c n)
+let read_counter = Atomic.get
+
+type handle = unit Domain.t
+
+let spawn f = Domain.spawn f
+let join = Domain.join
+
+let parallel thunks = List.iter Domain.join (List.map Domain.spawn thunks)
+
+let yield () = Domain.cpu_relax ()
+
+let pause n =
+  for _ = 1 to n do
+    Domain.cpu_relax ()
+  done
+
+let now () = int_of_float (Unix.gettimeofday () *. 1e9)
+let self_id () = (Domain.self () :> int)
+
+type 'a tls = 'a Domain.DLS.key
+
+let tls default = Domain.DLS.new_key default
+let tls_get = Domain.DLS.get
+let tls_set = Domain.DLS.set

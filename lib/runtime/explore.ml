@@ -1,0 +1,91 @@
+type outcome = { executions : int; truncated : bool }
+
+exception Violation of { schedule : int array; exn : exn }
+
+(* Depth-first search over the schedule tree.  Each stack entry is a
+   decision prefix; running it yields a trace whose suffix beyond the
+   prefix was chosen deterministically (continue the yielder when
+   runnable, else smallest thread id), and every unexplored sibling
+   along that suffix (up to [max_depth], and within the
+   [max_preemptions] budget) becomes a new prefix.  Prefixes are
+   unique, so no schedule is executed twice.
+
+   [max_preemptions] is CHESS-style preemption bounding: choosing a
+   thread other than a still-runnable yielder costs one preemption,
+   and schedules beyond the budget are not explored.  Small bounds
+   (2-3) catch most concurrency bugs while keeping the tree
+   polynomial.
+
+   Runs that exceed [step_limit] — livelocking schedules such as a
+   spin-lock waiter being scheduled unfairly forever — are pruned:
+   counted and marked as truncation, not treated as violations.  Their
+   unexplored siblings are dropped, so exploration of programs that can
+   livelock is bounded rather than complete. *)
+let check ?(max_executions = 100_000) ?(max_depth = max_int)
+    ?(max_preemptions = max_int) ?(step_limit = 100_000)
+    ?(prune_exn = fun _ -> false) program =
+  let stack = ref [ [||] ] in
+  let executions = ref 0 in
+  let truncated = ref false in
+  let is_preemption (d : Sim.decision) choice =
+    d.Sim.yielder >= 0 && choice <> d.Sim.yielder
+  in
+  let run_one prefix =
+    incr executions;
+    match
+      Sim.run ~policy:(Scripted prefix) ~record_trace:true ~step_limit program
+    with
+    | (), info -> info.Sim.trace
+    | exception Sim.Step_limit_exceeded ->
+        truncated := true;
+        []
+    | exception e when prune_exn e ->
+        (* A benign artefact of unfair schedules (e.g. retry-budget
+           exhaustion while the lock holder is starved): prune, like a
+           livelock. *)
+        truncated := true;
+        []
+    | exception e -> raise (Violation { schedule = prefix; exn = e })
+  in
+  let continue_search () =
+    match !stack with
+    | [] -> false
+    | _ when !executions >= max_executions ->
+        truncated := true;
+        false
+    | prefix :: rest ->
+        stack := rest;
+        let trace = run_one prefix in
+        let plen = Array.length prefix in
+        let decisions =
+          Array.of_list (List.map (fun d -> d.Sim.chosen) trace)
+        in
+        let preemptions_before = ref 0 in
+        List.iteri
+          (fun i (d : Sim.decision) ->
+            if i >= plen && i < max_depth then
+              List.iter
+                (fun alt ->
+                  if
+                    alt <> d.Sim.chosen
+                    && !preemptions_before
+                       + (if is_preemption d alt then 1 else 0)
+                       <= max_preemptions
+                  then begin
+                    let prefix' = Array.make (i + 1) 0 in
+                    Array.blit decisions 0 prefix' 0 i;
+                    prefix'.(i) <- alt;
+                    stack := prefix' :: !stack
+                  end)
+                d.Sim.ready;
+            if is_preemption d d.Sim.chosen then incr preemptions_before)
+          trace;
+        true
+  in
+  while continue_search () do
+    ()
+  done;
+  { executions = !executions; truncated = !truncated }
+
+let count_schedules ?max_executions program =
+  (check ?max_executions program).executions

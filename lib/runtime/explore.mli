@@ -1,0 +1,51 @@
+(** Bounded exhaustive interleaving explorer (stateless model checking).
+
+    [Explore] systematically enumerates every scheduling decision the
+    simulator can make while running a program, in the style of
+    CHESS/dscheck: the program is re-executed from scratch once per
+    distinct schedule, each time replaying a recorded decision prefix
+    ({!Sim.Scripted}) and then diverging.  Exploration is sound and
+    complete for terminating programs whose only nondeterminism is the
+    scheduler, because every shared-memory access in {!Sim_runtime} is
+    a scheduling point.
+
+    It is meant for {e small} scenarios (a handful of threads doing a
+    handful of accesses): the schedule tree is exponential.  The test
+    suite uses it to verify atomicity of STM commits and the baselines'
+    hand-over-hand locking on minimal examples. *)
+
+type outcome = {
+  executions : int;  (** number of schedules explored *)
+  truncated : bool;
+      (** true when [max_executions] was hit or a run was pruned at
+          [step_limit]; the property then holds for the explored subset
+          of schedules only *)
+}
+
+exception Violation of { schedule : int array; exn : exn }
+(** A program run raised [exn] under the thread-choice sequence
+    [schedule] (replayable with [Sim.run ~policy:(Scripted schedule)]). *)
+
+val check :
+  ?max_executions:int ->
+  ?max_depth:int ->
+  ?max_preemptions:int ->
+  ?step_limit:int ->
+  ?prune_exn:(exn -> bool) ->
+  (unit -> unit) ->
+  outcome
+(** [check program] runs [program] under every schedule, up to
+    [max_executions] executions (default [100_000]); decision points
+    beyond [max_depth] are not branched on; schedules requiring more
+    than [max_preemptions] preemptions (switching away from a thread
+    that yielded but is still runnable — CHESS-style bounding, default
+    unlimited) are skipped; and runs longer than [step_limit] charged
+    operations (default [100_000]) are pruned as livelocks.  [program]
+    must create all of its own state so that executions are
+    independent, and should [assert] (or raise) when an invariant
+    breaks.
+    @raise Violation on the first failing schedule. *)
+
+val count_schedules : ?max_executions:int -> (unit -> unit) -> int
+(** Number of distinct schedules of [program]; convenience over
+    {!check}. *)

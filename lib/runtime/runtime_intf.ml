@@ -1,0 +1,91 @@
+(** The execution-substrate abstraction.
+
+    Every concurrent algorithm in this repository — the STM, the
+    lock-based and lock-free baselines, the benchmark workloads — is
+    written against this signature instead of against [Stdlib.Atomic]
+    and [Domain] directly.  Two implementations are provided:
+
+    - {!Domain_runtime}: real OCaml domains and atomics, for preemptive
+      stress testing on actual hardware;
+    - {!Sim_runtime}: deterministic cooperative virtual threads over the
+      {!Sim} discrete-event scheduler, for reproducible benchmarks with
+      1–64 virtual threads on any machine, and for exhaustive
+      interleaving exploration ({!Explore}).
+
+    The contract mirrors [Stdlib.Atomic]: [cas] compares with physical
+    equality, which is also value equality for immediate values
+    (integers, booleans, constant constructors). *)
+
+module type RUNTIME = sig
+  val name : string
+  (** Human-readable backend name, for reports. *)
+
+  (** {1 Shared atomic cells}
+
+      Each operation on an atomic cell is a scheduling point and is
+      charged by the simulator's cost model; algorithms therefore pay
+      virtual time proportional to the number of shared-memory accesses
+      they perform, which is the quantity the paper's performance
+      arguments are about. *)
+
+  type 'a atomic
+
+  val atomic : 'a -> 'a atomic
+  (** Allocate a fresh cell.  Allocation itself is not charged. *)
+
+  val get : 'a atomic -> 'a
+  val set : 'a atomic -> 'a -> unit
+
+  val cas : 'a atomic -> 'a -> 'a -> bool
+  (** [cas cell expected desired] atomically replaces the contents with
+      [desired] if it is physically equal to [expected]. *)
+
+  val fetch_and_add : int atomic -> int -> int
+  (** Atomic fetch-and-add; returns the previous value. *)
+
+  (** {1 Uncharged statistics counters}
+
+      Commit/abort counters must not perturb the virtual clock, so they
+      bypass the cost model.  Under domains they are plain atomics. *)
+
+  type counter
+
+  val counter : unit -> counter
+  val add_counter : counter -> int -> unit
+  val read_counter : counter -> int
+
+  (** {1 Threads} *)
+
+  type handle
+
+  val spawn : (unit -> unit) -> handle
+  val join : handle -> unit
+
+  val parallel : (unit -> unit) list -> unit
+  (** Run all thunks to completion concurrently (spawn all, join all). *)
+
+  val yield : unit -> unit
+  (** Politeness point: lets another thread run; charges a small cost. *)
+
+  val pause : int -> unit
+  (** [pause n] backs off for [n] cost units (spin loop under domains). *)
+
+  val now : unit -> int
+  (** Current time: virtual ticks under simulation, wall-clock
+      nanoseconds under domains. *)
+
+  val self_id : unit -> int
+  (** Identifier of the calling thread, unique within a run. *)
+
+  (** {1 Thread-local storage}
+
+      Uncharged bookkeeping (used by the STM to detect nested
+      transactions).  [tls default] creates a slot; each thread sees
+      its own value, initialised lazily from [default]. *)
+
+  type 'a tls
+
+  val tls : (unit -> 'a) -> 'a tls
+  val tls_get : 'a tls -> 'a
+  val tls_set : 'a tls -> 'a -> unit
+end

@@ -1,0 +1,346 @@
+open Effect
+open Effect.Deep
+
+exception Deadlock of int list
+
+exception Step_limit_exceeded
+
+type costs = {
+  get : int;
+  set : int;
+  cas : int;
+  faa : int;
+  yield : int;
+  spawn : int;
+}
+
+let default_costs = { get = 1; set = 1; cas = 2; faa = 2; yield = 1; spawn = 0 }
+
+type policy =
+  | Event_driven
+  | Random_sched of int
+  | Scripted of int array
+
+type decision = {
+  ready : int list;  (** runnable thread ids, ascending *)
+  chosen : int;
+  yielder : int;  (** thread that just yielded; -1 if it blocked/finished *)
+}
+
+type info = {
+  makespan : int;
+  steps : int;
+  switches : int;
+  trace : decision list;
+}
+
+type status = Runnable | Running | Blocked | Finished
+
+type tstate = {
+  tid : int;
+  mutable clock : int;
+  mutable status : status;
+  mutable resume : (unit -> unit) option;
+  mutable joiners : tstate list;
+}
+
+type sched = {
+  policy : policy;
+  costs : costs;
+  record_trace : bool;
+  step_limit : int;
+  rng : Polytm_util.Rng.t option;
+  script : int array;
+  mutable script_pos : int;
+  (* Event_driven keeps runnables in a min-heap keyed by (clock, seq);
+     the other policies use a plain list so the full runnable set is
+     visible to the choice function. *)
+  heap : (int * int * tstate) Polytm_util.Heap.t;
+  mutable ready : tstate list;
+  mutable seq : int;
+  mutable threads : tstate list; (* all, most recent first *)
+  mutable nthreads : int;
+  mutable nlive : int;
+  mutable current : tstate option;
+  mutable steps : int;
+  mutable switches : int;
+  mutable trace_rev : decision list;
+  mutable last_yielder : int;  (** tid of the last thread to suspend while
+                                   still runnable; -1 otherwise *)
+  mutable failure : exn option;
+}
+
+type _ Effect.t += Suspend : unit Effect.t | Block : int -> unit Effect.t
+
+(* The simulator is single-domain by construction, so a global current
+   scheduler is safe; it also lets algorithm code call [tick] without
+   threading a handle everywhere. *)
+let current_sched : sched option ref = ref None
+
+let inside_run () =
+  match !current_sched with
+  | None -> false
+  | Some s -> Option.is_some s.current
+
+let current_costs () =
+  match !current_sched with None -> default_costs | Some s -> s.costs
+
+let cur_thread s =
+  match s.current with
+  | Some t -> t
+  | None -> invalid_arg "Sim: no current thread"
+
+let heap_cmp (c1, s1, _) (c2, s2, _) =
+  if c1 <> c2 then compare c1 c2 else compare s1 s2
+
+let make_ready s t =
+  t.status <- Runnable;
+  match s.policy with
+  | Event_driven ->
+      s.seq <- s.seq + 1;
+      Polytm_util.Heap.push s.heap (t.clock, s.seq, t)
+  | Random_sched _ | Scripted _ -> s.ready <- t :: s.ready
+
+(* Pick the next thread to run according to the policy; [None] when no
+   thread is runnable. *)
+let next_ready s =
+  match s.policy with
+  | Event_driven -> (
+      match Polytm_util.Heap.pop s.heap with
+      | None -> None
+      | Some (_, _, t) -> Some t)
+  | Random_sched _ | Scripted _ -> (
+      match s.ready with
+      | [] -> None
+      | [ t ] ->
+          (* Not a decision point: no trace entry, no script consumption,
+             so recorded traces align with script replay positions. *)
+          s.ready <- [];
+          Some t
+      | ready ->
+          let sorted = List.sort (fun a b -> compare a.tid b.tid) ready in
+          let ids = List.map (fun t -> t.tid) sorted in
+          let chosen =
+            match s.policy with
+            | Random_sched _ ->
+                let rng = Option.get s.rng in
+                List.nth sorted (Polytm_util.Rng.int rng (List.length sorted))
+            | Scripted script when s.script_pos < Array.length script ->
+                let want = script.(s.script_pos) in
+                s.script_pos <- s.script_pos + 1;
+                (match List.find_opt (fun t -> t.tid = want) sorted with
+                | Some t -> t
+                | None ->
+                    invalid_arg
+                      (Printf.sprintf
+                         "Sim: scripted choice %d not runnable at step %d" want
+                         s.script_pos))
+            | Scripted _ | Event_driven -> (
+                (* Past the script: continue the yielding thread when
+                   possible (non-preemptive fallback, which lets the
+                   explorer bound preemptions), else the smallest id. *)
+                match
+                  List.find_opt (fun t -> t.tid = s.last_yielder) sorted
+                with
+                | Some t -> t
+                | None -> List.hd sorted)
+          in
+          s.ready <- List.filter (fun t -> t.tid <> chosen.tid) ready;
+          if s.record_trace then
+            s.trace_rev <-
+              { ready = ids; chosen = chosen.tid; yielder = s.last_yielder }
+              :: s.trace_rev;
+          Some chosen)
+
+let finish_thread s t =
+  t.status <- Finished;
+  s.nlive <- s.nlive - 1;
+  List.iter (make_ready s) t.joiners;
+  t.joiners <- []
+
+(* Wrap a thread body with the effect handler that turns [Suspend] and
+   [Block] into stored continuations for the scheduler loop. *)
+let thread_body s t f () =
+  match_with
+    (fun () ->
+      f ();
+      s.last_yielder <- -1;
+      finish_thread s t)
+    ()
+    {
+      retc = Fun.id;
+      exnc =
+        (fun e ->
+          finish_thread s t;
+          if s.failure = None then s.failure <- Some e);
+      effc =
+        (fun (type a) (e : a Effect.t) ->
+          match e with
+          | Suspend ->
+              Some
+                (fun (k : (a, unit) continuation) ->
+                  t.resume <- Some (fun () -> continue k ());
+                  s.last_yielder <- t.tid;
+                  make_ready s t)
+          | Block target_tid ->
+              Some
+                (fun (k : (a, unit) continuation) ->
+                  let target =
+                    List.find (fun x -> x.tid = target_tid) s.threads
+                  in
+                  t.resume <- Some (fun () -> continue k ());
+                  t.status <- Blocked;
+                  s.last_yielder <- -1;
+                  target.joiners <- t :: target.joiners)
+          | _ -> None);
+    }
+
+let sched_ref () =
+  match !current_sched with
+  | Some s -> s
+  | None -> invalid_arg "Sim: operation outside a simulation run"
+
+let spawn f =
+  let s = sched_ref () in
+  let parent = cur_thread s in
+  let t =
+    {
+      tid = s.nthreads;
+      clock = parent.clock;
+      status = Runnable;
+      resume = None;
+      joiners = [];
+    }
+  in
+  s.nthreads <- s.nthreads + 1;
+  s.nlive <- s.nlive + 1;
+  s.threads <- t :: s.threads;
+  t.resume <- Some (thread_body s t f);
+  make_ready s t;
+  if s.costs.spawn > 0 then parent.clock <- parent.clock + s.costs.spawn;
+  t.tid
+
+let tick n =
+  match !current_sched with
+  | None -> ()
+  | Some s -> (
+      let t = cur_thread s in
+      t.clock <- t.clock + n;
+      s.steps <- s.steps + 1;
+      if s.steps > s.step_limit then raise Step_limit_exceeded;
+      (* Fast path for the event policy: if this thread still has the
+         smallest clock it would be rescheduled immediately, so keep
+         running without the effect round-trip. *)
+      match s.policy with
+      | Event_driven -> (
+          match Polytm_util.Heap.peek s.heap with
+          | Some (c, _, _) when c < t.clock ->
+              s.switches <- s.switches + 1;
+              perform Suspend
+          | Some _ | None -> ())
+      | Random_sched _ | Scripted _ ->
+          s.switches <- s.switches + 1;
+          perform Suspend)
+
+let join tid =
+  let s = sched_ref () in
+  let target = List.find_opt (fun x -> x.tid = tid) s.threads in
+  match target with
+  | None -> invalid_arg "Sim.join: unknown thread id"
+  | Some target -> if target.status <> Finished then perform (Block tid)
+
+let yield () =
+  match !current_sched with
+  | None -> ()
+  | Some s -> tick s.costs.yield
+
+let now () =
+  match !current_sched with
+  | None -> 0
+  | Some s -> ( match s.current with Some t -> t.clock | None -> 0)
+
+let self () =
+  match !current_sched with
+  | None -> 0
+  | Some s -> ( match s.current with Some t -> t.tid | None -> 0)
+
+let run ?(policy = Event_driven) ?(costs = default_costs) ?(record_trace = false)
+    ?(step_limit = max_int) main =
+  if Option.is_some !current_sched then invalid_arg "Sim.run: runs must not nest";
+  let record_trace =
+    record_trace || match policy with Scripted _ -> true | _ -> false
+  in
+  let s =
+    {
+      policy;
+      costs;
+      record_trace;
+      step_limit;
+      rng =
+        (match policy with
+        | Random_sched seed -> Some (Polytm_util.Rng.create seed)
+        | Event_driven | Scripted _ -> None);
+      script = (match policy with Scripted a -> a | _ -> [||]);
+      script_pos = 0;
+      heap = Polytm_util.Heap.create ~cmp:heap_cmp;
+      ready = [];
+      seq = 0;
+      threads = [];
+      nthreads = 0;
+      nlive = 0;
+      current = None;
+      steps = 0;
+      switches = 0;
+      trace_rev = [];
+      last_yielder = -1;
+      failure = None;
+    }
+  in
+  let result = ref None in
+  let t0 =
+    { tid = 0; clock = 0; status = Runnable; resume = None; joiners = [] }
+  in
+  s.nthreads <- 1;
+  s.nlive <- 1;
+  s.threads <- [ t0 ];
+  t0.resume <- Some (thread_body s t0 (fun () -> result := Some (main ())));
+  make_ready s t0;
+  current_sched := Some s;
+  let cleanup () = current_sched := None in
+  let rec loop () =
+    if Option.is_some s.failure then ()
+    else
+      match next_ready s with
+      | None ->
+          if s.nlive > 0 then begin
+            let blocked =
+              List.filter_map
+                (fun t -> if t.status = Blocked then Some t.tid else None)
+                s.threads
+            in
+            s.failure <- Some (Deadlock (List.sort compare blocked))
+          end
+      | Some t ->
+          s.current <- Some t;
+          t.status <- Running;
+          let resume = Option.get t.resume in
+          t.resume <- None;
+          resume ();
+          s.current <- None;
+          loop ()
+  in
+  (try loop () with e -> cleanup (); raise e);
+  cleanup ();
+  (match s.failure with Some e -> raise e | None -> ());
+  let makespan = List.fold_left (fun acc t -> max acc t.clock) 0 s.threads in
+  let info =
+    {
+      makespan;
+      steps = s.steps;
+      switches = s.switches;
+      trace = List.rev s.trace_rev;
+    }
+  in
+  match !result with
+  | Some v -> (v, info)
+  | None -> assert false

@@ -1,0 +1,113 @@
+(** Deterministic discrete-event simulator of parallel threads.
+
+    The paper's evaluation ran on a 64-way Niagara 2; this container
+    has a single core.  [Sim] substitutes for that hardware: it runs N
+    cooperative {e virtual threads} inside one OCaml domain, using
+    effect handlers to suspend a thread at every shared-memory access.
+    Each thread owns a virtual clock; an access costs a configurable
+    number of ticks.  Under the {!Event_driven} policy the scheduler
+    always resumes the thread with the smallest clock, which is exactly
+    how N truly parallel threads interleave in time, so the {e
+    makespan} (largest final clock) plays the role of wall-clock time
+    on a real multiprocessor: work wasted by aborts, retries and lock
+    spinning lengthens it just as it would lengthen real executions.
+
+    Two further policies serve testing: {!Random_sched} explores seeded
+    random interleavings, and {!Scripted} replays a recorded choice
+    prefix, which is the primitive the {!Explore} model checker is
+    built on. *)
+
+exception Deadlock of int list
+(** Raised when no thread is runnable but some are alive (all blocked
+    in [join]).  Carries the blocked thread ids. *)
+
+exception Step_limit_exceeded
+(** Raised when a run exceeds its [step_limit] (used by {!Explore} to
+    prune livelocking schedules, e.g. unfair spinning). *)
+
+type costs = {
+  get : int;
+  set : int;
+  cas : int;
+  faa : int;
+  yield : int;
+  spawn : int;
+}
+(** Virtual-time cost of each primitive, in ticks. *)
+
+val default_costs : costs
+(** [{get = 1; set = 1; cas = 2; faa = 2; yield = 1; spawn = 0}] —
+    an atomic read-modify-write costs twice a plain cache access. *)
+
+type policy =
+  | Event_driven
+      (** Resume the thread with the smallest virtual clock
+          (deterministic; FIFO tie-break).  Models true parallelism. *)
+  | Random_sched of int
+      (** Uniform choice among runnable threads, seeded. *)
+  | Scripted of int array
+      (** Follow the given thread-id choices at the first scheduling
+          points, then smallest thread id.  Record the trace. *)
+
+type decision = {
+  ready : int list;  (** runnable thread ids, ascending *)
+  chosen : int;
+  yielder : int;
+      (** the thread that yielded just before this decision while still
+          runnable, or [-1] when it blocked or finished — choosing a
+          different thread than a runnable yielder is a {e preemption}
+          (the quantity {!Explore} can bound, CHESS-style) *)
+}
+
+type info = {
+  makespan : int;  (** largest final thread clock, in ticks *)
+  steps : int;  (** number of charged primitive operations *)
+  switches : int;  (** number of context switches taken *)
+  trace : decision list;
+      (** scheduling decisions in order, one entry per point where more
+          than one thread was runnable; recorded only under [Scripted]
+          or when [record_trace]. *)
+}
+
+val run :
+  ?policy:policy ->
+  ?costs:costs ->
+  ?record_trace:bool ->
+  ?step_limit:int ->
+  (unit -> 'a) ->
+  'a * info
+(** [run main] executes [main] as virtual thread 0 and schedules every
+    thread it transitively spawns until all complete.  Returns [main]'s
+    result and run statistics.  Any exception raised by any thread
+    aborts the run and is re-raised.  Runs must not nest.
+    @raise Deadlock on a join cycle. *)
+
+(** {1 Operations available inside a run}
+
+    All of these are no-ops or zero-cost defaults when called outside a
+    run, so data structures can be built and inspected uncharged before
+    and after the timed section. *)
+
+val spawn : (unit -> unit) -> int
+(** Create a new virtual thread; returns its id. *)
+
+val join : int -> unit
+(** Block until the given thread completes. *)
+
+val tick : int -> unit
+(** Charge the calling thread [n] ticks and allow a context switch. *)
+
+val yield : unit -> unit
+(** [tick] with the configured yield cost. *)
+
+val now : unit -> int
+(** Virtual clock of the calling thread (0 outside a run). *)
+
+val self : unit -> int
+(** Id of the calling thread (0 outside a run). *)
+
+val inside_run : unit -> bool
+(** Whether a simulation is currently executing on this domain. *)
+
+val current_costs : unit -> costs
+(** Cost model of the running simulation ([default_costs] outside). *)

@@ -1,0 +1,81 @@
+(** {!Runtime_intf.RUNTIME} backend over the {!Sim} discrete-event
+    simulator.
+
+    Atomic cells are plain mutable records: the simulator runs on a
+    single domain and only switches threads at [Sim.tick] points, so
+    placing the tick immediately before the memory operation makes each
+    operation atomic at its scheduling point — the same granularity as
+    a hardware atomic instruction.  The per-operation tick is what
+    charges the virtual-time cost model. *)
+
+let name = "sim"
+
+type 'a atomic = { mutable v : 'a }
+
+let atomic v = { v }
+
+let get a =
+  Sim.tick (Sim.current_costs ()).Sim.get;
+  a.v
+
+let set a x =
+  Sim.tick (Sim.current_costs ()).Sim.set;
+  a.v <- x
+
+let cas a expected desired =
+  Sim.tick (Sim.current_costs ()).Sim.cas;
+  if a.v == expected then begin
+    a.v <- desired;
+    true
+  end
+  else false
+
+let fetch_and_add a n =
+  Sim.tick (Sim.current_costs ()).Sim.faa;
+  let old = a.v in
+  a.v <- old + n;
+  old
+
+type counter = int ref
+
+let counter () = ref 0
+let add_counter c n = c := !c + n
+let read_counter c = !c
+
+type handle = int
+
+let spawn = Sim.spawn
+let join = Sim.join
+
+let parallel thunks =
+  if Sim.inside_run () then List.iter Sim.join (List.map Sim.spawn thunks)
+  else begin
+    (* Convenience: allow calling [parallel] at top level by opening a
+       run around it, so tests can use one entry point for both
+       backends. *)
+    let ((), _info) = Sim.run (fun () -> List.iter Sim.join (List.map Sim.spawn thunks)) in
+    ()
+  end
+
+let yield = Sim.yield
+let pause n = Sim.tick n
+let now = Sim.now
+let self_id = Sim.self
+
+(* Thread-local storage: keyed by the current virtual thread id.  The
+   STM sets and restores slots around each transaction, so entries
+   cannot leak across simulation runs. *)
+type 'a tls = { default : unit -> 'a; table : (int, 'a) Hashtbl.t }
+
+let tls default = { default; table = Hashtbl.create 16 }
+
+let tls_get t =
+  let id = Sim.self () in
+  match Hashtbl.find_opt t.table id with
+  | Some v -> v
+  | None ->
+      let v = t.default () in
+      Hashtbl.replace t.table id v;
+      v
+
+let tls_set t v = Hashtbl.replace t.table (Sim.self ()) v

@@ -1,0 +1,36 @@
+(** Test-and-test-and-set spinlock with exponential backoff, over any
+    runtime.  This is the mutual-exclusion primitive used by the
+    lock-based baseline structures (coarse, hand-over-hand and lazy
+    lists, the copy-on-write set's writer lock). *)
+
+module Make (R : Runtime_intf.RUNTIME) = struct
+  type t = { flag : bool R.atomic }
+
+  let create () = { flag = R.atomic false }
+
+  let try_lock t = (not (R.get t.flag)) && R.cas t.flag false true
+
+  let lock t =
+    let rec attempt backoff =
+      if R.get t.flag then begin
+        R.pause backoff;
+        attempt (min (backoff * 2) 64)
+      end
+      else if not (R.cas t.flag false true) then attempt (min (backoff * 2) 64)
+    in
+    attempt 1
+
+  let unlock t = R.set t.flag false
+
+  let is_locked t = R.get t.flag
+
+  let with_lock t f =
+    lock t;
+    match f () with
+    | v ->
+        unlock t;
+        v
+    | exception e ->
+        unlock t;
+        raise e
+end

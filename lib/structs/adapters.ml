@@ -1,0 +1,158 @@
+(** First-class adapters: every set implementation behind one record of
+    closures, so the correctness tests and the benchmark harness can
+    sweep over implementations uniformly.
+
+    [Make (R)] instantiates the whole zoo — the STM structures over an
+    [Stm.Make (R)] instance and all baselines — for one runtime. *)
+
+open Polytm
+
+type set = {
+  name : string;
+  add : int -> bool;
+  remove : int -> bool;
+  contains : int -> bool;
+  size : unit -> int;
+  to_list : unit -> int list;
+}
+
+(** Per-operation semantics assignment for the STM structures: the
+    three configurations of the paper's evaluation. *)
+type profile = {
+  profile_name : string;
+  parse_sem : Semantics.t;
+  size_sem : Semantics.t;
+}
+
+let classic_profile =
+  { profile_name = "classic"; parse_sem = Classic; size_sem = Classic }
+
+(** Figure 7's configuration: elastic parses, classic size. *)
+let elastic_classic_profile =
+  { profile_name = "elastic+classic"; parse_sem = Elastic; size_sem = Classic }
+
+(** Figure 9's configuration: elastic parses, snapshot size. *)
+let mixed_profile =
+  { profile_name = "elastic+snapshot"; parse_sem = Elastic; size_sem = Snapshot }
+
+module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) = struct
+  module S = Stm.Make (R)
+  module List_set = Stm_list_set.Make (S)
+  module Hash_set = Stm_hash_set.Make (S)
+  module Skiplist = Stm_skiplist.Make (S)
+  module Queue = Stm_queue.Make (S)
+  module Seq = Seq_list.Make (R)
+  module Coarse = Coarse_list.Make (R)
+  module Hoh = Hoh_list.Make (R)
+  module Lazy_l = Lazy_list.Make (R)
+  module Lockfree = Lockfree_list.Make (R)
+  module Cow = Cow_set.Make (R)
+
+  let seq () =
+    let t = Seq.create () in
+    {
+      name = "seq-list";
+      add = Seq.add t;
+      remove = Seq.remove t;
+      contains = Seq.contains t;
+      size = (fun () -> Seq.size t);
+      to_list = (fun () -> Seq.to_list t);
+    }
+
+  let coarse () =
+    let t = Coarse.create () in
+    {
+      name = "coarse-lock-list";
+      add = Coarse.add t;
+      remove = Coarse.remove t;
+      contains = Coarse.contains t;
+      size = (fun () -> Coarse.size t);
+      to_list = (fun () -> Coarse.to_list t);
+    }
+
+  let hand_over_hand () =
+    let t = Hoh.create () in
+    {
+      name = "hand-over-hand-list";
+      add = Hoh.add t;
+      remove = Hoh.remove t;
+      contains = Hoh.contains t;
+      size = (fun () -> Hoh.size t);
+      to_list = (fun () -> Hoh.to_list t);
+    }
+
+  let lazy_list () =
+    let t = Lazy_l.create () in
+    {
+      name = "lazy-list";
+      add = Lazy_l.add t;
+      remove = Lazy_l.remove t;
+      contains = Lazy_l.contains t;
+      size = (fun () -> Lazy_l.size t);
+      to_list = (fun () -> Lazy_l.to_list t);
+    }
+
+  let lockfree () =
+    let t = Lockfree.create () in
+    {
+      name = "lock-free-list";
+      add = Lockfree.add t;
+      remove = Lockfree.remove t;
+      contains = Lockfree.contains t;
+      size = (fun () -> Lockfree.size t);
+      to_list = (fun () -> Lockfree.to_list t);
+    }
+
+  let cow () =
+    let t = Cow.create () in
+    {
+      name = "cow-array-set";
+      add = Cow.add t;
+      remove = Cow.remove t;
+      contains = Cow.contains t;
+      size = (fun () -> Cow.size t);
+      to_list = (fun () -> Cow.to_list t);
+    }
+
+  let stm_list ?(profile = classic_profile) stm =
+    let t =
+      List_set.create ~parse_sem:profile.parse_sem ~size_sem:profile.size_sem
+        stm
+    in
+    {
+      name = "stm-list(" ^ profile.profile_name ^ ")";
+      add = List_set.add t;
+      remove = List_set.remove t;
+      contains = List_set.contains t;
+      size = (fun () -> List_set.size t);
+      to_list = (fun () -> List_set.to_list t);
+    }
+
+  let stm_hash ?(profile = classic_profile) ?buckets stm =
+    let t =
+      Hash_set.create ~parse_sem:profile.parse_sem ~size_sem:profile.size_sem
+        ?buckets stm
+    in
+    {
+      name = "stm-hash(" ^ profile.profile_name ^ ")";
+      add = Hash_set.add t;
+      remove = Hash_set.remove t;
+      contains = Hash_set.contains t;
+      size = (fun () -> Hash_set.size t);
+      to_list = (fun () -> Hash_set.to_list t);
+    }
+
+  let stm_skiplist ?(profile = classic_profile) stm =
+    let t =
+      Skiplist.create ~parse_sem:profile.parse_sem ~size_sem:profile.size_sem
+        stm
+    in
+    {
+      name = "stm-skiplist(" ^ profile.profile_name ^ ")";
+      add = Skiplist.add t;
+      remove = Skiplist.remove t;
+      contains = Skiplist.contains t;
+      size = (fun () -> Skiplist.size t);
+      to_list = (fun () -> Skiplist.to_list t);
+    }
+end

@@ -1,0 +1,42 @@
+(** Transactional boosting (Herlihy & Koskinen, PPoPP 2008 — reference
+    [39], surveyed in Section 4.1 of the paper).
+
+    Operations execute {e eagerly} on a non-transactional hash
+    structure under per-bucket {e abstract locks} held to transaction
+    end; every mutation registers an {e inverse} compensation run on
+    abort.  High-level operations conflict iff they do not commute —
+    here, iff their keys share a bucket ({!Make.bucket_index}) — so
+    boosted operations inside a long transaction never false-conflict
+    the way classic parses do.
+
+    The paper's caveats are deliberate parts of the interface: the
+    programmer supplies the commutativity granularity and the inverses,
+    and a busy abstract lock aborts the whole enclosing transaction.
+    All operations must run inside a transaction and may be combined
+    freely with tvar accesses of any semantics. *)
+
+open Polytm
+
+module Make
+    (R : Polytm_runtime.Runtime_intf.RUNTIME)
+    (S : Stm_intf.S) : sig
+  type t
+
+  val create : ?buckets:int -> unit -> t
+  (** [buckets] must be a power of two (default 16). *)
+
+  val bucket_index : t -> int -> int
+  (** Which abstract lock a key maps to: operations commute iff their
+      indices differ. *)
+
+  val add : S.tx -> t -> int -> bool
+  val remove : S.tx -> t -> int -> bool
+  val contains : S.tx -> t -> int -> bool
+
+  val size : S.tx -> t -> int
+  (** Locks every bucket (ascending), so it is atomic — and conflicts
+      with everything, like the paper's aggregate operations. *)
+
+  val to_list : t -> int list
+  (** Quiescent inspection only. *)
+end

@@ -1,0 +1,18 @@
+(** Coarse-grained locking baseline: a sequential sorted list behind a
+    single spinlock.  Trivially correct, trivially non-scalable — the
+    floor every other design is measured against. *)
+
+module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) = struct
+  module Lock = Polytm_runtime.Spinlock.Make (R)
+  module Inner = Seq_list.Make (R)
+
+  type t = { lock : Lock.t; inner : Inner.t }
+
+  let create () = { lock = Lock.create (); inner = Inner.create () }
+
+  let add t v = Lock.with_lock t.lock (fun () -> Inner.add t.inner v)
+  let remove t v = Lock.with_lock t.lock (fun () -> Inner.remove t.inner v)
+  let contains t v = Lock.with_lock t.lock (fun () -> Inner.contains t.inner v)
+  let size t = Lock.with_lock t.lock (fun () -> Inner.size t.inner)
+  let to_list t = Lock.with_lock t.lock (fun () -> Inner.to_list t.inner)
+end

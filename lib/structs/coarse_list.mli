@@ -1,0 +1,14 @@
+(** Coarse-grained locking baseline: the sequential list behind one
+    spinlock.  Trivially correct and atomic (including [size]),
+    trivially non-scalable. *)
+
+module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> int -> bool
+  val remove : t -> int -> bool
+  val contains : t -> int -> bool
+  val size : t -> int
+  val to_list : t -> int list
+end

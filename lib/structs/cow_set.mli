@@ -1,0 +1,23 @@
+(** Copy-on-write array set — the stand-in for the paper's “existing
+    concurrent collection” (Section 3.3 uses Java's
+    [copyOnWriteArraySet] because lock-free structures lack an atomic
+    [size]).
+
+    Reads are lock-free scans of an immutable snapshot; updates copy
+    the whole array under a writer lock; [size] is O(1) and atomic.
+    Cost model (why array scans are cheaper per element than list
+    hops) is documented in the implementation. *)
+
+module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> int -> bool
+  val remove : t -> int -> bool
+  val contains : t -> int -> bool
+
+  val size : t -> int
+  (** Atomic: the length of the current immutable snapshot. *)
+
+  val to_list : t -> int list
+end

@@ -1,0 +1,98 @@
+(** Hand-over-hand (lock-coupling) sorted linked list — the paper's
+    Algorithm 3.
+
+    Every node carries its own spinlock; a traversal holds at most two
+    locks at a time, releasing the predecessor only after the
+    successor is locked.  This is the construction Section 3.1 uses to
+    show what locks can express that classic transactions cannot:
+    atomicity of neighbouring accesses without whole-parse atomicity.
+
+    [size] is a lock-coupled traversal count: it is {e not} an atomic
+    snapshot (the count may correspond to no instantaneous state),
+    which is exactly the [java.util.concurrent] limitation that forces
+    the paper's copy-on-write workaround. *)
+
+module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) = struct
+  module Lock = Polytm_runtime.Spinlock.Make (R)
+
+  type node = { value : int; lock : Lock.t; next : node option R.atomic }
+
+  type t = { head : node }  (* sentinel, value = min_int *)
+
+  let create () =
+    { head = { value = min_int; lock = Lock.create (); next = R.atomic None } }
+
+  (* Walk with lock coupling until [prev] is the last node with value
+     < v; returns with [prev] (and [curr] when present) locked. *)
+  let rec locate_locked prev v =
+    match R.get prev.next with
+    | None -> (prev, None)
+    | Some curr ->
+        Lock.lock curr.lock;
+        if curr.value < v then begin
+          Lock.unlock prev.lock;
+          locate_locked curr v
+        end
+        else (prev, Some curr)
+
+  let with_position t v f =
+    Lock.lock t.head.lock;
+    let prev, curr = locate_locked t.head v in
+    let result = f prev curr in
+    (match curr with Some c -> Lock.unlock c.lock | None -> ());
+    Lock.unlock prev.lock;
+    result
+
+  let contains t v =
+    with_position t v (fun _ curr ->
+        match curr with Some c -> c.value = v | None -> false)
+
+  let add t v =
+    with_position t v (fun prev curr ->
+        match curr with
+        | Some c when c.value = v -> false
+        | _ ->
+            let node =
+              { value = v; lock = Lock.create (); next = R.atomic curr }
+            in
+            R.set prev.next (Some node);
+            true)
+
+  let remove t v =
+    with_position t v (fun prev curr ->
+        match curr with
+        | Some c when c.value = v ->
+            R.set prev.next (R.get c.next);
+            true
+        | Some _ | None -> false)
+
+  (* Lock-coupled count: linearizable per-step but not an atomic
+     snapshot of the whole list. *)
+  let size t =
+    Lock.lock t.head.lock;
+    let rec go n prev =
+      match R.get prev.next with
+      | None ->
+          Lock.unlock prev.lock;
+          n
+      | Some curr ->
+          Lock.lock curr.lock;
+          Lock.unlock prev.lock;
+          go (n + 1) curr
+    in
+    go 0 t.head
+
+  let to_list t =
+    Lock.lock t.head.lock;
+    let rec go acc prev =
+      match R.get prev.next with
+      | None ->
+          Lock.unlock prev.lock;
+          List.rev acc
+      | Some curr ->
+          Lock.lock curr.lock;
+          Lock.unlock prev.lock;
+          go (curr.value :: acc) curr
+    in
+    go [] t.head
+end

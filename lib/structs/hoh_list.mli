@@ -1,0 +1,22 @@
+(** Hand-over-hand (lock-coupling) sorted linked list — the paper's
+    Algorithm 3, its exhibit of lock expressiveness that classic
+    transactions cannot match (Section 3.1).
+
+    A traversal holds at most two node locks at a time.  [size] and
+    [to_list] are lock-coupled traversals: consistent step by step but
+    {e not} atomic snapshots of the whole list. *)
+
+module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> int -> bool
+  val remove : t -> int -> bool
+  val contains : t -> int -> bool
+
+  val size : t -> int
+  (** Lock-coupled count; may correspond to no instantaneous state
+      (demonstrated in [test_baselines.ml]). *)
+
+  val to_list : t -> int list
+end

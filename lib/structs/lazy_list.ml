@@ -1,0 +1,110 @@
+(** Lazy synchronisation sorted list (Heller, Herlihy, Luchangco, Moir,
+    Scherer & Shavit, OPODIS 2005 — reference [29] of the paper).
+
+    [contains] is wait-free: a plain traversal plus a check of the
+    logical-deletion mark.  Updates lock just the two affected nodes
+    and re-validate after locking (the “additional validation phase”
+    Section 2.1 mentions as the price of lock-based fine-grained
+    designs).  [size] is a non-atomic traversal count.
+
+    The list runs between two sentinels; the tail sentinel has value
+    [max_int] and no successor. *)
+
+module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) = struct
+  module Lock = Polytm_runtime.Spinlock.Make (R)
+
+  type node = {
+    value : int;
+    lock : Lock.t;
+    marked : bool R.atomic;
+    next : node option R.atomic;  (** [None] only in the tail sentinel *)
+  }
+
+  type t = { head : node }
+
+  let make_node value next =
+    { value; lock = Lock.create (); marked = R.atomic false; next = R.atomic next }
+
+  let create () =
+    let tail = make_node max_int None in
+    { head = make_node min_int (Some tail) }
+
+  (* Unsynchronised walk to (pred, curr) with pred.value < v <= curr.value;
+     curr may be the tail sentinel. *)
+  let locate t v =
+    let rec go pred =
+      match R.get pred.next with
+      | None -> invalid_arg "Lazy_list: walked past the tail sentinel"
+      | Some curr -> if curr.value < v then go curr else (pred, curr)
+    in
+    go t.head
+
+  let validate pred curr =
+    (not (R.get pred.marked))
+    && (not (R.get curr.marked))
+    && (match R.get pred.next with Some n -> n == curr | None -> false)
+
+  let contains t v =
+    let _, curr = locate t v in
+    curr.value = v && not (R.get curr.marked)
+
+  let rec add t v =
+    let pred, curr = locate t v in
+    Lock.lock pred.lock;
+    Lock.lock curr.lock;
+    if validate pred curr then begin
+      let result =
+        if curr.value = v then false
+        else begin
+          R.set pred.next (Some (make_node v (Some curr)));
+          true
+        end
+      in
+      Lock.unlock curr.lock;
+      Lock.unlock pred.lock;
+      result
+    end
+    else begin
+      Lock.unlock curr.lock;
+      Lock.unlock pred.lock;
+      add t v
+    end
+
+  let rec remove t v =
+    let pred, curr = locate t v in
+    Lock.lock pred.lock;
+    Lock.lock curr.lock;
+    if validate pred curr then begin
+      let result =
+        if curr.value <> v then false
+        else begin
+          (* Logical deletion first, then physical unlink. *)
+          R.set curr.marked true;
+          R.set pred.next (R.get curr.next);
+          true
+        end
+      in
+      Lock.unlock curr.lock;
+      Lock.unlock pred.lock;
+      result
+    end
+    else begin
+      Lock.unlock curr.lock;
+      Lock.unlock pred.lock;
+      remove t v
+    end
+
+  let fold t f init =
+    let rec go acc node =
+      if node.value = max_int then acc
+      else
+        let acc = if R.get node.marked then acc else f acc node.value in
+        match R.get node.next with
+        | None -> acc
+        | Some next -> go acc next
+    in
+    match R.get t.head.next with None -> init | Some first -> go init first
+
+  let size t = fold t (fun n _ -> n + 1) 0
+  let to_list t = List.rev (fold t (fun acc v -> v :: acc) [])
+end

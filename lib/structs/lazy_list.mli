@@ -1,0 +1,20 @@
+(** Lazy synchronisation sorted list (Heller et al., OPODIS 2005 —
+    reference [29]): wait-free unsynchronised [contains]; updates lock
+    two nodes and re-validate (the “additional validation phase” of
+    Section 2.1). *)
+
+module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> int -> bool
+  val remove : t -> int -> bool
+
+  val contains : t -> int -> bool
+  (** Wait-free: one traversal plus a deletion-mark check. *)
+
+  val size : t -> int
+  (** Non-atomic traversal count. *)
+
+  val to_list : t -> int list
+end

@@ -1,0 +1,95 @@
+(** Lock-free sorted linked list with logical deletion (Harris,
+    DISC 2001 / Michael, SPAA 2002 — references [36] and [28] of the
+    paper).
+
+    The deletion mark lives in the same atomic cell as the next
+    pointer, so marking and traversal serialise through single CAS
+    operations; searches physically unlink marked nodes as they pass.
+    OCaml's GC stands in for the hazard-pointer reclamation scheme the
+    C versions need — the “memory management would not even be
+    guaranteed to be simple” problem of Section 2.1 dissolves here.
+
+    [size] is a non-atomic traversal count (the very limitation that
+    motivates the paper's snapshot semantics). *)
+
+module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) = struct
+  type node = Tail | Node of cell
+  and cell = { value : int; link : link R.atomic }
+  and link = { succ : node; marked : bool }
+
+  type t = { head : cell }
+
+  let create () =
+    { head = { value = min_int; link = R.atomic { succ = Tail; marked = false } } }
+
+  (* Find (pred, witnessed pred link, curr) such that pred.value < v,
+     curr is the first unmarked node with value >= v, and the witness
+     satisfies [witness.succ == curr] for CAS-based updates.  Marked
+     nodes encountered on the way are unlinked. *)
+  let rec search t v =
+    let rec advance pred plink =
+      match plink.succ with
+      | Tail -> (pred, plink, Tail)
+      | Node c ->
+          let clink = R.get c.link in
+          if clink.marked then begin
+            (* Physically remove the logically deleted node. *)
+            let replacement = { succ = clink.succ; marked = false } in
+            if R.cas pred.link plink replacement then advance pred replacement
+            else search t v
+          end
+          else if c.value < v then advance c clink
+          else (pred, plink, Node c)
+    in
+    let plink = R.get t.head.link in
+    if plink.marked then search t v else advance t.head plink
+
+  let contains t v =
+    match search t v with
+    | _, _, Node c -> c.value = v
+    | _, _, Tail -> false
+
+  let rec add t v =
+    let pred, plink, curr = search t v in
+    match curr with
+    | Node c when c.value = v -> false
+    | _ ->
+        let cell = { value = v; link = R.atomic { succ = curr; marked = false } } in
+        if R.cas pred.link plink { succ = Node cell; marked = false } then true
+        else add t v
+
+  let rec remove t v =
+    match search t v with
+    | _, _, Tail -> false
+    | _, _, Node c when c.value <> v -> false
+    | pred, plink, Node c ->
+        let clink = R.get c.link in
+        if clink.marked then remove t v
+        else if R.cas c.link clink { clink with marked = true } then begin
+          (* Best-effort physical unlink; a later search finishes the
+             job if this CAS loses a race. *)
+          ignore (R.cas pred.link plink { succ = clink.succ; marked = false });
+          true
+        end
+        else remove t v
+
+  let size t =
+    let rec go n node =
+      match node with
+      | Tail -> n
+      | Node c ->
+          let l = R.get c.link in
+          go (if l.marked then n else n + 1) l.succ
+    in
+    go 0 (R.get t.head.link).succ
+
+  let to_list t =
+    let rec go acc node =
+      match node with
+      | Tail -> List.rev acc
+      | Node c ->
+          let l = R.get c.link in
+          go (if l.marked then acc else c.value :: acc) l.succ
+    in
+    go [] (R.get t.head.link).succ
+end

@@ -1,0 +1,21 @@
+(** Lock-free sorted linked list with logical deletion (Harris
+    DISC 2001 / Michael SPAA 2002 — references [36] and [28]).
+
+    The deletion mark shares an atomic cell with the next pointer;
+    searches unlink marked nodes as they pass.  [size] and [to_list]
+    are plain traversals — {e not} atomic snapshots, which is precisely
+    the limitation that motivates the paper's snapshot semantics. *)
+
+module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> int -> bool
+  val remove : t -> int -> bool
+  val contains : t -> int -> bool
+
+  val size : t -> int
+  (** Traversal count; only meaningful at quiescence. *)
+
+  val to_list : t -> int list
+end

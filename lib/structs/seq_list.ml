@@ -1,0 +1,59 @@
+(** Unsynchronised sorted linked-list set: the sequential baseline all
+    throughput figures normalise against (the paper's y-axes are
+    "throughput normalised over the sequential one").
+
+    Links go through runtime atomics so that traversal pays the same
+    one-tick-per-hop memory cost as everything else under the
+    simulator, but there is no synchronisation of any kind: only for
+    single-threaded use. *)
+
+module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) = struct
+  type node = Nil | Node of { value : int; next : node R.atomic }
+
+  type t = { head : node R.atomic }
+
+  let create () = { head = R.atomic Nil }
+
+  let find t v =
+    let rec go ptr =
+      match R.get ptr with
+      | Nil -> ptr
+      | Node { value; next } -> if value < v then go next else ptr
+    in
+    go t.head
+
+  let add t v =
+    let ptr = find t v in
+    match R.get ptr with
+    | Node { value; _ } when value = v -> false
+    | cur ->
+        R.set ptr (Node { value = v; next = R.atomic cur });
+        true
+
+  let remove t v =
+    let ptr = find t v in
+    match R.get ptr with
+    | Node { value; next } when value = v ->
+        R.set ptr (R.get next);
+        true
+    | Node _ | Nil -> false
+
+  let contains t v =
+    match R.get (find t v) with
+    | Node { value; _ } -> value = v
+    | Nil -> false
+
+  let size t =
+    let rec go n ptr =
+      match R.get ptr with Nil -> n | Node { next; _ } -> go (n + 1) next
+    in
+    go 0 t.head
+
+  let to_list t =
+    let rec go acc ptr =
+      match R.get ptr with
+      | Nil -> List.rev acc
+      | Node { value; next } -> go (value :: acc) next
+    in
+    go [] t.head
+end

@@ -1,0 +1,16 @@
+(** Unsynchronised sorted linked list: the sequential baseline every
+    throughput figure normalises against.  Links go through runtime
+    atomics only so traversals pay the same one-tick-per-hop simulator
+    cost as the concurrent designs; there is no synchronisation —
+    single-threaded use only. *)
+
+module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> int -> bool
+  val remove : t -> int -> bool
+  val contains : t -> int -> bool
+  val size : t -> int
+  val to_list : t -> int list
+end

@@ -1,0 +1,28 @@
+(** Uniform integer-set interface implemented by every collection in
+    this library — the STM-backed structures and all the baselines —
+    so that the correctness tests and the benchmark harness treat them
+    interchangeably.
+
+    [size] is atomic for the STM structures and the copy-on-write set;
+    for the fine-grained lock-based and lock-free lists it is only a
+    traversal count, which is precisely the limitation of
+    [java.util.concurrent] that Section 3.3 of the paper works around
+    with [copyOnWriteArraySet]. *)
+
+module type SET = sig
+  type t
+
+  val add : t -> int -> bool
+  (** [add s v] inserts [v]; returns [false] if already present. *)
+
+  val remove : t -> int -> bool
+  (** [remove s v] deletes [v]; returns [false] if absent. *)
+
+  val contains : t -> int -> bool
+
+  val size : t -> int
+
+  val to_list : t -> int list
+  (** Ascending elements.  Only meaningful at quiescence for the
+      non-atomic baselines. *)
+end

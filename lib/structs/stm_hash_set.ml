@@ -1,0 +1,50 @@
+(** Transactional hash set: fixed bucket array of transactional sorted
+    lists, composed with nested transactions.
+
+    The point of this structure is compositionality (Section 2.2):
+    each bucket is an off-the-shelf {!Stm_list_set}, and the atomic
+    [size] is written by wrapping the per-bucket operations in one
+    outer transaction — the nested [atomically] calls flatten into it,
+    so the whole scan is one snapshot (or one classic transaction)
+    without touching the bucket code. *)
+
+open Polytm
+
+module Make (S : Stm_intf.S) = struct
+  module Bucket = Stm_list_set.Make (S)
+
+  type t = {
+    stm : S.t;
+    buckets : Bucket.t array;
+    size_sem : Semantics.t;
+  }
+
+  let create ?(parse_sem = Semantics.Classic) ?(size_sem = Semantics.Classic)
+      ?(buckets = 16) stm =
+    {
+      stm;
+      buckets =
+        Array.init buckets (fun _ -> Bucket.create ~parse_sem ~size_sem stm);
+      size_sem;
+    }
+
+  (* Cheap deterministic integer mix so that consecutive keys spread. *)
+  let bucket t v =
+    let h = v * 0x9E3779B1 in
+    t.buckets.((h lxor (h lsr 16)) land (Array.length t.buckets - 1))
+
+  let add t v = Bucket.add (bucket t v) v
+  let remove t v = Bucket.remove (bucket t v) v
+  let contains t v = Bucket.contains (bucket t v) v
+
+  (* One outer transaction spanning every bucket: the nested
+     [Bucket.size] transactions flatten into it. *)
+  let size t =
+    S.atomically ~sem:t.size_sem t.stm (fun _tx ->
+        Array.fold_left (fun acc b -> acc + Bucket.size b) 0 t.buckets)
+
+  let to_list t =
+    S.atomically ~sem:t.size_sem t.stm (fun _tx ->
+        List.sort compare
+          (Array.fold_left (fun acc b -> Bucket.to_list b @ acc) [] t.buckets))
+end

@@ -1,0 +1,34 @@
+(** Transactional hash set built by {e composing} {!Stm_list_set}
+    buckets with nested transactions (Section 2.2 of the paper).
+
+    Per-element operations are single-bucket transactions; the atomic
+    [size] wraps every bucket's own [size] in one outer transaction —
+    the nested [atomically] calls flatten, so the whole scan is one
+    snapshot (or one classic transaction) without touching the bucket
+    code.  That is the composition story: Bob reuses Alice's bucket
+    operations without understanding their synchronisation. *)
+
+open Polytm
+
+module Make (S : Stm_intf.S) : sig
+  type t
+
+  val create :
+    ?parse_sem:Semantics.t ->
+    ?size_sem:Semantics.t ->
+    ?buckets:int ->
+    S.t ->
+    t
+  (** [create stm] makes an empty set with [buckets] power-of-two
+      buckets (default 16); semantics as in {!Stm_list_set.Make.create}. *)
+
+  val add : t -> int -> bool
+  val remove : t -> int -> bool
+  val contains : t -> int -> bool
+
+  val size : t -> int
+  (** Atomic count across every bucket — one flattened transaction. *)
+
+  val to_list : t -> int list
+  (** Ascending elements, as one atomic (or snapshot) scan. *)
+end

@@ -1,0 +1,120 @@
+(** Sorted transactional linked-list integer set — the paper's running
+    example (Algorithms 1, 4 and 5).
+
+    Every operation is one transaction whose semantics is chosen per
+    structure at creation time:
+
+    - [parse_sem] governs [contains], [add] and [remove] (the paper
+      labels these {e elastic} in Section 4.3);
+    - [size_sem] governs [size] (labelled {e classic} in Section 4.3
+      and {e snapshot} in Section 5.1) and [to_list].
+
+    The code is the sequential sorted-list algorithm with operations
+    delimited by [atomically] — sequential-code preservation is the
+    whole point (Section 2.1). *)
+
+open Polytm
+
+module Make (S : Stm_intf.S) = struct
+  type node = Nil | Node of { value : int; next : node S.tvar }
+
+  type t = {
+    stm : S.t;
+    head : node S.tvar;
+    parse_sem : Semantics.t;
+    size_sem : Semantics.t;
+  }
+
+  let create ?(parse_sem = Semantics.Classic) ?(size_sem = Semantics.Classic)
+      stm =
+    (* A remove's write neighbourhood spans two adjacent pointers; an
+       elastic window of 1 would drop the first from validation and
+       let a concurrent insert-before vanish. *)
+    if parse_sem = Semantics.Elastic && S.elastic_window_size stm < 2 then
+      invalid_arg
+        "Stm_list_set: elastic parses need an elastic_window of at least 2";
+    { stm; head = S.tvar stm Nil; parse_sem; size_sem }
+
+  (* [find tx t v] walks to the first node with value >= [v]; returns
+     both the tvar holding that node and the node itself, WITHOUT
+     re-reading the tvar afterwards.  The access discipline matters
+     under elastic semantics: the transaction's final two reads are
+     then exactly (predecessor pointer, current pointer), so the
+     bounded elastic window gives the same neighbour protection as
+     hand-over-hand locking.  An extra re-read of the insertion point
+     would evict the predecessor from the window and let a concurrent
+     unlink of the predecessor slip past commit validation. *)
+  let find tx t v =
+    let rec go ptr =
+      match S.read tx ptr with
+      | Nil -> (ptr, Nil)
+      | Node { value; _ } as n when value = v -> (ptr, n)
+      | Node { value; next } as n -> if value < v then go next else (ptr, n)
+    in
+    go t.head
+
+  let add t v =
+    S.atomically ~sem:t.parse_sem t.stm (fun tx ->
+        match find tx t v with
+        | _, Node { value; _ } when value = v -> false
+        | ptr, cur ->
+            S.write tx ptr (Node { value = v; next = S.tvar t.stm cur });
+            true)
+
+  let remove t v =
+    S.atomically ~sem:t.parse_sem t.stm (fun tx ->
+        match find tx t v with
+        | ptr, Node { value; next } when value = v ->
+            let succ = S.read tx next in
+            S.write tx ptr succ;
+            (* Also rewrite the removed node's own pointer (same value,
+               bumped version): this materialises a write-write
+               conflict with any transaction about to write into the
+               now-unlinked node — an insert-after, or the remove of
+               the successor — which a bounded elastic window would
+               otherwise miss.  Without it, two adjacent removes can
+               both commit and resurrect the second victim. *)
+            S.write tx next succ;
+            true
+        | _, (Node _ | Nil) -> false)
+
+  let contains t v =
+    S.atomically ~sem:t.parse_sem t.stm (fun tx ->
+        match find tx t v with
+        | _, Node { value; _ } -> value = v
+        | _, Nil -> false)
+
+  let fold tx t f init =
+    let rec go acc ptr =
+      match S.read tx ptr with
+      | Nil -> acc
+      | Node { value; next } -> go (f acc value) next
+    in
+    go init t.head
+
+  let size t =
+    S.atomically ~sem:t.size_sem t.stm (fun tx ->
+        fold tx t (fun n _ -> n + 1) 0)
+
+  let to_list t =
+    S.atomically ~sem:t.size_sem t.stm (fun tx ->
+        List.rev (fold tx t (fun acc v -> v :: acc) []))
+
+  (* Composite operation in the style of Section 4.1: insert [v] only
+     if [absent_witness] is not in the set, atomically — Bob composing
+     Alice's parses into a classic transaction. *)
+  let add_if_absent t v ~absent_witness =
+    S.atomically ~sem:Semantics.Classic t.stm (fun tx ->
+        let witness_present =
+          match find tx t absent_witness with
+          | _, Node { value; _ } -> value = absent_witness
+          | _, Nil -> false
+        in
+        if witness_present then false
+        else
+          match find tx t v with
+          | _, Node { value; _ } when value = v -> false
+          | ptr, cur ->
+              S.write tx ptr (Node { value = v; next = S.tvar t.stm cur });
+              true)
+end

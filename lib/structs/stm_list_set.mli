@@ -1,0 +1,69 @@
+(** Sorted transactional linked-list integer set — the paper's running
+    example (Algorithms 1, 4 and 5).
+
+    Each operation is one transaction; the semantics used by parses
+    ([contains]/[add]/[remove]) and by aggregates ([size]/[to_list])
+    are fixed per structure at {!Make.create}:
+
+    - the all-[Classic] profile is the paper's “classic transactions”
+      system (Figure 5);
+    - [~parse_sem:Elastic] is Algorithm 4 (Figure 7);
+    - additionally [~size_sem:Snapshot] is Algorithm 5 — the full
+      mixed-semantics collection of Figure 9.
+
+    The implementation follows the E-STM access discipline: a parse's
+    final two reads are exactly (predecessor pointer, current pointer),
+    and [remove] version-bumps the unlinked node's own pointer so that
+    writes into dead nodes surface as write-write conflicts even under
+    the bounded elastic window (see the comments in the
+    implementation — both points are load-bearing and were found by
+    the bounded model checker). *)
+
+open Polytm
+
+module Make (S : Stm_intf.S) : sig
+  (** List cells.  Exposed (rather than abstract) so composite
+      operations can be built outside the module — the test suite's
+      early-release hazard demonstration does exactly that. *)
+  type node = Nil | Node of { value : int; next : node S.tvar }
+
+  type t
+
+  val create :
+    ?parse_sem:Semantics.t -> ?size_sem:Semantics.t -> S.t -> t
+  (** [create stm] makes an empty set.  [parse_sem] (default
+      [Classic]) governs [contains]/[add]/[remove]; [size_sem]
+      (default [Classic]) governs [size]/[to_list].
+      @raise Invalid_argument when [parse_sem] is [Elastic] and the
+      instance's elastic window is narrower than a remove's write
+      neighbourhood (2). *)
+
+  val add : t -> int -> bool
+  (** [add t v] inserts [v]; [false] if already present. *)
+
+  val remove : t -> int -> bool
+  (** [remove t v] deletes [v]; [false] if absent. *)
+
+  val contains : t -> int -> bool
+
+  val size : t -> int
+  (** Atomic element count (under [Snapshot] semantics it may reflect
+      a slightly stale but consistent state). *)
+
+  val to_list : t -> int list
+  (** Ascending elements, as one atomic (or snapshot) traversal. *)
+
+  val add_if_absent : t -> int -> absent_witness:int -> bool
+  (** [add_if_absent t v ~absent_witness] inserts [v] only if
+      [absent_witness] is not in the set, atomically — Section 4.1's
+      composite, always a classic transaction. *)
+
+  val find : S.tx -> t -> int -> node S.tvar * node
+  (** In-transaction search: the pointer holding the first node with
+      value >= [v], and that node.  Building block for user-defined
+      composites; read the access-discipline note above before using
+      it under elastic semantics. *)
+
+  val fold : S.tx -> t -> ('a -> int -> 'a) -> 'a -> 'a
+  (** In-transaction left fold over the elements in ascending order. *)
+end

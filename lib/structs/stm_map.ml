@@ -1,0 +1,217 @@
+(** Transactional ordered map (AVL tree over per-node transactional
+    variables).
+
+    The sequential AVL algorithm, with every mutable field (child
+    pointers, heights, values) in a tvar and each operation delimited
+    by one transaction — sequential-code preservation on a structure
+    with non-trivial rebalancing.  Lookups and updates run classically
+    (rotations rewrite several ancestors, which a bounded elastic
+    window cannot protect); read-only aggregates ([size], [fold],
+    [to_list]) honour [size_sem], so a [Snapshot] map supports
+    consistent iteration that never aborts concurrent inserts —
+    Section 5.1's Iterator story on a tree. *)
+
+open Polytm
+
+module Make (S : Stm_intf.S) = struct
+  type 'v node = Leaf | Node of 'v cell
+
+  and 'v cell = {
+    key : int;
+    value : 'v S.tvar;
+    left : 'v node S.tvar;
+    right : 'v node S.tvar;
+    height : int S.tvar;
+  }
+
+  type 'v t = { stm : S.t; root : 'v node S.tvar; size_sem : Semantics.t }
+
+  let create ?(size_sem = Semantics.Classic) stm =
+    { stm; root = S.tvar stm Leaf; size_sem }
+
+  let node_height tx = function
+    | Leaf -> 0
+    | Node c -> S.read tx c.height
+
+  let update_height tx c =
+    let h =
+      1 + max (node_height tx (S.read tx c.left)) (node_height tx (S.read tx c.right))
+    in
+    if S.read tx c.height <> h then S.write tx c.height h
+
+  let balance_factor tx c =
+    node_height tx (S.read tx c.left) - node_height tx (S.read tx c.right)
+
+  (* Right rotation of the subtree held in [ptr]; [c] is its root cell
+     whose left child [l] becomes the new subtree root. *)
+  let rotate_right tx ptr c =
+    match S.read tx c.left with
+    | Leaf -> ()
+    | Node l ->
+        S.write tx c.left (S.read tx l.right);
+        update_height tx c;
+        S.write tx l.right (Node c);
+        update_height tx l;
+        S.write tx ptr (Node l)
+
+  let rotate_left tx ptr c =
+    match S.read tx c.right with
+    | Leaf -> ()
+    | Node r ->
+        S.write tx c.right (S.read tx r.left);
+        update_height tx c;
+        S.write tx r.left (Node c);
+        update_height tx r;
+        S.write tx ptr (Node r)
+
+  (* Restore the AVL invariant at [ptr] after a child subtree changed
+     height by at most one. *)
+  let rebalance tx ptr =
+    match S.read tx ptr with
+    | Leaf -> ()
+    | Node c ->
+        update_height tx c;
+        let bf = balance_factor tx c in
+        if bf > 1 then begin
+          (match S.read tx c.left with
+          | Node l when balance_factor tx l < 0 -> rotate_left tx c.left l
+          | Node _ | Leaf -> ());
+          rotate_right tx ptr c
+        end
+        else if bf < -1 then begin
+          (match S.read tx c.right with
+          | Node r when balance_factor tx r > 0 -> rotate_right tx c.right r
+          | Node _ | Leaf -> ());
+          rotate_left tx ptr c
+        end
+
+  let make_cell stm k v =
+    {
+      key = k;
+      value = S.tvar stm v;
+      left = S.tvar stm Leaf;
+      right = S.tvar stm Leaf;
+      height = S.tvar stm 1;
+    }
+
+  let add t k v =
+    S.atomically t.stm (fun tx ->
+        let rec go ptr =
+          match S.read tx ptr with
+          | Leaf ->
+              S.write tx ptr (Node (make_cell t.stm k v));
+              true
+          | Node c ->
+              if k = c.key then begin
+                S.write tx c.value v;
+                false
+              end
+              else begin
+                let added = go (if k < c.key then c.left else c.right) in
+                if added then rebalance tx ptr;
+                added
+              end
+        in
+        go t.root)
+
+  let find_opt t k =
+    S.atomically t.stm (fun tx ->
+        let rec go ptr =
+          match S.read tx ptr with
+          | Leaf -> None
+          | Node c ->
+              if k = c.key then Some (S.read tx c.value)
+              else go (if k < c.key then c.left else c.right)
+        in
+        go t.root)
+
+  let mem t k = Option.is_some (find_opt t k)
+
+  (* Remove the minimum of the subtree in [ptr], returning its
+     (key, value); the caller re-keys the deleted node's slot. *)
+  let rec take_min tx ptr =
+    match S.read tx ptr with
+    | Leaf -> None
+    | Node c -> (
+        match S.read tx c.left with
+        | Leaf ->
+            let kv = (c.key, S.read tx c.value) in
+            S.write tx ptr (S.read tx c.right);
+            Some kv
+        | Node _ ->
+            let kv = take_min tx c.left in
+            rebalance tx ptr;
+            kv)
+
+  let remove t k =
+    S.atomically t.stm (fun tx ->
+        let rec go ptr =
+          match S.read tx ptr with
+          | Leaf -> false
+          | Node c ->
+              if k < c.key then begin
+                let removed = go c.left in
+                if removed then rebalance tx ptr;
+                removed
+              end
+              else if k > c.key then begin
+                let removed = go c.right in
+                if removed then rebalance tx ptr;
+                removed
+              end
+              else begin
+                (match (S.read tx c.left, S.read tx c.right) with
+                | Leaf, other | other, Leaf -> S.write tx ptr other
+                | Node _, Node _ -> (
+                    (* Replace by the successor: splice the right
+                       subtree's minimum into this slot. *)
+                    match take_min tx c.right with
+                    | None -> assert false
+                    | Some (sk, sv) ->
+                        let cell = make_cell t.stm sk sv in
+                        S.write tx cell.left (S.read tx c.left);
+                        S.write tx cell.right (S.read tx c.right);
+                        S.write tx ptr (Node cell);
+                        rebalance tx ptr));
+                true
+              end
+        in
+        go t.root)
+
+  let fold t f init =
+    S.atomically ~sem:t.size_sem t.stm (fun tx ->
+        let rec go acc ptr =
+          match S.read tx ptr with
+          | Leaf -> acc
+          | Node c ->
+              let acc = go acc c.left in
+              let acc = f acc c.key (S.read tx c.value) in
+              go acc c.right
+        in
+        go init t.root)
+
+  let size t = fold t (fun n _ _ -> n + 1) 0
+
+  let to_list t = List.rev (fold t (fun acc k v -> (k, v) :: acc) [])
+
+  (* Structure check for tests: AVL balance and key order. *)
+  let invariants_hold t =
+    S.atomically t.stm (fun tx ->
+        let rec check lo hi ptr =
+          match S.read tx ptr with
+          | Leaf -> Some 0
+          | Node c -> (
+              if (match lo with Some l -> c.key <= l | None -> false) then None
+              else if (match hi with Some h -> c.key >= h | None -> false)
+              then None
+              else
+                match
+                  (check lo (Some c.key) c.left, check (Some c.key) hi c.right)
+                with
+                | Some hl, Some hr when abs (hl - hr) <= 1 ->
+                    let h = 1 + max hl hr in
+                    if S.read tx c.height = h then Some h else None
+                | _ -> None)
+        in
+        Option.is_some (check None None t.root))
+end

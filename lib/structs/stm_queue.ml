@@ -1,0 +1,70 @@
+(** Transactional FIFO queue: the classic two-list functional queue
+    held in two transactional variables.
+
+    Enqueues touch only [back]; dequeues usually touch only [front]
+    (amortised O(1)), so producers and consumers rarely conflict.  The
+    queue demonstrates composing STM operations with {!Stm.S.orelse}:
+    {!dequeue_or} falls back when the queue is empty without busy
+    waiting in the caller. *)
+
+open Polytm
+
+module Make (S : Stm_intf.S) = struct
+  type 'a t = { stm : S.t; front : 'a list S.tvar; back : 'a list S.tvar }
+
+  let create stm = { stm; front = S.tvar stm []; back = S.tvar stm [] }
+
+  let enqueue_tx tx t x = S.write tx t.back (x :: S.read tx t.back)
+
+  let dequeue_opt_tx tx t =
+    match S.read tx t.front with
+    | x :: rest ->
+        S.write tx t.front rest;
+        Some x
+    | [] -> (
+        match List.rev (S.read tx t.back) with
+        | [] -> None
+        | x :: rest ->
+            S.write tx t.back [];
+            S.write tx t.front rest;
+            Some x)
+
+  let enqueue t x = S.atomically t.stm (fun tx -> enqueue_tx tx t x)
+
+  let dequeue_opt t = S.atomically t.stm (fun tx -> dequeue_opt_tx tx t)
+
+  (* [dequeue_or t f] returns an element or, atomically with the
+     emptiness observation, the fallback. *)
+  let dequeue_or t fallback =
+    S.atomically t.stm (fun tx ->
+        S.orelse tx
+          (fun tx ->
+            match dequeue_opt_tx tx t with
+            | Some x -> x
+            | None -> S.abort tx)
+          (fun _ -> fallback))
+
+  let length t =
+    S.atomically t.stm (fun tx ->
+        List.length (S.read tx t.front) + List.length (S.read tx t.back))
+
+  let is_empty t = length t = 0
+
+  let to_list t =
+    S.atomically t.stm (fun tx ->
+        S.read tx t.front @ List.rev (S.read tx t.back))
+
+  (* Move every element of [src] into [dst] in one atomic step —
+     composition across two queues (Section 2.2's rename example,
+     queue-flavoured). *)
+  let transfer_all ~src ~dst =
+    S.atomically src.stm (fun tx ->
+        let rec drain () =
+          match dequeue_opt_tx tx src with
+          | Some x ->
+              enqueue_tx tx dst x;
+              drain ()
+          | None -> ()
+        in
+        drain ())
+end

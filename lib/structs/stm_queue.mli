@@ -1,0 +1,38 @@
+(** Transactional FIFO queue (two-list functional queue in two
+    transactional variables).
+
+    Producers touch only [back] and consumers usually only [front], so
+    they rarely conflict.  The [_tx] variants run inside a caller's
+    transaction, which is how {!transfer_all} moves a whole queue
+    atomically and how the composition tests move elements between a
+    queue and a set in one step. *)
+
+open Polytm
+
+module Make (S : Stm_intf.S) : sig
+  type 'a t
+
+  val create : S.t -> 'a t
+
+  val enqueue : 'a t -> 'a -> unit
+  val dequeue_opt : 'a t -> 'a option
+
+  val dequeue_or : 'a t -> 'a -> 'a
+  (** [dequeue_or t fallback] dequeues, or returns [fallback] atomically
+      with the emptiness observation (built on {!Stm_intf.S.orelse}). *)
+
+  val enqueue_tx : S.tx -> 'a t -> 'a -> unit
+  (** In-transaction enqueue, for composing with other operations. *)
+
+  val dequeue_opt_tx : S.tx -> 'a t -> 'a option
+
+  val length : 'a t -> int
+  val is_empty : 'a t -> bool
+
+  val to_list : 'a t -> 'a list
+  (** Front to back. *)
+
+  val transfer_all : src:'a t -> dst:'a t -> unit
+  (** Atomically move every element of [src] to the back of [dst],
+      preserving order — cross-structure composition in one commit. *)
+end

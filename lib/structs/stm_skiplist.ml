@@ -1,0 +1,137 @@
+(** Transactional skip-list integer set.
+
+    The second search structure of the library: logarithmic expected
+    parses, with per-operation semantics exactly like
+    {!Stm_list_set}.  Tower heights are derived deterministically from
+    the key (trailing zeros of a hash), so no shared random state
+    exists and simulator runs stay reproducible. *)
+
+open Polytm
+
+module Make (S : Stm_intf.S) = struct
+  let max_level = 8
+
+  type node = Nil | Node of { value : int; nexts : node S.tvar array }
+
+  type t = {
+    stm : S.t;
+    heads : node S.tvar array;  (** heads.(l) = first node at level l *)
+    parse_sem : Semantics.t;
+    size_sem : Semantics.t;
+  }
+
+  let create ?(parse_sem = Semantics.Classic) ?(size_sem = Semantics.Classic)
+      stm =
+    {
+      stm;
+      heads = Array.init max_level (fun _ -> S.tvar stm Nil);
+      parse_sem;
+      size_sem;
+    }
+
+  (* Deterministic tower height in [1, max_level]: geometric via the
+     trailing-zero count of a mixed hash. *)
+  let height v =
+    let h = (v * 0x9E3779B1) lxor ((v * 0x85EBCA77) lsr 13) in
+    let rec tz n acc =
+      if acc >= max_level - 1 || n land 1 = 1 then acc else tz (n lsr 1) (acc + 1)
+    in
+    1 + tz (h lor 0x40000000) 0
+
+  let node_value = function Nil -> max_int | Node { value; _ } -> value
+
+  (* Collect, per level, the tvar that precedes the position of [v]:
+     walk each level starting from the node where the previous level
+     stopped (its tower has a pointer one level down), otherwise from
+     that level's head. *)
+  let find_preds tx t v =
+    let preds = Array.make max_level t.heads.(0) in
+    let start = ref None in
+    for level = max_level - 1 downto 0 do
+      let ptr0 =
+        match !start with
+        | Some (Node { nexts; _ }) -> nexts.(level)
+        | Some Nil | None -> t.heads.(level)
+      in
+      let rec walk prev_node ptr =
+        match S.read tx ptr with
+        | Node { value; nexts } as n when value < v -> walk (Some n) nexts.(level)
+        | Nil | Node _ -> (prev_node, ptr)
+      in
+      let prev_node, p = walk !start ptr0 in
+      preds.(level) <- p;
+      start := prev_node
+    done;
+    preds
+
+  (* Updates run under CLASSIC semantics regardless of [parse_sem]:
+     their write set spans towers across several levels, whose
+     predecessor pointers were read far apart during the parse — more
+     than any bounded elastic window can keep protecting.  [contains]
+     and [size] still honour the configured semantics, which is where
+     the paper's gains live (read operations dominate search-structure
+     workloads). *)
+  let add t v =
+    S.atomically ~sem:Semantics.Classic t.stm (fun tx ->
+        let preds = find_preds tx t v in
+        if node_value (S.read tx preds.(0)) = v then false
+        else begin
+          let h = height v in
+          let nexts =
+            Array.init h (fun l -> S.tvar t.stm (S.read tx preds.(l)))
+          in
+          let node = Node { value = v; nexts } in
+          for l = 0 to h - 1 do
+            S.write tx preds.(l) node
+          done;
+          true
+        end)
+
+  let remove t v =
+    S.atomically ~sem:Semantics.Classic t.stm (fun tx ->
+        let preds = find_preds tx t v in
+        match S.read tx preds.(0) with
+        | Node { value; nexts } when value = v ->
+            for l = 0 to Array.length nexts - 1 do
+              if node_value (S.read tx preds.(l)) = v then
+                S.write tx preds.(l) (S.read tx nexts.(l))
+            done;
+            true
+        | Node _ | Nil -> false)
+
+  let contains t v =
+    S.atomically ~sem:t.parse_sem t.stm (fun tx ->
+        let rec walk level ptr prev_node =
+          let step_down n =
+            if level = 0 then false
+            else
+              let ptr' =
+                match n with
+                | Some (Node { nexts; _ }) -> nexts.(level - 1)
+                | Some Nil | None -> t.heads.(level - 1)
+              in
+              walk (level - 1) ptr' n
+          in
+          match S.read tx ptr with
+          | Node { value; _ } when value = v -> true
+          | Node { value; nexts } as n when value < v ->
+              walk level nexts.(level) (Some n)
+          | Nil | Node _ -> step_down prev_node
+        in
+        walk (max_level - 1) t.heads.(max_level - 1) None)
+
+  let fold tx t f init =
+    let rec go acc ptr =
+      match S.read tx ptr with
+      | Nil -> acc
+      | Node { value; nexts } -> go (f acc value) nexts.(0)
+    in
+    go init t.heads.(0)
+
+  let size t =
+    S.atomically ~sem:t.size_sem t.stm (fun tx -> fold tx t (fun n _ -> n + 1) 0)
+
+  let to_list t =
+    S.atomically ~sem:t.size_sem t.stm (fun tx ->
+        List.rev (fold tx t (fun acc v -> v :: acc) []))
+end

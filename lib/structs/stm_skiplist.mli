@@ -1,0 +1,29 @@
+(** Transactional skip-list integer set: the library's logarithmic
+    search structure.
+
+    [contains], [size] and [to_list] honour the configured semantics;
+    {b updates always run classically} regardless of [parse_sem],
+    because an insert/remove write set spans tower pointers read far
+    apart during the parse — more than a bounded elastic window can
+    keep protecting (see the implementation note).  Read operations
+    are where the paper's relaxations pay on search structures, so the
+    mixed profile still applies.
+
+    Tower heights derive deterministically from the key, keeping
+    simulator runs reproducible without shared random state. *)
+
+open Polytm
+
+module Make (S : Stm_intf.S) : sig
+  type t
+
+  val max_level : int
+
+  val create : ?parse_sem:Semantics.t -> ?size_sem:Semantics.t -> S.t -> t
+
+  val add : t -> int -> bool
+  val remove : t -> int -> bool
+  val contains : t -> int -> bool
+  val size : t -> int
+  val to_list : t -> int list
+end

@@ -1,0 +1,47 @@
+(** Transactional LIFO stack: one list in one transactional variable.
+
+    Deliberately the simplest possible transactional structure — it
+    exists to contrast with {!Treiber_stack}: the sequential code is
+    untouched (push is [head := x :: head]), and unlike the lock-free
+    version its operations compose: {!pop_push} moves an element
+    between stacks in one atomic step, something Treiber stacks cannot
+    offer without DCAS (Section 2.2 cites exactly that problem,
+    Greenwald's two-handed emulation). *)
+
+open Polytm
+
+module Make (S : Stm_intf.S) = struct
+  type 'a t = { stm : S.t; head : 'a list S.tvar }
+
+  let create stm = { stm; head = S.tvar stm [] }
+
+  let push_tx tx t x = S.write tx t.head (x :: S.read tx t.head)
+
+  let pop_tx tx t =
+    match S.read tx t.head with
+    | [] -> None
+    | x :: rest ->
+        S.write tx t.head rest;
+        Some x
+
+  let push t x = S.atomically t.stm (fun tx -> push_tx tx t x)
+  let pop t = S.atomically t.stm (fun tx -> pop_tx tx t)
+
+  let peek t =
+    S.atomically t.stm (fun tx ->
+        match S.read tx t.head with [] -> None | x :: _ -> Some x)
+
+  let length t = S.atomically t.stm (fun tx -> List.length (S.read tx t.head))
+
+  let to_list t = S.atomically t.stm (fun tx -> S.read tx t.head)
+
+  (* Atomically move the top of [src] onto [dst]; [None] when [src] is
+     empty.  The composition the lock-free stack cannot express. *)
+  let pop_push ~src ~dst =
+    S.atomically src.stm (fun tx ->
+        match pop_tx tx src with
+        | None -> None
+        | Some x ->
+            push_tx tx dst x;
+            Some x)
+end

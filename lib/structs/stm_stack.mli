@@ -1,0 +1,30 @@
+(** Transactional LIFO stack.  Exists to contrast with
+    {!Treiber_stack}: the sequential code is untouched, and operations
+    compose — {!Make.pop_push} moves an element between stacks in one
+    atomic step, which lock-free stacks cannot express without DCAS
+    (Section 2.2 cites Greenwald's two-handed emulation for exactly
+    this gap). *)
+
+open Polytm
+
+module Make (S : Stm_intf.S) : sig
+  type 'a t
+
+  val create : S.t -> 'a t
+
+  val push : 'a t -> 'a -> unit
+  val pop : 'a t -> 'a option
+  val peek : 'a t -> 'a option
+  val length : 'a t -> int
+
+  val to_list : 'a t -> 'a list
+  (** Top to bottom. *)
+
+  val push_tx : S.tx -> 'a t -> 'a -> unit
+  (** In-transaction push, for composition. *)
+
+  val pop_tx : S.tx -> 'a t -> 'a option
+
+  val pop_push : src:'a t -> dst:'a t -> 'a option
+  (** Atomically move the top of [src] onto [dst]. *)
+end

@@ -1,0 +1,41 @@
+(** Treiber's lock-free stack (IBM technical report, 1986): the
+    classic CAS-retry structure, as a baseline companion to the STM
+    stack.  Like every lock-free design in Section 2.1's discussion,
+    the OCaml GC stands in for the safe-memory-reclamation machinery a
+    C implementation would need.
+
+    [length] is a plain traversal of an immutable snapshot of the
+    head, so it IS atomic here — stacks are the easy case; the paper's
+    atomic-[size] problem bites structures whose snapshot cannot be
+    captured in one pointer. *)
+
+module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) = struct
+  type 'a node = Nil | Cons of 'a * 'a node
+
+  type 'a t = { head : 'a node R.atomic }
+
+  let create () = { head = R.atomic Nil }
+
+  let rec push t x =
+    let current = R.get t.head in
+    if not (R.cas t.head current (Cons (x, current))) then push t x
+
+  let rec pop t =
+    match R.get t.head with
+    | Nil -> None
+    | Cons (x, rest) as current ->
+        if R.cas t.head current rest then Some x else pop t
+
+  let peek t = match R.get t.head with Nil -> None | Cons (x, _) -> Some x
+
+  let length t =
+    let rec go n = function Nil -> n | Cons (_, rest) -> go (n + 1) rest in
+    go 0 (R.get t.head)
+
+  let to_list t =
+    let rec go acc = function
+      | Nil -> List.rev acc
+      | Cons (x, rest) -> go (x :: acc) rest
+    in
+    go [] (R.get t.head)
+end

@@ -1,0 +1,18 @@
+(** Treiber's lock-free stack: the classic CAS-retry baseline,
+    companion to {!Stm_stack} (which adds what CAS alone cannot —
+    composition across structures). *)
+
+module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) : sig
+  type 'a t
+
+  val create : unit -> 'a t
+  val push : 'a t -> 'a -> unit
+  val pop : 'a t -> 'a option
+  val peek : 'a t -> 'a option
+
+  val length : 'a t -> int
+  (** Atomic (the head pointer snapshots the whole immutable spine). *)
+
+  val to_list : 'a t -> 'a list
+  (** Top to bottom. *)
+end

@@ -1,0 +1,31 @@
+(** Imperative binary min-heap with a user-supplied priority.
+
+    The simulator's event scheduler keeps every runnable virtual thread
+    in such a heap keyed by (virtual clock, arrival sequence), so the
+    thread with the smallest clock is always dispatched next and ties
+    break deterministically. *)
+
+type 'a t
+
+val create : cmp:('a -> 'a -> int) -> 'a t
+(** [create ~cmp] is an empty heap ordered by [cmp] (smallest first). *)
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+val push : 'a t -> 'a -> unit
+
+val pop : 'a t -> 'a option
+(** Remove and return the minimum element, or [None] when empty. *)
+
+val peek : 'a t -> 'a option
+
+val pop_exn : 'a t -> 'a
+(** @raise Invalid_argument when the heap is empty. *)
+
+val to_list : 'a t -> 'a list
+(** Elements in unspecified order; does not modify the heap. *)
+
+val clear : 'a t -> unit
+
+val filter_in_place : 'a t -> ('a -> bool) -> unit
+(** Keep only the elements satisfying the predicate; O(n) rebuild. *)

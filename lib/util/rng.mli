@@ -1,0 +1,42 @@
+(** Deterministic pseudo-random number generator (SplitMix64).
+
+    Every stochastic component of the library (workload generators,
+    random schedulers, property tests) draws from an explicit [Rng.t]
+    so that runs are reproducible from a single seed.  The generator is
+    the SplitMix64 algorithm of Steele, Lea and Flood, which has a
+    64-bit state, passes BigCrush, and supports cheap splitting into
+    statistically independent streams. *)
+
+type t
+
+val create : int -> t
+(** [create seed] returns a fresh generator deterministically derived
+    from [seed].  Equal seeds yield equal streams. *)
+
+val copy : t -> t
+(** [copy t] is an independent generator with the same current state. *)
+
+val split : t -> t
+(** [split t] advances [t] and returns a new generator whose stream is
+    statistically independent from the rest of [t]'s stream.  Used to
+    give each simulated thread its own stream. *)
+
+val int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)].  [bound] must be positive.
+    @raise Invalid_argument if [bound <= 0]. *)
+
+val float : t -> float
+(** Uniform float in [\[0, 1)]. *)
+
+val bool : t -> bool
+(** Uniform boolean. *)
+
+val pick : t -> 'a array -> 'a
+(** [pick t arr] is a uniformly chosen element of [arr].
+    @raise Invalid_argument if [arr] is empty. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)

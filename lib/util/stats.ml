@@ -1,0 +1,82 @@
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+}
+
+module Acc = struct
+  type t = {
+    mutable n : int;
+    mutable mean : float;
+    mutable m2 : float;
+    mutable min : float;
+    mutable max : float;
+  }
+
+  let create () = { n = 0; mean = 0.; m2 = 0.; min = infinity; max = neg_infinity }
+
+  (* Welford's online update: numerically stable single-pass variance. *)
+  let add t x =
+    t.n <- t.n + 1;
+    let delta = x -. t.mean in
+    t.mean <- t.mean +. (delta /. float_of_int t.n);
+    t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+    if x < t.min then t.min <- x;
+    if x > t.max then t.max <- x
+
+  let count t = t.n
+  let mean t = t.mean
+  let variance t = if t.n < 2 then 0. else t.m2 /. float_of_int (t.n - 1)
+  let stddev t = sqrt (variance t)
+  let min t = t.min
+  let max t = t.max
+
+  let summary t =
+    { n = t.n; mean = t.mean; stddev = stddev t; min = t.min; max = t.max }
+end
+
+let mean = function
+  | [] -> 0.
+  | xs -> List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
+
+let percentile data p =
+  if Array.length data = 0 then invalid_arg "Stats.percentile: empty data";
+  if p < 0. || p > 100. then invalid_arg "Stats.percentile: p out of range";
+  let sorted = Array.copy data in
+  Array.sort compare sorted;
+  let n = Array.length sorted in
+  if n = 1 then sorted.(0)
+  else begin
+    let rank = p /. 100. *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor rank) in
+    let hi = Stdlib.min (lo + 1) (n - 1) in
+    let frac = rank -. float_of_int lo in
+    sorted.(lo) +. (frac *. (sorted.(hi) -. sorted.(lo)))
+  end
+
+let median data = percentile data 50.
+
+type histogram = {
+  bucket_width : float;
+  lo : float;
+  counts : int array;
+}
+
+let histogram ~buckets ~lo ~hi data =
+  if buckets <= 0 then invalid_arg "Stats.histogram: buckets must be positive";
+  if hi <= lo then invalid_arg "Stats.histogram: hi must exceed lo";
+  let width = (hi -. lo) /. float_of_int buckets in
+  let counts = Array.make buckets 0 in
+  let clamp i = Stdlib.max 0 (Stdlib.min (buckets - 1) i) in
+  Array.iter
+    (fun x ->
+      let i = clamp (int_of_float ((x -. lo) /. width)) in
+      counts.(i) <- counts.(i) + 1)
+    data;
+  { bucket_width = width; lo; counts }
+
+let pp_summary ppf s =
+  Format.fprintf ppf "n=%d mean=%.4g stddev=%.4g min=%.4g max=%.4g" s.n s.mean
+    s.stddev s.min s.max

@@ -1,0 +1,56 @@
+(** Small statistics toolkit used by the benchmark harness.
+
+    Provides streaming mean/variance (Welford's algorithm), percentile
+    extraction, and simple fixed-width histograms for reporting abort
+    and latency distributions. *)
+
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+}
+
+(** Streaming accumulator. *)
+module Acc : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val mean : t -> float
+
+  val variance : t -> float
+  (** Sample variance (Bessel-corrected); [0.] when fewer than two
+      observations were added. *)
+
+  val stddev : t -> float
+  val min : t -> float
+  val max : t -> float
+
+  val summary : t -> summary
+  (** Snapshot of the accumulated statistics. *)
+end
+
+val mean : float list -> float
+(** Arithmetic mean; [0.] on the empty list. *)
+
+val percentile : float array -> float -> float
+(** [percentile data p] with [p] in [\[0,100\]] returns the linearly
+    interpolated percentile.  [data] need not be sorted; it is copied.
+    @raise Invalid_argument on an empty array or [p] outside range. *)
+
+val median : float array -> float
+
+type histogram = {
+  bucket_width : float;
+  lo : float;
+  counts : int array;  (** one cell per bucket, plus overflow in the last *)
+}
+
+val histogram : buckets:int -> lo:float -> hi:float -> float array -> histogram
+(** Fixed-width histogram of the data between [lo] and [hi]; samples
+    below [lo] clamp to the first bucket and above [hi] to the last. *)
+
+val pp_summary : Format.formatter -> summary -> unit

@@ -1,0 +1,181 @@
+(* Tests for the benchmark kit: workload ratios and determinism, the
+   virtual-time harness (normalisation, parallelism cap, reproducible
+   results), and the figure assembly. *)
+
+module W = Polytm_bench_kit.Workload
+module H = Polytm_bench_kit.Harness
+module F = Polytm_bench_kit.Figures
+
+let test_workload_ratios () =
+  let spec = W.default_spec in
+  let rng = Polytm_util.Rng.create 5 in
+  let n = 100_000 in
+  let contains = ref 0 and adds = ref 0 and removes = ref 0 and sizes = ref 0 in
+  for _ = 1 to n do
+    match W.next_op spec rng with
+    | W.Contains _ -> incr contains
+    | W.Add _ -> incr adds
+    | W.Remove _ -> incr removes
+    | W.Size -> incr sizes
+  done;
+  let near label expected x =
+    let p = 100. *. float_of_int x /. float_of_int n in
+    Alcotest.(check bool)
+      (Printf.sprintf "%s: %.1f%% within 1%% of %d%%" label p expected)
+      true
+      (Float.abs (p -. float_of_int expected) < 1.)
+  in
+  near "contains" 80 !contains;
+  near "updates" 10 (!adds + !removes);
+  near "size" 10 !sizes;
+  (* Adds and removes split evenly (within 20% of each other). *)
+  Alcotest.(check bool) "adds ~ removes" true
+    (abs (!adds - !removes) < (!adds + !removes) / 5)
+
+let test_workload_key_range () =
+  let spec = W.spec_of_size 128 in
+  Alcotest.(check int) "range doubles size" 256 spec.W.key_range;
+  let rng = Polytm_util.Rng.create 9 in
+  for _ = 1 to 10_000 do
+    match W.next_op spec rng with
+    | W.Contains k | W.Add k | W.Remove k ->
+        Alcotest.(check bool) "key in range" true (k >= 0 && k < 256)
+    | W.Size -> ()
+  done
+
+let test_workload_deterministic () =
+  let ops seed =
+    let rng = Polytm_util.Rng.create seed in
+    List.init 50 (fun _ -> W.next_op W.default_spec rng)
+  in
+  Alcotest.(check bool) "same seed, same ops" true (ops 3 = ops 3);
+  Alcotest.(check bool) "different seeds differ" true (ops 3 <> ops 4)
+
+let test_prefill () =
+  let spec = W.spec_of_size 16 in
+  let keys = W.prefill_keys spec in
+  Alcotest.(check int) "count" 16 (List.length keys);
+  Alcotest.(check bool) "all even, in range" true
+    (List.for_all (fun k -> k mod 2 = 0 && k < spec.W.key_range) keys)
+
+let run_seq ~threads ~cores =
+  H.run ~cores ~make:F.seq_system.F.make ~spec:(W.spec_of_size 64)
+    ~threads ~duration:20_000 ~seed:3 ()
+
+let test_harness_reproducible () =
+  let a = run_seq ~threads:1 ~cores:16 and b = run_seq ~threads:1 ~cores:16 in
+  Alcotest.(check int) "same completed" a.H.completed b.H.completed;
+  Alcotest.(check int) "same steps" a.H.steps b.H.steps;
+  Alcotest.(check (float 1e-9)) "same throughput" a.H.throughput b.H.throughput
+
+let test_harness_counts_work () =
+  let r = run_seq ~threads:1 ~cores:16 in
+  Alcotest.(check bool) "completed some ops" true (r.H.completed > 50);
+  Alcotest.(check bool) "charged steps" true (r.H.steps > r.H.completed);
+  Alcotest.(check int) "no failures on seq" 0 r.H.failed
+
+let test_parallelism_cap () =
+  (* Below the core count throughput is completed/duration; beyond it
+     the Brent bound divides by threads/cores. *)
+  let free = run_seq ~threads:4 ~cores:16 in
+  Alcotest.(check (float 1e-6)) "uncapped below P"
+    (1000.0 *. float_of_int free.H.completed /. 20_000.)
+    free.H.throughput;
+  let capped = run_seq ~threads:32 ~cores:16 in
+  Alcotest.(check (float 1e-6)) "capped by work/P"
+    (1000.0 *. float_of_int capped.H.completed /. (20_000. *. 2.))
+    capped.H.throughput
+
+let test_stm_system_reports_stats () =
+  let r =
+    H.run ~make:F.classic_system.F.make ~spec:(W.spec_of_size 64) ~threads:2
+      ~duration:20_000 ~seed:5 ()
+  in
+  Alcotest.(check bool) "stats attached" true (Option.is_some r.H.stm_stats)
+
+let test_figures_structure () =
+  let p =
+    {
+      F.default_params with
+      F.spec = W.spec_of_size 64;
+      duration = 15_000;
+      threads_list = [ 1; 4 ];
+    }
+  in
+  let m = F.run_all p in
+  let f5 = F.fig5_of m and f7 = F.fig7_of m and f9 = F.fig9_of m in
+  Alcotest.(check int) "fig5 has 2 series" 2 (List.length f5.F.series);
+  Alcotest.(check int) "fig7 has 3 series" 3 (List.length f7.F.series);
+  Alcotest.(check int) "fig9 has 3 series" 3 (List.length f9.F.series);
+  List.iter
+    (fun s ->
+      Alcotest.(check (list int)) "points at requested threads" [ 1; 4 ]
+        (List.map (fun pt -> pt.F.threads) s.F.points))
+    (f5.F.series @ f9.F.series);
+  Alcotest.(check int) "five claims" 5 (List.length (F.claims m));
+  Alcotest.(check bool) "baseline positive" true (m.F.baseline > 0.)
+
+let test_relaxed_semantics_win_under_contention () =
+  (* The library's raison d'être, as a regression test: at 32 threads
+     the mixed profile must beat classic TL2 by a clear margin. *)
+  let p =
+    {
+      F.default_params with
+      F.spec = W.spec_of_size 256;
+      duration = 60_000;
+      threads_list = [ 32 ];
+    }
+  in
+  let baseline = F.sequential_baseline p in
+  let speedup sys =
+    match (F.run_series p ~baseline sys).F.points with
+    | [ pt ] -> pt.F.speedup
+    | _ -> Alcotest.fail "expected one point"
+  in
+  let classic = speedup F.classic_system in
+  let mixed = speedup F.mixed_system in
+  Alcotest.(check bool)
+    (Printf.sprintf "mixed (%.2f) > 1.5 x classic (%.2f)" mixed classic)
+    true
+    (mixed > 1.5 *. classic)
+
+module Bank = Polytm_bench_kit.Bank
+
+let test_bank_correct_and_snapshot_wins () =
+  let config =
+    { Bank.default_config with Bank.accounts = 16; threads = 8;
+      duration = 40_000; }
+  in
+  match Bank.compare_semantics ~config () with
+  | [ classic; snapshot ] ->
+      Alcotest.(check int) "classic balances all correct" 0
+        classic.Bank.bad_balances;
+      Alcotest.(check int) "snapshot balances all correct" 0
+        snapshot.Bank.bad_balances;
+      Alcotest.(check bool) "snapshot served stale reads" true
+        (snapshot.Bank.stale_reads > 0);
+      Alcotest.(check bool)
+        (Printf.sprintf "snapshot throughput (%.1f) >= classic (%.1f)"
+           snapshot.Bank.throughput classic.Bank.throughput)
+        true
+        (snapshot.Bank.throughput >= classic.Bank.throughput)
+  | _ -> Alcotest.fail "expected two results"
+
+let suite =
+  ( "bench-kit",
+    [
+      Alcotest.test_case "workload ratios" `Quick test_workload_ratios;
+      Alcotest.test_case "workload key range" `Quick test_workload_key_range;
+      Alcotest.test_case "workload deterministic" `Quick
+        test_workload_deterministic;
+      Alcotest.test_case "prefill" `Quick test_prefill;
+      Alcotest.test_case "harness reproducible" `Quick test_harness_reproducible;
+      Alcotest.test_case "harness counts work" `Quick test_harness_counts_work;
+      Alcotest.test_case "parallelism cap" `Quick test_parallelism_cap;
+      Alcotest.test_case "stm stats attached" `Quick test_stm_system_reports_stats;
+      Alcotest.test_case "figures structure" `Quick test_figures_structure;
+      Alcotest.test_case "relaxed semantics win" `Quick
+        test_relaxed_semantics_win_under_contention;
+      Alcotest.test_case "bank benchmark" `Quick
+        test_bank_correct_and_snapshot_wins;
+    ] )

@@ -1,0 +1,209 @@
+(* Tests for transactional boosting: eager execution with inverses,
+   abstract-lock conflict behaviour, abort compensation (including
+   orelse branch rollback), and concurrent correctness. *)
+
+module R = Polytm_runtime.Sim_runtime
+module Sim = Polytm_runtime.Sim
+module S = Polytm.Stm.Make (Polytm_runtime.Sim_runtime)
+module B = Polytm_structs.Boosted_set.Make (Polytm_runtime.Sim_runtime) (S)
+
+let test_basic_ops () =
+  let stm = S.create () in
+  let t = B.create () in
+  let r =
+    S.atomically stm (fun tx ->
+        let a = B.add tx t 1 in
+        let b = B.add tx t 1 in
+        let c = B.contains tx t 1 in
+        let d = B.remove tx t 2 in
+        (a, b, c, d))
+  in
+  Alcotest.(check (pair (pair bool bool) (pair bool bool)))
+    "results" ((true, false), (true, false))
+    ((fun (a, b, c, d) -> ((a, b), (c, d))) r);
+  Alcotest.(check (list int)) "contents" [ 1 ] (B.to_list t)
+
+let test_abort_compensates () =
+  let stm = S.create () in
+  let t = B.create () in
+  S.atomically stm (fun tx -> ignore (B.add tx t 5));
+  (* The eager add of 7 and remove of 5 must both be compensated when
+     the transaction raises. *)
+  (try
+     S.atomically stm (fun tx ->
+         ignore (B.add tx t 7);
+         ignore (B.remove tx t 5);
+         Alcotest.(check (list int)) "eager effects visible inside" [ 7 ]
+           (B.to_list t);
+         raise Exit)
+   with Exit -> ());
+  Alcotest.(check (list int)) "rolled back" [ 5 ] (B.to_list t)
+
+let test_locks_released_after_commit () =
+  let stm = S.create () in
+  let t = B.create () in
+  S.atomically stm (fun tx -> ignore (B.add tx t 1));
+  (* A second transaction can acquire the same bucket. *)
+  S.atomically stm (fun tx ->
+      ignore (B.contains tx t 1);
+      ignore (B.remove tx t 1));
+  Alcotest.(check (list int)) "empty" [] (B.to_list t)
+
+let test_orelse_branch_compensated () =
+  let stm = S.create () in
+  let t = B.create () in
+  let r =
+    S.atomically stm (fun tx ->
+        S.orelse tx
+          (fun tx ->
+            ignore (B.add tx t 9);
+            S.abort tx)
+          (fun tx ->
+            ignore (B.add tx t 3);
+            "fallback"))
+  in
+  Alcotest.(check string) "fallback ran" "fallback" r;
+  Alcotest.(check (list int)) "branch effect compensated" [ 3 ] (B.to_list t)
+
+let test_busy_abstract_lock_aborts_and_retries () =
+  (* Two transactions fight over one bucket: both must eventually
+     commit (abort + retry), and the final state reflects both. *)
+  for seed = 1 to 10 do
+    let stm = S.create () in
+    let t = B.create ~buckets:1 () in
+    let (), _ =
+      Sim.run ~policy:(Sim.Random_sched seed) (fun () ->
+          R.parallel
+            (List.init 2 (fun i () ->
+                 S.atomically stm (fun tx ->
+                     ignore (B.add tx t i);
+                     (* Hold the lock across some work. *)
+                     Sim.tick 20;
+                     ignore (B.contains tx t i)))))
+    in
+    Alcotest.(check (list int)) "both committed" [ 0; 1 ] (B.to_list t)
+  done
+
+let test_commuting_ops_dont_conflict () =
+  (* Operations on different buckets commute: two long transactions
+     interleave without a single abort. *)
+  let stm = S.create () in
+  let t = B.create ~buckets:8 () in
+  (* Partition candidate keys by actual bucket so the two threads
+     provably touch disjoint buckets. *)
+  let keys_a, keys_b =
+    let rec pick a b k =
+      if List.length a >= 4 && List.length b >= 4 then
+        (List.filteri (fun i _ -> i < 4) a, List.filteri (fun i _ -> i < 4) b)
+      else
+        let bucket = B.bucket_index t k in
+        if bucket < 4 && List.length a < 4 then pick (k :: a) b (k + 1)
+        else if bucket >= 4 && List.length b < 4 then pick a (k :: b) (k + 1)
+        else pick a b (k + 1)
+    in
+    pick [] [] 0
+  in
+  let (), _ =
+    Sim.run (fun () ->
+        R.parallel
+          (List.map
+             (fun keys () ->
+               S.atomically stm (fun tx ->
+                   List.iter
+                     (fun k ->
+                       ignore (B.add tx t k);
+                       Sim.tick 10)
+                     keys))
+             [ keys_a; keys_b ]))
+  in
+  Alcotest.(check int) "all present" 8 (List.length (B.to_list t));
+  Alcotest.(check int) "no aborts" 0 (S.stats stm).S.aborts
+
+let test_concurrent_boosted_counter_workload () =
+  for seed = 1 to 10 do
+    let stm = S.create () in
+    let t = B.create () in
+    let (), _ =
+      Sim.run ~policy:(Sim.Random_sched seed) (fun () ->
+          R.parallel
+            (List.init 3 (fun i () ->
+                 for k = 0 to 5 do
+                   S.atomically stm (fun tx ->
+                       ignore (B.add tx t ((k * 3) + i)))
+                 done)))
+    in
+    Alcotest.(check int) "18 elements" 18 (List.length (B.to_list t));
+    let l = B.to_list t in
+    Alcotest.(check (list int)) "exact contents" (List.init 18 Fun.id) l
+  done
+
+let test_mixes_with_tvars () =
+  (* A transaction combining a boosted add with a tvar update: both
+     effects commit together; on abort both disappear. *)
+  let stm = S.create () in
+  let t = B.create () in
+  let counter = S.tvar stm 0 in
+  S.atomically stm (fun tx ->
+      ignore (B.add tx t 42);
+      S.write tx counter (S.read tx counter + 1));
+  Alcotest.(check (list int)) "boosted committed" [ 42 ] (B.to_list t);
+  Alcotest.(check int) "tvar committed" 1
+    (S.atomically stm (fun tx -> S.read tx counter));
+  (try
+     S.atomically stm (fun tx ->
+         ignore (B.add tx t 43);
+         S.write tx counter 99;
+         raise Exit)
+   with Exit -> ());
+  Alcotest.(check (list int)) "boosted rolled back" [ 42 ] (B.to_list t);
+  Alcotest.(check int) "tvar discarded" 1
+    (S.atomically stm (fun tx -> S.read tx counter))
+
+let test_boosted_size_atomic () =
+  for seed = 1 to 6 do
+    let stm = S.create () in
+    let t = B.create ~buckets:4 () in
+    for i = 0 to 7 do
+      S.atomically stm (fun tx -> ignore (B.add tx t i))
+    done;
+    let bad = ref 0 in
+    let (), _ =
+      Sim.run ~policy:(Sim.Random_sched seed) (fun () ->
+          let mover =
+            Sim.spawn (fun () ->
+                for i = 0 to 7 do
+                  S.atomically stm (fun tx ->
+                      ignore (B.remove tx t i);
+                      ignore (B.add tx t (100 + i)))
+                done)
+          in
+          let observer =
+            Sim.spawn (fun () ->
+                for _ = 1 to 4 do
+                  let n = S.atomically stm (fun tx -> B.size tx t) in
+                  if n <> 8 then incr bad
+                done)
+          in
+          Sim.join mover;
+          Sim.join observer)
+    in
+    Alcotest.(check int) "size always 8" 0 !bad
+  done
+
+let suite =
+  ( "boosted",
+    [
+      Alcotest.test_case "basic ops" `Quick test_basic_ops;
+      Alcotest.test_case "abort compensates" `Quick test_abort_compensates;
+      Alcotest.test_case "locks released" `Quick test_locks_released_after_commit;
+      Alcotest.test_case "orelse branch compensated" `Quick
+        test_orelse_branch_compensated;
+      Alcotest.test_case "busy lock aborts and retries" `Quick
+        test_busy_abstract_lock_aborts_and_retries;
+      Alcotest.test_case "commuting ops don't conflict" `Quick
+        test_commuting_ops_dont_conflict;
+      Alcotest.test_case "concurrent workload" `Quick
+        test_concurrent_boosted_counter_workload;
+      Alcotest.test_case "mixes with tvars" `Quick test_mixes_with_tvars;
+      Alcotest.test_case "boosted size atomic" `Quick test_boosted_size_atomic;
+    ] )

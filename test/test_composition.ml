@@ -1,0 +1,204 @@
+(* Composition: the property Section 2.2 celebrates and Section 4.1
+   shows the early relaxations losing.
+
+   - Bob composes Alice's parses into an atomic addIfAbsent: under
+     exhaustive exploration, the two symmetric addIfAbsent calls never
+     both insert (classic outer transaction), even though the inner
+     operations are elastic.
+   - The same composite built with EARLY RELEASE is broken: the
+     explorer finds a schedule where addIfAbsent(x unless y) and
+     addIfAbsent(y unless x) both insert — the concrete inconsistency
+     the paper describes. *)
+
+module R = Polytm_runtime.Sim_runtime
+module Sim = Polytm_runtime.Sim
+module Explore = Polytm_runtime.Explore
+module S = Polytm.Stm.Make (Polytm_runtime.Sim_runtime)
+module LS = Polytm_structs.Stm_list_set.Make (S)
+open Polytm
+
+let test_add_if_absent_atomic_exhaustive () =
+  (* Alice's list uses elastic parses; Bob's addIfAbsent is the
+     classic composite from Stm_list_set. *)
+  let program () =
+    let stm = S.create ~cm:Contention.Suicide () in
+    let t = LS.create ~parse_sem:Semantics.Elastic stm in
+    let t1 =
+      Sim.spawn (fun () -> ignore (LS.add_if_absent t 1 ~absent_witness:2))
+    in
+    let t2 =
+      Sim.spawn (fun () -> ignore (LS.add_if_absent t 2 ~absent_witness:1))
+    in
+    Sim.join t1;
+    Sim.join t2;
+    let contents = LS.to_list t in
+    (* One of them must win; both inserting violates the composite's
+       atomicity. *)
+    assert (contents = [ 1 ] || contents = [ 2 ])
+  in
+  let outcome =
+    Explore.check ~max_executions:60_000 ~max_depth:40 ~step_limit:2_000
+      program
+  in
+  Alcotest.(check bool) "explored schedules" true
+    (outcome.Explore.executions > 50)
+
+(* Bob's cross-structure composite: insert [v] into [target] unless
+   [witness] is present in [other].  When [release_witness] is set,
+   the witness read is released after checking (the Herlihy et al.
+   early-release idiom): the composite's two halves then touch
+   disjoint locations and nothing revalidates the witness. *)
+let add_unless ~release_witness stm ~target ~other v ~witness =
+  S.atomically stm (fun tx ->
+      let witness_ptr, witness_node = LS.find tx other witness in
+      let witness_present =
+        match witness_node with
+        | LS.Node { value; _ } -> value = witness
+        | LS.Nil -> false
+      in
+      if release_witness then S.release tx witness_ptr;
+      if witness_present then false
+      else begin
+        (* Consume some time so the race window is wide. *)
+        Sim.tick 5;
+        match LS.find tx target v with
+        | _, LS.Node { value; _ } when value = v -> false
+        | ptr, cur ->
+            S.write tx ptr (LS.Node { value = v; next = S.tvar stm cur });
+            true
+      end)
+
+(* Two symmetric composites: add 1 to L1 unless 2 is in L2, and add 2
+   to L2 unless 1 is in L1.  At most one may succeed.  Returns whether
+   BOTH succeeded (the anomaly) under one random schedule. *)
+let symmetric_run ~release_witness seed =
+  let stm = S.create ~cm:Contention.Suicide () in
+  let l1 = LS.create stm and l2 = LS.create stm in
+  let (), _ =
+    Sim.run ~policy:(Sim.Random_sched seed) (fun () ->
+        let t1 =
+          Sim.spawn (fun () ->
+              ignore
+                (add_unless ~release_witness stm ~target:l1 ~other:l2 1
+                   ~witness:2))
+        in
+        let t2 =
+          Sim.spawn (fun () ->
+              ignore
+                (add_unless ~release_witness stm ~target:l2 ~other:l1 2
+                   ~witness:1))
+        in
+        Sim.join t1;
+        Sim.join t2)
+  in
+  LS.to_list l1 = [ 1 ] && LS.to_list l2 = [ 2 ]
+
+(* The full schedule space here is ~C(30,15) — too large to exhaust —
+   so the hazard hunt uses CHESS-style preemption bounding (<= 2
+   preemptions) plus 200 seeded random schedules; retry-budget
+   exhaustion under unfair bounded schedules is pruned as benign. *)
+let symmetric_program ~release_witness () =
+  let stm = S.create ~cm:Contention.Suicide () in
+  let l1 = LS.create stm and l2 = LS.create stm in
+  let t1 =
+    Sim.spawn (fun () ->
+        ignore
+          (add_unless ~release_witness stm ~target:l1 ~other:l2 1 ~witness:2))
+  in
+  let t2 =
+    Sim.spawn (fun () ->
+        ignore
+          (add_unless ~release_witness stm ~target:l2 ~other:l1 2 ~witness:1))
+  in
+  Sim.join t1;
+  Sim.join t2;
+  assert (not (LS.to_list l1 = [ 1 ] && LS.to_list l2 = [ 2 ]))
+
+let prune_retry_exhaustion = function
+  | S.Too_many_attempts _ -> true
+  | _ -> false
+
+let test_early_release_breaks_composition () =
+  let hits = ref 0 in
+  for seed = 1 to 200 do
+    if symmetric_run ~release_witness:true seed then incr hits
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "hazard observed (%d/200 schedules)" !hits)
+    true (!hits > 0);
+  (* And the bounded model checker pinpoints it without randomness. *)
+  let found =
+    try
+      ignore
+        (Explore.check ~max_executions:100_000 ~max_preemptions:2
+           ~prune_exn:prune_retry_exhaustion
+           (symmetric_program ~release_witness:true));
+      false
+    with Explore.Violation _ -> true
+  in
+  Alcotest.(check bool) "explorer (<=2 preemptions) finds it" true found
+
+let test_without_release_same_composite_is_atomic () =
+  (* Identical code without the release: no schedule breaks it —
+     pinpointing the release as the culprit. *)
+  for seed = 1 to 200 do
+    Alcotest.(check bool)
+      (Printf.sprintf "atomic without release (seed %d)" seed)
+      false
+      (symmetric_run ~release_witness:false seed)
+  done;
+  let outcome =
+    Explore.check ~max_executions:100_000 ~max_preemptions:2
+      ~prune_exn:prune_retry_exhaustion
+      (symmetric_program ~release_witness:false)
+  in
+  Alcotest.(check bool) "bounded exploration finds nothing" true
+    (outcome.Explore.executions > 100)
+
+let test_queue_compose_with_set () =
+  (* Cross-structure composition: move an element from a set into a
+     queue atomically; an observer never sees it in both or neither. *)
+  for seed = 1 to 10 do
+    let stm = S.create () in
+    let set = LS.create stm in
+    let module Q = Polytm_structs.Stm_queue.Make (S) in
+    let queue = Q.create stm in
+    ignore (LS.add set 7);
+    let anomalies = ref 0 in
+    let (), _ =
+      Sim.run ~policy:(Sim.Random_sched seed) (fun () ->
+          let mover =
+            Sim.spawn (fun () ->
+                S.atomically stm (fun tx ->
+                    if LS.remove set 7 then Q.enqueue_tx tx queue 7))
+          in
+          let observer =
+            Sim.spawn (fun () ->
+                for _ = 1 to 3 do
+                  let in_set, in_queue =
+                    S.atomically stm (fun _tx ->
+                        (LS.contains set 7, Q.to_list queue = [ 7 ]))
+                  in
+                  if in_set = in_queue then incr anomalies
+                done)
+          in
+          Sim.join mover;
+          Sim.join observer)
+    in
+    Alcotest.(check int)
+      (Printf.sprintf "seed %d: exactly one holder" seed)
+      0 !anomalies
+  done
+
+let suite =
+  ( "composition",
+    [
+      Alcotest.test_case "addIfAbsent atomic (exhaustive)" `Quick
+        test_add_if_absent_atomic_exhaustive;
+      Alcotest.test_case "early release breaks composition" `Quick
+        test_early_release_breaks_composition;
+      Alcotest.test_case "same composite atomic without release" `Quick
+        test_without_release_same_composite_is_atomic;
+      Alcotest.test_case "queue/set cross composition" `Quick
+        test_queue_compose_with_set;
+    ] )

@@ -1,0 +1,186 @@
+(* Section 3.1's expressiveness claim, executed.
+
+   The paper defines atomicity(π, π') — two accesses appear to occur at
+   one common indivisible point — and notes it is NOT transitive: the
+   hand-over-hand program
+
+     P = lock(x) r(x) lock(y) r(y) unlock(x) lock(z) r(z) unlock(y) unlock(z)
+
+   guarantees atomicity(r(x),r(y)) and atomicity(r(y),r(z)) but NOT
+   atomicity(r(x),r(z)), while Pt = transaction{r(x) r(y) r(z)}
+   necessarily guarantees all three — the transitive closure cannot be
+   avoided with a classic transaction.
+
+   Each pair is probed with a dedicated writer that updates exactly
+   that pair under its two locks (so the pair is equal at every lock
+   quiescent point):
+
+   - the (x,y) writer and the (y,z) writer can never tear P's reads —
+     P overlaps lock ownership across each adjacent pair;
+   - the (x,z) writer tears P in some schedule: it slips into the
+     window where the reader holds only lock(y) — found by schedule sampling;
+   - no writer tears Pt. *)
+
+module R = Polytm_runtime.Sim_runtime
+module Sim = Polytm_runtime.Sim
+module Explore = Polytm_runtime.Explore
+module Lock = Polytm_runtime.Spinlock.Make (Polytm_runtime.Sim_runtime)
+module S = Polytm.Stm.Make (Polytm_runtime.Sim_runtime)
+
+type cells = {
+  vars : int R.atomic array;  (** x, y, z *)
+  locks : Lock.t array;
+}
+
+let make_cells () =
+  { vars = Array.init 3 (fun _ -> R.atomic 0); locks = Array.init 3 (fun _ -> Lock.create ()) }
+
+(* The paper's program P: returns the three observed values. *)
+let run_p c =
+  Lock.lock c.locks.(0);
+  let vx = R.get c.vars.(0) in
+  Lock.lock c.locks.(1);
+  let vy = R.get c.vars.(1) in
+  Lock.unlock c.locks.(0);
+  Lock.lock c.locks.(2);
+  let vz = R.get c.vars.(2) in
+  Lock.unlock c.locks.(1);
+  Lock.unlock c.locks.(2);
+  (vx, vy, vz)
+
+(* Writer updating the pair (i, j), i < j, under both locks (global
+   lock order, like GFS's depth ordering). *)
+let run_pair_writer c i j =
+  Lock.lock c.locks.(i);
+  Lock.lock c.locks.(j);
+  R.set c.vars.(i) 1;
+  R.set c.vars.(j) 1;
+  Lock.unlock c.locks.(i);
+  Lock.unlock c.locks.(j)
+
+let explore_pair (i, j) check =
+  let program () =
+    let c = make_cells () in
+    let observed = ref (0, 0, 0) in
+    let reader = Sim.spawn (fun () -> observed := run_p c) in
+    let writer = Sim.spawn (fun () -> run_pair_writer c i j) in
+    Sim.join reader;
+    Sim.join writer;
+    check !observed
+  in
+  Explore.check ~max_executions:100_000 ~max_depth:60 ~step_limit:2_000
+    program
+
+let test_p_xy_pair_atomic () =
+  let outcome = explore_pair (0, 1) (fun (vx, vy, _) -> assert (vx = vy)) in
+  Alcotest.(check bool) "every schedule keeps (x,y) consistent" true
+    (outcome.Explore.executions > 10)
+
+let test_p_yz_pair_atomic () =
+  let outcome = explore_pair (1, 2) (fun (_, vy, vz) -> assert (vy = vz)) in
+  Alcotest.(check bool) "every schedule keeps (y,z) consistent" true
+    (outcome.Explore.executions > 10)
+
+let random_pair_runs (i, j) seeds =
+  (* The schedule space with spinning is too large for bounded DFS;
+     seeded random schedules sample it instead. *)
+  List.map
+    (fun seed ->
+      let c = make_cells () in
+      let observed = ref (0, 0, 0) in
+      let (), _ =
+        Sim.run ~policy:(Sim.Random_sched seed) (fun () ->
+            let reader = Sim.spawn (fun () -> observed := run_p c) in
+            let writer = Sim.spawn (fun () -> run_pair_writer c i j) in
+            Sim.join reader;
+            Sim.join writer)
+      in
+      !observed)
+    (List.init seeds (fun k -> k + 1))
+
+let test_p_xz_pair_tearable () =
+  let torn =
+    List.exists (fun (vx, _, vz) -> vx <> vz) (random_pair_runs (0, 2) 300)
+  in
+  Alcotest.(check bool) "some schedule tears (x,z)" true torn;
+  (* And the same sampling never tears the adjacent pairs. *)
+  Alcotest.(check bool) "(x,y) never torn in the same sample" true
+    (List.for_all (fun (vx, vy, _) -> vx = vy) (random_pair_runs (0, 1) 300));
+  Alcotest.(check bool) "(y,z) never torn in the same sample" true
+    (List.for_all (fun (_, vy, vz) -> vy = vz) (random_pair_runs (1, 2) 300))
+
+let test_transaction_forces_transitive_closure () =
+  (* Pt with the same (x,z) pair-writer as a classic transaction:
+     every schedule keeps even the outer pair consistent. *)
+  let program () =
+    let stm = S.create ~cm:Polytm.Contention.Suicide () in
+    let vars = Array.init 3 (fun _ -> S.tvar stm 0) in
+    let observed = ref (0, 0, 0) in
+    let reader =
+      Sim.spawn (fun () ->
+          observed :=
+            S.atomically stm (fun tx ->
+                (S.read tx vars.(0), S.read tx vars.(1), S.read tx vars.(2))))
+    in
+    let writer =
+      Sim.spawn (fun () ->
+          S.atomically stm (fun tx ->
+              S.write tx vars.(0) 1;
+              S.write tx vars.(2) 1))
+    in
+    Sim.join reader;
+    Sim.join writer;
+    let vx, _, vz = !observed in
+    assert (vx = vz)
+  in
+  let outcome =
+    Explore.check ~max_executions:100_000 ~max_depth:60 ~step_limit:2_000
+      program
+  in
+  Alcotest.(check bool) "no schedule tears Pt" true
+    (outcome.Explore.executions > 10)
+
+let test_snapshot_also_transitive () =
+  (* The snapshot semantics provides the same closure without ever
+     aborting the writers. *)
+  for seed = 1 to 20 do
+    let stm = S.create () in
+    let vars = Array.init 3 (fun _ -> S.tvar stm 0) in
+    let torn = ref false in
+    let (), _ =
+      Sim.run ~policy:(Sim.Random_sched seed) (fun () ->
+          let reader =
+            Sim.spawn (fun () ->
+                let vx, vz =
+                  S.atomically ~sem:Polytm.Semantics.Snapshot stm (fun tx ->
+                      (S.read tx vars.(0), S.read tx vars.(2)))
+                in
+                if vx <> vz then torn := true)
+          in
+          let writer =
+            Sim.spawn (fun () ->
+                for v = 1 to 2 do
+                  S.atomically stm (fun tx ->
+                      S.write tx vars.(0) v;
+                      S.write tx vars.(2) v)
+                done)
+          in
+          Sim.join reader;
+          Sim.join writer)
+    in
+    Alcotest.(check bool) (Printf.sprintf "seed %d consistent" seed) false !torn;
+    Alcotest.(check int) "writers never aborted" 0
+      ((S.stats stm).S.read_invalid + (S.stats stm).S.lock_busy)
+  done
+
+let suite =
+  ( "expressiveness",
+    [
+      Alcotest.test_case "P: (x,y) atomic" `Quick test_p_xy_pair_atomic;
+      Alcotest.test_case "P: (y,z) atomic" `Quick test_p_yz_pair_atomic;
+      Alcotest.test_case "P: (x,z) tears" `Quick test_p_xz_pair_tearable;
+      Alcotest.test_case "Pt: transitive closure forced" `Quick
+        test_transaction_forces_transitive_closure;
+      Alcotest.test_case "snapshot: closure without aborts" `Quick
+        test_snapshot_also_transitive;
+    ] )

@@ -1,0 +1,181 @@
+(* Failure injection: user code raising at arbitrary points inside
+   transactions (including nested blocks, orelse branches and boosted
+   operations) must never corrupt shared state, and the STM must stay
+   fully usable afterwards. *)
+
+module R = Polytm_runtime.Sim_runtime
+module Sim = Polytm_runtime.Sim
+module S = Polytm.Stm.Make (Polytm_runtime.Sim_runtime)
+module B = Polytm_structs.Boosted_set.Make (Polytm_runtime.Sim_runtime) (S)
+module LS = Polytm_structs.Stm_list_set.Make (S)
+
+exception Injected
+
+let test_random_raises_conserve_money () =
+  (* Transfers raise Injected at one of three points with probability
+     ~1/3; every failed transfer must be fully discarded. *)
+  for seed = 1 to 10 do
+    let stm = S.create () in
+    let n = 6 in
+    let accounts = Array.init n (fun _ -> S.tvar stm 100) in
+    let raised = ref 0 in
+    let (), _ =
+      Sim.run ~policy:(Sim.Random_sched seed) (fun () ->
+          R.parallel
+            (List.init 3 (fun t () ->
+                 let rng = Polytm_util.Rng.create (seed * 19 + t) in
+                 for _ = 1 to 10 do
+                   let src = Polytm_util.Rng.int rng n
+                   and dst = Polytm_util.Rng.int rng n
+                   and amount = Polytm_util.Rng.int rng 30
+                   and crash = Polytm_util.Rng.int rng 9 in
+                   try
+                     S.atomically stm (fun tx ->
+                         if crash = 0 then raise Injected;
+                         let s = S.read tx accounts.(src) in
+                         S.write tx accounts.(src) (s - amount);
+                         if crash = 1 then raise Injected;
+                         let d = S.read tx accounts.(dst) in
+                         S.write tx accounts.(dst) (d + amount);
+                         if crash = 2 then raise Injected)
+                   with Injected -> incr raised
+                 done)))
+    in
+    let total =
+      S.atomically stm (fun tx ->
+          Array.fold_left (fun acc a -> acc + S.read tx a) 0 accounts)
+    in
+    Alcotest.(check int) (Printf.sprintf "seed %d: conserved" seed) (n * 100)
+      total;
+    Alcotest.(check bool) "some failures actually injected" true (!raised > 0)
+  done
+
+let test_raise_inside_nested_block () =
+  let stm = S.create () in
+  let v = S.tvar stm 0 in
+  (try
+     S.atomically stm (fun tx ->
+         S.write tx v 1;
+         S.atomically stm (fun tx' ->
+             S.write tx' v 2;
+             raise Injected))
+   with Injected -> ());
+  (* The nested block flattened into the outer transaction: the raise
+     aborts the WHOLE transaction, not just the inner part. *)
+  Alcotest.(check int) "everything discarded" 0
+    (S.atomically stm (fun tx -> S.read tx v))
+
+let test_raise_in_orelse_branches () =
+  let stm = S.create () in
+  let v = S.tvar stm 0 in
+  (* A raise in the first branch is not an `abort`: it must NOT fall
+     through to the alternative, and must discard everything. *)
+  (try
+     ignore
+       (S.atomically stm (fun tx ->
+            S.orelse tx
+              (fun tx ->
+                S.write tx v 1;
+                raise Injected)
+              (fun tx ->
+                S.write tx v 2;
+                "never")))
+   with Injected -> ());
+  Alcotest.(check int) "no branch committed" 0
+    (S.atomically stm (fun tx -> S.read tx v))
+
+let test_raise_after_boosted_ops_compensates () =
+  for seed = 1 to 10 do
+    let stm = S.create () in
+    let t = B.create () in
+    S.atomically stm (fun tx -> ignore (B.add tx t 1));
+    let rng = Polytm_util.Rng.create seed in
+    for _ = 1 to 10 do
+      let crash = Polytm_util.Rng.bool rng in
+      try
+        S.atomically stm (fun tx ->
+            ignore (B.add tx t 2);
+            ignore (B.remove tx t 1);
+            if crash then raise Injected;
+            ignore (B.remove tx t 2);
+            ignore (B.add tx t 1))
+      with Injected -> ()
+    done;
+    (* Every iteration is a no-op overall (commit path restores the
+       original state; crash path compensates): the set must still be
+       exactly {1}, with every abstract lock released. *)
+    Alcotest.(check (list int)) (Printf.sprintf "seed %d: state intact" seed)
+      [ 1 ] (B.to_list t);
+    S.atomically stm (fun tx ->
+        Alcotest.(check bool) "locks free again" true (B.contains tx t 1))
+  done
+
+let test_stm_usable_after_exhaustion () =
+  (* Too_many_attempts must leave no residue: subsequent transactions
+     run normally. *)
+  let stm = S.create ~max_attempts:3 () in
+  let v = S.tvar stm 7 in
+  (try S.atomically stm (fun tx -> S.abort tx)
+   with S.Too_many_attempts _ -> ());
+  Alcotest.(check int) "still working" 7
+    (S.atomically stm (fun tx -> S.read tx v));
+  S.atomically stm (fun tx -> S.write tx v 8);
+  Alcotest.(check int) "writes still commit" 8
+    (S.atomically stm (fun tx -> S.read tx v))
+
+let test_injected_raises_on_list_operations () =
+  (* Abort a structural insert halfway (after find, during decision):
+     the list must stay well-formed and retain its contents. *)
+  for seed = 1 to 10 do
+    let stm = S.create () in
+    let t = LS.create stm in
+    for i = 0 to 9 do
+      ignore (LS.add t (2 * i))
+    done;
+    let rng = Polytm_util.Rng.create (seed * 3) in
+    let (), _ =
+      Sim.run ~policy:(Sim.Random_sched seed) (fun () ->
+          R.parallel
+            (List.init 2 (fun _ () ->
+                 for _ = 1 to 6 do
+                   let k = Polytm_util.Rng.int rng 20 in
+                   try
+                     S.atomically stm (fun tx ->
+                         match LS.find tx t k with
+                         | ptr, cur ->
+                             if Polytm_util.Rng.bool rng then raise Injected;
+                             (match cur with
+                             | LS.Node { value; _ } when value = k -> ()
+                             | cur ->
+                                 S.write tx ptr
+                                   (LS.Node { value = k; next = S.tvar stm cur })))
+                   with Injected -> ()
+                 done)))
+    in
+    let l = LS.to_list t in
+    Alcotest.(check (list int)) "sorted unique" (List.sort_uniq compare l) l;
+    List.iter
+      (fun i ->
+        Alcotest.(check bool)
+          (Printf.sprintf "original element %d survives" (2 * i))
+          true
+          (List.mem (2 * i) l))
+      (List.init 10 Fun.id)
+  done
+
+let suite =
+  ( "failure-injection",
+    [
+      Alcotest.test_case "random raises conserve money" `Quick
+        test_random_raises_conserve_money;
+      Alcotest.test_case "raise inside nested block" `Quick
+        test_raise_inside_nested_block;
+      Alcotest.test_case "raise in orelse branch" `Quick
+        test_raise_in_orelse_branches;
+      Alcotest.test_case "boosted ops compensated on raise" `Quick
+        test_raise_after_boosted_ops_compensates;
+      Alcotest.test_case "usable after exhaustion" `Quick
+        test_stm_usable_after_exhaustion;
+      Alcotest.test_case "list ops aborted midway" `Quick
+        test_injected_raises_on_list_operations;
+    ] )

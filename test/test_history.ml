@@ -1,0 +1,431 @@
+(* Tests for the history-theory library: the checkers are exercised on
+   the paper's own examples (Sections 3.2 and 4.2) plus classic
+   textbook histories, and the polynomial checkers are cross-validated
+   against brute-force search on random histories. *)
+
+open Polytm_history
+
+let x = 0 and y = 1 and z = 2
+
+let r = History.read
+let w = History.write
+
+(* --- History basics --------------------------------------------------- *)
+
+let test_txs_and_commit () =
+  let h = History.make ~aborted:[ 2 ] [ r 1 x; w 2 y; r 1 y ] in
+  Alcotest.(check (list int)) "txs" [ 1; 2 ] (History.txs h);
+  Alcotest.(check (list int)) "committed" [ 1 ] (History.committed h);
+  Alcotest.(check bool) "1 committed" true (History.is_committed h 1);
+  Alcotest.(check bool) "2 aborted" false (History.is_committed h 2);
+  Alcotest.(check int) "events of 1" 2 (List.length (History.events_of h 1));
+  Alcotest.(check bool) "well formed" true (History.well_formed h)
+
+let test_conflicts () =
+  Alcotest.(check bool) "r/w same loc" true (History.conflicts (r 1 x) (w 2 x));
+  Alcotest.(check bool) "w/w same loc" true (History.conflicts (w 1 x) (w 2 x));
+  Alcotest.(check bool) "r/r no" false (History.conflicts (r 1 x) (r 2 x));
+  Alcotest.(check bool) "different locs" false (History.conflicts (w 1 x) (w 2 y));
+  Alcotest.(check bool) "same tx" false (History.conflicts (r 1 x) (w 1 x))
+
+let test_precedes_rt () =
+  let h = History.make [ r 1 x; r 1 y; w 2 x; r 3 z ] in
+  Alcotest.(check bool) "1 before 2" true (History.precedes_rt h 1 2);
+  Alcotest.(check bool) "2 before 3" true (History.precedes_rt h 2 3);
+  Alcotest.(check bool) "2 not before 1" false (History.precedes_rt h 2 1);
+  let h2 = History.make [ r 1 x; w 2 x; r 1 y ] in
+  Alcotest.(check bool) "overlapping" false (History.precedes_rt h2 1 2);
+  Alcotest.(check bool) "overlapping rev" false (History.precedes_rt h2 2 1)
+
+let test_pp () =
+  let h = History.make [ r 1 x; w 2 z ] in
+  Alcotest.(check string) "printed" "r(x)_1, w(z)_2"
+    (Format.asprintf "%a" History.pp h)
+
+(* --- Serializability --------------------------------------------------- *)
+
+let test_serializable_simple () =
+  (* r(x)1 w(x)2 — order 1 < 2 works. *)
+  let h = History.make [ r 1 x; w 2 x ] in
+  Alcotest.(check bool) "accepted" true (Serializability.accepts h)
+
+let test_not_serializable_cycle () =
+  (* 1 reads x before 2 writes it, and 2 reads y before 1 writes it:
+     cycle 1 <-> 2. *)
+  let h = History.make [ r 1 x; r 2 y; w 2 x; w 1 y ] in
+  Alcotest.(check bool) "rejected" false (Serializability.accepts h);
+  Alcotest.(check bool) "brute force agrees" false
+    (Serializability.accepts_brute_force h)
+
+let test_serializable_ignores_real_time () =
+  (* 2 finishes before 3 starts, but serialization order 3 < 1 < 2 is
+     still fine for plain serializability. *)
+  let h = History.make [ r 1 x; w 2 x; r 3 z; w 1 z ] in
+  Alcotest.(check bool) "accepted" true (Serializability.accepts h)
+
+let test_aborted_writes_ignored () =
+  (* The aborted writer's conflict must not force an order. *)
+  let h = History.make ~aborted:[ 2 ] [ r 1 x; w 2 x; w 2 y; r 1 y ] in
+  Alcotest.(check bool) "accepted" true (Serializability.accepts h)
+
+(* --- Opacity ----------------------------------------------------------- *)
+
+let test_opacity_respects_real_time () =
+  (* Pt reads x, then P1 writes x (Pt < P1); P1 ends before P2 starts
+     (P1 < P2); P2 writes z before Pt reads it (P2 < Pt): cycle under
+     opacity, fine under serializability.  This is the shape of the
+     four schedules Figure 4 says opacity precludes. *)
+  let h = History.make [ r 0 x; w 1 x; w 2 z; r 0 z ] in
+  Alcotest.(check bool) "serializable" true (Serializability.accepts h);
+  Alcotest.(check bool) "not opaque" false (Opacity.accepts h);
+  Alcotest.(check bool) "brute force agrees" false (Opacity.accepts_brute_force h)
+
+let test_opacity_aborted_reads_matter () =
+  (* Aborted transaction 3 reads x and y around a committed update of
+     both: its two reads cannot belong to one consistent snapshot.
+     Serializability of committed transactions alone would accept. *)
+  let h =
+    History.make ~aborted:[ 3 ]
+      [ r 3 x; w 1 x; w 1 y; r 3 y ]
+  in
+  Alcotest.(check bool) "committed projection serializable" true
+    (Serializability.accepts h);
+  Alcotest.(check bool) "not opaque" false (Opacity.accepts h);
+  Alcotest.(check bool) "brute force agrees" false (Opacity.accepts_brute_force h)
+
+let test_opaque_simple () =
+  let h = History.make [ r 1 x; w 2 y; r 1 y ] in
+  Alcotest.(check bool) "opaque" true (Opacity.accepts h);
+  Alcotest.(check bool) "brute force agrees" true (Opacity.accepts_brute_force h)
+
+(* --- Elastic ----------------------------------------------------------- *)
+
+(* The paper's Section 4.2 history:
+   H = r(h)i, r(n)i, r(h)j, r(n)j, w(h)j, r(t)i, w(n)i
+   with h=x, n=y, t=z; i=1 parses to insert at the tail while j=2
+   inserts at the head. *)
+let paper_h =
+  History.make [ r 1 x; r 1 y; r 2 x; r 2 y; w 2 x; r 1 z; w 1 y ]
+
+let test_paper_history_not_opaque () =
+  Alcotest.(check bool) "not serializable" false (Serializability.accepts paper_h);
+  Alcotest.(check bool) "not opaque" false (Opacity.accepts paper_h)
+
+let test_paper_history_elastic_ok () =
+  Alcotest.(check bool) "accepted with i elastic" true
+    (Elastic.accepts ~elastic:[ 1 ] paper_h)
+
+let test_paper_cut_is_consistent () =
+  (* The cut the paper exhibits: s1 = r(h) r(n), s2 = r(t) w(n) — a
+     single cut point at position 2. *)
+  Alcotest.(check bool) "cut {2} consistent" true
+    (Elastic.cut_consistent paper_h 1 [ 2 ]);
+  (* Cutting inside the write suffix is not allowed: position 3 splits
+     r(t) from w(n), still fine (write last); but a cut at 4 would not
+     even exist (only 4 events).  Cut at 1 separates r(h) | r(n)…: the
+     boundary pair is (x, y); j writes x between them?  j's w(h) occurs
+     after r(n)i, so no. *)
+  Alcotest.(check bool) "cut {1} consistent" true
+    (Elastic.cut_consistent paper_h 1 [ 1 ])
+
+let test_elastic_rejects_double_modification () =
+  (* Between r(y) and r(z) of elastic 1, transaction 2 writes BOTH y
+     and z: the boundary condition fails for every cut, and the uncut
+     history is not opaque either. *)
+  let h =
+    History.make [ r 1 y; w 2 y; w 2 z; r 1 z; w 1 y ]
+  in
+  Alcotest.(check bool) "not opaque" false (Opacity.accepts h);
+  Alcotest.(check bool) "elastic rejects" false (Elastic.accepts ~elastic:[ 1 ] h)
+
+let test_elastic_single_modification_ok () =
+  (* Only z changes between the two reads: the elastic cut tolerates
+     it (this is the linked-list false-conflict of Section 3.2). *)
+  let h = History.make [ r 1 y; w 2 z; r 1 z; w 1 y ] in
+  Alcotest.(check bool) "elastic accepts" true (Elastic.accepts ~elastic:[ 1 ] h);
+  Alcotest.(check bool) "the boundary cut is consistent" true
+    (Elastic.cut_consistent h 1 [ 1 ])
+
+let test_elastic_dynamic_commutativity () =
+  (* Section 4.2's second example: two concurrent adds,
+     r(h)t1, r(n)t2, w(h)t2, w(n)t1 — neither pair commutes statically,
+     yet both elastic transactions may commit. *)
+  let h = History.make [ r 1 x; r 2 y; w 2 x; w 1 y ] in
+  Alcotest.(check bool) "not opaque" false (Opacity.accepts h);
+  Alcotest.(check bool) "accepted with both elastic" true
+    (Elastic.accepts ~elastic:[ 1; 2 ] h)
+
+let test_elastic_cut_rules () =
+  (* Writes must all live in the last piece. *)
+  let h = History.make [ r 1 x; w 1 y; r 1 z ] in
+  Alcotest.(check bool) "cut after write invalid" false
+    (Elastic.cut_consistent h 1 [ 2 ]);
+  Alcotest.(check bool) "cut before write valid" true
+    (Elastic.cut_consistent h 1 [ 1 ]);
+  (* Out-of-range cut positions. *)
+  Alcotest.(check bool) "cut 0 invalid" false (Elastic.cut_consistent h 1 [ 0 ]);
+  Alcotest.(check bool) "cut 3 invalid" false (Elastic.cut_consistent h 1 [ 3 ])
+
+let test_apply_cut () =
+  let h', pieces = Elastic.apply_cut paper_h 1 [ 2 ] ~fresh:10 in
+  Alcotest.(check (list int)) "pieces" [ 10; 11 ] pieces;
+  Alcotest.(check (list int)) "txs of cut history" [ 2; 10; 11 ]
+    (History.txs h');
+  Alcotest.(check int) "piece 10 has 2 events" 2
+    (List.length (History.events_of h' 10));
+  Alcotest.(check int) "piece 11 has 2 events" 2
+    (List.length (History.events_of h' 11))
+
+(* --- Figure 4 ---------------------------------------------------------- *)
+
+let test_fig4 () =
+  (* The paper reports 4/20 = 20%; the rule it states yields 3/20 = 15%
+     (see the note on [Program.fig4] and EXPERIMENTS.md).  We assert
+     the verified count. *)
+  let f = Program.fig4 () in
+  Alcotest.(check int) "20 schedules" 20 f.Program.schedules;
+  Alcotest.(check int) "17 accepted" 17 f.Program.accepted_by_opacity;
+  Alcotest.(check int) "3 precluded" 3 f.Program.precluded;
+  Alcotest.(check (float 1e-9)) "15%" 0.15 f.Program.precluded_ratio
+
+let test_fig4_precluded_are_the_predicted_ones () =
+  (* The three precluded interleavings are exactly those satisfying the
+     paper's rule r(x)_t < w(x)_1 < w(z)_2 < r(z)_t. *)
+  let satisfies_rule h =
+    let events = Array.of_list h.History.events in
+    let idx p =
+      let rec find i =
+        if i >= Array.length events then -1
+        else if p events.(i) then i
+        else find (i + 1)
+      in
+      find 0
+    in
+    let rx = idx (fun e -> e = r 0 x)
+    and wx = idx (fun e -> e = w 1 x)
+    and wz = idx (fun e -> e = w 2 z)
+    and rz = idx (fun e -> e = r 0 z) in
+    rx < wx && wx < wz && wz < rz
+  in
+  List.iter
+    (fun h ->
+      Alcotest.(check bool)
+        (Format.asprintf "%a" History.pp h)
+        (satisfies_rule h) (not (Opacity.accepts h)))
+    (Program.interleavings Program.fig4_programs)
+
+let test_fig4_all_serializable () =
+  let a = Program.count_accepted Program.fig4_programs in
+  Alcotest.(check int) "all serializable" a.Program.total a.Program.serializable
+
+let test_fig4_elastic_accepts_all () =
+  (* With Pt elastic, the four precluded schedules become acceptable:
+     each boundary of Pt sees at most one modified location. *)
+  let programs =
+    [
+      Program.elastic 0 [ History.Read x; History.Read y; History.Read z ];
+      Program.classic 1 [ History.Write x ];
+      Program.classic 2 [ History.Write z ];
+    ]
+  in
+  let a = Program.count_accepted programs in
+  Alcotest.(check int) "elastic accepts all 20" 20 a.Program.elastic_opaque
+
+let test_interleaving_count () =
+  let programs =
+    [
+      Program.classic 0 [ History.Read x; History.Read y ];
+      Program.classic 1 [ History.Write x; History.Write y ];
+    ]
+  in
+  Alcotest.(check int) "C(4,2)=6" 6
+    (List.length (Program.interleavings programs))
+
+(* --- Valued histories (view serializability) ----------------------------- *)
+
+let test_view_vs_conflict_separation () =
+  (* The textbook separation: r1(x) w2(x) w1(x) w3(x) is
+     view-serializable (T1 T2 T3: T1 reads the initial x, T3 writes
+     last) but its conflict graph has the 1<->2 cycle. *)
+  let h = History.make [ r 1 x; w 2 x; w 1 x; w 3 x ] in
+  Alcotest.(check bool) "not conflict-serializable" false
+    (Serializability.accepts h);
+  let vh = Valued.annotate h in
+  Alcotest.(check bool) "view-serializable (non-strict)" true
+    (Valued.view_serializable ~strict:false vh)
+
+let test_view_rejects_inconsistent_reads () =
+  (* A read that observes a value no serial order can produce. *)
+  let vh =
+    Valued.make
+      [
+        { Valued.tx = 1; action = Valued.Write (x, 5) };
+        { Valued.tx = 2; action = Valued.Read (x, 3) };
+      ]
+  in
+  Alcotest.(check bool) "rejected" false
+    (Valued.view_serializable ~strict:false vh)
+
+let test_strict_view_fig4_counts () =
+  (* The value-based criterion agrees with the conflict-based one on
+     the Figure 4 enumeration: 17 of 20 accepted. *)
+  let accepted =
+    List.length
+      (List.filter
+         (fun h -> Valued.view_serializable (Valued.annotate h))
+         (Program.interleavings Program.fig4_programs))
+  in
+  Alcotest.(check int) "17 accepted under strict view" 17 accepted
+
+let prop_conflict_implies_view =
+  (* Conflict serializability is sufficient for view serializability
+     on naturally annotated committed histories. *)
+  QCheck.Test.make ~name:"conflict-serializable => view-serializable"
+    ~count:200
+    (QCheck.make ~print:(Format.asprintf "%a" History.pp)
+       QCheck.Gen.(
+         map
+           (fun events -> History.make events)
+           (list_size (int_range 1 6)
+              (map2
+                 (fun tx (is_write, loc) ->
+                   if is_write then w tx loc else r tx loc)
+                 (int_range 1 3)
+                 (pair bool (int_range 0 2))))))
+    (fun h ->
+      (not (Opacity.accepts h))
+      || Valued.view_serializable (Valued.annotate h))
+
+(* --- Digraph utilities --------------------------------------------------- *)
+
+let test_digraph_cycles () =
+  let g = Digraph.create 3 in
+  Digraph.add_edge g 0 1;
+  Digraph.add_edge g 1 2;
+  Alcotest.(check bool) "acyclic chain" true (Digraph.is_acyclic g);
+  Digraph.add_edge g 2 0;
+  Alcotest.(check bool) "cycle detected" false (Digraph.is_acyclic g)
+
+let test_digraph_topological_orders () =
+  let g = Digraph.create 3 in
+  Digraph.add_edge g 0 1;
+  (* 2 is unconstrained: orders are the 3 positions it can take. *)
+  let orders = Digraph.topological_orders g in
+  Alcotest.(check int) "three linear extensions" 3 (List.length orders);
+  List.iter
+    (fun order ->
+      let pos v =
+        let rec go i = function
+          | [] -> -1
+          | x :: r -> if x = v then i else go (i + 1) r
+        in
+        go 0 order
+      in
+      Alcotest.(check bool) "0 before 1" true (pos 0 < pos 1))
+    orders
+
+let test_digraph_dot () =
+  let g = Digraph.create 2 in
+  Digraph.add_edge g 0 1;
+  let dot = Digraph.to_dot ~names:(fun i -> Printf.sprintf "tx%d" i) g in
+  Alcotest.(check bool) "has header" true
+    (String.length dot > 10 && String.sub dot 0 7 = "digraph");
+  Alcotest.(check bool) "has edge" true
+    (let rec find i =
+       i + 6 <= String.length dot
+       && (String.sub dot i 6 = "0 -> 1" || find (i + 1))
+     in
+     find 0)
+
+(* --- Cross-validation properties --------------------------------------- *)
+
+let history_gen =
+  (* Random small histories: up to 3 transactions, 3 locations, 6
+     events; last transaction sometimes aborted. *)
+  QCheck.Gen.(
+    let event_gen =
+      map2
+        (fun tx (is_write, loc) ->
+          if is_write then w tx loc else r tx loc)
+        (int_range 1 3)
+        (pair bool (int_range 0 2))
+    in
+    map2
+      (fun events abort3 ->
+        History.make ~aborted:(if abort3 then [ 3 ] else []) events)
+      (list_size (int_range 1 6) event_gen)
+      bool)
+
+let arbitrary_history =
+  QCheck.make ~print:(Format.asprintf "%a" History.pp) history_gen
+
+let prop_serializability_brute_force_agrees =
+  QCheck.Test.make ~name:"serializability: graph = brute force" ~count:300
+    arbitrary_history (fun h ->
+      Serializability.accepts h = Serializability.accepts_brute_force h)
+
+let prop_opacity_brute_force_agrees =
+  QCheck.Test.make ~name:"opacity: graph = brute force" ~count:300
+    arbitrary_history (fun h -> Opacity.accepts h = Opacity.accepts_brute_force h)
+
+let prop_opacity_implies_serializability =
+  QCheck.Test.make ~name:"opaque => serializable" ~count:300 arbitrary_history
+    (fun h -> (not (Opacity.accepts h)) || Serializability.accepts h)
+
+let prop_elastic_weaker_than_opacity =
+  QCheck.Test.make ~name:"opaque => elastic-opaque" ~count:150
+    arbitrary_history (fun h ->
+      (not (Opacity.accepts h)) || Elastic.accepts ~elastic:[ 1 ] h)
+
+let suite =
+  ( "history",
+    [
+      Alcotest.test_case "txs and commit status" `Quick test_txs_and_commit;
+      Alcotest.test_case "conflicts" `Quick test_conflicts;
+      Alcotest.test_case "real-time precedence" `Quick test_precedes_rt;
+      Alcotest.test_case "pretty printing" `Quick test_pp;
+      Alcotest.test_case "serializable simple" `Quick test_serializable_simple;
+      Alcotest.test_case "non-serializable cycle" `Quick test_not_serializable_cycle;
+      Alcotest.test_case "serializability ignores real time" `Quick
+        test_serializable_ignores_real_time;
+      Alcotest.test_case "aborted writes ignored" `Quick test_aborted_writes_ignored;
+      Alcotest.test_case "opacity respects real time" `Quick
+        test_opacity_respects_real_time;
+      Alcotest.test_case "opacity sees aborted reads" `Quick
+        test_opacity_aborted_reads_matter;
+      Alcotest.test_case "opaque simple" `Quick test_opaque_simple;
+      Alcotest.test_case "paper H not opaque" `Quick test_paper_history_not_opaque;
+      Alcotest.test_case "paper H elastic-ok" `Quick test_paper_history_elastic_ok;
+      Alcotest.test_case "paper cut consistent" `Quick test_paper_cut_is_consistent;
+      Alcotest.test_case "elastic rejects double modification" `Quick
+        test_elastic_rejects_double_modification;
+      Alcotest.test_case "elastic single modification ok" `Quick
+        test_elastic_single_modification_ok;
+      Alcotest.test_case "elastic dynamic commutativity" `Quick
+        test_elastic_dynamic_commutativity;
+      Alcotest.test_case "elastic cut rules" `Quick test_elastic_cut_rules;
+      Alcotest.test_case "apply cut" `Quick test_apply_cut;
+      Alcotest.test_case "figure 4 numbers" `Quick test_fig4;
+      Alcotest.test_case "figure 4 precluded set" `Quick
+        test_fig4_precluded_are_the_predicted_ones;
+      Alcotest.test_case "figure 4 all serializable" `Quick
+        test_fig4_all_serializable;
+      Alcotest.test_case "figure 4 elastic accepts all" `Quick
+        test_fig4_elastic_accepts_all;
+      Alcotest.test_case "interleaving count" `Quick test_interleaving_count;
+      Alcotest.test_case "digraph cycles" `Quick test_digraph_cycles;
+      Alcotest.test_case "digraph topological orders" `Quick
+        test_digraph_topological_orders;
+      Alcotest.test_case "digraph dot" `Quick test_digraph_dot;
+      QCheck_alcotest.to_alcotest prop_serializability_brute_force_agrees;
+      QCheck_alcotest.to_alcotest prop_opacity_brute_force_agrees;
+      QCheck_alcotest.to_alcotest prop_opacity_implies_serializability;
+      QCheck_alcotest.to_alcotest prop_elastic_weaker_than_opacity;
+      Alcotest.test_case "view vs conflict separation" `Quick
+        test_view_vs_conflict_separation;
+      Alcotest.test_case "view rejects inconsistent reads" `Quick
+        test_view_rejects_inconsistent_reads;
+      Alcotest.test_case "strict view on figure 4" `Quick
+        test_strict_view_fig4_counts;
+      QCheck_alcotest.to_alcotest prop_conflict_implies_view;
+    ] )

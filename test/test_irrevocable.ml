@@ -1,0 +1,159 @@
+(* Tests for serial-irrevocable transactions: run-exactly-once
+   semantics (safe side effects), zero aborts under contention, mutual
+   exclusion of the serial token, and correct interaction with
+   ordinary committing transactions. *)
+
+module R = Polytm_runtime.Sim_runtime
+module Sim = Polytm_runtime.Sim
+module S = Polytm.Stm.Make (Polytm_runtime.Sim_runtime)
+open Polytm
+
+let test_basic_commit () =
+  let stm = S.create () in
+  let v = S.tvar stm 0 in
+  let r =
+    S.atomically ~irrevocable:true stm (fun tx ->
+        S.write tx v 5;
+        S.read tx v)
+  in
+  Alcotest.(check int) "result" 5 r;
+  Alcotest.(check int) "one start, one commit" 1 (S.stats stm).S.starts;
+  Alcotest.(check int) "committed" 5 (S.atomically stm (fun tx -> S.read tx v))
+
+let test_side_effect_runs_exactly_once () =
+  (* Under heavy contention an ordinary transaction re-runs its body;
+     an irrevocable one must not.  Count body executions while
+     updaters hammer the same variables. *)
+  for seed = 1 to 10 do
+    let stm = S.create () in
+    let v = S.tvar stm 0 in
+    let body_runs = ref 0 in
+    let (), _ =
+      Sim.run ~policy:(Sim.Random_sched seed) (fun () ->
+          let noisy =
+            List.init 3 (fun _ ->
+                Sim.spawn (fun () ->
+                    for _ = 1 to 6 do
+                      S.atomically stm (fun tx -> S.write tx v (S.read tx v + 1))
+                    done))
+          in
+          let io =
+            Sim.spawn (fun () ->
+                S.atomically ~irrevocable:true stm (fun tx ->
+                    incr body_runs;
+                    (* a long parse over contended state *)
+                    let a = S.read tx v in
+                    Sim.tick 50;
+                    let b = S.read tx v in
+                    assert (a = b);
+                    S.write tx v (b + 100)))
+          in
+          List.iter Sim.join noisy;
+          Sim.join io)
+    in
+    Alcotest.(check int) (Printf.sprintf "seed %d: body ran once" seed) 1
+      !body_runs;
+    Alcotest.(check int) "all updates and the +100 applied" 118
+      (S.atomically stm (fun tx -> S.read tx v))
+  done
+
+let test_reads_frozen_while_token_held () =
+  (* Between two reads of an irrevocable transaction nobody can
+     commit, so long irrevocable parses always see stable state. *)
+  let stm = S.create () in
+  let a = S.tvar stm 0 and b = S.tvar stm 0 in
+  let observed = ref (0, 0) in
+  let (), _ =
+    Sim.run (fun () ->
+        let io =
+          Sim.spawn (fun () ->
+              S.atomically ~irrevocable:true stm (fun tx ->
+                  let va = S.read tx a in
+                  Sim.tick 500;
+                  let vb = S.read tx b in
+                  observed := (va, vb)))
+        in
+        let updater =
+          Sim.spawn (fun () ->
+              Sim.tick 100;
+              S.atomically stm (fun tx ->
+                  S.write tx a 1;
+                  S.write tx b 1))
+        in
+        Sim.join io;
+        Sim.join updater)
+  in
+  Alcotest.(check (pair int int)) "no commit slipped inside" (0, 0) !observed;
+  Alcotest.(check int) "updater committed afterwards" 2
+    (S.atomically stm (fun tx -> S.read tx a + S.read tx b))
+
+let test_two_irrevocables_serialize () =
+  for seed = 1 to 10 do
+    let stm = S.create () in
+    let v = S.tvar stm 0 in
+    let in_serial = ref 0 and max_in_serial = ref 0 in
+    let (), _ =
+      Sim.run ~policy:(Sim.Random_sched seed) (fun () ->
+          R.parallel
+            (List.init 2 (fun _ () ->
+                 S.atomically ~irrevocable:true stm (fun tx ->
+                     incr in_serial;
+                     if !in_serial > !max_in_serial then
+                       max_in_serial := !in_serial;
+                     Sim.tick 20;
+                     S.write tx v (S.read tx v + 1);
+                     decr in_serial))))
+    in
+    Alcotest.(check int) "never two inside" 1 !max_in_serial;
+    Alcotest.(check int) "both applied" 2
+      (S.atomically stm (fun tx -> S.read tx v))
+  done
+
+let test_irrevocable_snapshot_rejected () =
+  let stm = S.create () in
+  let rejected =
+    try
+      S.atomically ~sem:Semantics.Snapshot ~irrevocable:true stm (fun _ -> ());
+      false
+    with S.Invalid_operation _ -> true
+  in
+  Alcotest.(check bool) "rejected" true rejected
+
+let test_abort_inside_irrevocable_rejected () =
+  let stm = S.create () in
+  let rejected =
+    try S.atomically ~irrevocable:true stm (fun tx -> S.abort tx)
+    with S.Invalid_operation _ -> true
+  in
+  Alcotest.(check bool) "rejected" true rejected;
+  (* And the token was released: ordinary work proceeds. *)
+  let v = S.tvar stm 0 in
+  S.atomically stm (fun tx -> S.write tx v 1);
+  Alcotest.(check int) "token released" 1
+    (S.atomically stm (fun tx -> S.read tx v))
+
+let test_exception_releases_token () =
+  let stm = S.create () in
+  (try S.atomically ~irrevocable:true stm (fun _ -> raise Exit)
+   with Exit -> ());
+  let v = S.tvar stm 0 in
+  S.atomically stm (fun tx -> S.write tx v 2);
+  Alcotest.(check int) "token released after raise" 2
+    (S.atomically stm (fun tx -> S.read tx v))
+
+let suite =
+  ( "irrevocable",
+    [
+      Alcotest.test_case "basic commit" `Quick test_basic_commit;
+      Alcotest.test_case "side effect once" `Quick
+        test_side_effect_runs_exactly_once;
+      Alcotest.test_case "reads frozen" `Quick test_reads_frozen_while_token_held;
+      Alcotest.test_case "two irrevocables serialize" `Quick
+        test_two_irrevocables_serialize;
+      Alcotest.test_case "snapshot rejected" `Quick
+        test_irrevocable_snapshot_rejected;
+      Alcotest.test_case "abort rejected" `Quick
+        test_abort_inside_irrevocable_rejected;
+      Alcotest.test_case "exception releases token" `Quick
+        test_exception_releases_token;
+    ] )

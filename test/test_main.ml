@@ -1,0 +1,22 @@
+(* Aggregates every test suite in the repository. *)
+
+let () =
+  Alcotest.run "polytm"
+    [
+      Test_util.suite;
+      Test_sim.suite;
+      Test_explore.suite;
+      Test_history.suite;
+      Test_stm.suite;
+      Test_stm_domains.suite;
+      Test_structs.suite;
+      Test_baselines.suite;
+      Test_boosted.suite;
+      Test_composition.suite;
+      Test_bench_kit.suite;
+      Test_stacks.suite;
+      Test_stm_map.suite;
+      Test_expressiveness.suite;
+      Test_failure_injection.suite;
+      Test_irrevocable.suite;
+    ]

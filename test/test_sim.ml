@@ -1,0 +1,395 @@
+(* Tests for the discrete-event simulator: scheduling policies, virtual
+   clocks, spawn/join, deadlock detection, determinism, and the
+   Sim_runtime atomic semantics. *)
+
+module R = Polytm_runtime.Sim_runtime
+module Sim = Polytm_runtime.Sim
+
+let test_empty_run () =
+  let v, info = Sim.run (fun () -> 42) in
+  Alcotest.(check int) "result" 42 v;
+  Alcotest.(check int) "makespan" 0 info.Sim.makespan
+
+let test_tick_advances_clock () =
+  let (), info =
+    Sim.run (fun () ->
+        Sim.tick 5;
+        Sim.tick 7;
+        Alcotest.(check int) "now" 12 (Sim.now ()))
+  in
+  Alcotest.(check int) "makespan" 12 info.Sim.makespan;
+  Alcotest.(check int) "steps" 2 info.Sim.steps
+
+let test_spawn_join () =
+  let log = ref [] in
+  let (), _ =
+    Sim.run (fun () ->
+        let t1 =
+          Sim.spawn (fun () ->
+              Sim.tick 1;
+              log := 1 :: !log)
+        in
+        let t2 =
+          Sim.spawn (fun () ->
+              Sim.tick 2;
+              log := 2 :: !log)
+        in
+        Sim.join t1;
+        Sim.join t2;
+        log := 0 :: !log)
+  in
+  Alcotest.(check (list int)) "order: t1 (clock 1), t2 (clock 2), main" [ 0; 2; 1 ]
+    !log
+
+let test_event_policy_parallel_time () =
+  (* Two threads each doing 10 ticks of 1: virtual threads overlap, so
+     the makespan is 10, not 20. *)
+  let (), info =
+    Sim.run (fun () ->
+        let body () =
+          for _ = 1 to 10 do
+            Sim.tick 1
+          done
+        in
+        let t1 = Sim.spawn body and t2 = Sim.spawn body in
+        Sim.join t1;
+        Sim.join t2)
+  in
+  Alcotest.(check int) "makespan overlaps" 10 info.Sim.makespan
+
+let test_event_policy_min_clock_order () =
+  (* A slow thread and a fast thread: completions interleave by clock. *)
+  let log = ref [] in
+  let (), _ =
+    Sim.run (fun () ->
+        let slow =
+          Sim.spawn (fun () ->
+              Sim.tick 10;
+              log := `Slow :: !log)
+        in
+        let fast =
+          Sim.spawn (fun () ->
+              for i = 1 to 3 do
+                Sim.tick 2;
+                log := `Fast i :: !log
+              done)
+        in
+        Sim.join slow;
+        Sim.join fast)
+  in
+  Alcotest.(check bool) "fast events precede slow" true
+    (!log = [ `Slow; `Fast 3; `Fast 2; `Fast 1 ])
+
+let test_deadlock_detected () =
+  (* Two threads joining each other can't be expressed (join takes a
+     tid created later), but a thread joining itself deadlocks. *)
+  let deadlocks =
+    try
+      let (), _ =
+        Sim.run (fun () ->
+            let cell = ref (-1) in
+            let t =
+              Sim.spawn (fun () ->
+                  Sim.tick 1;
+                  Sim.join !cell)
+            in
+            cell := t;
+            Sim.join t)
+      in
+      false
+    with Sim.Deadlock _ -> true
+  in
+  Alcotest.(check bool) "self-join deadlocks" true deadlocks
+
+let test_exception_propagates () =
+  Alcotest.check_raises "child exception surfaces" Exit (fun () ->
+      let (), _ =
+        Sim.run (fun () ->
+            let t = Sim.spawn (fun () -> raise Exit) in
+            Sim.join t)
+      in
+      ())
+
+let test_nested_run_rejected () =
+  Alcotest.check_raises "no nesting"
+    (Invalid_argument "Sim.run: runs must not nest") (fun () ->
+      let (), _ = Sim.run (fun () -> ignore (Sim.run (fun () -> ()))) in
+      ())
+
+let test_random_policy_deterministic_per_seed () =
+  let program () =
+    let log = ref [] in
+    let (), _ =
+      Sim.run ~policy:(Sim.Random_sched 99) (fun () ->
+          let mk name () =
+            for i = 1 to 3 do
+              Sim.tick 1;
+              log := (name, i) :: !log
+            done
+          in
+          let a = Sim.spawn (mk "a") and b = Sim.spawn (mk "b") in
+          Sim.join a;
+          Sim.join b)
+    in
+    !log
+  in
+  Alcotest.(check bool) "same seed, same schedule" true (program () = program ())
+
+let test_random_policies_differ_across_seeds () =
+  let program seed =
+    let log = ref [] in
+    let (), _ =
+      Sim.run ~policy:(Sim.Random_sched seed) (fun () ->
+          let mk name () =
+            for i = 1 to 5 do
+              Sim.tick 1;
+              log := (name, i) :: !log
+            done
+          in
+          let a = Sim.spawn (mk "a") and b = Sim.spawn (mk "b") in
+          Sim.join a;
+          Sim.join b)
+    in
+    !log
+  in
+  let distinct =
+    List.sort_uniq compare (List.map program [ 1; 2; 3; 4; 5; 6; 7; 8 ])
+  in
+  Alcotest.(check bool) "seeds explore several schedules" true
+    (List.length distinct > 1)
+
+let test_atomic_get_set () =
+  let a = R.atomic 1 in
+  Alcotest.(check int) "initial" 1 (R.get a);
+  R.set a 7;
+  Alcotest.(check int) "after set" 7 (R.get a)
+
+let test_atomic_cas () =
+  let a = R.atomic 1 in
+  Alcotest.(check bool) "cas succeeds" true (R.cas a 1 2);
+  Alcotest.(check bool) "cas fails" false (R.cas a 1 3);
+  Alcotest.(check int) "value" 2 (R.get a)
+
+let test_fetch_and_add () =
+  let a = R.atomic 10 in
+  Alcotest.(check int) "faa returns old" 10 (R.fetch_and_add a 5);
+  Alcotest.(check int) "value" 15 (R.get a)
+
+let test_counter_uncharged () =
+  let c = R.counter () in
+  let (), info =
+    Sim.run (fun () ->
+        R.add_counter c 3;
+        R.add_counter c 4)
+  in
+  Alcotest.(check int) "counter" 7 (R.read_counter c);
+  Alcotest.(check int) "no virtual time" 0 info.Sim.makespan
+
+let test_accesses_charged () =
+  let a = R.atomic 0 in
+  let (), info =
+    Sim.run (fun () ->
+        ignore (R.get a);
+        R.set a 1;
+        ignore (R.cas a 1 2);
+        ignore (R.fetch_and_add a 1))
+  in
+  let c = Sim.default_costs in
+  Alcotest.(check int) "cost model applied"
+    (c.Sim.get + c.Sim.set + c.Sim.cas + c.Sim.faa)
+    info.Sim.makespan
+
+let test_parallel_increments_lost_update () =
+  (* Plain get/set increments from concurrent threads must lose updates
+     under some random schedule — evidence that the simulator really
+     interleaves at access granularity. *)
+  let lost = ref false in
+  let seed = ref 0 in
+  while (not !lost) && !seed < 50 do
+    incr seed;
+    let a = R.atomic 0 in
+    let (), _ =
+      Sim.run ~policy:(Sim.Random_sched !seed) (fun () ->
+          R.parallel
+            (List.init 2 (fun _ () ->
+                 for _ = 1 to 5 do
+                   R.set a (R.get a + 1)
+                 done)))
+    in
+    if R.get a < 10 then lost := true
+  done;
+  Alcotest.(check bool) "a lost update was observed" true !lost
+
+let test_cas_increments_never_lost () =
+  for seed = 1 to 20 do
+    let a = R.atomic 0 in
+    let (), _ =
+      Sim.run ~policy:(Sim.Random_sched seed) (fun () ->
+          R.parallel
+            (List.init 3 (fun _ () ->
+                 for _ = 1 to 5 do
+                   let rec retry () =
+                     let v = R.get a in
+                     if not (R.cas a v (v + 1)) then retry ()
+                   in
+                   retry ()
+                 done)))
+    in
+    Alcotest.(check int) "cas loop is atomic" 15 (R.get a)
+  done
+
+let test_spinlock_mutual_exclusion () =
+  let module L = Polytm_runtime.Spinlock.Make (R) in
+  for seed = 1 to 20 do
+    let lock = L.create () in
+    let inside = R.atomic 0 in
+    let max_inside = ref 0 in
+    let (), _ =
+      Sim.run ~policy:(Sim.Random_sched seed) (fun () ->
+          R.parallel
+            (List.init 3 (fun _ () ->
+                 for _ = 1 to 3 do
+                   L.with_lock lock (fun () ->
+                       let v = R.fetch_and_add inside 1 + 1 in
+                       if v > !max_inside then max_inside := v;
+                       ignore (R.fetch_and_add inside (-1)))
+                 done)))
+    in
+    Alcotest.(check int) "never two inside" 1 !max_inside
+  done
+
+let test_makespan_counts_spin_waste () =
+  (* Two threads contending on one lock serialise: makespan reflects
+     the serialisation, exceeding the single-thread critical-path. *)
+  let module L = Polytm_runtime.Spinlock.Make (R) in
+  let lock = L.create () in
+  let work () =
+    L.with_lock lock (fun () ->
+        for _ = 1 to 50 do
+          Sim.tick 1
+        done)
+  in
+  let (), info =
+    Sim.run (fun () -> R.parallel [ work; work ])
+  in
+  Alcotest.(check bool) "serialised critical sections" true
+    (info.Sim.makespan >= 100)
+
+let test_custom_costs () =
+  let costs = { Sim.default_costs with Sim.get = 10; set = 20 } in
+  let a = R.atomic 0 in
+  let (), info =
+    Sim.run ~costs (fun () ->
+        ignore (R.get a);
+        R.set a 1)
+  in
+  Alcotest.(check int) "custom cost model applied" 30 info.Sim.makespan;
+  Alcotest.(check (int)) "current_costs outside run falls back"
+    Sim.default_costs.Sim.get (Sim.current_costs ()).Sim.get
+
+let test_step_limit () =
+  let hit =
+    try
+      let (), _ =
+        Sim.run ~step_limit:10 (fun () ->
+            for _ = 1 to 100 do
+              Sim.tick 1
+            done)
+      in
+      false
+    with Sim.Step_limit_exceeded -> true
+  in
+  Alcotest.(check bool) "step limit enforced" true hit
+
+let test_scripted_invalid_choice_rejected () =
+  let program () =
+    let body () = Sim.tick 1 in
+    let t1 = Sim.spawn body and t2 = Sim.spawn body in
+    Sim.join t1;
+    Sim.join t2
+  in
+  let rejected =
+    try
+      let (), _ = Sim.run ~policy:(Sim.Scripted [| 99 |]) program in
+      false
+    with Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "unknown tid rejected" true rejected
+
+let test_trace_records_decisions () =
+  let (), info =
+    Sim.run ~policy:(Sim.Random_sched 3) ~record_trace:true (fun () ->
+        let body () = Sim.tick 1 in
+        let t1 = Sim.spawn body and t2 = Sim.spawn body in
+        Sim.join t1;
+        Sim.join t2)
+  in
+  Alcotest.(check bool) "some decisions recorded" true
+    (List.length info.Sim.trace > 0);
+  List.iter
+    (fun d ->
+      Alcotest.(check bool) "chosen among ready" true
+        (List.mem d.Sim.chosen d.Sim.ready);
+      Alcotest.(check bool) "ready sorted" true
+        (List.sort compare d.Sim.ready = d.Sim.ready))
+    info.Sim.trace
+
+let test_spinlock_try_lock () =
+  let module L = Polytm_runtime.Spinlock.Make (R) in
+  let l = L.create () in
+  Alcotest.(check bool) "try_lock free" true (L.try_lock l);
+  Alcotest.(check bool) "try_lock busy" false (L.try_lock l);
+  Alcotest.(check bool) "is_locked" true (L.is_locked l);
+  L.unlock l;
+  Alcotest.(check bool) "free again" true (L.try_lock l)
+
+let test_tls_per_thread () =
+  let slot = R.tls (fun () -> -1) in
+  let seen = ref [] in
+  let (), _ =
+    Sim.run (fun () ->
+        R.parallel
+          (List.init 3 (fun i () ->
+               R.tls_set slot i;
+               Sim.tick 5;
+               seen := R.tls_get slot :: !seen)))
+  in
+  Alcotest.(check (list int)) "each thread sees its own value" [ 0; 1; 2 ]
+    (List.sort compare !seen)
+
+let suite =
+  ( "sim",
+    [
+      Alcotest.test_case "empty run" `Quick test_empty_run;
+      Alcotest.test_case "tick advances clock" `Quick test_tick_advances_clock;
+      Alcotest.test_case "spawn and join" `Quick test_spawn_join;
+      Alcotest.test_case "virtual parallelism" `Quick test_event_policy_parallel_time;
+      Alcotest.test_case "min-clock ordering" `Quick test_event_policy_min_clock_order;
+      Alcotest.test_case "deadlock detected" `Quick test_deadlock_detected;
+      Alcotest.test_case "exception propagates" `Quick test_exception_propagates;
+      Alcotest.test_case "nested runs rejected" `Quick test_nested_run_rejected;
+      Alcotest.test_case "random policy deterministic" `Quick
+        test_random_policy_deterministic_per_seed;
+      Alcotest.test_case "random seeds explore" `Quick
+        test_random_policies_differ_across_seeds;
+      Alcotest.test_case "atomic get/set" `Quick test_atomic_get_set;
+      Alcotest.test_case "atomic cas" `Quick test_atomic_cas;
+      Alcotest.test_case "fetch-and-add" `Quick test_fetch_and_add;
+      Alcotest.test_case "counters uncharged" `Quick test_counter_uncharged;
+      Alcotest.test_case "accesses charged" `Quick test_accesses_charged;
+      Alcotest.test_case "lost updates happen" `Quick
+        test_parallel_increments_lost_update;
+      Alcotest.test_case "cas loop atomic" `Quick test_cas_increments_never_lost;
+      Alcotest.test_case "spinlock mutual exclusion" `Quick
+        test_spinlock_mutual_exclusion;
+      Alcotest.test_case "makespan counts contention" `Quick
+        test_makespan_counts_spin_waste;
+      Alcotest.test_case "custom costs" `Quick test_custom_costs;
+      Alcotest.test_case "step limit" `Quick test_step_limit;
+      Alcotest.test_case "scripted invalid choice" `Quick
+        test_scripted_invalid_choice_rejected;
+      Alcotest.test_case "trace records decisions" `Quick
+        test_trace_records_decisions;
+      Alcotest.test_case "spinlock try_lock" `Quick test_spinlock_try_lock;
+      Alcotest.test_case "tls per thread" `Quick test_tls_per_thread;
+    ] )

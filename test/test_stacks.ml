@@ -1,0 +1,156 @@
+(* Tests for the stack pair: the Treiber lock-free baseline and the
+   transactional stack, including the composition contrast (atomic
+   pop_push) and exhaustive model checking of the Treiber CAS loops. *)
+
+module R = Polytm_runtime.Sim_runtime
+module Sim = Polytm_runtime.Sim
+module Explore = Polytm_runtime.Explore
+module S = Polytm.Stm.Make (Polytm_runtime.Sim_runtime)
+module T = Polytm_structs.Treiber_stack.Make (Polytm_runtime.Sim_runtime)
+module K = Polytm_structs.Stm_stack.Make (S)
+
+(* --- Treiber ------------------------------------------------------------- *)
+
+let test_treiber_lifo () =
+  let t = T.create () in
+  List.iter (T.push t) [ 1; 2; 3 ];
+  Alcotest.(check (option int)) "peek" (Some 3) (T.peek t);
+  Alcotest.(check (option int)) "pop 3" (Some 3) (T.pop t);
+  Alcotest.(check (option int)) "pop 2" (Some 2) (T.pop t);
+  T.push t 9;
+  Alcotest.(check (list int)) "contents" [ 9; 1 ] (T.to_list t);
+  Alcotest.(check int) "length" 2 (T.length t);
+  Alcotest.(check (option int)) "pop 9" (Some 9) (T.pop t);
+  Alcotest.(check (option int)) "pop 1" (Some 1) (T.pop t);
+  Alcotest.(check (option int)) "empty" None (T.pop t)
+
+let test_treiber_concurrent_push_pop () =
+  for seed = 1 to 10 do
+    let t = T.create () in
+    let popped = ref [] in
+    let (), _ =
+      Sim.run ~policy:(Sim.Random_sched seed) (fun () ->
+          R.parallel
+            [
+              (fun () ->
+                for i = 1 to 10 do
+                  T.push t i
+                done);
+              (fun () ->
+                let got = ref 0 in
+                while !got < 10 do
+                  match T.pop t with
+                  | Some x ->
+                      popped := x :: !popped;
+                      incr got
+                  | None -> Sim.yield ()
+                done);
+            ])
+    in
+    Alcotest.(check int) "all popped" 10 (List.length !popped);
+    Alcotest.(check (list int)) "each element exactly once"
+      (List.init 10 (fun i -> i + 1))
+      (List.sort compare !popped);
+    Alcotest.(check int) "stack empty" 0 (T.length t)
+  done
+
+let test_treiber_exhaustive () =
+  (* Two pushers and a popper over tiny runs: every schedule must
+     conserve elements. *)
+  let program () =
+    let t = T.create () in
+    let t1 = Sim.spawn (fun () -> T.push t 1) in
+    let t2 = Sim.spawn (fun () -> T.push t 2) in
+    Sim.join t1;
+    Sim.join t2;
+    let a = T.pop t and b = T.pop t in
+    assert (
+      match (a, b) with
+      | Some 1, Some 2 | Some 2, Some 1 -> true
+      | _ -> false);
+    assert (T.pop t = None)
+  in
+  let outcome =
+    Explore.check ~max_executions:50_000 ~max_depth:40 ~step_limit:1_000
+      program
+  in
+  Alcotest.(check bool) "complete" false outcome.Explore.truncated
+
+(* --- STM stack ----------------------------------------------------------- *)
+
+let test_stm_stack_lifo () =
+  let stm = S.create () in
+  let t = K.create stm in
+  List.iter (K.push t) [ 1; 2; 3 ];
+  Alcotest.(check (option int)) "pop" (Some 3) (K.pop t);
+  Alcotest.(check int) "length" 2 (K.length t);
+  Alcotest.(check (list int)) "contents" [ 2; 1 ] (K.to_list t)
+
+let test_stm_stack_concurrent () =
+  for seed = 1 to 10 do
+    let stm = S.create () in
+    let t = K.create stm in
+    let (), _ =
+      Sim.run ~policy:(Sim.Random_sched seed) (fun () ->
+          R.parallel
+            (List.init 3 (fun p () ->
+                 for i = 1 to 5 do
+                   K.push t ((p * 10) + i)
+                 done)))
+    in
+    Alcotest.(check int) "15 elements" 15 (K.length t);
+    (* LIFO per producer. *)
+    List.iter
+      (fun p ->
+        let mine = List.filter (fun x -> x / 10 = p) (K.to_list t) in
+        Alcotest.(check (list int))
+          (Printf.sprintf "producer %d order" p)
+          [ (p * 10) + 5; (p * 10) + 4; (p * 10) + 3; (p * 10) + 2; (p * 10) + 1 ]
+          mine)
+      [ 0; 1; 2 ]
+  done
+
+let test_pop_push_atomic () =
+  (* An observer must always see exactly 5 elements across both stacks
+     while pop_push migrates them one at a time. *)
+  for seed = 1 to 10 do
+    let stm = S.create () in
+    let src = K.create stm and dst = K.create stm in
+    List.iter (K.push src) [ 1; 2; 3; 4; 5 ];
+    let bad = ref 0 in
+    let (), _ =
+      Sim.run ~policy:(Sim.Random_sched seed) (fun () ->
+          let mover =
+            Sim.spawn (fun () ->
+                while K.pop_push ~src ~dst <> None do
+                  Sim.yield ()
+                done)
+          in
+          let observer =
+            Sim.spawn (fun () ->
+                for _ = 1 to 5 do
+                  let total =
+                    S.atomically stm (fun _tx -> K.length src + K.length dst)
+                  in
+                  if total <> 5 then incr bad
+                done)
+          in
+          Sim.join mover;
+          Sim.join observer)
+    in
+    Alcotest.(check int) "element count invariant" 0 !bad;
+    Alcotest.(check (list int)) "migration reverses order" [ 1; 2; 3; 4; 5 ]
+      (K.to_list dst)
+  done
+
+let suite =
+  ( "stacks",
+    [
+      Alcotest.test_case "treiber lifo" `Quick test_treiber_lifo;
+      Alcotest.test_case "treiber concurrent" `Quick
+        test_treiber_concurrent_push_pop;
+      Alcotest.test_case "treiber exhaustive" `Quick test_treiber_exhaustive;
+      Alcotest.test_case "stm stack lifo" `Quick test_stm_stack_lifo;
+      Alcotest.test_case "stm stack concurrent" `Quick test_stm_stack_concurrent;
+      Alcotest.test_case "pop_push atomic" `Quick test_pop_push_atomic;
+    ] )

@@ -1,0 +1,155 @@
+(* Tests for the transactional AVL map: model-based equivalence with
+   Stdlib.Map, structural invariants after every operation (qcheck),
+   concurrent correctness, and snapshot-consistent iteration. *)
+
+module R = Polytm_runtime.Sim_runtime
+module Sim = Polytm_runtime.Sim
+module S = Polytm.Stm.Make (Polytm_runtime.Sim_runtime)
+module M = Polytm_structs.Stm_map.Make (S)
+module IMap = Map.Make (Int)
+
+let test_basic () =
+  let stm = S.create () in
+  let m = M.create stm in
+  Alcotest.(check bool) "fresh add" true (M.add m 5 "five");
+  Alcotest.(check bool) "replace" false (M.add m 5 "FIVE");
+  Alcotest.(check (option string)) "find" (Some "FIVE") (M.find_opt m 5);
+  Alcotest.(check bool) "mem" true (M.mem m 5);
+  Alcotest.(check bool) "remove" true (M.remove m 5);
+  Alcotest.(check bool) "remove again" false (M.remove m 5);
+  Alcotest.(check (option string)) "gone" None (M.find_opt m 5)
+
+let test_ordered_iteration () =
+  let stm = S.create () in
+  let m = M.create stm in
+  List.iter (fun k -> ignore (M.add m k (k * 10))) [ 5; 1; 9; 3; 7 ];
+  Alcotest.(check (list (pair int int))) "sorted pairs"
+    [ (1, 10); (3, 30); (5, 50); (7, 70); (9, 90) ]
+    (M.to_list m);
+  Alcotest.(check int) "size" 5 (M.size m)
+
+let model_property =
+  QCheck.Test.make ~name:"stm_map behaves like Map.Make(Int)" ~count:120
+    QCheck.(
+      list_of_size Gen.(0 -- 80)
+        (pair (int_range 0 2) (int_range 0 30)))
+    (fun ops ->
+      let stm = S.create () in
+      let m = M.create stm in
+      let model = ref IMap.empty in
+      let ok = ref true in
+      List.iter
+        (fun (op, k) ->
+          match op with
+          | 0 ->
+              let expected = not (IMap.mem k !model) in
+              model := IMap.add k (k * 2) !model;
+              if M.add m k (k * 2) <> expected then ok := false
+          | 1 ->
+              let expected = IMap.mem k !model in
+              model := IMap.remove k !model;
+              if M.remove m k <> expected then ok := false
+          | _ ->
+              if M.find_opt m k <> IMap.find_opt k !model then ok := false)
+        ops;
+      !ok
+      && M.to_list m = IMap.bindings !model
+      && M.invariants_hold m)
+
+let balance_property =
+  (* After any sequence of inserts, the tree height is logarithmic and
+     the AVL invariants hold. *)
+  QCheck.Test.make ~name:"stm_map stays AVL-balanced" ~count:60
+    QCheck.(list_of_size Gen.(1 -- 120) (int_range 0 1000))
+    (fun keys ->
+      let stm = S.create () in
+      let m = M.create stm in
+      List.iter (fun k -> ignore (M.add m k k)) keys;
+      M.invariants_hold m)
+
+let test_concurrent_disjoint () =
+  for seed = 1 to 8 do
+    let stm = S.create () in
+    let m = M.create stm in
+    let (), _ =
+      Sim.run ~policy:(Sim.Random_sched seed) (fun () ->
+          R.parallel
+            (List.init 3 (fun t () ->
+                 for i = 0 to 7 do
+                   ignore (M.add m ((i * 3) + t) t)
+                 done)))
+    in
+    Alcotest.(check int) "24 keys" 24 (M.size m);
+    Alcotest.(check bool) "invariants" true (M.invariants_hold m)
+  done
+
+let test_concurrent_contended () =
+  for seed = 1 to 8 do
+    let stm = S.create () in
+    let m = M.create stm in
+    let (), _ =
+      Sim.run ~policy:(Sim.Random_sched seed) (fun () ->
+          R.parallel
+            (List.init 3 (fun t () ->
+                 let rng = Polytm_util.Rng.create (seed * 7 + t) in
+                 for _ = 1 to 12 do
+                   let k = Polytm_util.Rng.int rng 10 in
+                   if Polytm_util.Rng.bool rng then ignore (M.add m k t)
+                   else ignore (M.remove m k)
+                 done)))
+    in
+    Alcotest.(check bool) "invariants after contention" true
+      (M.invariants_hold m);
+    let l = M.to_list m in
+    Alcotest.(check int) "size consistent" (List.length l) (M.size m)
+  done
+
+let test_snapshot_iteration_consistent () =
+  (* A snapshot-profile map: iteration sees a count-invariant state
+     while a mover re-keys entries, and the mover is never aborted. *)
+  for seed = 1 to 6 do
+    let stm = S.create () in
+    let m = M.create ~size_sem:Polytm.Semantics.Snapshot stm in
+    let n = 10 in
+    for i = 0 to n - 1 do
+      ignore (M.add m i i)
+    done;
+    let bad = ref 0 in
+    let (), _ =
+      Sim.run ~policy:(Sim.Random_sched seed) (fun () ->
+          let mover =
+            Sim.spawn (fun () ->
+                for i = 0 to n - 1 do
+                  S.atomically stm (fun _tx ->
+                      ignore (M.remove m i);
+                      ignore (M.add m (100 + i) i))
+                done)
+          in
+          let observer =
+            Sim.spawn (fun () ->
+                for _ = 1 to 5 do
+                  if M.size m <> n then incr bad
+                done)
+          in
+          Sim.join mover;
+          Sim.join observer)
+    in
+    Alcotest.(check int)
+      (Printf.sprintf "seed %d: snapshot size always %d" seed n)
+      0 !bad;
+    Alcotest.(check int) "no updater aborts from snapshots" 0
+      ((S.stats stm).S.read_invalid + (S.stats stm).S.lock_busy)
+  done
+
+let suite =
+  ( "stm-map",
+    [
+      Alcotest.test_case "basics" `Quick test_basic;
+      Alcotest.test_case "ordered iteration" `Quick test_ordered_iteration;
+      QCheck_alcotest.to_alcotest model_property;
+      QCheck_alcotest.to_alcotest balance_property;
+      Alcotest.test_case "concurrent disjoint" `Quick test_concurrent_disjoint;
+      Alcotest.test_case "concurrent contended" `Quick test_concurrent_contended;
+      Alcotest.test_case "snapshot iteration" `Quick
+        test_snapshot_iteration_consistent;
+    ] )
