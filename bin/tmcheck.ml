@@ -263,6 +263,117 @@ let record_cmd =
              history, and verify it against the opacity checker.")
     Term.(const run $ seed_t $ threads_t $ txs_t)
 
+(* ---- structure-level conformance ---------------------------------------- *)
+
+module Conf = Polytm_bench_kit.Conformance
+
+let conformance_cmd =
+  let run runtime seed iters impls threads ops expect_fail =
+    let impls = match impls with [] -> Conf.default_impls | l -> l in
+    (match List.filter (fun i -> not (List.mem i Conf.all_impls)) impls with
+    | [] -> ()
+    | unknown ->
+        Format.eprintf "tmcheck: unknown implementation%s %s; known: %s@."
+          (if List.length unknown > 1 then "s" else "")
+          (String.concat ", " unknown)
+          (String.concat ", " Conf.all_impls);
+        exit 2);
+    let runtime_name = match runtime with `Sim -> "sim" | `Domains -> "domains" in
+    let results =
+      List.map
+        (fun name ->
+          let outcome =
+            match runtime with
+            | `Sim -> Conf.run_sim ~threads ~ops ~name ~seed ~iters ()
+            | `Domains -> Conf.run_domains ~threads ~ops ~name ~seed ~iters ()
+          in
+          (name, outcome))
+        impls
+    in
+    let failed = ref false in
+    List.iter
+      (fun (name, outcome) ->
+        match outcome with
+        | Conf.Pass n ->
+            Format.printf "%-22s PASS  (%d rounds, runtime %s, seed %d)@." name
+              n runtime_name seed
+        | Conf.Fail msg ->
+            failed := true;
+            Format.printf "%-22s FAIL@.%s@." name msg)
+      results;
+    if expect_fail then
+      if !failed then begin
+        Format.printf
+          "@.rejection observed, as expected: the checker has teeth@.";
+        exit 0
+      end
+      else begin
+        Format.printf "@.ERROR: expected a rejection but every run passed@.";
+        exit 1
+      end
+    else if !failed then exit 1
+  in
+  let runtime_t =
+    let parse = function
+      | "sim" -> Ok `Sim
+      | "domains" -> Ok `Domains
+      | s -> Error (`Msg (Printf.sprintf "unknown runtime %S (sim|domains)" s))
+    in
+    let print ppf r =
+      Format.pp_print_string ppf (match r with `Sim -> "sim" | `Domains -> "domains")
+    in
+    Arg.(
+      value
+      & opt (conv (parse, print)) `Sim
+      & info [ "runtime" ] ~docv:"RT"
+          ~doc:
+            "Execution substrate: $(b,sim) (deterministic, seeded random \
+             schedules) or $(b,domains) (real preemption).")
+  in
+  let seed_t = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED") in
+  let iters_t =
+    Arg.(
+      value & opt int 50
+      & info [ "iters" ] ~docv:"N" ~doc:"Randomized rounds per implementation.")
+  in
+  let impl_t =
+    Arg.(
+      value
+      & opt (list string) []
+      & info [ "impl" ] ~docv:"NAMES"
+          ~doc:
+            (Printf.sprintf
+               "Comma-separated implementation filter.  Known: %s.  \
+                $(b,buggy-lazy-size) is excluded by default and expected to \
+                be rejected."
+               (String.concat ", " Conf.all_impls)))
+  in
+  let threads_t = Arg.(value & opt int 3 & info [ "threads" ] ~docv:"T") in
+  let ops_t =
+    Arg.(
+      value & opt int 10
+      & info [ "ops" ] ~docv:"N" ~doc:"Operations per worker per round.")
+  in
+  let expect_fail_t =
+    Arg.(
+      value & flag
+      & info [ "expect-fail" ]
+          ~doc:
+            "Invert the exit status: succeed only if at least one \
+             implementation is rejected (self-test of the checker).")
+  in
+  Cmd.v
+    (Cmd.info "conformance"
+       ~doc:
+         "Run every structure implementation under randomized concurrent \
+          workloads on the chosen runtime and check the recorded operation \
+          histories for linearizability (interval consistency for snapshot \
+          sizes).  Failures print a minimized counterexample history and \
+          reproduce by seed.")
+    Term.(
+      const run $ runtime_t $ seed_t $ iters_t $ impl_t $ threads_t $ ops_t
+      $ expect_fail_t)
+
 (* ---- conflict-graph visualisation --------------------------------------- *)
 
 let dot_cmd =
@@ -319,4 +430,12 @@ let () =
     (Cmd.eval
        (Cmd.group
           (Cmd.info "tmcheck" ~version:"1.0.0" ~doc)
-          [ fig4_cmd; paper_history_cmd; enumerate_cmd; explore_cmd; record_cmd; dot_cmd ]))
+          [
+            fig4_cmd;
+            paper_history_cmd;
+            enumerate_cmd;
+            explore_cmd;
+            record_cmd;
+            conformance_cmd;
+            dot_cmd;
+          ]))

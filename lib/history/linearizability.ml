@@ -1,0 +1,456 @@
+type ('op, 'res) event = {
+  thread : int;
+  op : 'op;
+  result : 'res;
+  inv : int;
+  ret : int;
+}
+
+let precedes a b = a.ret < b.inv
+
+let well_formed events =
+  List.for_all (fun e -> e.inv <= e.ret) events
+  && List.for_all
+       (fun e ->
+         List.for_all
+           (fun e' ->
+             e == e' || e.thread <> e'.thread || precedes e e' || precedes e' e)
+           events)
+       events
+
+type ('op, 'res) spec =
+  | Spec : { init : 's; apply : 's -> 'op -> 's * 'res } -> ('op, 'res) spec
+
+(* ---- WGL search --------------------------------------------------------- *)
+
+(* Repeatedly linearize a minimal operation (one that no other
+   unlinearized operation precedes in real time) whose specified result
+   matches the recorded one; backtrack on dead ends.  Visited
+   (linearized-set, state) configurations are memoized — re-reaching one
+   through a different order cannot succeed where the first visit
+   failed, because the remaining obligation depends only on which
+   operations are left and on the current abstract state. *)
+let witness (type o r) (Spec { init; apply } : (o, r) spec)
+    (events : (o, r) event list) =
+  let evs = Array.of_list events in
+  let n = Array.length evs in
+  if n = 0 then Some []
+  else begin
+    let visited = Hashtbl.create 256 in
+    let lin = Array.make n false in
+    let linearized_set () = Array.to_list lin in
+    let minimal i =
+      (not lin.(i))
+      && begin
+           let ok = ref true in
+           for j = 0 to n - 1 do
+             if (not lin.(j)) && j <> i && precedes evs.(j) evs.(i) then
+               ok := false
+           done;
+           !ok
+         end
+    in
+    let rec go state acc k =
+      if k = n then Some (List.rev acc)
+      else begin
+        let cfg = (linearized_set (), state) in
+        if Hashtbl.mem visited cfg then None
+        else begin
+          Hashtbl.add visited cfg ();
+          let rec try_candidates i =
+            if i >= n then None
+            else if minimal i then begin
+              let state', expected = apply state evs.(i).op in
+              if expected = evs.(i).result then begin
+                lin.(i) <- true;
+                match go state' (i :: acc) (k + 1) with
+                | Some _ as w -> w
+                | None ->
+                    lin.(i) <- false;
+                    try_candidates (i + 1)
+              end
+              else try_candidates (i + 1)
+            end
+            else try_candidates (i + 1)
+          in
+          try_candidates 0
+        end
+      end
+    in
+    go init [] 0
+  end
+
+let accepts spec events = witness spec events <> None
+
+(* ---- brute force -------------------------------------------------------- *)
+
+(* Deliberately a different algorithm: enumerate every permutation of
+   the events, keep those that respect real-time precedence, and replay
+   the specification over each.  Exponential; the qcheck property
+   cross-validates it against {!accepts} on small histories. *)
+let accepts_brute_force (type o r) (Spec { init; apply } : (o, r) spec)
+    (events : (o, r) event list) =
+  let respects_rt perm =
+    let rec go = function
+      | [] -> true
+      | e :: rest -> List.for_all (fun e' -> not (precedes e' e)) rest && go rest
+    in
+    go perm
+  in
+  let replays perm =
+    let rec go state = function
+      | [] -> true
+      | e :: rest ->
+          let state', expected = apply state e.op in
+          expected = e.result && go state' rest
+    in
+    go init perm
+  in
+  let rec permutations = function
+    | [] -> [ [] ]
+    | xs ->
+        List.concat_map
+          (fun x ->
+            List.map
+              (fun perm -> x :: perm)
+              (permutations (List.filter (fun y -> y != x) xs)))
+          xs
+  in
+  List.exists (fun p -> respects_rt p && replays p) (permutations events)
+
+(* ---- shrinking ---------------------------------------------------------- *)
+
+let shrink ~keep ~still_fails events =
+  let rec drop_one prefix = function
+    | [] -> None
+    | e :: rest ->
+        if not (keep e) && still_fails (List.rev_append prefix rest) then
+          Some (List.rev_append prefix rest)
+        else drop_one (e :: prefix) rest
+  in
+  let rec fix evs =
+    match drop_one [] evs with Some evs' -> fix evs' | None -> evs
+  in
+  fix events
+
+(* ---- set histories ------------------------------------------------------ *)
+
+type set_op = Add of int | Remove of int | Contains of int | Size
+
+type set_res = Bool of bool | Int of int
+
+let set_spec ?(init = []) () =
+  let mem k s = List.mem k s in
+  (* State is kept sorted so equal sets share one memoization entry. *)
+  Spec
+    {
+      init = List.sort_uniq compare init;
+      apply =
+        (fun s op ->
+          match op with
+          | Add k ->
+              if mem k s then (s, Bool false)
+              else (List.sort compare (k :: s), Bool true)
+          | Remove k ->
+              if mem k s then (List.filter (( <> ) k) s, Bool true)
+              else (s, Bool false)
+          | Contains k -> (s, Bool (mem k s))
+          | Size -> (s, Int (List.length s)));
+    }
+
+let per_key_spec ?(init = false) () =
+  Spec
+    {
+      init;
+      apply =
+        (fun present op ->
+          match op with
+          | Add _ -> (true, Bool (not present))
+          | Remove _ -> (false, Bool present)
+          | Contains _ -> (present, Bool present)
+          | Size -> (present, Int 0));
+    }
+
+type violation = {
+  reason : string;
+  culprit : (set_op, set_res) event option;
+  witness_events : (set_op, set_res) event list;
+}
+
+type verdict = Linearizable | Violation of violation
+
+let key_of = function
+  | Add k | Remove k | Contains k -> Some k
+  | Size -> None
+
+(* Successful updates of one key in witness order, each as
+   [present-after] (true for add, false for remove). *)
+let update_timeline per_key_events order =
+  let arr = Array.of_list per_key_events in
+  List.filter_map
+    (fun i ->
+      let e = arr.(i) in
+      match (e.op, e.result) with
+      | Add _, Bool true -> Some (e, true)
+      | Remove _, Bool true -> Some (e, false)
+      | _ -> None)
+    order
+
+(* Possible membership values of one key at integer time [t], given its
+   successful updates [u_1 .. u_m] in witness order.  Each update's
+   linearization point lies in its own interval and the points respect
+   the witness order; [e_i]/[l_i] are the earliest/latest feasible
+   points.  "Last update at or before t is u_i" is feasible iff
+   [e_i <= t] and (i = m or [l_(i+1) >= t]); i = 0 stands for "no
+   update yet" (the initial membership).  Ties are treated
+   permissively: an equal timestamp never causes a rejection. *)
+let possible_membership ~init updates t =
+  let m = Array.length updates in
+  let earliest = Array.make (m + 1) min_int in
+  for i = 1 to m do
+    let e, _ = updates.(i - 1) in
+    earliest.(i) <- max e.inv earliest.(i - 1)
+  done;
+  let latest = Array.make (m + 2) max_int in
+  for i = m downto 1 do
+    let e, _ = updates.(i - 1) in
+    latest.(i) <- min e.ret latest.(i + 1)
+  done;
+  let possible = ref [] in
+  if m = 0 || latest.(1) >= t then possible := [ init ];
+  for i = 1 to m do
+    if earliest.(i) <= t && (i = m || latest.(i + 1) >= t) then
+      possible := snd updates.(i - 1) :: !possible
+  done;
+  !possible
+
+(* Per-key witness orders for every key appearing in the history (or
+   prefilled); [Size] events are excluded from partitions.  Returns
+   [Error key] when some key's projection is not linearizable. *)
+let per_key_witnesses ~init events =
+  let keys =
+    List.sort_uniq compare
+      (init @ List.filter_map (fun e -> key_of e.op) events)
+  in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | k :: rest -> (
+        let evs = List.filter (fun e -> key_of e.op = Some k) events in
+        match witness (per_key_spec ~init:(List.mem k init) ()) evs with
+        | Some order -> go ((k, evs, order) :: acc) rest
+        | None -> Error k)
+  in
+  go [] keys
+
+(* Pointwise cardinality bounds: at time [t], [lo] counts keys that are
+   in the set under every feasible placement of their updates' points,
+   [hi] those in under at least one.  A size observation [v] is
+   interval-consistent when some single [t] inside its interval has
+   [lo t <= v <= hi t] — the snapshot it reports must correspond to an
+   instantaneous state, stale or not. *)
+let bounds_at witnesses ~init t =
+  let lo = ref 0 and hi = ref 0 in
+  List.iter
+    (fun (k, _evs, updates) ->
+      match possible_membership ~init:(List.mem k init) updates t with
+      | [] -> ()
+      | states ->
+          if List.for_all (fun b -> b) states then incr lo;
+          if List.exists (fun b -> b) states then incr hi)
+    witnesses;
+  (!lo, !hi)
+
+let with_updates witnesses =
+  List.map
+    (fun (k, evs, order) -> (k, evs, Array.of_list (update_timeline evs order)))
+    witnesses
+
+let size_samples witnesses s =
+  List.sort_uniq compare
+    (s.inv :: s.ret
+    :: List.concat_map
+         (fun (_, _, updates) ->
+           Array.to_list updates
+           |> List.concat_map (fun (e, _) ->
+                  List.filter
+                    (fun t -> t >= s.inv && t <= s.ret)
+                    [ e.inv - 1; e.inv; e.inv + 1; e.ret - 1; e.ret; e.ret + 1 ]))
+         witnesses)
+
+let interval_consistent witnesses ~init s v =
+  List.exists
+    (fun t ->
+      let lo, hi = bounds_at witnesses ~init t in
+      v >= lo && v <= hi)
+    (size_samples witnesses s)
+
+let size_bounds_of_witnesses witnesses ~init s =
+  (* Tightest bounds seen at any sampled point — for failure reports:
+     a rejected size lies outside [lo t, hi t] for every t. *)
+  List.fold_left
+    (fun (lo_min, hi_max) t ->
+      let lo, hi = bounds_at witnesses ~init t in
+      (min lo_min lo, max hi_max hi))
+    (max_int, min_int)
+    (size_samples witnesses s)
+
+let size_bounds ?(init = []) events s =
+  match per_key_witnesses ~init events with
+  | Error _ -> invalid_arg "size_bounds: per-key projection not linearizable"
+  | Ok ws -> size_bounds_of_witnesses (with_updates ws) ~init s
+
+let pp_set_op ppf = function
+  | Add k -> Format.fprintf ppf "add(%d)" k
+  | Remove k -> Format.fprintf ppf "remove(%d)" k
+  | Contains k -> Format.fprintf ppf "contains(%d)" k
+  | Size -> Format.fprintf ppf "size()"
+
+let pp_set_res ppf = function
+  | Bool b -> Format.pp_print_bool ppf b
+  | Int n -> Format.pp_print_int ppf n
+
+let pp_set_event ppf e =
+  Format.fprintf ppf "t%d [%d,%d] %a -> %a" e.thread e.inv e.ret pp_set_op e.op
+    pp_set_res e.result
+
+let pp_verdict ppf = function
+  | Linearizable -> Format.fprintf ppf "linearizable"
+  | Violation v ->
+      Format.fprintf ppf "NOT linearizable: %s@." v.reason;
+      (match v.culprit with
+      | Some c -> Format.fprintf ppf "  culprit: %a@." pp_set_event c
+      | None -> ());
+      Format.fprintf ppf "  minimal counterexample history:@.";
+      List.iter
+        (fun e -> Format.fprintf ppf "    %a@." pp_set_event e)
+        v.witness_events
+
+let check_set ?(init = []) events =
+  let parse_events = List.filter (fun e -> key_of e.op <> None) events in
+  match per_key_witnesses ~init parse_events with
+  | Error k ->
+      let sub = List.filter (fun e -> key_of e.op = Some k) parse_events in
+      let still_fails evs =
+        witness (per_key_spec ~init:(List.mem k init) ()) evs = None
+      in
+      let minimal = shrink ~keep:(fun _ -> false) ~still_fails sub in
+      Violation
+        {
+          reason =
+            Printf.sprintf
+              "operations on key %d admit no linearization consistent with \
+               their results and real-time order"
+              k;
+          culprit = None;
+          witness_events = minimal;
+        }
+  | Ok witnesses -> (
+      let witnesses = with_updates witnesses in
+      let sizes =
+        List.filter (fun e -> e.op = Size) events
+        |> List.sort (fun a b -> compare a.inv b.inv)
+      in
+      let check_one s =
+        let v = match s.result with Int v -> v | Bool _ -> -1 in
+        if interval_consistent witnesses ~init s v then None
+        else begin
+          let lo, hi = size_bounds_of_witnesses witnesses ~init s in
+          (* Interval consistency is not monotone under event removal
+             (dropping an add trivially re-fails any overcount), so
+             delta-debugging here would fabricate sub-histories that
+             say nothing about this run.  The faithful evidence is the
+             churn the traversal raced with: every successful update
+             overlapping the size's interval. *)
+          let overlapping =
+            List.filter
+              (fun e ->
+                e.result = Bool true
+                && (match e.op with
+                   | Add _ | Remove _ -> true
+                   | Contains _ | Size -> false)
+                && e.inv <= s.ret && e.ret >= s.inv)
+              parse_events
+          in
+          let minimal = s :: overlapping in
+          Some
+            (Violation
+               {
+                 reason =
+                   Printf.sprintf
+                     "size() returned %d, but no instant of the operation's \
+                      interval admits that cardinality (pointwise bounds \
+                      stay within [%d, %d])"
+                     v lo hi;
+                 culprit = Some s;
+                 witness_events = minimal;
+               })
+        end
+      in
+      let rec first = function
+        | [] -> Linearizable
+        | s :: rest -> (
+            match check_one s with Some v -> v | None -> first rest)
+      in
+      first sizes)
+
+(* ---- queues and stacks -------------------------------------------------- *)
+
+type queue_op = Enqueue of int | Dequeue
+
+type queue_res = Enqueued | Dequeued of int option
+
+let queue_spec =
+  Spec
+    {
+      init = [];
+      apply =
+        (fun q op ->
+          match op with
+          | Enqueue v -> (q @ [ v ], Enqueued)
+          | Dequeue -> (
+              match q with
+              | [] -> ([], Dequeued None)
+              | x :: rest -> (rest, Dequeued (Some x))));
+    }
+
+type stack_op = Push of int | Pop
+
+type stack_res = Pushed | Popped of int option
+
+let stack_spec =
+  Spec
+    {
+      init = [];
+      apply =
+        (fun s op ->
+          match op with
+          | Push v -> (v :: s, Pushed)
+          | Pop -> (
+              match s with
+              | [] -> ([], Popped None)
+              | x :: rest -> (rest, Popped (Some x))));
+    }
+
+let pp_queue_event ppf e =
+  let pp_op ppf = function
+    | Enqueue v -> Format.fprintf ppf "enqueue(%d)" v
+    | Dequeue -> Format.fprintf ppf "dequeue()"
+  and pp_res ppf = function
+    | Enqueued -> Format.fprintf ppf "()"
+    | Dequeued None -> Format.fprintf ppf "None"
+    | Dequeued (Some v) -> Format.fprintf ppf "Some %d" v
+  in
+  Format.fprintf ppf "t%d [%d,%d] %a -> %a" e.thread e.inv e.ret pp_op e.op
+    pp_res e.result
+
+let pp_stack_event ppf e =
+  let pp_op ppf = function
+    | Push v -> Format.fprintf ppf "push(%d)" v
+    | Pop -> Format.fprintf ppf "pop()"
+  and pp_res ppf = function
+    | Pushed -> Format.fprintf ppf "()"
+    | Popped None -> Format.fprintf ppf "None"
+    | Popped (Some v) -> Format.fprintf ppf "Some %d" v
+  in
+  Format.fprintf ppf "t%d [%d,%d] %a -> %a" e.thread e.inv e.ret pp_op e.op
+    pp_res e.result

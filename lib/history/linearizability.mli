@@ -1,0 +1,160 @@
+(** Structure-level linearizability checking.
+
+    The sibling modules ({!Serializability}, {!Opacity}, {!Elastic})
+    judge {e transactional} histories of low-level reads and writes.
+    This module judges {e operation} histories of whole data-structure
+    calls — [add]/[remove]/[contains]/[size] on a set, [enqueue]/
+    [dequeue] on a queue — recorded with invocation and response
+    timestamps by concurrent workers.  A history is {e linearizable}
+    (Herlihy & Wing 1990) when every operation can be assigned a single
+    point inside its [inv, ret] interval such that executing the
+    operations sequentially in point order yields exactly the recorded
+    results.
+
+    Two checkers are provided and cross-validated by property tests,
+    mirroring {!Serializability.accepts} vs
+    {!Serializability.accepts_brute_force}:
+
+    - {!accepts} — a Wing–Gong / WGL-style search that repeatedly picks
+      a minimal (real-time-first) unlinearized operation, replays the
+      sequential specification, and memoizes visited
+      (linearized-set, state) configurations;
+    - {!accepts_brute_force} — enumeration of every real-time-respecting
+      permutation, feasible only for small histories.
+
+    For sets, {!check_set} exploits {e P-compositionality}: operations
+    on distinct keys act on independent sub-objects, so the history is
+    linearizable iff each per-key projection is — which turns an
+    exponential whole-set check into many tiny per-key checks.  [size]
+    does not partition; it is checked against {e interval consistency}:
+    the reported value must fall between the smallest certain and the
+    largest possible cardinality over the operation's interval, given
+    the per-key witness orders.  This deliberately accepts snapshot
+    (slightly stale but consistent) sizes while rejecting traversal
+    counts that correspond to no instantaneous state. *)
+
+(** {1 Operation histories} *)
+
+type ('op, 'res) event = {
+  thread : int;  (** worker identifier; a thread's events must not overlap *)
+  op : 'op;
+  result : 'res;
+  inv : int;  (** invocation timestamp (virtual ticks or wall ns) *)
+  ret : int;  (** response timestamp; [inv <= ret] *)
+}
+
+val precedes : ('op, 'res) event -> ('op, 'res) event -> bool
+(** Real-time order: [a] responded strictly before [b] was invoked. *)
+
+val well_formed : ('op, 'res) event list -> bool
+(** Intervals are sane and no two events of one thread overlap. *)
+
+(** {1 Sequential specifications}
+
+    A specification is an initial state plus a deterministic transition
+    function returning the post-state and the result the operation
+    {e must} produce; results are compared with polymorphic equality,
+    so keep them to immediate values and options/lists thereof. *)
+
+type ('op, 'res) spec =
+  | Spec : { init : 's; apply : 's -> 'op -> 's * 'res } -> ('op, 'res) spec
+
+(** {1 Generic checkers} *)
+
+val witness : ('op, 'res) spec -> ('op, 'res) event list -> int list option
+(** WGL search.  [Some order] gives the indices (into the input list)
+    of a valid linearization, earliest first; [None] means the history
+    is not linearizable w.r.t. the specification. *)
+
+val accepts : ('op, 'res) spec -> ('op, 'res) event list -> bool
+(** [witness spec h <> None]. *)
+
+val accepts_brute_force : ('op, 'res) spec -> ('op, 'res) event list -> bool
+(** Permutation search; exponential — cross-validation of {!accepts}
+    on small histories only (the qcheck property uses <= 6 events). *)
+
+(** {1 Set histories} *)
+
+type set_op = Add of int | Remove of int | Contains of int | Size
+
+type set_res = Bool of bool | Int of int
+
+val set_spec : ?init:int list -> unit -> (set_op, set_res) spec
+(** Whole-set specification (state: sorted element list), including
+    [Size] with a strict linearization point.  Exponential via
+    {!accepts} on large histories; prefer {!check_set}. *)
+
+val per_key_spec : ?init:bool -> unit -> (set_op, set_res) spec
+(** Membership register for a single key's projection ([Size] must be
+    filtered out first). *)
+
+type violation = {
+  reason : string;  (** human explanation of the failed obligation *)
+  culprit : (set_op, set_res) event option;  (** the unlinearizable op *)
+  witness_events : (set_op, set_res) event list;
+      (** a minimized sub-history that still exhibits the failure *)
+}
+
+type verdict = Linearizable | Violation of violation
+
+val check_set : ?init:int list -> (set_op, set_res) event list -> verdict
+(** Partitioned check: per-key linearizability of
+    [add]/[remove]/[contains] plus interval consistency of every
+    [Size] observation — there must be a single instant [t] inside the
+    size's own interval whose certain/possible cardinality bounds
+    (derived from the per-key witness orders) bracket the reported
+    value.  Snapshot sizes always satisfy this (their value is the
+    cardinality at one real instant, possibly slightly stale);
+    traversal counts over concurrent churn, which may correspond to no
+    instantaneous state, are rejected.  [init] lists elements present
+    before the first event. *)
+
+val size_bounds :
+  ?init:int list ->
+  (set_op, set_res) event list ->
+  (set_op, set_res) event ->
+  int * int
+(** [size_bounds h s] returns [(lo, hi)]: the smallest certain and the
+    largest possible cardinality seen at any sampled instant of [s]'s
+    interval.  A rejected size lies outside the pointwise bounds of
+    {e every} instant; [lo, hi] is the envelope printed in failure
+    reports.  Exposed for tests. *)
+
+(** {1 Queue and stack histories} *)
+
+type queue_op = Enqueue of int | Dequeue
+
+type queue_res = Enqueued | Dequeued of int option
+
+val queue_spec : (queue_op, queue_res) spec
+(** FIFO: [Dequeue] returns [Dequeued None] on empty. *)
+
+type stack_op = Push of int | Pop
+
+type stack_res = Pushed | Popped of int option
+
+val stack_spec : (stack_op, stack_res) spec
+(** LIFO: [Pop] returns [Popped None] on empty. *)
+
+(** {1 Rendering} *)
+
+val pp_set_op : Format.formatter -> set_op -> unit
+
+val pp_set_event : Format.formatter -> (set_op, set_res) event -> unit
+(** e.g. [t2 [120,190] add(7) -> true]. *)
+
+val pp_queue_event : Format.formatter -> (queue_op, queue_res) event -> unit
+
+val pp_stack_event : Format.formatter -> (stack_op, stack_res) event -> unit
+
+val pp_verdict : Format.formatter -> verdict -> unit
+
+val shrink :
+  keep:(('op, 'res) event -> bool) ->
+  still_fails:(('op, 'res) event list -> bool) ->
+  ('op, 'res) event list ->
+  ('op, 'res) event list
+(** Greedy delta-debugging: drop events (except those [keep] protects)
+    while [still_fails] holds, yielding a locally minimal
+    counterexample.  Used by {!check_set} and the conformance
+    harness's queue/stack reports. *)

@@ -6,6 +6,7 @@
     [Stm.Make (R)] instance and all baselines — for one runtime. *)
 
 open Polytm
+module Lin = Polytm_history.Linearizability
 
 type set = {
   name : string;
@@ -15,6 +16,12 @@ type set = {
   size : unit -> int;
   to_list : unit -> int list;
 }
+
+(** Queue and stack counterparts of {!set}, for the conformance
+    harness's FIFO/LIFO workloads. *)
+type queue = { q_name : string; enq : int -> unit; deq : unit -> int option }
+
+type stack = { s_name : string; push : int -> unit; pop : unit -> int option }
 
 (** Per-operation semantics assignment for the STM structures: the
     three configurations of the paper's evaluation. *)
@@ -41,6 +48,9 @@ module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) = struct
   module Hash_set = Stm_hash_set.Make (S)
   module Skiplist = Stm_skiplist.Make (S)
   module Queue = Stm_queue.Make (S)
+  module Stack = Stm_stack.Make (S)
+  module Boosted = Boosted_set.Make (R) (S)
+  module Treiber = Treiber_stack.Make (R)
   module Seq = Seq_list.Make (R)
   module Coarse = Coarse_list.Make (R)
   module Hoh = Hoh_list.Make (R)
@@ -155,4 +165,143 @@ module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) = struct
       size = (fun () -> Skiplist.size t);
       to_list = (fun () -> Skiplist.to_list t);
     }
+
+  let boosted ?buckets stm =
+    let t = Boosted.create ?buckets () in
+    {
+      name = "boosted-set";
+      add = (fun k -> S.atomically stm (fun tx -> Boosted.add tx t k));
+      remove = (fun k -> S.atomically stm (fun tx -> Boosted.remove tx t k));
+      contains = (fun k -> S.atomically stm (fun tx -> Boosted.contains tx t k));
+      size = (fun () -> S.atomically stm (fun tx -> Boosted.size tx t));
+      to_list = (fun () -> Boosted.to_list t);
+    }
+
+  let stm_queue stm =
+    let t = Queue.create stm in
+    {
+      q_name = "stm-queue";
+      enq = Queue.enqueue t;
+      deq = (fun () -> Queue.dequeue_opt t);
+    }
+
+  let stm_stack stm =
+    let t = Stack.create stm in
+    {
+      s_name = "stm-stack";
+      push = Stack.push t;
+      pop = (fun () -> Stack.pop t);
+    }
+
+  let treiber () =
+    let t = Treiber.create () in
+    {
+      s_name = "treiber-stack";
+      push = Treiber.push t;
+      pop = (fun () -> Treiber.pop t);
+    }
+
+  (* ---- operation-history recording -------------------------------------
+
+     [record_set s] (and the queue/stack variants) wraps an adapter so
+     every call is logged as a timed {!Lin.event} the linearizability
+     checker consumes.  Timestamps come from a shared completion
+     counter, not from clocks: an operation's [inv] is the number of
+     completions it observed before starting, its [ret] the index its
+     own completion received.  [ret_a < inv_b] then certifies that [a]'s
+     effect landed before [b] began — sound under the simulator with
+     {e any} scheduling policy (per-thread virtual clocks drift apart
+     under [Random_sched]) and under real domains alike, and the
+     deliberately widened intervals can only make the checker more
+     permissive, never trigger a false alarm. *)
+
+  type 'e log = { cells : 'e list R.atomic; completions : int R.atomic }
+
+  let make_log () = { cells = R.atomic []; completions = R.atomic 0 }
+
+  let timed log mk f =
+    let thread = R.self_id () in
+    let inv = R.get log.completions in
+    let r = f () in
+    let ret = R.fetch_and_add log.completions 1 in
+    let e = mk ~thread ~inv ~ret r in
+    let rec push () =
+      let cur = R.get log.cells in
+      if not (R.cas log.cells cur (e :: cur)) then push ()
+    in
+    push ();
+    r
+
+  let recorded log =
+    List.sort
+      (fun a b -> compare (a.Lin.inv, a.Lin.ret) (b.Lin.inv, b.Lin.ret))
+      (R.get log.cells)
+
+  let record_set (s : set) =
+    let log = make_log () in
+    let ev op result ~thread ~inv ~ret = { Lin.thread; op; result; inv; ret } in
+    ( {
+        s with
+        add =
+          (fun k ->
+            timed log
+              (fun ~thread ~inv ~ret r -> ev (Lin.Add k) (Lin.Bool r) ~thread ~inv ~ret)
+              (fun () -> s.add k));
+        remove =
+          (fun k ->
+            timed log
+              (fun ~thread ~inv ~ret r ->
+                ev (Lin.Remove k) (Lin.Bool r) ~thread ~inv ~ret)
+              (fun () -> s.remove k));
+        contains =
+          (fun k ->
+            timed log
+              (fun ~thread ~inv ~ret r ->
+                ev (Lin.Contains k) (Lin.Bool r) ~thread ~inv ~ret)
+              (fun () -> s.contains k));
+        size =
+          (fun () ->
+            timed log
+              (fun ~thread ~inv ~ret r -> ev Lin.Size (Lin.Int r) ~thread ~inv ~ret)
+              s.size);
+      },
+      fun () -> recorded log )
+
+  let record_queue (q : queue) =
+    let log = make_log () in
+    ( {
+        q with
+        enq =
+          (fun v ->
+            timed log
+              (fun ~thread ~inv ~ret () ->
+                { Lin.thread; op = Lin.Enqueue v; result = Lin.Enqueued; inv; ret })
+              (fun () -> q.enq v));
+        deq =
+          (fun () ->
+            timed log
+              (fun ~thread ~inv ~ret r ->
+                { Lin.thread; op = Lin.Dequeue; result = Lin.Dequeued r; inv; ret })
+              q.deq);
+      },
+      fun () -> recorded log )
+
+  let record_stack (s : stack) =
+    let log = make_log () in
+    ( {
+        s with
+        push =
+          (fun v ->
+            timed log
+              (fun ~thread ~inv ~ret () ->
+                { Lin.thread; op = Lin.Push v; result = Lin.Pushed; inv; ret })
+              (fun () -> s.push v));
+        pop =
+          (fun () ->
+            timed log
+              (fun ~thread ~inv ~ret r ->
+                { Lin.thread; op = Lin.Pop; result = Lin.Popped r; inv; ret })
+              s.pop);
+      },
+      fun () -> recorded log )
 end

@@ -289,7 +289,7 @@ let test_elastic_list_adjacent_removes_exhaustive () =
 
 let suite =
   ( "baselines",
-    List.map (fun p -> QCheck_alcotest.to_alcotest (sequential_property p))
+    List.map (fun p -> Test_seed.to_alcotest (sequential_property p))
       all_impls
     @ [
         Alcotest.test_case "disjoint threads" `Quick test_disjoint_threads;

@@ -110,6 +110,56 @@ let test_raise_after_boosted_ops_compensates () =
         Alcotest.(check bool) "locks free again" true (B.contains tx t 1))
   done
 
+(* Hook ordering under injected aborts, for every semantics the
+   paper composes: compensations ([on_abort]) run newest-first, then
+   finalisers ([on_cleanup]) newest-first; the commit path runs only
+   the finalisers.  Boosting depends on exactly this order — inverses
+   must undo in reverse call order while abstract locks release
+   afterwards, whether or not the transaction made it. *)
+let test_hook_ordering_on_injected_raise () =
+  let semantics =
+    [ Polytm.Semantics.Classic; Polytm.Semantics.Elastic;
+      Polytm.Semantics.Snapshot ]
+  in
+  List.iter
+    (fun sem ->
+      let name = Polytm.Semantics.to_string sem in
+      let stm = S.create () in
+      let v = S.tvar stm 0 in
+      let trace = ref [] in
+      let log tag () = trace := tag :: !trace in
+      (* Aborting run: undos newest-first, then cleanups newest-first. *)
+      (try
+         S.atomically stm ~sem (fun tx ->
+             S.on_cleanup tx (log "cleanup-1");
+             S.on_abort tx (log "undo-1");
+             ignore (S.read tx v);
+             if Polytm.Semantics.allows_write sem then S.write tx v 1;
+             S.on_abort tx (log "undo-2");
+             S.on_cleanup tx (log "cleanup-2");
+             raise Injected)
+       with Injected -> ());
+      Alcotest.(check (list string))
+        (name ^ ": abort runs undos newest-first, then cleanups")
+        [ "undo-2"; "undo-1"; "cleanup-2"; "cleanup-1" ]
+        (List.rev !trace);
+      Alcotest.(check int)
+        (name ^ ": effects discarded")
+        0
+        (S.atomically stm (fun tx -> S.read tx v));
+      (* Committing run: no undos, cleanups newest-first. *)
+      trace := [];
+      S.atomically stm ~sem (fun tx ->
+          S.on_abort tx (log "undo-never");
+          S.on_cleanup tx (log "cleanup-1");
+          ignore (S.read tx v);
+          S.on_cleanup tx (log "cleanup-2"));
+      Alcotest.(check (list string))
+        (name ^ ": commit runs only cleanups")
+        [ "cleanup-2"; "cleanup-1" ]
+        (List.rev !trace))
+    semantics
+
 let test_stm_usable_after_exhaustion () =
   (* Too_many_attempts must leave no residue: subsequent transactions
      run normally. *)
@@ -174,6 +224,8 @@ let suite =
         test_raise_in_orelse_branches;
       Alcotest.test_case "boosted ops compensated on raise" `Quick
         test_raise_after_boosted_ops_compensates;
+      Alcotest.test_case "hook ordering on injected raise" `Quick
+        test_hook_ordering_on_injected_raise;
       Alcotest.test_case "usable after exhaustion" `Quick
         test_stm_usable_after_exhaustion;
       Alcotest.test_case "list ops aborted midway" `Quick

@@ -417,15 +417,15 @@ let suite =
       Alcotest.test_case "digraph topological orders" `Quick
         test_digraph_topological_orders;
       Alcotest.test_case "digraph dot" `Quick test_digraph_dot;
-      QCheck_alcotest.to_alcotest prop_serializability_brute_force_agrees;
-      QCheck_alcotest.to_alcotest prop_opacity_brute_force_agrees;
-      QCheck_alcotest.to_alcotest prop_opacity_implies_serializability;
-      QCheck_alcotest.to_alcotest prop_elastic_weaker_than_opacity;
+      Test_seed.to_alcotest prop_serializability_brute_force_agrees;
+      Test_seed.to_alcotest prop_opacity_brute_force_agrees;
+      Test_seed.to_alcotest prop_opacity_implies_serializability;
+      Test_seed.to_alcotest prop_elastic_weaker_than_opacity;
       Alcotest.test_case "view vs conflict separation" `Quick
         test_view_vs_conflict_separation;
       Alcotest.test_case "view rejects inconsistent reads" `Quick
         test_view_rejects_inconsistent_reads;
       Alcotest.test_case "strict view on figure 4" `Quick
         test_strict_view_fig4_counts;
-      QCheck_alcotest.to_alcotest prop_conflict_implies_view;
+      Test_seed.to_alcotest prop_conflict_implies_view;
     ] )

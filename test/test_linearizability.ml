@@ -1,0 +1,365 @@
+(* Structure-level linearizability checker: unit histories (including
+   the classic overlapping-dequeue example), WGL vs brute-force
+   cross-validation on random small histories, and a replayable
+   regression corpus in lin_corpus/. *)
+
+module Lin = Polytm_history.Linearizability
+
+let ev thread inv ret op result = { Lin.thread; op; result; inv; ret }
+
+let add k = Lin.Add k
+
+let remove k = Lin.Remove k
+
+let contains k = Lin.Contains k
+
+let tt = Lin.Bool true
+
+let ff = Lin.Bool false
+
+let check = Alcotest.(check bool)
+
+(* ---- unit histories: sets ---------------------------------------------- *)
+
+let test_sequential_set () =
+  let h =
+    [
+      ev 1 0 1 (add 5) tt;
+      ev 1 2 3 (contains 5) tt;
+      ev 1 4 5 (remove 5) tt;
+      ev 1 6 7 (contains 5) ff;
+    ]
+  in
+  check "well-formed" true (Lin.well_formed h);
+  check "sequential set accepted" true (Lin.accepts (Lin.set_spec ()) h);
+  check "check_set agrees" true (Lin.check_set h = Lin.Linearizable)
+
+let test_overlapping_updates () =
+  (* All three ops overlap; only the order add < contains < remove
+     explains the results. *)
+  let h =
+    [
+      ev 1 0 5 (add 7) tt;
+      ev 2 1 6 (contains 7) tt;
+      ev 3 2 7 (remove 7) tt;
+      ev 1 8 9 (contains 7) ff;
+    ]
+  in
+  check "overlap resolved" true (Lin.check_set h = Lin.Linearizable)
+
+let test_duplicate_add_rejected () =
+  (* Non-overlapping double add(5) -> true with no remove between:
+     per-key violation, regardless of the unrelated key-8 event. *)
+  let h =
+    [
+      ev 1 0 1 (add 5) tt;
+      ev 2 2 3 (add 5) tt;
+      ev 3 0 3 (contains 8) ff;
+    ]
+  in
+  match Lin.check_set h with
+  | Lin.Linearizable -> Alcotest.fail "duplicate add accepted"
+  | Lin.Violation v ->
+      check "culprit is per-key (no single op)" true (v.culprit = None);
+      check "witness shrunk to the offending key" true
+        (List.for_all
+           (fun e ->
+             match e.Lin.op with
+             | Lin.Add 5 | Lin.Remove 5 | Lin.Contains 5 -> true
+             | _ -> false)
+           v.witness_events);
+      check "witness is minimal (contains dropped)" true
+        (List.length v.witness_events <= 2)
+
+let test_stale_snapshot_size_accepted () =
+  (* size() -> 3 is stale by response time (two adds landed inside its
+     interval) but exact at invocation time: a snapshot size. *)
+  let h =
+    [
+      ev 1 0 5 Lin.Size (Lin.Int 3);
+      ev 2 0 1 (add 10) tt;
+      ev 3 2 3 (add 11) tt;
+    ]
+  in
+  check "stale snapshot accepted" true
+    (Lin.check_set ~init:[ 0; 1; 2 ] h = Lin.Linearizable)
+
+let test_traversal_double_count_rejected () =
+  (* Key 0 migrates one-way to key 10 during the traversal; counting
+     both positions yields 4, a cardinality no instant ever had. *)
+  let size_ev = ev 1 0 4 Lin.Size (Lin.Int 4) in
+  let h =
+    [ size_ev; ev 2 0 1 (remove 0) tt; ev 2 2 3 (add 10) tt ]
+  in
+  (match Lin.check_set ~init:[ 0; 1; 2 ] h with
+  | Lin.Linearizable -> Alcotest.fail "double-counted size accepted"
+  | Lin.Violation v ->
+      check "culprit is the size op" true (v.culprit = Some size_ev);
+      check "witness shows the racing migration" true
+        (List.length v.witness_events = 3));
+  let lo, hi = Lin.size_bounds ~init:[ 0; 1; 2 ] h size_ev in
+  check "lower bound" true (lo <= 3);
+  check "upper bound excludes 4" true (hi = 3)
+
+(* ---- unit histories: queues and stacks --------------------------------- *)
+
+let enq v = Lin.Enqueue v
+
+let deq = Lin.Dequeue
+
+let enqd = Lin.Enqueued
+
+let deqd v = Lin.Dequeued v
+
+let test_overlapping_dequeues_ok () =
+  (* The classic Herlihy–Wing shape: the two dequeues overlap, so
+     either may linearize first; returning them "crossed" is fine. *)
+  let h =
+    [
+      ev 1 0 1 (enq 1) enqd;
+      ev 2 2 3 (enq 2) enqd;
+      ev 1 4 7 deq (deqd (Some 2));
+      ev 2 5 6 deq (deqd (Some 1));
+    ]
+  in
+  check "overlapping dequeues may cross" true (Lin.accepts Lin.queue_spec h)
+
+let test_sequential_dequeues_fifo_violation () =
+  (* Same results, but the dequeues are now sequential: deq -> 2 then
+     deq -> 1 contradicts FIFO for enqueue order 1, 2. *)
+  let h =
+    [
+      ev 1 0 1 (enq 1) enqd;
+      ev 1 2 3 (enq 2) enqd;
+      ev 2 4 5 deq (deqd (Some 2));
+      ev 2 6 7 deq (deqd (Some 1));
+    ]
+  in
+  check "sequential crossed dequeues rejected" false
+    (Lin.accepts Lin.queue_spec h);
+  check "brute force agrees" false
+    (Lin.accepts_brute_force Lin.queue_spec h)
+
+let test_empty_dequeue () =
+  let h =
+    [
+      ev 1 0 3 deq (deqd None);
+      ev 2 1 2 (enq 9) enqd;
+      ev 1 4 5 deq (deqd (Some 9));
+    ]
+  in
+  check "empty dequeue linearizes before the enqueue" true
+    (Lin.accepts Lin.queue_spec h)
+
+let test_stack_order () =
+  let push v = Lin.Push v and pushed = Lin.Pushed in
+  let pop v = Lin.Popped v in
+  let good =
+    [
+      ev 1 0 1 (push 1) pushed;
+      ev 1 2 3 (push 2) pushed;
+      ev 2 4 5 Lin.Pop (pop (Some 2));
+      ev 2 6 7 Lin.Pop (pop (Some 1));
+    ]
+  in
+  check "LIFO accepted" true (Lin.accepts Lin.stack_spec good);
+  let bad =
+    [
+      ev 1 0 1 (push 1) pushed;
+      ev 1 2 3 (push 2) pushed;
+      ev 2 4 5 Lin.Pop (pop (Some 1));
+      ev 2 6 7 Lin.Pop (pop (Some 2));
+    ]
+  in
+  check "FIFO-order pops rejected" false (Lin.accepts Lin.stack_spec bad)
+
+let test_well_formedness () =
+  check "inverted interval rejected" false
+    (Lin.well_formed [ ev 1 5 2 (add 1) tt ]);
+  check "same-thread overlap rejected" false
+    (Lin.well_formed [ ev 1 0 4 (add 1) tt; ev 1 2 6 (add 2) tt ]);
+  check "cross-thread overlap fine" true
+    (Lin.well_formed [ ev 1 0 4 (add 1) tt; ev 2 2 6 (add 2) tt ])
+
+(* ---- WGL vs brute force on random small histories ----------------------- *)
+
+(* Well-formed histories by construction: each op picks a thread; each
+   thread's cursor advances past its previous response, with small
+   jittered intervals so threads overlap freely. *)
+let intervals_gen nops =
+  QCheck.Gen.(
+    let* jitters = list_repeat nops (pair (0 -- 2) (0 -- 3)) in
+    let* threads = list_repeat nops (0 -- 2) in
+    let cursor = Array.make 3 0 in
+    return
+      (List.map2
+         (fun t (j, len) ->
+           let inv = cursor.(t) + j in
+           let ret = inv + len in
+           cursor.(t) <- ret + 1;
+           (t, inv, ret))
+         threads jitters))
+
+let membership_history_gen =
+  QCheck.Gen.(
+    let* nops = 1 -- 6 in
+    let* shape = intervals_gen nops in
+    let* ops =
+      list_repeat nops
+        (pair (oneofl [ add 0; remove 0; contains 0 ]) bool)
+    in
+    return
+      (List.map2 (fun (t, inv, ret) (op, r) -> ev t inv ret op (Lin.Bool r))
+         shape ops))
+
+let print_set_history h =
+  Format.asprintf "@[<v>%a@]"
+    (Format.pp_print_list (fun ppf e -> Lin.pp_set_event ppf e))
+    h
+
+let prop_wgl_equals_brute_membership =
+  QCheck.Test.make ~name:"linearizability: WGL = brute force (membership)"
+    ~count:1000
+    (QCheck.make ~print:print_set_history membership_history_gen)
+    (fun h ->
+      Lin.accepts (Lin.per_key_spec ()) h
+      = Lin.accepts_brute_force (Lin.per_key_spec ()) h)
+
+let queue_history_gen =
+  QCheck.Gen.(
+    let* nops = 1 -- 5 in
+    let* shape = intervals_gen nops in
+    let* ops =
+      list_repeat nops
+        (oneof
+           [
+             (let* v = 1 -- 3 in
+              return (enq v, enqd));
+             (let* r = oneofl [ None; Some 1; Some 2; Some 3 ] in
+              return (deq, deqd r));
+           ])
+    in
+    return
+      (List.map2 (fun (t, inv, ret) (op, r) -> ev t inv ret op r) shape ops))
+
+let print_queue_history h =
+  Format.asprintf "@[<v>%a@]"
+    (Format.pp_print_list (fun ppf e -> Lin.pp_queue_event ppf e))
+    h
+
+let prop_wgl_equals_brute_queue =
+  QCheck.Test.make ~name:"linearizability: WGL = brute force (queue)"
+    ~count:500
+    (QCheck.make ~print:print_queue_history queue_history_gen)
+    (fun h ->
+      Lin.accepts Lin.queue_spec h = Lin.accepts_brute_force Lin.queue_spec h)
+
+(* check_set is sound: it never rejects a history the whole-set spec
+   (size linearized strictly) accepts — its size rule only ever
+   admits MORE (snapshot sizes). *)
+let set_history_gen =
+  QCheck.Gen.(
+    let* nops = 1 -- 5 in
+    let* shape = intervals_gen nops in
+    let* ops =
+      list_repeat nops
+        (oneof
+           [
+             (let* k = 0 -- 1 in
+              let* op = oneofl [ add k; remove k; contains k ] in
+              let* r = bool in
+              return (op, Lin.Bool r));
+             (let* n = 0 -- 2 in
+              return (Lin.Size, Lin.Int n));
+           ])
+    in
+    return
+      (List.map2 (fun (t, inv, ret) (op, r) -> ev t inv ret op r) shape ops))
+
+let prop_check_set_sound =
+  QCheck.Test.make ~name:"check_set accepts every strictly-linearizable history"
+    ~count:500
+    (QCheck.make ~print:print_set_history set_history_gen)
+    (fun h ->
+      QCheck.assume (Lin.accepts (Lin.set_spec ()) h);
+      Lin.check_set h = Lin.Linearizable)
+
+(* ---- regression corpus -------------------------------------------------- *)
+
+(* Format: '#' comments; 'expect linearizable|violation';
+   'init k1 k2 ...'; then one event per line:
+   thread inv ret op [key] result. *)
+let parse_corpus path =
+  let ic = open_in path in
+  let expect = ref None and init = ref [] and events = ref [] in
+  (try
+     while true do
+       let line = String.trim (input_line ic) in
+       if line = "" || line.[0] = '#' then ()
+       else
+         match String.split_on_char ' ' line |> List.filter (( <> ) "") with
+         | [ "expect"; "linearizable" ] -> expect := Some true
+         | [ "expect"; "violation" ] -> expect := Some false
+         | "init" :: ks -> init := List.map int_of_string ks
+         | t :: inv :: ret :: rest ->
+             let thread =
+               int_of_string (String.sub t 1 (String.length t - 1))
+             in
+             let inv = int_of_string inv and ret = int_of_string ret in
+             let op, result =
+               match rest with
+               | [ "add"; k; r ] -> (add (int_of_string k), Lin.Bool (bool_of_string r))
+               | [ "remove"; k; r ] ->
+                   (remove (int_of_string k), Lin.Bool (bool_of_string r))
+               | [ "contains"; k; r ] ->
+                   (contains (int_of_string k), Lin.Bool (bool_of_string r))
+               | [ "size"; n ] -> (Lin.Size, Lin.Int (int_of_string n))
+               | _ -> failwith (path ^ ": bad op line: " ^ line)
+             in
+             events := ev thread inv ret op result :: !events
+         | _ -> failwith (path ^ ": bad line: " ^ line)
+     done
+   with End_of_file -> close_in ic);
+  match !expect with
+  | None -> failwith (path ^ ": missing 'expect' directive")
+  | Some e -> (e, !init, List.rev !events)
+
+let corpus_dir = "lin_corpus"
+
+let test_corpus () =
+  let files =
+    Sys.readdir corpus_dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".hist")
+    |> List.sort compare
+  in
+  check "corpus present" true (files <> []);
+  List.iter
+    (fun f ->
+      let expect, init, events = parse_corpus (Filename.concat corpus_dir f) in
+      let got = Lin.check_set ~init events = Lin.Linearizable in
+      Alcotest.(check bool) (f ^ " verdict") expect got)
+    files
+
+let suite =
+  ( "linearizability",
+    [
+      Alcotest.test_case "sequential set" `Quick test_sequential_set;
+      Alcotest.test_case "overlapping updates" `Quick test_overlapping_updates;
+      Alcotest.test_case "duplicate add rejected" `Quick
+        test_duplicate_add_rejected;
+      Alcotest.test_case "stale snapshot size accepted" `Quick
+        test_stale_snapshot_size_accepted;
+      Alcotest.test_case "traversal double count rejected" `Quick
+        test_traversal_double_count_rejected;
+      Alcotest.test_case "overlapping dequeues may cross" `Quick
+        test_overlapping_dequeues_ok;
+      Alcotest.test_case "sequential crossed dequeues rejected" `Quick
+        test_sequential_dequeues_fifo_violation;
+      Alcotest.test_case "empty dequeue" `Quick test_empty_dequeue;
+      Alcotest.test_case "stack order" `Quick test_stack_order;
+      Alcotest.test_case "well-formedness" `Quick test_well_formedness;
+      Test_seed.to_alcotest prop_wgl_equals_brute_membership;
+      Test_seed.to_alcotest prop_wgl_equals_brute_queue;
+      Test_seed.to_alcotest prop_check_set_sound;
+      Alcotest.test_case "regression corpus" `Quick test_corpus;
+    ] )

@@ -7,6 +7,7 @@ let () =
       Test_sim.suite;
       Test_explore.suite;
       Test_history.suite;
+      Test_linearizability.suite;
       Test_stm.suite;
       Test_stm_domains.suite;
       Test_structs.suite;

@@ -1,0 +1,41 @@
+(** Deterministic seeding for every property test in the repository.
+
+    QCheck draws its generator randomness from a [Random.State.t]; left
+    implicit, each run explores different cases and a red CI run can go
+    green on retry without anything being fixed.  All suites therefore
+    route their property tests through {!to_alcotest}, which seeds the
+    generator from the [POLYTM_TEST_SEED] environment variable
+    (default 42) and stamps failures with the seed that produced them:
+
+    {v POLYTM_TEST_SEED=1234 dune runtest v}
+
+    reruns the exact same cases.  Note this seeds {e generation};
+    concurrency interleavings under the simulator are pinned by the
+    workload seeds inside the individual tests. *)
+
+let seed =
+  match Sys.getenv_opt "POLYTM_TEST_SEED" with
+  | None | Some "" -> 42
+  | Some s -> (
+      match int_of_string_opt s with
+      | Some n -> n
+      | None ->
+          invalid_arg
+            (Printf.sprintf "POLYTM_TEST_SEED must be an integer, got %S" s))
+
+(* A fresh state per test: tests stay independent of suite order. *)
+let rand () = Random.State.make [| seed |]
+
+let to_alcotest test =
+  let name, speed, run = QCheck_alcotest.to_alcotest ~rand:(rand ()) test in
+  ( name,
+    speed,
+    fun args ->
+      try run args
+      with e ->
+        Printf.eprintf
+          "[polytm] property %S failed under POLYTM_TEST_SEED=%d; export it \
+           to reproduce this exact run\n\
+           %!"
+          name seed;
+        raise e )

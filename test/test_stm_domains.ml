@@ -133,6 +133,19 @@ let test_map_under_domains () =
   Alcotest.(check int) "all bindings present" (threads * per) (M.size m);
   Alcotest.(check bool) "AVL invariants hold" true (M.invariants_hold m)
 
+(* The skiplist, queue and stack run through the full conformance
+   pipeline under real domains: recorded histories from preemptive
+   interleavings must check out linearizable.  Fixed seeds keep the
+   workloads reproducible (interleavings stay racy by nature — any
+   of them must pass). *)
+let conformance_under_domains name () =
+  match
+    Polytm_bench_kit.Conformance.run_domains ~threads:3 ~ops:12 ~name ~seed:42
+      ~iters:4 ()
+  with
+  | Polytm_bench_kit.Conformance.Pass _ -> ()
+  | Polytm_bench_kit.Conformance.Fail msg -> Alcotest.fail msg
+
 let test_irrevocable_under_domains () =
   let stm = S.create () in
   let v = S.tvar stm 0 in
@@ -161,4 +174,10 @@ let suite =
       Alcotest.test_case "elastic list" `Quick test_list_set_under_domains;
       Alcotest.test_case "avl map" `Quick test_map_under_domains;
       Alcotest.test_case "irrevocable" `Quick test_irrevocable_under_domains;
+      Alcotest.test_case "skiplist conformance" `Quick
+        (conformance_under_domains "stm-skiplist");
+      Alcotest.test_case "queue conformance" `Quick
+        (conformance_under_domains "stm-queue");
+      Alcotest.test_case "stack conformance" `Quick
+        (conformance_under_domains "stm-stack");
     ] )

@@ -146,8 +146,8 @@ let suite =
     [
       Alcotest.test_case "basics" `Quick test_basic;
       Alcotest.test_case "ordered iteration" `Quick test_ordered_iteration;
-      QCheck_alcotest.to_alcotest model_property;
-      QCheck_alcotest.to_alcotest balance_property;
+      Test_seed.to_alcotest model_property;
+      Test_seed.to_alcotest balance_property;
       Alcotest.test_case "concurrent disjoint" `Quick test_concurrent_disjoint;
       Alcotest.test_case "concurrent contended" `Quick test_concurrent_contended;
       Alcotest.test_case "snapshot iteration" `Quick

@@ -374,7 +374,7 @@ let test_undersized_elastic_window_rejected () =
 
 let suite =
   ( "structs",
-    List.map (fun p -> QCheck_alcotest.to_alcotest (sequential_property p))
+    List.map (fun p -> Test_seed.to_alcotest (sequential_property p))
       stm_impls
     @ [
         Alcotest.test_case "undersized elastic window rejected" `Quick

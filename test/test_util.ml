@@ -211,6 +211,6 @@ let suite =
       Alcotest.test_case "heap pop_exn/to_list" `Quick
         test_heap_pop_exn_and_to_list;
       Alcotest.test_case "stats pp" `Quick test_stats_pp;
-      QCheck_alcotest.to_alcotest heap_property;
-      QCheck_alcotest.to_alcotest percentile_property;
+      Test_seed.to_alcotest heap_property;
+      Test_seed.to_alcotest percentile_property;
     ] )
