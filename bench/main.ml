@@ -8,7 +8,11 @@
      dune exec bench/main.exe -- --quick      # smaller sweep (CI-sized)
      dune exec bench/main.exe -- --paper      # paper-scale parameters
      dune exec bench/main.exe -- fig5 micro   # selected sections only
+     dune exec bench/main.exe -- --json r.json  # machine-readable results
    Sections: fig4 fig5 fig7 fig9 summary bank ablations micro.
+   --json FILE writes every figure's points (throughput, speedup, and
+   the per-site abort breakdown from telemetry) plus the headline
+   claims as one JSON document.
 
    The full parameter space (list size, ratios, duration, threads,
    seed, cores) is exposed by bin/tmbench.exe. *)
@@ -87,8 +91,16 @@ let run_micro () =
 
 let wants args what = args = [] || List.mem what args
 
+(* Pull "--json FILE" out of the argument list before the flag/section
+   split (it is the only option taking a value). *)
+let rec extract_json acc = function
+  | [] -> (None, List.rev acc)
+  | "--json" :: file :: rest -> (Some file, List.rev_append acc rest)
+  | a :: rest -> extract_json (a :: acc) rest
+
 let () =
   let argv = List.tl (Array.to_list Sys.argv) in
+  let json_file, argv = extract_json [] argv in
   let flags, sections = List.partition (fun a -> String.length a > 0 && a.[0] = '-') argv in
   let params =
     if List.mem "--paper" flags then F.paper_params
@@ -104,7 +116,8 @@ let () =
   let t0 = Unix.gettimeofday () in
   if wants sections "fig4" then Format.printf "%a" Report.pp_fig4 ();
   let need_matrix =
-    List.exists (wants sections) [ "fig5"; "fig7"; "fig9"; "summary" ]
+    json_file <> None
+    || List.exists (wants sections) [ "fig5"; "fig7"; "fig9"; "summary" ]
   in
   if need_matrix then begin
     Format.printf
@@ -120,12 +133,28 @@ let () =
     in
     if wants sections "fig5" then begin
       Format.printf "%a" Report.pp_figure (F.fig5_of m);
-      Format.printf "%a" Report.pp_chart (F.fig5_of m)
+      Format.printf "%a" Report.pp_chart (F.fig5_of m);
+      Format.printf "%a" Report.pp_abort_breakdown (F.fig5_of m)
     end;
-    if wants sections "fig7" then Format.printf "%a" Report.pp_figure (F.fig7_of m);
-    if wants sections "fig9" then Format.printf "%a" Report.pp_figure (F.fig9_of m);
+    if wants sections "fig7" then begin
+      Format.printf "%a" Report.pp_figure (F.fig7_of m);
+      Format.printf "%a" Report.pp_abort_breakdown (F.fig7_of m)
+    end;
+    if wants sections "fig9" then begin
+      Format.printf "%a" Report.pp_figure (F.fig9_of m);
+      Format.printf "%a" Report.pp_abort_breakdown (F.fig9_of m)
+    end;
     if wants sections "summary" then
-      Format.printf "%a" Report.pp_claims (F.claims m)
+      Format.printf "%a" Report.pp_claims (F.claims m);
+    match json_file with
+    | Some file ->
+        let oc = open_out file in
+        output_string oc
+          (Polytm_telemetry.Json.to_string (Report.matrix_json m));
+        output_char oc '\n';
+        close_out oc;
+        Format.printf "@.machine-readable results written to %s@." file
+    | None -> ()
   end;
   if wants sections "bank" then
     Format.printf "%a" Polytm_bench_kit.Bank.pp_results

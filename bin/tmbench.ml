@@ -12,6 +12,7 @@ module F = Polytm_bench_kit.Figures
 module H = Polytm_bench_kit.Harness
 module W = Polytm_bench_kit.Workload
 module Report = Polytm_bench_kit.Report
+module T = Polytm_telemetry
 open Cmdliner
 
 (* ---- shared options ---------------------------------------------------- *)
@@ -142,16 +143,16 @@ let figures_cmd =
 (* ---- sweep command ----------------------------------------------------- *)
 
 let system_of_name = function
-  | "seq" -> Ok (fun _ -> F.seq_system)
+  | "seq" -> Ok (fun ?trace:_ _ -> F.seq_system)
   | "classic" -> Ok F.classic_system_of
-  | "collection" | "cow" -> Ok (fun _ -> F.collection_system)
+  | "collection" | "cow" -> Ok (fun ?trace:_ _ -> F.collection_system)
   | "elastic" -> Ok F.elastic_system_of
   | "mixed" -> Ok F.mixed_system_of
   | s -> Error (Printf.sprintf "unknown system %S" s)
 
 let system_t =
   let parse s = Result.map_error (fun m -> `Msg m) (system_of_name s) in
-  let print ppf sys_of =
+  let print ppf (sys_of : ?trace:T.Recorder.t -> F.structure -> F.system) =
     Format.pp_print_string ppf (sys_of F.List_structure).F.sys_label
   in
   Arg.(
@@ -160,8 +161,39 @@ let system_t =
     & info [] ~docv:"SYSTEM"
         ~doc:"One of: seq, classic, collection, elastic, mixed.")
 
+let trace_t =
+  Arg.(value & opt (some string) None
+       & info [ "trace" ] ~docv:"FILE"
+           ~doc:"After the sweep, rerun the system once at the highest \
+                 thread count with full lifecycle tracing and write a \
+                 Chrome trace-event JSON (load in Perfetto or \
+                 chrome://tracing; one lane per virtual thread).")
+
+let write_trace ~params
+    ~(sys_of : ?trace:T.Recorder.t -> F.structure -> F.system) file =
+  let top = List.fold_left max 1 params.F.threads_list in
+  (* Lifecycle-only recording: transaction slices and lock instants,
+     no per-read events (the trace stays small and loads fast). *)
+  let recorder = T.Recorder.create ~accesses:false () in
+  let sys = sys_of ~trace:recorder params.F.structure in
+  ignore
+    (H.run ~cores:params.F.cores ~label:sys.F.sys_label ~make:sys.F.make
+       ~spec:params.F.spec ~threads:top ~duration:params.F.duration
+       ~seed:(params.F.seed + top) ());
+  let events = T.Recorder.events recorder in
+  let oc = open_out file in
+  output_string oc
+    (T.Json.to_string
+       (T.Export.chrome_trace ~process_name:sys.F.sys_label events));
+  output_char oc '\n';
+  close_out oc;
+  Format.printf
+    "@.trace of %s @@ %d threads (%d events) written to %s@."
+    sys.F.sys_label top (List.length events) file
+
 let sweep_cmd =
-  let run params sys_of =
+  let run params (sys_of : ?trace:T.Recorder.t -> F.structure -> F.system)
+      trace =
     let sys = sys_of params.F.structure in
     let baseline = F.sequential_baseline params in
     Format.printf "system: %s@." sys.F.sys_label;
@@ -173,17 +205,16 @@ let sweep_cmd =
       (fun p ->
         Format.printf "%8d %10.2f %10.3f %10d %8d@." p.F.threads p.F.speedup
           p.F.throughput p.F.completed p.F.failed;
-        match p.F.stm_stats with
-        | Some s ->
-            Format.printf "         %s@."
-              (String.concat " " (String.split_on_char '\n' s))
+        match p.F.telemetry with
+        | Some snap -> Format.printf "         %a@." Report.pp_point_telemetry snap
         | None -> ())
-      series.F.points
+      series.F.points;
+    Option.iter (write_trace ~params ~sys_of) trace
   in
   Cmd.v
     (Cmd.info "sweep" ~doc:"Sweep one system over the thread counts and \
                             print points with full STM statistics.")
-    Term.(const run $ params_t $ system_t)
+    Term.(const run $ params_t $ system_t $ trace_t)
 
 (* ---- fig4 command ------------------------------------------------------ *)
 

@@ -8,11 +8,14 @@
      tmcheck enumerate ...        enumerate custom 3-transaction programs
      tmcheck explore SCENARIO     exhaustively model-check a scenario
      tmcheck record               run a random STM workload and verify
-                                  its recorded history against opacity *)
+                                  its recorded history against opacity
+     tmcheck stats                run a seeded workload with telemetry
+                                  and print the per-site abort table *)
 
 open Cmdliner
 module Hist = Polytm_history.History
 module Program = Polytm_history.Program
+module T = Polytm_telemetry
 
 (* ---- fig4 -------------------------------------------------------------- *)
 
@@ -263,6 +266,76 @@ let record_cmd =
              history, and verify it against the opacity checker.")
     Term.(const run $ seed_t $ threads_t $ txs_t)
 
+(* ---- telemetry statistics ----------------------------------------------- *)
+
+let stats_cmd =
+  let run seed threads ops json trace =
+    let stm = AM.S.create () in
+    let agg = T.Agg.create () in
+    let recorder = T.Recorder.create () in
+    AM.S.set_sink stm
+      (Some (T.fan_out [ T.Agg.sink agg; T.Recorder.sink recorder ]));
+    let set =
+      AM.List_set.create ~parse_sem:Polytm.Semantics.Elastic
+        ~size_sem:Polytm.Semantics.Snapshot stm
+    in
+    let (), _ =
+      Sim.run ~policy:(Sim.Random_sched seed) (fun () ->
+          R.parallel
+            (List.init threads (fun t () ->
+                 let rng = Polytm_util.Rng.create (seed + t) in
+                 for _ = 1 to ops do
+                   let key () = Polytm_util.Rng.int rng 32 in
+                   match Polytm_util.Rng.int rng 10 with
+                   | 0 | 1 -> ignore (AM.List_set.add set (key ()))
+                   | 2 | 3 -> ignore (AM.List_set.remove set (key ()))
+                   | 4 -> ignore (AM.List_set.size set)
+                   | _ -> ignore (AM.List_set.contains set (key ()))
+                 done)))
+    in
+    let snap = T.Agg.snapshot agg in
+    Format.printf "%a" T.Export.pp_table snap;
+    let write file doc =
+      let oc = open_out file in
+      output_string oc (T.Json.to_string doc);
+      output_char oc '\n';
+      close_out oc;
+      Format.printf "written %s@." file
+    in
+    Option.iter (fun f -> write f (T.Export.snapshot_json snap)) json;
+    Option.iter
+      (fun f ->
+        write f
+          (T.Export.chrome_trace ~process_name:"tmcheck stats"
+             (T.Recorder.events recorder)))
+      trace
+  in
+  let seed_t = Arg.(value & opt int 7 & info [ "seed" ] ~docv:"SEED") in
+  let threads_t = Arg.(value & opt int 8 & info [ "threads" ] ~docv:"T") in
+  let ops_t =
+    Arg.(value & opt int 200
+         & info [ "ops" ] ~docv:"N" ~doc:"Operations per virtual thread.")
+  in
+  let json_t =
+    Arg.(value & opt (some string) None
+         & info [ "json" ] ~docv:"FILE"
+             ~doc:"Also write the aggregation snapshot as JSON.")
+  in
+  let trace_t =
+    Arg.(value & opt (some string) None
+         & info [ "trace" ] ~docv:"FILE"
+             ~doc:"Also write the full event trace as Chrome trace-event \
+                   JSON (load in Perfetto or chrome://tracing).")
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:"Run a seeded random list-set workload (elastic parses, \
+             snapshot sizes) under the simulator with a telemetry sink \
+             installed and print the per-call-site statistics: attempts, \
+             commits, aborts by cause, retries, read-set sizes, lock-hold \
+             ticks.  Deterministic per seed.")
+    Term.(const run $ seed_t $ threads_t $ ops_t $ json_t $ trace_t)
+
 (* ---- structure-level conformance ---------------------------------------- *)
 
 module Conf = Polytm_bench_kit.Conformance
@@ -436,6 +509,7 @@ let () =
             enumerate_cmd;
             explore_cmd;
             record_cmd;
+            stats_cmd;
             conformance_cmd;
             dot_cmd;
           ]))

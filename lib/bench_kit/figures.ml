@@ -8,6 +8,7 @@
 
 module A = Polytm_structs.Adapters
 module AM = Polytm_structs.Adapters.Make (Polytm_runtime.Sim_runtime)
+module T = Polytm_telemetry
 
 (** Which transactional search structure backs the STM systems.  The
     paper benchmarks the linked list; the hash and skip-list variants
@@ -52,7 +53,7 @@ let paper_params =
 
 type system = {
   sys_label : string;
-  make : unit -> A.set * (exn -> bool) * (unit -> string option);
+  make : unit -> A.set * (exn -> bool) * (unit -> T.Agg.snapshot option);
 }
 
 let plain make_set =
@@ -67,13 +68,25 @@ let collection_system =
    Too_many_attempts; the harness counts the operation as failed and
    moves on, mimicking the paper's forever-retrying size operations
    without hanging the run. *)
-let stm_system ?(structure = List_structure) ?(extend_on_stale = true)
+let stm_system ?(structure = List_structure) ?(extend_on_stale = true) ?trace
     sys_label profile =
   {
     sys_label;
     make =
       (fun () ->
         let stm = AM.S.create ~max_attempts:200 ~extend_on_stale () in
+        (* Streaming aggregation sink: per-site commit/abort/retry
+           counters, no event storage.  Emission is uncharged under the
+           simulator, so installing it does not perturb the measured
+           virtual time.  [trace] additionally records the full event
+           stream (for Chrome-trace export). *)
+        let agg = T.Agg.create () in
+        let sink =
+          match trace with
+          | None -> T.Agg.sink agg
+          | Some r -> T.fan_out [ T.Agg.sink agg; T.Recorder.sink r ]
+        in
+        AM.S.set_sink stm (Some sink);
         let set =
           match structure with
           | List_structure -> AM.stm_list ~profile stm
@@ -82,23 +95,22 @@ let stm_system ?(structure = List_structure) ?(extend_on_stale = true)
         in
         ( set,
           (function AM.S.Too_many_attempts _ -> true | _ -> false),
-          fun () ->
-            Some (Format.asprintf "%a" AM.S.pp_stats (AM.S.stats stm)) ));
+          fun () -> Some (T.Agg.snapshot agg) ));
   }
 
 (* The paper's comparator is plain TL2, which has no timestamp
    extension: stale reads abort.  The relaxed systems keep their own
    mechanisms (cuts, multiversion reads). *)
-let classic_system_of structure =
-  stm_system ~structure ~extend_on_stale:false "classic transactions (TL2)"
-    A.classic_profile
+let classic_system_of ?trace structure =
+  stm_system ?trace ~structure ~extend_on_stale:false
+    "classic transactions (TL2)" A.classic_profile
 
-let elastic_system_of structure =
-  stm_system ~structure "elastic + classic transactions"
+let elastic_system_of ?trace structure =
+  stm_system ?trace ~structure "elastic + classic transactions"
     A.elastic_classic_profile
 
-let mixed_system_of structure =
-  stm_system ~structure "mixed (elastic + snapshot)" A.mixed_profile
+let mixed_system_of ?trace structure =
+  stm_system ?trace ~structure "mixed (elastic + snapshot)" A.mixed_profile
 
 let classic_system = classic_system_of List_structure
 let elastic_system = elastic_system_of List_structure
@@ -112,7 +124,7 @@ type point = {
   speedup : float;  (** normalised over the sequential baseline *)
   completed : int;
   failed : int;
-  stm_stats : string option;
+  telemetry : T.Agg.snapshot option;
 }
 
 type series = { series_label : string; points : point list }
@@ -149,7 +161,7 @@ let run_series ?(progress = fun _ -> ()) p ~baseline sys =
           speedup = r.Harness.throughput /. baseline;
           completed = r.Harness.completed;
           failed = r.Harness.failed;
-          stm_stats = r.Harness.stm_stats;
+          telemetry = r.Harness.telemetry;
         })
       p.threads_list
   in

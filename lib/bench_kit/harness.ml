@@ -34,14 +34,17 @@ type result = {
   duration : int;  (** virtual ticks *)
   throughput : float;  (** completed ops per 1000 ticks *)
   steps : int;  (** charged shared-memory accesses *)
-  stm_stats : string option;  (** commit/abort breakdown when applicable *)
+  telemetry : Polytm_telemetry.Agg.snapshot option;
+      (** per-site commit/abort breakdown when the implementation is
+          transactional (the system installed an {!Polytm_telemetry.Agg}
+          sink); [None] for the baselines *)
 }
 
 (* [make ()] returns the set, a predicate recognising the exception an
    abandoned operation raises (retry budget exhausted), and a thunk
-   rendering implementation statistics. *)
+   producing the telemetry snapshot of the run. *)
 let run ?(label = "") ?(cores = 16) ~make ~spec ~threads ~duration ~seed () =
-  let set, too_many_attempts, stm_stats = make () in
+  let set, too_many_attempts, telemetry = make () in
   let label = if label = "" then set.A.name else label in
   List.iter (fun k -> ignore (set.A.add k)) (Workload.prefill_keys spec);
   let completed = ref 0 and failed = ref 0 in
@@ -79,5 +82,5 @@ let run ?(label = "") ?(cores = 16) ~make ~spec ~threads ~duration ~seed () =
     duration;
     throughput = 1000.0 *. float_of_int !completed /. wall;
     steps = info.Sim.steps;
-    stm_stats = stm_stats ();
+    telemetry = telemetry ();
   }

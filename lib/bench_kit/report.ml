@@ -1,6 +1,9 @@
 (** Plain-text rendering of figures: a speedup table (threads down,
-    systems across), a small ASCII chart per series, and the headline
-    claim comparison. *)
+    systems across), a small ASCII chart per series, an abort-cause
+    breakdown for the transactional systems, and the headline claim
+    comparison. *)
+
+module T = Polytm_telemetry
 
 let hrule ppf width = Format.fprintf ppf "%s@." (String.make width '-')
 
@@ -69,6 +72,52 @@ let pp_chart ppf (f : Figures.figure) =
         s.Figures.points)
     f.Figures.series
 
+(* Compact one-line summary of a run's telemetry totals, for sweep
+   output: commits, aborts, retries, and the non-zero causes. *)
+let pp_point_telemetry ppf (snap : T.Agg.snapshot) =
+  let t = snap.T.Agg.total in
+  Format.fprintf ppf "commits=%d aborts=%d retries=%d" t.T.Agg.commits
+    t.T.Agg.aborts t.T.Agg.retries;
+  List.iter
+    (fun (c, n) ->
+      if n > 0 then Format.fprintf ppf " %s=%d" (T.cause_label c) n)
+    t.T.Agg.aborts_by_cause
+
+(* One row per (system, thread count): total commits and aborts split
+   by cause, from the telemetry snapshots the harness attached.  Only
+   transactional systems carry telemetry; baselines are skipped. *)
+let pp_abort_breakdown ppf (f : Figures.figure) =
+  let rows =
+    List.concat_map
+      (fun s ->
+        List.filter_map
+          (fun p ->
+            Option.map
+              (fun snap -> (s.Figures.series_label, p.Figures.threads, snap))
+              p.Figures.telemetry)
+          s.Figures.points)
+      f.Figures.series
+  in
+  if rows <> [] then begin
+    Format.fprintf ppf "@.%s: abort breakdown (transactional systems)@.@."
+      (String.uppercase_ascii f.Figures.fig_id);
+    Format.fprintf ppf "%-30s %7s %9s %8s" "system" "threads" "commits"
+      "aborts";
+    List.iter (fun c -> Format.fprintf ppf " %6s" (T.cause_short c)) T.all_causes;
+    Format.fprintf ppf " %8s@." "retries";
+    hrule ppf (30 + 8 + 10 + 9 + (7 * T.num_causes) + 9);
+    List.iter
+      (fun (label, threads, snap) ->
+        let t = snap.T.Agg.total in
+        Format.fprintf ppf "%-30s %7d %9d %8d" label threads t.T.Agg.commits
+          t.T.Agg.aborts;
+        List.iter
+          (fun c -> Format.fprintf ppf " %6d" (T.Agg.abort_count t c))
+          T.all_causes;
+        Format.fprintf ppf " %8d@." t.T.Agg.retries)
+      rows
+  end
+
 let pp_claims ppf claims =
   Format.fprintf ppf "@.== Headline ratios: paper vs measured@.@.";
   Format.fprintf ppf "%-55s %10s %10s@." "claim" "paper" "measured";
@@ -78,6 +127,73 @@ let pp_claims ppf claims =
       Format.fprintf ppf "%-55s %9.1fx %9.2fx@." c.Figures.claim_label
         c.Figures.paper_value c.Figures.measured)
     claims
+
+(* ---- machine-readable output ------------------------------------------- *)
+
+let figure_json (f : Figures.figure) =
+  let open T.Json in
+  Obj
+    [
+      ("id", Str f.Figures.fig_id);
+      ("caption", Str f.Figures.title.Figures.caption);
+      ("baseline_throughput", Float f.Figures.baseline_throughput);
+      ( "series",
+        Arr
+          (List.map
+             (fun s ->
+               Obj
+                 [
+                   ("system", Str s.Figures.series_label);
+                   ( "points",
+                     Arr
+                       (List.map
+                          (fun p ->
+                            let base =
+                              [
+                                ("threads", Int p.Figures.threads);
+                                ("throughput", Float p.Figures.throughput);
+                                ("speedup", Float p.Figures.speedup);
+                                ("completed", Int p.Figures.completed);
+                                ("failed", Int p.Figures.failed);
+                              ]
+                            in
+                            match p.Figures.telemetry with
+                            | None -> Obj base
+                            | Some snap ->
+                                Obj
+                                  (base
+                                  @ [
+                                      ( "telemetry",
+                                        T.Export.snapshot_json snap );
+                                    ]))
+                          s.Figures.points) );
+                 ])
+             f.Figures.series) );
+    ]
+
+(* The whole benchmark matrix — every figure's points with their abort
+   breakdowns, plus the headline claims — as one JSON document
+   ([bench/main.exe --json FILE]). *)
+let matrix_json (m : Figures.matrix) =
+  let open T.Json in
+  Obj
+    [
+      ( "figures",
+        Arr
+          (List.map figure_json
+             [ Figures.fig5_of m; Figures.fig7_of m; Figures.fig9_of m ]) );
+      ( "claims",
+        Arr
+          (List.map
+             (fun c ->
+               Obj
+                 [
+                   ("claim", Str c.Figures.claim_label);
+                   ("paper", Float c.Figures.paper_value);
+                   ("measured", Float c.Figures.measured);
+                 ])
+             (Figures.claims m)) );
+    ]
 
 let pp_fig4 ppf () =
   let r = Polytm_history.Program.fig4 () in

@@ -34,6 +34,7 @@
     elastic-opacity checkers. *)
 
 module IMap = Map.Make (Int)
+module T = Polytm_telemetry
 
 module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) : Stm_intf.S = struct
   type abort_reason =
@@ -90,6 +91,7 @@ module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) : Stm_intf.S = struct
     stm : t;
     serial : int;
     sem : Semantics.t;
+    label : string;  (** call-site label for telemetry, "" if none *)
     owner : owner;
     mutable rv : int;  (** validity timestamp *)
     snapshot_ub : int;  (** snapshot upper bound, fixed at start *)
@@ -132,6 +134,9 @@ module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) : Stm_intf.S = struct
     mutable recording : bool;
     mutable log_rev : recorded list;
     mutable aborted_rev : int list;
+    (* telemetry: the lifecycle hook is a single field test when no
+       sink is installed — no clock read, no allocation *)
+    mutable telemetry : T.sink option;
   }
 
   let create ?(cm = Contention.default) ?(elastic_window = 2)
@@ -168,6 +173,7 @@ module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) : Stm_intf.S = struct
       recording = false;
       log_rev = [];
       aborted_rev = [];
+      telemetry = None;
     }
 
   let tvar stm v =
@@ -206,6 +212,51 @@ module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) : Stm_intf.S = struct
     if tx.stm.recording then tx.stm.aborted_rev <- tx.serial :: tx.stm.aborted_rev
 
   let abort_with reason = raise (Abort_tx reason)
+
+  (* ------------------------------------------------------------------ *)
+  (* Telemetry                                                           *)
+
+  let cause_of_reason : abort_reason -> T.cause = function
+    | Lock_busy -> T.Lock_busy
+    | Read_invalid -> T.Read_validation
+    | Window_broken -> T.Elastic_cut
+    | Snapshot_too_old -> T.Snapshot_overwrite
+    | Killed -> T.Cm_kill
+    | Explicit -> T.Explicit
+
+  let set_sink stm s = stm.telemetry <- s
+  let sink stm = stm.telemetry
+
+  (* Event payloads are built inside the [Some] branch at every call
+     site, so with no sink installed the hook costs one load and one
+     branch — no allocation, no [R.now ()]. *)
+  let send tx (s : T.sink) kind =
+    s.T.emit
+      {
+        T.time = R.now ();
+        thread = R.self_id ();
+        serial = tx.serial;
+        label = tx.label;
+        kind;
+      }
+
+  let emit_read tx v =
+    match tx.stm.telemetry with
+    | None -> ()
+    | Some s -> send tx s (T.Read { loc = v.id })
+
+  (* Final set sizes, reported on commit and abort events.  The
+     elastic window counts as part of the read set: those entries are
+     still being validated. *)
+  let tx_sets tx =
+    (List.length tx.reads + List.length tx.window, IMap.cardinal tx.writes)
+
+  let emit_abort tx reason =
+    match tx.stm.telemetry with
+    | None -> ()
+    | Some s ->
+        let reads, writes = tx_sets tx in
+        send tx s (T.Abort { cause = cause_of_reason reason; reads; writes })
 
   (* ------------------------------------------------------------------ *)
   (* Consistent reads                                                    *)
@@ -309,6 +360,7 @@ module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) : Stm_intf.S = struct
     R.pause 2;
     tx.reads <- REntry { rvar = v; rversion = d.version } :: tx.reads;
     record_event tx v ~is_write:false;
+    emit_read tx v;
     d.value
 
   let elastic_read tx v =
@@ -330,6 +382,7 @@ module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) : Stm_intf.S = struct
       R.pause 2;
       tx.reads <- REntry { rvar = v; rversion = d.version } :: tx.reads;
       record_event tx v ~is_write:false;
+      emit_read tx v;
       d.value
     end
     else begin
@@ -353,6 +406,7 @@ module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) : Stm_intf.S = struct
       R.pause 1;
       push_window tx (REntry { rvar = v; rversion = d.version });
       record_event tx v ~is_write:false;
+      emit_read tx v;
       d.value
     end
 
@@ -390,6 +444,7 @@ module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) : Stm_intf.S = struct
     in
     let value = loop () in
     record_event tx v ~is_write:false;
+    emit_read tx v;
     value
 
   let read : type a. tx -> a tvar -> a =
@@ -416,7 +471,10 @@ module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) : Stm_intf.S = struct
           IMap.add v.id
             (WEntry { wvar = v; wvalue = x; locked_version = -1 })
             tx.writes);
-    tx.wrote <- true
+    tx.wrote <- true;
+    match tx.stm.telemetry with
+    | None -> ()
+    | Some s -> send tx s (T.Write { loc = v.id })
 
   let release tx v =
     check_live tx;
@@ -476,7 +534,12 @@ module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) : Stm_intf.S = struct
     let rec loop () =
       match R.get w.wvar.lock with
       | Unlocked ver as l ->
-          if R.cas w.wvar.lock l (Locked tx.owner) then w.locked_version <- ver
+          if R.cas w.wvar.lock l (Locked tx.owner) then begin
+            w.locked_version <- ver;
+            match tx.stm.telemetry with
+            | None -> ()
+            | Some s -> send tx s (T.Lock_acquire { loc = w.wvar.id })
+          end
           else loop ()
       | Locked o ->
           wait_or_die tx o !budget;
@@ -511,7 +574,11 @@ module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) : Stm_intf.S = struct
       (* Read-only transactions of every semantics commit for free:
          every read was validated against a single coherent timestamp
          when it happened. *)
-      ()
+      (match tx.stm.telemetry with
+      | None -> ()
+      | Some s ->
+          let reads, _ = tx_sets tx in
+          send tx s (T.Commit { reads; writes = 0; lock_hold = 0 }))
     else begin
       (* Serial-irrevocable mode: while some irrevocable transaction
          holds the token, ordinary write commits stall here — before
@@ -521,6 +588,9 @@ module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) : Stm_intf.S = struct
           R.pause 4
         done;
       ignore (R.fetch_and_add tx.stm.active_commits 1);
+      let t_acquire =
+        match tx.stm.telemetry with None -> 0 | Some _ -> R.now ()
+      in
       match
         (* Ascending id order (IMap.iter) keeps locking deadlock-free. *)
         IMap.iter (fun _ e -> acquire tx e) tx.writes;
@@ -530,7 +600,14 @@ module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) : Stm_intf.S = struct
         else validate tx;
         write_back tx wv
       with
-      | () -> ignore (R.fetch_and_add tx.stm.active_commits (-1))
+      | () -> (
+          ignore (R.fetch_and_add tx.stm.active_commits (-1));
+          match tx.stm.telemetry with
+          | None -> ()
+          | Some s ->
+              let reads, writes = tx_sets tx in
+              send tx s
+                (T.Commit { reads; writes; lock_hold = R.now () - t_acquire }))
       | exception e ->
           release_all tx;
           ignore (R.fetch_and_add tx.stm.active_commits (-1));
@@ -540,13 +617,14 @@ module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) : Stm_intf.S = struct
   (* ------------------------------------------------------------------ *)
   (* The transaction loop                                                *)
 
-  let make_tx stm sem =
+  let make_tx stm sem label =
     let serial = R.fetch_and_add stm.serials 1 in
     let rv = R.get stm.clock in
     {
       stm;
       serial;
       sem;
+      label;
       owner = { serial; killed = R.atomic false };
       rv;
       snapshot_ub = rv;
@@ -585,7 +663,14 @@ module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) : Stm_intf.S = struct
 
   let exit_serial_mode stm = R.set stm.serial_token false
 
-  let atomically ?(sem = Semantics.Classic) ?(irrevocable = false) stm f =
+  let emit_begin tx attempt =
+    match tx.stm.telemetry with
+    | None -> ()
+    | Some s ->
+        send tx s (T.Begin { sem = Semantics.to_string tx.sem; attempt })
+
+  let atomically ?(sem = Semantics.Classic) ?(irrevocable = false)
+      ?(label = "") stm f =
     match R.tls_get stm.current with
     | Some outer when outer.live && outer.stm == stm ->
         (* Flat nesting: the outer label prevails (Section 4.2). *)
@@ -596,8 +681,9 @@ module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) : Stm_intf.S = struct
           raise
             (Invalid_operation "irrevocable snapshot transactions are pointless");
         enter_serial_mode stm;
-        let tx = make_tx stm sem in
+        let tx = make_tx stm sem label in
         R.add_counter stm.c_starts 1;
+        emit_begin tx 1;
         R.tls_set stm.current (Some tx);
         let cleanup () =
           tx.live <- false;
@@ -614,10 +700,11 @@ module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) : Stm_intf.S = struct
             List.iter (fun g -> g ()) tx.cleanup;
             R.add_counter stm.c_commits 1;
             result
-        | exception Abort_tx _ ->
+        | exception Abort_tx reason ->
             cleanup ();
             List.iter (fun g -> g ()) tx.undo;
             List.iter (fun g -> g ()) tx.cleanup;
+            emit_abort tx reason;
             raise
               (Invalid_operation
                  "explicit abort inside an irrevocable transaction")
@@ -630,11 +717,13 @@ module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) : Stm_intf.S = struct
             record_aborted tx;
             R.add_counter stm.c_aborts 1;
             R.add_counter stm.c_explicit 1;
+            emit_abort tx Explicit;
             raise e)
     | Some _ | None ->
         let rec attempt n =
-          let tx = make_tx stm sem in
+          let tx = make_tx stm sem label in
           R.add_counter stm.c_starts 1;
+          emit_begin tx n;
           R.tls_set stm.current (Some tx);
           let cleanup () =
             tx.live <- false;
@@ -660,6 +749,7 @@ module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) : Stm_intf.S = struct
               record_aborted tx;
               R.add_counter stm.c_aborts 1;
               R.add_counter (abort_counter stm reason) 1;
+              emit_abort tx reason;
               if n >= stm.max_attempts then
                 raise (Too_many_attempts (reason, n));
               let pause = Contention.retry_pause stm.cm ~attempt:n in
@@ -673,6 +763,7 @@ module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) : Stm_intf.S = struct
               record_aborted tx;
               R.add_counter stm.c_aborts 1;
               R.add_counter stm.c_explicit 1;
+              emit_abort tx Explicit;
               raise e
         in
         attempt 1

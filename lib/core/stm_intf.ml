@@ -77,12 +77,25 @@ module type S = sig
 
   (** {1 Running transactions} *)
 
-  val atomically : ?sem:Semantics.t -> ?irrevocable:bool -> t -> (tx -> 'a) -> 'a
+  val atomically :
+    ?sem:Semantics.t ->
+    ?irrevocable:bool ->
+    ?label:string ->
+    t ->
+    (tx -> 'a) ->
+    'a
   (** [atomically stm f] runs [f] as a transaction with semantics
       [sem] (default [Classic]) and commits its writes atomically,
       retrying on conflict aborts under the instance's contention
       manager.  Exceptions raised by [f] (other than the internal abort
       signal) propagate after the transaction's effects are discarded.
+
+      [label] names the call site for telemetry: every lifecycle event
+      the transaction emits carries it, so abort causes and retry
+      counts can be attributed per operation (["contains"], ["size"],
+      …).  It has no semantic effect, costs nothing when no sink is
+      installed, and under flat nesting the outer label prevails along
+      with the outer semantics.
 
       Nested calls on the same instance are flattened into the outer
       transaction, whose semantics prevails
@@ -145,6 +158,31 @@ module type S = sig
       concurrency but, as Section 4.1 of the paper warns, breaks
       composition; the test suite demonstrates the hazard.  No effect
       on variables in the write set or never read. *)
+
+  (** {1 Telemetry}
+
+      The STM emits one {!Polytm_telemetry.event} per lifecycle point
+      — begin, shared read, buffered write, commit-time lock
+      acquisition, commit, abort — into the installed sink.  The hook
+      is a single mutable-field test when no sink is installed: no
+      allocation, no clock read, no event construction.  Under the
+      simulator events are stamped with virtual time and virtual
+      thread ids, so a seeded run yields a byte-identical trace;
+      under domains install a {!Polytm_telemetry.Ring} and drain it
+      after joining. *)
+
+  val set_sink : t -> Polytm_telemetry.sink option -> unit
+  (** Install (or remove) the telemetry sink.  Install before the
+      measured section; swapping sinks concurrently with running
+      transactions is not synchronised. *)
+
+  val sink : t -> Polytm_telemetry.sink option
+
+  val cause_of_reason : abort_reason -> Polytm_telemetry.cause
+  (** Total mapping from the STM's abort reasons onto the telemetry
+      taxonomy — exhaustive by construction, so adding an
+      [abort_reason] constructor without classifying it is a compile
+      error. *)
 
   (** {1 Statistics} *)
 

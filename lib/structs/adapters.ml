@@ -170,10 +170,16 @@ module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) = struct
     let t = Boosted.create ?buckets () in
     {
       name = "boosted-set";
-      add = (fun k -> S.atomically stm (fun tx -> Boosted.add tx t k));
-      remove = (fun k -> S.atomically stm (fun tx -> Boosted.remove tx t k));
-      contains = (fun k -> S.atomically stm (fun tx -> Boosted.contains tx t k));
-      size = (fun () -> S.atomically stm (fun tx -> Boosted.size tx t));
+      add =
+        (fun k -> S.atomically ~label:"add" stm (fun tx -> Boosted.add tx t k));
+      remove =
+        (fun k ->
+          S.atomically ~label:"remove" stm (fun tx -> Boosted.remove tx t k));
+      contains =
+        (fun k ->
+          S.atomically ~label:"contains" stm (fun tx -> Boosted.contains tx t k));
+      size =
+        (fun () -> S.atomically ~label:"size" stm (fun tx -> Boosted.size tx t));
       to_list = (fun () -> Boosted.to_list t);
     }
 

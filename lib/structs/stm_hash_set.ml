@@ -40,11 +40,11 @@ module Make (S : Stm_intf.S) = struct
   (* One outer transaction spanning every bucket: the nested
      [Bucket.size] transactions flatten into it. *)
   let size t =
-    S.atomically ~sem:t.size_sem t.stm (fun _tx ->
+    S.atomically ~sem:t.size_sem ~label:"size" t.stm (fun _tx ->
         Array.fold_left (fun acc b -> acc + Bucket.size b) 0 t.buckets)
 
   let to_list t =
-    S.atomically ~sem:t.size_sem t.stm (fun _tx ->
+    S.atomically ~sem:t.size_sem ~label:"to-list" t.stm (fun _tx ->
         List.sort compare
           (Array.fold_left (fun acc b -> Bucket.to_list b @ acc) [] t.buckets))
 end

@@ -54,7 +54,7 @@ module Make (S : Stm_intf.S) = struct
     go t.head
 
   let add t v =
-    S.atomically ~sem:t.parse_sem t.stm (fun tx ->
+    S.atomically ~sem:t.parse_sem ~label:"add" t.stm (fun tx ->
         match find tx t v with
         | _, Node { value; _ } when value = v -> false
         | ptr, cur ->
@@ -62,7 +62,7 @@ module Make (S : Stm_intf.S) = struct
             true)
 
   let remove t v =
-    S.atomically ~sem:t.parse_sem t.stm (fun tx ->
+    S.atomically ~sem:t.parse_sem ~label:"remove" t.stm (fun tx ->
         match find tx t v with
         | ptr, Node { value; next } when value = v ->
             let succ = S.read tx next in
@@ -79,7 +79,7 @@ module Make (S : Stm_intf.S) = struct
         | _, (Node _ | Nil) -> false)
 
   let contains t v =
-    S.atomically ~sem:t.parse_sem t.stm (fun tx ->
+    S.atomically ~sem:t.parse_sem ~label:"contains" t.stm (fun tx ->
         match find tx t v with
         | _, Node { value; _ } -> value = v
         | _, Nil -> false)
@@ -93,18 +93,18 @@ module Make (S : Stm_intf.S) = struct
     go init t.head
 
   let size t =
-    S.atomically ~sem:t.size_sem t.stm (fun tx ->
+    S.atomically ~sem:t.size_sem ~label:"size" t.stm (fun tx ->
         fold tx t (fun n _ -> n + 1) 0)
 
   let to_list t =
-    S.atomically ~sem:t.size_sem t.stm (fun tx ->
+    S.atomically ~sem:t.size_sem ~label:"to-list" t.stm (fun tx ->
         List.rev (fold tx t (fun acc v -> v :: acc) []))
 
   (* Composite operation in the style of Section 4.1: insert [v] only
      if [absent_witness] is not in the set, atomically — Bob composing
      Alice's parses into a classic transaction. *)
   let add_if_absent t v ~absent_witness =
-    S.atomically ~sem:Semantics.Classic t.stm (fun tx ->
+    S.atomically ~sem:Semantics.Classic ~label:"add-if-absent" t.stm (fun tx ->
         let witness_present =
           match find tx t absent_witness with
           | _, Node { value; _ } -> value = absent_witness

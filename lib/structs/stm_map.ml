@@ -95,7 +95,7 @@ module Make (S : Stm_intf.S) = struct
     }
 
   let add t k v =
-    S.atomically t.stm (fun tx ->
+    S.atomically ~label:"add" t.stm (fun tx ->
         let rec go ptr =
           match S.read tx ptr with
           | Leaf ->
@@ -115,7 +115,7 @@ module Make (S : Stm_intf.S) = struct
         go t.root)
 
   let find_opt t k =
-    S.atomically t.stm (fun tx ->
+    S.atomically ~label:"find" t.stm (fun tx ->
         let rec go ptr =
           match S.read tx ptr with
           | Leaf -> None
@@ -144,7 +144,7 @@ module Make (S : Stm_intf.S) = struct
             kv)
 
   let remove t k =
-    S.atomically t.stm (fun tx ->
+    S.atomically ~label:"remove" t.stm (fun tx ->
         let rec go ptr =
           match S.read tx ptr with
           | Leaf -> false
@@ -179,7 +179,7 @@ module Make (S : Stm_intf.S) = struct
         go t.root)
 
   let fold t f init =
-    S.atomically ~sem:t.size_sem t.stm (fun tx ->
+    S.atomically ~sem:t.size_sem ~label:"fold" t.stm (fun tx ->
         let rec go acc ptr =
           match S.read tx ptr with
           | Leaf -> acc
@@ -196,7 +196,7 @@ module Make (S : Stm_intf.S) = struct
 
   (* Structure check for tests: AVL balance and key order. *)
   let invariants_hold t =
-    S.atomically t.stm (fun tx ->
+    S.atomically ~label:"invariants" t.stm (fun tx ->
         let rec check lo hi ptr =
           match S.read tx ptr with
           | Leaf -> Some 0

@@ -29,14 +29,16 @@ module Make (S : Stm_intf.S) = struct
             S.write tx t.front rest;
             Some x)
 
-  let enqueue t x = S.atomically t.stm (fun tx -> enqueue_tx tx t x)
+  let enqueue t x =
+    S.atomically ~label:"enqueue" t.stm (fun tx -> enqueue_tx tx t x)
 
-  let dequeue_opt t = S.atomically t.stm (fun tx -> dequeue_opt_tx tx t)
+  let dequeue_opt t =
+    S.atomically ~label:"dequeue" t.stm (fun tx -> dequeue_opt_tx tx t)
 
   (* [dequeue_or t f] returns an element or, atomically with the
      emptiness observation, the fallback. *)
   let dequeue_or t fallback =
-    S.atomically t.stm (fun tx ->
+    S.atomically ~label:"dequeue-or" t.stm (fun tx ->
         S.orelse tx
           (fun tx ->
             match dequeue_opt_tx tx t with
@@ -45,20 +47,20 @@ module Make (S : Stm_intf.S) = struct
           (fun _ -> fallback))
 
   let length t =
-    S.atomically t.stm (fun tx ->
+    S.atomically ~label:"length" t.stm (fun tx ->
         List.length (S.read tx t.front) + List.length (S.read tx t.back))
 
   let is_empty t = length t = 0
 
   let to_list t =
-    S.atomically t.stm (fun tx ->
+    S.atomically ~label:"to-list" t.stm (fun tx ->
         S.read tx t.front @ List.rev (S.read tx t.back))
 
   (* Move every element of [src] into [dst] in one atomic step —
      composition across two queues (Section 2.2's rename example,
      queue-flavoured). *)
   let transfer_all ~src ~dst =
-    S.atomically src.stm (fun tx ->
+    S.atomically ~label:"transfer-all" src.stm (fun tx ->
         let rec drain () =
           match dequeue_opt_tx tx src with
           | Some x ->

@@ -72,7 +72,7 @@ module Make (S : Stm_intf.S) = struct
      the paper's gains live (read operations dominate search-structure
      workloads). *)
   let add t v =
-    S.atomically ~sem:Semantics.Classic t.stm (fun tx ->
+    S.atomically ~sem:Semantics.Classic ~label:"add" t.stm (fun tx ->
         let preds = find_preds tx t v in
         if node_value (S.read tx preds.(0)) = v then false
         else begin
@@ -88,7 +88,7 @@ module Make (S : Stm_intf.S) = struct
         end)
 
   let remove t v =
-    S.atomically ~sem:Semantics.Classic t.stm (fun tx ->
+    S.atomically ~sem:Semantics.Classic ~label:"remove" t.stm (fun tx ->
         let preds = find_preds tx t v in
         match S.read tx preds.(0) with
         | Node { value; nexts } when value = v ->
@@ -100,7 +100,7 @@ module Make (S : Stm_intf.S) = struct
         | Node _ | Nil -> false)
 
   let contains t v =
-    S.atomically ~sem:t.parse_sem t.stm (fun tx ->
+    S.atomically ~sem:t.parse_sem ~label:"contains" t.stm (fun tx ->
         let rec walk level ptr prev_node =
           let step_down n =
             if level = 0 then false
@@ -129,9 +129,10 @@ module Make (S : Stm_intf.S) = struct
     go init t.heads.(0)
 
   let size t =
-    S.atomically ~sem:t.size_sem t.stm (fun tx -> fold tx t (fun n _ -> n + 1) 0)
+    S.atomically ~sem:t.size_sem ~label:"size" t.stm (fun tx ->
+        fold tx t (fun n _ -> n + 1) 0)
 
   let to_list t =
-    S.atomically ~sem:t.size_sem t.stm (fun tx ->
+    S.atomically ~sem:t.size_sem ~label:"to-list" t.stm (fun tx ->
         List.rev (fold tx t (fun acc v -> v :: acc) []))
 end

@@ -24,21 +24,23 @@ module Make (S : Stm_intf.S) = struct
         S.write tx t.head rest;
         Some x
 
-  let push t x = S.atomically t.stm (fun tx -> push_tx tx t x)
-  let pop t = S.atomically t.stm (fun tx -> pop_tx tx t)
+  let push t x = S.atomically ~label:"push" t.stm (fun tx -> push_tx tx t x)
+  let pop t = S.atomically ~label:"pop" t.stm (fun tx -> pop_tx tx t)
 
   let peek t =
-    S.atomically t.stm (fun tx ->
+    S.atomically ~label:"peek" t.stm (fun tx ->
         match S.read tx t.head with [] -> None | x :: _ -> Some x)
 
-  let length t = S.atomically t.stm (fun tx -> List.length (S.read tx t.head))
+  let length t =
+    S.atomically ~label:"length" t.stm (fun tx ->
+        List.length (S.read tx t.head))
 
-  let to_list t = S.atomically t.stm (fun tx -> S.read tx t.head)
+  let to_list t = S.atomically ~label:"to-list" t.stm (fun tx -> S.read tx t.head)
 
   (* Atomically move the top of [src] onto [dst]; [None] when [src] is
      empty.  The composition the lock-free stack cannot express. *)
   let pop_push ~src ~dst =
-    S.atomically src.stm (fun tx ->
+    S.atomically ~label:"pop-push" src.stm (fun tx ->
         match pop_tx tx src with
         | None -> None
         | Some x ->

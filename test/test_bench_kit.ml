@@ -91,7 +91,23 @@ let test_stm_system_reports_stats () =
     H.run ~make:F.classic_system.F.make ~spec:(W.spec_of_size 64) ~threads:2
       ~duration:20_000 ~seed:5 ()
   in
-  Alcotest.(check bool) "stats attached" true (Option.is_some r.H.stm_stats)
+  match r.H.telemetry with
+  | None -> Alcotest.fail "telemetry snapshot attached"
+  | Some snap ->
+      let t = snap.Polytm_telemetry.Agg.total in
+      Alcotest.(check bool) "committed transactions counted" true
+        (t.Polytm_telemetry.Agg.commits > 0);
+      (* The harness workload exercises the four labelled set
+         operations; every site the aggregation saw must be one of
+         them (prefill runs before the sink observes adds too). *)
+      List.iter
+        (fun s ->
+          Alcotest.(check bool)
+            ("known site: " ^ s.Polytm_telemetry.Agg.site)
+            true
+            (List.mem s.Polytm_telemetry.Agg.site
+               [ "add"; "remove"; "contains"; "size" ]))
+        snap.Polytm_telemetry.Agg.sites
 
 let test_figures_structure () =
   let p =

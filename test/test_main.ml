@@ -15,6 +15,7 @@ let () =
       Test_boosted.suite;
       Test_composition.suite;
       Test_bench_kit.suite;
+      Test_telemetry.suite;
       Test_stacks.suite;
       Test_stm_map.suite;
       Test_expressiveness.suite;

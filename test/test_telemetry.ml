@@ -1,0 +1,322 @@
+(* Tests for the telemetry subsystem: the abort-cause taxonomy is
+   total and distinct, seeded simulator runs yield byte-identical
+   traces, the exporters match golden output, installing no sink
+   leaves the STM's behaviour untouched, and the backends (recorder,
+   ring, fan-out) honour their contracts. *)
+
+module R = Polytm_runtime.Sim_runtime
+module Sim = Polytm_runtime.Sim
+module AM = Polytm_structs.Adapters.Make (Polytm_runtime.Sim_runtime)
+module T = Polytm_telemetry
+
+(* A small contended list-set workload under the seeded random
+   scheduler; every telemetry-relevant path fires (commits, lock-busy
+   and elastic-cut aborts, retries). *)
+let run_workload ?sink ~seed () =
+  let stm = AM.S.create () in
+  AM.S.set_sink stm sink;
+  let set = AM.List_set.create ~parse_sem:Polytm.Semantics.Elastic stm in
+  let (), info =
+    Sim.run ~policy:(Sim.Random_sched seed) (fun () ->
+        R.parallel
+          (List.init 4 (fun t () ->
+               let rng = Polytm_util.Rng.create (seed + t) in
+               for _ = 1 to 60 do
+                 let k = Polytm_util.Rng.int rng 16 in
+                 match Polytm_util.Rng.int rng 4 with
+                 | 0 -> ignore (AM.List_set.add set k)
+                 | 1 -> ignore (AM.List_set.remove set k)
+                 | 2 -> ignore (AM.List_set.size set)
+                 | _ -> ignore (AM.List_set.contains set k)
+               done)))
+  in
+  (AM.S.stats stm, info)
+
+(* ---- taxonomy ---------------------------------------------------------- *)
+
+let all_reasons =
+  [
+    AM.S.Lock_busy;
+    AM.S.Read_invalid;
+    AM.S.Window_broken;
+    AM.S.Snapshot_too_old;
+    AM.S.Killed;
+    AM.S.Explicit;
+  ]
+
+let test_taxonomy_complete () =
+  (* cause_of_reason is an exhaustive match, so a new abort_reason
+     without a classification is a compile error; here we check the
+     mapping is injective and covers the whole cause taxonomy. *)
+  let causes = List.map AM.S.cause_of_reason all_reasons in
+  Alcotest.(check int) "as many causes as reasons" (List.length all_reasons)
+    T.num_causes;
+  Alcotest.(check bool) "mapping is injective" true
+    (List.length (List.sort_uniq compare causes) = List.length causes);
+  Alcotest.(check bool) "mapping covers every cause" true
+    (List.sort compare causes = List.sort compare T.all_causes)
+
+let test_cause_metadata () =
+  Alcotest.(check int) "all_causes length" T.num_causes
+    (List.length T.all_causes);
+  List.iteri
+    (fun i c -> Alcotest.(check int) "cause_index dense" i (T.cause_index c))
+    T.all_causes;
+  let distinct f =
+    List.length (List.sort_uniq compare (List.map f T.all_causes))
+    = T.num_causes
+  in
+  Alcotest.(check bool) "labels distinct" true (distinct T.cause_label);
+  Alcotest.(check bool) "short names distinct" true (distinct T.cause_short)
+
+(* ---- seeded determinism ------------------------------------------------- *)
+
+let record_run seed =
+  let recorder = T.Recorder.create () in
+  let stats, info = run_workload ~sink:(T.Recorder.sink recorder) ~seed () in
+  (T.Recorder.events recorder, stats, info)
+
+let test_seeded_trace_deterministic () =
+  let ev1, st1, _ = record_run 5 in
+  let ev2, st2, _ = record_run 5 in
+  Alcotest.(check bool) "same seed: identical event lists" true (ev1 = ev2);
+  Alcotest.(check bool) "same seed: identical stats" true (st1 = st2);
+  Alcotest.(check string) "same seed: byte-identical chrome trace"
+    (T.Json.to_string (T.Export.chrome_trace ev1))
+    (T.Json.to_string (T.Export.chrome_trace ev2));
+  Alcotest.(check string) "same seed: byte-identical events json"
+    (T.Json.to_string (T.Export.events_json ev1))
+    (T.Json.to_string (T.Export.events_json ev2));
+  let ev3, _, _ = record_run 6 in
+  Alcotest.(check bool) "different seed: different trace" true (ev1 <> ev3)
+
+let test_workload_emits_aborts () =
+  (* The contended workload must exercise the abort paths, otherwise
+     the determinism test above proves little. *)
+  let ev, _, _ = record_run 5 in
+  let aborts =
+    List.filter (fun e -> match e.T.kind with T.Abort _ -> true | _ -> false) ev
+  in
+  Alcotest.(check bool) "workload aborts some transactions" true
+    (List.length aborts > 0);
+  let labels =
+    List.sort_uniq compare (List.map (fun e -> e.T.label) ev)
+  in
+  Alcotest.(check bool) "all events carry call-site labels" true
+    (List.for_all
+       (fun l -> List.mem l [ "add"; "remove"; "contains"; "size" ])
+       labels)
+
+(* ---- zero-cost hook ----------------------------------------------------- *)
+
+let test_no_sink_leaves_run_identical () =
+  let st_off, info_off = run_workload ~seed:9 () in
+  let recorder = T.Recorder.create () in
+  let st_on, info_on =
+    run_workload ~sink:(T.Recorder.sink recorder) ~seed:9 ()
+  in
+  (* Emission is uncharged under the simulator, so the schedule, the
+     charged step count and every stats counter are unchanged by the
+     sink being installed. *)
+  Alcotest.(check bool) "stats identical with and without sink" true
+    (st_off = st_on);
+  Alcotest.(check int) "charged steps identical" info_off.Sim.steps
+    info_on.Sim.steps;
+  Alcotest.(check bool) "the instrumented run did record events" true
+    (T.Recorder.events recorder <> [])
+
+(* ---- golden exporters --------------------------------------------------- *)
+
+let ev time thread serial label kind = { T.time; thread; serial; label; kind }
+
+let golden_events =
+  [
+    ev 0 1 10 "add" (T.Begin { sem = "elastic"; attempt = 1 });
+    ev 1 1 10 "add" (T.Read { loc = 3 });
+    ev 2 1 10 "add" (T.Write { loc = 3 });
+    ev 3 1 10 "add" (T.Lock_acquire { loc = 3 });
+    ev 4 1 10 "add" (T.Commit { reads = 1; writes = 1; lock_hold = 1 });
+    ev 5 2 11 "" (T.Begin { sem = "classic"; attempt = 2 });
+    ev 6 2 11 "" (T.Abort { cause = T.Lock_busy; reads = 2; writes = 0 });
+  ]
+
+let test_golden_chrome_trace () =
+  let expected =
+    "{\"traceEvents\":["
+    ^ "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"args\":{\"name\":\"golden\"}},"
+    ^ "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":1,\"args\":{\"name\":\"vthread 1\"}},"
+    ^ "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":2,\"args\":{\"name\":\"vthread 2\"}},"
+    ^ "{\"name\":\"lock-acquire\",\"cat\":\"lock\",\"ph\":\"i\",\"ts\":3,\"pid\":0,\"tid\":1,\"s\":\"t\",\"args\":{\"loc\":3}},"
+    ^ "{\"name\":\"add\",\"cat\":\"tx\",\"ph\":\"X\",\"ts\":0,\"dur\":4,\"pid\":0,\"tid\":1,\"args\":{\"serial\":10,\"sem\":\"elastic\",\"attempt\":1,\"outcome\":\"commit\",\"reads\":1,\"writes\":1,\"lock_hold\":1}},"
+    ^ "{\"name\":\"tx:classic\",\"cat\":\"tx\",\"ph\":\"X\",\"ts\":5,\"dur\":1,\"pid\":0,\"tid\":2,\"args\":{\"serial\":11,\"sem\":\"classic\",\"attempt\":2,\"outcome\":\"abort\",\"cause\":\"lock-busy\",\"reads\":2,\"writes\":0}}"
+    ^ "],\"displayTimeUnit\":\"ms\"}"
+  in
+  Alcotest.(check string) "chrome trace golden" expected
+    (T.Json.to_string (T.Export.chrome_trace ~process_name:"golden" golden_events))
+
+let test_golden_events_json () =
+  let expected =
+    "[{\"time\":0,\"thread\":1,\"serial\":10,\"label\":\"add\",\"type\":\"begin\",\"sem\":\"elastic\",\"attempt\":1},"
+    ^ "{\"time\":1,\"thread\":1,\"serial\":10,\"label\":\"add\",\"type\":\"read\",\"loc\":3},"
+    ^ "{\"time\":2,\"thread\":1,\"serial\":10,\"label\":\"add\",\"type\":\"write\",\"loc\":3},"
+    ^ "{\"time\":3,\"thread\":1,\"serial\":10,\"label\":\"add\",\"type\":\"lock\",\"loc\":3},"
+    ^ "{\"time\":4,\"thread\":1,\"serial\":10,\"label\":\"add\",\"type\":\"commit\",\"reads\":1,\"writes\":1,\"lock_hold\":1},"
+    ^ "{\"time\":5,\"thread\":2,\"serial\":11,\"label\":\"\",\"type\":\"begin\",\"sem\":\"classic\",\"attempt\":2},"
+    ^ "{\"time\":6,\"thread\":2,\"serial\":11,\"label\":\"\",\"type\":\"abort\",\"cause\":\"lock-busy\",\"reads\":2,\"writes\":0}]"
+  in
+  Alcotest.(check string) "events json golden" expected
+    (T.Json.to_string (T.Export.events_json golden_events))
+
+let test_json_escaping_and_floats () =
+  Alcotest.(check string) "string escaping"
+    "\"a\\\"b\\\\c\\n\\u0001\""
+    (T.Json.to_string (T.Json.Str "a\"b\\c\n\x01"));
+  Alcotest.(check string) "integral float" "2.0"
+    (T.Json.to_string (T.Json.Float 2.));
+  Alcotest.(check string) "nan degrades to null" "null"
+    (T.Json.to_string (T.Json.Float Float.nan))
+
+(* ---- aggregation -------------------------------------------------------- *)
+
+let test_agg_of_events () =
+  let snap = T.Agg.of_events golden_events in
+  let t = snap.T.Agg.total in
+  Alcotest.(check int) "attempts" 2 t.T.Agg.attempts;
+  Alcotest.(check int) "commits" 1 t.T.Agg.commits;
+  Alcotest.(check int) "aborts" 1 t.T.Agg.aborts;
+  Alcotest.(check int) "lock-busy aborts" 1 (T.Agg.abort_count t T.Lock_busy);
+  Alcotest.(check int) "no read-validation aborts" 0
+    (T.Agg.abort_count t T.Read_validation);
+  Alcotest.(check int) "retries (attempt > 1)" 1 t.T.Agg.retries;
+  Alcotest.(check int) "lock acquires" 1 t.T.Agg.lock_acquires;
+  Alcotest.(check int) "reads committed" 1 t.T.Agg.reads_committed;
+  Alcotest.(check int) "writes committed" 1 t.T.Agg.writes_committed;
+  Alcotest.(check int) "max read set (incl. aborts)" 2 t.T.Agg.max_read_set;
+  Alcotest.(check int) "lock hold" 1 t.T.Agg.lock_hold;
+  Alcotest.(check (list string)) "sites sorted by label" [ ""; "add" ]
+    (List.map (fun s -> s.T.Agg.site) snap.T.Agg.sites)
+
+let test_agg_streaming_matches_batch () =
+  let ev, _, _ = record_run 5 in
+  let agg = T.Agg.create () in
+  List.iter (T.Agg.sink agg).T.emit ev;
+  Alcotest.(check bool) "streaming snapshot = of_events" true
+    (T.Agg.snapshot agg = T.Agg.of_events ev)
+
+(* ---- backends ----------------------------------------------------------- *)
+
+let test_recorder_accesses_filter () =
+  let r = T.Recorder.create ~accesses:false () in
+  List.iter (T.Recorder.sink r).T.emit golden_events;
+  Alcotest.(check int) "reads/writes dropped at the door" 5
+    (List.length (T.Recorder.events r));
+  Alcotest.(check bool) "no access events survive" true
+    (List.for_all
+       (fun e ->
+         match e.T.kind with T.Read _ | T.Write _ -> false | _ -> true)
+       (T.Recorder.events r))
+
+let test_recorder_capacity () =
+  let r = T.Recorder.create ~capacity:3 () in
+  List.iter (T.Recorder.sink r).T.emit golden_events;
+  Alcotest.(check int) "keeps the first [capacity]" 3
+    (List.length (T.Recorder.events r));
+  Alcotest.(check int) "counts the dropped tail" 4 (T.Recorder.dropped r)
+
+let test_ring_overwrites_oldest () =
+  let ring = T.Ring.create ~lanes:2 ~capacity:4 () in
+  let sink = T.Ring.sink ring in
+  for i = 1 to 6 do
+    sink.T.emit (ev i 0 i "" (T.Read { loc = i }))
+  done;
+  let kept = T.Ring.drain ring in
+  Alcotest.(check int) "lane keeps the most recent capacity" 4
+    (List.length kept);
+  Alcotest.(check (list int)) "oldest overwritten" [ 3; 4; 5; 6 ]
+    (List.map (fun e -> e.T.time) kept);
+  Alcotest.(check int) "overwritten counted" 2 (T.Ring.overwritten ring);
+  Alcotest.(check (list int)) "drain resets" []
+    (List.map (fun e -> e.T.time) (T.Ring.drain ring))
+
+let test_ring_merges_sorted () =
+  let ring = T.Ring.create ~lanes:4 ~capacity:8 () in
+  let sink = T.Ring.sink ring in
+  (* Interleave emissions from three threads with clashing times; the
+     drain must come back sorted by (time, thread, serial). *)
+  sink.T.emit (ev 5 2 1 "" (T.Read { loc = 0 }));
+  sink.T.emit (ev 1 0 2 "" (T.Read { loc = 0 }));
+  sink.T.emit (ev 5 1 3 "" (T.Read { loc = 0 }));
+  sink.T.emit (ev 2 0 4 "" (T.Read { loc = 0 }));
+  Alcotest.(check (list (pair int int)))
+    "sorted by (time, thread)"
+    [ (1, 0); (2, 0); (5, 1); (5, 2) ]
+    (List.map (fun e -> (e.T.time, e.T.thread)) (T.Ring.drain ring))
+
+let test_fan_out () =
+  let r1 = T.Recorder.create () and r2 = T.Recorder.create () in
+  let sink = T.fan_out [ T.Recorder.sink r1; T.Recorder.sink r2 ] in
+  List.iter sink.T.emit golden_events;
+  Alcotest.(check bool) "both sinks see every event" true
+    (T.Recorder.events r1 = golden_events
+    && T.Recorder.events r2 = golden_events);
+  (T.null).T.emit (List.hd golden_events)
+
+(* ---- domains runtime ---------------------------------------------------- *)
+
+module SD = Polytm.Stm.Make (Polytm_runtime.Domain_runtime)
+
+let test_domains_ring_capture () =
+  (* Under real domains: per-domain ring lanes, drained after join.
+     Event counts are schedule-dependent, so assert structure only:
+     every commit is preceded by a begin of the same serial, and the
+     aggregate balances. *)
+  let stm = SD.create () in
+  let ring = T.Ring.create () in
+  SD.set_sink stm (Some (T.Ring.sink ring));
+  let v = SD.tvar stm 0 in
+  let worker () =
+    for _ = 1 to 50 do
+      SD.atomically ~label:"incr" stm (fun tx ->
+          SD.write tx v (SD.read tx v + 1))
+    done
+  in
+  let ds = List.init 3 (fun _ -> Domain.spawn worker) in
+  List.iter Domain.join ds;
+  SD.set_sink stm None;
+  Alcotest.(check int) "all increments committed" 150
+    (SD.atomically stm (fun tx -> SD.read tx v));
+  let snap = T.Agg.of_events (T.Ring.drain ring) in
+  let t = snap.T.Agg.total in
+  Alcotest.(check bool) "captured the committed transactions" true
+    (t.T.Agg.commits >= 150 && t.T.Agg.attempts >= t.T.Agg.commits);
+  Alcotest.(check (list string)) "one labelled site" [ "incr" ]
+    (List.map (fun s -> s.T.Agg.site) snap.T.Agg.sites)
+
+let suite =
+  ( "telemetry",
+    [
+      Alcotest.test_case "taxonomy complete" `Quick test_taxonomy_complete;
+      Alcotest.test_case "cause metadata" `Quick test_cause_metadata;
+      Alcotest.test_case "seeded trace deterministic" `Quick
+        test_seeded_trace_deterministic;
+      Alcotest.test_case "workload emits aborts" `Quick
+        test_workload_emits_aborts;
+      Alcotest.test_case "no sink leaves run identical" `Quick
+        test_no_sink_leaves_run_identical;
+      Alcotest.test_case "golden chrome trace" `Quick test_golden_chrome_trace;
+      Alcotest.test_case "golden events json" `Quick test_golden_events_json;
+      Alcotest.test_case "json escaping and floats" `Quick
+        test_json_escaping_and_floats;
+      Alcotest.test_case "agg of events" `Quick test_agg_of_events;
+      Alcotest.test_case "agg streaming = batch" `Quick
+        test_agg_streaming_matches_batch;
+      Alcotest.test_case "recorder accesses filter" `Quick
+        test_recorder_accesses_filter;
+      Alcotest.test_case "recorder capacity" `Quick test_recorder_capacity;
+      Alcotest.test_case "ring overwrites oldest" `Quick
+        test_ring_overwrites_oldest;
+      Alcotest.test_case "ring merges sorted" `Quick test_ring_merges_sorted;
+      Alcotest.test_case "fan out" `Quick test_fan_out;
+      Alcotest.test_case "domains ring capture" `Quick
+        test_domains_ring_capture;
+    ] )
