@@ -44,6 +44,36 @@ let micro_tests () =
                !acc)))
   in
   [
+    (* Write-set stressors: many buffered writes, read-own-writes
+       lookups, and reads that miss a non-empty write set (the case
+       the paper's "metadata management overhead" argument is about:
+       every transactional read must consult the write set). *)
+    Test.make ~name:"tx classic: 64 writes"
+      (Staged.stage (fun () ->
+           SD.atomically stm (fun tx ->
+               for i = 0 to 63 do
+                 SD.write tx cells.(i) i
+               done)));
+    Test.make ~name:"tx classic: 64 reads of own writes"
+      (Staged.stage (fun () ->
+           SD.atomically stm (fun tx ->
+               for i = 0 to 63 do
+                 SD.write tx cells.(i) i
+               done;
+               let acc = ref 0 in
+               for i = 0 to 63 do
+                 acc := !acc + SD.read tx cells.(i)
+               done;
+               !acc)));
+    Test.make ~name:"tx classic: 1 write + 64 read misses"
+      (Staged.stage (fun () ->
+           SD.atomically stm (fun tx ->
+               SD.write tx cell 1;
+               let acc = ref 0 in
+               for i = 0 to 63 do
+                 acc := !acc + SD.read tx cells.(i)
+               done;
+               !acc)));
     Test.make ~name:"raw atomic read" (Staged.stage (fun () -> Atomic.get raw));
     Test.make ~name:"raw atomic write" (Staged.stage (fun () -> Atomic.set raw 1));
     Test.make ~name:"tx begin+commit (empty)"
@@ -60,6 +90,9 @@ let micro_tests () =
            SD.atomically stm (fun tx -> SD.write tx cell (SD.read tx cell + 1))));
   ]
 
+(* Runs the micro table and returns (name, ns/op) rows, sorted by
+   name, for both the pretty printer and the machine-readable E6
+   output ([micro --json FILE], the perf-trajectory seed). *)
 let run_micro () =
   let open Bechamel in
   Format.printf
@@ -81,11 +114,23 @@ let run_micro () =
         | Some [] | None -> acc)
       results []
   in
+  let rows =
+    List.sort (fun (a, _) (b, _) -> String.compare a b) rows
+  in
   Format.printf "%-40s %14s@." "operation" "ns/op";
   Format.printf "%s@." (String.make 56 '-');
   List.iter
     (fun (name, est) -> Format.printf "%-40s %14.1f@." name est)
-    (List.sort compare rows)
+    rows;
+  rows
+
+let micro_json rows =
+  let open Polytm_telemetry.Json in
+  Arr
+    (List.map
+       (fun (name, est) ->
+         Obj [ ("name", Str name); ("ns_per_op", Float est) ])
+       rows)
 
 (* ---- driver ------------------------------------------------------------ *)
 
@@ -114,10 +159,12 @@ let () =
     else F.default_params
   in
   let t0 = Unix.gettimeofday () in
+  (* Accumulated machine-readable output: the figure matrix and/or the
+     micro rows, depending on which sections ran ([--json FILE]). *)
+  let json_parts = ref [] in
   if wants sections "fig4" then Format.printf "%a" Report.pp_fig4 ();
   let need_matrix =
-    json_file <> None
-    || List.exists (wants sections) [ "fig5"; "fig7"; "fig9"; "summary" ]
+    List.exists (wants sections) [ "fig5"; "fig7"; "fig9"; "summary" ]
   in
   if need_matrix then begin
     Format.printf
@@ -146,15 +193,12 @@ let () =
     end;
     if wants sections "summary" then
       Format.printf "%a" Report.pp_claims (F.claims m);
-    match json_file with
-    | Some file ->
-        let oc = open_out file in
-        output_string oc
-          (Polytm_telemetry.Json.to_string (Report.matrix_json m));
-        output_char oc '\n';
-        close_out oc;
-        Format.printf "@.machine-readable results written to %s@." file
-    | None -> ()
+    json_parts :=
+      !json_parts
+      @
+      match Report.matrix_json m with
+      | Polytm_telemetry.Json.Obj fields -> fields
+      | j -> [ ("matrix", j) ]
   end;
   if wants sections "bank" then
     Format.printf "%a" Polytm_bench_kit.Bank.pp_results
@@ -163,5 +207,17 @@ let () =
     List.iter
       (fun t -> Format.printf "%a" Polytm_bench_kit.Ablations.pp_table t)
       (Polytm_bench_kit.Ablations.all ());
-  if wants sections "micro" then run_micro ();
+  if wants sections "micro" then begin
+    let rows = run_micro () in
+    json_parts := !json_parts @ [ ("micro", micro_json rows) ]
+  end;
+  (match json_file with
+  | Some file ->
+      let oc = open_out file in
+      output_string oc
+        (Polytm_telemetry.Json.to_string (Polytm_telemetry.Json.Obj !json_parts));
+      output_char oc '\n';
+      close_out oc;
+      Format.printf "@.machine-readable results written to %s@." file
+  | None -> ());
   Format.printf "@.total wall time: %.1fs@." (Unix.gettimeofday () -. t0)

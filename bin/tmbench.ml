@@ -232,7 +232,7 @@ let ablations_cmd =
   in
   Cmd.v
     (Cmd.info "ablations"
-       ~doc:"Run the design-choice ablations: contention managers, elastic              window size, timestamp extension, semantics decomposition.")
+       ~doc:"Run the design-choice ablations: contention managers, elastic              window size, timestamp extension, semantics decomposition,              global-clock scheme (GV1 vs GV4).")
     Term.(const run $ const ())
 
 let bank_cmd =

@@ -24,12 +24,12 @@ type row = {
 type table = { table_title : string; rows : row list }
 
 let run_stm_config ~label ~spec ~threads ~duration ~seed ~profile ?cm
-    ?elastic_window ?versions ?(extend_on_stale = true) () =
+    ?elastic_window ?versions ?(extend_on_stale = true) ?gv () =
   let stm = ref None in
   let make () =
     let s =
       AM.S.create ~max_attempts:200 ?cm ?elastic_window ?versions
-        ~extend_on_stale ()
+        ~extend_on_stale ?gv ()
     in
     stm := Some s;
     ( AM.stm_list ~profile s,
@@ -46,10 +46,10 @@ let run_stm_config ~label ~spec ~threads ~duration ~seed ~profile ?cm
     row_detail =
       Printf.sprintf
         "lock_busy=%d read_invalid=%d window_broken=%d snap_old=%d cuts=%d \
-         extensions=%d failed_ops=%d"
+         extensions=%d fast_commits=%d ro_commits=%d failed_ops=%d"
         st.AM.S.lock_busy st.AM.S.read_invalid st.AM.S.window_broken
         st.AM.S.snapshot_too_old st.AM.S.cuts st.AM.S.extensions
-        r.Harness.failed;
+        st.AM.S.fast_commits st.AM.S.ro_commits r.Harness.failed;
   }
 
 (* High-contention setting: a small hot list exposes the policies. *)
@@ -185,6 +185,36 @@ let version_depth ?(threads = 32) ?(duration = 150_000) ?(seed = 16) () =
         [ 1; 2; 4 ];
   }
 
+(* E7: the global-version-clock scheme.  GV1 fetch-and-adds the clock
+   on every write commit; GV4 "pass on failure" CASes once and adopts
+   the winner's value when it loses.  Under the simulator the clock is
+   just another shared location, so commit storms (high update ratio,
+   many threads) show GV4 absorbing clock traffic — at the price of
+   fewer skip-validation fast commits, since an adopted write version
+   must always validate. *)
+let clock_scheme ?(threads = 64) ?(duration = 150_000) ?(seed = 17) () =
+  let rows =
+    List.concat_map
+      (fun update_pct ->
+        let spec =
+          { Workload.default_spec with Workload.update_pct; size_pct = 5 }
+        in
+        List.map
+          (fun (name, gv) ->
+            run_stm_config
+              ~label:(Printf.sprintf "%s @ %d%% updates" name update_pct)
+              ~spec ~threads ~duration ~seed ~profile:A.classic_profile ~gv ())
+          [ ("gv1 (fetch-and-add)", `Gv1); ("gv4 (pass on failure)", `Gv4) ])
+      [ 10; 40 ]
+  in
+  {
+    table_title =
+      Printf.sprintf
+        "Global clock scheme (classic profile, %d threads): GV1 vs GV4"
+        threads;
+    rows;
+  }
+
 let all () =
   [
     contention_managers ();
@@ -193,6 +223,7 @@ let all () =
     semantics_decomposition ();
     update_sensitivity ();
     version_depth ();
+    clock_scheme ();
   ]
 
 let pp_table ppf t =

@@ -26,6 +26,32 @@
     ascending location order (no deadlock); contention policies decide
     spinning, backoff, and (for [Greedy]) cross-transaction kills.
 
+    {b Hot-path engineering} (DESIGN.md, S14).  The paper's Section
+    3.3 attributes classic transactions' cost to "metadata management
+    overhead"; this implementation keeps that overhead at the level of
+    the original TL2 library rather than an idiomatic-but-slow
+    placeholder:
+
+    - the read set is a pair of reusable flat arrays
+      ({!Polytm_util.Vec}): a read appends without allocating, and
+      validation is a cache-friendly array scan (newest entry first,
+      matching the cons-list behaviour it replaced);
+    - the elastic window is a fixed ring buffer of the window size;
+    - the write set is an open-addressed int-keyed table
+      ({!Polytm_util.Flat_table}) whose 63-bit location-id signature
+      lets a read of an unwritten location skip the read-own-writes
+      lookup entirely; commit still locks in ascending location order;
+    - the global clock can run TL2's GV4 "pass on failure" scheme
+      ([create ~gv:`Gv4]) to halve CAS pressure under commit storms,
+      and read-only transactions of every semantics never touch the
+      clock at commit (counted by [ro_commits]);
+    - the transaction descriptor (arrays, table, undo/cleanup vectors)
+      is reused across the retry attempts of one [atomically] call.
+
+    The simulator charges {e virtual} cost per shared access, so none
+    of this changes a charge sequence: same seed ⇒ byte-identical
+    telemetry traces (enforced by the goldens test suite).
+
     Extensions beyond the paper's core proposal, all exposed through
     {!Stm_intf.S}: [orelse] alternatives, early release, lifecycle
     hooks (compensations and finalisers, the basis of transactional
@@ -33,7 +59,8 @@
     event recorder that the test suite feeds to the formal opacity and
     elastic-opacity checkers. *)
 
-module IMap = Map.Make (Int)
+module Vec = Polytm_util.Vec
+module Flat_table = Polytm_util.Flat_table
 module T = Polytm_telemetry
 
 module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) : Stm_intf.S = struct
@@ -70,15 +97,38 @@ module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) : Stm_intf.S = struct
     data : 'a versioned R.atomic;
   }
 
-  type rentry = REntry : { rvar : 'a tvar; rversion : int } -> rentry
+  (* The flat read set stores type-erased tvars: validation only
+     touches [id] and [lock], never ['a]-typed data, so one untyped
+     array serves every location type without a per-read box. *)
+  let erase (type a) (v : a tvar) : Obj.t tvar = Obj.magic v
 
-  type wentry =
-    | WEntry : {
-        wvar : 'a tvar;
-        mutable wvalue : 'a;
-        mutable locked_version : int;
-      }
-        -> wentry
+  let dummy_tvar : Obj.t tvar =
+    {
+      id = -1;
+      lock = R.atomic (Unlocked 0);
+      data = R.atomic { value = Obj.repr (); version = 0; older = [] };
+    }
+
+  type 'a wrec = {
+    wvar : 'a tvar;
+    mutable wvalue : 'a;
+    mutable locked_version : int;
+  }
+
+  type wentry = WEntry : 'a wrec -> wentry
+
+  (* A write entry paired with a saved value of the same type — the
+     [orelse] savepoint for writes the rolled-back branch overwrote. *)
+  type wsave = WSave : 'a wrec * 'a -> wsave
+
+  let dummy_wentry =
+    WEntry { wvar = dummy_tvar; wvalue = Obj.repr (); locked_version = -1 }
+
+  let nop () = ()
+
+  (* Shared placeholder for an unarmed descriptor's owner; never
+     published into a lock word. *)
+  let dummy_owner : owner = { serial = -1; killed = R.atomic false }
 
   type recorded = {
     rec_tx : int;
@@ -87,25 +137,52 @@ module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) : Stm_intf.S = struct
     rec_sem : Semantics.t;
   }
 
+  (* The descriptor's backing stores — read-set arrays, window ring,
+     write table, hook vectors — pooled per thread (TLS) and shared by
+     every [atomically] call that thread makes on the instance.  Flat
+     nesting guarantees at most one transaction per thread per
+     instance, so the pool is never contended; [arm_tx] resets the
+     stores (keeping their capacity) at each attempt.  The [tx] record
+     itself stays per-call, so a handle leaked out of its extent is
+     still caught by [check_live]. *)
+  type stores = {
+    sr_vars : Obj.t tvar Vec.t;
+    sr_vers : int Vec.t;
+    sw_vars : Obj.t tvar array;
+    sw_vers : int array;
+    s_writes : wentry Flat_table.t;
+    s_undo : (unit -> unit) Vec.t;
+    s_cleanup : (unit -> unit) Vec.t;
+  }
+
+  (* A transaction descriptor.  One is allocated per [atomically] call
+     and re-armed across its retry attempts: the read-set arrays, the
+     write table, the window ring and the hook vectors come from the
+     thread-local pool above. *)
   type tx = {
     stm : t;
-    serial : int;
-    sem : Semantics.t;
-    label : string;  (** call-site label for telemetry, "" if none *)
-    owner : owner;
+    mutable serial : int;
+    mutable sem : Semantics.t;
+    mutable label : string;  (** call-site label for telemetry, "" if none *)
+    mutable owner : owner;
     mutable rv : int;  (** validity timestamp *)
-    snapshot_ub : int;  (** snapshot upper bound, fixed at start *)
-    mutable reads : rentry list;
-    mutable window : rentry list;  (** elastic window, newest first *)
-    mutable writes : wentry IMap.t;
+    mutable snapshot_ub : int;  (** snapshot upper bound, fixed at start *)
+    r_vars : Obj.t tvar Vec.t;  (** flat read set, append order *)
+    r_vers : int Vec.t;  (** versions parallel to [r_vars] *)
+    w_vars : Obj.t tvar array;  (** elastic window: fixed ring buffer *)
+    w_vers : int array;
+    mutable w_count : int;
+    mutable w_head : int;  (** ring index of the newest entry; -1 if none *)
+    writes : wentry Flat_table.t;  (** hashed write set, keyed by tvar id *)
     mutable wrote : bool;  (** an elastic tx stops cutting after a write *)
-    mutable undo : (unit -> unit) list;  (** compensations, newest first *)
-    mutable cleanup : (unit -> unit) list;  (** finalisers, newest first *)
+    undo : (unit -> unit) Vec.t;  (** compensations, oldest first *)
+    cleanup : (unit -> unit) Vec.t;  (** finalisers, oldest first *)
     mutable live : bool;
   }
 
   and t = {
     clock : int R.atomic;
+    gv : [ `Gv1 | `Gv4 ];  (** write-version scheme, see [draw_wv] *)
     serials : int R.atomic;
     tvar_ids : int R.atomic;
     serial_token : bool R.atomic;  (** an irrevocable transaction runs *)
@@ -115,7 +192,7 @@ module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) : Stm_intf.S = struct
     max_attempts : int;
     extend_on_stale : bool;
     versions : int;  (** values retained per location, including current *)
-    current : tx option R.tls;
+    current : thread_ctx R.tls;  (** per-thread state, one TLS lookup *)
     (* statistics *)
     c_starts : R.counter;
     c_commits : R.counter;
@@ -130,6 +207,7 @@ module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) : Stm_intf.S = struct
     c_extensions : R.counter;
     c_stale_reads : R.counter;
     c_fast_commits : R.counter;
+    c_ro_commits : R.counter;
     (* history recording: single-scheduler runs only *)
     mutable recording : bool;
     mutable log_rev : recorded list;
@@ -139,14 +217,21 @@ module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) : Stm_intf.S = struct
     mutable telemetry : T.sink option;
   }
 
+  (* Everything a thread keeps between [atomically] calls, fetched
+     with a single TLS lookup: the innermost live transaction (flat
+     nesting) and the pooled descriptor stores. *)
+  and thread_ctx = { mutable cur_tx : tx option; stores : stores }
+
   let create ?(cm = Contention.default) ?(elastic_window = 2)
-      ?(max_attempts = 10_000) ?(extend_on_stale = true) ?(versions = 2) () =
+      ?(max_attempts = 10_000) ?(extend_on_stale = true) ?(versions = 2)
+      ?(gv = `Gv1) () =
     if elastic_window < 1 then
       raise (Invalid_operation "elastic_window must be at least 1");
     if versions < 1 then
       raise (Invalid_operation "versions must be at least 1");
     {
       clock = R.atomic 0;
+      gv;
       serials = R.atomic 0;
       tvar_ids = R.atomic 0;
       serial_token = R.atomic false;
@@ -156,7 +241,21 @@ module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) : Stm_intf.S = struct
       max_attempts;
       extend_on_stale;
       versions;
-      current = R.tls (fun () -> None);
+      current =
+        R.tls (fun () ->
+            {
+              cur_tx = None;
+              stores =
+                {
+                  sr_vars = Vec.create dummy_tvar;
+                  sr_vers = Vec.create 0;
+                  sw_vars = Array.make elastic_window dummy_tvar;
+                  sw_vers = Array.make elastic_window 0;
+                  s_writes = Flat_table.create dummy_wentry;
+                  s_undo = Vec.create nop;
+                  s_cleanup = Vec.create nop;
+                };
+            });
       c_starts = R.counter ();
       c_commits = R.counter ();
       c_aborts = R.counter ();
@@ -170,6 +269,7 @@ module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) : Stm_intf.S = struct
       c_extensions = R.counter ();
       c_stale_reads = R.counter ();
       c_fast_commits = R.counter ();
+      c_ro_commits = R.counter ();
       recording = false;
       log_rev = [];
       aborted_rev = [];
@@ -185,6 +285,7 @@ module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) : Stm_intf.S = struct
 
   let tvar_id v = v.id
   let elastic_window_size stm = stm.elastic_window
+  let gv_scheme stm = stm.gv
 
   let semantics tx = tx.sem
   let serial tx = tx.serial
@@ -195,11 +296,11 @@ module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) : Stm_intf.S = struct
 
   let on_abort tx f =
     check_live tx;
-    tx.undo <- f :: tx.undo
+    Vec.push tx.undo f
 
   let on_cleanup tx f =
     check_live tx;
-    tx.cleanup <- f :: tx.cleanup
+    Vec.push tx.cleanup f
 
   let record_event tx v ~is_write =
     if tx.stm.recording then
@@ -249,14 +350,18 @@ module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) : Stm_intf.S = struct
      elastic window counts as part of the read set: those entries are
      still being validated. *)
   let tx_sets tx =
-    (List.length tx.reads + List.length tx.window, IMap.cardinal tx.writes)
+    (Vec.length tx.r_vars + tx.w_count, Flat_table.length tx.writes)
 
-  let emit_abort tx reason =
+  (* Abort events report the set sizes at abort time; they are captured
+     before the lifecycle hooks run, because a hook may itself run a
+     transaction and that transaction reuses the pooled stores. *)
+  let abort_sets tx =
+    match tx.stm.telemetry with None -> (0, 0) | Some _ -> tx_sets tx
+
+  let emit_abort tx reason (reads, writes) =
     match tx.stm.telemetry with
     | None -> ()
-    | Some s ->
-        let reads, writes = tx_sets tx in
-        send tx s (T.Abort { cause = cause_of_reason reason; reads; writes })
+    | Some s -> send tx s (T.Abort { cause = cause_of_reason reason; reads; writes })
 
   (* ------------------------------------------------------------------ *)
   (* Consistent reads                                                    *)
@@ -296,22 +401,52 @@ module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) : Stm_intf.S = struct
   (* ------------------------------------------------------------------ *)
   (* Validation                                                          *)
 
-  let entry_valid tx (REntry e) =
-    match IMap.find_opt e.rvar.id tx.writes with
-    | Some (WEntry w) when w.locked_version >= 0 ->
-        (* Locked by us at commit: compare against the version seen at
-           lock acquisition. *)
-        w.locked_version = e.rversion
-    | Some _ | None -> (
-        match R.get e.rvar.lock with
-        | Unlocked ver -> ver = e.rversion
-        | Locked _ -> false)
+  (* One read entry against the current lock state; a location we
+     locked ourselves at commit is checked against the version seen at
+     lock acquisition. *)
+  let rentry_valid tx (v : Obj.t tvar) rversion =
+    let e = Flat_table.find tx.writes v.id in
+    let locked_by_us =
+      e >= 0
+      &&
+      match Flat_table.value_at tx.writes e with
+      | WEntry w -> w.locked_version >= 0
+    in
+    if locked_by_us then
+      match Flat_table.value_at tx.writes e with
+      | WEntry w -> w.locked_version = rversion
+    else
+      match R.get v.lock with
+      | Unlocked ver -> ver = rversion
+      | Locked _ -> false
+
+  (* Newest-first scans, matching the cons-list iteration order they
+     replaced: the charged lock reads happen in the same sequence, and
+     an invalid entry short-circuits at the same point. *)
+  let reads_valid tx =
+    let ok = ref true in
+    let i = ref (Vec.length tx.r_vars - 1) in
+    while !ok && !i >= 0 do
+      if rentry_valid tx (Vec.get tx.r_vars !i) (Vec.get tx.r_vers !i) then
+        decr i
+      else ok := false
+    done;
+    !ok
+
+  let window_valid tx =
+    let cap = Array.length tx.w_vars in
+    let ok = ref true in
+    let k = ref 0 in
+    while !ok && !k < tx.w_count do
+      let idx = (tx.w_head - !k + cap) mod cap in
+      if rentry_valid tx tx.w_vars.(idx) tx.w_vers.(idx) then incr k
+      else ok := false
+    done;
+    !ok
 
   let validate tx =
-    if not (List.for_all (entry_valid tx) tx.reads) then
-      abort_with Read_invalid;
-    if not (List.for_all (entry_valid tx) tx.window) then
-      abort_with Window_broken
+    if not (reads_valid tx) then abort_with Read_invalid;
+    if not (window_valid tx) then abort_with Window_broken
 
   (* TinySTM-style timestamp extension: move [rv] forward to the
      current clock if every read so far is still valid. *)
@@ -324,13 +459,16 @@ module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) : Stm_intf.S = struct
   (* ------------------------------------------------------------------ *)
   (* Reads, by semantics                                                 *)
 
-  let push_window tx entry =
-    let rec take n = function
-      | [] -> []
-      | _ when n = 0 -> []
-      | e :: rest -> e :: take (n - 1) rest
-    in
-    tx.window <- entry :: take (tx.stm.elastic_window - 1) tx.window
+  let push_read tx v version =
+    Vec.push tx.r_vars (erase v);
+    Vec.push tx.r_vers version
+
+  let push_window tx v version =
+    let cap = Array.length tx.w_vars in
+    tx.w_head <- (tx.w_head + 1) mod cap;
+    tx.w_vars.(tx.w_head) <- erase v;
+    tx.w_vers.(tx.w_head) <- version;
+    if tx.w_count < cap then tx.w_count <- tx.w_count + 1
 
   let classic_read tx v =
     let rec loop () =
@@ -354,11 +492,12 @@ module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) : Stm_intf.S = struct
     (* Read-set logging is a real cost of word-based STMs (an append
        and its cache pressure on every read); charge it so the
        simulator sees the overhead the paper attributes to classic
-       transactions.  The elastic window below is a fixed two-slot
-       buffer and charges half as much — E-STM's bounded log is one of
-       its design points. *)
-    R.pause 2;
-    tx.reads <- REntry { rvar = v; rversion = d.version } :: tx.reads;
+       transactions.  The elastic window below is a fixed ring buffer
+       and charges half as much — E-STM's bounded log is one of its
+       design points.  [charge] (not [pause]): the cost is the model's,
+       the real append is the [push_read] itself. *)
+    R.charge 2;
+    push_read tx v d.version;
     record_event tx v ~is_write:false;
     emit_read tx v;
     d.value
@@ -379,8 +518,8 @@ module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) : Stm_intf.S = struct
         in
         loop ()
       in
-      R.pause 2;
-      tx.reads <- REntry { rvar = v; rversion = d.version } :: tx.reads;
+      R.charge 2;
+      push_read tx v d.version;
       record_event tx v ~is_write:false;
       emit_read tx v;
       d.value
@@ -393,18 +532,18 @@ module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) : Stm_intf.S = struct
           (* Cut: the window must still be intact, then this read opens
              a new piece with a fresh timestamp. *)
           let new_rv = R.get tx.stm.clock in
-          if not (List.for_all (entry_valid tx) tx.window) then
-            abort_with Window_broken;
+          if not (window_valid tx) then abort_with Window_broken;
           tx.rv <- new_rv;
-          tx.reads <- [];
+          Vec.clear tx.r_vars;
+          Vec.clear tx.r_vers;
           R.add_counter tx.stm.c_cuts 1;
           (* Re-read after the cut (see classic_read). *)
           loop ()
         end
       in
       let d = loop () in
-      R.pause 1;
-      push_window tx (REntry { rvar = v; rversion = d.version });
+      R.charge 1;
+      push_window tx v d.version;
       record_event tx v ~is_write:false;
       emit_read tx v;
       d.value
@@ -450,27 +589,31 @@ module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) : Stm_intf.S = struct
   let read : type a. tx -> a tvar -> a =
    fun tx v ->
     check_live tx;
-    match IMap.find_opt v.id tx.writes with
-    | Some (WEntry w) ->
-        (* Same id implies same tvar, hence the same value type. *)
-        (Obj.magic w.wvalue : a)
-    | None -> (
-        match tx.sem with
-        | Semantics.Classic -> classic_read tx v
-        | Semantics.Elastic -> elastic_read tx v
-        | Semantics.Snapshot -> snapshot_read tx v)
+    (* Read-own-writes: the signature inside [Flat_table.find] screens
+       out unwritten locations without probing the table. *)
+    let e = Flat_table.find tx.writes v.id in
+    if e >= 0 then
+      match Flat_table.value_at tx.writes e with
+      (* Same id implies same tvar, hence the same value type. *)
+      | WEntry w -> (Obj.magic w.wvalue : a)
+    else
+      match tx.sem with
+      | Semantics.Classic -> classic_read tx v
+      | Semantics.Elastic -> elastic_read tx v
+      | Semantics.Snapshot -> snapshot_read tx v
 
   let write tx v x =
     check_live tx;
     if not (Semantics.allows_write tx.sem) then
       raise (Invalid_operation "write inside a snapshot transaction");
-    (match IMap.find_opt v.id tx.writes with
-    | Some (WEntry w) -> w.wvalue <- Obj.magic x
-    | None ->
-        tx.writes <-
-          IMap.add v.id
-            (WEntry { wvar = v; wvalue = x; locked_version = -1 })
-            tx.writes);
+    let e = Flat_table.find tx.writes v.id in
+    (if e >= 0 then
+       match Flat_table.value_at tx.writes e with
+       | WEntry w -> w.wvalue <- Obj.magic x
+     else
+       ignore
+         (Flat_table.add tx.writes v.id
+            (WEntry { wvar = v; wvalue = x; locked_version = -1 })));
     tx.wrote <- true;
     match tx.stm.telemetry with
     | None -> ()
@@ -478,44 +621,87 @@ module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) : Stm_intf.S = struct
 
   let release tx v =
     check_live tx;
-    let keep (REntry e) = e.rvar.id <> v.id in
-    tx.reads <- List.filter keep tx.reads;
-    tx.window <- List.filter keep tx.window
+    let id = v.id in
+    (* Compact the flat read set in place, preserving append order. *)
+    let n = Vec.length tx.r_vars in
+    let j = ref 0 in
+    for i = 0 to n - 1 do
+      let rvar = Vec.get tx.r_vars i in
+      if rvar.id <> id then begin
+        if !j < i then begin
+          Vec.set tx.r_vars !j rvar;
+          Vec.set tx.r_vers !j (Vec.get tx.r_vers i)
+        end;
+        incr j
+      end
+    done;
+    Vec.truncate tx.r_vars !j;
+    Vec.truncate tx.r_vers !j;
+    (* Rebuild the window ring without the released location (cold
+       path: early release is an expert escape hatch). *)
+    if tx.w_count > 0 then begin
+      let cap = Array.length tx.w_vars in
+      let kept_vars = Array.make cap dummy_tvar in
+      let kept_vers = Array.make cap 0 in
+      let kept = ref 0 in
+      for k = tx.w_count - 1 downto 0 do
+        (* oldest to newest *)
+        let idx = (tx.w_head - k + cap) mod cap in
+        if tx.w_vars.(idx).id <> id then begin
+          kept_vars.(!kept) <- tx.w_vars.(idx);
+          kept_vers.(!kept) <- tx.w_vers.(idx);
+          incr kept
+        end
+      done;
+      Array.blit kept_vars 0 tx.w_vars 0 cap;
+      Array.blit kept_vers 0 tx.w_vers 0 cap;
+      tx.w_count <- !kept;
+      tx.w_head <- !kept - 1
+    end
 
   let abort _tx = abort_with Explicit
 
-  (* Run the newest entries of [l] down to (but excluding) the saved
-     tail [upto] — the delta registered by a rolled-back branch. *)
-  let run_delta l ~upto =
-    let rec go = function
-      | rest when rest == upto -> ()
-      | [] -> ()
-      | f :: rest ->
-          f ();
-          go rest
-    in
-    go l
-
   let orelse tx f g =
     check_live tx;
-    let reads = tx.reads
-    and window = tx.window
-    and writes = tx.writes
-    and wrote = tx.wrote
-    and undo = tx.undo
-    and cleanup = tx.cleanup in
+    (* Savepoint: copies of the read set and window, the write-set
+       length plus every buffered value (the branch may overwrite
+       entries that predate it), and the hook-vector lengths. *)
+    let s_r_vars = Vec.to_array tx.r_vars in
+    let s_r_vers = Vec.to_array tx.r_vers in
+    let s_w_vars = Array.copy tx.w_vars in
+    let s_w_vers = Array.copy tx.w_vers in
+    let s_w_count = tx.w_count and s_w_head = tx.w_head in
+    let s_writes = Flat_table.length tx.writes in
+    let s_wvalues =
+      Array.init s_writes (fun e ->
+          match Flat_table.value_at tx.writes e with
+          | WEntry w -> WSave (w, w.wvalue))
+    in
+    let s_wrote = tx.wrote in
+    let s_undo = Vec.length tx.undo in
+    let s_cleanup = Vec.length tx.cleanup in
     try f tx
     with Abort_tx Explicit ->
       (* Compensate the branch's eager (boosted) effects, release its
-         abstract locks, then restore the buffered state. *)
-      run_delta tx.undo ~upto:undo;
-      run_delta tx.cleanup ~upto:cleanup;
-      tx.reads <- reads;
-      tx.window <- window;
-      tx.writes <- writes;
-      tx.wrote <- wrote;
-      tx.undo <- undo;
-      tx.cleanup <- cleanup;
+         abstract locks (newest first), then restore the buffered
+         state. *)
+      for i = Vec.length tx.undo - 1 downto s_undo do
+        (Vec.get tx.undo i) ()
+      done;
+      for i = Vec.length tx.cleanup - 1 downto s_cleanup do
+        (Vec.get tx.cleanup i) ()
+      done;
+      Vec.truncate tx.undo s_undo;
+      Vec.truncate tx.cleanup s_cleanup;
+      Vec.load tx.r_vars s_r_vars;
+      Vec.load tx.r_vers s_r_vers;
+      Array.blit s_w_vars 0 tx.w_vars 0 (Array.length s_w_vars);
+      Array.blit s_w_vers 0 tx.w_vers 0 (Array.length s_w_vers);
+      tx.w_count <- s_w_count;
+      tx.w_head <- s_w_head;
+      Flat_table.truncate tx.writes s_writes;
+      Array.iter (fun (WSave (w, v)) -> w.wvalue <- v) s_wvalues;
+      tx.wrote <- s_wrote;
       g tx
 
   (* ------------------------------------------------------------------ *)
@@ -527,7 +713,8 @@ module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) : Stm_intf.S = struct
       w.locked_version <- -1
     end
 
-  let release_all tx = IMap.iter (fun _ e -> release_lock e) tx.writes
+  let release_all tx =
+    Flat_table.iter_ascending (fun _ e -> release_lock e) tx.writes
 
   let acquire tx (WEntry w) =
     let budget = ref (Contention.lock_spins tx.stm.cm) in
@@ -554,7 +741,7 @@ module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) : Stm_intf.S = struct
     else match l with [] -> [] | x :: rest -> x :: take_chain (n - 1) rest
 
   let write_back tx wv =
-    IMap.iter
+    Flat_table.iter_ascending
       (fun _ (WEntry w) ->
         let d = R.get w.wvar.data in
         R.set w.wvar.data
@@ -569,16 +756,48 @@ module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) : Stm_intf.S = struct
         w.locked_version <- -1)
       tx.writes
 
+  (* Draw the commit's write version, validate (or prove validation
+     unnecessary), and write back.  GV1 is TL2's baseline: every write
+     commit fetch-and-adds the shared clock.  GV4 ("pass on failure")
+     CASes the clock once; when the CAS loses, another committer
+     already advanced the clock, and that newer value is adopted as
+     this commit's write version without retrying — two commits may
+     then share a wv, which is safe because per-location locks already
+     serialise overlapping write sets.  The wv = rv + 1 fast path
+     (nothing committed since this transaction started, reads cannot
+     have been invalidated) requires the clock increment to be
+     exclusively ours: a GV4 adopter always validates, since the
+     committer it shares wv with could have invalidated its reads. *)
+  let version_and_write_back tx =
+    match tx.stm.gv with
+    | `Gv1 ->
+        let wv = R.fetch_and_add tx.stm.clock 1 + 1 in
+        if wv = tx.rv + 1 then R.add_counter tx.stm.c_fast_commits 1
+        else validate tx;
+        write_back tx wv
+    | `Gv4 ->
+        let cur = R.get tx.stm.clock in
+        let wv, exclusive =
+          if R.cas tx.stm.clock cur (cur + 1) then (cur + 1, true)
+          else (R.get tx.stm.clock, false)
+        in
+        if exclusive && wv = tx.rv + 1 then
+          R.add_counter tx.stm.c_fast_commits 1
+        else validate tx;
+        write_back tx wv
+
   let commit ?(holds_token = false) tx =
-    if IMap.is_empty tx.writes then
-      (* Read-only transactions of every semantics commit for free:
-         every read was validated against a single coherent timestamp
-         when it happened. *)
-      (match tx.stm.telemetry with
+    if Flat_table.is_empty tx.writes then begin
+      (* Read-only transactions of every semantics commit for free —
+         no clock fetch-and-add, no locks: every read was validated
+         against a single coherent timestamp when it happened. *)
+      R.add_counter tx.stm.c_ro_commits 1;
+      match tx.stm.telemetry with
       | None -> ()
       | Some s ->
           let reads, _ = tx_sets tx in
-          send tx s (T.Commit { reads; writes = 0; lock_hold = 0 }))
+          send tx s (T.Commit { reads; writes = 0; lock_hold = 0 })
+    end
     else begin
       (* Serial-irrevocable mode: while some irrevocable transaction
          holds the token, ordinary write commits stall here — before
@@ -592,13 +811,10 @@ module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) : Stm_intf.S = struct
         match tx.stm.telemetry with None -> 0 | Some _ -> R.now ()
       in
       match
-        (* Ascending id order (IMap.iter) keeps locking deadlock-free. *)
-        IMap.iter (fun _ e -> acquire tx e) tx.writes;
+        (* Ascending id order keeps locking deadlock-free. *)
+        Flat_table.iter_ascending (fun _ e -> acquire tx e) tx.writes;
         if R.get tx.owner.killed then abort_with Killed;
-        let wv = R.fetch_and_add tx.stm.clock 1 + 1 in
-        if wv = tx.rv + 1 then R.add_counter tx.stm.c_fast_commits 1
-        else validate tx;
-        write_back tx wv
+        version_and_write_back tx
       with
       | () -> (
           ignore (R.fetch_and_add tx.stm.active_commits (-1));
@@ -617,25 +833,49 @@ module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) : Stm_intf.S = struct
   (* ------------------------------------------------------------------ *)
   (* The transaction loop                                                *)
 
-  let make_tx stm sem label =
-    let serial = R.fetch_and_add stm.serials 1 in
-    let rv = R.get stm.clock in
+  let fresh_tx stm s sem label =
     {
       stm;
-      serial;
+      serial = -1;
       sem;
       label;
-      owner = { serial; killed = R.atomic false };
-      rv;
-      snapshot_ub = rv;
-      reads = [];
-      window = [];
-      writes = IMap.empty;
+      owner = dummy_owner;
+      rv = 0;
+      snapshot_ub = 0;
+      r_vars = s.sr_vars;
+      r_vers = s.sr_vers;
+      w_vars = s.sw_vars;
+      w_vers = s.sw_vers;
+      w_count = 0;
+      w_head = -1;
+      writes = s.s_writes;
       wrote = false;
-      undo = [];
-      cleanup = [];
-      live = true;
+      undo = s.s_undo;
+      cleanup = s.s_cleanup;
+      live = false;
     }
+
+  (* Arm the descriptor for one attempt: a fresh serial and timestamp
+     (the same charged operations, in the same order, as the
+     allocate-per-attempt scheme this replaces), with every set
+     cleared but its backing store retained. *)
+  let arm_tx tx =
+    let serial = R.fetch_and_add tx.stm.serials 1 in
+    tx.serial <- serial;
+    tx.owner <- { serial; killed = R.atomic false };
+    tx.rv <- R.get tx.stm.clock;
+    tx.snapshot_ub <- tx.rv;
+    Vec.clear tx.r_vars;
+    Vec.clear tx.r_vers;
+    if tx.w_head >= 0 then
+      Array.fill tx.w_vars 0 (Array.length tx.w_vars) dummy_tvar;
+    tx.w_count <- 0;
+    tx.w_head <- -1;
+    Flat_table.reset tx.writes;
+    tx.wrote <- false;
+    Vec.clear tx.undo;
+    Vec.clear tx.cleanup;
+    tx.live <- true
 
   let abort_counter stm = function
     | Lock_busy -> stm.c_lock_busy
@@ -669,9 +909,16 @@ module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) : Stm_intf.S = struct
     | Some s ->
         send tx s (T.Begin { sem = Semantics.to_string tx.sem; attempt })
 
+  (* Lifecycle hooks, after the attempt's extent: compensations
+     (newest first) when aborted, then finalisers (newest first). *)
+  let run_hooks tx ~aborted =
+    if aborted then Vec.iter_rev (fun f -> f ()) tx.undo;
+    Vec.iter_rev (fun f -> f ()) tx.cleanup
+
   let atomically ?(sem = Semantics.Classic) ?(irrevocable = false)
       ?(label = "") stm f =
-    match R.tls_get stm.current with
+    let ctx = R.tls_get stm.current in
+    match ctx.cur_tx with
     | Some outer when outer.live && outer.stm == stm ->
         (* Flat nesting: the outer label prevails (Section 4.2). *)
         let (_ : Semantics.t) = Semantics.compose ~outer:outer.sem ~inner:sem in
@@ -681,13 +928,14 @@ module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) : Stm_intf.S = struct
           raise
             (Invalid_operation "irrevocable snapshot transactions are pointless");
         enter_serial_mode stm;
-        let tx = make_tx stm sem label in
+        let tx = fresh_tx stm ctx.stores sem label in
+        arm_tx tx;
         R.add_counter stm.c_starts 1;
         emit_begin tx 1;
-        R.tls_set stm.current (Some tx);
+        ctx.cur_tx <- Some tx;
         let cleanup () =
           tx.live <- false;
-          R.tls_set stm.current None;
+          ctx.cur_tx <- None;
           exit_serial_mode stm
         in
         (match
@@ -697,41 +945,40 @@ module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) : Stm_intf.S = struct
          with
         | result ->
             cleanup ();
-            List.iter (fun g -> g ()) tx.cleanup;
+            run_hooks tx ~aborted:false;
             R.add_counter stm.c_commits 1;
             result
         | exception Abort_tx reason ->
+            let sets = abort_sets tx in
             cleanup ();
-            List.iter (fun g -> g ()) tx.undo;
-            List.iter (fun g -> g ()) tx.cleanup;
-            emit_abort tx reason;
+            run_hooks tx ~aborted:true;
+            emit_abort tx reason sets;
             raise
               (Invalid_operation
                  "explicit abort inside an irrevocable transaction")
         | exception e ->
             (* A user exception: with the world stopped, conflict
                aborts are impossible, so nothing else reaches here. *)
+            let sets = abort_sets tx in
             cleanup ();
-            List.iter (fun g -> g ()) tx.undo;
-            List.iter (fun g -> g ()) tx.cleanup;
+            run_hooks tx ~aborted:true;
             record_aborted tx;
             R.add_counter stm.c_aborts 1;
             R.add_counter stm.c_explicit 1;
-            emit_abort tx Explicit;
+            emit_abort tx Explicit sets;
             raise e)
     | Some _ | None ->
+        (* One descriptor for the whole [atomically] call, re-armed
+           across retry attempts. *)
+        let tx = fresh_tx stm ctx.stores sem label in
         let rec attempt n =
-          let tx = make_tx stm sem label in
+          arm_tx tx;
           R.add_counter stm.c_starts 1;
           emit_begin tx n;
-          R.tls_set stm.current (Some tx);
+          ctx.cur_tx <- Some tx;
           let cleanup () =
             tx.live <- false;
-            R.tls_set stm.current None
-          in
-          let run_hooks ~aborted =
-            if aborted then List.iter (fun f -> f ()) tx.undo;
-            List.iter (fun f -> f ()) tx.cleanup
+            ctx.cur_tx <- None
           in
           match
             let result = f tx in
@@ -740,16 +987,17 @@ module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) : Stm_intf.S = struct
           with
           | result ->
               cleanup ();
-              run_hooks ~aborted:false;
+              run_hooks tx ~aborted:false;
               R.add_counter stm.c_commits 1;
               result
           | exception Abort_tx reason ->
+              let sets = abort_sets tx in
               cleanup ();
-              run_hooks ~aborted:true;
+              run_hooks tx ~aborted:true;
               record_aborted tx;
               R.add_counter stm.c_aborts 1;
               R.add_counter (abort_counter stm reason) 1;
-              emit_abort tx reason;
+              emit_abort tx reason sets;
               if n >= stm.max_attempts then
                 raise (Too_many_attempts (reason, n));
               let pause = Contention.retry_pause stm.cm ~attempt:n in
@@ -758,12 +1006,13 @@ module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) : Stm_intf.S = struct
           | exception e ->
               (* User exception: discard effects, count the attempt as
                  aborted, propagate. *)
+              let sets = abort_sets tx in
               cleanup ();
-              run_hooks ~aborted:true;
+              run_hooks tx ~aborted:true;
               record_aborted tx;
               R.add_counter stm.c_aborts 1;
               R.add_counter stm.c_explicit 1;
-              emit_abort tx Explicit;
+              emit_abort tx Explicit sets;
               raise e
         in
         attempt 1
@@ -785,6 +1034,7 @@ module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) : Stm_intf.S = struct
     extensions : int;
     stale_reads : int;
     fast_commits : int;
+    ro_commits : int;
   }
 
   let stats stm =
@@ -802,6 +1052,7 @@ module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) : Stm_intf.S = struct
       extensions = R.read_counter stm.c_extensions;
       stale_reads = R.read_counter stm.c_stale_reads;
       fast_commits = R.read_counter stm.c_fast_commits;
+      ro_commits = R.read_counter stm.c_ro_commits;
     }
 
   let reset_counter c = R.add_counter c (-R.read_counter c)
@@ -812,17 +1063,17 @@ module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) : Stm_intf.S = struct
         stm.c_starts; stm.c_commits; stm.c_aborts; stm.c_lock_busy;
         stm.c_read_invalid; stm.c_window_broken; stm.c_snapshot_too_old;
         stm.c_killed; stm.c_explicit; stm.c_cuts; stm.c_extensions;
-        stm.c_stale_reads; stm.c_fast_commits;
+        stm.c_stale_reads; stm.c_fast_commits; stm.c_ro_commits;
       ]
 
   let pp_stats ppf s =
     Format.fprintf ppf
       "@[<v>starts=%d commits=%d aborts=%d@ lock_busy=%d read_invalid=%d \
        window_broken=%d snapshot_too_old=%d killed=%d explicit=%d@ cuts=%d \
-       extensions=%d stale_reads=%d fast_commits=%d@]"
+       extensions=%d stale_reads=%d fast_commits=%d ro_commits=%d@]"
       s.starts s.commits s.aborts s.lock_busy s.read_invalid s.window_broken
       s.snapshot_too_old s.killed s.explicit_aborts s.cuts s.extensions
-      s.stale_reads s.fast_commits
+      s.stale_reads s.fast_commits s.ro_commits
 
   let record stm on =
     stm.recording <- on;
@@ -832,5 +1083,5 @@ module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) : Stm_intf.S = struct
     end
 
   let recorded_events stm = List.rev stm.log_rev
-  let recorded_aborted stm = List.sort_uniq compare stm.aborted_rev
+  let recorded_aborted stm = List.sort_uniq Int.compare stm.aborted_rev
 end

@@ -40,6 +40,7 @@ module type S = sig
     ?max_attempts:int ->
     ?extend_on_stale:bool ->
     ?versions:int ->
+    ?gv:[ `Gv1 | `Gv4 ] ->
     unit ->
     t
   (** [create ()] makes a fresh STM instance.  [cm] is the contention
@@ -62,11 +63,28 @@ module type S = sig
       multiversioning (snapshots abort on any location overwritten
       since they started), larger values let snapshots survive heavier
       update traffic at the cost of memory per location.  The
-      version-depth ablation quantifies the trade-off. *)
+      version-depth ablation quantifies the trade-off.
+
+      [gv] selects the global-version-clock scheme (TL2's naming).
+      [`Gv1] (default) fetch-and-adds the clock on every write commit.
+      [`Gv4] — “pass on failure” — tries one CAS and, when it loses,
+      adopts the newer clock value another committer just published as
+      its own write version: under commit storms the clock cache line
+      is contended once instead of once per commit.  Two transactions
+      may then share a write version; that is safe because overlapping
+      write sets are already serialised by per-location locks, but the
+      adopting transaction must always validate its read set (the
+      skip-validation fast path is reserved for commits whose clock
+      increment was exclusively theirs).  Read-only transactions never
+      touch the clock under either scheme.  The E7 ablation compares
+      the two. *)
 
   val tvar : t -> 'a -> 'a tvar
   (** Allocate a transactional variable with an initial value
       (version 0). *)
+
+  val gv_scheme : t -> [ `Gv1 | `Gv4 ]
+  (** The configured clock scheme. *)
 
   val elastic_window_size : t -> int
   (** The configured window length.  Elastic data structures check it
@@ -200,6 +218,7 @@ module type S = sig
     extensions : int;  (** successful classic timestamp extensions *)
     stale_reads : int;  (** snapshot reads served from the old version *)
     fast_commits : int;  (** write commits that skipped validation *)
+    ro_commits : int;  (** read-only commits (no clock access, no locks) *)
   }
 
   val stats : t -> stats

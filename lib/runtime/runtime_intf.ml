@@ -70,6 +70,15 @@ module type RUNTIME = sig
   val pause : int -> unit
   (** [pause n] backs off for [n] cost units (spin loop under domains). *)
 
+  val charge : int -> unit
+  (** [charge n] accounts [n] cost units in the simulator's virtual
+      cost model {e without} physically waiting: under simulation it is
+      exactly [pause n] (a charge and a scheduling point), under
+      domains it is a no-op.  Use it where an algorithm models a cost
+      it does not actually pay on real hardware (e.g. TL2's read-set
+      bookkeeping charge); use {!pause} for genuine backoff and
+      spin-waits, which must burn real time under domains. *)
+
   val now : unit -> int
   (** Current time: virtual ticks under simulation, wall-clock
       nanoseconds under domains. *)

@@ -53,8 +53,9 @@ type sched = {
   script : int array;
   mutable script_pos : int;
   (* Event_driven keeps runnables in a min-heap keyed by (clock, seq);
-     the other policies use a plain list so the full runnable set is
-     visible to the choice function. *)
+     the other policies use a list kept sorted ascending by tid so the
+     full runnable set is visible to the choice function without a
+     per-decision sort. *)
   heap : (int * int * tstate) Polytm_util.Heap.t;
   mutable ready : tstate list;
   mutable seq : int;
@@ -91,7 +92,15 @@ let cur_thread s =
   | None -> invalid_arg "Sim: no current thread"
 
 let heap_cmp (c1, s1, _) (c2, s2, _) =
-  if c1 <> c2 then compare c1 c2 else compare s1 s2
+  if c1 <> c2 then Int.compare c1 c2 else Int.compare s1 s2
+
+(* The ready list is kept sorted ascending by tid at insertion, so a
+   decision point reads it as-is instead of re-sorting (with a
+   polymorphic compare, no less) on every step. *)
+let rec insert_ready t = function
+  | [] -> [ t ]
+  | x :: _ as l when t.tid < x.tid -> t :: l
+  | x :: rest -> x :: insert_ready t rest
 
 let make_ready s t =
   t.status <- Runnable;
@@ -99,7 +108,7 @@ let make_ready s t =
   | Event_driven ->
       s.seq <- s.seq + 1;
       Polytm_util.Heap.push s.heap (t.clock, s.seq, t)
-  | Random_sched _ | Scripted _ -> s.ready <- t :: s.ready
+  | Random_sched _ | Scripted _ -> s.ready <- insert_ready t s.ready
 
 (* Pick the next thread to run according to the policy; [None] when no
    thread is runnable. *)
@@ -117,8 +126,7 @@ let next_ready s =
              so recorded traces align with script replay positions. *)
           s.ready <- [];
           Some t
-      | ready ->
-          let sorted = List.sort (fun a b -> compare a.tid b.tid) ready in
+      | sorted ->
           let ids = List.map (fun t -> t.tid) sorted in
           let chosen =
             match s.policy with
@@ -145,7 +153,7 @@ let next_ready s =
                 | Some t -> t
                 | None -> List.hd sorted)
           in
-          s.ready <- List.filter (fun t -> t.tid <> chosen.tid) ready;
+          s.ready <- List.filter (fun t -> t.tid <> chosen.tid) sorted;
           if s.record_trace then
             s.trace_rev <-
               { ready = ids; chosen = chosen.tid; yielder = s.last_yielder }
@@ -318,7 +326,7 @@ let run ?(policy = Event_driven) ?(costs = default_costs) ?(record_trace = false
                 (fun t -> if t.status = Blocked then Some t.tid else None)
                 s.threads
             in
-            s.failure <- Some (Deadlock (List.sort compare blocked))
+            s.failure <- Some (Deadlock (List.sort Int.compare blocked))
           end
       | Some t ->
           s.current <- Some t;

@@ -59,6 +59,11 @@ let parallel thunks =
 
 let yield = Sim.yield
 let pause n = Sim.tick n
+
+(* Virtual charges are indistinguishable from pauses under the cost
+   model: both advance this thread's clock and yield a scheduling
+   point, so traces are unchanged whichever the caller picks. *)
+let charge n = Sim.tick n
 let now = Sim.now
 let self_id = Sim.self
 

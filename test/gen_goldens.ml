@@ -1,0 +1,19 @@
+(* Writes the golden files for the [goldens] regression suite.
+
+     dune exec test/gen_goldens.exe -- test/goldens
+
+   Regeneration is a deliberate act: the goldens pin the simulator's
+   charge sequences (see golden_scenarios.ml), so a diff here means
+   observable behaviour changed and EXPERIMENTS.md needs revisiting. *)
+
+let () =
+  let dir = if Array.length Sys.argv > 1 then Sys.argv.(1) else "test/goldens" in
+  if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+  List.iter
+    (fun (name, gen) ->
+      let path = Filename.concat dir name in
+      let oc = open_out path in
+      output_string oc (gen ());
+      close_out oc;
+      Printf.printf "wrote %s\n%!" path)
+    Golden_scenarios.all

@@ -1,0 +1,80 @@
+(** Deterministic scenarios whose byte-level outputs are pinned as
+    golden files under [test/goldens/].
+
+    The simulator charges a virtual cost per shared access, so every
+    telemetry timestamp and every figure throughput is a pure function
+    of the seed and the charge sequence.  The hot-path optimisation
+    work (flat read-sets, hashed write-sets, descriptor reuse) is
+    required to leave those charge sequences untouched: same seed ⇒
+    byte-identical telemetry traces and identical E2–E4 figure
+    outputs.  These scenarios are the enforcement mechanism — they are
+    rendered to strings both by [gen_goldens.exe] (which writes the
+    files) and by the [goldens] test suite (which compares against the
+    committed files byte for byte).
+
+    Regenerate deliberately with
+
+      dune exec test/gen_goldens.exe -- test/goldens
+
+    and inspect the diff: any change here means observable behaviour
+    changed. *)
+
+module R = Polytm_runtime.Sim_runtime
+module Sim = Polytm_runtime.Sim
+module AM = Polytm_structs.Adapters.Make (Polytm_runtime.Sim_runtime)
+module T = Polytm_telemetry
+module F = Polytm_bench_kit.Figures
+module Report = Polytm_bench_kit.Report
+module W = Polytm_bench_kit.Workload
+
+(* A contended elastic+classic list-set workload under the seeded
+   random scheduler: commits, retries, lock-busy aborts and elastic
+   cuts all fire, and every event carries a virtual timestamp, so the
+   rendered trace pins the full charge sequence of the STM hot paths
+   (reads, validation, commit locking, write-back). *)
+let trace_json ~seed () =
+  let recorder = T.Recorder.create () in
+  let stm = AM.S.create () in
+  AM.S.set_sink stm (Some (T.Recorder.sink recorder));
+  let set = AM.List_set.create ~parse_sem:Polytm.Semantics.Elastic stm in
+  let (), _info =
+    Sim.run ~policy:(Sim.Random_sched seed) (fun () ->
+        R.parallel
+          (List.init 4 (fun t () ->
+               let rng = Polytm_util.Rng.create (seed + t) in
+               for _ = 1 to 60 do
+                 let k = Polytm_util.Rng.int rng 16 in
+                 match Polytm_util.Rng.int rng 4 with
+                 | 0 -> ignore (AM.List_set.add set k)
+                 | 1 -> ignore (AM.List_set.remove set k)
+                 | 2 -> ignore (AM.List_set.size set)
+                 | _ -> ignore (AM.List_set.contains set k)
+               done)))
+  in
+  T.Json.to_string (T.Export.events_json (T.Recorder.events recorder)) ^ "\n"
+
+(* A reduced E2–E4 sweep (Figures 5/7/9 share the run matrix): every
+   system, two thread counts, with telemetry aggregation attached.
+   The JSON document includes throughputs (virtual-time derived) and
+   the per-site abort breakdowns, so any charge drift in any system
+   shows up as a diff. *)
+let figures_json () =
+  let p =
+    {
+      F.default_params with
+      F.spec = W.spec_of_size 64;
+      duration = 20_000;
+      threads_list = [ 1; 4 ];
+    }
+  in
+  let m = F.run_all p in
+  T.Json.to_string (Report.matrix_json m) ^ "\n"
+
+(* Filename -> generator.  The [goldens] alcotest suite and
+   [gen_goldens.exe] both iterate this list. *)
+let all =
+  [
+    ("trace_seed5.json", trace_json ~seed:5);
+    ("trace_seed9.json", trace_json ~seed:9);
+    ("figures_small.json", figures_json);
+  ]

@@ -1,0 +1,56 @@
+(* Byte-identical-schedule proof: each scenario in
+   [Golden_scenarios.all] is regenerated and compared, byte for byte,
+   against the committed golden file.  The goldens were captured
+   before the hot-path optimisation pack (flat read-sets, hashed
+   write-sets, descriptor reuse), so a pass proves the optimisations
+   left every charge sequence — and hence every schedule, telemetry
+   timestamp and E2–E4 figure number — untouched.
+
+   Regenerate deliberately with
+     dune exec test/gen_goldens.exe -- test/goldens *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let check_golden name gen () =
+  let path = Filename.concat "goldens" name in
+  if not (Sys.file_exists path) then
+    Alcotest.fail
+      (Printf.sprintf
+         "missing golden %s - regenerate with: dune exec test/gen_goldens.exe"
+         path);
+  let expected = read_file path in
+  let actual = gen () in
+  if String.equal expected actual then ()
+  else begin
+    (* Pinpoint the first divergence: full traces are megabytes, a
+       character offset makes the report actionable. *)
+    let n = min (String.length expected) (String.length actual) in
+    let i = ref 0 in
+    while !i < n && expected.[!i] = actual.[!i] do
+      incr i
+    done;
+    let context s =
+      let from = max 0 (!i - 60) in
+      String.sub s from (min 120 (String.length s - from))
+    in
+    Alcotest.fail
+      (Printf.sprintf
+         "golden %s diverges at byte %d (expected %d bytes, got %d)\n\
+          expected ...%s...\n\
+          actual   ...%s..."
+         name !i
+         (String.length expected)
+         (String.length actual) (context expected) (context actual))
+  end
+
+let suite =
+  ( "goldens",
+    List.map
+      (fun (name, gen) ->
+        Alcotest.test_case name `Quick (check_golden name gen))
+      Golden_scenarios.all )

@@ -21,4 +21,6 @@ let () =
       Test_expressiveness.suite;
       Test_failure_injection.suite;
       Test_irrevocable.suite;
+      Test_flat_structs.suite;
+      Test_goldens.suite;
     ]
