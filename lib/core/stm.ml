@@ -406,15 +406,13 @@ module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) : Stm_intf.S = struct
      lock acquisition. *)
   let rentry_valid tx (v : Obj.t tvar) rversion =
     let e = Flat_table.find tx.writes v.id in
-    let locked_by_us =
-      e >= 0
-      &&
-      match Flat_table.value_at tx.writes e with
-      | WEntry w -> w.locked_version >= 0
+    let locked_version =
+      if e >= 0 then
+        match Flat_table.value_at tx.writes e with
+        | WEntry w -> w.locked_version
+      else -1
     in
-    if locked_by_us then
-      match Flat_table.value_at tx.writes e with
-      | WEntry w -> w.locked_version = rversion
+    if locked_version >= 0 then locked_version = rversion
     else
       match R.get v.lock with
       | Unlocked ver -> ver = rversion
@@ -665,7 +663,12 @@ module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) : Stm_intf.S = struct
     check_live tx;
     (* Savepoint: copies of the read set and window, the write-set
        length plus every buffered value (the branch may overwrite
-       entries that predate it), and the hook-vector lengths. *)
+       entries that predate it), and the hook-vector lengths.
+       Deliberately NOT saved: [tx.rv] / [tx.snapshot_ub].  A timestamp
+       extension or elastic cut performed by the failed branch survives
+       into [g] — matching the historical cons-list implementation, and
+       conservative: an advanced timestamp can only cause extra aborts
+       or extensions, never an inconsistent read. *)
     let s_r_vars = Vec.to_array tx.r_vars in
     let s_r_vers = Vec.to_array tx.r_vers in
     let s_w_vars = Array.copy tx.w_vars in
@@ -910,10 +913,26 @@ module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) : Stm_intf.S = struct
         send tx s (T.Begin { sem = Semantics.to_string tx.sem; attempt })
 
   (* Lifecycle hooks, after the attempt's extent: compensations
-     (newest first) when aborted, then finalisers (newest first). *)
+     (newest first) when aborted, then finalisers (newest first).
+     The hook vectors are pooled per thread, and a hook may itself run
+     a transaction on this STM — [fresh_tx]/[arm_tx] would then reuse
+     and clear the very vectors being iterated.  Snapshot both and
+     clear them before invoking anything, so every hook registered by
+     this attempt runs exactly once. *)
   let run_hooks tx ~aborted =
-    if aborted then Vec.iter_rev (fun f -> f ()) tx.undo;
-    Vec.iter_rev (fun f -> f ()) tx.cleanup
+    if not (Vec.is_empty tx.undo && Vec.is_empty tx.cleanup) then begin
+      let undo = Vec.to_array tx.undo in
+      let fins = Vec.to_array tx.cleanup in
+      Vec.clear tx.undo;
+      Vec.clear tx.cleanup;
+      if aborted then
+        for i = Array.length undo - 1 downto 0 do
+          undo.(i) ()
+        done;
+      for i = Array.length fins - 1 downto 0 do
+        fins.(i) ()
+      done
+    end
 
   let atomically ?(sem = Semantics.Classic) ?(irrevocable = false)
       ?(label = "") stm f =

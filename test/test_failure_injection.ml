@@ -213,6 +213,51 @@ let test_injected_raises_on_list_operations () =
       (List.init 10 Fun.id)
   done
 
+(* Regression: hook vectors are pooled per thread and reused by any
+   transaction a hook itself starts.  Every hook registered by the
+   finished attempt must still run exactly once, in order, even when
+   an earlier hook runs a transaction on the same STM (which re-arms
+   the pooled vectors and registers hooks of its own). *)
+let test_hook_running_transaction_keeps_remaining_hooks () =
+  let stm = S.create () in
+  let v = S.tvar stm 0 in
+  let trace = ref [] in
+  let log tag () = trace := tag :: !trace in
+  let log_and_tx tag () =
+    trace := tag :: !trace;
+    S.atomically stm (fun tx ->
+        S.on_cleanup tx (log (tag ^ "-inner"));
+        S.write tx v (S.read tx v + 1))
+  in
+  (* Commit path: a finaliser that runs a transaction must not wipe
+     the finalisers registered before it. *)
+  S.atomically stm (fun tx ->
+      S.on_cleanup tx (log "fin-1");
+      S.on_cleanup tx (log_and_tx "fin-2");
+      S.on_cleanup tx (log "fin-3");
+      ignore (S.read tx v));
+  Alcotest.(check (list string))
+    "all finalisers run newest-first, nested tx hooks interleaved"
+    [ "fin-3"; "fin-2"; "fin-2-inner"; "fin-1" ]
+    (List.rev !trace);
+  (* Abort path: a compensation that runs a transaction must not wipe
+     the remaining compensations or the finalisers. *)
+  trace := [];
+  (try
+     S.atomically stm (fun tx ->
+         S.on_cleanup tx (log "cleanup-1");
+         S.on_abort tx (log "undo-1");
+         S.on_abort tx (log_and_tx "undo-2");
+         S.on_abort tx (log "undo-3");
+         raise Injected)
+   with Injected -> ());
+  Alcotest.(check (list string))
+    "all compensations and finalisers survive a hook transaction"
+    [ "undo-3"; "undo-2"; "undo-2-inner"; "undo-1"; "cleanup-1" ]
+    (List.rev !trace);
+  Alcotest.(check int) "hook transactions committed" 2
+    (S.atomically stm (fun tx -> S.read tx v))
+
 let suite =
   ( "failure-injection",
     [
@@ -226,6 +271,8 @@ let suite =
         test_raise_after_boosted_ops_compensates;
       Alcotest.test_case "hook ordering on injected raise" `Quick
         test_hook_ordering_on_injected_raise;
+      Alcotest.test_case "hook running a transaction keeps remaining hooks"
+        `Quick test_hook_running_transaction_keeps_remaining_hooks;
       Alcotest.test_case "usable after exhaustion" `Quick
         test_stm_usable_after_exhaustion;
       Alcotest.test_case "list ops aborted midway" `Quick
