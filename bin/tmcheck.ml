@@ -10,7 +10,10 @@
      tmcheck record               run a random STM workload and verify
                                   its recorded history against opacity
      tmcheck stats                run a seeded workload with telemetry
-                                  and print the per-site abort table *)
+                                  and print the per-site abort table
+     tmcheck liveness             hammer a hot workload under the adaptive
+                                  contention manager and verify the
+                                  livelock-freedom guarantee *)
 
 open Cmdliner
 module Hist = Polytm_history.History
@@ -341,7 +344,7 @@ let stats_cmd =
 module Conf = Polytm_bench_kit.Conformance
 
 let conformance_cmd =
-  let run runtime seed iters impls threads ops expect_fail =
+  let run runtime seed iters impls threads ops cm expect_fail =
     let impls = match impls with [] -> Conf.default_impls | l -> l in
     (match List.filter (fun i -> not (List.mem i Conf.all_impls)) impls with
     | [] -> ()
@@ -357,8 +360,9 @@ let conformance_cmd =
         (fun name ->
           let outcome =
             match runtime with
-            | `Sim -> Conf.run_sim ~threads ~ops ~name ~seed ~iters ()
-            | `Domains -> Conf.run_domains ~threads ~ops ~name ~seed ~iters ()
+            | `Sim -> Conf.run_sim ~threads ~ops ?cm ~name ~seed ~iters ()
+            | `Domains ->
+                Conf.run_domains ~threads ~ops ?cm ~name ~seed ~iters ()
           in
           (name, outcome))
         impls
@@ -427,6 +431,34 @@ let conformance_cmd =
       value & opt int 10
       & info [ "ops" ] ~docv:"N" ~doc:"Operations per worker per round.")
   in
+  let cm_t =
+    let parse = function
+      | "default" -> Ok None
+      | "suicide" -> Ok (Some Polytm.Contention.Suicide)
+      | "greedy" -> Ok (Some Polytm.Contention.Greedy)
+      | "adaptive" -> Ok (Some Polytm.Contention.default_adaptive)
+      | s ->
+          Error
+            (`Msg
+               (Printf.sprintf
+                  "unknown contention manager %S \
+                   (default|suicide|greedy|adaptive)"
+                  s))
+    in
+    let print ppf = function
+      | None -> Format.pp_print_string ppf "default"
+      | Some cm -> Format.pp_print_string ppf (Polytm.Contention.to_string cm)
+    in
+    Arg.(
+      value
+      & opt (conv (parse, print)) None
+      & info [ "cm" ] ~docv:"CM"
+          ~doc:
+            "Contention manager for the STM-backed implementations: \
+             $(b,default), $(b,suicide), $(b,greedy) (kill-based) or \
+             $(b,adaptive) (escalates to the serial fallback under \
+             pressure).  Linearizability must hold under all of them.")
+  in
   let expect_fail_t =
     Arg.(
       value & flag
@@ -445,7 +477,97 @@ let conformance_cmd =
           reproduce by seed.")
     Term.(
       const run $ runtime_t $ seed_t $ iters_t $ impl_t $ threads_t $ ops_t
-      $ expect_fail_t)
+      $ cm_t $ expect_fail_t)
+
+(* ---- liveness smoke ------------------------------------------------------ *)
+
+let liveness_cmd =
+  let run seed threads ops accounts =
+    let module S = AM.S in
+    let stm = S.create ~cm:Polytm.Contention.default_adaptive () in
+    let accs = Array.init accounts (fun _ -> S.tvar stm 100) in
+    let exhausted = Polytm_runtime.Sim_runtime.counter () in
+    let (), _ =
+      Sim.run ~policy:(Sim.Random_sched seed) (fun () ->
+          R.parallel
+            (List.init threads (fun t () ->
+                 let rng = Polytm_util.Rng.create ((seed * 131) + t + 1) in
+                 for _ = 1 to ops do
+                   try
+                     if Polytm_util.Rng.int rng 100 < 90 then
+                       (* Update: move one unit between two hot
+                          accounts — every pair of transfers
+                          conflicts on this tiny account array. *)
+                       let src = Polytm_util.Rng.int rng accounts in
+                       let dst = Polytm_util.Rng.int rng accounts in
+                       S.atomically stm (fun tx ->
+                           S.write tx accs.(src) (S.read tx accs.(src) - 1);
+                           S.write tx accs.(dst) (S.read tx accs.(dst) + 1))
+                     else
+                       ignore
+                         (S.atomically stm (fun tx ->
+                              Array.fold_left
+                                (fun acc v -> acc + S.read tx v)
+                                0 accs))
+                   with S.Too_many_attempts _ ->
+                     Polytm_runtime.Sim_runtime.add_counter exhausted 1
+                 done)))
+    in
+    let st = S.stats stm in
+    let total =
+      Sim.run (fun () ->
+          S.atomically stm (fun tx ->
+              Array.fold_left (fun acc v -> acc + S.read tx v) 0 accs))
+      |> fst
+    in
+    let locked =
+      Array.exists (fun v -> fst (Sim.run (fun () -> S.tvar_locked v))) accs
+    in
+    let escapes = Polytm_runtime.Sim_runtime.read_counter exhausted in
+    Format.printf
+      "threads=%d ops/thread=%d accounts=%d seed=%d@.starts=%d commits=%d \
+       aborts=%d killed=%d@.serial_commits=%d budget_exhaustions=%d \
+       exhaustion_escapes=%d@.total=%d (expected %d) locks_free=%b@."
+      threads ops accounts seed st.S.starts st.S.commits st.S.aborts
+      st.S.killed st.S.serial_commits st.S.budget_exhaustions escapes total
+      (100 * accounts) (not locked);
+    let fail fmt = Format.kasprintf (fun m -> Format.printf "FAIL: %s@." m;
+                                      exit 1) fmt in
+    if escapes > 0 then
+      fail "%d Too_many_attempts escaped under the default adaptive config"
+        escapes;
+    if total <> 100 * accounts then
+      fail "money not conserved: %d <> %d" total (100 * accounts);
+    if locked then fail "a lock word is still held after quiescence";
+    if st.S.serial_commits = 0 then
+      fail "the serial fallback never triggered: the workload is not hot \
+            enough to smoke-test liveness";
+    Format.printf "PASS: livelock-free under adaptive contention management@."
+  in
+  let seed_t = Arg.(value & opt int 23 & info [ "seed" ] ~docv:"SEED") in
+  let threads_t =
+    Arg.(value & opt int 64
+         & info [ "threads" ] ~docv:"T" ~doc:"Virtual threads.")
+  in
+  let ops_t =
+    Arg.(value & opt int 20
+         & info [ "ops" ] ~docv:"N" ~doc:"Transactions per virtual thread.")
+  in
+  let accounts_t =
+    Arg.(value & opt int 8
+         & info [ "accounts" ] ~docv:"K"
+             ~doc:"Hot accounts shared by every transfer.")
+  in
+  Cmd.v
+    (Cmd.info "liveness"
+       ~doc:
+         "Hammer a tiny account array with 90%-update transfers from 64 \
+          virtual threads under the adaptive contention manager and verify \
+          the liveness guarantee: no transaction exhausts its attempts \
+          ($(b,Too_many_attempts) never escapes), money is conserved, every \
+          lock word ends unlocked, and the serial fallback actually fired \
+          ($(b,serial_commits) > 0).  Deterministic per seed.")
+    Term.(const run $ seed_t $ threads_t $ ops_t $ accounts_t)
 
 (* ---- conflict-graph visualisation --------------------------------------- *)
 
@@ -511,5 +633,6 @@ let () =
             record_cmd;
             stats_cmd;
             conformance_cmd;
+            liveness_cmd;
             dot_cmd;
           ]))

@@ -1,7 +1,8 @@
 (** Ablation studies for the design choices DESIGN.md calls out:
 
     - contention-management policy (Section 2.2's “dedicated service”):
-      same classic workload under Suicide / Backoff / Polite / Greedy;
+      same classic workload under Suicide / Backoff / Polite / Greedy /
+      Adaptive (the escalating policy behind the liveness guarantee);
     - elastic window size: E-STM uses a bounded window (default 2);
       larger windows validate more and cut less;
     - timestamp extension: the TinySTM refinement our classic system
@@ -46,10 +47,12 @@ let run_stm_config ~label ~spec ~threads ~duration ~seed ~profile ?cm
     row_detail =
       Printf.sprintf
         "lock_busy=%d read_invalid=%d window_broken=%d snap_old=%d cuts=%d \
-         extensions=%d fast_commits=%d ro_commits=%d failed_ops=%d"
+         extensions=%d fast_commits=%d ro_commits=%d serial=%d exhaust=%d \
+         failed_ops=%d"
         st.AM.S.lock_busy st.AM.S.read_invalid st.AM.S.window_broken
         st.AM.S.snapshot_too_old st.AM.S.cuts st.AM.S.extensions
-        st.AM.S.fast_commits st.AM.S.ro_commits r.Harness.failed;
+        st.AM.S.fast_commits st.AM.S.ro_commits st.AM.S.serial_commits
+        st.AM.S.budget_exhaustions r.Harness.failed;
   }
 
 (* High-contention setting: a small hot list exposes the policies. *)
@@ -62,6 +65,10 @@ let contention_managers ?(threads = 32) ?(duration = 150_000) ?(seed = 11) () =
       ("backoff", Polytm.Contention.Backoff { base = 4; cap = 1024 });
       ("polite", Polytm.Contention.Polite { spins = 16 });
       ("greedy", Polytm.Contention.Greedy);
+      (* Backoff -> Greedy -> serialize escalation driven by the
+         streaming abort-rate signal; the serial=… column shows how
+         often it gave up on optimism entirely. *)
+      ("adaptive", Polytm.Contention.default_adaptive);
     ]
   in
   {

@@ -85,14 +85,20 @@ module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) = struct
     | Stack_impl of
         Ad.stack * (unit -> (Lin.stack_op, Lin.stack_res) Lin.event list)
 
-  let build name =
+  (* [cm] parameterizes the STM-backed structures' contention manager:
+     the liveness stress rounds re-run the same workloads under
+     [Contention.default_adaptive] (kills, escalations, serial
+     fallbacks) and must still produce linearizable histories.
+     Baseline structures have no contention manager and ignore it. *)
+  let build ?cm name =
     let set ?(atomic_size = true) s = Set_impl (s, atomic_size) in
+    let stm () = AM.S.create ?cm () in
     match name with
-    | "stm-list" -> set (AM.stm_list ~profile:Ad.mixed_profile (AM.S.create ()))
-    | "stm-hash" -> set (AM.stm_hash ~profile:Ad.mixed_profile (AM.S.create ()))
+    | "stm-list" -> set (AM.stm_list ~profile:Ad.mixed_profile (stm ()))
+    | "stm-hash" -> set (AM.stm_hash ~profile:Ad.mixed_profile (stm ()))
     | "stm-skiplist" ->
-        set (AM.stm_skiplist ~profile:Ad.mixed_profile (AM.S.create ()))
-    | "boosted-set" -> set (AM.boosted (AM.S.create ()))
+        set (AM.stm_skiplist ~profile:Ad.mixed_profile (stm ()))
+    | "boosted-set" -> set (AM.boosted (stm ()))
     | "coarse-lock-list" -> set (AM.coarse ())
     | "cow-array-set" -> set (AM.cow ())
     | "hand-over-hand-list" ->
@@ -111,10 +117,10 @@ module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) = struct
            its old and its new position. *)
         set ~atomic_size:true (AM.lazy_list ())
     | "stm-queue" ->
-        let q, events = AM.record_queue (AM.stm_queue (AM.S.create ())) in
+        let q, events = AM.record_queue (AM.stm_queue (stm ())) in
         Queue_impl (q, events)
     | "stm-stack" ->
-        let s, events = AM.record_stack (AM.stm_stack (AM.S.create ())) in
+        let s, events = AM.record_stack (AM.stm_stack (stm ())) in
         Stack_impl (s, events)
     | "treiber-stack" ->
         let s, events = AM.record_stack (AM.treiber ()) in
@@ -218,8 +224,8 @@ module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) = struct
      recording adapter, run the workers (under [wrap], which the
      simulator driver uses to pin the scheduling seed), and check the
      recorded history. *)
-  let run_round ~wrap ~name ~threads ~ops ~seed ~round =
-    match build name with
+  let run_round ?cm ~wrap ~name ~threads ~ops ~seed ~round () =
+    match build ?cm name with
     | Set_impl (raw, atomic_size) ->
         let churn = atomic_size && round mod 2 = 1 in
         let prefill =
@@ -254,15 +260,15 @@ module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) = struct
         wrap (fun () -> R.parallel (stack_workers ~threads ~ops ~seed s));
         check_generic Lin.stack_spec Lin.pp_stack_event (events ())
 
-  let run_impl ?(threads = 3) ?(ops = 10) ?(wrap = fun _seed f -> f ()) ~name
-      ~seed ~iters () =
+  let run_impl ?(threads = 3) ?(ops = 10) ?(wrap = fun _seed f -> f ()) ?cm
+      ~name ~seed ~iters () =
     let rec loop i =
       if i >= iters then Pass i
       else begin
         let round_seed = seed + (997 * i) in
         match
-          run_round ~wrap:(wrap round_seed) ~name ~threads ~ops
-            ~seed:round_seed ~round:i
+          run_round ?cm ~wrap:(wrap round_seed) ~name ~threads ~ops
+            ~seed:round_seed ~round:i ()
         with
         | Ok () -> loop (i + 1)
         | Error msg ->
@@ -286,8 +292,8 @@ let sim_wrap seed f =
   ignore
     (Polytm_runtime.Sim.run ~policy:(Polytm_runtime.Sim.Random_sched seed) f)
 
-let run_sim ?threads ?ops ~name ~seed ~iters () =
-  Sim_conf.run_impl ?threads ?ops ~wrap:sim_wrap ~name ~seed ~iters ()
+let run_sim ?threads ?ops ?cm ~name ~seed ~iters () =
+  Sim_conf.run_impl ?threads ?ops ~wrap:sim_wrap ?cm ~name ~seed ~iters ()
 
-let run_domains ?threads ?ops ~name ~seed ~iters () =
-  Domain_conf.run_impl ?threads ?ops ~name ~seed ~iters ()
+let run_domains ?threads ?ops ?cm ~name ~seed ~iters () =
+  Domain_conf.run_impl ?threads ?ops ?cm ~name ~seed ~iters ()

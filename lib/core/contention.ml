@@ -6,7 +6,20 @@
     lock before giving up, and how long to back off before re-running
     an aborted transaction.  [Greedy] additionally arbitrates by age:
     the older transaction may kill the younger lock holder instead of
-    aborting itself. *)
+    aborting itself.
+
+    [Adaptive] composes the static policies into an escalation ladder
+    (DESIGN.md, S15).  A transaction starts cautious (exponential
+    backoff, no kills); past [greedy_after] consecutive aborts of one
+    [atomically] call it turns aggressive (Greedy-style kills, no
+    backoff); past [serialize_after] aborts it asks the STM to stop
+    being optimistic altogether and re-run it under the global
+    serialization token, which guarantees the commit.  The instance's
+    streaming abort-rate signal — the same per-event feed the
+    telemetry aggregator consumes — modulates the ladder: when at
+    least [hot_abort_pct] percent of started attempts abort, both
+    thresholds halve, so a thrashing system degrades to the guaranteed
+    mode sooner. *)
 
 type t =
   | Suicide  (** abort self immediately on conflict, retry at once *)
@@ -21,16 +34,59 @@ type t =
       (** timestamp priority: on a busy lock, the older transaction
           requests the younger owner's death and waits; the younger
           aborts itself.  Livelock-free by age monotonicity. *)
+  | Adaptive of {
+      base : int;  (** backoff base while cautious *)
+      cap : int;  (** backoff cap while cautious *)
+      greedy_after : int;  (** attempt count that turns on Greedy kills *)
+      serialize_after : int;  (** attempt count that requests the token *)
+      hot_abort_pct : int;
+          (** instance abort rate (percent of starts) at which both
+              thresholds halve; [> 100] disables the modulation *)
+    }  (** escalate Backoff → Greedy → serialize (see module doc) *)
 
 let default = Backoff { base = 4; cap = 1024 }
+
+(* Escalate quickly enough that a bounded starvation scenario resolves
+   within tens of retries, but leave the cautious phase long enough
+   that ordinary conflict bursts never pay for the token. *)
+let default_adaptive =
+  Adaptive
+    { base = 4; cap = 1024; greedy_after = 8; serialize_after = 24;
+      hot_abort_pct = 50 }
 
 let to_string = function
   | Suicide -> "suicide"
   | Backoff { base; cap } -> Printf.sprintf "backoff(%d,%d)" base cap
   | Polite { spins } -> Printf.sprintf "polite(%d)" spins
   | Greedy -> "greedy"
+  | Adaptive { base; cap; greedy_after; serialize_after; hot_abort_pct } ->
+      Printf.sprintf "adaptive(%d,%d,g%d,s%d,h%d%%)" base cap greedy_after
+        serialize_after hot_abort_pct
 
 let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+(* Parameter validation, called by [Stm.create] so misconfigured
+   policies fail at construction instead of degenerating silently
+   ([Backoff { base = 0 }] used to mean "never back off at all"). *)
+let validate t =
+  let backoff_ok ~what ~base ~cap =
+    if base < 1 then
+      invalid_arg (Printf.sprintf "Contention.%s: base must be >= 1" what);
+    if cap < base then
+      invalid_arg (Printf.sprintf "Contention.%s: cap must be >= base" what)
+  in
+  match t with
+  | Suicide | Greedy -> ()
+  | Polite { spins } ->
+      if spins < 0 then invalid_arg "Contention.Polite: spins must be >= 0"
+  | Backoff { base; cap } -> backoff_ok ~what:"Backoff" ~base ~cap
+  | Adaptive { base; cap; greedy_after; serialize_after; _ } ->
+      backoff_ok ~what:"Adaptive" ~base ~cap;
+      if greedy_after < 1 then
+        invalid_arg "Contention.Adaptive: greedy_after must be >= 1";
+      if serialize_after < greedy_after then
+        invalid_arg
+          "Contention.Adaptive: serialize_after must be >= greedy_after"
 
 (* How many pauses to spend spinning on a busy lock before the abort
    decision. *)
@@ -39,11 +95,62 @@ let lock_spins = function
   | Backoff _ -> 1
   | Polite { spins } -> spins
   | Greedy -> 1
+  | Adaptive _ -> 1
 
-(* Backoff duration before re-running attempt [attempt] (1-based). *)
+(* Can this policy ever set another transaction's killed flag?  The
+   victim-side flag check in the STM's spin loops is gated on this, so
+   non-killing configurations keep a byte-identical charge sequence. *)
+let may_kill = function
+  | Greedy | Adaptive _ -> true
+  | Suicide | Backoff _ | Polite _ -> false
+
+(* Effective escalation threshold: the hot-instance signal halves it
+   (never below 1). *)
+let effective ~threshold ~hot_abort_pct ~abort_rate_pct =
+  if abort_rate_pct >= hot_abort_pct then max 1 (threshold / 2) else threshold
+
+(* May an older transaction on its [attempt]-th try kill a younger
+   lock holder right now?  [Greedy] always does; [Adaptive] only once
+   escalated past its (rate-modulated) greedy threshold. *)
+let kills_at policy ~attempt ~abort_rate_pct =
+  match policy with
+  | Greedy -> true
+  | Adaptive { greedy_after; hot_abort_pct; _ } ->
+      attempt >= effective ~threshold:greedy_after ~hot_abort_pct ~abort_rate_pct
+  | Suicide | Backoff _ | Polite _ -> false
+
+(* Should the [attempt]-th consecutive abort of one [atomically] call
+   escalate to the serial-irrevocable fallback?  Only [Adaptive]
+   requests it; every policy still falls back when the retry budget is
+   exhausted (the instance-level exhaustion policy). *)
+let serializes_at policy ~attempt ~abort_rate_pct =
+  match policy with
+  | Adaptive { serialize_after; hot_abort_pct; _ } ->
+      attempt
+      >= effective ~threshold:serialize_after ~hot_abort_pct ~abort_rate_pct
+  | Suicide | Backoff _ | Polite _ | Greedy -> false
+
+(* Exponential backoff before re-running attempt [attempt] (1-based),
+   shared by [Backoff] and [Adaptive]'s cautious phase.  The doubling
+   saturates at [cap] *before* it can overflow: once [acc] passes
+   [cap / 2] the next doubling would reach or exceed [cap] anyway (for
+   any validated [base >= 1]), so we clamp instead of multiplying —
+   [acc * 2] on a large un-validated [base] used to wrap negative and
+   slip past the [>= cap] test. *)
+let backoff_pause ~base ~cap ~attempt =
+  let rec shifted acc n =
+    if n <= 0 || acc >= cap then acc
+    else if acc > cap asr 1 then cap
+    else shifted (acc * 2) (n - 1)
+  in
+  min cap (shifted base (attempt - 1))
+
 let retry_pause policy ~attempt =
   match policy with
   | Suicide | Polite _ | Greedy -> 0
-  | Backoff { base; cap } ->
-      let rec shifted acc n = if n <= 0 || acc >= cap then acc else shifted (acc * 2) (n - 1) in
-      min cap (shifted base (attempt - 1))
+  | Backoff { base; cap } -> backoff_pause ~base ~cap ~attempt
+  | Adaptive { base; cap; greedy_after; _ } ->
+      (* Aggressive phase: retry immediately, like [Greedy] — the kill
+         already cleared the way.  (Unmodulated by the abort rate so
+         the pause sequence of one call stays monotone in [attempt].) *)
+      if attempt >= greedy_after then 0 else backoff_pause ~base ~cap ~attempt

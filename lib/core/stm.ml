@@ -178,6 +178,12 @@ module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) : Stm_intf.S = struct
     undo : (unit -> unit) Vec.t;  (** compensations, oldest first *)
     cleanup : (unit -> unit) Vec.t;  (** finalisers, oldest first *)
     mutable live : bool;
+    mutable attempt : int;  (** 1-based attempt number of this arming *)
+    mutable holds_token : bool;
+        (** running under the serialization token (irrevocable or the
+            serial fallback): commits skip the token stall, and the
+            contention manager may neither kill this transaction nor
+            abort it on its behalf *)
   }
 
   and t = {
@@ -185,11 +191,15 @@ module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) : Stm_intf.S = struct
     gv : [ `Gv1 | `Gv4 ];  (** write-version scheme, see [draw_wv] *)
     serials : int R.atomic;
     tvar_ids : int R.atomic;
-    serial_token : bool R.atomic;  (** an irrevocable transaction runs *)
+    serial_token : R.token;  (** a serial-irrevocable transaction runs *)
     active_commits : int R.atomic;  (** write commits currently in flight *)
     cm : Contention.t;
     elastic_window : int;
     max_attempts : int;
+    on_exhaustion : [ `Serialize | `Raise ];
+        (** what a conflict-aborted transaction does once its retry
+            budget is spent: fall back to the guaranteed serial mode
+            (default) or raise [Too_many_attempts] *)
     extend_on_stale : bool;
     versions : int;  (** values retained per location, including current *)
     current : thread_ctx R.tls;  (** per-thread state, one TLS lookup *)
@@ -208,6 +218,8 @@ module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) : Stm_intf.S = struct
     c_stale_reads : R.counter;
     c_fast_commits : R.counter;
     c_ro_commits : R.counter;
+    c_serial_commits : R.counter;
+    c_budget_exhaustions : R.counter;
     (* history recording: single-scheduler runs only *)
     mutable recording : bool;
     mutable log_rev : recorded list;
@@ -223,8 +235,9 @@ module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) : Stm_intf.S = struct
   and thread_ctx = { mutable cur_tx : tx option; stores : stores }
 
   let create ?(cm = Contention.default) ?(elastic_window = 2)
-      ?(max_attempts = 10_000) ?(extend_on_stale = true) ?(versions = 2)
-      ?(gv = `Gv1) () =
+      ?(max_attempts = 10_000) ?(on_exhaustion = `Serialize)
+      ?(extend_on_stale = true) ?(versions = 2) ?(gv = `Gv1) () =
+    Contention.validate cm;
     if elastic_window < 1 then
       raise (Invalid_operation "elastic_window must be at least 1");
     if versions < 1 then
@@ -234,11 +247,12 @@ module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) : Stm_intf.S = struct
       gv;
       serials = R.atomic 0;
       tvar_ids = R.atomic 0;
-      serial_token = R.atomic false;
+      serial_token = R.token ();
       active_commits = R.atomic 0;
       cm;
       elastic_window;
       max_attempts;
+      on_exhaustion;
       extend_on_stale;
       versions;
       current =
@@ -270,6 +284,8 @@ module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) : Stm_intf.S = struct
       c_stale_reads = R.counter ();
       c_fast_commits = R.counter ();
       c_ro_commits = R.counter ();
+      c_serial_commits = R.counter ();
+      c_budget_exhaustions = R.counter ();
       recording = false;
       log_rev = [];
       aborted_rev = [];
@@ -284,6 +300,13 @@ module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) : Stm_intf.S = struct
     }
 
   let tvar_id v = v.id
+
+  (* Quiescence probe for the stress harnesses: with no transaction in
+     flight, every lock word must read [Unlocked].  Uses the charged
+     [R.get] — call it outside measured regions. *)
+  let tvar_locked v =
+    match R.get v.lock with Locked _ -> true | Unlocked _ -> false
+
   let elastic_window_size stm = stm.elastic_window
   let gv_scheme stm = stm.gv
 
@@ -366,20 +389,49 @@ module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) : Stm_intf.S = struct
   (* ------------------------------------------------------------------ *)
   (* Consistent reads                                                    *)
 
-  (* Spin briefly on a busy lock; under [Greedy] an older transaction
+  (* Instance-wide streaming abort-rate signal feeding the adaptive
+     contention manager: aborts per hundred starts since the last
+     counter reset.  Plain counter reads — uncharged, so consulting it
+     never perturbs a schedule. *)
+  let abort_rate_pct stm =
+    let starts = R.read_counter stm.c_starts in
+    if starts = 0 then 0 else 100 * R.read_counter stm.c_aborts / starts
+
+  (* Spin briefly on a busy lock; under a killing policy ([Greedy], or
+     [Adaptive] past its escalation threshold) an older transaction
      kills the younger owner and keeps waiting (the victim aborts at
-     its next conflict check, or finishes write-back and releases). *)
+     its next conflict check, or finishes write-back and releases).
+
+     Under those same policies the spinner also watches its own flag:
+     a victim killed while waiting on a busy lock would otherwise burn
+     its whole spin budget before noticing — and when the killer is
+     the very transaction whose lock it is spinning on, each side is
+     waiting for the other until the budget runs out, with the abort
+     then mis-attributed to [Lock_busy] instead of [Killed].  Token
+     holders are exempt: the serial fallback guarantees its attempt
+     commits, so nothing may abort it. *)
   let wait_or_die tx (o : owner) budget =
     if o.serial = tx.serial then
       raise (Invalid_operation "location accessed during its own commit");
+    if
+      Contention.may_kill tx.stm.cm
+      && (not tx.holds_token)
+      && R.get tx.owner.killed
+    then abort_with Killed;
     if budget > 0 then R.pause 1
     else
       match tx.stm.cm with
       | Contention.Greedy when tx.serial < o.serial ->
           R.set o.killed true;
           R.pause 1
-      | Contention.Greedy | Contention.Suicide | Contention.Backoff _
-      | Contention.Polite _ ->
+      | Contention.Adaptive _
+        when tx.serial < o.serial
+             && Contention.kills_at tx.stm.cm ~attempt:tx.attempt
+                  ~abort_rate_pct:(abort_rate_pct tx.stm) ->
+          R.set o.killed true;
+          R.pause 1
+      | Contention.Greedy | Contention.Adaptive _ | Contention.Suicide
+      | Contention.Backoff _ | Contention.Polite _ ->
           abort_with Lock_busy
 
   (* Read a (value, version) pair that was current at its version:
@@ -789,7 +841,7 @@ module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) : Stm_intf.S = struct
         else validate tx;
         write_back tx wv
 
-  let commit ?(holds_token = false) tx =
+  let commit tx =
     if Flat_table.is_empty tx.writes then begin
       (* Read-only transactions of every semantics commit for free —
          no clock fetch-and-add, no locks: every read was validated
@@ -802,11 +854,11 @@ module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) : Stm_intf.S = struct
           send tx s (T.Commit { reads; writes = 0; lock_hold = 0 })
     end
     else begin
-      (* Serial-irrevocable mode: while some irrevocable transaction
-         holds the token, ordinary write commits stall here — before
-         taking any lock, so there is no hold-and-wait. *)
-      if not holds_token then
-        while R.get tx.stm.serial_token do
+      (* Serial mode: while some serialized transaction (irrevocable
+         or fallback) holds the token, ordinary write commits stall
+         here — before taking any lock, so there is no hold-and-wait. *)
+      if not tx.holds_token then
+        while R.token_held tx.stm.serial_token do
           R.pause 4
         done;
       ignore (R.fetch_and_add tx.stm.active_commits 1);
@@ -814,9 +866,12 @@ module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) : Stm_intf.S = struct
         match tx.stm.telemetry with None -> 0 | Some _ -> R.now ()
       in
       match
-        (* Ascending id order keeps locking deadlock-free. *)
+        (* Ascending id order keeps locking deadlock-free.  A token
+           holder skips the kill check: a straggling [Greedy] killer
+           must not be able to abort the guaranteed serial attempt. *)
         Flat_table.iter_ascending (fun _ e -> acquire tx e) tx.writes;
-        if R.get tx.owner.killed then abort_with Killed;
+        if (not tx.holds_token) && R.get tx.owner.killed then
+          abort_with Killed;
         version_and_write_back tx
       with
       | () -> (
@@ -856,6 +911,8 @@ module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) : Stm_intf.S = struct
       undo = s.s_undo;
       cleanup = s.s_cleanup;
       live = false;
+      attempt = 0;
+      holds_token = false;
     }
 
   (* Arm the descriptor for one attempt: a fresh serial and timestamp
@@ -888,13 +945,17 @@ module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) : Stm_intf.S = struct
     | Killed -> stm.c_killed
     | Explicit -> stm.c_explicit
 
-  (* Acquire the global serial token and wait for in-flight write
-     commits to drain: afterwards no transaction can commit until the
-     token is released, so the holder's reads can never be invalidated
-     and it is guaranteed to run exactly once. *)
+  (* Acquire the global serialization token and wait for in-flight
+     write commits to drain: afterwards no transaction can commit
+     until the token is released, so the holder's reads can (almost)
+     never be invalidated.  "Almost": a committer that passed the
+     token stall before we took the token may still be drained here
+     while holding locks, so one serial-fallback attempt can lose a
+     race and retry — see [serial_fallback], which keeps the token
+     across that retry so the second attempt truly runs alone. *)
   let enter_serial_mode stm =
     let rec take () =
-      if not (R.cas stm.serial_token false true) then begin
+      if not (R.token_try_acquire stm.serial_token) then begin
         R.pause 8;
         take ()
       end
@@ -904,13 +965,25 @@ module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) : Stm_intf.S = struct
       R.pause 2
     done
 
-  let exit_serial_mode stm = R.set stm.serial_token false
+  let exit_serial_mode stm = R.token_release stm.serial_token
 
   let emit_begin tx attempt =
     match tx.stm.telemetry with
     | None -> ()
     | Some s ->
         send tx s (T.Begin { sem = Semantics.to_string tx.sem; attempt })
+
+  let emit_serialize tx attempt =
+    match tx.stm.telemetry with
+    | None -> ()
+    | Some s -> send tx s (T.Serialize { attempt })
+
+  let emit_budget_exhausted tx ~attempts reason =
+    match tx.stm.telemetry with
+    | None -> ()
+    | Some s ->
+        send tx s
+          (T.Budget_exhausted { attempts; cause = cause_of_reason reason })
 
   (* Lifecycle hooks, after the attempt's extent: compensations
      (newest first) when aborted, then finalisers (newest first).
@@ -934,8 +1007,178 @@ module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) : Stm_intf.S = struct
       done
     end
 
+  type 'a outcome =
+    | Committed of 'a
+    | Exhausted of { reason : abort_reason; attempts : int }
+    | Deadline_exceeded of { reason : abort_reason; attempts : int }
+
+  (* Abort accounting — history record, counters, telemetry — always
+     runs before the lifecycle hooks, on every exit path: a hook may
+     itself raise (or run a transaction that inspects the stats), and
+     an attempt must never vanish from the books because its hook
+     blew up.  The abort-event set sizes are still captured first,
+     before anything can reuse the pooled stores. *)
+
+  (* One guaranteed attempt under the serialization token, entered when
+     a transaction's optimistic retry budget is spent (or the adaptive
+     CM decides optimism is hopeless).  With the token held and
+     in-flight commits drained, no other transaction can commit, so
+     the attempt cannot lose a conflict — except to a committer that
+     had already passed the token stall when the token was taken.
+     Such stragglers can abort at most the first serial attempt (the
+     drain in [enter_serial_mode] waits them out), and the retry
+     reacquires the token, so a later attempt runs alone.
+
+     Hooks never run while the token is held: a hook may itself run a
+     transaction on this instance, and a write commit made from under
+     the token would stall on the holder — ourselves.  Every path
+     releases the token before invoking hooks; the conflict-retry path
+     re-enters afterwards. *)
+  let serial_fallback stm ctx sem label f n0 =
+    enter_serial_mode stm;
+    let tx = fresh_tx stm ctx.stores sem label in
+    let rec go n =
+      arm_tx tx;
+      tx.attempt <- n;
+      tx.holds_token <- true;
+      R.add_counter stm.c_starts 1;
+      emit_begin tx n;
+      emit_serialize tx n;
+      ctx.cur_tx <- Some tx;
+      let cleanup () =
+        tx.live <- false;
+        ctx.cur_tx <- None
+      in
+      match
+        let result = f tx in
+        commit tx;
+        result
+      with
+      | result ->
+          cleanup ();
+          exit_serial_mode stm;
+          R.add_counter stm.c_commits 1;
+          R.add_counter stm.c_serial_commits 1;
+          run_hooks tx ~aborted:false;
+          result
+      | exception Abort_tx reason ->
+          let sets = abort_sets tx in
+          cleanup ();
+          record_aborted tx;
+          R.add_counter stm.c_aborts 1;
+          R.add_counter (abort_counter stm reason) 1;
+          emit_abort tx reason sets;
+          exit_serial_mode stm;
+          run_hooks tx ~aborted:true;
+          (match reason with
+          | Explicit ->
+              (* A user abort is a decision, not contention: the token
+                 cannot make it commit.  The budget was already spent,
+                 so surface the exhaustion. *)
+              raise (Too_many_attempts (Explicit, n))
+          | _ ->
+              enter_serial_mode stm;
+              go (n + 1))
+      | exception e ->
+          let sets = abort_sets tx in
+          cleanup ();
+          record_aborted tx;
+          R.add_counter stm.c_aborts 1;
+          R.add_counter stm.c_explicit 1;
+          emit_abort tx Explicit sets;
+          exit_serial_mode stm;
+          run_hooks tx ~aborted:true;
+          raise e
+    in
+    go n0
+
+  (* The optimistic retry loop shared by [atomically] (which unwraps
+     the outcome, raising on exhaustion) and [try_atomically] (which
+     returns it).  [serial_ok] gates the serial fallback: the
+     structured API never serializes — it hands the exhaustion back to
+     the caller as data instead. *)
+  let run_optimistic (type a) stm ctx sem label ~budget ~deadline ~serial_ok
+      (f : tx -> a) : a outcome =
+    let cap =
+      match budget with Some b -> max 1 b | None -> stm.max_attempts
+    in
+    let past_deadline () =
+      match deadline with Some d -> R.now () >= d | None -> false
+    in
+    (* One descriptor for the whole call, re-armed across attempts. *)
+    let tx = fresh_tx stm ctx.stores sem label in
+    let rec attempt n =
+      arm_tx tx;
+      tx.attempt <- n;
+      R.add_counter stm.c_starts 1;
+      emit_begin tx n;
+      ctx.cur_tx <- Some tx;
+      let cleanup () =
+        tx.live <- false;
+        ctx.cur_tx <- None
+      in
+      match
+        let result = f tx in
+        commit tx;
+        result
+      with
+      | result ->
+          cleanup ();
+          R.add_counter stm.c_commits 1;
+          run_hooks tx ~aborted:false;
+          Committed result
+      | exception Abort_tx reason ->
+          let sets = abort_sets tx in
+          cleanup ();
+          record_aborted tx;
+          R.add_counter stm.c_aborts 1;
+          R.add_counter (abort_counter stm reason) 1;
+          emit_abort tx reason sets;
+          run_hooks tx ~aborted:true;
+          decide n reason
+      | exception e ->
+          (* User exception: discard effects, count the attempt as
+             aborted, propagate. *)
+          let sets = abort_sets tx in
+          cleanup ();
+          record_aborted tx;
+          R.add_counter stm.c_aborts 1;
+          R.add_counter stm.c_explicit 1;
+          emit_abort tx Explicit sets;
+          run_hooks tx ~aborted:true;
+          raise e
+    (* After an aborted attempt [n]: give up, serialize, or back off
+       and go round again.  [Explicit] aborts never serialize — the
+       token cannot change a user's decision to abort — and a deadline
+       outranks the budget: the caller asked to be done by then. *)
+    and decide n reason =
+      if past_deadline () then Deadline_exceeded { reason; attempts = n }
+      else if n >= cap then begin
+        R.add_counter stm.c_budget_exhaustions 1;
+        emit_budget_exhausted tx ~attempts:n reason;
+        if serial_ok && reason <> Explicit && stm.on_exhaustion = `Serialize
+        then Committed (serial_fallback stm ctx sem label f (n + 1))
+        else Exhausted { reason; attempts = n }
+      end
+      else if
+        serial_ok && reason <> Explicit
+        && Contention.serializes_at stm.cm ~attempt:n
+             ~abort_rate_pct:(abort_rate_pct stm)
+      then begin
+        (* The adaptive CM concluded optimism is hopeless before the
+           budget ran out. *)
+        Committed (serial_fallback stm ctx sem label f (n + 1))
+      end
+      else begin
+        let pause = Contention.retry_pause stm.cm ~attempt:n in
+        if pause > 0 then R.pause pause;
+        attempt (n + 1)
+      end
+    in
+    attempt 1
+
   let atomically ?(sem = Semantics.Classic) ?(irrevocable = false)
-      ?(label = "") stm f =
+      ?(label = "") ?budget ?deadline stm f =
     let ctx = R.tls_get stm.current in
     match ctx.cur_tx with
     | Some outer when outer.live && outer.stm == stm ->
@@ -949,6 +1192,8 @@ module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) : Stm_intf.S = struct
         enter_serial_mode stm;
         let tx = fresh_tx stm ctx.stores sem label in
         arm_tx tx;
+        tx.attempt <- 1;
+        tx.holds_token <- true;
         R.add_counter stm.c_starts 1;
         emit_begin tx 1;
         ctx.cur_tx <- Some tx;
@@ -959,19 +1204,23 @@ module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) : Stm_intf.S = struct
         in
         (match
            let result = f tx in
-           commit ~holds_token:true tx;
+           commit tx;
            result
          with
         | result ->
             cleanup ();
-            run_hooks tx ~aborted:false;
             R.add_counter stm.c_commits 1;
+            R.add_counter stm.c_serial_commits 1;
+            run_hooks tx ~aborted:false;
             result
         | exception Abort_tx reason ->
             let sets = abort_sets tx in
             cleanup ();
-            run_hooks tx ~aborted:true;
+            record_aborted tx;
+            R.add_counter stm.c_aborts 1;
+            R.add_counter (abort_counter stm reason) 1;
             emit_abort tx reason sets;
+            run_hooks tx ~aborted:true;
             raise
               (Invalid_operation
                  "explicit abort inside an irrevocable transaction")
@@ -980,61 +1229,33 @@ module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) : Stm_intf.S = struct
                aborts are impossible, so nothing else reaches here. *)
             let sets = abort_sets tx in
             cleanup ();
-            run_hooks tx ~aborted:true;
             record_aborted tx;
             R.add_counter stm.c_aborts 1;
             R.add_counter stm.c_explicit 1;
             emit_abort tx Explicit sets;
+            run_hooks tx ~aborted:true;
             raise e)
+    | Some _ | None -> (
+        match
+          run_optimistic stm ctx sem label ~budget ~deadline ~serial_ok:true f
+        with
+        | Committed result -> result
+        | Exhausted { reason; attempts } ->
+            raise (Too_many_attempts (reason, attempts))
+        | Deadline_exceeded { reason; attempts } ->
+            raise (Too_many_attempts (reason, attempts)))
+
+  let try_atomically ?(sem = Semantics.Classic) ?(label = "") ?budget
+      ?deadline stm f =
+    let ctx = R.tls_get stm.current in
+    match ctx.cur_tx with
+    | Some outer when outer.live && outer.stm == stm ->
+        (* Flat nesting joins the outer transaction; its fate is the
+           outer call's to report. *)
+        let (_ : Semantics.t) = Semantics.compose ~outer:outer.sem ~inner:sem in
+        Committed (f outer)
     | Some _ | None ->
-        (* One descriptor for the whole [atomically] call, re-armed
-           across retry attempts. *)
-        let tx = fresh_tx stm ctx.stores sem label in
-        let rec attempt n =
-          arm_tx tx;
-          R.add_counter stm.c_starts 1;
-          emit_begin tx n;
-          ctx.cur_tx <- Some tx;
-          let cleanup () =
-            tx.live <- false;
-            ctx.cur_tx <- None
-          in
-          match
-            let result = f tx in
-            commit tx;
-            result
-          with
-          | result ->
-              cleanup ();
-              run_hooks tx ~aborted:false;
-              R.add_counter stm.c_commits 1;
-              result
-          | exception Abort_tx reason ->
-              let sets = abort_sets tx in
-              cleanup ();
-              run_hooks tx ~aborted:true;
-              record_aborted tx;
-              R.add_counter stm.c_aborts 1;
-              R.add_counter (abort_counter stm reason) 1;
-              emit_abort tx reason sets;
-              if n >= stm.max_attempts then
-                raise (Too_many_attempts (reason, n));
-              let pause = Contention.retry_pause stm.cm ~attempt:n in
-              if pause > 0 then R.pause pause;
-              attempt (n + 1)
-          | exception e ->
-              (* User exception: discard effects, count the attempt as
-                 aborted, propagate. *)
-              let sets = abort_sets tx in
-              cleanup ();
-              run_hooks tx ~aborted:true;
-              record_aborted tx;
-              R.add_counter stm.c_aborts 1;
-              R.add_counter stm.c_explicit 1;
-              emit_abort tx Explicit sets;
-              raise e
-        in
-        attempt 1
+        run_optimistic stm ctx sem label ~budget ~deadline ~serial_ok:false f
 
   (* ------------------------------------------------------------------ *)
   (* Statistics and recording                                            *)
@@ -1054,6 +1275,8 @@ module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) : Stm_intf.S = struct
     stale_reads : int;
     fast_commits : int;
     ro_commits : int;
+    serial_commits : int;
+    budget_exhaustions : int;
   }
 
   let stats stm =
@@ -1072,6 +1295,8 @@ module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) : Stm_intf.S = struct
       stale_reads = R.read_counter stm.c_stale_reads;
       fast_commits = R.read_counter stm.c_fast_commits;
       ro_commits = R.read_counter stm.c_ro_commits;
+      serial_commits = R.read_counter stm.c_serial_commits;
+      budget_exhaustions = R.read_counter stm.c_budget_exhaustions;
     }
 
   let reset_counter c = R.add_counter c (-R.read_counter c)
@@ -1083,16 +1308,19 @@ module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) : Stm_intf.S = struct
         stm.c_read_invalid; stm.c_window_broken; stm.c_snapshot_too_old;
         stm.c_killed; stm.c_explicit; stm.c_cuts; stm.c_extensions;
         stm.c_stale_reads; stm.c_fast_commits; stm.c_ro_commits;
+        stm.c_serial_commits; stm.c_budget_exhaustions;
       ]
 
   let pp_stats ppf s =
     Format.fprintf ppf
       "@[<v>starts=%d commits=%d aborts=%d@ lock_busy=%d read_invalid=%d \
        window_broken=%d snapshot_too_old=%d killed=%d explicit=%d@ cuts=%d \
-       extensions=%d stale_reads=%d fast_commits=%d ro_commits=%d@]"
+       extensions=%d stale_reads=%d fast_commits=%d ro_commits=%d@ \
+       serial_commits=%d budget_exhaustions=%d@]"
       s.starts s.commits s.aborts s.lock_busy s.read_invalid s.window_broken
       s.snapshot_too_old s.killed s.explicit_aborts s.cuts s.extensions
-      s.stale_reads s.fast_commits s.ro_commits
+      s.stale_reads s.fast_commits s.ro_commits s.serial_commits
+      s.budget_exhaustions
 
   let record stm on =
     stm.recording <- on;

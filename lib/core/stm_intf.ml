@@ -25,8 +25,14 @@ module type S = sig
     | Explicit  (** the user called {!abort} or {!retry_now} *)
 
   exception Too_many_attempts of abort_reason * int
-  (** Raised by {!atomically} when [max_attempts] consecutive tries
-      aborted; carries the last abort reason. *)
+  (** Raised by {!atomically} when the retry budget is spent and the
+      serial fallback cannot help: the last abort was [Explicit] (a
+      user decision the serialization token cannot override), the
+      instance was created with [on_exhaustion:`Raise], or a
+      [deadline] passed.  Carries the last abort reason and the number
+      of attempts made.  Under the default configuration, conflict
+      exhaustion falls back to serial-irrevocable execution instead of
+      raising — see {!create}. *)
 
   exception Invalid_operation of string
   (** Misuse: writing inside a snapshot transaction, using a [tx]
@@ -38,16 +44,31 @@ module type S = sig
     ?cm:Contention.t ->
     ?elastic_window:int ->
     ?max_attempts:int ->
+    ?on_exhaustion:[ `Serialize | `Raise ] ->
     ?extend_on_stale:bool ->
     ?versions:int ->
     ?gv:[ `Gv1 | `Gv4 ] ->
     unit ->
     t
   (** [create ()] makes a fresh STM instance.  [cm] is the contention
-      manager (default {!Contention.default}); [elastic_window] the
+      manager (default {!Contention.default}; it is validated with
+      {!Contention.validate}, so a degenerate policy is rejected here
+      rather than misbehaving at runtime); [elastic_window] the
       number of trailing reads an elastic transaction keeps validating
       across cuts (default 2, as in E-STM); [max_attempts] bounds
-      retries of one {!atomically} (default 10_000).
+      optimistic retries of one {!atomically} (default 10_000).
+
+      [on_exhaustion] decides what happens when a transaction spends
+      its whole retry budget ([max_attempts], or the call's [budget])
+      on conflict aborts.  [`Serialize] (default) escalates to the
+      serial-irrevocable fallback: the transaction takes the global
+      serialization token, waits out in-flight commits, and re-runs
+      with a guaranteed commit — so [Too_many_attempts] never escapes
+      for conflict aborts and every transaction is livelock-free.
+      [`Raise] restores the historical behaviour of raising
+      {!Too_many_attempts}.  [Explicit] aborts always raise once the
+      budget is spent: serializing cannot commit a transaction that
+      aborts itself.
 
       [extend_on_stale] (default [true]) selects the TinySTM-style
       timestamp extension: a classic read past the transaction's
@@ -99,6 +120,8 @@ module type S = sig
     ?sem:Semantics.t ->
     ?irrevocable:bool ->
     ?label:string ->
+    ?budget:int ->
+    ?deadline:int ->
     t ->
     (tx -> 'a) ->
     'a
@@ -107,6 +130,19 @@ module type S = sig
       retrying on conflict aborts under the instance's contention
       manager.  Exceptions raised by [f] (other than the internal abort
       signal) propagate after the transaction's effects are discarded.
+
+      [budget] caps optimistic retries for this call alone, overriding
+      the instance's [max_attempts] (values below 1 are treated as 1);
+      what happens at exhaustion is the instance's [on_exhaustion]
+      policy.  [deadline] is an absolute time in the runtime's clock —
+      virtual ticks under the simulator, nanoseconds under domains
+      (compare with [R.now ()]) — checked between attempts: once
+      passed, the call stops retrying and raises {!Too_many_attempts}
+      with the last abort reason.  Prefer {!try_atomically} when a
+      deadline or budget is in play — it reports these outcomes as
+      data instead of an exception.  Both are ignored under flat
+      nesting (the outer call's limits govern) and by irrevocable
+      transactions (which never retry).
 
       [label] names the call site for telemetry: every lifecycle event
       the transaction emits carries it, so abort causes and retry
@@ -128,7 +164,39 @@ module type S = sig
       with side effects that cannot be compensated (I/O); it is
       mutually exclusive with [sem:Snapshot] (which never aborts
       updaters anyway) and expensive by design — everything else's
-      commits stall.  [f] runs exactly once. *)
+      commits stall.  [f] runs exactly once.
+
+      The same machinery backs the {e serial fallback}: with the
+      default [on_exhaustion:`Serialize], a transaction that spends
+      its whole retry budget on conflicts re-runs under the token with
+      a guaranteed commit (counted in [serial_commits]), so no
+      workload can livelock a transaction out of existence. *)
+
+  type 'a outcome =
+    | Committed of 'a
+    | Exhausted of { reason : abort_reason; attempts : int }
+        (** the retry budget ran out; [reason] is the last abort's *)
+    | Deadline_exceeded of { reason : abort_reason; attempts : int }
+        (** the deadline passed before an attempt committed *)
+
+  val try_atomically :
+    ?sem:Semantics.t ->
+    ?label:string ->
+    ?budget:int ->
+    ?deadline:int ->
+    t ->
+    (tx -> 'a) ->
+    'a outcome
+  (** [try_atomically stm f] is {!atomically} with a structured
+      outcome: budget exhaustion and deadline expiry come back as
+      {!Exhausted} / {!Deadline_exceeded} values instead of a raised
+      {!Too_many_attempts}, leaving the response policy to the caller.
+      It never escalates to the serial fallback — returning the
+      exhaustion {e is} its exhaustion policy — and never raises
+      [Too_many_attempts]; exceptions from [f] still propagate.  Under
+      flat nesting it joins the outer transaction and returns
+      [Committed] of [f]'s result (the outer call reports the fate of
+      the merged transaction). *)
 
   val read : tx -> 'a tvar -> 'a
   (** Transactional read, honouring the transaction's semantics. *)
@@ -219,6 +287,12 @@ module type S = sig
     stale_reads : int;  (** snapshot reads served from the old version *)
     fast_commits : int;  (** write commits that skipped validation *)
     ro_commits : int;  (** read-only commits (no clock access, no locks) *)
+    serial_commits : int;
+        (** commits made under the serialization token: irrevocable
+            transactions and serial-fallback escalations *)
+    budget_exhaustions : int;
+        (** times a transaction spent its whole optimistic retry
+            budget (whether it then serialized or raised) *)
   }
 
   val stats : t -> stats
@@ -252,4 +326,11 @@ module type S = sig
       distinct serial). *)
 
   val tvar_id : 'a tvar -> int
+
+  val tvar_locked : 'a tvar -> bool
+  (** Quiescence probe: whether the variable's lock word is currently
+      held by a committing transaction.  With no transaction in
+      flight, every variable must answer [false] — the stress
+      harnesses assert exactly that after joining all threads.  Racy
+      by nature while transactions run. *)
 end

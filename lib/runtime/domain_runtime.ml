@@ -15,6 +15,13 @@ let set = Atomic.set
 let cas = Atomic.compare_and_set
 let fetch_and_add = Atomic.fetch_and_add
 
+type token = bool Atomic.t
+
+let token () = Atomic.make false
+let token_held = Atomic.get
+let token_try_acquire t = Atomic.compare_and_set t false true
+let token_release t = Atomic.set t false
+
 type counter = int Atomic.t
 
 let counter () = Atomic.make 0

@@ -43,6 +43,33 @@ module type RUNTIME = sig
   val fetch_and_add : int atomic -> int -> int
   (** Atomic fetch-and-add; returns the previous value. *)
 
+  (** {1 Global serialization token}
+
+      A single-owner token used by the STM's serial-irrevocable mode:
+      the holder is guaranteed to commit because everyone else's write
+      commits stall while the token is held.  The operations are
+      charged by the simulator's cost model exactly like the atomic
+      operations they correspond to ([token_held] as a read,
+      [token_try_acquire] as a CAS, [token_release] as a write), so a
+      backend may simply represent the token as a boolean cell —
+      exposing it as a primitive lets a backend with a cheaper native
+      notion (a futex, a kernel mutex) substitute one without touching
+      the STM. *)
+
+  type token
+
+  val token : unit -> token
+  (** Allocate a released token.  Allocation is not charged. *)
+
+  val token_held : token -> bool
+  (** Observe the token; charged like {!get}. *)
+
+  val token_try_acquire : token -> bool
+  (** Acquire if free; [true] on success.  Charged like {!cas}. *)
+
+  val token_release : token -> unit
+  (** Release; only the holder may call this.  Charged like {!set}. *)
+
   (** {1 Uncharged statistics counters}
 
       Commit/abort counters must not perturb the virtual clock, so they

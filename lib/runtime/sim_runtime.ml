@@ -36,6 +36,17 @@ let fetch_and_add a n =
   a.v <- old + n;
   old
 
+(* The serialization token is a boolean cell: each operation ticks the
+   cost model exactly as the corresponding atomic operation would, so
+   swapping the STM's hand-rolled flag for this primitive left every
+   charge sequence byte-identical (goldens-checked). *)
+type token = bool atomic
+
+let token () = atomic false
+let token_held = get
+let token_try_acquire t = cas t false true
+let token_release t = set t false
+
 type counter = int ref
 
 let counter () = ref 0

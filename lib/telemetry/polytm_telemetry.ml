@@ -46,6 +46,8 @@ type kind =
   | Lock_acquire of { loc : int }
   | Commit of { reads : int; writes : int; lock_hold : int }
   | Abort of { cause : cause; reads : int; writes : int }
+  | Serialize of { attempt : int }
+  | Budget_exhausted of { attempts : int; cause : cause }
 
 type event = {
   time : int;
@@ -246,6 +248,10 @@ module Agg = struct
     | Abort { cause; reads; _ } ->
         c.a_causes.(cause_index cause) <- c.a_causes.(cause_index cause) + 1;
         c.a_max_reads <- max c.a_max_reads reads
+    (* Liveness escalations annotate attempts that are already counted
+       through their Begin/Commit/Abort events; the snapshot layout
+       (and with it the JSON goldens) stays unchanged. *)
+    | Serialize _ | Budget_exhausted _ -> ()
 
   let sink t = { emit = feed t }
 
@@ -460,6 +466,12 @@ module Export = struct
     | Abort { cause; reads; writes } ->
         [ ("type", Json.Str "abort"); ("cause", Json.Str (cause_label cause));
           ("reads", Json.Int reads); ("writes", Json.Int writes) ]
+    | Serialize { attempt } ->
+        [ ("type", Json.Str "serialize"); ("attempt", Json.Int attempt) ]
+    | Budget_exhausted { attempts; cause } ->
+        [ ("type", Json.Str "budget-exhausted");
+          ("attempts", Json.Int attempts);
+          ("cause", Json.Str (cause_label cause)) ]
 
   let events_json events =
     Json.Arr
@@ -520,6 +532,35 @@ module Export = struct
                    ("tid", Json.Int e.thread);
                    ("s", Json.Str "t");
                    ("args", Json.Obj [ ("loc", Json.Int loc) ]);
+                 ])
+        | Serialize { attempt } ->
+            push
+              (Json.Obj
+                 [
+                   ("name", Json.Str "serialize");
+                   ("cat", Json.Str "liveness");
+                   ("ph", Json.Str "i");
+                   ("ts", Json.Int e.time);
+                   ("pid", Json.Int 0);
+                   ("tid", Json.Int e.thread);
+                   ("s", Json.Str "t");
+                   ("args", Json.Obj [ ("attempt", Json.Int attempt) ]);
+                 ])
+        | Budget_exhausted { attempts; cause } ->
+            push
+              (Json.Obj
+                 [
+                   ("name", Json.Str "budget-exhausted");
+                   ("cat", Json.Str "liveness");
+                   ("ph", Json.Str "i");
+                   ("ts", Json.Int e.time);
+                   ("pid", Json.Int 0);
+                   ("tid", Json.Int e.thread);
+                   ("s", Json.Str "t");
+                   ( "args",
+                     Json.Obj
+                       [ ("attempts", Json.Int attempts);
+                         ("cause", Json.Str (cause_label cause)) ] );
                  ])
         | Commit { reads; writes; lock_hold } -> (
             match Hashtbl.find_opt pending e.serial with

@@ -65,6 +65,15 @@ type kind =
       (** successful commit; [reads]/[writes] are final set sizes,
           [lock_hold] the ticks between first acquisition and release *)
   | Abort of { cause : cause; reads : int; writes : int }
+  | Serialize of { attempt : int }
+      (** the transaction escalated to the serial-irrevocable fallback
+          (budget exhausted or the adaptive CM gave up on optimism);
+          [attempt] is the attempt about to run under the token *)
+  | Budget_exhausted of { attempts : int; cause : cause }
+      (** a retry budget ran out after [attempts] tries; [cause] is the
+          last abort's cause.  Followed by a [Serialize] event when the
+          instance's exhaustion policy is to fall back rather than
+          raise. *)
 
 type event = {
   time : int;  (** virtual ticks (simulator) or ns (domains) *)

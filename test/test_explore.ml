@@ -187,6 +187,40 @@ let test_spinlock_exclusion_bounded () =
   Alcotest.(check bool) "explored many schedules" true
     (outcome.Explore.executions > 100)
 
+let test_greedy_mutual_wait_bounded () =
+  (* Bounded model checking of the Greedy kill protocol on the minimal
+     mutual-wait scenario: two transactions updating the same two
+     locations.  When their commits overlap, the older kills the
+     younger lock owner and waits for the lock — while the younger may
+     itself be spinning on a lock the older holds.  No explored
+     schedule may lose an update, deadlock (pruned runs would show up
+     as a tiny execution count), or leave a lock word held. *)
+  let module S = Polytm.Stm.Make (R) in
+  let program () =
+    let stm = S.create ~cm:Polytm.Contention.Greedy () in
+    let a = S.tvar stm 0 in
+    let b = S.tvar stm 0 in
+    let incr () =
+      S.atomically stm (fun tx ->
+          S.write tx a (S.read tx a + 1);
+          S.write tx b (S.read tx b + 1))
+    in
+    let t1 = Sim.spawn incr and t2 = Sim.spawn incr in
+    Sim.join t1;
+    Sim.join t2;
+    assert (S.atomically stm (fun tx -> S.read tx a) = 2);
+    assert (S.atomically stm (fun tx -> S.read tx b) = 2);
+    assert (not (S.tvar_locked a));
+    assert (not (S.tvar_locked b))
+  in
+  let outcome =
+    Explore.check ~max_executions:20_000 ~max_depth:40 ~step_limit:600 program
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "explored many schedules (%d)" outcome.Explore.executions)
+    true
+    (outcome.Explore.executions > 100)
+
 let suite =
   ( "explore",
     [
@@ -202,6 +236,8 @@ let suite =
       Alcotest.test_case "truncation" `Quick test_truncation;
       Alcotest.test_case "spinlock bounded check" `Quick
         test_spinlock_exclusion_bounded;
+      Alcotest.test_case "greedy mutual wait bounded check" `Quick
+        test_greedy_mutual_wait_bounded;
       Alcotest.test_case "preemption bounding shrinks tree" `Quick
         test_preemption_bounding_shrinks_tree;
       Alcotest.test_case "bounded still finds race" `Quick

@@ -258,6 +258,119 @@ let test_hook_running_transaction_keeps_remaining_hooks () =
   Alcotest.(check int) "hook transactions committed" 2
     (S.atomically stm (fun tx -> S.read tx v))
 
+(* Abort accounting — history record, counters, telemetry — must be
+   complete before the lifecycle hooks run: a hook may itself raise,
+   and the attempt must not vanish from the books because of it.  The
+   pre-fix ordering ran the hooks first, so a raising finaliser left
+   stats.aborts and the telemetry [Abort] event behind. *)
+let test_abort_accounting_precedes_hooks () =
+  let module T = Polytm_telemetry in
+  let recorder = T.Recorder.create () in
+  let stm = S.create () in
+  S.set_sink stm (Some (T.Recorder.sink recorder));
+  let v = S.tvar stm 0 in
+  let escaped =
+    match
+      S.atomically stm (fun tx ->
+          S.on_cleanup tx (fun () -> raise Exit);
+          S.write tx v 1;
+          raise Not_found)
+    with
+    | () -> None
+    | exception e -> Some e
+  in
+  Alcotest.(check bool) "an exception escaped" true (escaped <> None);
+  let st = S.stats stm in
+  Alcotest.(check int) "abort counted despite raising finaliser" 1 st.S.aborts;
+  Alcotest.(check int) "attributed to Explicit" 1 st.S.explicit_aborts;
+  let abort_recorded =
+    List.exists
+      (fun (e : T.event) ->
+        match e.T.kind with
+        | T.Abort { cause = T.Explicit; _ } -> true
+        | _ -> false)
+      (T.Recorder.events recorder)
+  in
+  Alcotest.(check bool) "Abort event emitted before the hook blew up" true
+    abort_recorded;
+  Alcotest.(check int) "effects discarded" 0
+    (S.atomically stm (fun tx -> S.read tx v))
+
+(* The irrevocable path must keep the same books as the optimistic
+   one: an explicit abort (forbidden, surfaced as Invalid_operation)
+   and a user exception each count one attributed abort, run the
+   hooks, release the serialization token, and discard effects. *)
+let test_irrevocable_abort_accounting () =
+  let stm = S.create () in
+  let v = S.tvar stm 5 in
+  let cleanups = ref 0 in
+  (try
+     S.atomically stm ~irrevocable:true (fun tx ->
+         S.on_cleanup tx (fun () -> incr cleanups);
+         S.write tx v 9;
+         S.abort tx)
+   with S.Invalid_operation _ -> ());
+  let st = S.stats stm in
+  Alcotest.(check int) "explicit abort counted" 1 st.S.aborts;
+  Alcotest.(check int) "attributed to Explicit" 1 st.S.explicit_aborts;
+  Alcotest.(check int) "finaliser ran" 1 !cleanups;
+  (try
+     S.atomically stm ~irrevocable:true (fun tx ->
+         S.write tx v 9;
+         raise Injected)
+   with Injected -> ());
+  Alcotest.(check int) "user exception counted too" 2 (S.stats stm).S.aborts;
+  Alcotest.(check int) "effects discarded" 5
+    (S.atomically stm (fun tx -> S.read tx v));
+  (* A fresh irrevocable transaction still commits: the token was
+     released on both abort paths (it would stall here forever
+     otherwise). *)
+  S.atomically stm ~irrevocable:true (fun tx -> S.write tx v 6);
+  Alcotest.(check int) "token released, serial mode usable" 6
+    (S.atomically stm (fun tx -> S.read tx v))
+
+(* Property: under CM kills, budget exhaustions and serial fallbacks —
+   random contention policy, tiny retry budget, seeded random
+   scheduler — every increment commits exactly once (the serialize
+   fallback guarantees progress), every lock word ends [Unlocked], and
+   the final state matches the sequential oracle. *)
+let liveness_stress_property =
+  let open Polytm.Contention in
+  let case_gen =
+    QCheck.Gen.(
+      triple (int_range 1 1_000)
+        (oneofl [ Greedy; default_adaptive; default ])
+        (int_range 1 4))
+  in
+  QCheck.Test.make ~count:40
+    ~name:"liveness stress: exact oracle + all locks released"
+    (QCheck.make
+       ~print:(fun (seed, cm, ma) ->
+         Printf.sprintf "seed=%d cm=%s max_attempts=%d" seed (to_string cm) ma)
+       case_gen)
+    (fun (seed, cm, max_attempts) ->
+      let stm = S.create ~cm ~max_attempts () in
+      let n = 4 in
+      let accounts = Array.init n (fun _ -> S.tvar stm 0) in
+      let threads = 4 and ops = 8 in
+      let (), _ =
+        Sim.run ~policy:(Sim.Random_sched seed) (fun () ->
+            R.parallel
+              (List.init threads (fun t () ->
+                   let rng = Polytm_util.Rng.create ((seed * 31) + t) in
+                   for _ = 1 to ops do
+                     let i = Polytm_util.Rng.int rng n in
+                     S.atomically stm (fun tx ->
+                         S.write tx accounts.(i) (S.read tx accounts.(i) + 1))
+                   done)))
+      in
+      let total =
+        S.atomically stm (fun tx ->
+            Array.fold_left (fun acc a -> acc + S.read tx a) 0 accounts)
+      in
+      let locks_free = Array.for_all (fun a -> not (S.tvar_locked a)) accounts in
+      total = threads * ops && locks_free)
+
 let suite =
   ( "failure-injection",
     [
@@ -277,4 +390,9 @@ let suite =
         test_stm_usable_after_exhaustion;
       Alcotest.test_case "list ops aborted midway" `Quick
         test_injected_raises_on_list_operations;
+      Alcotest.test_case "abort accounting precedes hooks" `Quick
+        test_abort_accounting_precedes_hooks;
+      Alcotest.test_case "irrevocable abort accounting" `Quick
+        test_irrevocable_abort_accounting;
+      Test_seed.to_alcotest liveness_stress_property;
     ] )

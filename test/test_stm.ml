@@ -40,6 +40,88 @@ let test_contention_module () =
   Alcotest.(check int) "backoff attempt 2" 8 (Contention.retry_pause b ~attempt:2);
   Alcotest.(check int) "backoff capped" 32 (Contention.retry_pause b ~attempt:10)
 
+let test_contention_backoff_edges () =
+  (* The doubling must saturate at [cap] instead of overflowing:
+     [acc * 2] on a huge accumulator used to wrap negative and slip
+     past the cap test, yielding a negative pause. *)
+  let huge = Contention.Backoff { base = 3; cap = max_int } in
+  Alcotest.(check int) "uncapped doubling saturates at cap" max_int
+    (Contention.retry_pause huge ~attempt:200);
+  let wide = Contention.Backoff { base = 1; cap = max_int - 1 } in
+  for attempt = 1 to 300 do
+    let p = Contention.retry_pause wide ~attempt in
+    if p < 0 then Alcotest.failf "negative pause %d at attempt %d" p attempt
+  done;
+  Alcotest.(check int) "pre-overflow power of two exact" 4096
+    (Contention.retry_pause wide ~attempt:13);
+  let degenerate = Contention.Backoff { base = 1; cap = 1 } in
+  Alcotest.(check int) "base=cap=1 pins the pause" 1
+    (Contention.retry_pause degenerate ~attempt:60)
+
+let test_contention_validation () =
+  let rejected cm =
+    match Contention.validate cm with
+    | () -> false
+    | exception Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "base=0 rejected" true
+    (rejected (Contention.Backoff { base = 0; cap = 8 }));
+  Alcotest.(check bool) "cap<base rejected" true
+    (rejected (Contention.Backoff { base = 16; cap = 4 }));
+  Alcotest.(check bool) "negative spins rejected" true
+    (rejected (Contention.Polite { spins = -1 }));
+  Alcotest.(check bool) "greedy_after=0 rejected" true
+    (rejected
+       (Contention.Adaptive
+          { base = 4; cap = 64; greedy_after = 0; serialize_after = 8;
+            hot_abort_pct = 50 }));
+  Alcotest.(check bool) "serialize before greedy rejected" true
+    (rejected
+       (Contention.Adaptive
+          { base = 4; cap = 64; greedy_after = 8; serialize_after = 4;
+            hot_abort_pct = 50 }));
+  Alcotest.(check bool) "defaults validate" false
+    (rejected Contention.default || rejected Contention.default_adaptive);
+  (* [Stm.create] runs the validation, so a misconfigured policy dies
+     at construction rather than degenerating at runtime. *)
+  let construction_rejected =
+    match S.create ~cm:(Contention.Backoff { base = 0; cap = 8 }) () with
+    | _ -> false
+    | exception Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "create validates" true construction_rejected
+
+let test_contention_adaptive_ladder () =
+  let a = Contention.default_adaptive in
+  (* greedy_after = 8, serialize_after = 24, hot_abort_pct = 50 *)
+  Alcotest.(check string) "to_string" "adaptive(4,1024,g8,s24,h50%)"
+    (Contention.to_string a);
+  Alcotest.(check bool) "adaptive may kill" true (Contention.may_kill a);
+  Alcotest.(check bool) "backoff may not kill" false
+    (Contention.may_kill Contention.default);
+  Alcotest.(check bool) "cautious: no kill" false
+    (Contention.kills_at a ~attempt:7 ~abort_rate_pct:0);
+  Alcotest.(check bool) "escalated: kills" true
+    (Contention.kills_at a ~attempt:8 ~abort_rate_pct:0);
+  Alcotest.(check bool) "hot instance halves the threshold" true
+    (Contention.kills_at a ~attempt:4 ~abort_rate_pct:50);
+  Alcotest.(check bool) "still cautious below the halved threshold" false
+    (Contention.kills_at a ~attempt:3 ~abort_rate_pct:50);
+  Alcotest.(check bool) "serializes past the ladder" true
+    (Contention.serializes_at a ~attempt:24 ~abort_rate_pct:0);
+  Alcotest.(check bool) "hot instance serializes sooner" true
+    (Contention.serializes_at a ~attempt:12 ~abort_rate_pct:50);
+  Alcotest.(check bool) "not before" false
+    (Contention.serializes_at a ~attempt:11 ~abort_rate_pct:50);
+  Alcotest.(check bool) "greedy kills but never serializes" true
+    (Contention.kills_at Contention.Greedy ~attempt:1 ~abort_rate_pct:0
+    && not
+         (Contention.serializes_at Contention.Greedy ~attempt:1000
+            ~abort_rate_pct:100));
+  (* Aggressive phase retries immediately; cautious phase backs off. *)
+  Alcotest.(check int) "cautious pause" 4 (Contention.retry_pause a ~attempt:1);
+  Alcotest.(check int) "aggressive pause" 0 (Contention.retry_pause a ~attempt:8)
+
 let test_tvar_ids_unique () =
   let stm = S.create () in
   let a = S.tvar stm 0 and b = S.tvar stm 0 in
@@ -587,6 +669,219 @@ let test_contention_policies_all_correct () =
       Contention.Greedy;
     ]
 
+(* --- liveness: serial fallback, budgets, deadlines ----------------------- *)
+
+let test_serial_fallback_guarantees_commit () =
+  (* With a one-attempt budget every conflict abort exhausts it, so
+     under the default [`Serialize] policy every increment must still
+     land — via the token — and the books must balance: one serial
+     commit per exhaustion, no [Too_many_attempts] anywhere. *)
+  let total_serial = ref 0 in
+  for seed = 1 to 8 do
+    let stm = S.create ~max_attempts:1 () in
+    let v = S.tvar stm 0 in
+    let (), _ =
+      Sim.run ~policy:(Sim.Random_sched seed) (fun () ->
+          R.parallel
+            (List.init 4 (fun _ () ->
+                 for _ = 1 to 4 do
+                   S.atomically stm (fun tx -> S.write tx v (S.read tx v + 1))
+                 done)))
+    in
+    Alcotest.(check int)
+      (Printf.sprintf "all increments commit (seed %d)" seed)
+      16
+      (S.atomically stm (fun tx -> S.read tx v));
+    let st = S.stats stm in
+    Alcotest.(check int)
+      (Printf.sprintf "one serial commit per exhaustion (seed %d)" seed)
+      st.S.budget_exhaustions st.S.serial_commits;
+    Alcotest.(check bool)
+      (Printf.sprintf "lock quiescent (seed %d)" seed)
+      false (S.tvar_locked v);
+    total_serial := !total_serial + st.S.serial_commits
+  done;
+  Alcotest.(check bool) "the fallback actually fired across seeds" true
+    (!total_serial > 0)
+
+let test_on_exhaustion_raise_restores_old_behaviour () =
+  let escapes = ref 0 and committed = ref 0 in
+  for seed = 1 to 8 do
+    let stm = S.create ~max_attempts:1 ~on_exhaustion:`Raise () in
+    let v = S.tvar stm 0 in
+    let (), _ =
+      Sim.run ~policy:(Sim.Random_sched seed) (fun () ->
+          R.parallel
+            (List.init 4 (fun _ () ->
+                 for _ = 1 to 4 do
+                   try S.atomically stm (fun tx ->
+                       S.write tx v (S.read tx v + 1))
+                   with S.Too_many_attempts (_, 1) -> incr escapes
+                 done)))
+    in
+    committed := !committed + S.atomically stm (fun tx -> S.read tx v);
+    Alcotest.(check int)
+      (Printf.sprintf "no serial commits under `Raise (seed %d)" seed)
+      0 (S.stats stm).S.serial_commits
+  done;
+  Alcotest.(check bool) "some transactions were dropped" true (!escapes > 0);
+  Alcotest.(check int) "every op either committed or escaped" (8 * 16)
+    (!committed + !escapes)
+
+let test_try_atomically_outcomes () =
+  let stm = S.create ~max_attempts:100 () in
+  let v = S.tvar stm 0 in
+  (match S.try_atomically stm (fun tx -> S.write tx v 7; "ok") with
+  | S.Committed s -> Alcotest.(check string) "committed result" "ok" s
+  | _ -> Alcotest.fail "expected Committed");
+  Alcotest.(check int) "committed write visible" 7
+    (S.atomically stm (fun tx -> S.read tx v));
+  (* Budget exhaustion comes back as data — never as an exception, and
+     never via the serial fallback (which could not commit an explicit
+     abort anyway). *)
+  (match S.try_atomically ~budget:3 stm (fun tx -> S.abort tx) with
+  | S.Exhausted { reason = S.Explicit; attempts = 3 } -> ()
+  | _ -> Alcotest.fail "expected Exhausted{Explicit; 3}");
+  let st = S.stats stm in
+  Alcotest.(check int) "exhaustion counted" 1 st.S.budget_exhaustions;
+  Alcotest.(check int) "no serial commit" 0 st.S.serial_commits;
+  (* A deadline in the past is noticed at the first abort boundary. *)
+  (match S.try_atomically ~deadline:0 stm (fun tx -> S.abort tx) with
+  | S.Deadline_exceeded { reason = S.Explicit; attempts = 1 } -> ()
+  | _ -> Alcotest.fail "expected Deadline_exceeded after one attempt");
+  (* A deadline never interrupts a committing attempt. *)
+  (match S.try_atomically ~deadline:0 stm (fun tx -> S.read tx v) with
+  | S.Committed 7 -> ()
+  | _ -> Alcotest.fail "expected Committed despite stale deadline")
+
+let test_budget_overrides_max_attempts () =
+  let stm = S.create ~max_attempts:100 () in
+  let raised =
+    try S.atomically ~budget:2 stm (fun tx -> S.abort tx)
+    with S.Too_many_attempts (S.Explicit, 2) -> true
+  in
+  Alcotest.(check bool) "per-call budget capped the retries" true raised;
+  Alcotest.(check int) "two starts" 2 (S.stats stm).S.starts
+
+let test_serial_fallback_respects_hooks () =
+  (* A transaction that escalates to the serial fallback must still run
+     its finalisers exactly once, after the token is released (a hook
+     may itself run a transaction, which would deadlock against a
+     still-held token). *)
+  let fired = ref 0 in
+  for seed = 1 to 8 do
+    let stm = S.create ~max_attempts:1 () in
+    let v = S.tvar stm 0 in
+    let (), _ =
+      Sim.run ~policy:(Sim.Random_sched seed) (fun () ->
+          R.parallel
+            (List.init 3 (fun _ () ->
+                 for _ = 1 to 3 do
+                   S.atomically stm (fun tx ->
+                       S.on_cleanup tx (fun () ->
+                           (* re-entering the STM from the hook: must
+                              not deadlock on the serial token *)
+                           incr fired;
+                           ignore (S.atomically stm (fun tx -> S.read tx v)));
+                       S.write tx v (S.read tx v + 1))
+                 done)))
+    in
+    Alcotest.(check int)
+      (Printf.sprintf "all committed (seed %d)" seed)
+      9
+      (S.atomically stm (fun tx -> S.read tx v))
+  done;
+  Alcotest.(check bool) "finalisers ran" true (!fired >= 8 * 9)
+
+(* --- the Greedy spin-loop kill regression -------------------------------- *)
+
+(* The mutual-wait schedule from the bug report, pinned by virtual-time
+   delays under the deterministic event-driven scheduler:
+
+     V (serial 0, oldest)    increments A;
+     X (serial 1)            increments A and Z;
+     W (serial 2, youngest)  increments C1..Cn and Z — a wide write
+                             set whose highest-id lock, Z, stays held
+                             from the end of its acquisition phase to
+                             the end of its write-back.
+
+   Tuned so that X enters commit, locks A, and starts waiting on Z
+   just after W passed its commit-time kill check; being older than W,
+   X requests W's death (a no-op — W already checked) and keeps
+   waiting.  V then arrives at A, finds it locked by X, exhausts its
+   spin budget and — oldest of all — kills X, then waits for A.
+
+   That is the mutual wait: V waits on X's lock while X, already
+   killed, waits behind W.  The fixed spin loop checks the victim's
+   own flag each iteration, so X aborts [Killed] at once and V's read
+   of A completes within a few ticks of the kill.  The pre-fix loop
+   only consulted the flag at commit time: X kept spinning for W's
+   whole write-back window, V stalled behind it for hundreds of ticks,
+   and the abort was only attributed at the very end.  The stall is
+   the observable: [v_done] (the virtual time at which V's read of A
+   finally returned) blows past [stall_bound] on the pre-fix code. *)
+let greedy_spin_kill_scenario ~n_hot ~body_v ~body_x =
+  let stm = S.create ~cm:Contention.Greedy () in
+  let a = S.tvar stm 0 in
+  let cs = Array.init n_hot (fun _ -> S.tvar stm 0) in
+  let z = S.tvar stm 0 in
+  let incr tx v = S.write tx v (S.read tx v + 1) in
+  let v_done = ref (-1) in
+  let (), _ =
+    Sim.run (fun () ->
+        R.parallel
+          [
+            (fun () ->
+              (* V: oldest; delays inside its body so its read of A
+                 lands while X holds A's lock. *)
+              S.atomically stm (fun tx ->
+                  Sim.tick body_v;
+                  let va = S.read tx a in
+                  if !v_done < 0 then v_done := Sim.now ();
+                  S.write tx a (va + 1)));
+            (fun () ->
+              Sim.tick 1;
+              (* X: middle age; locks A, then waits on Z behind W. *)
+              S.atomically stm (fun tx ->
+                  Sim.tick body_x;
+                  incr tx a;
+                  incr tx z));
+            (fun () ->
+              Sim.tick 2;
+              (* W: youngest; Z is its highest lock id, so Z stays
+                 locked for the entire write-back. *)
+              S.atomically stm (fun tx ->
+                  Array.iter (incr tx) cs;
+                  incr tx z));
+          ])
+  in
+  let final name v expect =
+    Alcotest.(check int) name expect (S.atomically stm (fun tx -> S.read tx v))
+  in
+  final "a: both increments survive" a 2;
+  final "z: both increments survive" z 2;
+  (S.stats stm, !v_done)
+
+let test_greedy_spin_loop_observes_kill () =
+  (* Delays tuned so V reaches A two ticks into X's wait on Z; on the
+     fixed code V's read completes at tick ~316, on the pre-fix code
+     only at ~429 (after W's whole write-back).  370 splits the two
+     with ~55 ticks of margin on either side. *)
+  let stall_bound = 370 in
+  let st, v_done =
+    greedy_spin_kill_scenario ~n_hot:40 ~body_v:295 ~body_x:275
+  in
+  Alcotest.(check bool)
+    (Format.asprintf "victim aborted Killed (stats: %a)" S.pp_stats st)
+    true (st.S.killed >= 1);
+  Alcotest.(check bool)
+    (Printf.sprintf
+       "killer unblocked promptly (v_done=%d, bound=%d): the victim must \
+        notice its own kill while spinning, not at commit time"
+       v_done stall_bound)
+    true
+    (v_done >= 0 && v_done < stall_bound)
+
 (* --- exhaustive model checking ------------------------------------------ *)
 
 let test_stm_increments_model_checked () =
@@ -735,6 +1030,12 @@ let suite =
     [
       Alcotest.test_case "semantics module" `Quick test_semantics_module;
       Alcotest.test_case "contention module" `Quick test_contention_module;
+      Alcotest.test_case "contention backoff edges" `Quick
+        test_contention_backoff_edges;
+      Alcotest.test_case "contention validation" `Quick
+        test_contention_validation;
+      Alcotest.test_case "contention adaptive ladder" `Quick
+        test_contention_adaptive_ladder;
       Alcotest.test_case "tvar ids unique" `Quick test_tvar_ids_unique;
       Alcotest.test_case "read/write/commit" `Quick test_read_write_commit;
       Alcotest.test_case "read own write" `Quick test_read_own_write;
@@ -783,6 +1084,18 @@ let suite =
         test_early_release_avoids_false_conflict;
       Alcotest.test_case "contention policies correct" `Quick
         test_contention_policies_all_correct;
+      Alcotest.test_case "serial fallback guarantees commit" `Quick
+        test_serial_fallback_guarantees_commit;
+      Alcotest.test_case "on_exhaustion `Raise" `Quick
+        test_on_exhaustion_raise_restores_old_behaviour;
+      Alcotest.test_case "try_atomically outcomes" `Quick
+        test_try_atomically_outcomes;
+      Alcotest.test_case "budget overrides max_attempts" `Quick
+        test_budget_overrides_max_attempts;
+      Alcotest.test_case "serial fallback runs hooks" `Quick
+        test_serial_fallback_respects_hooks;
+      Alcotest.test_case "greedy spin loop observes kill" `Quick
+        test_greedy_spin_loop_observes_kill;
       Alcotest.test_case "increments model-checked" `Quick
         test_stm_increments_model_checked;
       Alcotest.test_case "elastic parse model-checked" `Quick

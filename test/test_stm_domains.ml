@@ -96,6 +96,33 @@ let test_greedy_under_domains () =
   Alcotest.(check int) "greedy: no lost updates" (domains * per)
     (S.atomically stm (fun tx -> S.read tx v))
 
+let test_adaptive_serial_fallback_under_domains () =
+  (* A tiny retry budget under real preemption forces the serial
+     fallback constantly; every increment must still commit exactly
+     once, no exhaustion may escape, and every lock word must end up
+     released. *)
+  let stm = S.create ~cm:Contention.default_adaptive ~max_attempts:2 () in
+  let v = S.tvar stm 0 in
+  let per = 100 in
+  let escapes = Atomic.make 0 in
+  D.parallel
+    (List.init domains (fun _ () ->
+         for _ = 1 to per do
+           try S.atomically stm (fun tx -> S.write tx v (S.read tx v + 1))
+           with S.Too_many_attempts _ -> Atomic.incr escapes
+         done));
+  Alcotest.(check int) "no exhaustion escapes" 0 (Atomic.get escapes);
+  Alcotest.(check int) "adaptive: no lost updates" (domains * per)
+    (S.atomically stm (fun tx -> S.read tx v));
+  Alcotest.(check bool) "lock released" false (S.tvar_locked v);
+  let st = S.stats stm in
+  Alcotest.(check bool)
+    (Printf.sprintf "books balance (%d serial of %d commits)"
+       st.S.serial_commits st.S.commits)
+    true
+    (st.S.serial_commits <= st.S.commits
+    && st.S.budget_exhaustions <= st.S.aborts)
+
 let test_list_set_under_domains () =
   let module LS = Polytm_structs.Stm_list_set.Make (S) in
   let stm = S.create () in
@@ -171,6 +198,8 @@ let suite =
       Alcotest.test_case "bank conservation" `Quick test_bank_conservation;
       Alcotest.test_case "mixed semantics" `Quick test_mixed_semantics_under_domains;
       Alcotest.test_case "greedy policy" `Quick test_greedy_under_domains;
+      Alcotest.test_case "adaptive serial fallback" `Quick
+        test_adaptive_serial_fallback_under_domains;
       Alcotest.test_case "elastic list" `Quick test_list_set_under_domains;
       Alcotest.test_case "avl map" `Quick test_map_under_domains;
       Alcotest.test_case "irrevocable" `Quick test_irrevocable_under_domains;
