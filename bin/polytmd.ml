@@ -1,0 +1,168 @@
+(* polytmd — the PolyTM transactional store daemon.
+
+   Hosts named STM structures (maps, hash sets, queues) over TCP
+   and/or Unix-domain sockets, speaking the length-prefixed protocol
+   of Polytm_server.Wire.  Every request runs as one transaction whose
+   semantics comes from the request's hint (~classic / ~elastic /
+   ~snapshot) — the paper's polymorphic-transaction interface, served
+   over a socket.  See DESIGN.md §S16. *)
+
+module Srv = Polytm_server.Server
+module Limits = Polytm_server.Limits
+module Wire = Polytm_server.Wire
+open Cmdliner
+
+let listen_t =
+  Arg.(value & opt_all string []
+       & info [ "listen"; "l" ] ~docv:"ADDR"
+           ~doc:"Listen address: $(b,HOST:PORT) for TCP or
+                 $(b,unix:PATH) for a Unix-domain socket.  Repeatable.
+                 Default: 127.0.0.1:7411.")
+
+let workers_t =
+  Arg.(value & opt int 4
+       & info [ "workers"; "w" ] ~docv:"N"
+           ~doc:"Worker domains serving connections.")
+
+let max_inflight_t =
+  Arg.(value & opt int Limits.default.Limits.max_inflight
+       & info [ "max-inflight" ] ~docv:"N"
+           ~doc:"Pipelined requests admitted per read batch before the
+                 server answers BUSY.")
+
+let max_multi_t =
+  Arg.(value & opt int Limits.default.Limits.max_multi
+       & info [ "max-multi" ] ~docv:"N"
+           ~doc:"Commands accepted inside one MULTI batch.")
+
+let budget_t =
+  Arg.(value & opt (some int) None
+       & info [ "op-budget" ] ~docv:"N"
+           ~doc:"Optimistic retry budget per operation; exhaustion is
+                 reported to the client as an EXHAUSTED error.")
+
+let deadline_t =
+  Arg.(value & opt (some int) None
+       & info [ "op-deadline-us" ] ~docv:"USEC"
+           ~doc:"Per-operation deadline in microseconds; expiry is
+                 reported to the client as a DEADLINE error.")
+
+let debug_ops_t =
+  Arg.(value & flag
+       & info [ "debug-ops" ]
+           ~doc:"Accept DEBUG-ABORT probe requests (tests and CI).")
+
+let struct_t =
+  Arg.(value & opt_all string []
+       & info [ "struct" ] ~docv:"KIND:NAME"
+           ~doc:"Create a structure before accepting connections, e.g.
+                 $(b,map:accounts) or $(b,queue:jobs).  Repeatable.")
+
+let stats_json_t =
+  Arg.(value & opt (some string) None
+       & info [ "stats-json" ] ~docv:"FILE"
+           ~doc:"On exit, write a JSON snapshot of server counters,
+                 latency percentiles per semantics class, and the
+                 telemetry commit/abort table.")
+
+let trace_t =
+  Arg.(value & opt (some string) None
+       & info [ "trace" ] ~docv:"FILE"
+           ~doc:"On exit, write a Chrome/Perfetto trace of transaction
+                 lifecycle events.")
+
+let max_seconds_t =
+  Arg.(value & opt (some float) None
+       & info [ "max-seconds" ] ~docv:"SEC"
+           ~doc:"Self-terminate (gracefully) after this long — for
+                 smoke tests; normally the daemon runs until SIGTERM.")
+
+let quiet_t =
+  Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"No exit summary.")
+
+let parse_listener s =
+  if String.length s > 5 && String.sub s 0 5 = "unix:" then
+    Ok (Srv.Unix_sock (String.sub s 5 (String.length s - 5)))
+  else
+    match String.rindex_opt s ':' with
+    | Some i -> (
+        let host = String.sub s 0 i in
+        match int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1))
+        with
+        | Some port -> Ok (Srv.Tcp (host, port))
+        | None -> Error (Printf.sprintf "bad port in %S" s))
+    | None -> Error (Printf.sprintf "bad listen address %S (want HOST:PORT or unix:PATH)" s)
+
+let parse_struct s =
+  match String.index_opt s ':' with
+  | Some i -> (
+      let kind = String.sub s 0 i in
+      let name = String.sub s (i + 1) (String.length s - i - 1) in
+      match Wire.kind_of_string kind with
+      | Some k when name <> "" -> Ok (k, name)
+      | _ -> Error (Printf.sprintf "bad struct spec %S" s))
+  | None -> Error (Printf.sprintf "bad struct spec %S (want KIND:NAME)" s)
+
+let collect parse = function
+  | [] -> Ok []
+  | xs ->
+      List.fold_left
+        (fun acc x ->
+          match (acc, parse x) with
+          | Ok l, Ok v -> Ok (l @ [ v ])
+          | (Error _ as e), _ -> e
+          | _, Error m -> Error m)
+        (Ok []) xs
+
+let main listen workers max_inflight max_multi op_budget op_deadline_us
+    debug_ops structs stats_json trace max_seconds quiet =
+  let listeners =
+    match collect parse_listener listen with
+    | Ok [] -> Ok [ Srv.Tcp ("127.0.0.1", 7411) ]
+    | r -> r
+  in
+  match (listeners, collect parse_struct structs) with
+  | Error m, _ | _, Error m -> `Error (false, m)
+  | Ok listeners, Ok prestructs -> (
+      let limits =
+        {
+          Limits.default with
+          Limits.max_inflight;
+          max_multi;
+          op_budget;
+          op_deadline_us;
+          debug_ops;
+        }
+      in
+      let cfg =
+        {
+          Srv.default_config with
+          Srv.listeners;
+          workers;
+          limits;
+          prestructs;
+          stats_json;
+          trace;
+          max_seconds;
+          quiet;
+        }
+      in
+      match Srv.run cfg with
+      | _handle -> `Ok ()
+      | exception Invalid_argument m -> `Error (false, m)
+      | exception Unix.Unix_error (e, fn, arg) ->
+          `Error
+            (false, Printf.sprintf "%s(%s): %s" fn arg (Unix.error_message e)))
+
+let () =
+  let doc =
+    "PolyTM transactional store daemon: named STM structures served \
+     over TCP/Unix sockets with per-request semantics hints."
+  in
+  let term =
+    Term.(ret
+            (const main $ listen_t $ workers_t $ max_inflight_t $ max_multi_t
+           $ budget_t $ deadline_t $ debug_ops_t $ struct_t $ stats_json_t
+           $ trace_t $ max_seconds_t $ quiet_t))
+  in
+  exit (Cmd.eval (Cmd.v (Cmd.info "polytmd" ~version:"1.0.0" ~doc) term))

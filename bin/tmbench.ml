@@ -205,6 +205,8 @@ let sweep_cmd =
       (fun p ->
         Format.printf "%8d %10.2f %10.3f %10d %8d@." p.F.threads p.F.speedup
           p.F.throughput p.F.completed p.F.failed;
+        Format.printf "         latency(ticks): %a@." Polytm_util.Stats.Hist.pp
+          p.F.latency;
         match p.F.telemetry with
         | Some snap -> Format.printf "         %a@." Report.pp_point_telemetry snap
         | None -> ())

@@ -1,0 +1,390 @@
+(* tmload — load generator for polytmd.
+
+   Drives a running daemon over TCP or a Unix socket with a
+   configurable operation mix, key skew and pipeline depth, from one
+   or more client domains (one connection each).  The semantics hints
+   exercise all three transaction classes the way the paper assigns
+   them: point reads travel ~elastic, updates ~classic, and full
+   iterations ~snapshot.
+
+   Closed loop (default): each connection keeps a window of
+   [--pipeline] requests outstanding — load tracks service capacity.
+   Open loop ([--rate R]): requests are dispatched on a fixed schedule
+   regardless of completions, so measured latency includes queueing
+   delay when the server falls behind.
+
+   Latency is measured per request, send-to-reply, and aggregated in
+   the log-bucketed histogram of Polytm_util.Stats.Hist; --json emits
+   BENCH_*.json-compatible records ({"name", "ns_per_op"}). *)
+
+module Wire = Polytm_server.Wire
+module Hist = Polytm_util.Stats.Hist
+module R = Polytm_runtime.Domain_runtime
+open Cmdliner
+
+type counters = {
+  mutable sent : int;
+  mutable got : int;
+  ops_by_sem : int array;  (* committed replies per hint class *)
+  mutable busy : int;
+  mutable app_errors : int;  (* typed server errors other than BUSY *)
+  mutable proto_errors : int;  (* malformed/corrupt replies *)
+  lat : Hist.t;
+}
+
+let new_counters () =
+  {
+    sent = 0;
+    got = 0;
+    ops_by_sem = Array.make 3 0;
+    busy = 0;
+    app_errors = 0;
+    proto_errors = 0;
+    lat = Hist.create ();
+  }
+
+let sem_index = function
+  | Polytm.Semantics.Classic -> 0
+  | Polytm.Semantics.Elastic -> 1
+  | Polytm.Semantics.Snapshot -> 2
+
+(* ---- workload ---------------------------------------------------------- *)
+
+type mix = {
+  keys : int;
+  update_pct : int;
+  snapshot_pct : int;
+  hot_pct : int;  (* % of ops aimed at the hottest 10% of the keyspace *)
+}
+
+let pick_key mix rng =
+  let r = Random.State.int rng 100 in
+  if r < mix.hot_pct then Random.State.int rng (max 1 (mix.keys / 10))
+  else Random.State.int rng mix.keys
+
+let gen_request mix rng : Wire.request * Polytm.Semantics.t =
+  let r = Random.State.int rng 100 in
+  if r < mix.snapshot_pct then
+    ( { Wire.hint = Some Polytm.Semantics.Snapshot;
+        cmd = Wire.Snapshot_iter "bench" },
+      Polytm.Semantics.Snapshot )
+  else if r < mix.snapshot_pct + mix.update_pct then
+    let k = pick_key mix rng in
+    let cmd =
+      if Random.State.bool rng then Wire.Put ("bench", k, "v" ^ string_of_int k)
+      else Wire.Del ("bench", k)
+    in
+    ({ Wire.hint = Some Polytm.Semantics.Classic; cmd }, Polytm.Semantics.Classic)
+  else
+    ( { Wire.hint = Some Polytm.Semantics.Elastic;
+        cmd = Wire.Get ("bench", pick_key mix rng) },
+      Polytm.Semantics.Elastic )
+
+(* ---- one client connection --------------------------------------------- *)
+
+let connect = function
+  | `Tcp (host, port) ->
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      let addr =
+        try Unix.inet_addr_of_string host
+        with _ -> Unix.inet_addr_loopback
+      in
+      Unix.connect fd (Unix.ADDR_INET (addr, port));
+      Unix.setsockopt fd Unix.TCP_NODELAY true;
+      fd
+  | `Unix path ->
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_UNIX path);
+      fd
+
+let send_all fd buf =
+  let s = Buffer.contents buf in
+  Buffer.clear buf;
+  let len = String.length s in
+  let off = ref 0 in
+  while !off < len do
+    off := !off + Unix.write_substring fd s !off (len - !off)
+  done
+
+exception Dead of string
+
+(* Read until [want] more responses have been consumed. *)
+let read_responses fd dec rbuf c (inflight : (int * int) Queue.t) want =
+  let consumed = ref 0 in
+  while !consumed < want do
+    (let rec pop () =
+       if !consumed < want then
+         match Wire.Decoder.next_response dec with
+         | `Ok resp ->
+             let t_send, semi = Queue.pop inflight in
+             c.got <- c.got + 1;
+             Hist.record c.lat (R.now () - t_send);
+             (match resp with
+             | Wire.Error (Wire.Busy, _) -> c.busy <- c.busy + 1
+             | Wire.Error _ -> c.app_errors <- c.app_errors + 1
+             | _ -> c.ops_by_sem.(semi) <- c.ops_by_sem.(semi) + 1);
+             incr consumed;
+             pop ()
+         | `Bad _ ->
+             c.proto_errors <- c.proto_errors + 1;
+             ignore (Queue.pop inflight);
+             incr consumed;
+             pop ()
+         | `Corrupt m ->
+             c.proto_errors <- c.proto_errors + 1;
+             raise (Dead ("corrupt response stream: " ^ m))
+         | `Await -> ()
+     in
+     pop ());
+    if !consumed < want then
+      match Unix.read fd rbuf 0 (Bytes.length rbuf) with
+      | 0 -> raise (Dead "server closed the connection")
+      | n -> Wire.Decoder.feed dec rbuf 0 n
+  done
+
+let client ~addr ~mix ~pipeline ~rate ~seconds ~seed id =
+  let c = new_counters () in
+  let fd = connect addr in
+  let rng = Random.State.make [| seed; id; 0x7A0AD |] in
+  let dec = Wire.Decoder.create () in
+  let rbuf = Bytes.create 65536 in
+  let out = Buffer.create 4096 in
+  let inflight : (int * int) Queue.t = Queue.create () in
+  let enqueue () =
+    let req, sem = gen_request mix rng in
+    Wire.write_request out req;
+    Queue.push (R.now (), sem_index sem) inflight;
+    c.sent <- c.sent + 1
+  in
+  (try
+     (* Ensure the bench structure exists (idempotent). *)
+     Wire.write_request out
+       { Wire.hint = None; cmd = Wire.New (Wire.Kmap, "bench") };
+     Queue.push (R.now (), 0) inflight;
+     send_all fd out;
+     read_responses fd dec rbuf c inflight 1;
+     c.sent <- 0;
+     c.got <- 0;
+     Array.fill c.ops_by_sem 0 3 0;
+     let t_end = Unix.gettimeofday () +. seconds in
+     (match rate with
+     | None ->
+         (* Closed loop: keep [pipeline] requests outstanding; send a
+            full window, drain it, repeat. *)
+         while Unix.gettimeofday () < t_end do
+           for _ = 1 to pipeline do
+             enqueue ()
+           done;
+           send_all fd out;
+           read_responses fd dec rbuf c inflight pipeline
+         done
+     | Some per_conn_rate ->
+         (* Open loop: dispatch on schedule; drain whatever arrived
+            between sends without blocking the schedule more than one
+            response at a time. *)
+         let interval = 1.0 /. per_conn_rate in
+         let next = ref (Unix.gettimeofday ()) in
+         while Unix.gettimeofday () < t_end do
+           let now = Unix.gettimeofday () in
+           if now < !next then ignore (Unix.select [] [] [] (!next -. now))
+           else begin
+             next := !next +. interval;
+             enqueue ();
+             send_all fd out;
+             (* bounded backlog: never more than [pipeline] unanswered *)
+             if Queue.length inflight > pipeline then
+               read_responses fd dec rbuf c inflight 1
+           end
+         done);
+     (* Drain the tail so every sent request is accounted for. *)
+     read_responses fd dec rbuf c inflight (Queue.length inflight)
+   with
+  | Dead _ -> ()
+  | Unix.Unix_error _ -> c.proto_errors <- c.proto_errors + 1);
+  (try Unix.close fd with _ -> ());
+  c
+
+(* ---- aggregation and reporting ----------------------------------------- *)
+
+let merge cs =
+  let tot = new_counters () in
+  List.iter
+    (fun c ->
+      tot.sent <- tot.sent + c.sent;
+      tot.got <- tot.got + c.got;
+      Array.iteri (fun i n -> tot.ops_by_sem.(i) <- tot.ops_by_sem.(i) + n)
+        c.ops_by_sem;
+      tot.busy <- tot.busy + c.busy;
+      tot.app_errors <- tot.app_errors + c.app_errors;
+      tot.proto_errors <- tot.proto_errors + c.proto_errors;
+      Hist.merge_into ~into:tot.lat c.lat)
+    cs;
+  tot
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | ch -> Buffer.add_char b ch)
+    s;
+  Buffer.contents b
+
+(* BENCH_*.json-compatible: a top-level section of {"name","ns_per_op"}
+   records, the shape CI's seed comparison already parses. *)
+let write_json path label elapsed (c : counters) =
+  let thr = float_of_int c.got /. elapsed in
+  let rec_ name v =
+    Printf.sprintf "{\"name\":\"server/%s %s\",\"ns_per_op\":%g}"
+      (json_escape label) name v
+  in
+  let pct p = float_of_int (Hist.percentile c.lat p) in
+  let records =
+    [
+      rec_ "mean latency" (Hist.mean c.lat);
+      rec_ "p50 latency" (pct 50.);
+      rec_ "p95 latency" (pct 95.);
+      rec_ "p99 latency" (pct 99.);
+      rec_ "max latency" (float_of_int (Hist.max c.lat));
+    ]
+  in
+  let oc = open_out path in
+  Printf.fprintf oc
+    "{\"server\":[%s],\n\
+    \ \"throughput_ops_per_sec\":%g,\n\
+    \ \"elapsed_s\":%g,\n\
+    \ \"ops\":{\"total\":%d,\"classic\":%d,\"elastic\":%d,\"snapshot\":%d},\n\
+    \ \"errors\":{\"busy\":%d,\"app\":%d,\"protocol\":%d}}\n"
+    (String.concat "," records)
+    thr elapsed c.got c.ops_by_sem.(0) c.ops_by_sem.(1) c.ops_by_sem.(2)
+    c.busy c.app_errors c.proto_errors;
+  close_out oc
+
+let report label elapsed conns (c : counters) =
+  let pct p = float_of_int (Hist.percentile c.lat p) /. 1000. in
+  Printf.printf "tmload: %s, %d connection%s, %.2fs\n" label conns
+    (if conns = 1 then "" else "s")
+    elapsed;
+  Printf.printf "  throughput: %.0f ops/s (%d ops)\n"
+    (float_of_int c.got /. elapsed)
+    c.got;
+  Printf.printf "  by hint:    classic=%d elastic=%d snapshot=%d\n"
+    c.ops_by_sem.(0) c.ops_by_sem.(1) c.ops_by_sem.(2);
+  Printf.printf "  latency us: p50=%.0f p95=%.0f p99=%.0f max=%.0f mean=%.1f\n"
+    (pct 50.) (pct 95.) (pct 99.)
+    (float_of_int (Hist.max c.lat) /. 1000.)
+    (Hist.mean c.lat /. 1000.);
+  Printf.printf "  errors:     busy=%d app=%d protocol=%d\n%!" c.busy
+    c.app_errors c.proto_errors
+
+(* ---- cmdliner ---------------------------------------------------------- *)
+
+let addr_t =
+  Arg.(value & opt string "127.0.0.1:7411"
+       & info [ "addr"; "a" ] ~docv:"ADDR"
+           ~doc:"Server address: $(b,HOST:PORT) or $(b,unix:PATH).")
+
+let conns_t =
+  Arg.(value & opt int 4
+       & info [ "conns"; "c" ] ~docv:"N" ~doc:"Client connections (domains).")
+
+let pipeline_t =
+  Arg.(value & opt int 16
+       & info [ "pipeline"; "p" ] ~docv:"D"
+           ~doc:"Requests kept outstanding per connection.")
+
+let seconds_t =
+  Arg.(value & opt float 2.0
+       & info [ "seconds"; "s" ] ~docv:"SEC" ~doc:"Run duration.")
+
+let keys_t =
+  Arg.(value & opt int 4096 & info [ "keys" ] ~docv:"N" ~doc:"Keyspace size.")
+
+let update_t =
+  Arg.(value & opt int 20
+       & info [ "update" ] ~docv:"PCT"
+           ~doc:"Percentage of update operations (PUT/DEL, hinted
+                 ~classic).")
+
+let snapshot_t =
+  Arg.(value & opt int 2
+       & info [ "snapshot" ] ~docv:"PCT"
+           ~doc:"Percentage of SNAPSHOT-ITER operations (hinted
+                 ~snapshot); the rest are GETs hinted ~elastic.")
+
+let hot_t =
+  Arg.(value & opt int 0
+       & info [ "hot" ] ~docv:"PCT"
+           ~doc:"Key skew: percentage of ops aimed at the hottest 10%
+                 of the keyspace (0 = uniform).")
+
+let rate_t =
+  Arg.(value & opt (some float) None
+       & info [ "rate" ] ~docv:"OPS_PER_SEC"
+           ~doc:"Open-loop mode: total dispatch rate across all
+                 connections (default: closed loop).")
+
+let seed_t =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"RNG seed.")
+
+let json_t =
+  Arg.(value & opt (some string) None
+       & info [ "json" ] ~docv:"FILE"
+           ~doc:"Write BENCH-style JSON figures here.")
+
+let fail_errors_t =
+  Arg.(value & flag
+       & info [ "fail-on-errors" ]
+           ~doc:"Exit nonzero if any protocol error occurred or any
+                 semantics class completed zero operations (CI).")
+
+let main addr conns pipeline seconds keys update snapshot hot rate seed json
+    fail_on_errors =
+  let addr =
+    if String.length addr > 5 && String.sub addr 0 5 = "unix:" then
+      `Unix (String.sub addr 5 (String.length addr - 5))
+    else
+      match String.rindex_opt addr ':' with
+      | Some i ->
+          `Tcp
+            ( String.sub addr 0 i,
+              int_of_string (String.sub addr (i + 1) (String.length addr - i - 1))
+            )
+      | None -> `Tcp (addr, 7411)
+  in
+  let mix = { keys; update_pct = update; snapshot_pct = snapshot; hot_pct = hot } in
+  let rate = Option.map (fun r -> r /. float_of_int conns) rate in
+  let t0 = Unix.gettimeofday () in
+  let doms =
+    List.init conns (fun i ->
+        Domain.spawn (fun () ->
+            client ~addr ~mix ~pipeline ~rate ~seconds ~seed i))
+  in
+  let total = merge (List.map Domain.join doms) in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  let label =
+    Printf.sprintf "%s%d%%upd/%d%%snap"
+      (match rate with None -> "closed " | Some _ -> "open ")
+      update snapshot
+  in
+  report label elapsed conns total;
+  Option.iter (fun p -> write_json p label elapsed total) json;
+  if
+    fail_on_errors
+    && (total.proto_errors > 0
+       || Array.exists (fun n -> n = 0) total.ops_by_sem)
+  then begin
+    prerr_endline "tmload: FAIL (protocol errors or an idle semantics class)";
+    exit 1
+  end
+
+let () =
+  let doc = "Load generator for the polytmd transactional store daemon." in
+  let term =
+    Term.(const main $ addr_t $ conns_t $ pipeline_t $ seconds_t $ keys_t
+          $ update_t $ snapshot_t $ hot_t $ rate_t $ seed_t $ json_t
+          $ fail_errors_t)
+  in
+  exit (Cmd.eval (Cmd.v (Cmd.info "tmload" ~version:"1.0.0" ~doc) term))

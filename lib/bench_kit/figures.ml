@@ -124,6 +124,8 @@ type point = {
   speedup : float;  (** normalised over the sequential baseline *)
   completed : int;
   failed : int;
+  latency : Polytm_util.Stats.Hist.t;
+      (** per-operation virtual-tick latency distribution *)
   telemetry : T.Agg.snapshot option;
 }
 
@@ -161,6 +163,7 @@ let run_series ?(progress = fun _ -> ()) p ~baseline sys =
           speedup = r.Harness.throughput /. baseline;
           completed = r.Harness.completed;
           failed = r.Harness.failed;
+          latency = r.Harness.latency;
           telemetry = r.Harness.telemetry;
         })
       p.threads_list

@@ -34,6 +34,10 @@ type result = {
   duration : int;  (** virtual ticks *)
   throughput : float;  (** completed ops per 1000 ticks *)
   steps : int;  (** charged shared-memory accesses *)
+  latency : Polytm_util.Stats.Hist.t;
+      (** per-operation completion latency in virtual ticks (abandoned
+          operations excluded), shared log-bucketed histogram — the
+          same accumulator [tmload] uses for wire latencies *)
   telemetry : Polytm_telemetry.Agg.snapshot option;
       (** per-site commit/abort breakdown when the implementation is
           transactional (the system installed an {!Polytm_telemetry.Agg}
@@ -48,6 +52,11 @@ let run ?(label = "") ?(cores = 16) ~make ~spec ~threads ~duration ~seed () =
   let label = if label = "" then set.A.name else label in
   List.iter (fun k -> ignore (set.A.add k)) (Workload.prefill_keys spec);
   let completed = ref 0 and failed = ref 0 in
+  (* Single accumulator: the simulator interleaves virtual threads on
+     one real thread, so unsynchronised recording is safe.  [Sim.now]
+     is an uncharged clock read — sampling it cannot perturb the
+     schedule, so the goldens stay byte-identical. *)
+  let latency = Polytm_util.Stats.Hist.create () in
   let master = Polytm_util.Rng.create seed in
   let rngs = List.init threads (fun _ -> Polytm_util.Rng.split master) in
   let (), info =
@@ -56,6 +65,7 @@ let run ?(label = "") ?(cores = 16) ~make ~spec ~threads ~duration ~seed () =
           while Sim.now () < duration do
             match Workload.next_op spec rng with
             | op -> (
+                let t0 = Sim.now () in
                 match
                   match op with
                   | Workload.Contains k -> ignore (set.A.contains k)
@@ -63,7 +73,9 @@ let run ?(label = "") ?(cores = 16) ~make ~spec ~threads ~duration ~seed () =
                   | Workload.Remove k -> ignore (set.A.remove k)
                   | Workload.Size -> ignore (set.A.size ())
                 with
-                | () -> incr completed
+                | () ->
+                    incr completed;
+                    Polytm_util.Stats.Hist.record latency (Sim.now () - t0)
                 | exception e when too_many_attempts e -> incr failed)
           done
         in
@@ -82,5 +94,6 @@ let run ?(label = "") ?(cores = 16) ~make ~spec ~threads ~duration ~seed () =
     duration;
     throughput = 1000.0 *. float_of_int !completed /. wall;
     steps = info.Sim.steps;
+    latency;
     telemetry = telemetry ();
   }

@@ -1,0 +1,49 @@
+(** Resource bounds and per-op execution policy of a [polytmd]
+    session.  Everything that protects the server from an unbounded or
+    hostile client lives here, so the session code reads as policy
+    application rather than magic numbers.
+
+    Backpressure is explicit: a client that pipelines more than
+    [max_inflight] requests into one read batch gets [BUSY] errors for
+    the excess instead of the server buffering arbitrarily — the reply
+    tells the client to slow down, and server memory stays bounded by
+    [max_inflight * max_frame] per connection. *)
+
+type t = {
+  max_inflight : int;
+      (** decoded-but-unexecuted requests tolerated per connection;
+          excess requests are answered [BUSY] and not executed *)
+  max_multi : int;  (** commands accepted inside one [MULTI] batch *)
+  max_frame : int;  (** bytes per wire frame (header excluded) *)
+  op_budget : int option;
+      (** optimistic retry budget per operation, mapped onto
+          [try_atomically ~budget]; [None] uses the STM instance's
+          [max_attempts] *)
+  op_deadline_us : int option;
+      (** per-operation deadline in microseconds, mapped onto
+          [try_atomically ~deadline]; [None] means no deadline *)
+  debug_ops : bool;
+      (** accept [DEBUG-ABORT] probe requests (tests and CI smoke);
+          off by default *)
+}
+
+let default =
+  {
+    max_inflight = 128;
+    max_multi = 1024;
+    max_frame = 8 * 1024 * 1024;
+    op_budget = None;
+    op_deadline_us = None;
+    debug_ops = false;
+  }
+
+let validate t =
+  if t.max_inflight < 1 then invalid_arg "Limits: max_inflight must be >= 1";
+  if t.max_multi < 1 then invalid_arg "Limits: max_multi must be >= 1";
+  if t.max_frame < 64 then invalid_arg "Limits: max_frame must be >= 64";
+  (match t.op_budget with
+  | Some b when b < 1 -> invalid_arg "Limits: op_budget must be >= 1"
+  | _ -> ());
+  match t.op_deadline_us with
+  | Some d when d < 0 -> invalid_arg "Limits: op_deadline_us must be >= 0"
+  | _ -> ()

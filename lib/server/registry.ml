@@ -1,0 +1,181 @@
+(** Named transactional structures hosted by the server, plus the
+    translation from wire commands to STM operations.
+
+    One registry owns one STM instance (over the domains runtime) and
+    a name -> structure table.  The table itself is a persistent
+    association list behind an [Atomic]: lookups on the request hot
+    path are a single atomic load, and the rare creations CAS a new
+    list in.  The {e contents} of every structure are transactional —
+    the registry only maps names to roots.
+
+    Command execution is split in two phases on purpose:
+
+    - {!resolve} runs {e outside} any transaction: it checks the
+      structure exists and the operation matches its kind, returning
+      either an error response or a thunk.
+    - the thunk runs {e inside} the session's [try_atomically]; the
+      structure operations it calls open nested transactions that
+      flatten into the session's outer one, which is how a whole
+      [MULTI] batch, or a single hinted op, executes under exactly one
+      transaction of the hinted semantics.
+
+    Pre-resolving keeps failures atomic: a [MULTI] batch either
+    resolves completely or executes not at all, so no partial batch is
+    ever visible. *)
+
+module S = Polytm.Stm.Make (Polytm_runtime.Domain_runtime)
+module Smap = Polytm_structs.Stm_map.Make (S)
+module Sset = Polytm_structs.Stm_hash_set.Make (S)
+module Squeue = Polytm_structs.Stm_queue.Make (S)
+
+type entry =
+  | Emap of string Smap.t
+  | Eset of Sset.t
+  | Equeue of string Squeue.t
+
+type t = { stm : S.t; entries : (string * entry) list Atomic.t }
+
+let create ?stm () =
+  let stm = match stm with Some s -> s | None -> S.create () in
+  { stm; entries = Atomic.make [] }
+
+let stm t = t.stm
+
+let find t name = List.assoc_opt name (Atomic.get t.entries)
+
+let kind_of_entry = function
+  | Emap _ -> Wire.Kmap
+  | Eset _ -> Wire.Kset
+  | Equeue _ -> Wire.Kqueue
+
+(* Idempotent creation: NEW of an existing name succeeds when the kind
+   matches (so clients can ensure their structures without
+   coordination) and is a typed error when it does not. *)
+let ensure t kind name =
+  let fresh () =
+    match kind with
+    | Wire.Kmap -> Emap (Smap.create t.stm)
+    | Wire.Kset -> Eset (Sset.create t.stm)
+    | Wire.Kqueue -> Equeue (Squeue.create t.stm)
+  in
+  let rec go () =
+    let cur = Atomic.get t.entries in
+    match List.assoc_opt name cur with
+    | Some e ->
+        if kind_of_entry e = kind then Ok `Existed
+        else
+          Error
+            (Wire.Error
+               ( Wire.Bad_op,
+                 Printf.sprintf "%s exists with kind %s" name
+                   (Wire.kind_to_string (kind_of_entry e)) ))
+    | None ->
+        if Atomic.compare_and_set t.entries cur ((name, fresh ()) :: cur) then
+          Ok `Created
+        else go ()
+  in
+  go ()
+
+let names t =
+  List.sort compare (List.map fst (Atomic.get t.entries))
+
+(* ---- command resolution ------------------------------------------------ *)
+
+let err code fmt = Printf.ksprintf (fun m -> Wire.Error (code, m)) fmt
+
+let bool_resp b = Wire.Int (if b then 1 else 0)
+
+let mismatch cmd entry =
+  err Wire.Bad_op "%s does not apply to a %s" (Wire.cmd_name cmd)
+    (Wire.kind_to_string (kind_of_entry entry))
+
+(* [resolve t cmd] is either an immediate error response or a thunk to
+   run inside the session's transaction.  Only plain structure
+   operations resolve here — PING/NEW/MULTI/DEBUG-ABORT are session
+   concerns. *)
+let resolve t cmd : (unit -> Wire.response, Wire.response) result =
+  let with_entry name k =
+    match find t name with
+    | None -> Error (err Wire.No_struct "no structure named %S" name)
+    | Some e -> k e
+  in
+  match cmd with
+  | Wire.Get (name, key) ->
+      with_entry name (function
+        | Emap m ->
+            Ok
+              (fun () ->
+                match Smap.find_opt m key with
+                | Some v -> Wire.Bulk v
+                | None -> Wire.Nil)
+        | e -> Error (mismatch cmd e))
+  | Wire.Put (name, key, v) ->
+      with_entry name (function
+        | Emap m -> Ok (fun () -> bool_resp (Smap.add m key v))
+        | e -> Error (mismatch cmd e))
+  | Wire.Del (name, key) ->
+      with_entry name (function
+        | Emap m -> Ok (fun () -> bool_resp (Smap.remove m key))
+        | e -> Error (mismatch cmd e))
+  | Wire.Contains (name, key) ->
+      with_entry name (function
+        | Emap m -> Ok (fun () -> bool_resp (Smap.mem m key))
+        | Eset s -> Ok (fun () -> bool_resp (Sset.contains s key))
+        | e -> Error (mismatch cmd e))
+  | Wire.Add (name, key) ->
+      with_entry name (function
+        | Eset s -> Ok (fun () -> bool_resp (Sset.add s key))
+        | e -> Error (mismatch cmd e))
+  | Wire.Remove (name, key) ->
+      with_entry name (function
+        | Eset s -> Ok (fun () -> bool_resp (Sset.remove s key))
+        | e -> Error (mismatch cmd e))
+  | Wire.Size name ->
+      with_entry name (function
+        | Emap m -> Ok (fun () -> Wire.Int (Smap.size m))
+        | Eset s -> Ok (fun () -> Wire.Int (Sset.size s))
+        | Equeue q -> Ok (fun () -> Wire.Int (Squeue.length q)))
+  | Wire.Snapshot_iter name ->
+      with_entry name (function
+        | Emap m ->
+            Ok
+              (fun () ->
+                Wire.Array
+                  (List.map
+                     (fun (k, v) -> Wire.Array [ Wire.Int k; Wire.Bulk v ])
+                     (Smap.to_list m)))
+        | Eset s ->
+            Ok
+              (fun () ->
+                Wire.Array (List.map (fun k -> Wire.Int k) (Sset.to_list s)))
+        | Equeue q ->
+            Ok
+              (fun () ->
+                Wire.Array (List.map (fun v -> Wire.Bulk v) (Squeue.to_list q))))
+  | Wire.Enq (name, v) ->
+      with_entry name (function
+        | Equeue q ->
+            Ok
+              (fun () ->
+                Squeue.enqueue q v;
+                Wire.ok)
+        | e -> Error (mismatch cmd e))
+  | Wire.Deq name ->
+      with_entry name (function
+        | Equeue q ->
+            Ok
+              (fun () ->
+                match Squeue.dequeue_opt q with
+                | Some v -> Wire.Bulk v
+                | None -> Wire.Nil)
+        | e -> Error (mismatch cmd e))
+  | Wire.Ping | Wire.New _ | Wire.Multi | Wire.Multi_end | Wire.Debug_abort _
+    ->
+      Error (err Wire.Bad_op "%s is not a structure operation" (Wire.cmd_name cmd))
+
+(* Default transaction semantics when the request carries no hint: the
+   paper's novice default, except consistent iteration which is the
+   snapshot showcase. *)
+let default_sem = function
+  | Wire.Snapshot_iter _ -> Polytm.Semantics.Snapshot
+  | _ -> Polytm.Semantics.Classic

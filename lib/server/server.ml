@@ -1,0 +1,327 @@
+(** The [polytmd] driver: listeners, worker domains, graceful
+    shutdown, and observability export.
+
+    Topology: the calling domain runs the accept loop (a [select] over
+    every listener with a short tick so it can notice the stop flag),
+    pushing accepted connections onto a bounded queue; [workers]
+    domains pop connections and run {!Session.serve} on them, one
+    connection at a time per worker.  All workers share one
+    {!Registry} — and therefore one STM instance over the domains
+    runtime — which is the whole point: transactions from different
+    connections really do contend and compose on the same tvars.
+
+    Shutdown ([SIGTERM]/[SIGINT], or [max_seconds]) is graceful: the
+    stop flag flips, listeners close (no new connections), idle
+    workers wake and exit, and every active connection is nudged with
+    [shutdown SHUTDOWN_RECEIVE] so a session blocked in [read] returns
+    and performs its final drain — in-flight requests are answered and
+    flushed, never dropped.  Only then are workers joined and the
+    stats/trace files written. *)
+
+module T = Polytm_telemetry
+module S = Registry.S
+module Hist = Polytm_util.Stats.Hist
+
+type listener = Tcp of string * int | Unix_sock of string
+
+type config = {
+  listeners : listener list;
+  workers : int;
+  limits : Limits.t;
+  prestructs : (Wire.kind * string) list;
+      (** structures created before accepting (so clients need no
+          setup round-trip) *)
+  stats_json : string option;  (** write a stats snapshot here on exit *)
+  trace : string option;  (** write a Chrome/Perfetto trace here on exit *)
+  ring_capacity : int;  (** telemetry ring slots per lane *)
+  max_seconds : float option;  (** self-terminate after this long *)
+  quiet : bool;
+}
+
+let default_config =
+  {
+    listeners = [ Tcp ("127.0.0.1", 7411) ];
+    workers = 4;
+    limits = Limits.default;
+    prestructs = [];
+    stats_json = None;
+    trace = None;
+    ring_capacity = 1 lsl 14;
+    max_seconds = None;
+    quiet = false;
+  }
+
+(* ---- bounded connection queue ------------------------------------------ *)
+
+module Conn_queue = struct
+  type t = {
+    q : Unix.file_descr Queue.t;
+    mutable closed : bool;
+    max : int;
+    m : Mutex.t;
+    c : Condition.t;
+  }
+
+  let create max = { q = Queue.create (); closed = false; max; m = Mutex.create (); c = Condition.create () }
+
+  (* [push] refuses (returns false) when full — the caller closes the
+     connection, which is accept-level backpressure. *)
+  let push t fd =
+    Mutex.lock t.m;
+    let accepted =
+      if t.closed || Queue.length t.q >= t.max then false
+      else begin
+        Queue.push fd t.q;
+        Condition.signal t.c;
+        true
+      end
+    in
+    Mutex.unlock t.m;
+    accepted
+
+  let close t =
+    Mutex.lock t.m;
+    t.closed <- true;
+    Condition.broadcast t.c;
+    Mutex.unlock t.m
+
+  (* Blocks until a connection or closure; [None] means shut down. *)
+  let pop t =
+    Mutex.lock t.m;
+    let rec go () =
+      if not (Queue.is_empty t.q) then Some (Queue.pop t.q)
+      else if t.closed then None
+      else begin
+        Condition.wait t.c t.m;
+        go ()
+      end
+    in
+    let r = go () in
+    Mutex.unlock t.m;
+    r
+end
+
+(* ---- active-connection tracking (for the shutdown nudge) --------------- *)
+
+module Active = struct
+  type t = { mutable fds : Unix.file_descr list; m : Mutex.t }
+
+  let create () = { fds = []; m = Mutex.create () }
+
+  let add t fd =
+    Mutex.lock t.m;
+    t.fds <- fd :: t.fds;
+    Mutex.unlock t.m
+
+  let remove t fd =
+    Mutex.lock t.m;
+    t.fds <- List.filter (fun f -> f != fd) t.fds;
+    Mutex.unlock t.m
+
+  let nudge t =
+    Mutex.lock t.m;
+    List.iter
+      (fun fd -> try Unix.shutdown fd Unix.SHUTDOWN_RECEIVE with _ -> ())
+      t.fds;
+    Mutex.unlock t.m
+end
+
+(* ---- listeners --------------------------------------------------------- *)
+
+let open_listener = function
+  | Tcp (host, port) ->
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.setsockopt fd Unix.SO_REUSEADDR true;
+      let addr =
+        try Unix.inet_addr_of_string host
+        with _ -> Unix.inet_addr_loopback
+      in
+      Unix.bind fd (Unix.ADDR_INET (addr, port));
+      Unix.listen fd 128;
+      fd
+  | Unix_sock path ->
+      (try Unix.unlink path with _ -> ());
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.bind fd (Unix.ADDR_UNIX path);
+      Unix.listen fd 128;
+      fd
+
+let close_listeners cfg fds =
+  List.iter (fun fd -> try Unix.close fd with _ -> ()) fds;
+  List.iter
+    (function
+      | Unix_sock path -> ( try Unix.unlink path with _ -> ())
+      | Tcp _ -> ())
+    cfg.listeners
+
+(* ---- stats export ------------------------------------------------------ *)
+
+let hist_json h =
+  let pct p = float_of_int (Hist.percentile h p) /. 1000. in
+  T.Json.Obj
+    [
+      ("count", T.Json.Int (Hist.count h));
+      ("mean_us", T.Json.Float (Hist.mean h /. 1000.));
+      ("p50_us", T.Json.Float (pct 50.));
+      ("p95_us", T.Json.Float (pct 95.));
+      ("p99_us", T.Json.Float (pct 99.));
+      ("max_us", T.Json.Float (float_of_int (Hist.max h) /. 1000.));
+    ]
+
+let stats_json_doc ~elapsed_s (stats : Session.stats) ~events_lost agg_snapshot
+    =
+  let sem_name i = Polytm.Semantics.to_string (Session.sem_of_index i) in
+  T.Json.Obj
+    [
+      ( "server",
+        T.Json.Obj
+          [
+            ("elapsed_s", T.Json.Float elapsed_s);
+            ("requests", T.Json.Int stats.Session.requests);
+            ("replies", T.Json.Int stats.Session.replies);
+            ("busy", T.Json.Int stats.Session.busy);
+            ("proto_errors", T.Json.Int stats.Session.proto_errors);
+            ("deadline_errors", T.Json.Int stats.Session.deadline_errors);
+            ("exhausted_errors", T.Json.Int stats.Session.exhausted_errors);
+            ("sem_errors", T.Json.Int stats.Session.sem_errors);
+            ("other_errors", T.Json.Int stats.Session.other_errors);
+            ( "latency",
+              T.Json.Obj
+                (("all", hist_json stats.Session.lat_all)
+                :: List.init 3 (fun i ->
+                       (sem_name i, hist_json stats.Session.lat_by_sem.(i))))
+            );
+          ] );
+      ("telemetry", T.Export.snapshot_json agg_snapshot);
+      ("telemetry_events_lost", T.Json.Int events_lost);
+    ]
+
+let write_file path s =
+  let oc = open_out path in
+  output_string oc s;
+  output_char oc '\n';
+  close_out oc
+
+(* ---- the server -------------------------------------------------------- *)
+
+type handle = {
+  registry : Registry.t;
+  stop : bool Atomic.t;
+  stats : Session.stats;  (** merged totals, valid after [run] returns *)
+}
+
+let run ?(registry = Registry.create ()) cfg =
+  Limits.validate cfg.limits;
+  if cfg.workers < 1 then invalid_arg "Server: workers must be >= 1";
+  if cfg.listeners = [] then invalid_arg "Server: no listeners";
+  List.iter
+    (fun (kind, name) ->
+      match Registry.ensure registry kind name with
+      | Ok _ -> ()
+      | Error _ ->
+          invalid_arg (Printf.sprintf "Server: prestruct %S conflicts" name))
+    cfg.prestructs;
+  (* Telemetry: a lock-free ring so the request path never takes a
+     lock for observability; drained once after the workers join. *)
+  let ring =
+    if cfg.stats_json <> None || cfg.trace <> None then
+      Some (T.Ring.create ~lanes:(cfg.workers + 1) ~capacity:cfg.ring_capacity ())
+    else None
+  in
+  Option.iter
+    (fun r -> S.set_sink (Registry.stm registry) (Some (T.Ring.sink r)))
+    ring;
+  let stop = Atomic.make false in
+  let prev_term =
+    Sys.signal Sys.sigterm (Sys.Signal_handle (fun _ -> Atomic.set stop true))
+  in
+  let prev_int =
+    Sys.signal Sys.sigint (Sys.Signal_handle (fun _ -> Atomic.set stop true))
+  in
+  let prev_pipe = Sys.signal Sys.sigpipe Sys.Signal_ignore in
+  let listeners = List.map open_listener cfg.listeners in
+  let queue = Conn_queue.create 1024 in
+  let active = Active.create () in
+  let t_start = Unix.gettimeofday () in
+  let worker_stats = Array.init cfg.workers (fun _ -> Session.create_stats ()) in
+  let workers =
+    Array.init cfg.workers (fun i ->
+        Domain.spawn (fun () ->
+            let rec loop () =
+              match Conn_queue.pop queue with
+              | None -> ()
+              | Some fd ->
+                  Active.add active fd;
+                  (try
+                     Session.handle
+                       ~stop:(fun () -> Atomic.get stop)
+                       ~limits:cfg.limits ~registry ~stats:worker_stats.(i) fd
+                   with _ -> ());
+                  Active.remove active fd;
+                  (try Unix.close fd with _ -> ());
+                  loop ()
+            in
+            loop ()))
+  in
+  (* Accept loop: select with a tick so the stop flag and the
+     max_seconds deadline are observed promptly. *)
+  let deadline =
+    Option.map (fun s -> t_start +. s) cfg.max_seconds
+  in
+  let rec accept_loop () =
+    if Atomic.get stop then ()
+    else begin
+      (match deadline with
+      | Some d when Unix.gettimeofday () >= d -> Atomic.set stop true
+      | _ -> ());
+      if Atomic.get stop then ()
+      else begin
+        (match Unix.select listeners [] [] 0.2 with
+        | ready, _, _ ->
+            List.iter
+              (fun lfd ->
+                match Unix.accept ~cloexec:true lfd with
+                | fd, _ ->
+                    if not (Conn_queue.push queue fd) then
+                      (* accept-level backpressure: the queue is full *)
+                      (try Unix.close fd with _ -> ())
+                | exception Unix.Unix_error (_, _, _) -> ())
+              ready
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+        accept_loop ()
+      end
+    end
+  in
+  accept_loop ();
+  (* ---- graceful drain ---- *)
+  close_listeners cfg listeners;
+  Conn_queue.close queue;
+  Active.nudge active;
+  Array.iter Domain.join workers;
+  Sys.set_signal Sys.sigterm prev_term;
+  Sys.set_signal Sys.sigint prev_int;
+  Sys.set_signal Sys.sigpipe prev_pipe;
+  let elapsed_s = Unix.gettimeofday () -. t_start in
+  let stats = Session.create_stats () in
+  Array.iter (fun s -> Session.merge_stats ~into:stats s) worker_stats;
+  S.set_sink (Registry.stm registry) None;
+  let events = match ring with Some r -> T.Ring.drain r | None -> [] in
+  let events_lost = match ring with Some r -> T.Ring.overwritten r | None -> 0 in
+  Option.iter
+    (fun path ->
+      let doc =
+        stats_json_doc ~elapsed_s stats ~events_lost (T.Agg.of_events events)
+      in
+      write_file path (T.Json.to_string doc))
+    cfg.stats_json;
+  Option.iter
+    (fun path ->
+      write_file path
+        (T.Json.to_string (T.Export.chrome_trace ~process_name:"polytmd" events)))
+    cfg.trace;
+  if not cfg.quiet then
+    Printf.printf
+      "polytmd: served %d requests (%d replies, %d busy, %d proto errors) in %.1fs\n%!"
+      stats.Session.requests stats.Session.replies stats.Session.busy
+      stats.Session.proto_errors elapsed_s;
+  { registry; stop; stats }

@@ -1,0 +1,380 @@
+(** One client connection: decode, execute, reply.
+
+    The session is deliberately synchronous — it reads a batch of
+    bytes, decodes every complete frame it can, executes them in
+    order, and writes the replies back before reading again.  Replies
+    therefore come back in request order (what pipelining clients
+    rely on), and the number of decoded-but-unexecuted requests is
+    bounded by what one read batch contains; anything beyond the
+    [max_inflight] limit inside a batch is refused with a [BUSY] reply
+    instead of being buffered.
+
+    {b Privatization safety} (the response-buffer argument, DESIGN.md
+    §S16): a reply's payload is the value returned by the {e committed}
+    attempt of [try_atomically] — aborted attempts' results are
+    discarded with their effects — and it is serialised into the
+    output buffer strictly {e after} the commit (or, for snapshot
+    transactions, after the consistent read-only view completed).  The
+    wire never carries a value from a doomed transaction.
+
+    The session knows nothing about sockets beyond a file descriptor,
+    so the deterministic end-to-end tests drive it over
+    [Unix.socketpair]. *)
+
+module S = Registry.S
+module R = Polytm_runtime.Domain_runtime
+module Hist = Polytm_util.Stats.Hist
+
+(* ---- per-session / per-worker statistics ------------------------------- *)
+
+type stats = {
+  mutable requests : int;  (** well-formed frames received *)
+  mutable replies : int;
+  mutable busy : int;  (** requests refused for backpressure *)
+  mutable proto_errors : int;  (** malformed or corrupt frames *)
+  mutable deadline_errors : int;
+  mutable exhausted_errors : int;
+  mutable sem_errors : int;  (** hint forbade the operation *)
+  mutable other_errors : int;  (** NOSTRUCT / BADOP replies *)
+  lat_by_sem : Hist.t array;
+      (** op latency (ns) per executed semantics: classic, elastic,
+          snapshot — index with {!sem_index} *)
+  lat_all : Hist.t;  (** op latency (ns) over every executed request *)
+}
+
+let create_stats () =
+  {
+    requests = 0;
+    replies = 0;
+    busy = 0;
+    proto_errors = 0;
+    deadline_errors = 0;
+    exhausted_errors = 0;
+    sem_errors = 0;
+    other_errors = 0;
+    lat_by_sem = Array.init 3 (fun _ -> Hist.create ());
+    lat_all = Hist.create ();
+  }
+
+let sem_index = function
+  | Polytm.Semantics.Classic -> 0
+  | Polytm.Semantics.Elastic -> 1
+  | Polytm.Semantics.Snapshot -> 2
+
+let sem_of_index = function
+  | 0 -> Polytm.Semantics.Classic
+  | 1 -> Polytm.Semantics.Elastic
+  | _ -> Polytm.Semantics.Snapshot
+
+let merge_stats ~into src =
+  into.requests <- into.requests + src.requests;
+  into.replies <- into.replies + src.replies;
+  into.busy <- into.busy + src.busy;
+  into.proto_errors <- into.proto_errors + src.proto_errors;
+  into.deadline_errors <- into.deadline_errors + src.deadline_errors;
+  into.exhausted_errors <- into.exhausted_errors + src.exhausted_errors;
+  into.sem_errors <- into.sem_errors + src.sem_errors;
+  into.other_errors <- into.other_errors + src.other_errors;
+  Array.iteri
+    (fun i h -> Hist.merge_into ~into:into.lat_by_sem.(i) h)
+    src.lat_by_sem;
+  Hist.merge_into ~into:into.lat_all src.lat_all
+
+(* ---- telemetry labels --------------------------------------------------
+
+   Call-site labels are "op@semantics" ("contains@elastic",
+   "size@snapshot", ...), so the per-site abort breakdown doubles as a
+   per-semantics-class commit/abort table.  They are interned once at
+   module load; the request hot path only does lookups (the table is
+   never mutated after initialisation, so concurrent reads from worker
+   domains are safe). *)
+
+let op_classes =
+  [ "PING"; "NEW"; "GET"; "PUT"; "DEL"; "CONTAINS"; "ADD"; "REMOVE"; "SIZE";
+    "SNAPSHOT-ITER"; "ENQ"; "DEQ"; "MULTI"; "MULTI-END"; "DEBUG-ABORT" ]
+
+let label_table : (string * int, string) Hashtbl.t =
+  let t = Hashtbl.create 64 in
+  List.iter
+    (fun op ->
+      for i = 0 to 2 do
+        let sem = sem_of_index i in
+        Hashtbl.add t (op, i)
+          (String.lowercase_ascii op ^ "@" ^ Polytm.Semantics.to_string sem)
+      done)
+    op_classes;
+  t
+
+let label_of cmd sem =
+  match Hashtbl.find_opt label_table (Wire.cmd_name cmd, sem_index sem) with
+  | Some l -> l
+  | None -> Wire.cmd_name cmd
+
+(* ---- the session ------------------------------------------------------- *)
+
+type t = {
+  fd : Unix.file_descr;
+  reg : Registry.t;
+  limits : Limits.t;
+  stats : stats;
+  stop : unit -> bool;
+  dec : Wire.Decoder.t;
+  out : Buffer.t;
+  rbuf : Bytes.t;
+  mutable in_multi : bool;
+  mutable multi_hint : Polytm.Semantics.t option;
+  mutable multi_rev : Wire.cmd list;  (** queued batch, newest first *)
+  mutable multi_count : int;
+  mutable closing : bool;
+}
+
+let err = Registry.err
+
+let reply t resp =
+  Wire.write_response t.out resp;
+  t.stats.replies <- t.stats.replies + 1;
+  (match resp with
+  | Wire.Error (code, _) -> (
+      match code with
+      | Wire.Busy -> t.stats.busy <- t.stats.busy + 1
+      | Wire.Proto -> t.stats.proto_errors <- t.stats.proto_errors + 1
+      | Wire.Deadline -> t.stats.deadline_errors <- t.stats.deadline_errors + 1
+      | Wire.Exhausted ->
+          t.stats.exhausted_errors <- t.stats.exhausted_errors + 1
+      | Wire.Sem_violation -> t.stats.sem_errors <- t.stats.sem_errors + 1
+      | Wire.No_struct | Wire.Bad_op ->
+          t.stats.other_errors <- t.stats.other_errors + 1)
+  | _ -> ())
+
+(* Run [f] as one transaction of [sem], translating the structured
+   outcome — and the semantics-violation exception — into typed error
+   replies.  This is where the wire meets PR 4's liveness API. *)
+let run_tx t ~sem ~label ?budget ?deadline_us (f : S.tx -> Wire.response) :
+    Wire.response =
+  let budget = match budget with Some _ as b -> b | None -> t.limits.op_budget in
+  let deadline_us =
+    match deadline_us with Some _ as d -> d | None -> t.limits.op_deadline_us
+  in
+  let t0 = R.now () in
+  let deadline = Option.map (fun us -> t0 + (us * 1000)) deadline_us in
+  let resp =
+    match
+      S.try_atomically ?budget ?deadline ~sem ~label (Registry.stm t.reg) f
+    with
+    | S.Committed r -> r
+    | S.Exhausted { attempts; _ } ->
+        err Wire.Exhausted "retry budget spent after %d attempts" attempts
+    | S.Deadline_exceeded { attempts; _ } ->
+        err Wire.Deadline "deadline passed after %d attempts" attempts
+    | exception S.Invalid_operation m -> err Wire.Sem_violation "%s" m
+  in
+  let dt = R.now () - t0 in
+  Hist.record t.stats.lat_by_sem.(sem_index sem) dt;
+  Hist.record t.stats.lat_all dt;
+  resp
+
+let reset_multi t =
+  t.in_multi <- false;
+  t.multi_hint <- None;
+  t.multi_rev <- [];
+  t.multi_count <- 0
+
+let exec_multi_end t =
+  let cmds = List.rev t.multi_rev in
+  let hint = t.multi_hint in
+  reset_multi t;
+  if cmds = [] then Wire.Array []
+  else
+    (* Resolve the whole batch first: a batch that cannot execute
+       completely executes not at all (atomicity also for errors). *)
+    let rec resolve_all acc = function
+      | [] -> Ok (List.rev acc)
+      | c :: rest -> (
+          match Registry.resolve t.reg c with
+          | Ok thunk -> resolve_all ((c, thunk) :: acc) rest
+          | Error e -> Error (c, e))
+    in
+    match resolve_all [] cmds with
+    | Error (c, Wire.Error (code, m)) ->
+        err code "batch rejected at %s: %s" (Wire.cmd_name c) m
+    | Error (_, e) -> e
+    | Ok thunks ->
+        let sem =
+          Option.value hint ~default:Polytm.Semantics.Classic
+        in
+        run_tx t ~sem ~label:(label_of Wire.Multi_end sem) (fun _tx ->
+            Wire.Array (List.map (fun (_, thunk) -> thunk ()) thunks))
+
+let exec_single t (r : Wire.request) cmd =
+  let sem = Option.value r.hint ~default:(Registry.default_sem cmd) in
+  match Registry.resolve t.reg cmd with
+  | Error e -> e
+  | Ok thunk -> run_tx t ~sem ~label:(label_of cmd sem) (fun _tx -> thunk ())
+
+let exec_request t (r : Wire.request) : Wire.response =
+  match r.cmd with
+  | Wire.Ping -> Wire.pong
+  | Wire.New (kind, name) -> (
+      if t.in_multi then err Wire.Bad_op "NEW is not allowed inside MULTI"
+      else
+        match Registry.ensure t.reg kind name with
+        | Ok `Created -> Wire.ok
+        | Ok `Existed -> Wire.Simple "EXISTS"
+        | Error e -> e)
+  | Wire.Multi ->
+      if t.in_multi then err Wire.Bad_op "MULTI cannot nest"
+      else begin
+        t.in_multi <- true;
+        t.multi_hint <- r.hint;
+        Wire.ok
+      end
+  | Wire.Multi_end ->
+      if not t.in_multi then err Wire.Bad_op "MULTI-END without MULTI"
+      else exec_multi_end t
+  | Wire.Debug_abort { budget; deadline_us } ->
+      if t.in_multi then err Wire.Bad_op "DEBUG-ABORT inside MULTI"
+      else if not t.limits.Limits.debug_ops then
+        err Wire.Bad_op "debug ops are disabled"
+      else
+        (* A transaction that aborts every attempt: with a finite
+           budget [try_atomically] reports Exhausted, with a spent
+           deadline Deadline_exceeded — the two error reply paths,
+           exercisable deterministically. *)
+        let budget = Some (Option.value budget ~default:2) in
+        run_tx t
+          ~sem:Polytm.Semantics.Classic
+          ~label:(label_of r.cmd Polytm.Semantics.Classic)
+          ?budget ?deadline_us
+          (fun tx -> S.abort tx)
+  | cmd ->
+      if t.in_multi then
+        if t.multi_count >= t.limits.Limits.max_multi then begin
+          reset_multi t;
+          err Wire.Bad_op "MULTI batch exceeds %d commands (batch discarded)"
+            t.limits.Limits.max_multi
+        end
+        else begin
+          t.multi_rev <- cmd :: t.multi_rev;
+          t.multi_count <- t.multi_count + 1;
+          Wire.queued
+        end
+      else exec_single t r cmd
+
+(* ---- the read/execute/reply loop --------------------------------------- *)
+
+let flush t =
+  let s = Buffer.contents t.out in
+  Buffer.clear t.out;
+  let len = String.length s in
+  let off = ref 0 in
+  (try
+     while !off < len do
+       off := !off + Unix.write_substring t.fd s !off (len - !off)
+     done
+   with
+  | Unix.Unix_error (Unix.EPIPE, _, _)
+  | Unix.Unix_error (Unix.ECONNRESET, _, _)
+  ->
+    t.closing <- true)
+
+(* Decode everything available, applying the in-flight bound, then
+   execute the admitted requests in order.  Refusals (BUSY, protocol
+   errors) take a slot in the same queue as admitted requests so that
+   replies always come back in request order — a pipelining client
+   matches them up positionally. *)
+let process_available t =
+  let pending : [ `Exec of Wire.request | `Refuse of Wire.response ] Queue.t =
+    Queue.create ()
+  in
+  let admitted = ref 0 in
+  let rec collect () =
+    match Wire.Decoder.next_request t.dec with
+    | `Ok r ->
+        t.stats.requests <- t.stats.requests + 1;
+        if !admitted >= t.limits.Limits.max_inflight then
+          Queue.push
+            (`Refuse
+              (err Wire.Busy "more than %d requests in flight"
+                 t.limits.Limits.max_inflight))
+            pending
+        else begin
+          incr admitted;
+          Queue.push (`Exec r) pending
+        end;
+        collect ()
+    | `Bad m ->
+        Queue.push (`Refuse (err Wire.Proto "%s" m)) pending;
+        collect ()
+    | `Await -> ()
+    | `Corrupt m ->
+        Queue.push (`Refuse (err Wire.Proto "corrupt stream: %s" m)) pending;
+        t.closing <- true
+  in
+  collect ();
+  Queue.iter
+    (function
+      | `Exec r -> reply t (exec_request t r)
+      | `Refuse e -> reply t e)
+    pending
+
+(* After a shutdown request: consume whatever already arrived (without
+   blocking), answer it, flush, and let the caller close.  In-flight
+   requests are drained, not dropped. *)
+let final_drain t =
+  Unix.set_nonblock t.fd;
+  (try
+     let rec slurp () =
+       match Unix.read t.fd t.rbuf 0 (Bytes.length t.rbuf) with
+       | 0 -> ()
+       | n ->
+           Wire.Decoder.feed t.dec t.rbuf 0 n;
+           slurp ()
+     in
+     slurp ()
+   with
+  | Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
+  | Unix.Unix_error _ -> ());
+  process_available t;
+  flush t
+
+let create ?(stop = fun () -> false) ~limits ~registry ~stats fd =
+  Limits.validate limits;
+  {
+    fd;
+    reg = registry;
+    limits;
+    stats;
+    stop;
+    dec = Wire.Decoder.create ~max_frame:limits.Limits.max_frame ();
+    out = Buffer.create 4096;
+    rbuf = Bytes.create 65536;
+    in_multi = false;
+    multi_hint = None;
+    multi_rev = [];
+    multi_count = 0;
+    closing = false;
+  }
+
+let serve t =
+  let rec loop () =
+    if t.stop () then final_drain t
+    else
+      match Unix.read t.fd t.rbuf 0 (Bytes.length t.rbuf) with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+      | exception Unix.Unix_error (Unix.ECONNRESET, _, _) -> ()
+      | 0 ->
+          (* Orderly client close: whatever was decodable has already
+             been executed and flushed; nothing to drain. *)
+          ()
+      | n ->
+          Wire.Decoder.feed t.dec t.rbuf 0 n;
+          process_available t;
+          flush t;
+          if not t.closing then loop ()
+  in
+  loop ()
+
+(* Convenience used by polytmd's workers. *)
+let handle ?stop ~limits ~registry ~stats fd =
+  let t = create ?stop ~limits ~registry ~stats fd in
+  serve t

@@ -1,0 +1,479 @@
+(* Pure codec for the polytmd wire protocol.  See wire.mli for the
+   grammar.  No I/O, no sockets: Buffers in, byte slices out. *)
+
+type kind = Kmap | Kset | Kqueue
+
+let kind_to_string = function Kmap -> "map" | Kset -> "set" | Kqueue -> "queue"
+
+let kind_of_string = function
+  | "map" -> Some Kmap
+  | "set" -> Some Kset
+  | "queue" -> Some Kqueue
+  | _ -> None
+
+type cmd =
+  | Ping
+  | New of kind * string
+  | Get of string * int
+  | Put of string * int * string
+  | Del of string * int
+  | Contains of string * int
+  | Add of string * int
+  | Remove of string * int
+  | Size of string
+  | Snapshot_iter of string
+  | Enq of string * string
+  | Deq of string
+  | Multi
+  | Multi_end
+  | Debug_abort of { budget : int option; deadline_us : int option }
+
+type request = { hint : Polytm.Semantics.t option; cmd : cmd }
+
+let cmd_name = function
+  | Ping -> "PING"
+  | New _ -> "NEW"
+  | Get _ -> "GET"
+  | Put _ -> "PUT"
+  | Del _ -> "DEL"
+  | Contains _ -> "CONTAINS"
+  | Add _ -> "ADD"
+  | Remove _ -> "REMOVE"
+  | Size _ -> "SIZE"
+  | Snapshot_iter _ -> "SNAPSHOT-ITER"
+  | Enq _ -> "ENQ"
+  | Deq _ -> "DEQ"
+  | Multi -> "MULTI"
+  | Multi_end -> "MULTI-END"
+  | Debug_abort _ -> "DEBUG-ABORT"
+
+type err_code =
+  | Proto
+  | Busy
+  | Deadline
+  | Exhausted
+  | No_struct
+  | Bad_op
+  | Sem_violation
+
+let err_code_to_string = function
+  | Proto -> "ERR"
+  | Busy -> "BUSY"
+  | Deadline -> "DEADLINE"
+  | Exhausted -> "EXHAUSTED"
+  | No_struct -> "NOSTRUCT"
+  | Bad_op -> "BADOP"
+  | Sem_violation -> "SEM"
+
+let err_code_of_string = function
+  | "ERR" -> Some Proto
+  | "BUSY" -> Some Busy
+  | "DEADLINE" -> Some Deadline
+  | "EXHAUSTED" -> Some Exhausted
+  | "NOSTRUCT" -> Some No_struct
+  | "BADOP" -> Some Bad_op
+  | "SEM" -> Some Sem_violation
+  | _ -> None
+
+type response =
+  | Simple of string
+  | Int of int
+  | Bulk of string
+  | Nil
+  | Error of err_code * string
+  | Array of response list
+
+let ok = Simple "OK"
+let pong = Simple "PONG"
+let queued = Simple "QUEUED"
+
+(* ---- encoding ---------------------------------------------------------- *)
+
+let digits n =
+  (* Decimal width of a non-negative int. *)
+  let rec go acc n = if n < 10 then acc else go (acc + 1) (n / 10) in
+  go 1 (if n < 0 then 0 else n)
+
+let sem_field = function
+  | Polytm.Semantics.Classic -> "~classic"
+  | Polytm.Semantics.Elastic -> "~elastic"
+  | Polytm.Semantics.Snapshot -> "~snapshot"
+
+let sem_of_field = function
+  | "~classic" -> Some Polytm.Semantics.Classic
+  | "~elastic" -> Some Polytm.Semantics.Elastic
+  | "~snapshot" -> Some Polytm.Semantics.Snapshot
+  | _ -> None
+
+let opt_int_field = function None -> "_" | Some n -> string_of_int n
+
+let fields_of_request r =
+  let base =
+    match r.cmd with
+    | Ping -> [ "PING" ]
+    | New (k, name) -> [ "NEW"; kind_to_string k; name ]
+    | Get (s, k) -> [ "GET"; s; string_of_int k ]
+    | Put (s, k, v) -> [ "PUT"; s; string_of_int k; v ]
+    | Del (s, k) -> [ "DEL"; s; string_of_int k ]
+    | Contains (s, k) -> [ "CONTAINS"; s; string_of_int k ]
+    | Add (s, k) -> [ "ADD"; s; string_of_int k ]
+    | Remove (s, k) -> [ "REMOVE"; s; string_of_int k ]
+    | Size s -> [ "SIZE"; s ]
+    | Snapshot_iter s -> [ "SNAPSHOT-ITER"; s ]
+    | Enq (s, v) -> [ "ENQ"; s; v ]
+    | Deq s -> [ "DEQ"; s ]
+    | Multi -> [ "MULTI" ]
+    | Multi_end -> [ "MULTI-END" ]
+    | Debug_abort { budget; deadline_us } ->
+        [ "DEBUG-ABORT"; opt_int_field budget; opt_int_field deadline_us ]
+  in
+  match r.hint with None -> base | Some s -> sem_field s :: base
+
+let bulk_len s = 1 + digits (String.length s) + 1 + String.length s + 1
+
+let request_body_len fields =
+  1 + digits (List.length fields) + 1
+  + List.fold_left (fun acc f -> acc + bulk_len f) 0 fields
+
+let add_bulk buf s =
+  Buffer.add_char buf '$';
+  Buffer.add_string buf (string_of_int (String.length s));
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf s;
+  Buffer.add_char buf '\n'
+
+let add_frame_header buf body_len =
+  Buffer.add_char buf '#';
+  Buffer.add_string buf (string_of_int body_len);
+  Buffer.add_char buf '\n'
+
+let write_request buf r =
+  let fields = fields_of_request r in
+  add_frame_header buf (request_body_len fields);
+  Buffer.add_char buf '*';
+  Buffer.add_string buf (string_of_int (List.length fields));
+  Buffer.add_char buf '\n';
+  List.iter (add_bulk buf) fields
+
+let no_newline what s =
+  if String.contains s '\n' then
+    invalid_arg (Printf.sprintf "Wire.write_response: newline in %s" what)
+
+let rec response_body_len = function
+  | Simple s -> 1 + String.length s + 1
+  | Int n -> 1 + String.length (string_of_int n) + 1
+  | Bulk s -> bulk_len s
+  | Nil -> 2
+  | Error (c, m) ->
+      1 + String.length (err_code_to_string c) + 1 + String.length m + 1
+  | Array l ->
+      1 + digits (List.length l) + 1
+      + List.fold_left (fun acc r -> acc + response_body_len r) 0 l
+
+let rec add_response_body buf = function
+  | Simple s ->
+      no_newline "simple string" s;
+      Buffer.add_char buf '+';
+      Buffer.add_string buf s;
+      Buffer.add_char buf '\n'
+  | Int n ->
+      Buffer.add_char buf ':';
+      Buffer.add_string buf (string_of_int n);
+      Buffer.add_char buf '\n'
+  | Bulk s -> add_bulk buf s
+  | Nil -> Buffer.add_string buf "_\n"
+  | Error (c, m) ->
+      no_newline "error message" m;
+      Buffer.add_char buf '-';
+      Buffer.add_string buf (err_code_to_string c);
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf m;
+      Buffer.add_char buf '\n'
+  | Array l ->
+      Buffer.add_char buf '*';
+      Buffer.add_string buf (string_of_int (List.length l));
+      Buffer.add_char buf '\n';
+      List.iter (add_response_body buf) l
+
+let write_response buf r =
+  add_frame_header buf (response_body_len r);
+  add_response_body buf r
+
+(* ---- body parsing ------------------------------------------------------ *)
+
+(* Body parsers work on a complete frame body; any failure raises
+   [Bad], which the decoder turns into a [`Bad] item.  Because the
+   frame boundary came from the outer length prefix, a bad body never
+   costs more than its own frame. *)
+
+exception Bad of string
+
+let bad fmt = Printf.ksprintf (fun m -> raise (Bad m)) fmt
+
+type cursor = { body : string; mutable pos : int }
+
+let peek c = if c.pos >= String.length c.body then bad "truncated body" else c.body.[c.pos]
+
+let advance c = c.pos <- c.pos + 1
+
+let expect c ch =
+  let got = peek c in
+  if got <> ch then bad "expected %C, got %C at byte %d" ch got c.pos;
+  advance c
+
+(* Unsigned decimal int followed by '\n'; bounded to 15 digits so no
+   overflow games are possible. *)
+let parse_nat c =
+  let start = c.pos in
+  let n = ref 0 in
+  while (match peek c with '0' .. '9' -> true | _ -> false) do
+    n := (!n * 10) + (Char.code c.body.[c.pos] - Char.code '0');
+    advance c;
+    if c.pos - start > 15 then bad "integer too long"
+  done;
+  if c.pos = start then bad "expected digit at byte %d" c.pos;
+  expect c '\n';
+  !n
+
+(* Signed decimal int line (for ':' integer responses). *)
+let parse_int_line c =
+  let neg = peek c = '-' in
+  if neg then advance c;
+  let start = c.pos in
+  let n = ref 0 in
+  while (match peek c with '0' .. '9' -> true | _ -> false) do
+    n := (!n * 10) + (Char.code c.body.[c.pos] - Char.code '0');
+    advance c;
+    (* string_of_int of a 63-bit int is at most 19 digits *)
+    if c.pos - start > 19 then bad "integer too long"
+  done;
+  if c.pos = start then bad "expected digit at byte %d" c.pos;
+  expect c '\n';
+  if neg then - !n else !n
+
+let parse_line c =
+  (* Bytes up to the next '\n' (consumed). *)
+  match String.index_from_opt c.body c.pos '\n' with
+  | None -> bad "unterminated line"
+  | Some i ->
+      let s = String.sub c.body c.pos (i - c.pos) in
+      c.pos <- i + 1;
+      s
+
+let parse_bulk c =
+  expect c '$';
+  let len = parse_nat c in
+  if c.pos + len + 1 > String.length c.body then bad "bulk overruns frame";
+  let s = String.sub c.body c.pos len in
+  c.pos <- c.pos + len;
+  expect c '\n';
+  s
+
+let at_end c = c.pos = String.length c.body
+
+let int_arg what s =
+  match int_of_string_opt s with
+  | Some n -> n
+  | None -> bad "%s must be an integer, got %S" what s
+
+let opt_int_arg what = function
+  | "_" -> None
+  | s -> Some (int_arg what s)
+
+let request_of_fields fields =
+  let hint, fields =
+    match fields with
+    | f :: rest when String.length f > 0 && f.[0] = '~' -> (
+        match sem_of_field f with
+        | Some s -> (Some s, rest)
+        | None -> bad "unknown semantics hint %S" f)
+    | fields -> (None, fields)
+  in
+  let cmd =
+    match fields with
+    | [ "PING" ] -> Ping
+    | [ "NEW"; k; name ] -> (
+        match kind_of_string k with
+        | Some k -> New (k, name)
+        | None -> bad "unknown structure kind %S" k)
+    | [ "GET"; s; k ] -> Get (s, int_arg "key" k)
+    | [ "PUT"; s; k; v ] -> Put (s, int_arg "key" k, v)
+    | [ "DEL"; s; k ] -> Del (s, int_arg "key" k)
+    | [ "CONTAINS"; s; k ] -> Contains (s, int_arg "key" k)
+    | [ "ADD"; s; k ] -> Add (s, int_arg "key" k)
+    | [ "REMOVE"; s; k ] -> Remove (s, int_arg "key" k)
+    | [ "SIZE"; s ] -> Size s
+    | [ "SNAPSHOT-ITER"; s ] -> Snapshot_iter s
+    | [ "ENQ"; s; v ] -> Enq (s, v)
+    | [ "DEQ"; s ] -> Deq s
+    | [ "MULTI" ] -> Multi
+    | [ "MULTI-END" ] -> Multi_end
+    | [ "DEBUG-ABORT"; b; d ] ->
+        Debug_abort
+          {
+            budget = opt_int_arg "budget" b;
+            deadline_us = opt_int_arg "deadline" d;
+          }
+    | op :: _ -> bad "unknown op or arity: %S (%d fields)" op (List.length fields)
+    | [] -> bad "empty request"
+  in
+  { hint; cmd }
+
+let parse_request_body body =
+  let c = { body; pos = 0 } in
+  expect c '*';
+  let n = parse_nat c in
+  if n = 0 then bad "empty request array";
+  if n > 64 then bad "request array too long (%d)" n;
+  let fields = List.init n (fun _ -> parse_bulk c) in
+  if not (at_end c) then bad "trailing bytes in frame";
+  request_of_fields fields
+
+let max_response_depth = 8
+
+let rec parse_response c depth =
+  if depth > max_response_depth then bad "response nested too deeply";
+  match peek c with
+  | '+' ->
+      advance c;
+      Simple (parse_line c)
+  | ':' ->
+      advance c;
+      Int (parse_int_line c)
+  | '$' -> Bulk (parse_bulk c)
+  | '_' ->
+      advance c;
+      expect c '\n';
+      Nil
+  | '-' ->
+      advance c;
+      let line = parse_line c in
+      let code, msg =
+        match String.index_opt line ' ' with
+        | Some i ->
+            ( String.sub line 0 i,
+              String.sub line (i + 1) (String.length line - i - 1) )
+        | None -> (line, "")
+      in
+      (match err_code_of_string code with
+      | Some c -> Error (c, msg)
+      | None -> bad "unknown error code %S" code)
+  | '*' ->
+      advance c;
+      let n = parse_nat c in
+      if n > String.length c.body then bad "array longer than frame";
+      Array (List.init n (fun _ -> parse_response c (depth + 1)))
+  | ch -> bad "unknown response type byte %C" ch
+
+let parse_response_body body =
+  let c = { body; pos = 0 } in
+  let r = parse_response c 0 in
+  if not (at_end c) then bad "trailing bytes in frame";
+  r
+
+(* ---- incremental decoder ----------------------------------------------- *)
+
+module Decoder = struct
+  type t = {
+    mutable buf : Bytes.t;
+    mutable pos : int;  (* consumed prefix *)
+    mutable len : int;  (* filled prefix *)
+    max_frame : int;
+    mutable dead : string option;
+  }
+
+  let create ?(max_frame = 8 * 1024 * 1024) () =
+    { buf = Bytes.create 4096; pos = 0; len = 0; max_frame; dead = None }
+
+  let buffered t = t.len - t.pos
+
+  let feed t b off n =
+    if n < 0 || off < 0 || off + n > Bytes.length b then
+      invalid_arg "Wire.Decoder.feed";
+    let need = t.len - t.pos + n in
+    if t.len + n > Bytes.length t.buf then begin
+      (* Compact, growing if the live bytes plus input still overflow. *)
+      let cap = ref (Bytes.length t.buf) in
+      while need > !cap do
+        cap := !cap * 2
+      done;
+      let dst = if !cap > Bytes.length t.buf then Bytes.create !cap else t.buf in
+      Bytes.blit t.buf t.pos dst 0 (t.len - t.pos);
+      t.buf <- dst;
+      t.len <- t.len - t.pos;
+      t.pos <- 0
+    end;
+    Bytes.blit b off t.buf t.len n;
+    t.len <- t.len + n
+
+  let feed_string t s = feed t (Bytes.unsafe_of_string s) 0 (String.length s)
+
+  type 'a item =
+    [ `Ok of 'a | `Bad of string | `Await | `Corrupt of string ]
+
+  let die t msg =
+    t.dead <- Some msg;
+    `Corrupt msg
+
+  (* Longest header: '#' + digits of max_frame + '\n'. *)
+  let max_header = 2 + 10
+
+  let next_body t : string item =
+    match t.dead with
+    | Some m -> `Corrupt m
+    | None ->
+        if buffered t = 0 then `Await
+        else if Bytes.get t.buf t.pos <> '#' then
+          die t
+            (Printf.sprintf "bad frame header byte %C"
+               (Bytes.get t.buf t.pos))
+        else begin
+          (* Scan the bounded header region for the terminating '\n'. *)
+          let limit = min t.len (t.pos + max_header) in
+          let i = ref (t.pos + 1) in
+          while
+            !i < limit
+            && (match Bytes.get t.buf !i with '0' .. '9' -> true | _ -> false)
+          do
+            incr i
+          done;
+          if !i >= limit then
+            if limit = t.pos + max_header then die t "frame header too long"
+            else `Await
+          else if Bytes.get t.buf !i <> '\n' then
+            die t
+              (Printf.sprintf "bad byte %C in frame header" (Bytes.get t.buf !i))
+          else if !i = t.pos + 1 then die t "frame header without length"
+          else begin
+            let body_len =
+              int_of_string (Bytes.sub_string t.buf (t.pos + 1) (!i - t.pos - 1))
+            in
+            if body_len > t.max_frame then
+              die t (Printf.sprintf "frame of %d bytes exceeds limit" body_len)
+            else begin
+              let total = !i + 1 - t.pos + body_len in
+              if buffered t < total then `Await
+              else begin
+                let body = Bytes.sub_string t.buf (!i + 1) body_len in
+                t.pos <- t.pos + total;
+                if t.pos = t.len then begin
+                  t.pos <- 0;
+                  t.len <- 0
+                end;
+                `Ok body
+              end
+            end
+          end
+        end
+
+  let next_with parse t =
+    match next_body t with
+    | (`Await | `Corrupt _ | `Bad _) as r -> r
+    | `Ok body -> (
+        match parse body with
+        | v -> `Ok v
+        | exception Bad m -> `Bad m)
+
+  let next_request t = next_with parse_request_body t
+  let next_response t = next_with parse_response_body t
+end

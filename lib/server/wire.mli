@@ -1,0 +1,144 @@
+(** Wire protocol of [polytmd] — a pure, incremental codec.
+
+    The protocol is RESP-inspired, length-prefixed text: every message
+    travels in a {e frame}
+
+    {v #<body-bytes>\n<body> v}
+
+    whose header states the exact byte length of the body.  A request
+    body is an array of bulk strings ([*<n>\n] then [n] fields, each
+    [$<len>\n<bytes>\n]); the first field may be a semantics hint
+    ([~classic] / [~elastic] / [~snapshot]) — the paper's tx-begin
+    hint, carried across the process boundary — followed by the
+    operation name and its arguments.  A response body is typed by its
+    first byte: [+] simple string, [:] integer, [$] bulk, [_] nil,
+    [-<CODE> <msg>] error, [*] array.
+
+    The outer length prefix is what keeps a malformed body from
+    desynchronising the stream: the decoder always knows where the
+    next frame starts, so a frame whose body fails to parse is
+    consumed whole and surfaced as a typed [`Bad] item — the session
+    answers with a protocol-error reply and keeps going.  Only a
+    corrupt {e header} (the framing itself is gone) is unrecoverable:
+    the decoder latches [`Corrupt] and the session closes the
+    connection.
+
+    This module performs no I/O and touches no sockets: encoders
+    append to a caller-supplied [Buffer.t], the decoder is fed byte
+    slices and hands back parsed frames.  That is what makes it
+    testable by the qcheck round-trip/fuzz suite without a file
+    descriptor in sight. *)
+
+(** {1 Requests} *)
+
+type kind = Kmap | Kset | Kqueue
+(** The three hostable structure families, backed by
+    [Polytm_structs]'s [Stm_map], [Stm_hash_set] and [Stm_queue]. *)
+
+val kind_to_string : kind -> string
+val kind_of_string : string -> kind option
+
+type cmd =
+  | Ping
+  | New of kind * string  (** create (idempotently) a named structure *)
+  | Get of string * int  (** map lookup *)
+  | Put of string * int * string  (** map bind; replies 1 if the key is new *)
+  | Del of string * int  (** map unbind; replies 1 if the key existed *)
+  | Contains of string * int  (** membership: map or set *)
+  | Add of string * int  (** set insert; replies 1 if absent before *)
+  | Remove of string * int  (** set delete; replies 1 if present before *)
+  | Size of string  (** element count: map, set or queue *)
+  | Snapshot_iter of string
+      (** consistent full iteration; defaults to [Snapshot] semantics *)
+  | Enq of string * string  (** queue push-back *)
+  | Deq of string  (** queue pop-front; bulk or nil *)
+  | Multi  (** open a batch: following commands queue up *)
+  | Multi_end
+      (** execute the queued batch as {e one} transaction; replies an
+          array with one element per queued command *)
+  | Debug_abort of { budget : int option; deadline_us : int option }
+      (** test/probe op (disabled unless the server enables debug ops):
+          a transaction that explicitly aborts every attempt, so the
+          budget-exhaustion and deadline reply paths can be exercised
+          deterministically *)
+
+type request = { hint : Polytm.Semantics.t option; cmd : cmd }
+(** [hint] is the per-request transaction-semantics hint; [None] lets
+    the server pick the operation's default ([Snapshot] for
+    {!Snapshot_iter}, [Classic] otherwise). *)
+
+val cmd_name : cmd -> string
+(** Wire operation name, e.g. ["SNAPSHOT-ITER"]. *)
+
+(** {1 Responses} *)
+
+(** Typed error codes, one per failure family the session can report. *)
+type err_code =
+  | Proto  (** malformed frame or unparsable command *)
+  | Busy  (** backpressure: the in-flight limit was exceeded *)
+  | Deadline  (** the per-op deadline passed ([Deadline_exceeded]) *)
+  | Exhausted  (** the per-op retry budget ran out ([Exhausted]) *)
+  | No_struct  (** unknown structure name *)
+  | Bad_op  (** operation/structure kind mismatch, or misuse *)
+  | Sem_violation
+      (** the semantics hint forbids the operation (e.g. a write under
+          a [~snapshot] hint) *)
+
+val err_code_to_string : err_code -> string
+val err_code_of_string : string -> err_code option
+
+type response =
+  | Simple of string  (** status line; must contain no newline *)
+  | Int of int
+  | Bulk of string  (** arbitrary bytes *)
+  | Nil
+  | Error of err_code * string
+  | Array of response list
+
+val ok : response
+val pong : response
+val queued : response
+
+(** {1 Encoding}
+
+    Encoders append one complete frame.  Body sizes are computed
+    up front, so encoding is a single pass with no intermediate
+    buffers. *)
+
+val write_request : Buffer.t -> request -> unit
+
+val write_response : Buffer.t -> response -> unit
+(** @raise Invalid_argument if a {!Simple} or {!Error} payload
+    contains a newline (they are line-delimited on the wire). *)
+
+(** {1 Incremental decoding} *)
+
+module Decoder : sig
+  type t
+
+  val create : ?max_frame:int -> unit -> t
+  (** [max_frame] (default 8 MiB) bounds a single frame's body; a
+      header announcing more is treated as corrupt, so a hostile peer
+      cannot make the decoder buffer unboundedly. *)
+
+  val feed : t -> Bytes.t -> int -> int -> unit
+  (** [feed t b off len] appends bytes; call after every read. *)
+
+  val feed_string : t -> string -> unit
+
+  val buffered : t -> int
+  (** Bytes held but not yet consumed by a complete frame. *)
+
+  type 'a item =
+    [ `Ok of 'a  (** a well-formed frame *)
+    | `Bad of string
+      (** a complete frame whose body is malformed; the frame has been
+          consumed and the stream remains synchronised *)
+    | `Await  (** no complete frame buffered yet *)
+    | `Corrupt of string
+      (** the framing itself is broken; the decoder is latched dead
+          and every further call returns [`Corrupt] *) ]
+
+  val next_request : t -> request item
+  val next_response : t -> response item
+end

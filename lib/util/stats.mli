@@ -54,3 +54,48 @@ val histogram : buckets:int -> lo:float -> hi:float -> float array -> histogram
     below [lo] clamp to the first bucket and above [hi] to the last. *)
 
 val pp_summary : Format.formatter -> summary -> unit
+
+(** HDR-style latency histogram: log-linear buckets (relative
+    quantization error <= 1/64), O(1) record, constant memory, and
+    cheap merging — one instance per domain, merged after joining.
+    Values are non-negative integers in the caller's unit (nanoseconds
+    on real hardware, virtual ticks under the simulator); negative
+    samples clamp to 0. *)
+module Hist : sig
+  type t
+
+  val create : unit -> t
+  val clear : t -> unit
+
+  val record : t -> int -> unit
+  (** O(1): one array increment, no allocation. *)
+
+  val count : t -> int
+
+  val min : t -> int
+  (** Exact smallest recorded value; [0] when empty. *)
+
+  val max : t -> int
+  (** Exact largest recorded value; [0] when empty. *)
+
+  val mean : t -> float
+
+  val merge_into : into:t -> t -> unit
+  (** Add every bucket of the source into [into] (the source is left
+      untouched).  This is how per-domain histograms combine after the
+      domains are joined. *)
+
+  val percentile : t -> float -> int
+  (** [percentile t p] with [p] in [\[0,100\]]: the upper bound of the
+      bucket containing the rank-[ceil (p/100 * count)] sample, clamped
+      to the exact observed min/max (so [percentile t 0.] and
+      [percentile t 100.] are exact).  [0] when empty.
+      @raise Invalid_argument when [p] is outside [\[0,100\]]. *)
+
+  val buckets : t -> (int * int * int) list
+  (** Non-empty buckets in ascending order as [(lo, hi, count)] with
+      inclusive value bounds — the raw export for JSON figures. *)
+
+  val pp : Format.formatter -> t -> unit
+  (** One line: count, mean, p50/p95/p99, max. *)
+end

@@ -22,5 +22,7 @@ let () =
       Test_failure_injection.suite;
       Test_irrevocable.suite;
       Test_flat_structs.suite;
+      Test_wire.suite;
+      Test_server.suite;
       Test_goldens.suite;
     ]

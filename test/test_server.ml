@@ -1,0 +1,429 @@
+(* End-to-end tests for the polytmd session layer, driven
+   deterministically over [Unix.socketpair] — no TCP, no timing
+   assumptions.  The session runs in its own domain; because one
+   session executes its requests sequentially and the reply order is
+   the request order, every assertion below is exact.
+
+   Covered here, per DESIGN.md §S16:
+   - a pipelined mixed-semantics workload against a sequential oracle;
+   - MULTI batches: all-or-nothing execution, rejection of unresolvable
+     batches, semantics violations discarding the whole batch;
+   - BUSY backpressure under a shrunk in-flight limit, replies in
+     request order;
+   - deterministic DEADLINE / EXHAUSTED typed error replies via the
+     DEBUG-ABORT probe;
+   - graceful shutdown: in-flight requests drained and answered, locks
+     released (the registry remains fully usable afterwards). *)
+
+module Wire = Polytm_server.Wire
+module Limits = Polytm_server.Limits
+module Registry = Polytm_server.Registry
+module Session = Polytm_server.Session
+module Sem = Polytm.Semantics
+
+(* ---- plumbing ---------------------------------------------------------- *)
+
+let write_all fd s =
+  let len = String.length s in
+  let off = ref 0 in
+  while !off < len do
+    off := !off + Unix.write_substring fd s !off (len - !off)
+  done
+
+let encode reqs =
+  let b = Buffer.create 256 in
+  List.iter (Wire.write_request b) reqs;
+  Buffer.contents b
+
+(* Read exactly [n] responses. *)
+let recv_n fd n =
+  let dec = Wire.Decoder.create () in
+  let buf = Bytes.create 65536 in
+  let out = ref [] in
+  let got = ref 0 in
+  while !got < n do
+    (let rec pop () =
+       if !got < n then
+         match Wire.Decoder.next_response dec with
+         | `Ok r ->
+             out := r :: !out;
+             incr got;
+             pop ()
+         | `Await -> ()
+         | `Bad m -> Alcotest.failf "malformed reply: %s" m
+         | `Corrupt m -> Alcotest.failf "corrupt reply stream: %s" m
+     in
+     pop ());
+    if !got < n then
+      match Unix.read fd buf 0 (Bytes.length buf) with
+      | 0 -> Alcotest.failf "server closed with %d/%d replies" !got n
+      | len -> Wire.Decoder.feed dec buf 0 len
+  done;
+  List.rev !out
+
+(* Run [f client_fd registry stats stop_flag] against a live session. *)
+let with_session ?(limits = Limits.default) f =
+  let server_fd, client_fd =
+    Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0
+  in
+  let registry = Registry.create () in
+  let stats = Session.create_stats () in
+  let stop = Atomic.make false in
+  let dom =
+    Domain.spawn (fun () ->
+        Session.handle
+          ~stop:(fun () -> Atomic.get stop)
+          ~limits ~registry ~stats server_fd)
+  in
+  let finally () =
+    (try Unix.shutdown client_fd Unix.SHUTDOWN_SEND with _ -> ());
+    Domain.join dom;
+    (try Unix.close client_fd with _ -> ());
+    try Unix.close server_fd with _ -> ()
+  in
+  match f client_fd registry stats (stop, server_fd) with
+  | v ->
+      finally ();
+      v
+  | exception e ->
+      finally ();
+      raise e
+
+let rec pp_resp = function
+  | Wire.Simple s -> "+" ^ s
+  | Wire.Int n -> ":" ^ string_of_int n
+  | Wire.Bulk s -> "$" ^ String.escaped s
+  | Wire.Nil -> "_"
+  | Wire.Error (c, m) -> "-" ^ Wire.err_code_to_string c ^ " " ^ m
+  | Wire.Array l -> "[" ^ String.concat "; " (List.map pp_resp l) ^ "]"
+
+let resp_t : Wire.response Alcotest.testable =
+  Alcotest.testable (fun ppf r -> Format.pp_print_string ppf (pp_resp r)) ( = )
+
+let resps_t = Alcotest.(list resp_t)
+
+let req ?hint cmd = { Wire.hint; cmd }
+
+(* ---- pipelined mixed-semantics workload vs a sequential oracle --------- *)
+
+(* The oracle interprets the same command stream against plain OCaml
+   structures.  Because one session is sequential, the transactional
+   answers must be exactly the oracle's, whatever semantics each
+   request is hinted with. *)
+let oracle_step maps sets queue cmd : Wire.response =
+  match cmd with
+  | Wire.Put (_, k, v) ->
+      let fresh = not (Hashtbl.mem maps k) in
+      Hashtbl.replace maps k v;
+      Wire.Int (if fresh then 1 else 0)
+  | Wire.Get (_, k) -> (
+      match Hashtbl.find_opt maps k with
+      | Some v -> Wire.Bulk v
+      | None -> Wire.Nil)
+  | Wire.Del (_, k) ->
+      let had = Hashtbl.mem maps k in
+      Hashtbl.remove maps k;
+      Wire.Int (if had then 1 else 0)
+  | Wire.Contains (s, k) ->
+      if s = "m" then Wire.Int (if Hashtbl.mem maps k then 1 else 0)
+      else Wire.Int (if Hashtbl.mem sets k then 1 else 0)
+  | Wire.Add (_, k) ->
+      let fresh = not (Hashtbl.mem sets k) in
+      Hashtbl.replace sets k ();
+      Wire.Int (if fresh then 1 else 0)
+  | Wire.Remove (_, k) ->
+      let had = Hashtbl.mem sets k in
+      Hashtbl.remove sets k;
+      Wire.Int (if had then 1 else 0)
+  | Wire.Size s ->
+      Wire.Int
+        (if s = "m" then Hashtbl.length maps
+         else if s = "s" then Hashtbl.length sets
+         else Queue.length queue)
+  | Wire.Snapshot_iter s ->
+      if s = "m" then
+        Wire.Array
+          (Hashtbl.fold (fun k v acc -> (k, v) :: acc) maps []
+          |> List.sort compare
+          |> List.map (fun (k, v) -> Wire.Array [ Wire.Int k; Wire.Bulk v ]))
+      else if s = "s" then
+        Wire.Array
+          (Hashtbl.fold (fun k () acc -> k :: acc) sets []
+          |> List.sort compare
+          |> List.map (fun k -> Wire.Int k))
+      else
+        Wire.Array
+          (Queue.fold (fun acc v -> Wire.Bulk v :: acc) [] queue |> List.rev)
+  | Wire.Enq (_, v) ->
+      Queue.push v queue;
+      Wire.ok
+  | Wire.Deq _ -> (
+      match Queue.take_opt queue with
+      | Some v -> Wire.Bulk v
+      | None -> Wire.Nil)
+  | _ -> Alcotest.fail "oracle: unexpected command"
+
+let gen_op rng : Wire.request =
+  let k = Random.State.int rng 24 in
+  let v = "v" ^ string_of_int (Random.State.int rng 100) in
+  match Random.State.int rng 13 with
+  | 0 | 1 -> req ~hint:Sem.Classic (Wire.Put ("m", k, v))
+  | 2 | 3 -> req ~hint:Sem.Elastic (Wire.Get ("m", k))
+  | 4 -> req ~hint:Sem.Classic (Wire.Del ("m", k))
+  | 5 -> req ~hint:Sem.Elastic (Wire.Contains ("m", k))
+  | 6 -> req ~hint:Sem.Classic (Wire.Add ("s", k))
+  | 7 -> req ~hint:Sem.Classic (Wire.Remove ("s", k))
+  | 8 -> req ~hint:Sem.Elastic (Wire.Contains ("s", k))
+  | 9 -> req (Wire.Size (if k mod 3 = 0 then "m" else if k mod 3 = 1 then "s" else "q"))
+  | 10 ->
+      req ~hint:Sem.Snapshot
+        (Wire.Snapshot_iter
+           (if k mod 3 = 0 then "m" else if k mod 3 = 1 then "s" else "q"))
+  | 11 -> req ~hint:Sem.Classic (Wire.Enq ("q", v))
+  | _ -> req ~hint:Sem.Classic (Wire.Deq "q")
+
+let test_pipeline_matches_oracle () =
+  let rng = Random.State.make [| 0xBEEF |] in
+  let ops = List.init 150 (fun _ -> gen_op rng) in
+  let setup =
+    [
+      req (Wire.New (Wire.Kmap, "m"));
+      req (Wire.New (Wire.Kset, "s"));
+      req (Wire.New (Wire.Kqueue, "q"));
+    ]
+  in
+  let maps = Hashtbl.create 64 and sets = Hashtbl.create 64 in
+  let queue = Queue.create () in
+  let expected =
+    List.map (fun (r : Wire.request) -> oracle_step maps sets queue r.Wire.cmd) ops
+  in
+  let limits = { Limits.default with Limits.max_inflight = 4096 } in
+  with_session ~limits (fun fd _reg stats _ ->
+      write_all fd (encode setup);
+      let got_setup = recv_n fd (List.length setup) in
+      Alcotest.check resps_t "setup replies"
+        [ Wire.ok; Wire.ok; Wire.ok ] got_setup;
+      (* the whole mixed-semantics workload, pipelined in one write *)
+      write_all fd (encode ops);
+      let got = recv_n fd (List.length ops) in
+      Alcotest.check resps_t "pipelined replies match the oracle" expected got;
+      Alcotest.(check int) "no busy" 0 stats.Session.busy;
+      Alcotest.(check int) "no protocol errors" 0 stats.Session.proto_errors)
+
+(* ---- MULTI atomicity --------------------------------------------------- *)
+
+let test_multi_commits_atomically () =
+  with_session (fun fd _ _ _ ->
+      write_all fd
+        (encode
+           [
+             req (Wire.New (Wire.Kmap, "m"));
+             req Wire.Multi;
+             req (Wire.Put ("m", 1, "a"));
+             req (Wire.Put ("m", 2, "b"));
+             req (Wire.Del ("m", 3));
+             req Wire.Multi_end;
+             req (Wire.Get ("m", 1));
+             req (Wire.Size "m");
+           ]);
+      let got = recv_n fd 8 in
+      Alcotest.check resps_t "batch executes as one transaction"
+        [
+          Wire.ok;
+          Wire.ok;
+          Wire.queued;
+          Wire.queued;
+          Wire.queued;
+          Wire.Array [ Wire.Int 1; Wire.Int 1; Wire.Int 0 ];
+          Wire.Bulk "a";
+          Wire.Int 2;
+        ]
+        got)
+
+let test_multi_unresolvable_executes_nothing () =
+  with_session (fun fd _ _ _ ->
+      write_all fd
+        (encode
+           [
+             req (Wire.New (Wire.Kmap, "m"));
+             req Wire.Multi;
+             req (Wire.Put ("m", 7, "x"));
+             req (Wire.Get ("ghost", 1));
+             req Wire.Multi_end;
+             req (Wire.Contains ("m", 7));
+           ]);
+      match recv_n fd 6 with
+      | [ _; _; _; _; Wire.Error (Wire.No_struct, _); Wire.Int 0 ] -> ()
+      | got ->
+          Alcotest.failf "batch with unknown structure leaked effects: %s"
+            (String.concat " | " (List.map pp_resp got)))
+
+let test_multi_snapshot_write_discards_batch () =
+  with_session (fun fd _ stats _ ->
+      write_all fd
+        (encode
+           [
+             req (Wire.New (Wire.Kmap, "m"));
+             req ~hint:Sem.Snapshot Wire.Multi;
+             req (Wire.Put ("m", 9, "z"));
+             req Wire.Multi_end;
+             req (Wire.Contains ("m", 9));
+           ]);
+      (match recv_n fd 5 with
+      | [ _; _; _; Wire.Error (Wire.Sem_violation, _); Wire.Int 0 ] -> ()
+      | got ->
+          Alcotest.failf "snapshot-hinted write was not rejected atomically: %s"
+            (String.concat " | " (List.map pp_resp got)));
+      Alcotest.(check int) "counted as semantics violation" 1
+        stats.Session.sem_errors)
+
+(* ---- BUSY backpressure ------------------------------------------------- *)
+
+let test_busy_under_shrunk_inflight_limit () =
+  let limits = { Limits.default with Limits.max_inflight = 2 } in
+  with_session ~limits (fun fd _ stats _ ->
+      (* One write delivers one read batch over a socketpair, so the
+         admission decision is deterministic: 2 admitted, 3 refused —
+         and replies stay in request order. *)
+      write_all fd (encode (List.init 5 (fun _ -> req Wire.Ping)));
+      let got = recv_n fd 5 in
+      (match got with
+      | [ Wire.Simple "PONG"; Wire.Simple "PONG";
+          Wire.Error (Wire.Busy, _); Wire.Error (Wire.Busy, _);
+          Wire.Error (Wire.Busy, _) ] ->
+          ()
+      | _ ->
+          Alcotest.failf "expected 2 PONG then 3 BUSY in order, got %s"
+            (String.concat " | " (List.map pp_resp got)));
+      Alcotest.(check int) "busy counted" 3 stats.Session.busy;
+      (* the connection survives backpressure *)
+      write_all fd (encode [ req Wire.Ping ]);
+      Alcotest.check resps_t "still serving" [ Wire.pong ] (recv_n fd 1))
+
+(* ---- typed liveness error replies -------------------------------------- *)
+
+let test_deadline_and_budget_replies () =
+  let limits = { Limits.default with Limits.debug_ops = true } in
+  with_session ~limits (fun fd _ stats _ ->
+      write_all fd
+        (encode
+           [
+             req (Wire.Debug_abort { budget = Some 3; deadline_us = None });
+             req (Wire.Debug_abort { budget = None; deadline_us = Some 0 });
+             req Wire.Ping;
+           ]);
+      (match recv_n fd 3 with
+      | [ Wire.Error (Wire.Exhausted, m1); Wire.Error (Wire.Deadline, _);
+          Wire.Simple "PONG" ] ->
+          Alcotest.(check bool) "attempts reported" true
+            (String.length m1 > 0)
+      | got ->
+          Alcotest.failf "expected EXHAUSTED, DEADLINE, PONG; got %s"
+            (String.concat " | " (List.map pp_resp got)));
+      Alcotest.(check int) "exhausted counted" 1 stats.Session.exhausted_errors;
+      Alcotest.(check int) "deadline counted" 1 stats.Session.deadline_errors)
+
+let test_debug_ops_gated () =
+  with_session (fun fd _ _ _ ->
+      write_all fd
+        (encode [ req (Wire.Debug_abort { budget = None; deadline_us = None }) ]);
+      match recv_n fd 1 with
+      | [ Wire.Error (Wire.Bad_op, _) ] -> ()
+      | got ->
+          Alcotest.failf "DEBUG-ABORT should be refused by default, got %s"
+            (String.concat " | " (List.map pp_resp got)))
+
+(* ---- graceful shutdown -------------------------------------------------- *)
+
+let test_shutdown_drains_and_releases () =
+  let puts = List.init 40 (fun i -> req (Wire.Put ("m", i, "v"))) in
+  let registry_after =
+    with_session (fun fd reg _ (stop, server_fd) ->
+        write_all fd (encode (req (Wire.New (Wire.Kmap, "m")) :: puts));
+        let got = recv_n fd 41 in
+        Alcotest.(check int) "every in-flight request answered" 41
+          (List.length got);
+        List.iter
+          (function
+            | Wire.Error _ -> Alcotest.fail "unexpected error during load"
+            | _ -> ())
+          got;
+        (* The server-side nudge polytmd uses: stop flag plus
+           SHUTDOWN_RECEIVE unblocks the session's read; the session
+           must exit cleanly (Domain.join in the harness would hang
+           otherwise). *)
+        Atomic.set stop true;
+        (try Unix.shutdown server_fd Unix.SHUTDOWN_RECEIVE with _ -> ());
+        reg)
+  in
+  (* Locks released: the same registry serves a fresh session with no
+     leftover lock wedging its transactions. *)
+  let server_fd, client_fd = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let stats = Session.create_stats () in
+  let dom =
+    Domain.spawn (fun () ->
+        Session.handle ~limits:Limits.default ~registry:registry_after ~stats
+          server_fd)
+  in
+  write_all client_fd
+    (encode
+       [
+         req (Wire.Size "m");
+         req ~hint:Sem.Snapshot (Wire.Snapshot_iter "m");
+         req (Wire.Put ("m", 1000, "late"));
+       ]);
+  let got = recv_n client_fd 3 in
+  (match got with
+  | [ Wire.Int 40; Wire.Array items; Wire.Int 1 ] ->
+      Alcotest.(check int) "snapshot sees all committed puts" 40
+        (List.length items)
+  | _ ->
+      Alcotest.failf "registry unusable after shutdown: %s"
+        (String.concat " | " (List.map pp_resp got)));
+  Unix.shutdown client_fd Unix.SHUTDOWN_SEND;
+  Domain.join dom;
+  Unix.close client_fd;
+  Unix.close server_fd
+
+(* ---- misc surface ------------------------------------------------------ *)
+
+let test_kind_mismatch_and_unknown () =
+  with_session (fun fd _ _ _ ->
+      write_all fd
+        (encode
+           [
+             req (Wire.New (Wire.Kqueue, "q"));
+             req (Wire.Get ("q", 1));
+             req (Wire.New (Wire.Kmap, "q"));
+             req (Wire.Deq "nope");
+           ]);
+      match recv_n fd 4 with
+      | [ Wire.Simple "OK"; Wire.Error (Wire.Bad_op, _);
+          Wire.Error (Wire.Bad_op, _); Wire.Error (Wire.No_struct, _) ] ->
+          ()
+      | got ->
+          Alcotest.failf "typed errors expected, got %s"
+            (String.concat " | " (List.map pp_resp got)))
+
+let suite =
+  ( "server",
+    [
+      Alcotest.test_case "pipelined mixed semantics match oracle" `Quick
+        test_pipeline_matches_oracle;
+      Alcotest.test_case "MULTI commits atomically" `Quick
+        test_multi_commits_atomically;
+      Alcotest.test_case "unresolvable MULTI executes nothing" `Quick
+        test_multi_unresolvable_executes_nothing;
+      Alcotest.test_case "snapshot write discards MULTI batch" `Quick
+        test_multi_snapshot_write_discards_batch;
+      Alcotest.test_case "BUSY under shrunk in-flight limit" `Quick
+        test_busy_under_shrunk_inflight_limit;
+      Alcotest.test_case "deadline and budget typed replies" `Quick
+        test_deadline_and_budget_replies;
+      Alcotest.test_case "DEBUG-ABORT gated by default" `Quick
+        test_debug_ops_gated;
+      Alcotest.test_case "shutdown drains and releases locks" `Quick
+        test_shutdown_drains_and_releases;
+      Alcotest.test_case "kind mismatch and unknown structure" `Quick
+        test_kind_mismatch_and_unknown;
+    ] )

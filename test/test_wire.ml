@@ -1,0 +1,328 @@
+(* Wire-codec tests: qcheck round-trips through the incremental
+   decoder at adversarial chunk boundaries, plus malformed-frame fuzz.
+
+   The properties the session layer relies on:
+   - encode/decode is the identity on requests and responses,
+     regardless of how the byte stream is sliced into feeds;
+   - a malformed frame *body* surfaces as [`Bad] and consumes exactly
+     its frame — the next frame decodes normally (no desync);
+   - only broken framing yields [`Corrupt], and it latches;
+   - no input, however hostile, makes the decoder raise. *)
+
+module Wire = Polytm_server.Wire
+module Sem = Polytm.Semantics
+
+let prop = Test_seed.to_alcotest
+
+(* ---- generators -------------------------------------------------------- *)
+
+let gen_kind = QCheck.Gen.oneofl [ Wire.Kmap; Wire.Kset; Wire.Kqueue ]
+let gen_sem = QCheck.Gen.oneofl [ Sem.Classic; Sem.Elastic; Sem.Snapshot ]
+
+(* Structure names and values are bulk-encoded, so arbitrary bytes —
+   newlines, '~', '\000', protocol metacharacters — must round-trip. *)
+let gen_blob =
+  QCheck.Gen.(string_size ~gen:(map Char.chr (0 -- 255)) (0 -- 40))
+
+let gen_key = QCheck.Gen.(frequency [ (9, small_signed_int); (1, int) ])
+
+let gen_cmd =
+  let open QCheck.Gen in
+  frequency
+    [
+      (1, return Wire.Ping);
+      (2, map2 (fun k n -> Wire.New (k, n)) gen_kind gen_blob);
+      (3, map2 (fun s k -> Wire.Get (s, k)) gen_blob gen_key);
+      (3, map3 (fun s k v -> Wire.Put (s, k, v)) gen_blob gen_key gen_blob);
+      (2, map2 (fun s k -> Wire.Del (s, k)) gen_blob gen_key);
+      (2, map2 (fun s k -> Wire.Contains (s, k)) gen_blob gen_key);
+      (2, map2 (fun s k -> Wire.Add (s, k)) gen_blob gen_key);
+      (2, map2 (fun s k -> Wire.Remove (s, k)) gen_blob gen_key);
+      (1, map (fun s -> Wire.Size s) gen_blob);
+      (1, map (fun s -> Wire.Snapshot_iter s) gen_blob);
+      (2, map2 (fun s v -> Wire.Enq (s, v)) gen_blob gen_blob);
+      (1, map (fun s -> Wire.Deq s) gen_blob);
+      (1, return Wire.Multi);
+      (1, return Wire.Multi_end);
+      ( 1,
+        map2
+          (fun b d -> Wire.Debug_abort { budget = b; deadline_us = d })
+          (opt small_nat) (opt small_nat) );
+    ]
+
+let gen_request =
+  QCheck.Gen.(
+    map2 (fun hint cmd -> { Wire.hint; cmd }) (opt gen_sem) gen_cmd)
+
+let gen_err_code =
+  QCheck.Gen.oneofl
+    [
+      Wire.Proto; Wire.Busy; Wire.Deadline; Wire.Exhausted; Wire.No_struct;
+      Wire.Bad_op; Wire.Sem_violation;
+    ]
+
+(* Simple/Error payloads are line-delimited, so no newlines there. *)
+let gen_line =
+  QCheck.Gen.(
+    string_size ~gen:(map (fun c -> if c = '\n' then ' ' else c) printable)
+      (0 -- 30))
+
+let gen_response =
+  let open QCheck.Gen in
+  sized (fun n ->
+      fix
+        (fun self n ->
+          let leaf =
+            frequency
+              [
+                (2, map (fun s -> Wire.Simple s) gen_line);
+                (3, map (fun i -> Wire.Int i) int);
+                (3, map (fun s -> Wire.Bulk s) gen_blob);
+                (1, return Wire.Nil);
+                ( 2,
+                  map2 (fun c m -> Wire.Error (c, m)) gen_err_code gen_line );
+              ]
+          in
+          if n <= 0 then leaf
+          else
+            frequency
+              [
+                (4, leaf);
+                ( 1,
+                  map
+                    (fun l -> Wire.Array l)
+                    (list_size (0 -- 4) (self (n / 4))) );
+              ])
+        (min n 20))
+
+let arb_request = QCheck.make ~print:(fun r ->
+    let b = Buffer.create 64 in
+    Wire.write_request b r;
+    String.escaped (Buffer.contents b))
+    gen_request
+
+let arb_response = QCheck.make ~print:(fun r ->
+    let b = Buffer.create 64 in
+    Wire.write_response b r;
+    String.escaped (Buffer.contents b))
+    gen_response
+
+(* ---- helpers ----------------------------------------------------------- *)
+
+let encode_requests rs =
+  let b = Buffer.create 256 in
+  List.iter (Wire.write_request b) rs;
+  Buffer.contents b
+
+let encode_responses rs =
+  let b = Buffer.create 256 in
+  List.iter (Wire.write_response b) rs;
+  Buffer.contents b
+
+(* Feed [s] in chunks whose boundaries come from [cuts] (positions),
+   pulling every available item after each feed — the decoder must
+   produce the same items no matter where the stream is sliced. *)
+let decode_chunked next cuts s =
+  let dec = Wire.Decoder.create () in
+  let items = ref [] in
+  let dead = ref false in
+  let rec drain () =
+    if not !dead then
+      match next dec with
+      | `Ok v ->
+          items := `Ok v :: !items;
+          drain ()
+      | `Bad m ->
+          items := `Bad m :: !items;
+          drain ()
+      | `Await -> ()
+      | `Corrupt m ->
+          items := `Corrupt m :: !items;
+          dead := true
+  in
+  let cuts = List.sort_uniq compare (List.filter (fun c -> c > 0 && c < String.length s) cuts) in
+  let bounds = (0 :: cuts) @ [ String.length s ] in
+  let rec feed = function
+    | a :: (b :: _ as rest) ->
+        Wire.Decoder.feed_string dec (String.sub s a (b - a));
+        drain ();
+        feed rest
+    | _ -> ()
+  in
+  feed bounds;
+  List.rev !items
+
+let oks items =
+  List.filter_map (function `Ok v -> Some v | _ -> None) items
+
+(* ---- properties -------------------------------------------------------- *)
+
+let request_roundtrip =
+  QCheck.Test.make ~name:"request round-trips at any chunking" ~count:500
+    QCheck.(
+      pair
+        (list_of_size Gen.(1 -- 5) arb_request)
+        (list_of_size Gen.(0 -- 8) small_nat))
+    (fun (reqs, cuts) ->
+      let s = encode_requests reqs in
+      let items =
+        decode_chunked Wire.Decoder.next_request
+          (List.map (fun c -> c mod max 1 (String.length s)) cuts)
+          s
+      in
+      oks items = reqs && List.length items = List.length reqs)
+
+let response_roundtrip =
+  QCheck.Test.make ~name:"response round-trips at any chunking" ~count:500
+    QCheck.(
+      pair
+        (list_of_size Gen.(1 -- 5) arb_response)
+        (list_of_size Gen.(0 -- 8) small_nat))
+    (fun (resps, cuts) ->
+      let s = encode_responses resps in
+      let items =
+        decode_chunked Wire.Decoder.next_response
+          (List.map (fun c -> c mod max 1 (String.length s)) cuts)
+          s
+      in
+      oks items = resps && List.length items = List.length resps)
+
+(* Byte-at-a-time is the worst-case chunking; run it separately so a
+   failure names it. *)
+let request_roundtrip_bytewise =
+  QCheck.Test.make ~name:"request round-trips fed byte by byte" ~count:200
+    (QCheck.make gen_request)
+    (fun req ->
+      let s = encode_requests [ req ] in
+      let cuts = List.init (String.length s) (fun i -> i) in
+      oks (decode_chunked Wire.Decoder.next_request cuts s) = [ req ])
+
+(* A frame whose *body* is garbage must yield [`Bad] (or, for byte
+   soup that happens to parse, [`Ok]) and leave the stream synced: the
+   valid frame behind it always decodes. *)
+let bad_body_no_desync =
+  QCheck.Test.make ~name:"malformed body never desyncs the stream" ~count:500
+    QCheck.(pair (string_gen_of_size Gen.(0 -- 40) Gen.(map Char.chr (0 -- 255))) (QCheck.make gen_request))
+    (fun (garbage, req) ->
+      let b = Buffer.create 64 in
+      Buffer.add_string b (Printf.sprintf "#%d\n" (String.length garbage));
+      Buffer.add_string b garbage;
+      Wire.write_request b req;
+      let items =
+        decode_chunked Wire.Decoder.next_request [] (Buffer.contents b)
+      in
+      match items with
+      | [ `Bad _; `Ok r ] -> r = req
+      | [ `Ok _; `Ok r ] -> r = req (* garbage parsed; still synced *)
+      | _ -> false)
+
+(* No byte soup may raise or loop: every prefix of random bytes must
+   decode to a finite item list ending in Await or Corrupt. *)
+let fuzz_total =
+  QCheck.Test.make ~name:"decoder is total on random bytes" ~count:1000
+    QCheck.(string_gen_of_size Gen.(0 -- 200) Gen.(map Char.chr (0 -- 255)))
+    (fun s ->
+      let items = decode_chunked Wire.Decoder.next_request [ 7; 23 ] s in
+      (* at most one Corrupt, and only as the last item *)
+      let rec check = function
+        | [] -> true
+        | `Corrupt _ :: rest -> rest = []
+        | _ :: rest -> check rest
+      in
+      check items)
+
+(* ---- unit tests -------------------------------------------------------- *)
+
+let items_pp = function
+  | `Ok _ -> "Ok"
+  | `Bad _ -> "Bad"
+  | `Await -> "Await"
+  | `Corrupt _ -> "Corrupt"
+
+let shape dec =
+  match Wire.Decoder.next_request dec with r -> items_pp r
+
+let test_corrupt_header_latches () =
+  let dec = Wire.Decoder.create () in
+  Wire.Decoder.feed_string dec "XYZ";
+  Alcotest.(check string) "corrupt" "Corrupt" (shape dec);
+  (* a perfectly valid frame afterwards cannot revive the stream *)
+  let b = Buffer.create 32 in
+  Wire.write_request b { Wire.hint = None; cmd = Wire.Ping };
+  Wire.Decoder.feed_string dec (Buffer.contents b);
+  Alcotest.(check string) "still corrupt" "Corrupt" (shape dec)
+
+let test_oversized_frame_is_corrupt () =
+  let dec = Wire.Decoder.create ~max_frame:64 () in
+  Wire.Decoder.feed_string dec "#100000\n";
+  Alcotest.(check string) "corrupt" "Corrupt" (shape dec)
+
+let test_header_without_length () =
+  let dec = Wire.Decoder.create () in
+  Wire.Decoder.feed_string dec "#\n";
+  Alcotest.(check string) "corrupt" "Corrupt" (shape dec)
+
+let test_partial_header_awaits () =
+  let dec = Wire.Decoder.create () in
+  Wire.Decoder.feed_string dec "#12";
+  Alcotest.(check string) "await" "Await" (shape dec)
+
+let test_bad_arity_is_bad_not_corrupt () =
+  let dec = Wire.Decoder.create () in
+  (* well-framed, parses as fields, but GET wants two arguments *)
+  let body = "*2\n$3\nGET\n$1\nm\n" in
+  Wire.Decoder.feed_string dec (Printf.sprintf "#%d\n%s" (String.length body) body);
+  Alcotest.(check string) "bad" "Bad" (shape dec);
+  Alcotest.(check string) "then empty" "Await" (shape dec)
+
+let test_trailing_bytes_rejected () =
+  let dec = Wire.Decoder.create () in
+  let body = "*1\n$4\nPING\nextra" in
+  Wire.Decoder.feed_string dec (Printf.sprintf "#%d\n%s" (String.length body) body);
+  Alcotest.(check string) "bad" "Bad" (shape dec)
+
+let test_newline_in_simple_rejected () =
+  Alcotest.check_raises "newline"
+    (Invalid_argument "Wire.write_response: newline in simple string")
+    (fun () ->
+      Wire.write_response (Buffer.create 16) (Wire.Simple "a\nb"))
+
+let test_nested_response_depth_bounded () =
+  let dec = Wire.Decoder.create () in
+  (* 12 nested singleton arrays around an int: deeper than the bound *)
+  let b = Buffer.create 64 in
+  for _ = 1 to 12 do
+    Buffer.add_string b "*1\n"
+  done;
+  Buffer.add_string b ":7\n";
+  let body = Buffer.contents b in
+  Wire.Decoder.feed_string dec (Printf.sprintf "#%d\n%s" (String.length body) body);
+  (match Wire.Decoder.next_response dec with
+  | `Bad _ -> ()
+  | r -> Alcotest.failf "expected Bad, got %s" (items_pp r))
+
+let suite =
+  ( "wire",
+    [
+      prop request_roundtrip;
+      prop response_roundtrip;
+      prop request_roundtrip_bytewise;
+      prop bad_body_no_desync;
+      prop fuzz_total;
+      Alcotest.test_case "corrupt header latches" `Quick
+        test_corrupt_header_latches;
+      Alcotest.test_case "oversized frame is corrupt" `Quick
+        test_oversized_frame_is_corrupt;
+      Alcotest.test_case "header without length" `Quick
+        test_header_without_length;
+      Alcotest.test_case "partial header awaits" `Quick
+        test_partial_header_awaits;
+      Alcotest.test_case "bad arity is Bad, not Corrupt" `Quick
+        test_bad_arity_is_bad_not_corrupt;
+      Alcotest.test_case "trailing bytes rejected" `Quick
+        test_trailing_bytes_rejected;
+      Alcotest.test_case "newline in simple rejected" `Quick
+        test_newline_in_simple_rejected;
+      Alcotest.test_case "response nesting bounded" `Quick
+        test_nested_response_depth_bounded;
+    ] )
