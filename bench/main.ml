@@ -31,6 +31,9 @@ let micro_tests () =
   let stm = SD.create () in
   let cell = SD.tvar stm 0 in
   let cells = Array.init 64 (fun i -> SD.tvar stm i) in
+  let nstm = SD.create ~algo:`Norec () in
+  let ncell = SD.tvar nstm 0 in
+  let ncells = Array.init 64 (fun i -> SD.tvar nstm i) in
   let raw = Atomic.make 0 in
   let read_many sem n =
     Test.make
@@ -88,7 +91,72 @@ let micro_tests () =
     Test.make ~name:"tx classic: read-modify-write"
       (Staged.stage (fun () ->
            SD.atomically stm (fun tx -> SD.write tx cell (SD.read tx cell + 1))));
+    (* NORec rows (E7/E9 companion): the same probes on the
+       sequence-lock backend.  Uncontended single-domain runs isolate
+       the metadata cost difference: value logging on reads, no
+       per-location lock words at commit. *)
+    Test.make ~name:"tx norec: 1 read"
+      (Staged.stage (fun () ->
+           SD.atomically nstm (fun tx -> SD.read tx ncell)));
+    Test.make ~name:"tx norec: 64 reads"
+      (Staged.stage (fun () ->
+           SD.atomically nstm (fun tx ->
+               let acc = ref 0 in
+               for i = 0 to 63 do
+                 acc := !acc + SD.read tx ncells.(i)
+               done;
+               !acc)));
+    Test.make ~name:"tx norec: 1 write"
+      (Staged.stage (fun () ->
+           SD.atomically nstm (fun tx -> SD.write tx ncell 1)));
+    Test.make ~name:"tx norec: 64 writes"
+      (Staged.stage (fun () ->
+           SD.atomically nstm (fun tx ->
+               for i = 0 to 63 do
+                 SD.write tx ncells.(i) i
+               done)));
+    Test.make ~name:"tx norec: read-modify-write"
+      (Staged.stage (fun () ->
+           SD.atomically nstm (fun tx ->
+               SD.write tx ncell (SD.read tx ncell + 1))));
   ]
+
+(* The CI perf-smoke assertion behind the "zero metadata traffic on
+   reads" claim: a NORec read-only transaction must commit without
+   acquiring any per-location lock word (no [Lock_acquire] telemetry
+   event) and without a single lock-busy abort, with every commit
+   taking the free read-only path.  Emitted under "norec_ro" in the
+   micro JSON for the workflow's python check. *)
+let norec_ro_probe () =
+  let stm = SD.create ~algo:`Norec () in
+  let agg = Polytm_telemetry.Agg.create () in
+  SD.set_sink stm (Some (Polytm_telemetry.Agg.sink agg));
+  let cells = Array.init 64 (fun i -> SD.tvar stm i) in
+  let iters = 1_000 in
+  for _ = 1 to iters do
+    ignore
+      (SD.atomically stm (fun tx ->
+           let acc = ref 0 in
+           for i = 0 to 63 do
+             acc := !acc + SD.read tx cells.(i)
+           done;
+           !acc))
+  done;
+  let st = SD.stats stm in
+  let total = (Polytm_telemetry.Agg.snapshot agg).Polytm_telemetry.Agg.total in
+  Format.printf
+    "norec read-only probe: %d iters, ro_commits=%d lock_acquires=%d@."
+    iters st.SD.ro_commits total.Polytm_telemetry.Agg.lock_acquires;
+  let open Polytm_telemetry.Json in
+  Obj
+    [
+      ("iters", Int iters);
+      ("commits", Int st.SD.commits);
+      ("ro_commits", Int st.SD.ro_commits);
+      ("aborts", Int st.SD.aborts);
+      ("lock_busy", Int st.SD.lock_busy);
+      ("lock_acquires", Int total.Polytm_telemetry.Agg.lock_acquires);
+    ]
 
 (* Runs the micro table and returns (name, ns/op) rows, sorted by
    name, for both the pretty printer and the machine-readable E6
@@ -209,7 +277,8 @@ let () =
       (Polytm_bench_kit.Ablations.all ());
   if wants sections "micro" then begin
     let rows = run_micro () in
-    json_parts := !json_parts @ [ ("micro", micro_json rows) ]
+    json_parts :=
+      !json_parts @ [ ("micro", micro_json rows); ("norec_ro", norec_ro_probe ()) ]
   end;
   (match json_file with
   | Some file ->

@@ -54,9 +54,21 @@ let debug_ops_t =
 
 let struct_t =
   Arg.(value & opt_all string []
-       & info [ "struct" ] ~docv:"KIND:NAME"
+       & info [ "struct" ] ~docv:"KIND:NAME[@ALGO]"
            ~doc:"Create a structure before accepting connections, e.g.
-                 $(b,map:accounts) or $(b,queue:jobs).  Repeatable.")
+                 $(b,map:accounts) or $(b,queue:jobs).  An optional
+                 $(b,@tl2) or $(b,@norec) suffix pins the structure to
+                 that algorithm's STM instance (default: the server's
+                 $(b,--algo)), so a NORec map can be hosted next to a
+                 TL2 queue.  Repeatable.")
+
+let algo_t =
+  let algo_conv = Arg.enum [ ("tl2", `Tl2); ("norec", `Norec) ] in
+  Arg.(value & opt algo_conv `Tl2
+       & info [ "algo" ] ~docv:"ALGO"
+           ~doc:"STM algorithm backing structures created over the
+                 wire and $(b,--struct) entries without an explicit
+                 $(b,@ALGO) suffix: $(b,tl2) or $(b,norec).")
 
 let stats_json_t =
   Arg.(value & opt (some string) None
@@ -93,15 +105,31 @@ let parse_listener s =
         | None -> Error (Printf.sprintf "bad port in %S" s))
     | None -> Error (Printf.sprintf "bad listen address %S (want HOST:PORT or unix:PATH)" s)
 
-let parse_struct s =
-  match String.index_opt s ':' with
-  | Some i -> (
-      let kind = String.sub s 0 i in
-      let name = String.sub s (i + 1) (String.length s - i - 1) in
-      match Wire.kind_of_string kind with
-      | Some k when name <> "" -> Ok (k, name)
-      | _ -> Error (Printf.sprintf "bad struct spec %S" s))
-  | None -> Error (Printf.sprintf "bad struct spec %S (want KIND:NAME)" s)
+let parse_struct ~default_algo s =
+  let algo_res, spec =
+    match String.index_opt s '@' with
+    | Some i -> (
+        let a = String.sub s (i + 1) (String.length s - i - 1) in
+        match Polytm_server.Registry.algo_of_name a with
+        | Some algo -> (Ok algo, String.sub s 0 i)
+        | None ->
+            ( Error
+                (Printf.sprintf "bad algo %S in %S (want tl2 or norec)" a s),
+              s ))
+    | None -> (Ok default_algo, s)
+  in
+  match algo_res with
+  | Error _ as e -> e
+  | Ok algo -> (
+      match String.index_opt spec ':' with
+      | Some i -> (
+          let kind = String.sub spec 0 i in
+          let name = String.sub spec (i + 1) (String.length spec - i - 1) in
+          match Wire.kind_of_string kind with
+          | Some k when name <> "" -> Ok (k, name, algo)
+          | _ -> Error (Printf.sprintf "bad struct spec %S" s))
+      | None ->
+          Error (Printf.sprintf "bad struct spec %S (want KIND:NAME[@ALGO])" s))
 
 let collect parse = function
   | [] -> Ok []
@@ -115,13 +143,13 @@ let collect parse = function
         (Ok []) xs
 
 let main listen workers max_inflight max_multi op_budget op_deadline_us
-    debug_ops structs stats_json trace max_seconds quiet =
+    debug_ops structs default_algo stats_json trace max_seconds quiet =
   let listeners =
     match collect parse_listener listen with
     | Ok [] -> Ok [ Srv.Tcp ("127.0.0.1", 7411) ]
     | r -> r
   in
-  match (listeners, collect parse_struct structs) with
+  match (listeners, collect (parse_struct ~default_algo) structs) with
   | Error m, _ | _, Error m -> `Error (false, m)
   | Ok listeners, Ok prestructs -> (
       let limits =
@@ -141,6 +169,7 @@ let main listen workers max_inflight max_multi op_budget op_deadline_us
           workers;
           limits;
           prestructs;
+          default_algo;
           stats_json;
           trace;
           max_seconds;
@@ -162,7 +191,7 @@ let () =
   let term =
     Term.(ret
             (const main $ listen_t $ workers_t $ max_inflight_t $ max_multi_t
-           $ budget_t $ deadline_t $ debug_ops_t $ struct_t $ stats_json_t
-           $ trace_t $ max_seconds_t $ quiet_t))
+           $ budget_t $ deadline_t $ debug_ops_t $ struct_t $ algo_t
+           $ stats_json_t $ trace_t $ max_seconds_t $ quiet_t))
   in
   exit (Cmd.eval (Cmd.v (Cmd.info "polytmd" ~version:"1.0.0" ~doc) term))

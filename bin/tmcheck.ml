@@ -344,7 +344,7 @@ let stats_cmd =
 module Conf = Polytm_bench_kit.Conformance
 
 let conformance_cmd =
-  let run runtime seed iters impls threads ops cm expect_fail =
+  let run runtime seed iters impls threads ops cm algo expect_fail =
     let impls = match impls with [] -> Conf.default_impls | l -> l in
     (match List.filter (fun i -> not (List.mem i Conf.all_impls)) impls with
     | [] -> ()
@@ -355,28 +355,40 @@ let conformance_cmd =
           (String.concat ", " Conf.all_impls);
         exit 2);
     let runtime_name = match runtime with `Sim -> "sim" | `Domains -> "domains" in
+    let algos =
+      match algo with
+      | `Tl2 -> [ `Tl2 ]
+      | `Norec -> [ `Norec ]
+      | `Both -> [ `Tl2; `Norec ]
+    in
     let results =
-      List.map
-        (fun name ->
-          let outcome =
-            match runtime with
-            | `Sim -> Conf.run_sim ~threads ~ops ?cm ~name ~seed ~iters ()
-            | `Domains ->
-                Conf.run_domains ~threads ~ops ?cm ~name ~seed ~iters ()
-          in
-          (name, outcome))
-        impls
+      List.concat_map
+        (fun algo ->
+          List.map
+            (fun name ->
+              let outcome =
+                match runtime with
+                | `Sim ->
+                    Conf.run_sim ~threads ~ops ?cm ~algo ~name ~seed ~iters ()
+                | `Domains ->
+                    Conf.run_domains ~threads ~ops ?cm ~algo ~name ~seed
+                      ~iters ()
+              in
+              (name, algo, outcome))
+            impls)
+        algos
     in
     let failed = ref false in
     List.iter
-      (fun (name, outcome) ->
+      (fun (name, algo, outcome) ->
         match outcome with
         | Conf.Pass n ->
-            Format.printf "%-22s PASS  (%d rounds, runtime %s, seed %d)@." name
-              n runtime_name seed
+            Format.printf "%-22s %-6s PASS  (%d rounds, runtime %s, seed %d)@."
+              name (Conf.algo_name algo) n runtime_name seed
         | Conf.Fail msg ->
             failed := true;
-            Format.printf "%-22s FAIL@.%s@." name msg)
+            Format.printf "%-22s %-6s FAIL@.%s@." name (Conf.algo_name algo)
+              msg)
       results;
     if expect_fail then
       if !failed then begin
@@ -420,9 +432,9 @@ let conformance_cmd =
       & info [ "impl" ] ~docv:"NAMES"
           ~doc:
             (Printf.sprintf
-               "Comma-separated implementation filter.  Known: %s.  \
-                $(b,buggy-lazy-size) is excluded by default and expected to \
-                be rejected."
+               "Comma-separated implementation filter.  Known: %s.  The \
+                $(b,buggy-*) self-tests are excluded by default and expected \
+                to be rejected."
                (String.concat ", " Conf.all_impls)))
   in
   let threads_t = Arg.(value & opt int 3 & info [ "threads" ] ~docv:"T") in
@@ -459,6 +471,29 @@ let conformance_cmd =
              $(b,adaptive) (escalates to the serial fallback under \
              pressure).  Linearizability must hold under all of them.")
   in
+  let algo_t =
+    let parse = function
+      | "tl2" -> Ok `Tl2
+      | "norec" -> Ok `Norec
+      | "both" -> Ok `Both
+      | s ->
+          Error (`Msg (Printf.sprintf "unknown algo %S (tl2|norec|both)" s))
+    in
+    let print ppf a =
+      Format.pp_print_string ppf
+        (match a with `Tl2 -> "tl2" | `Norec -> "norec" | `Both -> "both")
+    in
+    Arg.(
+      value
+      & opt (conv (parse, print)) `Both
+      & info [ "algo" ] ~docv:"ALGO"
+          ~doc:
+            "Ownership/validation policy for the STM-backed \
+             implementations: $(b,tl2), $(b,norec), or $(b,both) (default) \
+             to run the whole matrix under each in turn.  \
+             $(b,buggy-norec-validation) always builds its own broken NOrec \
+             backend regardless.")
+  in
   let expect_fail_t =
     Arg.(
       value & flag
@@ -471,20 +506,21 @@ let conformance_cmd =
     (Cmd.info "conformance"
        ~doc:
          "Run every structure implementation under randomized concurrent \
-          workloads on the chosen runtime and check the recorded operation \
+          workloads on the chosen runtime — the STM-backed ones under the \
+          selected algorithm(s) — and check the recorded operation \
           histories for linearizability (interval consistency for snapshot \
           sizes).  Failures print a minimized counterexample history and \
           reproduce by seed.")
     Term.(
       const run $ runtime_t $ seed_t $ iters_t $ impl_t $ threads_t $ ops_t
-      $ cm_t $ expect_fail_t)
+      $ cm_t $ algo_t $ expect_fail_t)
 
 (* ---- liveness smoke ------------------------------------------------------ *)
 
 let liveness_cmd =
-  let run seed threads ops accounts =
+  let run seed threads ops accounts algo =
     let module S = AM.S in
-    let stm = S.create ~cm:Polytm.Contention.default_adaptive () in
+    let stm = S.create ~cm:Polytm.Contention.default_adaptive ~algo () in
     let accs = Array.init accounts (fun _ -> S.tvar stm 100) in
     let exhausted = Polytm_runtime.Sim_runtime.counter () in
     let (), _ =
@@ -525,12 +561,13 @@ let liveness_cmd =
     in
     let escapes = Polytm_runtime.Sim_runtime.read_counter exhausted in
     Format.printf
-      "threads=%d ops/thread=%d accounts=%d seed=%d@.starts=%d commits=%d \
-       aborts=%d killed=%d@.serial_commits=%d budget_exhaustions=%d \
-       exhaustion_escapes=%d@.total=%d (expected %d) locks_free=%b@."
-      threads ops accounts seed st.S.starts st.S.commits st.S.aborts
-      st.S.killed st.S.serial_commits st.S.budget_exhaustions escapes total
-      (100 * accounts) (not locked);
+      "threads=%d ops/thread=%d accounts=%d seed=%d algo=%s@.starts=%d \
+       commits=%d aborts=%d killed=%d@.serial_commits=%d \
+       budget_exhaustions=%d exhaustion_escapes=%d@.total=%d (expected %d) \
+       locks_free=%b@."
+      threads ops accounts seed (Conf.algo_name algo) st.S.starts st.S.commits
+      st.S.aborts st.S.killed st.S.serial_commits st.S.budget_exhaustions
+      escapes total (100 * accounts) (not locked);
     let fail fmt = Format.kasprintf (fun m -> Format.printf "FAIL: %s@." m;
                                       exit 1) fmt in
     if escapes > 0 then
@@ -558,6 +595,21 @@ let liveness_cmd =
          & info [ "accounts" ] ~docv:"K"
              ~doc:"Hot accounts shared by every transfer.")
   in
+  let algo_t =
+    let parse = function
+      | "tl2" -> Ok `Tl2
+      | "norec" -> Ok `Norec
+      | s -> Error (`Msg (Printf.sprintf "unknown algo %S (tl2|norec)" s))
+    in
+    let print ppf a = Format.pp_print_string ppf (Conf.algo_name a) in
+    Arg.(
+      value
+      & opt (conv (parse, print)) `Tl2
+      & info [ "algo" ] ~docv:"ALGO"
+          ~doc:
+            "Ownership/validation policy under test: $(b,tl2) or \
+             $(b,norec).  The liveness guarantee must hold under both.")
+  in
   Cmd.v
     (Cmd.info "liveness"
        ~doc:
@@ -567,7 +619,7 @@ let liveness_cmd =
           ($(b,Too_many_attempts) never escapes), money is conserved, every \
           lock word ends unlocked, and the serial fallback actually fired \
           ($(b,serial_commits) > 0).  Deterministic per seed.")
-    Term.(const run $ seed_t $ threads_t $ ops_t $ accounts_t)
+    Term.(const run $ seed_t $ threads_t $ ops_t $ accounts_t $ algo_t)
 
 (* ---- conflict-graph visualisation --------------------------------------- *)
 

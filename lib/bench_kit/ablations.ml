@@ -25,12 +25,12 @@ type row = {
 type table = { table_title : string; rows : row list }
 
 let run_stm_config ~label ~spec ~threads ~duration ~seed ~profile ?cm
-    ?elastic_window ?versions ?(extend_on_stale = true) ?gv () =
+    ?elastic_window ?versions ?(extend_on_stale = true) ?gv ?algo () =
   let stm = ref None in
   let make () =
     let s =
       AM.S.create ~max_attempts:200 ?cm ?elastic_window ?versions
-        ~extend_on_stale ?gv ()
+        ~extend_on_stale ?gv ?algo ()
     in
     stm := Some s;
     ( AM.stm_list ~profile s,
@@ -222,6 +222,36 @@ let clock_scheme ?(threads = 64) ?(duration = 150_000) ?(seed = 17) () =
     rows;
   }
 
+(* TL2 vs NORec under the same workloads (E7/E9 companion): NORec's
+   single sequence lock trades per-location metadata traffic for
+   whole-read-set value revalidation on every clock change, so it
+   shines on read-dominated mixes and degrades as the commit rate —
+   and hence the revalidation rate — climbs.  The lock_busy=… column
+   is structurally zero for NORec: there are no per-location locks to
+   find busy. *)
+let algorithm ?(threads = 32) ?(duration = 150_000) ?(seed = 23) () =
+  let rows =
+    List.concat_map
+      (fun update_pct ->
+        let spec =
+          { Workload.default_spec with Workload.update_pct; size_pct = 5 }
+        in
+        List.map
+          (fun (name, algo) ->
+            run_stm_config
+              ~label:(Printf.sprintf "%s @ %d%% updates" name update_pct)
+              ~spec ~threads ~duration ~seed ~profile:A.classic_profile ~algo
+              ())
+          [ ("tl2 (per-location locks)", `Tl2); ("norec (sequence lock)", `Norec) ])
+      [ 0; 10; 40 ]
+  in
+  {
+    table_title =
+      Printf.sprintf
+        "Algorithm (classic profile, %d threads): TL2 vs NORec" threads;
+    rows;
+  }
+
 let all () =
   [
     contention_managers ();
@@ -231,6 +261,7 @@ let all () =
     update_sensitivity ();
     version_depth ();
     clock_scheme ();
+    algorithm ();
   ]
 
 let pp_table ppf t =

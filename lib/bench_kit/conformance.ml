@@ -57,7 +57,9 @@ let default_impls =
     "treiber-stack";
   ]
 
-let all_impls = default_impls @ [ "buggy-lazy-size" ]
+let all_impls = default_impls @ [ "buggy-lazy-size"; "buggy-norec-validation" ]
+
+let algo_name = function `Tl2 -> "tl2" | `Norec -> "norec"
 
 (* Churn-round geometry: [churn_keys] elements migrate one way from a
    low band (k) to a high band (k + churn_band), across a static
@@ -89,10 +91,13 @@ module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) = struct
      the liveness stress rounds re-run the same workloads under
      [Contention.default_adaptive] (kills, escalations, serial
      fallbacks) and must still produce linearizable histories.
-     Baseline structures have no contention manager and ignore it. *)
-  let build ?cm name =
+     [algo] selects the ownership/validation policy backing the STM
+     structures, so every structure × runtime cell of the matrix runs
+     under both TL2 and NOrec.  Baseline structures have neither and
+     ignore both. *)
+  let build ?cm ?algo name =
     let set ?(atomic_size = true) s = Set_impl (s, atomic_size) in
-    let stm () = AM.S.create ?cm () in
+    let stm () = AM.S.create ?cm ?algo () in
     match name with
     | "stm-list" -> set (AM.stm_list ~profile:Ad.mixed_profile (stm ()))
     | "stm-hash" -> set (AM.stm_hash ~profile:Ad.mixed_profile (stm ()))
@@ -109,6 +114,18 @@ module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) = struct
         set (AM.hand_over_hand ())
     | "lazy-list" -> set ~atomic_size:false (AM.lazy_list ())
     | "lock-free-list" -> set ~atomic_size:false (AM.lockfree ())
+    | "buggy-norec-validation" ->
+        (* The second standing self-test, this one aimed at the STM
+           layer itself: a NOrec backend whose revalidation skips the
+           value comparison.  A transaction whose commit CAS loses
+           adopts the new timestamp without checking its reads, then
+           commits values computed from state another transaction
+           already overwrote — classic lost updates.  The harness must
+           reject it with a minimal counterexample, proving the
+           differential battery would catch a broken validation. *)
+        set
+          (AM.stm_list ~profile:Ad.mixed_profile
+             (AM.S.create ?cm ~algo:`Norec ~unsafe_skip_validation:true ()))
     | "buggy-lazy-size" ->
         (* The deliberate bug: the lazy list's unsynchronised traversal
            count passed off as an atomic size.  Unlike hand-over-hand,
@@ -224,8 +241,8 @@ module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) = struct
      recording adapter, run the workers (under [wrap], which the
      simulator driver uses to pin the scheduling seed), and check the
      recorded history. *)
-  let run_round ?cm ~wrap ~name ~threads ~ops ~seed ~round () =
-    match build ?cm name with
+  let run_round ?cm ?algo ~wrap ~name ~threads ~ops ~seed ~round () =
+    match build ?cm ?algo name with
     | Set_impl (raw, atomic_size) ->
         let churn = atomic_size && round mod 2 = 1 in
         let prefill =
@@ -261,23 +278,25 @@ module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) = struct
         check_generic Lin.stack_spec Lin.pp_stack_event (events ())
 
   let run_impl ?(threads = 3) ?(ops = 10) ?(wrap = fun _seed f -> f ()) ?cm
-      ~name ~seed ~iters () =
+      ?(algo = `Tl2) ~name ~seed ~iters () =
     let rec loop i =
       if i >= iters then Pass i
       else begin
         let round_seed = seed + (997 * i) in
         match
-          run_round ?cm ~wrap:(wrap round_seed) ~name ~threads ~ops
+          run_round ?cm ~algo ~wrap:(wrap round_seed) ~name ~threads ~ops
             ~seed:round_seed ~round:i ()
         with
         | Ok () -> loop (i + 1)
         | Error msg ->
             Fail
               (Printf.sprintf
-                 "conformance failure: impl %s, iteration %d, seed %d\n\
-                  reproduce: tmcheck conformance --impl %s --seed %d --iters %d\n\
+                 "conformance failure: impl %s, algo %s, iteration %d, seed %d\n\
+                  reproduce: tmcheck conformance --impl %s --algo %s --seed \
+                  %d --iters %d\n\
                   %s"
-                 name i round_seed name seed (i + 1) msg)
+                 name (algo_name algo) i round_seed name (algo_name algo) seed
+                 (i + 1) msg)
       end
     in
     loop 0
@@ -292,8 +311,8 @@ let sim_wrap seed f =
   ignore
     (Polytm_runtime.Sim.run ~policy:(Polytm_runtime.Sim.Random_sched seed) f)
 
-let run_sim ?threads ?ops ?cm ~name ~seed ~iters () =
-  Sim_conf.run_impl ?threads ?ops ~wrap:sim_wrap ?cm ~name ~seed ~iters ()
+let run_sim ?threads ?ops ?cm ?algo ~name ~seed ~iters () =
+  Sim_conf.run_impl ?threads ?ops ~wrap:sim_wrap ?cm ?algo ~name ~seed ~iters ()
 
-let run_domains ?threads ?ops ?cm ~name ~seed ~iters () =
-  Domain_conf.run_impl ?threads ?ops ?cm ~name ~seed ~iters ()
+let run_domains ?threads ?ops ?cm ?algo ~name ~seed ~iters () =
+  Domain_conf.run_impl ?threads ?ops ?cm ?algo ~name ~seed ~iters ()

@@ -52,6 +52,24 @@
     of this changes a charge sequence: same seed ⇒ byte-identical
     telemetry traces (enforced by the goldens test suite).
 
+    {b Algorithm polymorphism} (DESIGN.md, S17).  The TL2 machinery
+    above — per-location lock words, commit-time lock acquisition,
+    version-based read validation — is one {e ownership/validation
+    policy}.  [create ~algo:`Norec] selects the second: NOrec
+    (Dalessandro, Spear & Scott, PPoPP'10), built on a single global
+    sequence lock (the instance's clock doubles as it: even =
+    quiescent, odd = a write commit in flight), value-based
+    revalidation of the flat read set on every clock change, and
+    commit-time write-back under the lock.  Per-location lock words
+    are never touched, so read-dominated workloads carry zero
+    per-location metadata traffic; the price is one serialized write
+    commit at a time.  Both policies share the semantics (classic /
+    elastic / snapshot), liveness (budgets, serial fallback,
+    contention managers) and telemetry layers; under NOrec the abort
+    taxonomy shrinks to the value-validation causes — [Lock_busy] and
+    [Killed] cannot occur because no per-location lock or owner is
+    ever published.
+
     Extensions beyond the paper's core proposal, all exposed through
     {!Stm_intf.S}: [orelse] alternatives, early release, lifecycle
     hooks (compensations and finalisers, the basis of transactional
@@ -148,6 +166,9 @@ module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) : Stm_intf.S = struct
   type stores = {
     sr_vars : Obj.t tvar Vec.t;
     sr_vers : int Vec.t;
+    sr_vals : Obj.t Vec.t;
+        (** NOrec only: values parallel to [sr_vars], compared
+            physically at validation; stays empty under TL2 *)
     sw_vars : Obj.t tvar array;
     sw_vers : int array;
     s_writes : wentry Flat_table.t;
@@ -169,6 +190,7 @@ module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) : Stm_intf.S = struct
     mutable snapshot_ub : int;  (** snapshot upper bound, fixed at start *)
     r_vars : Obj.t tvar Vec.t;  (** flat read set, append order *)
     r_vers : int Vec.t;  (** versions parallel to [r_vars] *)
+    r_vals : Obj.t Vec.t;  (** NOrec: values parallel to [r_vars] *)
     w_vars : Obj.t tvar array;  (** elastic window: fixed ring buffer *)
     w_vers : int array;
     mutable w_count : int;
@@ -188,6 +210,14 @@ module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) : Stm_intf.S = struct
 
   and t = {
     clock : int R.atomic;
+        (** TL2: the global version clock.  NOrec: the global sequence
+            lock — even values are quiescent timestamps, an odd value
+            means a write commit is writing back. *)
+    algo : [ `Tl2 | `Norec ];  (** the ownership/validation policy *)
+    skip_validation : bool;
+        (** testing backdoor: a NOrec instance that skips the value
+            comparison during revalidation — the deliberately-broken
+            backend the conformance self-test must reject *)
     gv : [ `Gv1 | `Gv4 ];  (** write-version scheme, see [draw_wv] *)
     serials : int R.atomic;
     tvar_ids : int R.atomic;
@@ -236,14 +266,21 @@ module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) : Stm_intf.S = struct
 
   let create ?(cm = Contention.default) ?(elastic_window = 2)
       ?(max_attempts = 10_000) ?(on_exhaustion = `Serialize)
-      ?(extend_on_stale = true) ?(versions = 2) ?(gv = `Gv1) () =
+      ?(extend_on_stale = true) ?(versions = 2) ?(gv = `Gv1)
+      ?(algo = `Tl2) ?(unsafe_skip_validation = false) () =
     Contention.validate cm;
     if elastic_window < 1 then
       raise (Invalid_operation "elastic_window must be at least 1");
     if versions < 1 then
       raise (Invalid_operation "versions must be at least 1");
+    if unsafe_skip_validation && algo <> `Norec then
+      raise
+        (Invalid_operation
+           "unsafe_skip_validation is the NOrec conformance self-test knob");
     {
       clock = R.atomic 0;
+      algo;
+      skip_validation = unsafe_skip_validation;
       gv;
       serials = R.atomic 0;
       tvar_ids = R.atomic 0;
@@ -263,6 +300,7 @@ module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) : Stm_intf.S = struct
                 {
                   sr_vars = Vec.create dummy_tvar;
                   sr_vers = Vec.create 0;
+                  sr_vals = Vec.create (Obj.repr ());
                   sw_vars = Array.make elastic_window dummy_tvar;
                   sw_vers = Array.make elastic_window 0;
                   s_writes = Flat_table.create dummy_wentry;
@@ -309,6 +347,7 @@ module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) : Stm_intf.S = struct
 
   let elastic_window_size stm = stm.elastic_window
   let gv_scheme stm = stm.gv
+  let algo stm = stm.algo
 
   let semantics tx = tx.sem
   let serial tx = tx.serial
@@ -636,6 +675,183 @@ module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) : Stm_intf.S = struct
     emit_read tx v;
     value
 
+  (* ------------------------------------------------------------------ *)
+  (* NOrec: the value-validation ownership policy                        *)
+
+  (* Wait out an in-flight write-back (odd clock) and return the even
+     clock value.  The only charged operations a NOrec transaction
+     ever performs on shared metadata are these clock probes — no
+     per-location lock word is read or written on any NOrec path. *)
+  let norec_stable_clock stm =
+    let rec wait () =
+      let time = R.get stm.clock in
+      if time land 1 = 1 then begin
+        R.pause 1;
+        wait ()
+      end
+      else time
+    in
+    wait ()
+
+  (* Value comparison for NOrec validation, newest entry first like
+     the TL2 scans.  Write-back publishes the buffered value itself
+     into a fresh versioned record, so a location is unchanged iff its
+     current value is physically the recorded one.  Physical equality
+     of equal immediates (an ABA re-write of the same int) passes —
+     which is exactly NOrec's point: a read set whose {e values} still
+     hold is consistent at the new timestamp, whatever versions flowed
+     underneath it. *)
+  let norec_reads_hold tx =
+    let ok = ref true in
+    let i = ref (Vec.length tx.r_vars - 1) in
+    while !ok && !i >= 0 do
+      let v = Vec.get tx.r_vars !i in
+      if (R.get v.data).value == Vec.get tx.r_vals !i then decr i
+      else ok := false
+    done;
+    !ok
+
+  (* The elastic window, by contrast, is validated by VERSION, not by
+     value.  Value checks are only sound for the {e full} read set: a
+     same-value rewrite elsewhere must then show up as a changed value
+     somewhere in the prefix.  An elastic cut throws that prefix away,
+     so the window's two entries are all the evidence left — and the
+     structures' conflict-materialising writes (e.g. the list remove's
+     same-value rewrite of the unlinked node, stm_list_set.ml) are
+     deliberately value-invisible.  Two adjacent removes would both
+     pass a value-checked window and resurrect the second victim.
+     E-STM's window soundness argument is stated over versions, and
+     every write-back bumps the version, so version equality is
+     exactly "no commit has touched this entry since it was read". *)
+  let norec_window_holds tx =
+    let cap = Array.length tx.w_vars in
+    let ok = ref true in
+    let k = ref 0 in
+    while !ok && !k < tx.w_count do
+      let idx = (tx.w_head - !k + cap) mod cap in
+      if (R.get tx.w_vars.(idx).data).version = tx.w_vers.(idx) then incr k
+      else ok := false
+    done;
+    !ok
+
+  (* NOrec's Validate(): wait for a quiescent clock, value-check the
+     read set and the elastic window, and confirm no commit slipped in
+     during the check; returns the new validity timestamp.  The
+     [skip_validation] backdoor returns a fresh timestamp without
+     checking anything — the deliberately-broken backend that loses
+     updates, kept so the conformance harness can prove it would catch
+     a validation bug. *)
+  let norec_validate tx =
+    if tx.stm.skip_validation then norec_stable_clock tx.stm
+    else
+      let rec loop () =
+        let time = norec_stable_clock tx.stm in
+        if not (norec_reads_hold tx) then abort_with Read_invalid;
+        if not (norec_window_holds tx) then abort_with Window_broken;
+        if R.get tx.stm.clock = time then time else loop ()
+      in
+      loop ()
+
+  (* An elastic cut only needs the window to still hold. *)
+  let norec_revalidate_window tx =
+    if tx.stm.skip_validation then norec_stable_clock tx.stm
+    else
+      let rec loop () =
+        let time = norec_stable_clock tx.stm in
+        if not (norec_window_holds tx) then abort_with Window_broken;
+        if R.get tx.stm.clock = time then time else loop ()
+      in
+      loop ()
+
+  (* A consistent read: take the value and, while the clock has moved
+     past the transaction's timestamp, revalidate the whole read set
+     at the newer time and re-take the value.  Revalidate-on-change is
+     the algorithm itself under NOrec, not the TinySTM option
+     ([extend_on_stale] governs TL2 only), so each advance counts as
+     an extension. *)
+  let norec_read_consistent tx v =
+    let rec loop () =
+      let d = R.get v.data in
+      if R.get tx.stm.clock = tx.rv then d
+      else begin
+        tx.rv <- norec_validate tx;
+        R.add_counter tx.stm.c_extensions 1;
+        loop ()
+      end
+    in
+    loop ()
+
+  (* Same charge profile as the TL2 read paths — the read-set append
+     is the classic metadata cost whichever policy later validates it
+     — so TL2-vs-NOrec figures compare algorithms, not accounting. *)
+  let norec_log_read tx v d =
+    R.charge 2;
+    push_read tx v d.version;
+    Vec.push tx.r_vals (Obj.repr d.value);
+    record_event tx v ~is_write:false;
+    emit_read tx v;
+    d.value
+
+  let norec_classic_read tx v = norec_log_read tx v (norec_read_consistent tx v)
+
+  let norec_elastic_read tx v =
+    if tx.wrote then
+      (* Closing mode: behave classically, the window joins the
+         validation set. *)
+      norec_log_read tx v (norec_read_consistent tx v)
+    else begin
+      let rec loop () =
+        let d = R.get v.data in
+        if R.get tx.stm.clock = tx.rv then d
+        else begin
+          (* Cut: the window's versions must still hold at a newer
+             timestamp; the read prefix before the window is dropped
+             and this read opens a new piece. *)
+          tx.rv <- norec_revalidate_window tx;
+          Vec.clear tx.r_vars;
+          Vec.clear tx.r_vers;
+          Vec.clear tx.r_vals;
+          R.add_counter tx.stm.c_cuts 1;
+          loop ()
+        end
+      in
+      let d = loop () in
+      R.charge 1;
+      push_window tx v d.version;
+      record_event tx v ~is_write:false;
+      emit_read tx v;
+      d.value
+    end
+
+  (* Snapshot reads under NOrec never consult a lock word.  The bound
+     [ub] is drawn from a quiescent (even) clock, and a committer
+     writes back version [rv + 2] for an [rv] no older than every
+     bound drawn while it was in flight — only one committer holds the
+     sequence lock at a time, so a current version at or below [ub] is
+     a fully-written-back value and can be taken directly; newer
+     versions fall back through the backup chain exactly as under
+     TL2.  Snapshots never wait and never impede updaters. *)
+  let norec_snapshot_read tx v =
+    let ub = tx.snapshot_ub in
+    let d = R.get v.data in
+    let value =
+      if d.version > ub then
+        let rec from_chain = function
+          | [] -> abort_with Snapshot_too_old
+          | (v, ver) :: rest ->
+              if ver <= ub then begin
+                R.add_counter tx.stm.c_stale_reads 1;
+                v
+              end
+              else from_chain rest
+        in
+        from_chain d.older
+      else d.value
+    in
+    record_event tx v ~is_write:false;
+    emit_read tx v;
+    value
+
   let read : type a. tx -> a tvar -> a =
    fun tx v ->
     check_live tx;
@@ -647,10 +863,17 @@ module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) : Stm_intf.S = struct
       (* Same id implies same tvar, hence the same value type. *)
       | WEntry w -> (Obj.magic w.wvalue : a)
     else
-      match tx.sem with
-      | Semantics.Classic -> classic_read tx v
-      | Semantics.Elastic -> elastic_read tx v
-      | Semantics.Snapshot -> snapshot_read tx v
+      match tx.stm.algo with
+      | `Tl2 -> (
+          match tx.sem with
+          | Semantics.Classic -> classic_read tx v
+          | Semantics.Elastic -> elastic_read tx v
+          | Semantics.Snapshot -> snapshot_read tx v)
+      | `Norec -> (
+          match tx.sem with
+          | Semantics.Classic -> norec_classic_read tx v
+          | Semantics.Elastic -> norec_elastic_read tx v
+          | Semantics.Snapshot -> norec_snapshot_read tx v)
 
   let write tx v x =
     check_live tx;
@@ -672,7 +895,10 @@ module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) : Stm_intf.S = struct
   let release tx v =
     check_live tx;
     let id = v.id in
-    (* Compact the flat read set in place, preserving append order. *)
+    (* Compact the flat read set in place, preserving append order.
+       [r_vals] is parallel to [r_vars] under NOrec and empty under
+       TL2 — compact it only when populated. *)
+    let has_vals = Vec.length tx.r_vals > 0 in
     let n = Vec.length tx.r_vars in
     let j = ref 0 in
     for i = 0 to n - 1 do
@@ -680,13 +906,15 @@ module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) : Stm_intf.S = struct
       if rvar.id <> id then begin
         if !j < i then begin
           Vec.set tx.r_vars !j rvar;
-          Vec.set tx.r_vers !j (Vec.get tx.r_vers i)
+          Vec.set tx.r_vers !j (Vec.get tx.r_vers i);
+          if has_vals then Vec.set tx.r_vals !j (Vec.get tx.r_vals i)
         end;
         incr j
       end
     done;
     Vec.truncate tx.r_vars !j;
     Vec.truncate tx.r_vers !j;
+    if has_vals then Vec.truncate tx.r_vals !j;
     (* Rebuild the window ring without the released location (cold
        path: early release is an expert escape hatch). *)
     if tx.w_count > 0 then begin
@@ -723,6 +951,7 @@ module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) : Stm_intf.S = struct
        or extensions, never an inconsistent read. *)
     let s_r_vars = Vec.to_array tx.r_vars in
     let s_r_vers = Vec.to_array tx.r_vers in
+    let s_r_vals = Vec.to_array tx.r_vals in
     let s_w_vars = Array.copy tx.w_vars in
     let s_w_vers = Array.copy tx.w_vers in
     let s_w_count = tx.w_count and s_w_head = tx.w_head in
@@ -750,6 +979,7 @@ module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) : Stm_intf.S = struct
       Vec.truncate tx.cleanup s_cleanup;
       Vec.load tx.r_vars s_r_vars;
       Vec.load tx.r_vers s_r_vers;
+      Vec.load tx.r_vals s_r_vals;
       Array.blit s_w_vars 0 tx.w_vars 0 (Array.length s_w_vars);
       Array.blit s_w_vers 0 tx.w_vers 0 (Array.length s_w_vers);
       tx.w_count <- s_w_count;
@@ -841,6 +1071,43 @@ module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) : Stm_intf.S = struct
         else validate tx;
         write_back tx wv
 
+  (* NOrec write commit: acquire the sequence lock by CASing the clock
+     from the transaction's timestamp to odd; a failed CAS means
+     someone committed, so revalidate (read set by value, window by
+     version) and retry at the new timestamp.  Write-back happens under the lock — locations are
+     stamped with the new even version for the snapshot chain, but no
+     per-location lock word is ever acquired, so no [Lock_acquire]
+     event fires and no lock spin can happen — and releasing the lock
+     publishes the new clock.  A first-try CAS is this policy's fast
+     path: the reads were valid at [rv] and nothing has committed
+     since, so no commit-time validation is needed at all. *)
+  let norec_commit_writes tx =
+    let stm = tx.stm in
+    let rec acquire_seqlock first =
+      if R.cas stm.clock tx.rv (tx.rv + 1) then begin
+        if first then R.add_counter stm.c_fast_commits 1
+      end
+      else begin
+        tx.rv <- norec_validate tx;
+        acquire_seqlock false
+      end
+    in
+    acquire_seqlock true;
+    let wv = tx.rv + 2 in
+    Flat_table.iter_ascending
+      (fun _ (WEntry w) ->
+        let d = R.get w.wvar.data in
+        R.set w.wvar.data
+          {
+            value = w.wvalue;
+            version = wv;
+            older =
+              take_chain (stm.versions - 1) ((d.value, d.version) :: d.older);
+          };
+        record_event tx w.wvar ~is_write:true)
+      tx.writes;
+    R.set stm.clock wv
+
   let commit tx =
     if Flat_table.is_empty tx.writes then begin
       (* Read-only transactions of every semantics commit for free —
@@ -866,13 +1133,16 @@ module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) : Stm_intf.S = struct
         match tx.stm.telemetry with None -> 0 | Some _ -> R.now ()
       in
       match
-        (* Ascending id order keeps locking deadlock-free.  A token
-           holder skips the kill check: a straggling [Greedy] killer
-           must not be able to abort the guaranteed serial attempt. *)
-        Flat_table.iter_ascending (fun _ e -> acquire tx e) tx.writes;
-        if (not tx.holds_token) && R.get tx.owner.killed then
-          abort_with Killed;
-        version_and_write_back tx
+        match tx.stm.algo with
+        | `Norec -> norec_commit_writes tx
+        | `Tl2 ->
+            (* Ascending id order keeps locking deadlock-free.  A token
+               holder skips the kill check: a straggling [Greedy] killer
+               must not be able to abort the guaranteed serial attempt. *)
+            Flat_table.iter_ascending (fun _ e -> acquire tx e) tx.writes;
+            if (not tx.holds_token) && R.get tx.owner.killed then
+              abort_with Killed;
+            version_and_write_back tx
       with
       | () -> (
           ignore (R.fetch_and_add tx.stm.active_commits (-1));
@@ -902,6 +1172,7 @@ module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) : Stm_intf.S = struct
       snapshot_ub = 0;
       r_vars = s.sr_vars;
       r_vers = s.sr_vers;
+      r_vals = s.sr_vals;
       w_vars = s.sw_vars;
       w_vers = s.sw_vers;
       w_count = 0;
@@ -923,10 +1194,18 @@ module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) : Stm_intf.S = struct
     let serial = R.fetch_and_add tx.stm.serials 1 in
     tx.serial <- serial;
     tx.owner <- { serial; killed = R.atomic false };
-    tx.rv <- R.get tx.stm.clock;
+    (tx.rv <-
+       (* NOrec must start from a quiescent clock: an odd timestamp
+          could never pass the read-time clock check or the commit
+          CAS.  The TL2 arm is the identical single charged clock read
+          it has always been. *)
+       match tx.stm.algo with
+       | `Tl2 -> R.get tx.stm.clock
+       | `Norec -> norec_stable_clock tx.stm);
     tx.snapshot_ub <- tx.rv;
     Vec.clear tx.r_vars;
     Vec.clear tx.r_vers;
+    Vec.clear tx.r_vals;
     if tx.w_head >= 0 then
       Array.fill tx.w_vars 0 (Array.length tx.w_vars) dummy_tvar;
     tx.w_count <- 0;

@@ -48,6 +48,8 @@ module type S = sig
     ?extend_on_stale:bool ->
     ?versions:int ->
     ?gv:[ `Gv1 | `Gv4 ] ->
+    ?algo:[ `Tl2 | `Norec ] ->
+    ?unsafe_skip_validation:bool ->
     unit ->
     t
   (** [create ()] makes a fresh STM instance.  [cm] is the contention
@@ -98,7 +100,33 @@ module type S = sig
       skip-validation fast path is reserved for commits whose clock
       increment was exclusively theirs).  Read-only transactions never
       touch the clock under either scheme.  The E7 ablation compares
-      the two. *)
+      the two.
+
+      [algo] selects the {e ownership/validation policy} the instance
+      runs (DESIGN.md, S17).  [`Tl2] (default) is the word-based TL2
+      algorithm described above: per-location lock words, commit-time
+      lock acquisition in ascending location order, version-based read
+      validation.  [`Norec] is NOrec (Dalessandro, Spear & Scott,
+      PPoPP'10): one global sequence lock (the clock doubles as it),
+      value-based revalidation of the read set on every clock change,
+      and commit-time write-back under the lock.  NOrec transactions
+      never touch a per-location lock word, so read-dominated small
+      transactions carry no per-location metadata traffic; the price
+      is one serialized write commit at a time.  All three semantics,
+      the liveness machinery and telemetry work identically under
+      either policy, with two provisos: [extend_on_stale] governs TL2
+      only (revalidate-on-stale {e is} the NOrec read rule), and [gv]
+      is moot under NOrec (the sequence lock fixes the clock
+      discipline).  Under NOrec the [Lock_busy] and [Killed] abort
+      reasons cannot occur — no per-location lock or owner is ever
+      published for a contention manager to spin on or kill.
+
+      [unsafe_skip_validation] (NOrec only) disables the value
+      comparison during revalidation, yielding a backend that loses
+      updates under contention.  It exists solely as the conformance
+      harness's standing self-test — proof the differential battery
+      rejects a broken validation — and must never be used
+      otherwise. *)
 
   val tvar : t -> 'a -> 'a tvar
   (** Allocate a transactional variable with an initial value
@@ -106,6 +134,9 @@ module type S = sig
 
   val gv_scheme : t -> [ `Gv1 | `Gv4 ]
   (** The configured clock scheme. *)
+
+  val algo : t -> [ `Tl2 | `Norec ]
+  (** The configured ownership/validation policy. *)
 
   val elastic_window_size : t -> int
   (** The configured window length.  Elastic data structures check it

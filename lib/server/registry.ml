@@ -1,8 +1,13 @@
 (** Named transactional structures hosted by the server, plus the
     translation from wire commands to STM operations.
 
-    One registry owns one STM instance (over the domains runtime) and
-    a name -> structure table.  The table itself is a persistent
+    One registry owns two STM instances (over the domains runtime) —
+    one per algorithm, TL2 and NORec — and a name -> structure table,
+    so a server can host a NORec map next to a TL2 queue (DESIGN.md
+    §S17).  Each structure is pinned at creation to one instance; the
+    session runs the per-request transaction on the instance of the
+    structure(s) it touches, which is what lets nested structure
+    operations flatten into it.  The table itself is a persistent
     association list behind an [Atomic]: lookups on the request hot
     path are a single atomic load, and the rare creations CAS a new
     list in.  The {e contents} of every structure are transactional —
@@ -33,15 +38,43 @@ type entry =
   | Eset of Sset.t
   | Equeue of string Squeue.t
 
-type t = { stm : S.t; entries : (string * entry) list Atomic.t }
+type algo = [ `Tl2 | `Norec ]
 
-let create ?stm () =
+(* A structure is pinned to the instance it was created on. *)
+type slot = { entry : entry; algo : algo }
+
+type t = {
+  stm : S.t;  (** the TL2 instance *)
+  stm_norec : S.t;
+  default_algo : algo;  (** applied to wire [NEW] (no algo on the wire) *)
+  entries : (string * slot) list Atomic.t;
+}
+
+let create ?stm ?stm_norec ?(default_algo = `Tl2) () =
   let stm = match stm with Some s -> s | None -> S.create () in
-  { stm; entries = Atomic.make [] }
+  let stm_norec =
+    match stm_norec with Some s -> s | None -> S.create ~algo:`Norec ()
+  in
+  if S.algo stm <> `Tl2 then invalid_arg "Registry: stm must be a TL2 instance";
+  if S.algo stm_norec <> `Norec then
+    invalid_arg "Registry: stm_norec must be a NORec instance";
+  { stm; stm_norec; default_algo; entries = Atomic.make [] }
 
 let stm t = t.stm
+let stm_for t = function `Tl2 -> t.stm | `Norec -> t.stm_norec
+let default_algo t = t.default_algo
+let algo_name = function `Tl2 -> "tl2" | `Norec -> "norec"
 
-let find t name = List.assoc_opt name (Atomic.get t.entries)
+let algo_of_name = function
+  | "tl2" -> Some `Tl2
+  | "norec" -> Some `Norec
+  | _ -> None
+
+let find t name =
+  Option.map (fun s -> s.entry) (List.assoc_opt name (Atomic.get t.entries))
+
+let algo_of t name =
+  Option.map (fun s -> s.algo) (List.assoc_opt name (Atomic.get t.entries))
 
 let kind_of_entry = function
   | Emap _ -> Wire.Kmap
@@ -50,25 +83,32 @@ let kind_of_entry = function
 
 (* Idempotent creation: NEW of an existing name succeeds when the kind
    matches (so clients can ensure their structures without
-   coordination) and is a typed error when it does not. *)
-let ensure t kind name =
+   coordination) and is a typed error when it does not.  The algorithm
+   is fixed at first creation — the wire carries no algo, so an
+   ensure of an existing name never migrates it between instances. *)
+let ensure ?algo t kind name =
+  let algo = Option.value algo ~default:t.default_algo in
+  let stm = stm_for t algo in
   let fresh () =
-    match kind with
-    | Wire.Kmap -> Emap (Smap.create t.stm)
-    | Wire.Kset -> Eset (Sset.create t.stm)
-    | Wire.Kqueue -> Equeue (Squeue.create t.stm)
+    let entry =
+      match kind with
+      | Wire.Kmap -> Emap (Smap.create stm)
+      | Wire.Kset -> Eset (Sset.create stm)
+      | Wire.Kqueue -> Equeue (Squeue.create stm)
+    in
+    { entry; algo }
   in
   let rec go () =
     let cur = Atomic.get t.entries in
     match List.assoc_opt name cur with
-    | Some e ->
-        if kind_of_entry e = kind then Ok `Existed
+    | Some s ->
+        if kind_of_entry s.entry = kind then Ok `Existed
         else
           Error
             (Wire.Error
                ( Wire.Bad_op,
                  Printf.sprintf "%s exists with kind %s" name
-                   (Wire.kind_to_string (kind_of_entry e)) ))
+                   (Wire.kind_to_string (kind_of_entry s.entry)) ))
     | None ->
         if Atomic.compare_and_set t.entries cur ((name, fresh ()) :: cur) then
           Ok `Created
@@ -90,14 +130,15 @@ let mismatch cmd entry =
     (Wire.kind_to_string (kind_of_entry entry))
 
 (* [resolve t cmd] is either an immediate error response or a thunk to
-   run inside the session's transaction.  Only plain structure
+   run inside the session's transaction, paired with the algorithm of
+   the instance the transaction must run on.  Only plain structure
    operations resolve here — PING/NEW/MULTI/DEBUG-ABORT are session
    concerns. *)
-let resolve t cmd : (unit -> Wire.response, Wire.response) result =
+let resolve t cmd : (algo * (unit -> Wire.response), Wire.response) result =
   let with_entry name k =
-    match find t name with
+    match List.assoc_opt name (Atomic.get t.entries) with
     | None -> Error (err Wire.No_struct "no structure named %S" name)
-    | Some e -> k e
+    | Some s -> Result.map (fun thunk -> (s.algo, thunk)) (k s.entry)
   in
   match cmd with
   | Wire.Get (name, key) ->

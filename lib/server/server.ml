@@ -28,9 +28,12 @@ type config = {
   listeners : listener list;
   workers : int;
   limits : Limits.t;
-  prestructs : (Wire.kind * string) list;
+  prestructs : (Wire.kind * string * Registry.algo) list;
       (** structures created before accepting (so clients need no
-          setup round-trip) *)
+          setup round-trip), each pinned to an algorithm *)
+  default_algo : Registry.algo;
+      (** algorithm for structures created over the wire ([NEW]
+          carries no algo) *)
   stats_json : string option;  (** write a stats snapshot here on exit *)
   trace : string option;  (** write a Chrome/Perfetto trace here on exit *)
   ring_capacity : int;  (** telemetry ring slots per lane *)
@@ -44,6 +47,7 @@ let default_config =
     workers = 4;
     limits = Limits.default;
     prestructs = [];
+    default_algo = `Tl2;
     stats_json = None;
     trace = None;
     ring_capacity = 1 lsl 14;
@@ -210,13 +214,18 @@ type handle = {
   stats : Session.stats;  (** merged totals, valid after [run] returns *)
 }
 
-let run ?(registry = Registry.create ()) cfg =
+let run ?registry cfg =
+  let registry =
+    match registry with
+    | Some r -> r
+    | None -> Registry.create ~default_algo:cfg.default_algo ()
+  in
   Limits.validate cfg.limits;
   if cfg.workers < 1 then invalid_arg "Server: workers must be >= 1";
   if cfg.listeners = [] then invalid_arg "Server: no listeners";
   List.iter
-    (fun (kind, name) ->
-      match Registry.ensure registry kind name with
+    (fun (kind, name, algo) ->
+      match Registry.ensure ~algo registry kind name with
       | Ok _ -> ()
       | Error _ ->
           invalid_arg (Printf.sprintf "Server: prestruct %S conflicts" name))
@@ -228,8 +237,13 @@ let run ?(registry = Registry.create ()) cfg =
       Some (T.Ring.create ~lanes:(cfg.workers + 1) ~capacity:cfg.ring_capacity ())
     else None
   in
+  (* Both instances share the ring: lanes are picked per domain, so
+     TL2 and NORec transactions interleave safely in the same sink. *)
   Option.iter
-    (fun r -> S.set_sink (Registry.stm registry) (Some (T.Ring.sink r)))
+    (fun r ->
+      let sink = Some (T.Ring.sink r) in
+      S.set_sink (Registry.stm registry) sink;
+      S.set_sink (Registry.stm_for registry `Norec) sink)
     ring;
   let stop = Atomic.make false in
   let prev_term =
@@ -305,6 +319,7 @@ let run ?(registry = Registry.create ()) cfg =
   let stats = Session.create_stats () in
   Array.iter (fun s -> Session.merge_stats ~into:stats s) worker_stats;
   S.set_sink (Registry.stm registry) None;
+  S.set_sink (Registry.stm_for registry `Norec) None;
   let events = match ring with Some r -> T.Ring.drain r | None -> [] in
   let events_lost = match ring with Some r -> T.Ring.overwritten r | None -> 0 in
   Option.iter

@@ -146,11 +146,14 @@ let reply t resp =
           t.stats.other_errors <- t.stats.other_errors + 1)
   | _ -> ())
 
-(* Run [f] as one transaction of [sem], translating the structured
-   outcome — and the semantics-violation exception — into typed error
-   replies.  This is where the wire meets PR 4's liveness API. *)
-let run_tx t ~sem ~label ?budget ?deadline_us (f : S.tx -> Wire.response) :
-    Wire.response =
+(* Run [f] as one transaction of [sem] on the instance of [algo] —
+   the structure's pinned algorithm, so the nested structure
+   operations flatten into this transaction — translating the
+   structured outcome and the semantics-violation exception into
+   typed error replies.  This is where the wire meets PR 4's liveness
+   API. *)
+let run_tx t ~algo ~sem ~label ?budget ?deadline_us
+    (f : S.tx -> Wire.response) : Wire.response =
   let budget = match budget with Some _ as b -> b | None -> t.limits.op_budget in
   let deadline_us =
     match deadline_us with Some _ as d -> d | None -> t.limits.op_deadline_us
@@ -159,7 +162,8 @@ let run_tx t ~sem ~label ?budget ?deadline_us (f : S.tx -> Wire.response) :
   let deadline = Option.map (fun us -> t0 + (us * 1000)) deadline_us in
   let resp =
     match
-      S.try_atomically ?budget ?deadline ~sem ~label (Registry.stm t.reg) f
+      S.try_atomically ?budget ?deadline ~sem ~label
+        (Registry.stm_for t.reg algo) f
     with
     | S.Committed r -> r
     | S.Exhausted { attempts; _ } ->
@@ -191,25 +195,39 @@ let exec_multi_end t =
       | [] -> Ok (List.rev acc)
       | c :: rest -> (
           match Registry.resolve t.reg c with
-          | Ok thunk -> resolve_all ((c, thunk) :: acc) rest
+          | Ok (algo, thunk) -> resolve_all ((c, algo, thunk) :: acc) rest
           | Error e -> Error (c, e))
     in
     match resolve_all [] cmds with
     | Error (c, Wire.Error (code, m)) ->
         err code "batch rejected at %s: %s" (Wire.cmd_name c) m
     | Error (_, e) -> e
-    | Ok thunks ->
-        let sem =
-          Option.value hint ~default:Polytm.Semantics.Classic
+    | Ok thunks -> (
+        (* One batch is one transaction, and a transaction runs on one
+           instance: a batch spanning structures pinned to different
+           algorithms cannot be atomic, so it is refused before
+           executing anything (same all-or-nothing rule as a
+           resolution failure). *)
+        let algos =
+          List.sort_uniq compare (List.map (fun (_, a, _) -> a) thunks)
         in
-        run_tx t ~sem ~label:(label_of Wire.Multi_end sem) (fun _tx ->
-            Wire.Array (List.map (fun (_, thunk) -> thunk ()) thunks))
+        match algos with
+        | [] | _ :: _ :: _ ->
+            err Wire.Bad_op
+              "batch mixes structures on different algorithms (%s)"
+              (String.concat ", " (List.map Registry.algo_name algos))
+        | [ algo ] ->
+            let sem = Option.value hint ~default:Polytm.Semantics.Classic in
+            run_tx t ~algo ~sem ~label:(label_of Wire.Multi_end sem)
+              (fun _tx ->
+                Wire.Array (List.map (fun (_, _, thunk) -> thunk ()) thunks)))
 
 let exec_single t (r : Wire.request) cmd =
   let sem = Option.value r.hint ~default:(Registry.default_sem cmd) in
   match Registry.resolve t.reg cmd with
   | Error e -> e
-  | Ok thunk -> run_tx t ~sem ~label:(label_of cmd sem) (fun _tx -> thunk ())
+  | Ok (algo, thunk) ->
+      run_tx t ~algo ~sem ~label:(label_of cmd sem) (fun _tx -> thunk ())
 
 let exec_request t (r : Wire.request) : Wire.response =
   match r.cmd with
@@ -242,6 +260,7 @@ let exec_request t (r : Wire.request) : Wire.response =
            exercisable deterministically. *)
         let budget = Some (Option.value budget ~default:2) in
         run_tx t
+          ~algo:(Registry.default_algo t.reg)
           ~sem:Polytm.Semantics.Classic
           ~label:(label_of r.cmd Polytm.Semantics.Classic)
           ?budget ?deadline_us

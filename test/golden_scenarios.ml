@@ -32,9 +32,9 @@ module W = Polytm_bench_kit.Workload
    cuts all fire, and every event carries a virtual timestamp, so the
    rendered trace pins the full charge sequence of the STM hot paths
    (reads, validation, commit locking, write-back). *)
-let trace_json ~seed () =
+let trace_json ?algo ~seed () =
   let recorder = T.Recorder.create () in
-  let stm = AM.S.create () in
+  let stm = AM.S.create ?algo () in
   AM.S.set_sink stm (Some (T.Recorder.sink recorder));
   let set = AM.List_set.create ~parse_sem:Polytm.Semantics.Elastic stm in
   let (), _info =
@@ -74,7 +74,7 @@ let figures_json () =
    [gen_goldens.exe] both iterate this list. *)
 let all =
   [
-    ("trace_seed5.json", trace_json ~seed:5);
-    ("trace_seed9.json", trace_json ~seed:9);
+    ("trace_seed5.json", fun () -> trace_json ~seed:5 ());
+    ("trace_seed9.json", fun () -> trace_json ~seed:9 ());
     ("figures_small.json", figures_json);
   ]

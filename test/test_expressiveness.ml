@@ -109,11 +109,12 @@ let test_p_xz_pair_tearable () =
   Alcotest.(check bool) "(y,z) never torn in the same sample" true
     (List.for_all (fun (_, vy, vz) -> vy = vz) (random_pair_runs (1, 2) 300))
 
-let test_transaction_forces_transitive_closure () =
+let test_transaction_forces_transitive_closure ~algo () =
   (* Pt with the same (x,z) pair-writer as a classic transaction:
-     every schedule keeps even the outer pair consistent. *)
+     every schedule keeps even the outer pair consistent — under both
+     the TL2 and the NORec backend. *)
   let program () =
-    let stm = S.create ~cm:Polytm.Contention.Suicide () in
+    let stm = S.create ~cm:Polytm.Contention.Suicide ~algo () in
     let vars = Array.init 3 (fun _ -> S.tvar stm 0) in
     let observed = ref (0, 0, 0) in
     let reader =
@@ -140,11 +141,14 @@ let test_transaction_forces_transitive_closure () =
   Alcotest.(check bool) "no schedule tears Pt" true
     (outcome.Explore.executions > 10)
 
-let test_snapshot_also_transitive () =
+let test_snapshot_also_transitive ~algo () =
   (* The snapshot semantics provides the same closure without ever
-     aborting the writers. *)
+     aborting the writers.  The zero-abort claim holds for both
+     backends: TL2 snapshot reads wait out in-flight lock owners,
+     NORec snapshot reads take fully-written-back versions directly —
+     neither ever invalidates a writer. *)
   for seed = 1 to 20 do
-    let stm = S.create () in
+    let stm = S.create ~algo () in
     let vars = Array.init 3 (fun _ -> S.tvar stm 0) in
     let torn = ref false in
     let (), _ =
@@ -179,8 +183,12 @@ let suite =
       Alcotest.test_case "P: (x,y) atomic" `Quick test_p_xy_pair_atomic;
       Alcotest.test_case "P: (y,z) atomic" `Quick test_p_yz_pair_atomic;
       Alcotest.test_case "P: (x,z) tears" `Quick test_p_xz_pair_tearable;
-      Alcotest.test_case "Pt: transitive closure forced" `Quick
-        test_transaction_forces_transitive_closure;
-      Alcotest.test_case "snapshot: closure without aborts" `Quick
-        test_snapshot_also_transitive;
+      Alcotest.test_case "Pt: transitive closure forced (tl2)" `Quick
+        (test_transaction_forces_transitive_closure ~algo:`Tl2);
+      Alcotest.test_case "Pt: transitive closure forced (norec)" `Quick
+        (test_transaction_forces_transitive_closure ~algo:`Norec);
+      Alcotest.test_case "snapshot: closure without aborts (tl2)" `Quick
+        (test_snapshot_also_transitive ~algo:`Tl2);
+      Alcotest.test_case "snapshot: closure without aborts (norec)" `Quick
+        (test_snapshot_also_transitive ~algo:`Norec);
     ] )

@@ -53,4 +53,12 @@ let suite =
     List.map
       (fun (name, gen) ->
         Alcotest.test_case name `Quick (check_golden name gen))
-      Golden_scenarios.all )
+      Golden_scenarios.all
+    @ [
+        (* Constructing with an explicit [~algo:`Tl2] must reproduce
+           the default golden byte for byte: the algorithm-polymorphism
+           refactor is a zero-cost change for existing TL2 users. *)
+        Alcotest.test_case "trace_seed5.json (explicit ~algo:`Tl2)" `Quick
+          (check_golden "trace_seed5.json"
+             (Golden_scenarios.trace_json ~algo:`Tl2 ~seed:5));
+      ] )

@@ -141,6 +141,67 @@ let test_exception_releases_token () =
   Alcotest.(check int) "token released after raise" 2
     (S.atomically stm (fun tx -> S.read tx v))
 
+(* The liveness layers sit above the algorithm policy: under NORec the
+   serial fallback must fire on budget exhaustion exactly as under
+   TL2, and the token's mutual exclusion must hold even though NORec
+   publishes no per-location ownership. *)
+let test_norec_serial_fallback () =
+  for seed = 1 to 10 do
+    let stm = S.create ~algo:`Norec ~max_attempts:2 ~on_exhaustion:`Serialize () in
+    let v = S.tvar stm 0 in
+    let threads = 4 and ops = 8 in
+    let (), _ =
+      Sim.run ~policy:(Sim.Random_sched seed) (fun () ->
+          R.parallel
+            (List.init threads (fun _ () ->
+                 for _ = 1 to ops do
+                   S.atomically stm (fun tx -> S.write tx v (S.read tx v + 1))
+                 done)))
+    in
+    Alcotest.(check int)
+      (Printf.sprintf "seed %d: every increment committed" seed)
+      (threads * ops)
+      (S.atomically stm (fun tx -> S.read tx v));
+    let st = S.stats stm in
+    Alcotest.(check bool)
+      (Printf.sprintf "seed %d: fallback fired" seed)
+      true
+      (st.S.budget_exhaustions = 0 || st.S.serial_commits > 0);
+    Alcotest.(check int) "no kills under norec" 0 st.S.killed
+  done
+
+let test_norec_irrevocable_commit () =
+  let stm = S.create ~algo:`Norec () in
+  let v = S.tvar stm 0 in
+  let r =
+    S.atomically ~irrevocable:true stm (fun tx ->
+        S.write tx v 5;
+        S.read tx v)
+  in
+  Alcotest.(check int) "result" 5 r;
+  Alcotest.(check int) "serial commit counted" 1
+    (S.stats stm).S.serial_commits;
+  Alcotest.(check int) "committed" 5 (S.atomically stm (fun tx -> S.read tx v))
+
+let test_norec_try_atomically_outcomes () =
+  let stm = S.create ~algo:`Norec ~max_attempts:100 () in
+  let v = S.tvar stm 0 in
+  (match S.try_atomically stm (fun tx -> S.write tx v 7; "ok") with
+  | S.Committed s -> Alcotest.(check string) "committed result" "ok" s
+  | _ -> Alcotest.fail "expected Committed");
+  (match S.try_atomically ~budget:3 stm (fun tx -> S.abort tx) with
+  | S.Exhausted { reason = S.Explicit; attempts = 3 } -> ()
+  | _ -> Alcotest.fail "expected Exhausted{Explicit; 3}");
+  let st = S.stats stm in
+  Alcotest.(check int) "exhaustion counted" 1 st.S.budget_exhaustions;
+  Alcotest.(check int) "no serial commit" 0 st.S.serial_commits;
+  (match S.try_atomically ~deadline:0 stm (fun tx -> S.abort tx) with
+  | S.Deadline_exceeded { reason = S.Explicit; attempts = 1 } -> ()
+  | _ -> Alcotest.fail "expected Deadline_exceeded after one attempt");
+  (match S.try_atomically ~deadline:0 stm (fun tx -> S.read tx v) with
+  | S.Committed 7 -> ()
+  | _ -> Alcotest.fail "expected Committed despite stale deadline")
+
 let suite =
   ( "irrevocable",
     [
@@ -156,4 +217,10 @@ let suite =
         test_abort_inside_irrevocable_rejected;
       Alcotest.test_case "exception releases token" `Quick
         test_exception_releases_token;
+      Alcotest.test_case "norec serial fallback" `Quick
+        test_norec_serial_fallback;
+      Alcotest.test_case "norec irrevocable commit" `Quick
+        test_norec_irrevocable_commit;
+      Alcotest.test_case "norec try_atomically outcomes" `Quick
+        test_norec_try_atomically_outcomes;
     ] )

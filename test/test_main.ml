@@ -21,6 +21,7 @@ let () =
       Test_expressiveness.suite;
       Test_failure_injection.suite;
       Test_irrevocable.suite;
+      Test_norec.suite;
       Test_flat_structs.suite;
       Test_wire.suite;
       Test_server.suite;

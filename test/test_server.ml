@@ -405,6 +405,89 @@ let test_kind_mismatch_and_unknown () =
           Alcotest.failf "typed errors expected, got %s"
             (String.concat " | " (List.map pp_resp got)))
 
+(* ---- dual-backend hosting: a NORec structure next to a TL2 one --------- *)
+
+let test_mixed_algo_structures () =
+  with_session (fun fd registry _stats _ ->
+      (* Pin a NORec set before the session traffic; wire NEW keeps
+         creating on the default (TL2) instance. *)
+      (match Registry.ensure ~algo:`Norec registry Wire.Kset "nset" with
+      | Ok `Created -> ()
+      | _ -> Alcotest.fail "could not create the NORec set");
+      write_all fd
+        (encode
+           [
+             req (Wire.New (Wire.Kmap, "m"));
+             req (Wire.Put ("m", 1, "one"));
+             req (Wire.Add ("nset", 7));
+             req ~hint:Sem.Snapshot (Wire.Snapshot_iter "nset");
+             req (Wire.Get ("m", 1));
+           ]);
+      Alcotest.check resps_t "ops on both backends"
+        [
+          Wire.ok;
+          Wire.Int 1;
+          Wire.Int 1;
+          Wire.Array [ Wire.Int 7 ];
+          Wire.Bulk "one";
+        ]
+        (recv_n fd 5);
+      Alcotest.(check bool) "entries pinned to their instances" true
+        (Registry.algo_of registry "m" = Some `Tl2
+        && Registry.algo_of registry "nset" = Some `Norec);
+      (* A MULTI confined to the NORec instance commits atomically... *)
+      write_all fd
+        (encode
+           [
+             req Wire.Multi;
+             req (Wire.Add ("nset", 8));
+             req (Wire.Add ("nset", 9));
+             req Wire.Multi_end;
+           ]);
+      Alcotest.check resps_t "NORec-only batch commits"
+        [
+          Wire.ok;
+          Wire.queued;
+          Wire.queued;
+          Wire.Array [ Wire.Int 1; Wire.Int 1 ];
+        ]
+        (recv_n fd 4);
+      (* ...while a batch spanning both instances cannot be one
+         transaction: typed error, nothing executed. *)
+      write_all fd
+        (encode
+           [
+             req Wire.Multi;
+             req (Wire.Put ("m", 2, "two"));
+             req (Wire.Add ("nset", 10));
+             req Wire.Multi_end;
+             req (Wire.Contains ("nset", 10));
+             req (Wire.Get ("m", 2));
+           ]);
+      match recv_n fd 6 with
+      | [
+       Wire.Simple "OK";
+       Wire.Simple "QUEUED";
+       Wire.Simple "QUEUED";
+       Wire.Error (Wire.Bad_op, m);
+       Wire.Int 0;
+       Wire.Nil;
+      ] ->
+          Alcotest.(check bool)
+            (Printf.sprintf "error names both algorithms: %s" m)
+            true
+            (let has needle =
+               let lh = String.length m and ln = String.length needle in
+               let rec at i =
+                 i + ln <= lh && (String.sub m i ln = needle || at (i + 1))
+               in
+               at 0
+             in
+             has "tl2" && has "norec")
+      | got ->
+          Alcotest.failf "mixed-algo batch: unexpected replies %s"
+            (String.concat " | " (List.map pp_resp got)))
+
 let suite =
   ( "server",
     [
@@ -426,4 +509,6 @@ let suite =
         test_shutdown_drains_and_releases;
       Alcotest.test_case "kind mismatch and unknown structure" `Quick
         test_kind_mismatch_and_unknown;
+      Alcotest.test_case "NORec structure next to a TL2 one" `Quick
+        test_mixed_algo_structures;
     ] )
