@@ -170,6 +170,34 @@ let scenarios : (string * string * (unit -> unit)) list =
         Sim.join t1;
         Sim.join t2;
         assert (AM.Lockfree.to_list t = [ 2; 3 ]) );
+    ( "retry-lost-wakeup",
+      "a blocking dequeue races a producer's commit into the \
+       read-empty/park window and never misses the wakeup",
+      fun () ->
+        let stm = AM.S.create ~cm:Polytm.Contention.Suicide () in
+        let q = AM.Queue.create stm in
+        let got = ref None in
+        let c = Sim.spawn (fun () -> got := Some (AM.Queue.take q)) in
+        let p = Sim.spawn (fun () -> AM.Queue.enqueue q 7) in
+        Sim.join c;
+        Sim.join p;
+        assert (!got = Some 7) );
+    ( "retry-lost-wakeup-broken",
+      "self-test, run with --expect-violation: a waiter that skips the \
+       pre-park re-validation misses a commit that lands before its \
+       registration and parks forever (deadlock)",
+      fun () ->
+        let stm =
+          AM.S.create ~cm:Polytm.Contention.Suicide
+            ~unsafe_skip_wake_validation:true ()
+        in
+        let q = AM.Queue.create stm in
+        let got = ref None in
+        let c = Sim.spawn (fun () -> got := Some (AM.Queue.take q)) in
+        let p = Sim.spawn (fun () -> AM.Queue.enqueue q 7) in
+        Sim.join c;
+        Sim.join p;
+        assert (!got = Some 7) );
   ]
 
 let scenario_t =
@@ -189,24 +217,40 @@ let scenario_t =
     & info [] ~docv:"SCENARIO" ~doc:"Scenario name (see command doc).")
 
 let explore_cmd =
-  let run (name, doc, program) max_executions =
+  let run (name, doc, program) max_executions expect_violation =
     Format.printf "scenario %s: %s@." name doc;
     match
-      Explore.check ~max_executions ~max_depth:50 ~step_limit:2_000 program
+      Explore.check ~max_executions ~max_depth:120 ~step_limit:2_000 program
     with
     | outcome ->
         Format.printf "explored %d schedules%s — no violation@."
           outcome.Explore.executions
-          (if outcome.Explore.truncated then " (bounded)" else " (complete)")
+          (if outcome.Explore.truncated then " (bounded)" else " (complete)");
+        if expect_violation then begin
+          Format.printf "ERROR: expected a violation but none was found@.";
+          exit 1
+        end
     | exception Explore.Violation { schedule; exn } ->
         Format.printf "VIOLATION (%s) under schedule [%s]@."
           (Printexc.to_string exn)
           (String.concat "; "
              (List.map string_of_int (Array.to_list schedule)));
-        exit 1
+        if expect_violation then
+          Format.printf
+            "violation observed, as expected: the checker has teeth@."
+        else exit 1
   in
   let max_t =
     Arg.(value & opt int 100_000 & info [ "max-executions" ] ~docv:"N")
+  in
+  let expect_violation_t =
+    Arg.(
+      value & flag
+      & info [ "expect-violation" ]
+          ~doc:
+            "Invert the exit status: succeed only if the explorer finds a \
+             violating schedule (self-test of deliberately broken \
+             scenarios).")
   in
   Cmd.v
     (Cmd.info "explore"
@@ -214,7 +258,7 @@ let explore_cmd =
          (Printf.sprintf
             "Exhaustively model-check a scenario.  Scenarios: %s."
             (String.concat ", " (List.map (fun (n, _, _) -> n) scenarios))))
-    Term.(const run $ scenario_t $ max_t)
+    Term.(const run $ scenario_t $ max_t $ expect_violation_t)
 
 (* ---- record & verify ---------------------------------------------------- *)
 
@@ -579,6 +623,42 @@ let liveness_cmd =
     if st.S.serial_commits = 0 then
       fail "the serial fallback never triggered: the workload is not hot \
             enough to smoke-test liveness";
+    (* Blocking-waiter phase: a parked [retry] waiter whose budget runs
+       out must surface as [Exhausted] data and vanish from the wait
+       table — a ghost entry would receive (and swallow) future
+       wakeups.  The pokes write the watched variable without ever
+       satisfying the waiter, so every wake burns one attempt. *)
+    let woutcome, wleft =
+      fst
+        (Sim.run (fun () ->
+             let v = S.tvar stm 0 in
+             let r = ref None in
+             let waiter =
+               Sim.spawn (fun () ->
+                   r :=
+                     Some
+                       (S.try_atomically ~budget:2 stm (fun tx ->
+                            ignore (S.read tx v);
+                            S.retry tx)))
+             in
+             let poker =
+               Sim.spawn (fun () ->
+                   for i = 1 to 2 do
+                     Sim.tick 100;
+                     S.atomically stm (fun tx -> S.write tx v i)
+                   done)
+             in
+             Sim.join waiter;
+             Sim.join poker;
+             (Option.get !r, S.waiting stm)))
+    in
+    (match woutcome with
+    | S.Exhausted { reason = S.Retry; _ } -> ()
+    | S.Committed _ | S.Exhausted _ | S.Deadline_exceeded _ ->
+        fail "parked waiter did not surface budget exhaustion as Exhausted");
+    if wleft <> 0 then fail "%d waiter(s) survived budget exhaustion" wleft;
+    Format.printf "waiters_left=%d after a parked waiter exhausted its budget@."
+      wleft;
     Format.printf "PASS: livelock-free under adaptive contention management@."
   in
   let seed_t = Arg.(value & opt int 23 & info [ "seed" ] ~docv:"SEED") in

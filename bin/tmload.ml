@@ -26,6 +26,7 @@ type counters = {
   mutable sent : int;
   mutable got : int;
   ops_by_sem : int array;  (* committed replies per hint class *)
+  mutable nils : int;  (* Nil replies: misses, or timed-out blocking ops *)
   mutable busy : int;
   mutable app_errors : int;  (* typed server errors other than BUSY *)
   mutable proto_errors : int;  (* malformed/corrupt replies *)
@@ -37,6 +38,7 @@ let new_counters () =
     sent = 0;
     got = 0;
     ops_by_sem = Array.make 3 0;
+    nils = 0;
     busy = 0;
     app_errors = 0;
     proto_errors = 0;
@@ -122,6 +124,9 @@ let read_responses fd dec rbuf c (inflight : (int * int) Queue.t) want =
              (match resp with
              | Wire.Error (Wire.Busy, _) -> c.busy <- c.busy + 1
              | Wire.Error _ -> c.app_errors <- c.app_errors + 1
+             | Wire.Nil ->
+                 c.nils <- c.nils + 1;
+                 c.ops_by_sem.(semi) <- c.ops_by_sem.(semi) + 1
              | _ -> c.ops_by_sem.(semi) <- c.ops_by_sem.(semi) + 1);
              incr consumed;
              pop ()
@@ -204,6 +209,89 @@ let client ~addr ~mix ~pipeline ~rate ~seconds ~seed id =
   (try Unix.close fd with _ -> ());
   c
 
+(* ---- prodcons scenario -------------------------------------------------- *)
+
+(* Producers pipeline ENQ into one shared queue; each consumer keeps a
+   single BLPOP outstanding and genuinely parks server-side whenever
+   the queue is empty.  A consumer's send-to-reply time is therefore
+   wait + wakeup + service: with producers throttled below consumer
+   capacity (--rate) the queue stays near-empty, almost every BLPOP
+   parks, and the consumer histogram measures commit-to-wakeup
+   latency.  Unthrottled producers keep the queue non-empty instead,
+   measuring blocking-path service time. *)
+let prodcons_client ~addr ~queue ~timeout_ms ~pipeline ~rate ~producers
+    ~seconds id =
+  let c = new_counters () in
+  let fd = connect addr in
+  let dec = Wire.Decoder.create () in
+  let rbuf = Bytes.create 65536 in
+  let out = Buffer.create 4096 in
+  let inflight : (int * int) Queue.t = Queue.create () in
+  (try
+     Wire.write_request out
+       { Wire.hint = None; cmd = Wire.New (Wire.Kqueue, queue) };
+     Queue.push (R.now (), 0) inflight;
+     send_all fd out;
+     read_responses fd dec rbuf c inflight 1;
+     c.sent <- 0;
+     c.got <- 0;
+     c.nils <- 0;
+     Array.fill c.ops_by_sem 0 3 0;
+     let t_end = Unix.gettimeofday () +. seconds in
+     let n = ref 0 in
+     let enq () =
+       incr n;
+       Wire.write_request out
+         {
+           Wire.hint = Some Polytm.Semantics.Classic;
+           cmd = Wire.Enq (queue, Printf.sprintf "p%d-%d" id !n);
+         };
+       Queue.push (R.now (), 0) inflight;
+       c.sent <- c.sent + 1
+     in
+     if id < producers then (
+       match rate with
+       | None ->
+           while Unix.gettimeofday () < t_end do
+             for _ = 1 to pipeline do
+               enq ()
+             done;
+             send_all fd out;
+             read_responses fd dec rbuf c inflight pipeline
+           done
+       | Some per_prod_rate ->
+           let interval = 1.0 /. per_prod_rate in
+           let next = ref (Unix.gettimeofday ()) in
+           while Unix.gettimeofday () < t_end do
+             let now = Unix.gettimeofday () in
+             if now < !next then ignore (Unix.select [] [] [] (!next -. now))
+             else begin
+               next := !next +. interval;
+               enq ();
+               send_all fd out;
+               if Queue.length inflight > pipeline then
+                 read_responses fd dec rbuf c inflight 1
+             end
+           done)
+     else
+       while Unix.gettimeofday () < t_end do
+         Wire.write_request out
+           {
+             Wire.hint = Some Polytm.Semantics.Classic;
+             cmd = Wire.Blpop (queue, timeout_ms);
+           };
+         Queue.push (R.now (), 0) inflight;
+         c.sent <- c.sent + 1;
+         send_all fd out;
+         read_responses fd dec rbuf c inflight 1
+       done;
+     read_responses fd dec rbuf c inflight (Queue.length inflight)
+   with
+  | Dead _ -> ()
+  | Unix.Unix_error _ -> c.proto_errors <- c.proto_errors + 1);
+  (try Unix.close fd with _ -> ());
+  c
+
 (* ---- aggregation and reporting ----------------------------------------- *)
 
 let merge cs =
@@ -214,6 +302,7 @@ let merge cs =
       tot.got <- tot.got + c.got;
       Array.iteri (fun i n -> tot.ops_by_sem.(i) <- tot.ops_by_sem.(i) + n)
         c.ops_by_sem;
+      tot.nils <- tot.nils + c.nils;
       tot.busy <- tot.busy + c.busy;
       tot.app_errors <- tot.app_errors + c.app_errors;
       tot.proto_errors <- tot.proto_errors + c.proto_errors;
@@ -261,6 +350,64 @@ let write_json path label elapsed (c : counters) =
     thr elapsed c.got c.ops_by_sem.(0) c.ops_by_sem.(1) c.ops_by_sem.(2)
     c.busy c.app_errors c.proto_errors;
   close_out oc
+
+(* Same BENCH_*.json record shape, one section of rows plus a meta
+   object, so CI's seed comparison can parse prodcons runs unchanged. *)
+let write_prodcons_json path elapsed (p : counters) (c : counters) =
+  let rec_ name v =
+    Printf.sprintf "{\"name\":\"server/prodcons %s\",\"ns_per_op\":%g}" name v
+  in
+  let pct h q = float_of_int (Hist.percentile h q) in
+  let taken = c.got - c.nils in
+  let records =
+    [
+      rec_ "enq mean latency" (Hist.mean p.lat);
+      rec_ "blpop mean latency" (Hist.mean c.lat);
+      rec_ "blpop p50 latency" (pct c.lat 50.);
+      rec_ "blpop p95 latency" (pct c.lat 95.);
+      rec_ "blpop p99 latency" (pct c.lat 99.);
+      rec_ "blpop max latency" (float_of_int (Hist.max c.lat));
+    ]
+  in
+  let oc = open_out path in
+  Printf.fprintf oc
+    "{\"server_prodcons\":[%s],\n\
+    \ \"server_prodcons_meta\":{\"produced_ops_per_sec\":%g,\
+     \"consumed_ops_per_sec\":%g,\n\
+    \  \"ops\":{\"produced\":%d,\"consumed\":%d,\"blpop_timeouts\":%d},\n\
+    \  \"errors\":{\"busy\":%d,\"app\":%d,\"protocol\":%d}}}\n"
+    (String.concat "," records)
+    (float_of_int p.got /. elapsed)
+    (float_of_int taken /. elapsed)
+    p.got taken c.nils (p.busy + c.busy) (p.app_errors + c.app_errors)
+    (p.proto_errors + c.proto_errors);
+  close_out oc
+
+let report_prodcons elapsed ~producers ~consumers (p : counters) (c : counters)
+    =
+  let pct h q = float_of_int (Hist.percentile h q) /. 1000. in
+  let taken = c.got - c.nils in
+  Printf.printf "tmload: prodcons, %d producer%s + %d blocking consumer%s, %.2fs\n"
+    producers
+    (if producers = 1 then "" else "s")
+    consumers
+    (if consumers = 1 then "" else "s")
+    elapsed;
+  Printf.printf "  produced:   %.0f ops/s (%d ops), enq p95=%.0fus\n"
+    (float_of_int p.got /. elapsed)
+    p.got (pct p.lat 95.);
+
+  Printf.printf "  consumed:   %.0f items/s (%d items, %d BLPOP timeouts)\n"
+    (float_of_int taken /. elapsed)
+    taken c.nils;
+  Printf.printf
+    "  blpop us:   p50=%.0f p95=%.0f p99=%.0f max=%.0f mean=%.1f\n"
+    (pct c.lat 50.) (pct c.lat 95.) (pct c.lat 99.)
+    (float_of_int (Hist.max c.lat) /. 1000.)
+    (Hist.mean c.lat /. 1000.);
+  Printf.printf "  errors:     busy=%d app=%d protocol=%d\n%!"
+    (p.busy + c.busy) (p.app_errors + c.app_errors)
+    (p.proto_errors + c.proto_errors)
 
 let report label elapsed conns (c : counters) =
   let pct p = float_of_int (Hist.percentile c.lat p) /. 1000. in
@@ -340,8 +487,39 @@ let fail_errors_t =
            ~doc:"Exit nonzero if any protocol error occurred or any
                  semantics class completed zero operations (CI).")
 
+let scenario_t =
+  let parse = function
+    | "mixed" -> Ok `Mixed
+    | "prodcons" -> Ok `Prodcons
+    | s -> Error (`Msg (Printf.sprintf "unknown scenario %S (mixed|prodcons)" s))
+  in
+  let print ppf s =
+    Format.pp_print_string ppf
+      (match s with `Mixed -> "mixed" | `Prodcons -> "prodcons")
+  in
+  Arg.(value & opt (conv (parse, print)) `Mixed
+       & info [ "scenario" ] ~docv:"NAME"
+           ~doc:"Workload shape: $(b,mixed) (default; the paper's
+                 get/put/iterate mix) or $(b,prodcons) (producers ENQ
+                 into one queue, the remaining connections block in
+                 BLPOP; --rate throttles production so consumers
+                 genuinely park and the consumer histogram measures
+                 wakeup latency).")
+
+let producers_t =
+  Arg.(value & opt (some int) None
+       & info [ "producers" ] ~docv:"N"
+           ~doc:"prodcons only: connections acting as producers
+                 (default: half, at least one of each role).")
+
+let timeout_t =
+  Arg.(value & opt int 1000
+       & info [ "timeout" ] ~docv:"MS"
+           ~doc:"prodcons only: per-BLPOP timeout in milliseconds
+                 (0 = wait until shutdown).")
+
 let main addr conns pipeline seconds keys update snapshot hot rate seed json
-    fail_on_errors =
+    fail_on_errors scenario producers timeout_ms =
   let addr =
     if String.length addr > 5 && String.sub addr 0 5 = "unix:" then
       `Unix (String.sub addr 5 (String.length addr - 5))
@@ -354,6 +532,40 @@ let main addr conns pipeline seconds keys update snapshot hot rate seed json
             )
       | None -> `Tcp (addr, 7411)
   in
+  match scenario with
+  | `Prodcons ->
+      let producers =
+        match producers with
+        | Some p -> max 1 (min p (conns - 1))
+        | None -> max 1 (conns / 2)
+      in
+      let consumers = conns - producers in
+      let rate = Option.map (fun r -> r /. float_of_int producers) rate in
+      let t0 = Unix.gettimeofday () in
+      let doms =
+        List.init conns (fun i ->
+            Domain.spawn (fun () ->
+                prodcons_client ~addr ~queue:"bench-q" ~timeout_ms ~pipeline
+                  ~rate ~producers ~seconds i))
+      in
+      let results = List.map Domain.join doms in
+      let elapsed = Unix.gettimeofday () -. t0 in
+      let prod = merge (List.filteri (fun i _ -> i < producers) results) in
+      let cons = merge (List.filteri (fun i _ -> i >= producers) results) in
+      report_prodcons elapsed ~producers ~consumers prod cons;
+      Option.iter (fun p -> write_prodcons_json p elapsed prod cons) json;
+      if
+        fail_on_errors
+        && (prod.proto_errors + cons.proto_errors > 0
+           || prod.got = 0
+           || cons.got - cons.nils = 0)
+      then begin
+        prerr_endline
+          "tmload: FAIL (protocol errors, nothing produced, or nothing \
+           consumed)";
+        exit 1
+      end
+  | `Mixed ->
   let mix = { keys; update_pct = update; snapshot_pct = snapshot; hot_pct = hot } in
   let rate = Option.map (fun r -> r /. float_of_int conns) rate in
   let t0 = Unix.gettimeofday () in
@@ -385,6 +597,6 @@ let () =
   let term =
     Term.(const main $ addr_t $ conns_t $ pipeline_t $ seconds_t $ keys_t
           $ update_t $ snapshot_t $ hot_t $ rate_t $ seed_t $ json_t
-          $ fail_errors_t)
+          $ fail_errors_t $ scenario_t $ producers_t $ timeout_t)
   in
   exit (Cmd.eval (Cmd.v (Cmd.info "tmload" ~version:"1.0.0" ~doc) term))

@@ -12,7 +12,9 @@
       them independently. *)
 
 module A = Polytm_structs.Adapters
-module AM = Polytm_structs.Adapters.Make (Polytm_runtime.Sim_runtime)
+module R = Polytm_runtime.Sim_runtime
+module Sim = Polytm_runtime.Sim
+module AM = Polytm_structs.Adapters.Make (R)
 
 type row = {
   row_label : string;
@@ -252,6 +254,85 @@ let algorithm ?(threads = 32) ?(duration = 150_000) ?(seed = 23) () =
     rows;
   }
 
+(* E9 companion: what parking buys over polling.  One producer feeds
+   [items] values through an STM queue, one every [gap] virtual ticks;
+   [consumers] drain it either by spinning — non-blocking dequeue,
+   re-poll one tick later on empty — or by parking, the retry-based
+   blocking take behind [Adapters.stm_queue_blocking].  A parked
+   consumer charges nothing while it waits (the simulator only
+   advances it on a wake), so the steps=… column is the price of
+   polling: charged shared-memory accesses that found the queue empty.
+   Throughput barely moves — the producer's gap is the bottleneck
+   either way — which is exactly the point: parking buys back wasted
+   work, not latency. *)
+let blocking ?(consumers = 4) ?(items = 400) ?(gap = 25) () =
+  let run_mode ~label ~mode ~algo =
+    let stm = ref None in
+    let completed = ref 0 in
+    let (), info =
+      Sim.run (fun () ->
+          let s = AM.S.create ~algo () in
+          stm := Some s;
+          let q =
+            match mode with
+            | `Spin -> AM.stm_queue s
+            | `Park -> AM.stm_queue_blocking ~deadline_delta:100_000 s
+          in
+          let producer () =
+            for i = 1 to items do
+              Sim.tick gap;
+              q.A.enq i
+            done;
+            (* One poison pill per consumer ends the run cleanly. *)
+            for _ = 1 to consumers do
+              q.A.enq (-1)
+            done
+          in
+          let consumer () =
+            let stop = ref false in
+            while not !stop do
+              match q.A.deq () with
+              | Some v when v >= 0 -> incr completed
+              | Some _ -> stop := true
+              | None -> (
+                  match mode with `Spin -> Sim.tick 1 | `Park -> stop := true)
+            done
+          in
+          R.parallel (producer :: List.init consumers (fun _ -> consumer)))
+    in
+    let st = AM.S.stats (Option.get !stm) in
+    {
+      row_label = label;
+      row_throughput =
+        1000.0 *. float_of_int !completed /. float_of_int info.Sim.makespan;
+      row_completed = !completed;
+      row_aborts = st.AM.S.aborts;
+      row_detail =
+        Printf.sprintf
+          "steps=%d makespan=%d parks=%d wakes=%d wake_timeouts=%d \
+           retry_waits=%d"
+          info.Sim.steps info.Sim.makespan st.AM.S.parks st.AM.S.wakes
+          st.AM.S.wake_timeouts st.AM.S.retry_waits;
+    }
+  in
+  {
+    table_title =
+      Printf.sprintf
+        "Park vs spin (1 producer every %d ticks, %d blocking consumers, %d \
+         items)"
+        gap consumers items;
+    rows =
+      List.concat_map
+        (fun (aname, algo) ->
+          [
+            run_mode ~label:(Printf.sprintf "%s spin (poll every tick)" aname)
+              ~mode:`Spin ~algo;
+            run_mode ~label:(Printf.sprintf "%s park (retry + wait list)" aname)
+              ~mode:`Park ~algo;
+          ])
+        [ ("tl2", `Tl2); ("norec", `Norec) ];
+  }
+
 let all () =
   [
     contention_managers ();
@@ -262,6 +343,7 @@ let all () =
     version_depth ();
     clock_scheme ();
     algorithm ();
+    blocking ();
   ]
 
 let pp_table ppf t =

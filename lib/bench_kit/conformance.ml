@@ -53,6 +53,7 @@ let default_impls =
     "lazy-list";
     "lock-free-list";
     "stm-queue";
+    "stm-queue-blocking";
     "stm-stack";
     "treiber-stack";
   ]
@@ -135,6 +136,18 @@ module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) = struct
         set ~atomic_size:true (AM.lazy_list ())
     | "stm-queue" ->
         let q, events = AM.record_queue (AM.stm_queue (stm ())) in
+        Queue_impl (q, events)
+    | "stm-queue-blocking" ->
+        (* Consumers park on empty instead of returning [None]
+           immediately; the deadline (virtual ticks under the
+           simulator, nanoseconds under domains) turns an
+           unreplenished queue into a [None] rather than a hang, so
+           drained workloads terminate.  The histories must be
+           indistinguishable from the spinning queue's. *)
+        let deadline_delta = if R.name = "sim" then 2_000 else 20_000_000 in
+        let q, events =
+          AM.record_queue (AM.stm_queue_blocking ~deadline_delta (stm ()))
+        in
         Queue_impl (q, events)
     | "stm-stack" ->
         let s, events = AM.record_stack (AM.stm_stack (stm ())) in

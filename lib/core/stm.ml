@@ -82,6 +82,8 @@ module Flat_table = Polytm_util.Flat_table
 module T = Polytm_telemetry
 
 module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) : Stm_intf.S = struct
+  module Wq = Waitq.Make (R)
+
   type abort_reason =
     | Lock_busy
     | Read_invalid
@@ -89,6 +91,7 @@ module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) : Stm_intf.S = struct
     | Snapshot_too_old
     | Killed
     | Explicit
+    | Retry
 
   exception Too_many_attempts of abort_reason * int
   exception Invalid_operation of string
@@ -174,6 +177,9 @@ module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) : Stm_intf.S = struct
     s_writes : wentry Flat_table.t;
     s_undo : (unit -> unit) Vec.t;
     s_cleanup : (unit -> unit) Vec.t;
+    s_retry_vars : Obj.t tvar Vec.t;
+        (** wait-set contributions from retrying [orelse] branches *)
+    s_retry_vers : int Vec.t;
   }
 
   (* A transaction descriptor.  One is allocated per [atomically] call
@@ -199,6 +205,11 @@ module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) : Stm_intf.S = struct
     mutable wrote : bool;  (** an elastic tx stops cutting after a write *)
     undo : (unit -> unit) Vec.t;  (** compensations, oldest first *)
     cleanup : (unit -> unit) Vec.t;  (** finalisers, oldest first *)
+    retry_vars : Obj.t tvar Vec.t;
+        (** reads accumulated from [orelse] branches that {e retried}:
+            a rolled-back branch's reads leave the live read set, but a
+            retrying branch's must still be waited on (union rule) *)
+    retry_vers : int Vec.t;
     mutable live : bool;
     mutable attempt : int;  (** 1-based attempt number of this arming *)
     mutable holds_token : bool;
@@ -218,6 +229,11 @@ module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) : Stm_intf.S = struct
         (** testing backdoor: a NOrec instance that skips the value
             comparison during revalidation — the deliberately-broken
             backend the conformance self-test must reject *)
+    skip_wake_validation : bool;
+        (** testing backdoor: park without re-validating the wait set —
+            the classic lost-wakeup bug, kept so the Explore model
+            check can prove it would catch one *)
+    waitq : Wq.t;  (** registry of parked [retry] waiters *)
     gv : [ `Gv1 | `Gv4 ];  (** write-version scheme, see [draw_wv] *)
     serials : int R.atomic;
     tvar_ids : int R.atomic;
@@ -250,6 +266,10 @@ module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) : Stm_intf.S = struct
     c_ro_commits : R.counter;
     c_serial_commits : R.counter;
     c_budget_exhaustions : R.counter;
+    c_retry_waits : R.counter;
+    c_parks : R.counter;
+    c_wakes : R.counter;
+    c_wake_timeouts : R.counter;
     (* history recording: single-scheduler runs only *)
     mutable recording : bool;
     mutable log_rev : recorded list;
@@ -262,12 +282,18 @@ module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) : Stm_intf.S = struct
   (* Everything a thread keeps between [atomically] calls, fetched
      with a single TLS lookup: the innermost live transaction (flat
      nesting) and the pooled descriptor stores. *)
-  and thread_ctx = { mutable cur_tx : tx option; stores : stores }
+  and thread_ctx = {
+    mutable cur_tx : tx option;
+    stores : stores;
+    waiter : Wq.waiter;  (** pooled like the stores: flat nesting means
+                             at most one waiter per thread per instance *)
+  }
 
   let create ?(cm = Contention.default) ?(elastic_window = 2)
       ?(max_attempts = 10_000) ?(on_exhaustion = `Serialize)
       ?(extend_on_stale = true) ?(versions = 2) ?(gv = `Gv1)
-      ?(algo = `Tl2) ?(unsafe_skip_validation = false) () =
+      ?(algo = `Tl2) ?(unsafe_skip_validation = false)
+      ?(unsafe_skip_wake_validation = false) () =
     Contention.validate cm;
     if elastic_window < 1 then
       raise (Invalid_operation "elastic_window must be at least 1");
@@ -281,6 +307,8 @@ module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) : Stm_intf.S = struct
       clock = R.atomic 0;
       algo;
       skip_validation = unsafe_skip_validation;
+      skip_wake_validation = unsafe_skip_wake_validation;
+      waitq = Wq.create ();
       gv;
       serials = R.atomic 0;
       tvar_ids = R.atomic 0;
@@ -306,7 +334,10 @@ module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) : Stm_intf.S = struct
                   s_writes = Flat_table.create dummy_wentry;
                   s_undo = Vec.create nop;
                   s_cleanup = Vec.create nop;
+                  s_retry_vars = Vec.create dummy_tvar;
+                  s_retry_vers = Vec.create 0;
                 };
+              waiter = Wq.waiter ();
             });
       c_starts = R.counter ();
       c_commits = R.counter ();
@@ -324,6 +355,10 @@ module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) : Stm_intf.S = struct
       c_ro_commits = R.counter ();
       c_serial_commits = R.counter ();
       c_budget_exhaustions = R.counter ();
+      c_retry_waits = R.counter ();
+      c_parks = R.counter ();
+      c_wakes = R.counter ();
+      c_wake_timeouts = R.counter ();
       recording = false;
       log_rev = [];
       aborted_rev = [];
@@ -386,6 +421,11 @@ module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) : Stm_intf.S = struct
     | Snapshot_too_old -> T.Snapshot_overwrite
     | Killed -> T.Cm_kill
     | Explicit -> T.Explicit
+    (* A [retry] is a user decision like [abort]; what distinguishes it
+       — the park and the wakeup — gets its own Park/Wake events, so
+       the cause taxonomy (and with it the Agg snapshot layout the
+       figure goldens embed) stays unchanged. *)
+    | Retry -> T.Explicit
 
   let set_sink stm s = stm.telemetry <- s
   let sink stm = stm.telemetry
@@ -424,6 +464,16 @@ module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) : Stm_intf.S = struct
     match tx.stm.telemetry with
     | None -> ()
     | Some s -> send tx s (T.Abort { cause = cause_of_reason reason; reads; writes })
+
+  let emit_park tx locs =
+    match tx.stm.telemetry with
+    | None -> ()
+    | Some s -> send tx s (T.Park { locs })
+
+  let emit_wake tx result =
+    match tx.stm.telemetry with
+    | None -> ()
+    | Some s -> send tx s (T.Wake { timed_out = result = `Timeout })
 
   (* ------------------------------------------------------------------ *)
   (* Consistent reads                                                    *)
@@ -939,6 +989,27 @@ module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) : Stm_intf.S = struct
 
   let abort _tx = abort_with Explicit
 
+  (* Blocking retry: abort and (in the transaction loop, after the
+     standard abort accounting) park until a commit writes a wait-set
+     location.  Refused where parking could never end or would
+     deadlock: snapshot reads are not tracked in a wait set, and a
+     token holder blocks every committer — including its waker. *)
+  let retry tx =
+    check_live tx;
+    if tx.sem = Semantics.Snapshot then
+      raise
+        (Invalid_operation
+           "retry inside a snapshot transaction: snapshot reads are not \
+            tracked in a wait set");
+    if tx.holds_token then
+      raise
+        (Invalid_operation
+           "retry inside an irrevocable or serialized transaction: the \
+            token holder would block its own waker");
+    abort_with Retry
+
+  let waiting stm = Wq.waiting stm.waitq
+
   let orelse tx f g =
     check_live tx;
     (* Savepoint: copies of the read set and window, the write-set
@@ -965,7 +1036,29 @@ module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) : Stm_intf.S = struct
     let s_undo = Vec.length tx.undo in
     let s_cleanup = Vec.length tx.cleanup in
     try f tx
-    with Abort_tx Explicit ->
+    with Abort_tx ((Explicit | Retry) as branch_exit) ->
+      (* A {e retrying} branch falls through to [g] like an explicit
+         rollback, but its reads must survive into the final wait set:
+         if [g] also retries, the transaction waits on the UNION of
+         both branches' read sets, so a write enabling either branch
+         wakes it.  Accumulate them (flat reads + window, with their
+         versions) before the savepoint rollback discards them.  The
+         [Explicit] path adds nothing — savepoint restoration leaks no
+         rolled-back entries into a later wait set — and every other
+         reason (a conflict abort) propagates past the savepoint,
+         restarting the whole transaction rather than falling through. *)
+      if branch_exit = Retry then begin
+        for i = 0 to Vec.length tx.r_vars - 1 do
+          Vec.push tx.retry_vars (Vec.get tx.r_vars i);
+          Vec.push tx.retry_vers (Vec.get tx.r_vers i)
+        done;
+        let cap = Array.length tx.w_vars in
+        for k = 0 to tx.w_count - 1 do
+          let idx = (tx.w_head - k + cap) mod cap in
+          Vec.push tx.retry_vars tx.w_vars.(idx);
+          Vec.push tx.retry_vers tx.w_vers.(idx)
+        done
+      end;
       (* Compensate the branch's eager (boosted) effects, release its
          abstract locks (newest first), then restore the buffered
          state. *)
@@ -1108,6 +1201,23 @@ module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) : Stm_intf.S = struct
       tx.writes;
     R.set stm.clock wv
 
+  (* Wake parked [retry]ers whose wait sets this commit may have
+     enabled.  Runs after write-back, with every lock released.  The
+     guard is an uncharged counter read, so the overwhelmingly common
+     no-waiter case costs nothing and perturbs no schedule (the figure
+     goldens depend on that).  TL2 notifies per written location;
+     NOrec has no per-location metadata, so its waiters sit on one
+     coarse list and every write commit wakes them all — conservative
+     (each wake re-validates by re-running) but never lost. *)
+  let notify_waiters tx =
+    if Wq.waiting tx.stm.waitq > 0 then
+      match tx.stm.algo with
+      | `Tl2 ->
+          Flat_table.iter_ascending
+            (fun _ (WEntry w) -> Wq.notify tx.stm.waitq w.wvar.id)
+            tx.writes
+      | `Norec -> Wq.notify_global tx.stm.waitq
+
   let commit tx =
     if Flat_table.is_empty tx.writes then begin
       (* Read-only transactions of every semantics commit for free —
@@ -1144,14 +1254,15 @@ module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) : Stm_intf.S = struct
               abort_with Killed;
             version_and_write_back tx
       with
-      | () -> (
+      | () ->
           ignore (R.fetch_and_add tx.stm.active_commits (-1));
-          match tx.stm.telemetry with
+          (match tx.stm.telemetry with
           | None -> ()
           | Some s ->
               let reads, writes = tx_sets tx in
               send tx s
-                (T.Commit { reads; writes; lock_hold = R.now () - t_acquire }))
+                (T.Commit { reads; writes; lock_hold = R.now () - t_acquire }));
+          notify_waiters tx
       | exception e ->
           release_all tx;
           ignore (R.fetch_and_add tx.stm.active_commits (-1));
@@ -1181,6 +1292,8 @@ module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) : Stm_intf.S = struct
       wrote = false;
       undo = s.s_undo;
       cleanup = s.s_cleanup;
+      retry_vars = s.s_retry_vars;
+      retry_vers = s.s_retry_vers;
       live = false;
       attempt = 0;
       holds_token = false;
@@ -1214,6 +1327,8 @@ module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) : Stm_intf.S = struct
     tx.wrote <- false;
     Vec.clear tx.undo;
     Vec.clear tx.cleanup;
+    Vec.clear tx.retry_vars;
+    Vec.clear tx.retry_vers;
     tx.live <- true
 
   let abort_counter stm = function
@@ -1223,6 +1338,7 @@ module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) : Stm_intf.S = struct
     | Snapshot_too_old -> stm.c_snapshot_too_old
     | Killed -> stm.c_killed
     | Explicit -> stm.c_explicit
+    | Retry -> stm.c_retry_waits
 
   (* Acquire the global serialization token and wait for in-flight
      write commits to drain: afterwards no transaction can commit
@@ -1290,6 +1406,86 @@ module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) : Stm_intf.S = struct
     | Committed of 'a
     | Exhausted of { reason : abort_reason; attempts : int }
     | Deadline_exceeded of { reason : abort_reason; attempts : int }
+
+  (* The wait set of a [retry]: every location the attempt read — the
+     flat read set, the elastic window, and the reads accumulated from
+     retrying [orelse] branches — each with the version it was read at,
+     plus the NOrec validity timestamp.  Captured from the pooled
+     stores BEFORE the lifecycle hooks run: a hook may itself start a
+     transaction that re-arms (and clears) those stores. *)
+  let capture_wait_set tx =
+    let n = Vec.length tx.r_vars in
+    let cap = Array.length tx.w_vars in
+    let extra = Vec.length tx.retry_vars in
+    let total = n + tx.w_count + extra in
+    let vars = Array.make total dummy_tvar in
+    let vers = Array.make total 0 in
+    for i = 0 to n - 1 do
+      vars.(i) <- Vec.get tx.r_vars i;
+      vers.(i) <- Vec.get tx.r_vers i
+    done;
+    for k = 0 to tx.w_count - 1 do
+      let idx = (tx.w_head - k + cap) mod cap in
+      vars.(n + k) <- tx.w_vars.(idx);
+      vers.(n + k) <- tx.w_vers.(idx)
+    done;
+    for i = 0 to extra - 1 do
+      vars.(n + tx.w_count + i) <- Vec.get tx.retry_vars i;
+      vers.(n + tx.w_count + i) <- Vec.get tx.retry_vers i
+    done;
+    (vars, vers, tx.rv)
+
+  (* Park until a commit plausibly changed the wait set, the deadline
+     passes, or a (harmless) spurious wakeup.  The lost-wakeup-free
+     order is: clear stale permits, REGISTER, then re-validate, then
+     park.  A commit that finished before registration left a version
+     (TL2) or clock (NOrec) change behind, which the validation sees —
+     skip the park, re-run now.  A commit after registration finds the
+     waiter in the table and deposits a permit, which makes the park
+     return even if it wins the race to run first.  TL2 validates each
+     wait-set entry against its lock word ([Locked] counts as changed:
+     the committer is writing that very location); NOrec can only
+     compare the clock against the timestamp the aborted attempt was
+     valid at — coarser, but wrong only towards extra re-runs. *)
+  let park_for_wakeup stm ctx tx ~deadline ~wvars ~wvers ~wrv =
+    let w = ctx.waiter in
+    R.park_prepare w.Wq.parker;
+    (match stm.algo with
+    | `Tl2 ->
+        Wq.register stm.waitq w
+          (Array.map (fun (v : Obj.t tvar) -> v.id) wvars)
+    | `Norec -> Wq.register_global stm.waitq w);
+    let unchanged =
+      if stm.skip_wake_validation then true
+      else
+        match stm.algo with
+        | `Tl2 ->
+            let ok = ref true in
+            let i = ref 0 in
+            let n = Array.length wvars in
+            while !ok && !i < n do
+              (match R.get wvars.(!i).lock with
+              | Unlocked ver when ver = wvers.(!i) -> incr i
+              | Unlocked _ | Locked _ -> ok := false)
+            done;
+            !ok
+        | `Norec -> R.get stm.clock = wrv
+    in
+    let result =
+      if unchanged then begin
+        R.add_counter stm.c_parks 1;
+        emit_park tx (Array.length wvars);
+        let r = R.park w.Wq.parker ~deadline in
+        R.add_counter
+          (match r with `Woken -> stm.c_wakes | `Timeout -> stm.c_wake_timeouts)
+          1;
+        emit_wake tx r;
+        r
+      end
+      else `Woken
+    in
+    Wq.cancel stm.waitq w;
+    result
 
   (* Abort accounting — history record, counters, telemetry — always
      runs before the lifecycle hooks, on every exit path: a hook may
@@ -1408,13 +1604,20 @@ module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) : Stm_intf.S = struct
           Committed result
       | exception Abort_tx reason ->
           let sets = abort_sets tx in
+          (* The wait set must also outlive the pooled stores (hooks,
+             next arming); capture alongside the abort-event sets. *)
+          let wait =
+            match reason with
+            | Retry -> Some (capture_wait_set tx)
+            | _ -> None
+          in
           cleanup ();
           record_aborted tx;
           R.add_counter stm.c_aborts 1;
           R.add_counter (abort_counter stm reason) 1;
           emit_abort tx reason sets;
           run_hooks tx ~aborted:true;
-          decide n reason
+          decide n reason wait
       | exception e ->
           (* User exception: discard effects, count the attempt as
              aborted, propagate. *)
@@ -1426,33 +1629,55 @@ module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) : Stm_intf.S = struct
           emit_abort tx Explicit sets;
           run_hooks tx ~aborted:true;
           raise e
-    (* After an aborted attempt [n]: give up, serialize, or back off
-       and go round again.  [Explicit] aborts never serialize — the
+    (* After an aborted attempt [n]: give up, serialize, park, or back
+       off and go round again.  [Explicit] aborts never serialize — the
        token cannot change a user's decision to abort — and a deadline
        outranks the budget: the caller asked to be done by then. *)
-    and decide n reason =
-      if past_deadline () then Deadline_exceeded { reason; attempts = n }
-      else if n >= cap then begin
-        R.add_counter stm.c_budget_exhaustions 1;
-        emit_budget_exhausted tx ~attempts:n reason;
-        if serial_ok && reason <> Explicit && stm.on_exhaustion = `Serialize
-        then Committed (serial_fallback stm ctx sem label f (n + 1))
-        else Exhausted { reason; attempts = n }
-      end
-      else if
-        serial_ok && reason <> Explicit
-        && Contention.serializes_at stm.cm ~attempt:n
-             ~abort_rate_pct:(abort_rate_pct stm)
-      then begin
-        (* The adaptive CM concluded optimism is hopeless before the
-           budget ran out. *)
-        Committed (serial_fallback stm ctx sem label f (n + 1))
-      end
-      else begin
-        let pause = Contention.retry_pause stm.cm ~attempt:n in
-        if pause > 0 then R.pause pause;
-        attempt (n + 1)
-      end
+    and decide n reason wait =
+      match wait with
+      | Some (wvars, wvers, wrv) ->
+          (* A [retry] waiter.  Never serialized: a parked token holder
+             would stall every committer, including its own waker.  An
+             exhausted or deadline-bounded waiter surfaces as data. *)
+          if Array.length wvars = 0 then
+            raise
+              (Invalid_operation
+                 "retry with an empty read set would wait forever")
+          else if past_deadline () then
+            Deadline_exceeded { reason; attempts = n }
+          else if n >= cap then begin
+            R.add_counter stm.c_budget_exhaustions 1;
+            emit_budget_exhausted tx ~attempts:n reason;
+            Exhausted { reason; attempts = n }
+          end
+          else begin
+            match park_for_wakeup stm ctx tx ~deadline ~wvars ~wvers ~wrv with
+            | `Woken -> attempt (n + 1)
+            | `Timeout -> Deadline_exceeded { reason; attempts = n }
+          end
+      | None ->
+          if past_deadline () then Deadline_exceeded { reason; attempts = n }
+          else if n >= cap then begin
+            R.add_counter stm.c_budget_exhaustions 1;
+            emit_budget_exhausted tx ~attempts:n reason;
+            if serial_ok && reason <> Explicit && stm.on_exhaustion = `Serialize
+            then Committed (serial_fallback stm ctx sem label f (n + 1))
+            else Exhausted { reason; attempts = n }
+          end
+          else if
+            serial_ok && reason <> Explicit
+            && Contention.serializes_at stm.cm ~attempt:n
+                 ~abort_rate_pct:(abort_rate_pct stm)
+          then begin
+            (* The adaptive CM concluded optimism is hopeless before the
+               budget ran out. *)
+            Committed (serial_fallback stm ctx sem label f (n + 1))
+          end
+          else begin
+            let pause = Contention.retry_pause stm.cm ~attempt:n in
+            if pause > 0 then R.pause pause;
+            attempt (n + 1)
+          end
     in
     attempt 1
 
@@ -1556,6 +1781,10 @@ module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) : Stm_intf.S = struct
     ro_commits : int;
     serial_commits : int;
     budget_exhaustions : int;
+    retry_waits : int;
+    parks : int;
+    wakes : int;
+    wake_timeouts : int;
   }
 
   let stats stm =
@@ -1576,6 +1805,10 @@ module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) : Stm_intf.S = struct
       ro_commits = R.read_counter stm.c_ro_commits;
       serial_commits = R.read_counter stm.c_serial_commits;
       budget_exhaustions = R.read_counter stm.c_budget_exhaustions;
+      retry_waits = R.read_counter stm.c_retry_waits;
+      parks = R.read_counter stm.c_parks;
+      wakes = R.read_counter stm.c_wakes;
+      wake_timeouts = R.read_counter stm.c_wake_timeouts;
     }
 
   let reset_counter c = R.add_counter c (-R.read_counter c)
@@ -1587,7 +1820,8 @@ module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) : Stm_intf.S = struct
         stm.c_read_invalid; stm.c_window_broken; stm.c_snapshot_too_old;
         stm.c_killed; stm.c_explicit; stm.c_cuts; stm.c_extensions;
         stm.c_stale_reads; stm.c_fast_commits; stm.c_ro_commits;
-        stm.c_serial_commits; stm.c_budget_exhaustions;
+        stm.c_serial_commits; stm.c_budget_exhaustions; stm.c_retry_waits;
+        stm.c_parks; stm.c_wakes; stm.c_wake_timeouts;
       ]
 
   let pp_stats ppf s =
@@ -1595,11 +1829,12 @@ module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) : Stm_intf.S = struct
       "@[<v>starts=%d commits=%d aborts=%d@ lock_busy=%d read_invalid=%d \
        window_broken=%d snapshot_too_old=%d killed=%d explicit=%d@ cuts=%d \
        extensions=%d stale_reads=%d fast_commits=%d ro_commits=%d@ \
-       serial_commits=%d budget_exhaustions=%d@]"
+       serial_commits=%d budget_exhaustions=%d@ retry_waits=%d parks=%d \
+       wakes=%d wake_timeouts=%d@]"
       s.starts s.commits s.aborts s.lock_busy s.read_invalid s.window_broken
       s.snapshot_too_old s.killed s.explicit_aborts s.cuts s.extensions
       s.stale_reads s.fast_commits s.ro_commits s.serial_commits
-      s.budget_exhaustions
+      s.budget_exhaustions s.retry_waits s.parks s.wakes s.wake_timeouts
 
   let record stm on =
     stm.recording <- on;

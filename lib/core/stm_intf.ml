@@ -22,7 +22,10 @@ module type S = sig
     | Window_broken  (** elastic cut impossible: a window entry changed *)
     | Snapshot_too_old  (** both stored versions are newer than the snapshot *)
     | Killed  (** a contention manager decided this transaction dies *)
-    | Explicit  (** the user called {!abort} or {!retry_now} *)
+    | Explicit  (** the user called {!abort}, or [orelse] rolled back *)
+    | Retry
+        (** the user called {!retry}: abort, then {e park} until a
+            later commit writes one of the locations this attempt read *)
 
   exception Too_many_attempts of abort_reason * int
   (** Raised by {!atomically} when the retry budget is spent and the
@@ -50,6 +53,7 @@ module type S = sig
     ?gv:[ `Gv1 | `Gv4 ] ->
     ?algo:[ `Tl2 | `Norec ] ->
     ?unsafe_skip_validation:bool ->
+    ?unsafe_skip_wake_validation:bool ->
     unit ->
     t
   (** [create ()] makes a fresh STM instance.  [cm] is the contention
@@ -126,7 +130,16 @@ module type S = sig
       updates under contention.  It exists solely as the conformance
       harness's standing self-test — proof the differential battery
       rejects a broken validation — and must never be used
-      otherwise. *)
+      otherwise.
+
+      [unsafe_skip_wake_validation] (either algorithm) makes a
+      {!retry}ing transaction park {e without} re-validating its wait
+      set after registering — the classic lost-wakeup bug: a commit
+      that lands between the aborting read and the registration is
+      never noticed, and the waiter can sleep forever.  It exists
+      solely so the [Explore] model check can demonstrate it {e would}
+      catch that bug (the broken variant deadlocks, the correct
+      protocol never does) and must never be used otherwise. *)
 
   val tvar : t -> 'a -> 'a tvar
   (** Allocate a transactional variable with an initial value
@@ -242,12 +255,52 @@ module type S = sig
   (** Explicitly abort and retry the whole transaction (after the
       contention manager's backoff). *)
 
+  val retry : tx -> 'a
+  (** Haskell-style blocking retry (Harris et al., reference [30]):
+      abort this attempt and {e park} the thread until a later commit
+      writes one of the locations the attempt read — its {e wait set}:
+      the flat read set, the elastic window, and the reads of any
+      {!orelse} branch that retried — then re-run.  No polling: under
+      the simulator the thread is descheduled and woken in virtual
+      time; under domains it sleeps on a [Mutex]/[Condition] pair.
+      Wakeups are conservative (a wake re-runs and may retry again; a
+      NOrec instance wakes on {e every} commit — it has no
+      per-location metadata), but never lost: the waiter registers,
+      re-validates its wait set, and only then parks, so a racing
+      commit either fails the validation or deposits a wakeup permit.
+
+      Liveness bounds compose: [atomically ~deadline] / [~budget] cap
+      the wait — a deadline wakes the parked thread and surfaces as
+      {!Too_many_attempts} (or [Deadline_exceeded] from
+      {!try_atomically}); each wakeup's re-run spends one attempt of
+      the budget, and an exhausted waiter is {e never} serialized
+      (parking under the global token would block its own waker) —
+      exhaustion surfaces as data/exception instead.
+
+      @raise Invalid_operation inside a snapshot transaction (snapshot
+      reads are not tracked in a wait set), inside an irrevocable or
+      serial-fallback transaction (the token holder blocks every
+      committer, including its would-be waker), or when the attempt
+      read nothing (an empty wait set would wait forever). *)
+
+  val waiting : t -> int
+  (** Number of transactions currently registered as [retry] waiters
+      (parked or about to park).  Uncharged read; used by shutdown
+      drains and admission control.  With no transaction in flight it
+      must be 0 — no waiter outlives its [atomically] call. *)
+
   val orelse : tx -> (tx -> 'a) -> (tx -> 'a) -> 'a
-  (** [orelse tx f g] runs [f]; if [f] aborts explicitly via {!abort},
-      its effects are rolled back and [g] runs instead (composable
-      alternatives in the style of Harris et al., reference [30]).
-      Conflict aborts ([Read_invalid], …) restart the whole
-      transaction, not just [f]. *)
+  (** [orelse tx f g] runs [f]; if [f] aborts explicitly via {!abort}
+      or blocks via {!retry}, its effects are rolled back and [g] runs
+      instead (composable alternatives in the style of Harris et al.,
+      reference [30]).  Conflict aborts ([Read_invalid], …) restart
+      the whole transaction, not just [f] — and since the savepoint
+      rollback discards the failed branch's reads and buffered writes
+      entirely, a rolled-back branch leaks nothing into a later wait
+      set.  The exception: a {e retrying} left branch deliberately
+      contributes its reads — if [g] then retries too, the transaction
+      waits on the {e union} of both branches' read sets, so a write
+      enabling either branch wakes it. *)
 
   (** {1 Lifecycle hooks}
 
@@ -324,6 +377,12 @@ module type S = sig
     budget_exhaustions : int;
         (** times a transaction spent its whole optimistic retry
             budget (whether it then serialized or raised) *)
+    retry_waits : int;  (** attempts aborted by {!retry} *)
+    parks : int;
+        (** times a retrying thread actually parked (a pre-park
+            validation failure re-runs immediately without parking) *)
+    wakes : int;  (** parks ended by a committing writer's notify *)
+    wake_timeouts : int;  (** parks ended by the call's deadline *)
   }
 
   val stats : t -> stats

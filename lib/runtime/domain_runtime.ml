@@ -28,6 +28,118 @@ let counter () = Atomic.make 0
 let add_counter c n = ignore (Atomic.fetch_and_add c n)
 let read_counter = Atomic.get
 
+(* Futex-style parking: a mutex/condvar pair guarding a permit bit.  An
+   untimed park is a plain [Condition.wait] loop — zero busy-wait, the
+   thread is off-CPU until [unpark] signals it.  The stdlib [Condition]
+   has no timed wait, so a parker lazily grows a self-pipe on its first
+   {e timed} park and waits in [Unix.select] with the remaining-time
+   bound; [unpark] writes a nudge byte so a timed waiter also wakes
+   immediately.  The pipe is per-parker (parkers are pooled one per
+   thread context), both ends non-blocking, drained on each wakeup and
+   in [park_prepare]. *)
+type parker = {
+  mu : Mutex.t;
+  cv : Condition.t;
+  mutable permit : bool;
+  mutable pipe : (Unix.file_descr * Unix.file_descr) option;
+}
+
+let parker () =
+  { mu = Mutex.create (); cv = Condition.create (); permit = false; pipe = None }
+
+let drain_pipe rfd =
+  let buf = Bytes.create 64 in
+  let rec go () =
+    match Unix.read rfd buf 0 64 with
+    | n -> if n = 64 then go ()
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+  in
+  go ()
+
+let pipe_of p =
+  match p.pipe with
+  | Some pp -> pp
+  | None ->
+      let r, w = Unix.pipe ~cloexec:true () in
+      Unix.set_nonblock r;
+      Unix.set_nonblock w;
+      p.pipe <- Some (r, w);
+      (r, w)
+
+let park_prepare p =
+  Mutex.lock p.mu;
+  p.permit <- false;
+  (match p.pipe with Some (r, _) -> drain_pipe r | None -> ());
+  Mutex.unlock p.mu
+
+let now () = int_of_float (Unix.gettimeofday () *. 1e9)
+
+let park p ~deadline =
+  Mutex.lock p.mu;
+  let r =
+    match deadline with
+    | None ->
+        while not p.permit do
+          Condition.wait p.cv p.mu
+        done;
+        p.permit <- false;
+        `Woken
+    | Some d ->
+        (* [select] runs outside the mutex; the race with [unpark] is
+           benign because the nudge byte persists in the pipe until
+           drained, acting as a second, level-triggered permit. *)
+        let rfd, _ = pipe_of p in
+        let rec loop () =
+          if p.permit then begin
+            p.permit <- false;
+            drain_pipe rfd;
+            `Woken
+          end
+          else
+            let dt = float_of_int (d - now ()) /. 1e9 in
+            if dt <= 0.0 then `Timeout
+            else begin
+              Mutex.unlock p.mu;
+              (match Unix.select [ rfd ] [] [] dt with
+              | rs, _, _ -> if rs <> [] then drain_pipe rfd
+              | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+              Mutex.lock p.mu;
+              loop ()
+            end
+        in
+        loop ()
+  in
+  Mutex.unlock p.mu;
+  r
+
+let unpark p =
+  Mutex.lock p.mu;
+  p.permit <- true;
+  Condition.signal p.cv;
+  let pipe = p.pipe in
+  Mutex.unlock p.mu;
+  match pipe with
+  | None -> ()
+  | Some (_, w) -> (
+      (* A full pipe already holds a pending nudge; any other failure
+         just degrades a timed wait to its deadline. *)
+      try ignore (Unix.write_substring w "x" 0 1) with Unix.Unix_error _ -> ())
+
+type exclusion = Mutex.t
+
+let exclusion () = Mutex.create ()
+
+let exclusive mu f =
+  Mutex.lock mu;
+  match f () with
+  | v ->
+      Mutex.unlock mu;
+      v
+  | exception e ->
+      Mutex.unlock mu;
+      raise e
+
 type handle = unit Domain.t
 
 let spawn f = Domain.spawn f
@@ -46,8 +158,6 @@ let pause n =
    cost of the modelled work (read-set appends and the like) is paid by
    the work itself. *)
 let charge _ = ()
-
-let now () = int_of_float (Unix.gettimeofday () *. 1e9)
 let self_id () = (Domain.self () :> int)
 
 type 'a tls = 'a Domain.DLS.key

@@ -113,6 +113,56 @@ module type RUNTIME = sig
   val self_id : unit -> int
   (** Identifier of the calling thread, unique within a run. *)
 
+  (** {1 Parking}
+
+      The primitive under the STM's blocking [retry]: a thread that
+      found nothing to do parks until a committing writer wakes it.  A
+      parker carries a {e permit} (binary semaphore semantics): if
+      {!unpark} runs before {!park}, the pending permit makes the next
+      [park] return immediately, so registration/validation/park races
+      resolve safely without the waiter holding any lock across the
+      park.  Under simulation, parking is deterministic in virtual time
+      and a forgotten waiter surfaces as {!Sim.Deadlock}; under domains
+      it is futex-style [Mutex]/[Condition] waiting with no busy-wait. *)
+
+  type parker
+
+  val parker : unit -> parker
+  (** Allocate a parker with no pending permit.  Not charged. *)
+
+  val park_prepare : parker -> unit
+  (** Clear any stale permit left over from a previous wait round.  Call
+      before registering interest, so only wakeups issued {e after} this
+      point make the next {!park} return. *)
+
+  val park : parker -> deadline:int option -> [ `Woken | `Timeout ]
+  (** Consume the permit, blocking until one is available ([`Woken]) or
+      until the absolute deadline — in {!now} units — passes
+      ([`Timeout]).  Wakeups may be spurious; callers re-check their
+      condition.  Not charged (the waiter is off-CPU, not spinning). *)
+
+  val unpark : parker -> unit
+  (** Deposit a permit and wake the parked thread, if any.  Safe to call
+      from any thread, at any time, including before [park].  Not
+      charged (wakers call it after releasing all STM locks). *)
+
+  (** {1 Mutual exclusion for uncharged registries}
+
+      Protects small shared registries (the waiter table) that live
+      outside the transactional cost model.  The critical section must
+      be short and must not contain charged operations: under
+      simulation [exclusive] is a plain call (cooperative threads
+      cannot interleave without a scheduling point), under domains it
+      is a real [Mutex]. *)
+
+  type exclusion
+
+  val exclusion : unit -> exclusion
+
+  val exclusive : exclusion -> (unit -> 'a) -> 'a
+  (** Run the thunk under the exclusion; always releases, also on
+      exceptions. *)
+
   (** {1 Thread-local storage}
 
       Uncharged bookkeeping (used by the STM to detect nested

@@ -34,7 +34,9 @@ type info = {
   trace : decision list;
 }
 
-type status = Runnable | Running | Blocked | Finished
+type status = Runnable | Running | Blocked | Parked | Finished
+
+type wake = [ `Woken | `Timeout ]
 
 type tstate = {
   tid : int;
@@ -42,6 +44,12 @@ type tstate = {
   mutable status : status;
   mutable resume : (unit -> unit) option;
   mutable joiners : tstate list;
+  mutable wake : wake;
+      (** why a [Parked] thread was made ready: [`Woken] by {!unpark},
+          [`Timeout] by its deadline timer *)
+  mutable park_seq : int;
+      (** parking generation, so a stale timer entry (the thread was
+          unparked, or even parked again) can be recognised and skipped *)
 }
 
 type sched = {
@@ -57,6 +65,10 @@ type sched = {
      full runnable set is visible to the choice function without a
      per-decision sort. *)
   heap : (int * int * tstate) Polytm_util.Heap.t;
+  (* Pending park deadlines as (deadline, seq, thread, park_seq); entries
+     whose thread is no longer [Parked] with the same generation are
+     stale and get skipped lazily. *)
+  timers : (int * int * tstate * int) Polytm_util.Heap.t;
   mutable ready : tstate list;
   mutable seq : int;
   mutable threads : tstate list; (* all, most recent first *)
@@ -71,7 +83,10 @@ type sched = {
   mutable failure : exn option;
 }
 
-type _ Effect.t += Suspend : unit Effect.t | Block : int -> unit Effect.t
+type _ Effect.t +=
+  | Suspend : unit Effect.t
+  | Block : int -> unit Effect.t
+  | Park : int option -> wake Effect.t
 
 (* The simulator is single-domain by construction, so a global current
    scheduler is safe; it also lets algorithm code call [tick] without
@@ -94,6 +109,9 @@ let cur_thread s =
 let heap_cmp (c1, s1, _) (c2, s2, _) =
   if c1 <> c2 then Int.compare c1 c2 else Int.compare s1 s2
 
+let timer_cmp (d1, s1, _, _) (d2, s2, _, _) =
+  if d1 <> d2 then Int.compare d1 d2 else Int.compare s1 s2
+
 (* The ready list is kept sorted ascending by tid at insertion, so a
    decision point reads it as-is instead of re-sorting (with a
    polymorphic compare, no less) on every step. *)
@@ -110,17 +128,61 @@ let make_ready s t =
       Polytm_util.Heap.push s.heap (t.clock, s.seq, t)
   | Random_sched _ | Scripted _ -> s.ready <- insert_ready t s.ready
 
+(* Drop stale timer entries (thread no longer parked, or re-parked under
+   a newer generation) off the top of the timer heap, then report the
+   earliest live deadline. *)
+let rec live_timer_deadline s =
+  match Polytm_util.Heap.peek s.timers with
+  | None -> None
+  | Some (d, _, t, pseq) ->
+      if t.status = Parked && t.park_seq = pseq then Some d
+      else begin
+        ignore (Polytm_util.Heap.pop s.timers);
+        live_timer_deadline s
+      end
+
+(* Fire the earliest live timer: the parked thread wakes with [`Timeout]
+   at its deadline (virtual time never runs backwards for it). Returns
+   false when no live timer exists or the earliest one is not due before
+   [min_run_clock] (the clock of the best runnable thread, if any). *)
+let fire_due_timer s ~min_run_clock =
+  match live_timer_deadline s with
+  | None -> false
+  | Some d -> (
+      match min_run_clock with
+      | Some c when d > c -> false
+      | Some _ | None -> (
+          match Polytm_util.Heap.pop s.timers with
+          | None -> false
+          | Some (_, _, t, _) ->
+              t.wake <- `Timeout;
+              t.clock <- max t.clock d;
+              make_ready s t;
+              true))
+
 (* Pick the next thread to run according to the policy; [None] when no
-   thread is runnable. *)
-let next_ready s =
+   thread is runnable. Park-deadline timers fire deterministically in
+   virtual time: under [Event_driven] a due timer competes with runnable
+   threads by clock; under [Random_sched]/[Scripted] timers only fire
+   when nothing else is runnable, so they are never a decision point and
+   recorded traces stay replayable. *)
+let rec next_ready s =
   match s.policy with
   | Event_driven -> (
-      match Polytm_util.Heap.pop s.heap with
-      | None -> None
-      | Some (_, _, t) -> Some t)
+      let min_run_clock =
+        match Polytm_util.Heap.peek s.heap with
+        | Some (c, _, _) -> Some c
+        | None -> None
+      in
+      if fire_due_timer s ~min_run_clock then next_ready s
+      else
+        match Polytm_util.Heap.pop s.heap with
+        | None -> None
+        | Some (_, _, t) -> Some t)
   | Random_sched _ | Scripted _ -> (
       match s.ready with
-      | [] -> None
+      | [] ->
+          if fire_due_timer s ~min_run_clock:None then next_ready s else None
       | [ t ] ->
           (* Not a decision point: no trace entry, no script consumption,
              so recorded traces align with script replay positions. *)
@@ -200,6 +262,19 @@ let thread_body s t f () =
                   t.status <- Blocked;
                   s.last_yielder <- -1;
                   target.joiners <- t :: target.joiners)
+          | Park deadline ->
+              Some
+                (fun (k : (a, unit) continuation) ->
+                  t.resume <- Some (fun () -> continue k t.wake);
+                  t.status <- Parked;
+                  t.wake <- `Woken;
+                  t.park_seq <- t.park_seq + 1;
+                  s.last_yielder <- -1;
+                  (match deadline with
+                  | None -> ()
+                  | Some d ->
+                      s.seq <- s.seq + 1;
+                      Polytm_util.Heap.push s.timers (d, s.seq, t, t.park_seq)))
           | _ -> None);
     }
 
@@ -218,6 +293,8 @@ let spawn f =
       status = Runnable;
       resume = None;
       joiners = [];
+      wake = `Woken;
+      park_seq = 0;
     }
   in
   s.nthreads <- s.nthreads + 1;
@@ -241,14 +318,52 @@ let tick n =
          running without the effect round-trip. *)
       match s.policy with
       | Event_driven -> (
-          match Polytm_util.Heap.peek s.heap with
-          | Some (c, _, _) when c < t.clock ->
-              s.switches <- s.switches + 1;
-              perform Suspend
-          | Some _ | None -> ())
+          let timer_due =
+            (* Cheap when no thread is parked: the timer heap is empty
+               and [live_timer_deadline] is a single [None] peek. *)
+            match live_timer_deadline s with
+            | Some d -> d < t.clock
+            | None -> false
+          in
+          if timer_due then begin
+            s.switches <- s.switches + 1;
+            perform Suspend
+          end
+          else
+            match Polytm_util.Heap.peek s.heap with
+            | Some (c, _, _) when c < t.clock ->
+                s.switches <- s.switches + 1;
+                perform Suspend
+            | Some _ | None -> ())
       | Random_sched _ | Scripted _ ->
           s.switches <- s.switches + 1;
           perform Suspend)
+
+(* Park the calling thread until {!unpark} or the (virtual-time)
+   deadline. Outside a run this is a no-op returning [`Woken] — there is
+   no scheduler to wake us, and callers treat spurious wakeups as
+   harmless. *)
+let park ?deadline () =
+  if inside_run () then perform (Park deadline) else `Woken
+
+(* Wake a parked thread. The wakee's clock advances to the waker's (a
+   wakeup cannot land before the commit that caused it); no-op when the
+   target is not currently parked. *)
+let unpark tid =
+  match !current_sched with
+  | None -> ()
+  | Some s -> (
+      match List.find_opt (fun t -> t.tid = tid) s.threads with
+      | None -> ()
+      | Some t ->
+          if t.status = Parked then begin
+            let waker_clock =
+              match s.current with Some w -> w.clock | None -> 0
+            in
+            t.wake <- `Woken;
+            t.clock <- max t.clock waker_clock;
+            make_ready s t
+          end)
 
 let join tid =
   let s = sched_ref () in
@@ -291,6 +406,7 @@ let run ?(policy = Event_driven) ?(costs = default_costs) ?(record_trace = false
       script = (match policy with Scripted a -> a | _ -> [||]);
       script_pos = 0;
       heap = Polytm_util.Heap.create ~cmp:heap_cmp;
+      timers = Polytm_util.Heap.create ~cmp:timer_cmp;
       ready = [];
       seq = 0;
       threads = [];
@@ -306,7 +422,15 @@ let run ?(policy = Event_driven) ?(costs = default_costs) ?(record_trace = false
   in
   let result = ref None in
   let t0 =
-    { tid = 0; clock = 0; status = Runnable; resume = None; joiners = [] }
+    {
+      tid = 0;
+      clock = 0;
+      status = Runnable;
+      resume = None;
+      joiners = [];
+      wake = `Woken;
+      park_seq = 0;
+    }
   in
   s.nthreads <- 1;
   s.nlive <- 1;
@@ -323,7 +447,9 @@ let run ?(policy = Event_driven) ?(costs = default_costs) ?(record_trace = false
           if s.nlive > 0 then begin
             let blocked =
               List.filter_map
-                (fun t -> if t.status = Blocked then Some t.tid else None)
+                (fun t ->
+                  if t.status = Blocked || t.status = Parked then Some t.tid
+                  else None)
                 s.threads
             in
             s.failure <- Some (Deadlock (List.sort Int.compare blocked))

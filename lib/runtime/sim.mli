@@ -18,8 +18,11 @@
     built on. *)
 
 exception Deadlock of int list
-(** Raised when no thread is runnable but some are alive (all blocked
-    in [join]).  Carries the blocked thread ids. *)
+(** Raised when no thread is runnable but some are alive: all blocked
+    in [join], or parked with no deadline and nobody left to wake them
+    (a {e lost wakeup}).  Carries the blocked/parked thread ids.  The
+    {!Explore} model checker treats this as a violation, which is how
+    lost-wakeup freedom of the STM's [retry] protocol is checked. *)
 
 exception Step_limit_exceeded
 (** Raised when a run exceeds its [step_limit] (used by {!Explore} to
@@ -105,6 +108,25 @@ val now : unit -> int
 
 val self : unit -> int
 (** Id of the calling thread (0 outside a run). *)
+
+val park : ?deadline:int -> unit -> [ `Woken | `Timeout ]
+(** Park the calling thread: it stops running until another thread
+    {!unpark}s it ([`Woken]) or its virtual clock would pass [deadline]
+    (an {e absolute} tick count; [`Timeout]).  Deterministic: under
+    {!Event_driven} a due deadline competes with runnable threads by
+    clock; under {!Random_sched}/{!Scripted} deadlines fire only when
+    nothing else is runnable, so parking is never a decision point and
+    recorded traces stay replayable.  A parked thread with no deadline
+    that nobody wakes deadlocks the run (see {!Deadlock}).  Outside a
+    run: returns [`Woken] immediately.  Callers must treat [`Woken] as
+    possibly spurious and re-check their condition. *)
+
+val unpark : int -> unit
+(** Wake the given thread if it is currently parked (no-op otherwise —
+    permit semantics for unpark-before-park live one layer up, in the
+    runtime's parker).  The wakee's virtual clock advances to at least
+    the waker's, so a wakeup never appears to precede the commit that
+    caused it. *)
 
 val inside_run : unit -> bool
 (** Whether a simulation is currently executing on this domain. *)

@@ -53,6 +53,52 @@ let counter () = ref 0
 let add_counter c n = c := !c + n
 let read_counter c = !c
 
+(* Parking delegates to the simulator's deterministic virtual-time
+   park/unpark.  The permit lives here (uncharged plain field): the
+   simulator is cooperative and none of these operations tick, so a
+   permit check and the subsequent park cannot be separated by another
+   thread — no atomicity gymnastics needed. *)
+type parker = { mutable permit : bool; mutable parked_tid : int }
+
+let parker () = { permit = false; parked_tid = -1 }
+
+(* The tick models the window real hardware has between the decision to
+   wait and becoming findable by a waker: without it the simulator would
+   run abort → register → park atomically and the classic lost-wakeup
+   race (a commit landing before registration) could never be scheduled,
+   so [Explore] would pass even a waiter that skips re-validation.  Only
+   retry paths park, so golden traces never see this charge. *)
+let park_prepare p =
+  Sim.tick 1;
+  p.permit <- false
+
+let park p ~deadline =
+  if p.permit then begin
+    p.permit <- false;
+    `Woken
+  end
+  else begin
+    p.parked_tid <- Sim.self ();
+    let r = Sim.park ?deadline () in
+    p.parked_tid <- -1;
+    (* Consume the permit on a wakeup; on a timeout a racing permit (the
+       waker lost the race with the timer) is left for [park_prepare] to
+       clear next round — the waiter deregisters on timeout anyway. *)
+    if r = `Woken then p.permit <- false;
+    r
+  end
+
+let unpark p =
+  p.permit <- true;
+  if p.parked_tid >= 0 then Sim.unpark p.parked_tid
+
+(* Cooperative threads cannot interleave without a scheduling point and
+   registry bodies are tick-free by contract, so exclusion is free. *)
+type exclusion = unit
+
+let exclusion () = ()
+let exclusive () f = f ()
+
 type handle = int
 
 let spawn = Sim.spawn

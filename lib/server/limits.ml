@@ -22,6 +22,12 @@ type t = {
   op_deadline_us : int option;
       (** per-operation deadline in microseconds, mapped onto
           [try_atomically ~deadline]; [None] means no deadline *)
+  max_waiters : int;
+      (** parked blocking ops ([BLPOP]/[BTAKE] waiters, watch polls)
+          tolerated per STM instance; a blocking op arriving when the
+          wait table is already this full is answered [BUSY] instead
+          of parking, so a flood of blocking clients cannot pin every
+          worker domain *)
   debug_ops : bool;
       (** accept [DEBUG-ABORT] probe requests (tests and CI smoke);
           off by default *)
@@ -34,6 +40,7 @@ let default =
     max_frame = 8 * 1024 * 1024;
     op_budget = None;
     op_deadline_us = None;
+    max_waiters = 64;
     debug_ops = false;
   }
 
@@ -41,6 +48,7 @@ let validate t =
   if t.max_inflight < 1 then invalid_arg "Limits: max_inflight must be >= 1";
   if t.max_multi < 1 then invalid_arg "Limits: max_multi must be >= 1";
   if t.max_frame < 64 then invalid_arg "Limits: max_frame must be >= 64";
+  if t.max_waiters < 1 then invalid_arg "Limits: max_waiters must be >= 1";
   (match t.op_budget with
   | Some b when b < 1 -> invalid_arg "Limits: op_budget must be >= 1"
   | _ -> ());

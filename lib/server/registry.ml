@@ -40,14 +40,26 @@ type entry =
 
 type algo = [ `Tl2 | `Norec ]
 
-(* A structure is pinned to the instance it was created on. *)
-type slot = { entry : entry; algo : algo }
+(* A structure is pinned to the instance it was created on.  [dirty]
+   and [watchers] drive WATCH push subscriptions: mutating thunks set
+   [dirty] inside their own transaction — but only while [watchers] is
+   positive, so unwatched structures pay a single atomic load — and a
+   watching session's poll transaction reads (and clears) it, parking
+   via [S.retry] until the next mutation's commit wakes it. *)
+type slot = {
+  entry : entry;
+  algo : algo;
+  dirty : bool S.tvar;
+  watchers : int Atomic.t;
+}
 
 type t = {
   stm : S.t;  (** the TL2 instance *)
   stm_norec : S.t;
   default_algo : algo;  (** applied to wire [NEW] (no algo on the wire) *)
   entries : (string * slot) list Atomic.t;
+  draining : bool S.tvar;  (** on the TL2 instance *)
+  draining_norec : bool S.tvar;
 }
 
 let create ?stm ?stm_norec ?(default_algo = `Tl2) () =
@@ -58,11 +70,30 @@ let create ?stm ?stm_norec ?(default_algo = `Tl2) () =
   if S.algo stm <> `Tl2 then invalid_arg "Registry: stm must be a TL2 instance";
   if S.algo stm_norec <> `Norec then
     invalid_arg "Registry: stm_norec must be a NORec instance";
-  { stm; stm_norec; default_algo; entries = Atomic.make [] }
+  {
+    stm;
+    stm_norec;
+    default_algo;
+    entries = Atomic.make [];
+    draining = S.tvar stm false;
+    draining_norec = S.tvar stm_norec false;
+  }
 
 let stm t = t.stm
 let stm_for t = function `Tl2 -> t.stm | `Norec -> t.stm_norec
 let default_algo t = t.default_algo
+let draining_for t = function `Tl2 -> t.draining | `Norec -> t.draining_norec
+
+(* Flip the drain flag on both instances, each in a transaction of its
+   own: the commits wake every parked waiter whose read set includes
+   the flag (all blocking server ops read it first), so parked
+   sessions resurface and answer [Nil] instead of sleeping through
+   shutdown. *)
+let set_draining t =
+  S.atomically ~label:"set-draining" t.stm (fun tx ->
+      S.write tx t.draining true);
+  S.atomically ~label:"set-draining" t.stm_norec (fun tx ->
+      S.write tx t.draining_norec true)
 let algo_name = function `Tl2 -> "tl2" | `Norec -> "norec"
 
 let algo_of_name = function
@@ -96,7 +127,7 @@ let ensure ?algo t kind name =
       | Wire.Kset -> Eset (Sset.create stm)
       | Wire.Kqueue -> Equeue (Squeue.create stm)
     in
-    { entry; algo }
+    { entry; algo; dirty = S.tvar stm false; watchers = Atomic.make 0 }
   in
   let rec go () =
     let cur = Atomic.get t.entries in
@@ -129,16 +160,33 @@ let mismatch cmd entry =
   err Wire.Bad_op "%s does not apply to a %s" (Wire.cmd_name cmd)
     (Wire.kind_to_string (kind_of_entry entry))
 
+(* Mark [slot] changed, atomically with the mutation that calls this
+   (the nested transaction flattens into the session's outer one).
+   Watch-free structures pay one atomic load and no transactional
+   write — enabling subscriptions costs nothing until someone
+   subscribes. *)
+let touch t slot =
+  if Atomic.get slot.watchers > 0 then
+    S.atomically ~label:"mark-dirty" (stm_for t slot.algo) (fun tx ->
+        S.write tx slot.dirty true)
+
 (* [resolve t cmd] is either an immediate error response or a thunk to
    run inside the session's transaction, paired with the algorithm of
    the instance the transaction must run on.  Only plain structure
-   operations resolve here — PING/NEW/MULTI/DEBUG-ABORT are session
-   concerns. *)
+   operations resolve here — PING/NEW/MULTI/DEBUG-ABORT and the
+   blocking/subscription ops are session concerns. *)
 let resolve t cmd : (algo * (unit -> Wire.response), Wire.response) result =
-  let with_entry name k =
+  let with_slot name k =
     match List.assoc_opt name (Atomic.get t.entries) with
     | None -> Error (err Wire.No_struct "no structure named %S" name)
-    | Some s -> Result.map (fun thunk -> (s.algo, thunk)) (k s.entry)
+    | Some s -> Result.map (fun thunk -> (s.algo, thunk)) (k s)
+  in
+  let with_entry name k = with_slot name (fun s -> k s.entry) in
+  (* A mutating thunk also marks the slot dirty for its watchers. *)
+  let marking s thunk () =
+    let r = thunk () in
+    touch t s;
+    r
   in
   match cmd with
   | Wire.Get (name, key) ->
@@ -151,26 +199,31 @@ let resolve t cmd : (algo * (unit -> Wire.response), Wire.response) result =
                 | None -> Wire.Nil)
         | e -> Error (mismatch cmd e))
   | Wire.Put (name, key, v) ->
-      with_entry name (function
-        | Emap m -> Ok (fun () -> bool_resp (Smap.add m key v))
-        | e -> Error (mismatch cmd e))
+      with_slot name (fun s ->
+          match s.entry with
+          | Emap m -> Ok (marking s (fun () -> bool_resp (Smap.add m key v)))
+          | e -> Error (mismatch cmd e))
   | Wire.Del (name, key) ->
-      with_entry name (function
-        | Emap m -> Ok (fun () -> bool_resp (Smap.remove m key))
-        | e -> Error (mismatch cmd e))
+      with_slot name (fun s ->
+          match s.entry with
+          | Emap m -> Ok (marking s (fun () -> bool_resp (Smap.remove m key)))
+          | e -> Error (mismatch cmd e))
   | Wire.Contains (name, key) ->
       with_entry name (function
         | Emap m -> Ok (fun () -> bool_resp (Smap.mem m key))
         | Eset s -> Ok (fun () -> bool_resp (Sset.contains s key))
         | e -> Error (mismatch cmd e))
   | Wire.Add (name, key) ->
-      with_entry name (function
-        | Eset s -> Ok (fun () -> bool_resp (Sset.add s key))
-        | e -> Error (mismatch cmd e))
+      with_slot name (fun s ->
+          match s.entry with
+          | Eset set -> Ok (marking s (fun () -> bool_resp (Sset.add set key)))
+          | e -> Error (mismatch cmd e))
   | Wire.Remove (name, key) ->
-      with_entry name (function
-        | Eset s -> Ok (fun () -> bool_resp (Sset.remove s key))
-        | e -> Error (mismatch cmd e))
+      with_slot name (fun s ->
+          match s.entry with
+          | Eset set ->
+              Ok (marking s (fun () -> bool_resp (Sset.remove set key)))
+          | e -> Error (mismatch cmd e))
   | Wire.Size name ->
       with_entry name (function
         | Emap m -> Ok (fun () -> Wire.Int (Smap.size m))
@@ -194,25 +247,118 @@ let resolve t cmd : (algo * (unit -> Wire.response), Wire.response) result =
               (fun () ->
                 Wire.Array (List.map (fun v -> Wire.Bulk v) (Squeue.to_list q))))
   | Wire.Enq (name, v) ->
-      with_entry name (function
-        | Equeue q ->
-            Ok
-              (fun () ->
-                Squeue.enqueue q v;
-                Wire.ok)
-        | e -> Error (mismatch cmd e))
+      with_slot name (fun s ->
+          match s.entry with
+          | Equeue q ->
+              Ok
+                (marking s (fun () ->
+                     Squeue.enqueue q v;
+                     Wire.ok))
+          | e -> Error (mismatch cmd e))
   | Wire.Deq name ->
-      with_entry name (function
-        | Equeue q ->
-            Ok
-              (fun () ->
-                match Squeue.dequeue_opt q with
-                | Some v -> Wire.Bulk v
-                | None -> Wire.Nil)
-        | e -> Error (mismatch cmd e))
+      with_slot name (fun s ->
+          match s.entry with
+          | Equeue q ->
+              Ok
+                (marking s (fun () ->
+                     match Squeue.dequeue_opt q with
+                     | Some v -> Wire.Bulk v
+                     | None -> Wire.Nil))
+          | e -> Error (mismatch cmd e))
   | Wire.Ping | Wire.New _ | Wire.Multi | Wire.Multi_end | Wire.Debug_abort _
-    ->
+  | Wire.Blpop _ | Wire.Btake _ | Wire.Watch _ | Wire.Unwatch _ ->
       Error (err Wire.Bad_op "%s is not a structure operation" (Wire.cmd_name cmd))
+
+(* ---- blocking ops and subscriptions ------------------------------------ *)
+
+(* Resolve a blocking queue pop into a thunk for the session to run
+   inside its own deadline-bounded transaction.  The drain flag is read
+   {e first}, so it is in the read set when [retry] parks: the shutdown
+   path's [set_draining] commit wakes the waiter, which re-runs, sees
+   the flag, and surfaces [`Drained] — no session ever sleeps through a
+   drain.  A successful pop marks the slot dirty like any mutation. *)
+let blocking_pop t name :
+    (algo * (unit -> [ `Got of string | `Drained ]), Wire.response) result =
+  match List.assoc_opt name (Atomic.get t.entries) with
+  | None -> Error (err Wire.No_struct "no structure named %S" name)
+  | Some s -> (
+      match s.entry with
+      | Equeue q ->
+          let stm = stm_for t s.algo in
+          let drain = draining_for t s.algo in
+          Ok
+            ( s.algo,
+              fun () ->
+                let r =
+                  S.atomically stm (fun tx ->
+                      if S.read tx drain then `Drained
+                      else
+                        match Squeue.dequeue_opt_tx tx q with
+                        | Some v -> `Got v
+                        | None -> S.retry tx)
+                in
+                (match r with `Got _ -> touch t s | `Drained -> ());
+                r )
+      | e -> Error (mismatch (Wire.Blpop (name, 0)) e))
+
+type watch = { wslot : slot; wname : string }
+
+let watch t name =
+  match List.assoc_opt name (Atomic.get t.entries) with
+  | None -> Error (err Wire.No_struct "no structure named %S" name)
+  | Some s ->
+      Atomic.incr s.watchers;
+      Ok { wslot = s; wname = name }
+
+let unwatch _t w = Atomic.decr w.wslot.watchers
+let watch_name w = w.wname
+
+module R = Polytm_runtime.Domain_runtime
+
+(* Collect the names of watched structures that changed since the last
+   call, clearing their dirty flags.  When every watch lives on one
+   instance the session genuinely {e parks} ([S.retry] on the dirty
+   flags plus the drain flag) until a mutation's commit wakes it or
+   [timeout_ns] passes — push latency is one commit, not one poll
+   interval.  Watches spanning both instances cannot share a
+   transaction, so they fall back to a non-blocking per-instance check
+   and the caller's pacing. *)
+let wait_dirty t ws ~timeout_ns =
+  let collect tx ws =
+    List.filter_map
+      (fun w ->
+        if S.read tx w.wslot.dirty then begin
+          S.write tx w.wslot.dirty false;
+          Some w.wname
+        end
+        else None)
+      ws
+  in
+  match ws with
+  | [] -> []
+  | _ -> (
+      match List.sort_uniq compare (List.map (fun w -> w.wslot.algo) ws) with
+      | [ algo ] -> (
+          let stm = stm_for t algo in
+          let drain = draining_for t algo in
+          let deadline = R.now () + timeout_ns in
+          match
+            S.try_atomically ~deadline ~label:"watch-wait" stm (fun tx ->
+                if S.read tx drain then []
+                else
+                  match collect tx ws with
+                  | [] -> S.retry tx
+                  | names -> names)
+          with
+          | S.Committed names -> names
+          | S.Exhausted _ | S.Deadline_exceeded _ -> [])
+      | algos ->
+          List.concat_map
+            (fun algo ->
+              let wsg = List.filter (fun w -> w.wslot.algo = algo) ws in
+              S.atomically ~label:"watch-check" (stm_for t algo) (fun tx ->
+                  collect tx wsg))
+            algos)
 
 (* Default transaction semantics when the request carries no hint: the
    paper's novice default, except consistent iteration which is the

@@ -310,6 +310,11 @@ let run ?registry cfg =
   (* ---- graceful drain ---- *)
   close_listeners cfg listeners;
   Conn_queue.close queue;
+  (* Wake every parked waiter (BLPOP/BTAKE, watch polls) before the
+     socket nudge: the drain flag is in each blocking transaction's
+     read set, so this commit resurfaces them to answer [Nil] — no
+     session sleeps in the STM through shutdown. *)
+  Registry.set_draining registry;
   Active.nudge active;
   Array.iter Domain.join workers;
   Sys.set_signal Sys.sigterm prev_term;

@@ -91,7 +91,8 @@ let merge_stats ~into src =
 
 let op_classes =
   [ "PING"; "NEW"; "GET"; "PUT"; "DEL"; "CONTAINS"; "ADD"; "REMOVE"; "SIZE";
-    "SNAPSHOT-ITER"; "ENQ"; "DEQ"; "MULTI"; "MULTI-END"; "DEBUG-ABORT" ]
+    "SNAPSHOT-ITER"; "ENQ"; "DEQ"; "BLPOP"; "BTAKE"; "WATCH"; "UNWATCH";
+    "MULTI"; "MULTI-END"; "DEBUG-ABORT" ]
 
 let label_table : (string * int, string) Hashtbl.t =
   let t = Hashtbl.create 64 in
@@ -125,6 +126,7 @@ type t = {
   mutable multi_hint : Polytm.Semantics.t option;
   mutable multi_rev : Wire.cmd list;  (** queued batch, newest first *)
   mutable multi_count : int;
+  mutable watches : Registry.watch list;  (** active WATCH subscriptions *)
   mutable closing : bool;
 }
 
@@ -176,6 +178,49 @@ let run_tx t ~algo ~sem ~label ?budget ?deadline_us
   Hist.record t.stats.lat_by_sem.(sem_index sem) dt;
   Hist.record t.stats.lat_all dt;
   resp
+
+(* Run a blocking queue pop ([BLPOP]/[BTAKE]).  [timeout_ms <= 0]
+   means wait indefinitely — the waiter is still bounded by shutdown
+   (the registry's drain flag is in its read set) and by the wait-table
+   cap, checked before parking so a flood of blocking clients gets
+   [BUSY] instead of pinning every worker domain.  Timing out is not an
+   error for a blocking op: it replies [Nil], like Redis. *)
+let exec_blocking t cmd hint name timeout_ms ~wrap =
+  if t.in_multi then
+    err Wire.Bad_op "%s is not allowed inside MULTI (it can park)"
+      (Wire.cmd_name cmd)
+  else
+    match Registry.blocking_pop t.reg name with
+    | Error e -> e
+    | Ok (algo, thunk) ->
+        let stm = Registry.stm_for t.reg algo in
+        if S.waiting stm >= t.limits.Limits.max_waiters then
+          err Wire.Busy "wait table full (%d waiters)" (S.waiting stm)
+        else begin
+          let sem = Option.value hint ~default:Polytm.Semantics.Classic in
+          let t0 = R.now () in
+          let deadline =
+            if timeout_ms <= 0 then None
+            else Some (t0 + (timeout_ms * 1_000_000))
+          in
+          let resp =
+            match
+              S.try_atomically ?deadline ~sem ~label:(label_of cmd sem) stm
+                (fun _tx -> thunk ())
+            with
+            | S.Committed (`Got v) -> wrap v
+            | S.Committed `Drained -> Wire.Nil
+            | S.Deadline_exceeded _ -> Wire.Nil
+            | S.Exhausted { attempts; _ } ->
+                err Wire.Exhausted "retry budget spent after %d attempts"
+                  attempts
+            | exception S.Invalid_operation m -> err Wire.Sem_violation "%s" m
+          in
+          let dt = R.now () - t0 in
+          Hist.record t.stats.lat_by_sem.(sem_index sem) dt;
+          Hist.record t.stats.lat_all dt;
+          resp
+        end
 
 let reset_multi t =
   t.in_multi <- false;
@@ -232,6 +277,33 @@ let exec_single t (r : Wire.request) cmd =
 let exec_request t (r : Wire.request) : Wire.response =
   match r.cmd with
   | Wire.Ping -> Wire.pong
+  | Wire.Blpop (name, ms) as cmd ->
+      exec_blocking t cmd r.hint name ms ~wrap:(fun v ->
+          Wire.Array [ Wire.Bulk name; Wire.Bulk v ])
+  | Wire.Btake (name, ms) as cmd ->
+      exec_blocking t cmd r.hint name ms ~wrap:(fun v -> Wire.Bulk v)
+  | Wire.Watch name ->
+      if t.in_multi then err Wire.Bad_op "WATCH is not allowed inside MULTI"
+      else if
+        List.exists (fun w -> Registry.watch_name w = name) t.watches
+      then Wire.ok (* already watching: idempotent *)
+      else (
+        match Registry.watch t.reg name with
+        | Ok w ->
+            t.watches <- w :: t.watches;
+            Wire.ok
+        | Error e -> e)
+  | Wire.Unwatch name ->
+      if t.in_multi then err Wire.Bad_op "UNWATCH is not allowed inside MULTI"
+      else (
+        match
+          List.partition (fun w -> Registry.watch_name w = name) t.watches
+        with
+        | [], _ -> err Wire.Bad_op "not watching %S" name
+        | ws, rest ->
+            List.iter (Registry.unwatch t.reg) ws;
+            t.watches <- rest;
+            Wire.ok)
   | Wire.New (kind, name) -> (
       if t.in_multi then err Wire.Bad_op "NEW is not allowed inside MULTI"
       else
@@ -371,27 +443,70 @@ let create ?(stop = fun () -> false) ~limits ~registry ~stats fd =
     multi_hint = None;
     multi_rev = [];
     multi_count = 0;
+    watches = [];
     closing = false;
   }
 
+(* How long one watch wait may park before the session looks at its
+   socket again: the ceiling on request latency while watching (push
+   latency stays one commit — the mutator's commit wakes the parked
+   poll immediately). *)
+let watch_poll_ns = 50_000_000
+
+(* Emit a [Push] frame per watched structure that changed, parking up
+   to {!watch_poll_ns} waiting for one.  Pushes are server-initiated:
+   they bypass {!reply} so they never count as request replies. *)
+let service_watches t =
+  match Registry.wait_dirty t.reg t.watches ~timeout_ns:watch_poll_ns with
+  | [] -> ()
+  | names ->
+      List.iter (fun n -> Wire.write_response t.out (Wire.Push n)) names;
+      flush t
+
+let drop_watches t =
+  List.iter (Registry.unwatch t.reg) t.watches;
+  t.watches <- []
+
 let serve t =
+  (* One blocking-read round; [`Closed] ends the session. *)
+  let read_once () =
+    match Unix.read t.fd t.rbuf 0 (Bytes.length t.rbuf) with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> `Continue
+    | exception Unix.Unix_error (Unix.ECONNRESET, _, _) -> `Closed
+    | 0 ->
+        (* Orderly client close: whatever was decodable has already
+           been executed and flushed; nothing to drain. *)
+        `Closed
+    | n ->
+        Wire.Decoder.feed t.dec t.rbuf 0 n;
+        process_available t;
+        flush t;
+        if t.closing then `Closed else `Continue
+  in
   let rec loop () =
     if t.stop () then final_drain t
-    else
-      match Unix.read t.fd t.rbuf 0 (Bytes.length t.rbuf) with
-      | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
-      | exception Unix.Unix_error (Unix.ECONNRESET, _, _) -> ()
-      | 0 ->
-          (* Orderly client close: whatever was decodable has already
-             been executed and flushed; nothing to drain. *)
-          ()
-      | n ->
-          Wire.Decoder.feed t.dec t.rbuf 0 n;
-          process_available t;
-          flush t;
-          if not t.closing then loop ()
+    else if t.watches = [] then (
+      match read_once () with `Closed -> () | `Continue -> loop ())
+    else begin
+      (* Watching: the session must notice both socket input and
+         commit notifications, which cannot share one wait — so it
+         alternates an instant readability check with a genuinely
+         parked (commit-woken, [watch_poll_ns]-bounded) dirty wait. *)
+      let readable =
+        match Unix.select [ t.fd ] [] [] 0.0 with
+        | r, _, _ -> r <> []
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> false
+      in
+      if readable then (
+        match read_once () with `Closed -> () | `Continue -> loop ())
+      else begin
+        service_watches t;
+        loop ()
+      end
+    end
   in
-  loop ()
+  loop ();
+  drop_watches t
 
 (* Convenience used by polytmd's workers. *)
 let handle ?stop ~limits ~registry ~stats fd =

@@ -24,6 +24,10 @@ type cmd =
   | Snapshot_iter of string
   | Enq of string * string
   | Deq of string
+  | Blpop of string * int
+  | Btake of string * int
+  | Watch of string
+  | Unwatch of string
   | Multi
   | Multi_end
   | Debug_abort of { budget : int option; deadline_us : int option }
@@ -43,6 +47,10 @@ let cmd_name = function
   | Snapshot_iter _ -> "SNAPSHOT-ITER"
   | Enq _ -> "ENQ"
   | Deq _ -> "DEQ"
+  | Blpop _ -> "BLPOP"
+  | Btake _ -> "BTAKE"
+  | Watch _ -> "WATCH"
+  | Unwatch _ -> "UNWATCH"
   | Multi -> "MULTI"
   | Multi_end -> "MULTI-END"
   | Debug_abort _ -> "DEBUG-ABORT"
@@ -82,6 +90,7 @@ type response =
   | Nil
   | Error of err_code * string
   | Array of response list
+  | Push of string
 
 let ok = Simple "OK"
 let pong = Simple "PONG"
@@ -122,6 +131,10 @@ let fields_of_request r =
     | Snapshot_iter s -> [ "SNAPSHOT-ITER"; s ]
     | Enq (s, v) -> [ "ENQ"; s; v ]
     | Deq s -> [ "DEQ"; s ]
+    | Blpop (s, ms) -> [ "BLPOP"; s; string_of_int ms ]
+    | Btake (s, ms) -> [ "BTAKE"; s; string_of_int ms ]
+    | Watch s -> [ "WATCH"; s ]
+    | Unwatch s -> [ "UNWATCH"; s ]
     | Multi -> [ "MULTI" ]
     | Multi_end -> [ "MULTI-END" ]
     | Debug_abort { budget; deadline_us } ->
@@ -169,6 +182,7 @@ let rec response_body_len = function
   | Array l ->
       1 + digits (List.length l) + 1
       + List.fold_left (fun acc r -> acc + response_body_len r) 0 l
+  | Push s -> 1 + String.length s + 1
 
 let rec add_response_body buf = function
   | Simple s ->
@@ -194,6 +208,11 @@ let rec add_response_body buf = function
       Buffer.add_string buf (string_of_int (List.length l));
       Buffer.add_char buf '\n';
       List.iter (add_response_body buf) l
+  | Push s ->
+      no_newline "push name" s;
+      Buffer.add_char buf '>';
+      Buffer.add_string buf s;
+      Buffer.add_char buf '\n'
 
 let write_response buf r =
   add_frame_header buf (response_body_len r);
@@ -306,6 +325,10 @@ let request_of_fields fields =
     | [ "SNAPSHOT-ITER"; s ] -> Snapshot_iter s
     | [ "ENQ"; s; v ] -> Enq (s, v)
     | [ "DEQ"; s ] -> Deq s
+    | [ "BLPOP"; s; ms ] -> Blpop (s, int_arg "timeout" ms)
+    | [ "BTAKE"; s; ms ] -> Btake (s, int_arg "timeout" ms)
+    | [ "WATCH"; s ] -> Watch s
+    | [ "UNWATCH"; s ] -> Unwatch s
     | [ "MULTI" ] -> Multi
     | [ "MULTI-END" ] -> Multi_end
     | [ "DEBUG-ABORT"; b; d ] ->
@@ -363,6 +386,9 @@ let rec parse_response c depth =
       let n = parse_nat c in
       if n > String.length c.body then bad "array longer than frame";
       Array (List.init n (fun _ -> parse_response c (depth + 1)))
+  | '>' ->
+      advance c;
+      Push (parse_line c)
   | ch -> bad "unknown response type byte %C" ch
 
 let parse_response_body body =

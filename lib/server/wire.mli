@@ -52,6 +52,21 @@ type cmd =
       (** consistent full iteration; defaults to [Snapshot] semantics *)
   | Enq of string * string  (** queue push-back *)
   | Deq of string  (** queue pop-front; bulk or nil *)
+  | Blpop of string * int
+      (** blocking queue pop-front with a timeout in milliseconds
+          ([0] = wait indefinitely): parks the session's transaction on
+          the empty queue until a producer's commit fills it, then
+          replies [Array [Bulk name; Bulk value]]; replies [Nil] on
+          timeout or server drain.  Refused inside [MULTI] and bounced
+          [BUSY] when the instance's wait table is full. *)
+  | Btake of string * int
+      (** like {!Blpop} but replies the bare [Bulk value] *)
+  | Watch of string
+      (** subscribe to change notifications for a structure: after a
+          transaction that mutates it commits, the session emits a
+          [Push] frame carrying the structure's name (at most one per
+          poll interval — notifications coalesce, they do not queue) *)
+  | Unwatch of string  (** drop a {!Watch} subscription *)
   | Multi  (** open a batch: following commands queue up *)
   | Multi_end
       (** execute the queued batch as {e one} transaction; replies an
@@ -94,6 +109,12 @@ type response =
   | Nil
   | Error of err_code * string
   | Array of response list
+  | Push of string
+      (** server-initiated notification ([>name] on the wire): the
+          watched structure [name] changed.  Unlike every other
+          response it is {e not} paired with a request — clients with
+          active watches must tolerate [Push] frames between replies
+          (replies to their own requests still arrive in order). *)
 
 val ok : response
 val pong : response

@@ -191,6 +191,29 @@ module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) = struct
       deq = (fun () -> Queue.dequeue_opt t);
     }
 
+  (* Same queue, but consumers *block*: an empty dequeue parks via
+     [retry] until a producer's commit wakes it, bounded by
+     [deadline_delta] (runtime clock units) so a workload that drains
+     the queue ends with [None] instead of a deadlock.  Exists so the
+     conformance matrix can check that parking consumers observe
+     exactly the histories spinning ones do. *)
+  let stm_queue_blocking ~deadline_delta stm =
+    let t = Queue.create stm in
+    {
+      q_name = "stm-queue-blocking";
+      enq = Queue.enqueue t;
+      deq =
+        (fun () ->
+          match
+            S.try_atomically ~label:"take"
+              ~deadline:(R.now () + deadline_delta)
+              stm
+              (fun tx -> Queue.take_tx tx t)
+          with
+          | S.Committed v -> Some v
+          | S.Exhausted _ | S.Deadline_exceeded _ -> None);
+    }
+
   let stm_stack stm =
     let t = Stack.create stm in
     {

@@ -35,6 +35,16 @@ module Make (S : Stm_intf.S) = struct
   let dequeue_opt t =
     S.atomically ~label:"dequeue" t.stm (fun tx -> dequeue_opt_tx tx t)
 
+  (* Blocking take: on empty, [S.retry] parks the transaction until a
+     producer's commit writes [front] or [back] — both are in the read
+     set by the time emptiness is observed, so either enqueue path wakes
+     us.  No polling loop anywhere: the consumer sleeps in the runtime
+     until a commit notifies it. *)
+  let take_tx tx t =
+    match dequeue_opt_tx tx t with Some x -> x | None -> S.retry tx
+
+  let take t = S.atomically ~label:"take" t.stm (fun tx -> take_tx tx t)
+
   (* [dequeue_or t f] returns an element or, atomically with the
      emptiness observation, the fallback. *)
   let dequeue_or t fallback =

@@ -17,6 +17,15 @@ module Make (S : Stm_intf.S) : sig
   val enqueue : 'a t -> 'a -> unit
   val dequeue_opt : 'a t -> 'a option
 
+  val take : 'a t -> 'a
+  (** Blocking dequeue: if the queue is empty, {!Stm_intf.S.retry} parks
+      the calling thread until a producer's commit makes an element
+      available, then dequeues it — no polling.  Bound the wait by
+      running {!take_tx} under [atomically ~deadline] (or
+      [try_atomically]) instead.
+      @raise Stm_intf.Invalid_operation under a snapshot transaction or
+        while holding the serial token (see {!Stm_intf.S.retry}). *)
+
   val dequeue_or : 'a t -> 'a -> 'a
   (** [dequeue_or t fallback] dequeues, or returns [fallback] atomically
       with the emptiness observation (built on {!Stm_intf.S.orelse}). *)
@@ -25,6 +34,11 @@ module Make (S : Stm_intf.S) : sig
   (** In-transaction enqueue, for composing with other operations. *)
 
   val dequeue_opt_tx : S.tx -> 'a t -> 'a option
+
+  val take_tx : S.tx -> 'a t -> 'a
+  (** In-transaction blocking dequeue ({!Stm_intf.S.retry} on empty),
+      for composing — e.g. take from one queue and enqueue to another,
+      sleeping until the source is non-empty. *)
 
   val length : 'a t -> int
   val is_empty : 'a t -> bool

@@ -27,6 +27,14 @@ module Make (S : Stm_intf.S) = struct
   let push t x = S.atomically ~label:"push" t.stm (fun tx -> push_tx tx t x)
   let pop t = S.atomically ~label:"pop" t.stm (fun tx -> pop_tx tx t)
 
+  (* Blocking pop: [S.retry] on empty parks until a push commits to
+     [head] (which is in the read set), then re-runs and pops. *)
+  let pop_wait_tx tx t =
+    match pop_tx tx t with Some x -> x | None -> S.retry tx
+
+  let pop_wait t =
+    S.atomically ~label:"pop-wait" t.stm (fun tx -> pop_wait_tx tx t)
+
   let peek t =
     S.atomically ~label:"peek" t.stm (fun tx ->
         match S.read tx t.head with [] -> None | x :: _ -> Some x)

@@ -14,6 +14,14 @@ module Make (S : Stm_intf.S) : sig
 
   val push : 'a t -> 'a -> unit
   val pop : 'a t -> 'a option
+
+  val pop_wait : 'a t -> 'a
+  (** Blocking pop: if the stack is empty, {!Stm_intf.S.retry} parks the
+      caller until a push commits, then pops — no polling.  Bound the
+      wait with [atomically ~deadline] around {!pop_wait_tx}.
+      @raise Stm_intf.Invalid_operation under a snapshot transaction or
+        while holding the serial token (see {!Stm_intf.S.retry}). *)
+
   val peek : 'a t -> 'a option
   val length : 'a t -> int
 
@@ -24,6 +32,10 @@ module Make (S : Stm_intf.S) : sig
   (** In-transaction push, for composition. *)
 
   val pop_tx : S.tx -> 'a t -> 'a option
+
+  val pop_wait_tx : S.tx -> 'a t -> 'a
+  (** In-transaction blocking pop ({!Stm_intf.S.retry} on empty), for
+      composition. *)
 
   val pop_push : src:'a t -> dst:'a t -> 'a option
   (** Atomically move the top of [src] onto [dst]. *)

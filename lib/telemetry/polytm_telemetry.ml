@@ -48,6 +48,8 @@ type kind =
   | Abort of { cause : cause; reads : int; writes : int }
   | Serialize of { attempt : int }
   | Budget_exhausted of { attempts : int; cause : cause }
+  | Park of { locs : int }
+  | Wake of { timed_out : bool }
 
 type event = {
   time : int;
@@ -248,10 +250,11 @@ module Agg = struct
     | Abort { cause; reads; _ } ->
         c.a_causes.(cause_index cause) <- c.a_causes.(cause_index cause) + 1;
         c.a_max_reads <- max c.a_max_reads reads
-    (* Liveness escalations annotate attempts that are already counted
-       through their Begin/Commit/Abort events; the snapshot layout
-       (and with it the JSON goldens) stays unchanged. *)
-    | Serialize _ | Budget_exhausted _ -> ()
+    (* Liveness escalations and blocking park/wake annotate attempts
+       that are already counted through their Begin/Commit/Abort
+       events; the snapshot layout (and with it the JSON goldens)
+       stays unchanged. *)
+    | Serialize _ | Budget_exhausted _ | Park _ | Wake _ -> ()
 
   let sink t = { emit = feed t }
 
@@ -472,6 +475,9 @@ module Export = struct
         [ ("type", Json.Str "budget-exhausted");
           ("attempts", Json.Int attempts);
           ("cause", Json.Str (cause_label cause)) ]
+    | Park { locs } -> [ ("type", Json.Str "park"); ("locs", Json.Int locs) ]
+    | Wake { timed_out } ->
+        [ ("type", Json.Str "wake"); ("timed_out", Json.Bool timed_out) ]
 
   let events_json events =
     Json.Arr
@@ -561,6 +567,32 @@ module Export = struct
                      Json.Obj
                        [ ("attempts", Json.Int attempts);
                          ("cause", Json.Str (cause_label cause)) ] );
+                 ])
+        | Park { locs } ->
+            push
+              (Json.Obj
+                 [
+                   ("name", Json.Str "park");
+                   ("cat", Json.Str "blocking");
+                   ("ph", Json.Str "i");
+                   ("ts", Json.Int e.time);
+                   ("pid", Json.Int 0);
+                   ("tid", Json.Int e.thread);
+                   ("s", Json.Str "t");
+                   ("args", Json.Obj [ ("locs", Json.Int locs) ]);
+                 ])
+        | Wake { timed_out } ->
+            push
+              (Json.Obj
+                 [
+                   ("name", Json.Str "wake");
+                   ("cat", Json.Str "blocking");
+                   ("ph", Json.Str "i");
+                   ("ts", Json.Int e.time);
+                   ("pid", Json.Int 0);
+                   ("tid", Json.Int e.thread);
+                   ("s", Json.Str "t");
+                   ("args", Json.Obj [ ("timed_out", Json.Bool timed_out) ]);
                  ])
         | Commit { reads; writes; lock_hold } -> (
             match Hashtbl.find_opt pending e.serial with

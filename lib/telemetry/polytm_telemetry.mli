@@ -74,6 +74,16 @@ type kind =
           last abort's cause.  Followed by a [Serialize] event when the
           instance's exhaustion policy is to fall back rather than
           raise. *)
+  | Park of { locs : int }
+      (** a [retry]ing transaction parked on its wait set of [locs]
+          locations (the whole instance, for NORec's coarse wakeups).
+          Emitted only when the thread actually goes to sleep — a
+          pre-park validation failure re-runs immediately and emits
+          nothing. *)
+  | Wake of { timed_out : bool }
+      (** the parked thread resumed: woken by a committing writer
+          ([timed_out = false]) or by its deadline ([true]).  Always
+          paired with the preceding [Park] on the same thread. *)
 
 type event = {
   time : int;  (** virtual ticks (simulator) or ns (domains) *)

@@ -22,6 +22,7 @@ let () =
       Test_failure_injection.suite;
       Test_irrevocable.suite;
       Test_norec.suite;
+      Test_retry.suite;
       Test_flat_structs.suite;
       Test_wire.suite;
       Test_server.suite;

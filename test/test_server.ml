@@ -20,6 +20,7 @@ module Limits = Polytm_server.Limits
 module Registry = Polytm_server.Registry
 module Session = Polytm_server.Session
 module Sem = Polytm.Semantics
+module S = Registry.S
 
 (* ---- plumbing ---------------------------------------------------------- *)
 
@@ -96,6 +97,7 @@ let rec pp_resp = function
   | Wire.Nil -> "_"
   | Wire.Error (c, m) -> "-" ^ Wire.err_code_to_string c ^ " " ^ m
   | Wire.Array l -> "[" ^ String.concat "; " (List.map pp_resp l) ^ "]"
+  | Wire.Push s -> ">" ^ s
 
 let resp_t : Wire.response Alcotest.testable =
   Alcotest.testable (fun ppf r -> Format.pp_print_string ppf (pp_resp r)) ( = )
@@ -385,6 +387,155 @@ let test_shutdown_drains_and_releases () =
   Unix.close client_fd;
   Unix.close server_fd
 
+(* ---- blocking ops and subscriptions ------------------------------------ *)
+
+let eventually ?(timeout_s = 10.0) pred =
+  let t0 = Unix.gettimeofday () in
+  let rec go () =
+    pred ()
+    || Unix.gettimeofday () -. t0 <= timeout_s
+       && begin
+            Unix.sleepf 0.002;
+            go ()
+          end
+  in
+  go ()
+
+(* Enqueue through the registry from the test domain — a second
+   "producer connection" without a second session. *)
+let produce reg name v =
+  match Registry.resolve reg (Wire.Enq (name, v)) with
+  | Ok (_, thunk) -> ignore (thunk () : Wire.response)
+  | Error _ -> Alcotest.fail "producer could not resolve ENQ"
+
+(* The acceptance-criteria scenario: the server answers a BLPOP issued
+   {e before} the corresponding push.  The session parks (observable as
+   a registered waiter — no polling loop to hide in) and the producer's
+   commit wakes it. *)
+let test_blpop_before_push () =
+  with_session (fun fd reg _ _ ->
+      write_all fd (encode [ req (Wire.New (Wire.Kqueue, "q")) ]);
+      Alcotest.check resps_t "queue created" [ Wire.ok ] (recv_n fd 1);
+      write_all fd (encode [ req (Wire.Blpop ("q", 0)) ]);
+      (* The consumer must actually be parked before anything is
+         produced: a waiter registered on the TL2 instance. *)
+      Alcotest.(check bool) "consumer parked on the empty queue" true
+        (eventually (fun () -> S.waiting (Registry.stm reg) = 1));
+      produce reg "q" "job-1";
+      Alcotest.check resps_t "woken by the producer's commit"
+        [ Wire.Array [ Wire.Bulk "q"; Wire.Bulk "job-1" ] ]
+        (recv_n fd 1);
+      Alcotest.(check bool) "no waiter leaked" true
+        (eventually (fun () -> S.waiting (Registry.stm reg) = 0));
+      (* BTAKE takes an already-present element without parking. *)
+      produce reg "q" "job-2";
+      write_all fd (encode [ req (Wire.Btake ("q", 0)) ]);
+      Alcotest.check resps_t "BTAKE replies the bare value"
+        [ Wire.Bulk "job-2" ] (recv_n fd 1))
+
+let test_blocking_timeout_and_refusals () =
+  with_session (fun fd reg _ _ ->
+      write_all fd (encode [ req (Wire.New (Wire.Kqueue, "q")) ]);
+      Alcotest.check resps_t "queue created" [ Wire.ok ] (recv_n fd 1);
+      (* Timing out is data, not an error: Nil, like Redis. *)
+      write_all fd (encode [ req (Wire.Btake ("q", 30)) ]);
+      Alcotest.check resps_t "timeout replies Nil" [ Wire.Nil ] (recv_n fd 1);
+      Alcotest.(check bool) "timed-out waiter deregistered" true
+        (eventually (fun () -> S.waiting (Registry.stm reg) = 0));
+      (* A snapshot-hinted blocking op is a typed semantics violation
+         (retry cannot park a read-only snapshot). *)
+      write_all fd (encode [ req ~hint:Sem.Snapshot (Wire.Blpop ("q", 10)) ]);
+      (match recv_n fd 1 with
+      | [ Wire.Error (Wire.Sem_violation, _) ] -> ()
+      | got ->
+          Alcotest.failf "snapshot BLPOP should be SEM, got %s"
+            (String.concat " | " (List.map pp_resp got)));
+      (* Inside MULTI a parking op is refused up front. *)
+      write_all fd
+        (encode
+           [ req Wire.Multi; req (Wire.Blpop ("q", 0)); req Wire.Multi_end ]);
+      match recv_n fd 3 with
+      | [ Wire.Simple "OK"; Wire.Error (Wire.Bad_op, _); Wire.Array [] ] -> ()
+      | got ->
+          Alcotest.failf "BLPOP in MULTI should be BADOP, got %s"
+            (String.concat " | " (List.map pp_resp got)))
+
+let test_blpop_busy_when_wait_table_full () =
+  let limits = { Limits.default with Limits.max_waiters = 1 } in
+  with_session ~limits (fun fd reg _ _ ->
+      write_all fd (encode [ req (Wire.New (Wire.Kqueue, "q")) ]);
+      Alcotest.check resps_t "queue created" [ Wire.ok ] (recv_n fd 1);
+      (* Fill the single wait-table slot with an out-of-session
+         blocking consumer. *)
+      let thunk =
+        match Registry.blocking_pop reg "q" with
+        | Ok (_, thunk) -> thunk
+        | Error _ -> Alcotest.fail "blocking_pop on a fresh queue"
+      in
+      let stm = Registry.stm reg in
+      let occupant =
+        Domain.spawn (fun () -> S.try_atomically stm (fun _tx -> thunk ()))
+      in
+      Alcotest.(check bool) "occupant parked" true
+        (eventually (fun () -> S.waiting stm = 1));
+      (* The session's blocking op now bounces instead of parking. *)
+      write_all fd (encode [ req (Wire.Blpop ("q", 0)) ]);
+      (match recv_n fd 1 with
+      | [ Wire.Error (Wire.Busy, _) ] -> ()
+      | got ->
+          Alcotest.failf "full wait table should be BUSY, got %s"
+            (String.concat " | " (List.map pp_resp got)));
+      (* The occupant is still live: a push wakes and completes it. *)
+      produce reg "q" "wake";
+      match Domain.join occupant with
+      | S.Committed (`Got "wake") -> ()
+      | _ -> Alcotest.fail "occupant should have consumed the pushed value")
+
+let test_watch_pushes_notifications () =
+  with_session (fun fd reg _ _ ->
+      write_all fd
+        (encode [ req (Wire.New (Wire.Kmap, "m")); req (Wire.Watch "m") ]);
+      Alcotest.check resps_t "watch accepted" [ Wire.ok; Wire.ok ]
+        (recv_n fd 2);
+      (* A mutation committed by another client pushes a frame. *)
+      (match Registry.resolve reg (Wire.Put ("m", 1, "x")) with
+      | Ok (_, thunk) -> ignore (thunk () : Wire.response)
+      | Error _ -> Alcotest.fail "resolve PUT");
+      Alcotest.check resps_t "push notification arrives" [ Wire.Push "m" ]
+        (recv_n fd 1);
+      (* Requests are still served while watching, and UNWATCH stops
+         the pushes. *)
+      write_all fd (encode [ req (Wire.Get ("m", 1)); req (Wire.Unwatch "m") ]);
+      Alcotest.check resps_t "served while watching"
+        [ Wire.Bulk "x"; Wire.ok ] (recv_n fd 2);
+      (match Registry.resolve reg (Wire.Put ("m", 2, "y")) with
+      | Ok (_, thunk) -> ignore (thunk () : Wire.response)
+      | Error _ -> Alcotest.fail "resolve PUT");
+      write_all fd (encode [ req Wire.Ping ]);
+      (* No Push frame precedes the PONG: the subscription is gone. *)
+      Alcotest.check resps_t "no push after UNWATCH" [ Wire.pong ]
+        (recv_n fd 1))
+
+(* Shutdown must wake parked waiters and answer them — a session
+   sleeping in the STM cannot be allowed to sleep through its own
+   drain. *)
+let test_shutdown_wakes_parked_waiter () =
+  with_session (fun fd reg _ (stop, server_fd) ->
+      write_all fd (encode [ req (Wire.New (Wire.Kqueue, "q")) ]);
+      Alcotest.check resps_t "queue created" [ Wire.ok ] (recv_n fd 1);
+      write_all fd (encode [ req (Wire.Blpop ("q", 0)) ]);
+      Alcotest.(check bool) "session parked with no timeout" true
+        (eventually (fun () -> S.waiting (Registry.stm reg) = 1));
+      (* polytmd's drain sequence: stop flag, drain-flag commit (wakes
+         the waiter), then the socket nudge. *)
+      Atomic.set stop true;
+      Registry.set_draining reg;
+      (try Unix.shutdown server_fd Unix.SHUTDOWN_RECEIVE with _ -> ());
+      Alcotest.check resps_t "parked BLPOP answered Nil on drain"
+        [ Wire.Nil ] (recv_n fd 1);
+      Alcotest.(check bool) "no waiter survives the drain" true
+        (eventually (fun () -> S.waiting (Registry.stm reg) = 0)))
+
 (* ---- misc surface ------------------------------------------------------ *)
 
 let test_kind_mismatch_and_unknown () =
@@ -507,6 +658,16 @@ let suite =
         test_debug_ops_gated;
       Alcotest.test_case "shutdown drains and releases locks" `Quick
         test_shutdown_drains_and_releases;
+      Alcotest.test_case "BLPOP issued before the push is answered" `Quick
+        test_blpop_before_push;
+      Alcotest.test_case "blocking timeout Nil and typed refusals" `Quick
+        test_blocking_timeout_and_refusals;
+      Alcotest.test_case "BUSY when the wait table is full" `Quick
+        test_blpop_busy_when_wait_table_full;
+      Alcotest.test_case "WATCH pushes commit notifications" `Quick
+        test_watch_pushes_notifications;
+      Alcotest.test_case "shutdown wakes and answers parked waiters" `Quick
+        test_shutdown_wakes_parked_waiter;
       Alcotest.test_case "kind mismatch and unknown structure" `Quick
         test_kind_mismatch_and_unknown;
       Alcotest.test_case "NORec structure next to a TL2 one" `Quick
