@@ -105,29 +105,34 @@ let send_all fd buf =
   let len = String.length s in
   let off = ref 0 in
   while !off < len do
-    off := !off + Unix.write_substring fd s !off (len - !off)
+    match Unix.write_substring fd s !off (len - !off) with
+    | n -> off := !off + n
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
   done
 
 exception Dead of string
 
-(* Read until [want] more responses have been consumed. *)
+(* Read until [want] more responses have been consumed.  Replies are
+   classified, not parsed: a snapshot reply of thousands of items is
+   one O(1) frame hop ({!Wire.Decoder.next_response_brief}), so the
+   client stays off the critical path it is measuring. *)
 let read_responses fd dec rbuf c (inflight : (int * int) Queue.t) want =
   let consumed = ref 0 in
   while !consumed < want do
     (let rec pop () =
        if !consumed < want then
-         match Wire.Decoder.next_response dec with
-         | `Ok resp ->
+         match Wire.Decoder.next_response_brief dec with
+         | `Ok cls ->
              let t_send, semi = Queue.pop inflight in
              c.got <- c.got + 1;
              Hist.record c.lat (R.now () - t_send);
-             (match resp with
-             | Wire.Error (Wire.Busy, _) -> c.busy <- c.busy + 1
-             | Wire.Error _ -> c.app_errors <- c.app_errors + 1
-             | Wire.Nil ->
+             (match cls with
+             | `Busy -> c.busy <- c.busy + 1
+             | `Err -> c.app_errors <- c.app_errors + 1
+             | `Nil ->
                  c.nils <- c.nils + 1;
                  c.ops_by_sem.(semi) <- c.ops_by_sem.(semi) + 1
-             | _ -> c.ops_by_sem.(semi) <- c.ops_by_sem.(semi) + 1);
+             | `Value -> c.ops_by_sem.(semi) <- c.ops_by_sem.(semi) + 1);
              incr consumed;
              pop ()
          | `Bad _ ->
@@ -145,69 +150,221 @@ let read_responses fd dec rbuf c (inflight : (int * int) Queue.t) want =
       match Unix.read fd rbuf 0 (Bytes.length rbuf) with
       | 0 -> raise (Dead "server closed the connection")
       | n -> Wire.Decoder.feed dec rbuf 0 n
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
   done
 
-let client ~addr ~mix ~pipeline ~rate ~seconds ~seed id =
-  let c = new_counters () in
-  let fd = connect addr in
-  let rng = Random.State.make [| seed; id; 0x7A0AD |] in
-  let dec = Wire.Decoder.create () in
+(* Sleep until [t] (absolute gettimeofday seconds); EINTR just
+   returns early — callers re-check the schedule. *)
+let sleep_until t =
+  let now = Unix.gettimeofday () in
+  if now < t then
+    try ignore (Unix.select [] [] [] (t -. now))
+    with Unix.Unix_error (Unix.EINTR, _, _) -> ()
+
+(* All mixed-scenario connections are multiplexed from ONE domain: on
+   a small machine, one domain per connection makes the measuring
+   client the dominant cost (every extra domain joins the runtime's
+   stop-the-world minor collections), and the load generator must stay
+   off the critical path it is measuring.  Each connection still owns
+   an independent socket, decoder and [pipeline]-deep window, so the
+   server-side workload is identical. *)
+type cstate = {
+  cfd : Unix.file_descr;
+  rng : Random.State.t;
+  cdec : Wire.Decoder.t;
+  cout : Buffer.t;
+  cinflight : (int * int) Queue.t;
+  mutable alive : bool;
+}
+
+let mixed_driver ~addr ~mix ~conns ~pipeline ~rate ~warmup ~seconds ~seed =
+  let c = ref (new_counters ()) in
+  let states =
+    Array.init conns (fun i ->
+        {
+          cfd = connect addr;
+          rng = Random.State.make [| seed; i; 0x7A0AD |];
+          cdec = Wire.Decoder.create ();
+          cout = Buffer.create 4096;
+          cinflight = Queue.create ();
+          alive = true;
+        })
+  in
   let rbuf = Bytes.create 65536 in
-  let out = Buffer.create 4096 in
-  let inflight : (int * int) Queue.t = Queue.create () in
-  let enqueue () =
-    let req, sem = gen_request mix rng in
-    Wire.write_request out req;
-    Queue.push (R.now (), sem_index sem) inflight;
-    c.sent <- c.sent + 1
+  let kill s =
+    s.alive <- false;
+    Queue.clear s.cinflight
+  in
+  let enqueue ?at s =
+    let req, sem = gen_request mix s.rng in
+    Wire.write_request s.cout req;
+    let t = match at with Some t -> t | None -> R.now () in
+    Queue.push (t, sem_index sem) s.cinflight;
+    !c.sent <- !c.sent + 1
+  in
+  let refill s =
+    for _ = 1 to pipeline do
+      enqueue s
+    done;
+    try send_all s.cfd s.cout
+    with Unix.Unix_error _ ->
+      !c.proto_errors <- !c.proto_errors + 1;
+      kill s
+  in
+  (* Consume every complete reply currently buffered for [s]. *)
+  let consume s =
+    let rec pop () =
+      match Wire.Decoder.next_response_brief s.cdec with
+      | `Ok cls ->
+          let t_send, semi = Queue.pop s.cinflight in
+          !c.got <- !c.got + 1;
+          Hist.record !c.lat (R.now () - t_send);
+          (match cls with
+          | `Busy -> !c.busy <- !c.busy + 1
+          | `Err -> !c.app_errors <- !c.app_errors + 1
+          | `Nil ->
+              !c.nils <- !c.nils + 1;
+              !c.ops_by_sem.(semi) <- !c.ops_by_sem.(semi) + 1
+          | `Value -> !c.ops_by_sem.(semi) <- !c.ops_by_sem.(semi) + 1);
+          pop ()
+      | `Bad _ ->
+          !c.proto_errors <- !c.proto_errors + 1;
+          ignore (Queue.pop s.cinflight);
+          pop ()
+      | `Corrupt _ ->
+          !c.proto_errors <- !c.proto_errors + 1;
+          kill s
+      | `Await -> ()
+    in
+    pop ()
+  in
+  (* In closed-loop mode the window is refilled right here, the
+     moment it fully drains — waiting for the next loop turn would
+     leave the server idle for the gap (a pipeline bubble). *)
+  let filling = ref false in
+  let read_into s =
+    match Unix.read s.cfd rbuf 0 (Bytes.length rbuf) with
+    | 0 -> kill s
+    | n ->
+        Wire.Decoder.feed s.cdec rbuf 0 n;
+        consume s;
+        if !filling && s.alive && Queue.is_empty s.cinflight then refill s
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | exception Unix.Unix_error _ -> kill s
+  in
+  let waiting () =
+    Array.fold_left
+      (fun acc s ->
+        if s.alive && not (Queue.is_empty s.cinflight) then s.cfd :: acc
+        else acc)
+      [] states
+  in
+  let state_of fd =
+    let found = ref None in
+    Array.iter (fun s -> if s.cfd == fd then found := Some s) states;
+    Option.get !found
+  in
+  (* Block until every outstanding request has been answered. *)
+  let drain_all () =
+    filling := false;
+    let rec go () =
+      match waiting () with
+      | [] -> ()
+      | rds ->
+          (match Unix.select rds [] [] 1.0 with
+          | rs, _, _ -> List.iter (fun fd -> read_into (state_of fd)) rs
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+          go ()
+    in
+    go ()
+  in
+  (* Closed loop: each connection keeps a [pipeline]-deep window
+     outstanding; a window is refilled the moment it fully drains. *)
+  let run_closed t_stop =
+    filling := true;
+    while Unix.gettimeofday () < t_stop do
+      Array.iter
+        (fun s -> if s.alive && Queue.is_empty s.cinflight then refill s)
+        states;
+      match waiting () with
+      | [] -> raise (Dead "all connections lost")
+      | rds -> (
+          match Unix.select rds [] [] 0.2 with
+          | rs, _, _ -> List.iter (fun fd -> read_into (state_of fd)) rs
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> ())
+    done;
+    filling := false
+  in
+  (* Open loop: dispatch round-robin across connections on a fixed
+     aggregate schedule.  Latency runs from the *intended* dispatch
+     instant, so when the server falls behind the schedule the
+     queueing delay lands in the histogram instead of being
+     coordinated away.  Replies are consumed between ticks; a
+     connection whose backlog exceeds [pipeline] blocks the schedule
+     (bounded memory), which is exactly the overload signal the
+     intended-time histogram then shows. *)
+  let run_open rate_total t_stop =
+    let interval = 1.0 /. rate_total in
+    let next = ref (Unix.gettimeofday ()) in
+    let rr = ref 0 in
+    while Unix.gettimeofday () < t_stop do
+      let now = Unix.gettimeofday () in
+      if now < !next then (
+        match waiting () with
+        | [] -> sleep_until !next
+        | rds -> (
+            match Unix.select rds [] [] (!next -. now) with
+            | rs, _, _ -> List.iter (fun fd -> read_into (state_of fd)) rs
+            | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()))
+      else begin
+        let intended = !next in
+        next := !next +. interval;
+        let s = states.(!rr mod conns) in
+        incr rr;
+        if s.alive then begin
+          enqueue ~at:(int_of_float (intended *. 1e9)) s;
+          (try send_all s.cfd s.cout
+           with Unix.Unix_error _ ->
+             !c.proto_errors <- !c.proto_errors + 1;
+             kill s);
+          while s.alive && Queue.length s.cinflight > pipeline do
+            match Unix.select [ s.cfd ] [] [] 1.0 with
+            | _ :: _, _, _ -> read_into s
+            | _ -> ()
+            | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+          done
+        end
+      end
+    done
+  in
+  let run t_stop =
+    match rate with
+    | None -> run_closed t_stop
+    | Some rate_total -> run_open rate_total t_stop
   in
   (try
      (* Ensure the bench structure exists (idempotent). *)
-     Wire.write_request out
-       { Wire.hint = None; cmd = Wire.New (Wire.Kmap, "bench") };
-     Queue.push (R.now (), 0) inflight;
-     send_all fd out;
-     read_responses fd dec rbuf c inflight 1;
-     c.sent <- 0;
-     c.got <- 0;
-     Array.fill c.ops_by_sem 0 3 0;
-     let t_end = Unix.gettimeofday () +. seconds in
-     (match rate with
-     | None ->
-         (* Closed loop: keep [pipeline] requests outstanding; send a
-            full window, drain it, repeat. *)
-         while Unix.gettimeofday () < t_end do
-           for _ = 1 to pipeline do
-             enqueue ()
-           done;
-           send_all fd out;
-           read_responses fd dec rbuf c inflight pipeline
-         done
-     | Some per_conn_rate ->
-         (* Open loop: dispatch on schedule; drain whatever arrived
-            between sends without blocking the schedule more than one
-            response at a time. *)
-         let interval = 1.0 /. per_conn_rate in
-         let next = ref (Unix.gettimeofday ()) in
-         while Unix.gettimeofday () < t_end do
-           let now = Unix.gettimeofday () in
-           if now < !next then ignore (Unix.select [] [] [] (!next -. now))
-           else begin
-             next := !next +. interval;
-             enqueue ();
-             send_all fd out;
-             (* bounded backlog: never more than [pipeline] unanswered *)
-             if Queue.length inflight > pipeline then
-               read_responses fd dec rbuf c inflight 1
-           end
-         done);
+     Array.iter
+       (fun s ->
+         Wire.write_request s.cout
+           { Wire.hint = None; cmd = Wire.New (Wire.Kmap, "bench") };
+         Queue.push (R.now (), 0) s.cinflight;
+         send_all s.cfd s.cout)
+       states;
+     drain_all ();
+     (* Warmup phase: same traffic, counters discarded — steady-state
+        figures exclude cold caches and the fill ramp of the map. *)
+     if warmup > 0. then begin
+       run (Unix.gettimeofday () +. warmup);
+       drain_all ()
+     end;
+     c := new_counters ();
+     run (Unix.gettimeofday () +. seconds);
      (* Drain the tail so every sent request is accounted for. *)
-     read_responses fd dec rbuf c inflight (Queue.length inflight)
-   with
-  | Dead _ -> ()
-  | Unix.Unix_error _ -> c.proto_errors <- c.proto_errors + 1);
-  (try Unix.close fd with _ -> ());
-  c
+     drain_all ()
+   with Dead _ -> ());
+  Array.iter (fun s -> try Unix.close s.cfd with _ -> ()) states;
+  !c
 
 (* ---- prodcons scenario -------------------------------------------------- *)
 
@@ -220,8 +377,8 @@ let client ~addr ~mix ~pipeline ~rate ~seconds ~seed id =
    latency.  Unthrottled producers keep the queue non-empty instead,
    measuring blocking-path service time. *)
 let prodcons_client ~addr ~queue ~timeout_ms ~pipeline ~rate ~producers
-    ~seconds id =
-  let c = new_counters () in
+    ~warmup ~seconds id =
+  let c = ref (new_counters ()) in
   let fd = connect addr in
   let dec = Wire.Decoder.create () in
   let rbuf = Bytes.create 65536 in
@@ -232,65 +389,72 @@ let prodcons_client ~addr ~queue ~timeout_ms ~pipeline ~rate ~producers
        { Wire.hint = None; cmd = Wire.New (Wire.Kqueue, queue) };
      Queue.push (R.now (), 0) inflight;
      send_all fd out;
-     read_responses fd dec rbuf c inflight 1;
-     c.sent <- 0;
-     c.got <- 0;
-     c.nils <- 0;
-     Array.fill c.ops_by_sem 0 3 0;
-     let t_end = Unix.gettimeofday () +. seconds in
+     read_responses fd dec rbuf !c inflight 1;
      let n = ref 0 in
-     let enq () =
+     let enq ?at () =
        incr n;
        Wire.write_request out
          {
            Wire.hint = Some Polytm.Semantics.Classic;
            cmd = Wire.Enq (queue, Printf.sprintf "p%d-%d" id !n);
          };
-       Queue.push (R.now (), 0) inflight;
-       c.sent <- c.sent + 1
+       let t = match at with Some t -> t | None -> R.now () in
+       Queue.push (t, 0) inflight;
+       !c.sent <- !c.sent + 1
      in
-     if id < producers then (
-       match rate with
-       | None ->
-           while Unix.gettimeofday () < t_end do
-             for _ = 1 to pipeline do
-               enq ()
-             done;
-             send_all fd out;
-             read_responses fd dec rbuf c inflight pipeline
-           done
-       | Some per_prod_rate ->
-           let interval = 1.0 /. per_prod_rate in
-           let next = ref (Unix.gettimeofday ()) in
-           while Unix.gettimeofday () < t_end do
-             let now = Unix.gettimeofday () in
-             if now < !next then ignore (Unix.select [] [] [] (!next -. now))
-             else begin
-               next := !next +. interval;
-               enq ();
+     let run t_stop =
+       if id < producers then (
+         match rate with
+         | None ->
+             while Unix.gettimeofday () < t_stop do
+               for _ = 1 to pipeline do
+                 enq ()
+               done;
                send_all fd out;
-               if Queue.length inflight > pipeline then
-                 read_responses fd dec rbuf c inflight 1
-             end
-           done)
-     else
-       while Unix.gettimeofday () < t_end do
-         Wire.write_request out
-           {
-             Wire.hint = Some Polytm.Semantics.Classic;
-             cmd = Wire.Blpop (queue, timeout_ms);
-           };
-         Queue.push (R.now (), 0) inflight;
-         c.sent <- c.sent + 1;
-         send_all fd out;
-         read_responses fd dec rbuf c inflight 1
-       done;
-     read_responses fd dec rbuf c inflight (Queue.length inflight)
+               read_responses fd dec rbuf !c inflight pipeline
+             done
+         | Some per_prod_rate ->
+             (* Open loop: latency from the intended dispatch instant
+                (see [client]). *)
+             let interval = 1.0 /. per_prod_rate in
+             let next = ref (Unix.gettimeofday ()) in
+             while Unix.gettimeofday () < t_stop do
+               let now = Unix.gettimeofday () in
+               if now < !next then sleep_until !next
+               else begin
+                 let intended = !next in
+                 next := !next +. interval;
+                 enq ~at:(int_of_float (intended *. 1e9)) ();
+                 send_all fd out;
+                 if Queue.length inflight > pipeline then
+                   read_responses fd dec rbuf !c inflight 1
+               end
+             done)
+       else
+         while Unix.gettimeofday () < t_stop do
+           Wire.write_request out
+             {
+               Wire.hint = Some Polytm.Semantics.Classic;
+               cmd = Wire.Blpop (queue, timeout_ms);
+             };
+           Queue.push (R.now (), 0) inflight;
+           !c.sent <- !c.sent + 1;
+           send_all fd out;
+           read_responses fd dec rbuf !c inflight 1
+         done
+     in
+     if warmup > 0. then begin
+       run (Unix.gettimeofday () +. warmup);
+       read_responses fd dec rbuf !c inflight (Queue.length inflight)
+     end;
+     c := new_counters ();
+     run (Unix.gettimeofday () +. seconds);
+     read_responses fd dec rbuf !c inflight (Queue.length inflight)
    with
   | Dead _ -> ()
-  | Unix.Unix_error _ -> c.proto_errors <- c.proto_errors + 1);
+  | Unix.Unix_error _ -> !c.proto_errors <- !c.proto_errors + 1);
   (try Unix.close fd with _ -> ());
-  c
+  !c
 
 (* ---- aggregation and reporting ----------------------------------------- *)
 
@@ -446,6 +610,14 @@ let seconds_t =
   Arg.(value & opt float 2.0
        & info [ "seconds"; "s" ] ~docv:"SEC" ~doc:"Run duration.")
 
+let warmup_t =
+  Arg.(value & opt float 0.0
+       & info [ "warmup" ] ~docv:"SEC"
+           ~doc:"Run the workload this long before measuring; warmup
+                 traffic is excluded from every histogram and counter,
+                 so reported figures are steady-state (the keyspace
+                 fill ramp and cold caches don't pollute them).")
+
 let keys_t =
   Arg.(value & opt int 4096 & info [ "keys" ] ~docv:"N" ~doc:"Keyspace size.")
 
@@ -518,8 +690,8 @@ let timeout_t =
            ~doc:"prodcons only: per-BLPOP timeout in milliseconds
                  (0 = wait until shutdown).")
 
-let main addr conns pipeline seconds keys update snapshot hot rate seed json
-    fail_on_errors scenario producers timeout_ms =
+let main addr conns pipeline seconds warmup keys update snapshot hot rate seed
+    json fail_on_errors scenario producers timeout_ms =
   let addr =
     if String.length addr > 5 && String.sub addr 0 5 = "unix:" then
       `Unix (String.sub addr 5 (String.length addr - 5))
@@ -546,10 +718,10 @@ let main addr conns pipeline seconds keys update snapshot hot rate seed json
         List.init conns (fun i ->
             Domain.spawn (fun () ->
                 prodcons_client ~addr ~queue:"bench-q" ~timeout_ms ~pipeline
-                  ~rate ~producers ~seconds i))
+                  ~rate ~producers ~warmup ~seconds i))
       in
       let results = List.map Domain.join doms in
-      let elapsed = Unix.gettimeofday () -. t0 in
+      let elapsed = Unix.gettimeofday () -. t0 -. warmup in
       let prod = merge (List.filteri (fun i _ -> i < producers) results) in
       let cons = merge (List.filteri (fun i _ -> i >= producers) results) in
       report_prodcons elapsed ~producers ~consumers prod cons;
@@ -567,15 +739,11 @@ let main addr conns pipeline seconds keys update snapshot hot rate seed json
       end
   | `Mixed ->
   let mix = { keys; update_pct = update; snapshot_pct = snapshot; hot_pct = hot } in
-  let rate = Option.map (fun r -> r /. float_of_int conns) rate in
   let t0 = Unix.gettimeofday () in
-  let doms =
-    List.init conns (fun i ->
-        Domain.spawn (fun () ->
-            client ~addr ~mix ~pipeline ~rate ~seconds ~seed i))
+  let total =
+    mixed_driver ~addr ~mix ~conns ~pipeline ~rate ~warmup ~seconds ~seed
   in
-  let total = merge (List.map Domain.join doms) in
-  let elapsed = Unix.gettimeofday () -. t0 in
+  let elapsed = Unix.gettimeofday () -. t0 -. warmup in
   let label =
     Printf.sprintf "%s%d%%upd/%d%%snap"
       (match rate with None -> "closed " | Some _ -> "open ")
@@ -595,8 +763,8 @@ let main addr conns pipeline seconds keys update snapshot hot rate seed json
 let () =
   let doc = "Load generator for the polytmd transactional store daemon." in
   let term =
-    Term.(const main $ addr_t $ conns_t $ pipeline_t $ seconds_t $ keys_t
-          $ update_t $ snapshot_t $ hot_t $ rate_t $ seed_t $ json_t
+    Term.(const main $ addr_t $ conns_t $ pipeline_t $ seconds_t $ warmup_t
+          $ keys_t $ update_t $ snapshot_t $ hot_t $ rate_t $ seed_t $ json_t
           $ fail_errors_t $ scenario_t $ producers_t $ timeout_t)
   in
   exit (Cmd.eval (Cmd.v (Cmd.info "tmload" ~version:"1.0.0" ~doc) term))

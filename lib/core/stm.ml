@@ -524,20 +524,21 @@ module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) : Stm_intf.S = struct
           abort_with Lock_busy
 
   (* Read a (value, version) pair that was current at its version:
-     re-read while a commit is in flight on this location. *)
+     re-read while a commit is in flight on this location.  The spin
+     is a top-level recursion with explicit arguments: reads are the
+     hottest operation in the system and a per-call closure (or a
+     [ref] for the budget) costs a minor allocation on every one. *)
+  let rec read_versioned_spin tx v budget =
+    let d = R.get v.data in
+    match R.get v.lock with
+    | Unlocked ver when ver = d.version -> d
+    | Unlocked _ -> read_versioned_spin tx v budget
+    | Locked o ->
+        wait_or_die tx o budget;
+        read_versioned_spin tx v (budget - 1)
+
   let read_versioned tx v =
-    let budget = ref (Contention.lock_spins tx.stm.cm) in
-    let rec loop () =
-      let d = R.get v.data in
-      match R.get v.lock with
-      | Unlocked ver when ver = d.version -> d
-      | Unlocked _ -> loop ()
-      | Locked o ->
-          wait_or_die tx o !budget;
-          decr budget;
-          loop ()
-    in
-    loop ()
+    read_versioned_spin tx v (Contention.lock_spins tx.stm.cm)
 
   (* ------------------------------------------------------------------ *)
   (* Validation                                                          *)
@@ -609,25 +610,25 @@ module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) : Stm_intf.S = struct
     tx.w_vers.(tx.w_head) <- version;
     if tx.w_count < cap then tx.w_count <- tx.w_count + 1
 
+  let rec classic_fetch tx v =
+    let d = read_versioned tx v in
+    if d.version <= tx.rv then d
+    else if not tx.stm.extend_on_stale then
+      (* Faithful TL2 (the paper's comparator): a read past the
+         transaction's timestamp aborts outright. *)
+      abort_with Read_invalid
+    else begin
+      (* TinySTM-style refinement: extend instead of aborting, then
+         RE-READ — the location may have changed again between our
+         data read and the extension's clock read, and that change
+         would be invisible to commit-time validation when the
+         fast-commit path triggers. *)
+      extend tx;
+      classic_fetch tx v
+    end
+
   let classic_read tx v =
-    let rec loop () =
-      let d = read_versioned tx v in
-      if d.version <= tx.rv then d
-      else if not tx.stm.extend_on_stale then
-        (* Faithful TL2 (the paper's comparator): a read past the
-           transaction's timestamp aborts outright. *)
-        abort_with Read_invalid
-      else begin
-        (* TinySTM-style refinement: extend instead of aborting, then
-           RE-READ — the location may have changed again between our
-           data read and the extension's clock read, and that change
-           would be invisible to commit-time validation when the
-           fast-commit path triggers. *)
-        extend tx;
-        loop ()
-      end
-    in
-    let d = loop () in
+    let d = classic_fetch tx v in
     (* Read-set logging is a real cost of word-based STMs (an append
        and its cache pressure on every read); charge it so the
        simulator sees the overhead the paper attributes to classic
@@ -641,22 +642,38 @@ module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) : Stm_intf.S = struct
     emit_read tx v;
     d.value
 
+  (* Hoisted fetch loops for the elastic paths (see
+     [read_versioned_spin] for why these are top-level). *)
+  let rec elastic_closing_fetch tx v =
+    let d = read_versioned tx v in
+    if d.version <= tx.rv then d
+    else begin
+      (* Extend, then re-read (see classic_fetch). *)
+      extend tx;
+      elastic_closing_fetch tx v
+    end
+
+  let rec elastic_open_fetch tx v =
+    let d = read_versioned tx v in
+    if d.version <= tx.rv then d
+    else begin
+      (* Cut: the window must still be intact, then this read opens
+         a new piece with a fresh timestamp. *)
+      let new_rv = R.get tx.stm.clock in
+      if not (window_valid tx) then abort_with Window_broken;
+      tx.rv <- new_rv;
+      Vec.clear tx.r_vars;
+      Vec.clear tx.r_vers;
+      R.add_counter tx.stm.c_cuts 1;
+      (* Re-read after the cut (see classic_fetch). *)
+      elastic_open_fetch tx v
+    end
+
   let elastic_read tx v =
     if tx.wrote then begin
       (* Closing mode: behave classically, the window joins the
          validation set. *)
-      let d =
-        let rec loop () =
-          let d = read_versioned tx v in
-          if d.version <= tx.rv then d
-          else begin
-            (* Extend, then re-read (see classic_read). *)
-            extend tx;
-            loop ()
-          end
-        in
-        loop ()
-      in
+      let d = elastic_closing_fetch tx v in
       R.charge 2;
       push_read tx v d.version;
       record_event tx v ~is_write:false;
@@ -664,23 +681,7 @@ module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) : Stm_intf.S = struct
       d.value
     end
     else begin
-      let rec loop () =
-        let d = read_versioned tx v in
-        if d.version <= tx.rv then d
-        else begin
-          (* Cut: the window must still be intact, then this read opens
-             a new piece with a fresh timestamp. *)
-          let new_rv = R.get tx.stm.clock in
-          if not (window_valid tx) then abort_with Window_broken;
-          tx.rv <- new_rv;
-          Vec.clear tx.r_vars;
-          Vec.clear tx.r_vers;
-          R.add_counter tx.stm.c_cuts 1;
-          (* Re-read after the cut (see classic_read). *)
-          loop ()
-        end
-      in
-      let d = loop () in
+      let d = elastic_open_fetch tx v in
       R.charge 1;
       push_window tx v d.version;
       record_event tx v ~is_write:false;
@@ -688,39 +689,38 @@ module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) : Stm_intf.S = struct
       d.value
     end
 
+  let rec snapshot_chain tx ub = function
+    | [] -> abort_with Snapshot_too_old
+    | (v, ver) :: rest ->
+        if ver <= ub then begin
+          R.add_counter tx.stm.c_stale_reads 1;
+          v
+        end
+        else snapshot_chain tx ub rest
+
+  let rec snapshot_fetch tx ub v =
+    let d = R.get v.data in
+    if d.version > ub then
+      (* Any in-flight commit on this location carries a version
+         above [d.version] > [ub], so it cannot affect the value at
+         [ub]: the backup chain is usable without looking at the
+         lock — this is why snapshots never impede updaters. *)
+      snapshot_chain tx ub d.older
+    else
+      (* The current version fits the snapshot, but a commit already
+         holding the lock may have drawn its write version before we
+         drew [ub]; taking [d.value] now could observe half of that
+         transaction (one location written back, another not yet).
+         Wait out the brief write-back and re-read. *)
+      match R.get v.lock with
+      | Unlocked ver when ver = d.version -> d.value
+      | Unlocked _ -> snapshot_fetch tx ub v
+      | Locked _ ->
+          R.pause 1;
+          snapshot_fetch tx ub v
+
   let snapshot_read tx v =
-    let ub = tx.snapshot_ub in
-    let rec loop () =
-      let d = R.get v.data in
-      if d.version > ub then
-        (* Any in-flight commit on this location carries a version
-           above [d.version] > [ub], so it cannot affect the value at
-           [ub]: the backup chain is usable without looking at the
-           lock — this is why snapshots never impede updaters. *)
-        let rec from_chain = function
-          | [] -> abort_with Snapshot_too_old
-          | (v, ver) :: rest ->
-              if ver <= ub then begin
-                R.add_counter tx.stm.c_stale_reads 1;
-                v
-              end
-              else from_chain rest
-        in
-        from_chain d.older
-      else
-        (* The current version fits the snapshot, but a commit already
-           holding the lock may have drawn its write version before we
-           drew [ub]; taking [d.value] now could observe half of that
-           transaction (one location written back, another not yet).
-           Wait out the brief write-back and re-read. *)
-        match R.get v.lock with
-        | Unlocked ver when ver = d.version -> d.value
-        | Unlocked _ -> loop ()
-        | Locked _ ->
-            R.pause 1;
-            loop ()
-    in
-    let value = loop () in
+    let value = snapshot_fetch tx tx.snapshot_ub v in
     record_event tx v ~is_write:false;
     emit_read tx v;
     value
@@ -905,25 +905,37 @@ module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) : Stm_intf.S = struct
   let read : type a. tx -> a tvar -> a =
    fun tx v ->
     check_live tx;
-    (* Read-own-writes: the signature inside [Flat_table.find] screens
-       out unwritten locations without probing the table. *)
-    let e = Flat_table.find tx.writes v.id in
-    if e >= 0 then
-      match Flat_table.value_at tx.writes e with
-      (* Same id implies same tvar, hence the same value type. *)
-      | WEntry w -> (Obj.magic w.wvalue : a)
-    else
-      match tx.stm.algo with
-      | `Tl2 -> (
-          match tx.sem with
-          | Semantics.Classic -> classic_read tx v
-          | Semantics.Elastic -> elastic_read tx v
-          | Semantics.Snapshot -> snapshot_read tx v)
-      | `Norec -> (
-          match tx.sem with
-          | Semantics.Classic -> norec_classic_read tx v
-          | Semantics.Elastic -> norec_elastic_read tx v
-          | Semantics.Snapshot -> norec_snapshot_read tx v)
+    match tx.sem with
+    | Semantics.Snapshot ->
+        (* A snapshot transaction cannot write ([write] refuses), so
+           its write set is empty by construction and the
+           read-own-writes probe below can never hit.  Skipping it
+           matters: a full-structure snapshot fold is thousands of
+           reads with nothing but this dispatch between them. *)
+        (match tx.stm.algo with
+        | `Tl2 -> snapshot_read tx v
+        | `Norec -> norec_snapshot_read tx v)
+    | sem -> (
+        (* Read-own-writes: the signature inside [Flat_table.find]
+           screens out unwritten locations without probing the
+           table. *)
+        let e = Flat_table.find tx.writes v.id in
+        if e >= 0 then
+          match Flat_table.value_at tx.writes e with
+          (* Same id implies same tvar, hence the same value type. *)
+          | WEntry w -> (Obj.magic w.wvalue : a)
+        else
+          match tx.stm.algo with
+          | `Tl2 -> (
+              match sem with
+              | Semantics.Classic -> classic_read tx v
+              | Semantics.Elastic -> elastic_read tx v
+              | Semantics.Snapshot -> snapshot_read tx v)
+          | `Norec -> (
+              match sem with
+              | Semantics.Classic -> norec_classic_read tx v
+              | Semantics.Elastic -> norec_elastic_read tx v
+              | Semantics.Snapshot -> norec_snapshot_read tx v))
 
   let write tx v x =
     check_live tx;

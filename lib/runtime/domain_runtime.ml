@@ -160,8 +160,75 @@ let pause n =
 let charge _ = ()
 let self_id () = (Domain.self () :> int)
 
-type 'a tls = 'a Domain.DLS.key
+(* Thread-local storage keyed by {e systhread}, not just domain.  The
+   server's event loops offload blocking operations (BLPOP parks,
+   watch waits) to helper threads that live in the same domain as the
+   loop; with plain [Domain.DLS] those threads would share one
+   [thread_ctx] — one descriptor pool, one [cur_tx] — and corrupt each
+   other's transactions.  Each domain therefore keeps a small
+   registry of per-thread values inside its DLS slot.
 
-let tls default = Domain.DLS.new_key default
-let tls_get = Domain.DLS.get
-let tls_set = Domain.DLS.set
+   Concurrency: systhreads of one domain never run in parallel (the
+   runtime lock serializes them), but a thread switch can occur at any
+   allocation point.  The fast path reads the immutable [(tid, value)]
+   pair through a single field load, so it can never observe a torn
+   update; the slow path serializes its read-modify-write of the
+   registry under a mutex. *)
+type 'a cell = {
+  mutable last : int * 'a;  (** most recent thread's binding *)
+  mutable others : (int * 'a) list;  (** colder threads of this domain *)
+  mu : Mutex.t;
+}
+
+type 'a tls = { init : unit -> 'a; key : 'a cell Domain.DLS.key }
+
+let tls init =
+  {
+    init;
+    key =
+      Domain.DLS.new_key (fun () ->
+          {
+            last = (Thread.id (Thread.self ()), init ());
+            others = [];
+            mu = Mutex.create ();
+          });
+  }
+
+let tls_slow t (c : _ cell) tid =
+  Mutex.lock c.mu;
+  let (last_tid, _) = c.last in
+  let v =
+    if last_tid = tid then snd c.last
+    else begin
+      let v =
+        match List.assoc_opt tid c.others with
+        | Some v ->
+            c.others <- List.remove_assoc tid c.others;
+            v
+        | None -> t.init ()
+      in
+      c.others <- c.last :: c.others;
+      c.last <- (tid, v);
+      v
+    end
+  in
+  Mutex.unlock c.mu;
+  v
+
+let tls_get t =
+  let c = Domain.DLS.get t.key in
+  let tid = Thread.id (Thread.self ()) in
+  let (last_tid, v) = c.last in
+  if last_tid = tid then v else tls_slow t c tid
+
+let tls_set t v =
+  let c = Domain.DLS.get t.key in
+  let tid = Thread.id (Thread.self ()) in
+  Mutex.lock c.mu;
+  if fst c.last = tid then c.last <- (tid, v)
+  else begin
+    c.others <- List.remove_assoc tid c.others;
+    c.others <- c.last :: c.others;
+    c.last <- (tid, v)
+  end;
+  Mutex.unlock c.mu

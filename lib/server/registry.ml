@@ -269,6 +269,52 @@ let resolve t cmd : (algo * (unit -> Wire.response), Wire.response) result =
   | Wire.Blpop _ | Wire.Btake _ | Wire.Watch _ | Wire.Unwatch _ ->
       Error (err Wire.Bad_op "%s is not a structure operation" (Wire.cmd_name cmd))
 
+(* ---- streaming snapshot fast path -------------------------------------- *)
+
+(* Resolve SNAPSHOT-ITER into an encoder thunk that runs inside the
+   session's transaction and writes each element straight into the
+   caller's scratch {!Wire.Obuf} — never materialising the
+   [Wire.Array] response tree.  The emitted bytes, once wrapped by
+   [Wire.write_framed_array] with the returned element count, are
+   byte-identical to [Wire.write_response] of the tree the slow path
+   builds.  The thunk clears the scratch first so an aborted attempt's
+   partial output never leaks into the retry. *)
+let snapshot_stream t name (items : Wire.Obuf.t) :
+    (algo * (unit -> int), Wire.response) result =
+  match List.assoc_opt name (Atomic.get t.entries) with
+  | None -> Error (err Wire.No_struct "no structure named %S" name)
+  | Some s ->
+      let enc =
+        match s.entry with
+        | Emap m ->
+            fun () ->
+              Wire.Obuf.clear items;
+              Smap.fold m
+                (fun n k v ->
+                  Wire.obuf_add_array_header items 2;
+                  Wire.obuf_add_int_item items k;
+                  Wire.obuf_add_bulk items v;
+                  n + 1)
+                0
+        | Eset hs ->
+            fun () ->
+              Wire.Obuf.clear items;
+              List.fold_left
+                (fun n k ->
+                  Wire.obuf_add_int_item items k;
+                  n + 1)
+                0 (Sset.to_list hs)
+        | Equeue q ->
+            fun () ->
+              Wire.Obuf.clear items;
+              List.fold_left
+                (fun n v ->
+                  Wire.obuf_add_bulk items v;
+                  n + 1)
+                0 (Squeue.to_list q)
+      in
+      Ok (s.algo, enc)
+
 (* ---- blocking ops and subscriptions ------------------------------------ *)
 
 (* Resolve a blocking queue pop into a thunk for the session to run

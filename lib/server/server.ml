@@ -1,21 +1,24 @@
-(** The [polytmd] driver: listeners, worker domains, graceful
-    shutdown, and observability export.
+(** The [polytmd] driver: listeners, event-loop worker domains,
+    graceful shutdown, and observability export.
 
     Topology: the calling domain runs the accept loop (a [select] over
     every listener with a short tick so it can notice the stop flag),
-    pushing accepted connections onto a bounded queue; [workers]
-    domains pop connections and run {!Session.serve} on them, one
-    connection at a time per worker.  All workers share one
-    {!Registry} — and therefore one STM instance over the domains
-    runtime — which is the whole point: transactions from different
-    connections really do contend and compose on the same tvars.
+    handing each accepted connection to the least-loaded of [workers]
+    event loops ({!Evloop}), one loop per domain.  A loop multiplexes
+    all of its connections over one readiness cycle, so a parked or
+    slow session never monopolises a domain.  All loops share one
+    {!Registry} — and therefore one STM instance per algorithm over
+    the domains runtime — which is the whole point: transactions from
+    different connections really do contend and compose on the same
+    tvars.
 
     Shutdown ([SIGTERM]/[SIGINT], or [max_seconds]) is graceful: the
-    stop flag flips, listeners close (no new connections), idle
-    workers wake and exit, and every active connection is nudged with
-    [shutdown SHUTDOWN_RECEIVE] so a session blocked in [read] returns
-    and performs its final drain — in-flight requests are answered and
-    flushed, never dropped.  Only then are workers joined and the
+    stop flag flips, listeners close (no new connections), the
+    registry's drain-flag commit wakes every parked waiter, and every
+    active connection is nudged with [shutdown SHUTDOWN_RECEIVE]; each
+    loop drains its sessions — in-flight requests are answered and
+    flushed, never dropped — and exits once its last connection
+    closes.  Only then are the loop domains joined and the
     stats/trace files written. *)
 
 module T = Polytm_telemetry
@@ -55,55 +58,9 @@ let default_config =
     quiet = false;
   }
 
-(* ---- bounded connection queue ------------------------------------------ *)
-
-module Conn_queue = struct
-  type t = {
-    q : Unix.file_descr Queue.t;
-    mutable closed : bool;
-    max : int;
-    m : Mutex.t;
-    c : Condition.t;
-  }
-
-  let create max = { q = Queue.create (); closed = false; max; m = Mutex.create (); c = Condition.create () }
-
-  (* [push] refuses (returns false) when full — the caller closes the
-     connection, which is accept-level backpressure. *)
-  let push t fd =
-    Mutex.lock t.m;
-    let accepted =
-      if t.closed || Queue.length t.q >= t.max then false
-      else begin
-        Queue.push fd t.q;
-        Condition.signal t.c;
-        true
-      end
-    in
-    Mutex.unlock t.m;
-    accepted
-
-  let close t =
-    Mutex.lock t.m;
-    t.closed <- true;
-    Condition.broadcast t.c;
-    Mutex.unlock t.m
-
-  (* Blocks until a connection or closure; [None] means shut down. *)
-  let pop t =
-    Mutex.lock t.m;
-    let rec go () =
-      if not (Queue.is_empty t.q) then Some (Queue.pop t.q)
-      else if t.closed then None
-      else begin
-        Condition.wait t.c t.m;
-        go ()
-      end
-    in
-    let r = go () in
-    Mutex.unlock t.m;
-    r
-end
+(* Accept-level backpressure: connections held across all loops before
+   accepted sockets are closed instead of served. *)
+let max_conns = 1024
 
 (* ---- active-connection tracking (for the shutdown nudge) --------------- *)
 
@@ -231,7 +188,7 @@ let run ?registry cfg =
           invalid_arg (Printf.sprintf "Server: prestruct %S conflicts" name))
     cfg.prestructs;
   (* Telemetry: a lock-free ring so the request path never takes a
-     lock for observability; drained once after the workers join. *)
+     lock for observability; drained once after the loops join. *)
   let ring =
     if cfg.stats_json <> None || cfg.trace <> None then
       Some (T.Ring.create ~lanes:(cfg.workers + 1) ~capacity:cfg.ring_capacity ())
@@ -246,6 +203,7 @@ let run ?registry cfg =
       S.set_sink (Registry.stm_for registry `Norec) sink)
     ring;
   let stop = Atomic.make false in
+  let stop_fn () = Atomic.get stop in
   let prev_term =
     Sys.signal Sys.sigterm (Sys.Signal_handle (fun _ -> Atomic.set stop true))
   in
@@ -254,28 +212,29 @@ let run ?registry cfg =
   in
   let prev_pipe = Sys.signal Sys.sigpipe Sys.Signal_ignore in
   let listeners = List.map open_listener cfg.listeners in
-  let queue = Conn_queue.create 1024 in
   let active = Active.create () in
   let t_start = Unix.gettimeofday () in
   let worker_stats = Array.init cfg.workers (fun _ -> Session.create_stats ()) in
-  let workers =
-    Array.init cfg.workers (fun i ->
-        Domain.spawn (fun () ->
-            let rec loop () =
-              match Conn_queue.pop queue with
-              | None -> ()
-              | Some fd ->
-                  Active.add active fd;
-                  (try
-                     Session.handle
-                       ~stop:(fun () -> Atomic.get stop)
-                       ~limits:cfg.limits ~registry ~stats:worker_stats.(i) fd
-                   with _ -> ());
-                  Active.remove active fd;
-                  (try Unix.close fd with _ -> ());
-                  loop ()
-            in
-            loop ()))
+  let loops = Array.init cfg.workers (fun _ -> Evloop.create ~stop:stop_fn ()) in
+  let loop_doms =
+    Array.map (fun l -> Domain.spawn (fun () -> Evloop.run l)) loops
+  in
+  (* Dispatch to the least-loaded loop so one loop never aggregates
+     every long-lived connection while the others idle. *)
+  let pick_loop () =
+    let best = ref 0 and best_load = ref max_int in
+    Array.iteri
+      (fun i l ->
+        let n = Evloop.load l in
+        if n < !best_load then begin
+          best := i;
+          best_load := n
+        end)
+      loops;
+    !best
+  in
+  let total_load () =
+    Array.fold_left (fun acc l -> acc + Evloop.load l) 0 loops
   in
   (* Accept loop: select with a tick so the stop flag and the
      max_seconds deadline are observed promptly. *)
@@ -296,9 +255,20 @@ let run ?registry cfg =
               (fun lfd ->
                 match Unix.accept ~cloexec:true lfd with
                 | fd, _ ->
-                    if not (Conn_queue.push queue fd) then
-                      (* accept-level backpressure: the queue is full *)
+                    if total_load () >= max_conns then
+                      (* accept-level backpressure *)
                       (try Unix.close fd with _ -> ())
+                    else begin
+                      (try Unix.setsockopt fd Unix.TCP_NODELAY true
+                       with Unix.Unix_error _ -> ());
+                      Active.add active fd;
+                      let i = pick_loop () in
+                      Evloop.add_conn loops.(i)
+                        ~on_close:(fun () ->
+                          Active.remove active fd;
+                          try Unix.close fd with _ -> ())
+                        ~limits:cfg.limits ~registry ~stats:worker_stats.(i) fd
+                    end
                 | exception Unix.Unix_error (_, _, _) -> ())
               ready
         | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
@@ -309,14 +279,13 @@ let run ?registry cfg =
   accept_loop ();
   (* ---- graceful drain ---- *)
   close_listeners cfg listeners;
-  Conn_queue.close queue;
   (* Wake every parked waiter (BLPOP/BTAKE, watch polls) before the
      socket nudge: the drain flag is in each blocking transaction's
      read set, so this commit resurfaces them to answer [Nil] — no
      session sleeps in the STM through shutdown. *)
   Registry.set_draining registry;
   Active.nudge active;
-  Array.iter Domain.join workers;
+  Array.iter Domain.join loop_doms;
   Sys.set_signal Sys.sigterm prev_term;
   Sys.set_signal Sys.sigint prev_int;
   Sys.set_signal Sys.sigpipe prev_pipe;

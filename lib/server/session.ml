@@ -1,25 +1,43 @@
-(** One client connection: decode, execute, reply.
+(** One client connection as a resumable state machine, driven by an
+    event loop ({!Evloop}) instead of a blocking thread.
 
-    The session is deliberately synchronous — it reads a batch of
-    bytes, decodes every complete frame it can, executes them in
-    order, and writes the replies back before reading again.  Replies
-    therefore come back in request order (what pipelining clients
-    rely on), and the number of decoded-but-unexecuted requests is
-    bounded by what one read batch contains; anything beyond the
-    [max_inflight] limit inside a batch is refused with a [BUSY] reply
-    instead of being buffered.
+    The session still executes its requests strictly in order — what
+    pipelining clients rely on — but it never blocks the loop: every
+    step is a non-blocking poke.  [on_readable] performs one
+    [Unix.read] straight into the decoder's buffer, decodes every
+    complete frame of that batch (applying the [max_inflight]
+    admission bound per batch, BUSY refusals keeping their reply
+    slots), and [pump] executes the admitted queue.  Replies are
+    encoded directly into the session's reusable {!Wire.Obuf} — no
+    per-frame string, no [Buffer.contents] copy — and [try_flush]
+    hands the pending region to a single [Unix.write]; a partial
+    write leaves the tail for the loop's writability notification.
+
+    Blocking operations ([BLPOP]/[BTAKE] parks, watch waits) would
+    stall the loop, so they are offloaded: the session flips to
+    [parked], ships the waiting transaction to a helper thread via
+    [services.submit], and the helper delivers the finished reply
+    back onto the loop thread via [services.post].  The fd stays
+    registered throughout (reads are simply masked while parked), the
+    existing commit-driven wakeup completes the wait, and the reply
+    is flushed by the loop like any other.  All session state is
+    mutated on the loop thread only.
 
     {b Privatization safety} (the response-buffer argument, DESIGN.md
     §S16): a reply's payload is the value returned by the {e committed}
     attempt of [try_atomically] — aborted attempts' results are
     discarded with their effects — and it is serialised into the
     output buffer strictly {e after} the commit (or, for snapshot
-    transactions, after the consistent read-only view completed).  The
-    wire never carries a value from a doomed transaction.
+    transactions, after the consistent read-only view completed).
+    The streaming snapshot path keeps this property: the encoder
+    thunk writes into a scratch buffer that is cleared on every
+    attempt, and the scratch reaches the output buffer only once the
+    transaction committed.  The wire never carries a value from a
+    doomed transaction.
 
     The session knows nothing about sockets beyond a file descriptor,
     so the deterministic end-to-end tests drive it over
-    [Unix.socketpair]. *)
+    [Unix.socketpair] through {!Evloop.handle}. *)
 
 module S = Registry.S
 module R = Polytm_runtime.Domain_runtime
@@ -113,27 +131,43 @@ let label_of cmd sem =
 
 (* ---- the session ------------------------------------------------------- *)
 
+type services = {
+  submit : (unit -> unit) -> unit;
+      (** run a job on a helper thread that may park in the STM *)
+  post : (unit -> unit) -> unit;
+      (** run a closure on the loop thread (and wake the loop) *)
+}
+
+type action = Exec of Wire.request | Refuse of Wire.response
+
 type t = {
   fd : Unix.file_descr;
   reg : Registry.t;
   limits : Limits.t;
   stats : stats;
   stop : unit -> bool;
+  services : services;
   dec : Wire.Decoder.t;
-  out : Buffer.t;
-  rbuf : Bytes.t;
+  out : Wire.Obuf.t;  (** encoded replies awaiting [write] *)
+  scratch : Wire.Obuf.t;  (** snapshot fast path's item staging area *)
+  pending : action Queue.t;  (** decoded batch awaiting execution *)
   mutable in_multi : bool;
   mutable multi_hint : Polytm.Semantics.t option;
   mutable multi_rev : Wire.cmd list;  (** queued batch, newest first *)
   mutable multi_count : int;
   mutable watches : Registry.watch list;  (** active WATCH subscriptions *)
-  mutable closing : bool;
+  mutable watch_inflight : bool;  (** a watch wait is out on a helper *)
+  mutable parked : bool;  (** a blocking op is out on a helper *)
+  mutable draining : bool;  (** stop observed: answer, flush, close *)
+  mutable input_done : bool;  (** EOF or corrupt framing: read no more *)
+  mutable closing : bool;  (** flush [out], then close *)
+  mutable closed : bool;  (** drop everything now *)
 }
 
 let err = Registry.err
 
 let reply t resp =
-  Wire.write_response t.out resp;
+  Wire.write_response_obuf t.out resp;
   t.stats.replies <- t.stats.replies + 1;
   (match resp with
   | Wire.Error (code, _) -> (
@@ -178,49 +212,6 @@ let run_tx t ~algo ~sem ~label ?budget ?deadline_us
   Hist.record t.stats.lat_by_sem.(sem_index sem) dt;
   Hist.record t.stats.lat_all dt;
   resp
-
-(* Run a blocking queue pop ([BLPOP]/[BTAKE]).  [timeout_ms <= 0]
-   means wait indefinitely — the waiter is still bounded by shutdown
-   (the registry's drain flag is in its read set) and by the wait-table
-   cap, checked before parking so a flood of blocking clients gets
-   [BUSY] instead of pinning every worker domain.  Timing out is not an
-   error for a blocking op: it replies [Nil], like Redis. *)
-let exec_blocking t cmd hint name timeout_ms ~wrap =
-  if t.in_multi then
-    err Wire.Bad_op "%s is not allowed inside MULTI (it can park)"
-      (Wire.cmd_name cmd)
-  else
-    match Registry.blocking_pop t.reg name with
-    | Error e -> e
-    | Ok (algo, thunk) ->
-        let stm = Registry.stm_for t.reg algo in
-        if S.waiting stm >= t.limits.Limits.max_waiters then
-          err Wire.Busy "wait table full (%d waiters)" (S.waiting stm)
-        else begin
-          let sem = Option.value hint ~default:Polytm.Semantics.Classic in
-          let t0 = R.now () in
-          let deadline =
-            if timeout_ms <= 0 then None
-            else Some (t0 + (timeout_ms * 1_000_000))
-          in
-          let resp =
-            match
-              S.try_atomically ?deadline ~sem ~label:(label_of cmd sem) stm
-                (fun _tx -> thunk ())
-            with
-            | S.Committed (`Got v) -> wrap v
-            | S.Committed `Drained -> Wire.Nil
-            | S.Deadline_exceeded _ -> Wire.Nil
-            | S.Exhausted { attempts; _ } ->
-                err Wire.Exhausted "retry budget spent after %d attempts"
-                  attempts
-            | exception S.Invalid_operation m -> err Wire.Sem_violation "%s" m
-          in
-          let dt = R.now () - t0 in
-          Hist.record t.stats.lat_by_sem.(sem_index sem) dt;
-          Hist.record t.stats.lat_all dt;
-          resp
-        end
 
 let reset_multi t =
   t.in_multi <- false;
@@ -274,14 +265,17 @@ let exec_single t (r : Wire.request) cmd =
   | Ok (algo, thunk) ->
       run_tx t ~algo ~sem ~label:(label_of cmd sem) (fun _tx -> thunk ())
 
+(* Non-parking requests: everything except BLPOP/BTAKE outside MULTI
+   (those park on a helper thread, handled in [exec_step]) and the
+   SNAPSHOT-ITER streaming fast path. *)
 let exec_request t (r : Wire.request) : Wire.response =
   match r.cmd with
   | Wire.Ping -> Wire.pong
-  | Wire.Blpop (name, ms) as cmd ->
-      exec_blocking t cmd r.hint name ms ~wrap:(fun v ->
-          Wire.Array [ Wire.Bulk name; Wire.Bulk v ])
-  | Wire.Btake (name, ms) as cmd ->
-      exec_blocking t cmd r.hint name ms ~wrap:(fun v -> Wire.Bulk v)
+  | (Wire.Blpop _ | Wire.Btake _) as cmd ->
+      (* only reachable inside MULTI; the parking path intercepts
+         these before [exec_request] otherwise *)
+      err Wire.Bad_op "%s is not allowed inside MULTI (it can park)"
+        (Wire.cmd_name cmd)
   | Wire.Watch name ->
       if t.in_multi then err Wire.Bad_op "WATCH is not allowed inside MULTI"
       else if
@@ -351,32 +345,86 @@ let exec_request t (r : Wire.request) : Wire.response =
         end
       else exec_single t r cmd
 
-(* ---- the read/execute/reply loop --------------------------------------- *)
+(* SNAPSHOT-ITER outside MULTI: the zero-copy path.  The registry's
+   encoder thunk streams each element into [t.scratch] during the
+   transaction's own traversal; on commit the items are wrapped with
+   the frame and array headers straight into [t.out].  No response
+   tree, no per-element boxing — the reply bytes are identical to the
+   tree path's. *)
+let exec_snapshot_iter t (r : Wire.request) name =
+  let cmd = r.Wire.cmd in
+  let sem = Option.value r.hint ~default:(Registry.default_sem cmd) in
+  match Registry.snapshot_stream t.reg name t.scratch with
+  | Error e -> reply t e
+  | Ok (algo, enc) ->
+      let budget = t.limits.Limits.op_budget in
+      let deadline_us = t.limits.Limits.op_deadline_us in
+      let t0 = R.now () in
+      let deadline = Option.map (fun us -> t0 + (us * 1000)) deadline_us in
+      (match
+         S.try_atomically ?budget ?deadline ~sem ~label:(label_of cmd sem)
+           (Registry.stm_for t.reg algo)
+           (fun _tx -> enc ())
+       with
+      | S.Committed count ->
+          Wire.write_framed_array t.out ~count ~items:t.scratch;
+          t.stats.replies <- t.stats.replies + 1
+      | S.Exhausted { attempts; _ } ->
+          reply t
+            (err Wire.Exhausted "retry budget spent after %d attempts" attempts)
+      | S.Deadline_exceeded { attempts; _ } ->
+          reply t
+            (err Wire.Deadline "deadline passed after %d attempts" attempts)
+      | exception S.Invalid_operation m ->
+          reply t (err Wire.Sem_violation "%s" m));
+      let dt = R.now () - t0 in
+      Hist.record t.stats.lat_by_sem.(sem_index sem) dt;
+      Hist.record t.stats.lat_all dt
 
-let flush t =
-  let s = Buffer.contents t.out in
-  Buffer.clear t.out;
-  let len = String.length s in
-  let off = ref 0 in
-  (try
-     while !off < len do
-       off := !off + Unix.write_substring t.fd s !off (len - !off)
-     done
-   with
-  | Unix.Unix_error (Unix.EPIPE, _, _)
-  | Unix.Unix_error (Unix.ECONNRESET, _, _)
-  ->
-    t.closing <- true)
+(* ---- output ------------------------------------------------------------- *)
 
-(* Decode everything available, applying the in-flight bound, then
-   execute the admitted requests in order.  Refusals (BUSY, protocol
-   errors) take a slot in the same queue as admitted requests so that
-   replies always come back in request order — a pipelining client
-   matches them up positionally. *)
-let process_available t =
-  let pending : [ `Exec of Wire.request | `Refuse of Wire.response ] Queue.t =
-    Queue.create ()
-  in
+(* One non-blocking coalesced write of everything pending.  A short
+   write keeps the unflushed tail in the Obuf (its [start] offset
+   advances); the loop retries on the next writability notification.
+   EINTR and EAGAIN leave the buffer untouched for the same retry. *)
+let try_flush t =
+  if (not t.closed) && Wire.Obuf.pending t.out > 0 then begin
+    let buf, off, len = Wire.Obuf.peek t.out in
+    match Unix.write t.fd buf off len with
+    | n -> Wire.Obuf.consumed t.out n
+    | exception
+        Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+      ->
+        ()
+    | exception
+        Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET | Unix.ESHUTDOWN), _, _)
+      ->
+        t.closed <- true
+  end
+
+(* ---- input and execution ------------------------------------------------ *)
+
+(* One non-blocking read deposited straight into the decoder's buffer
+   (no intermediate copy).  EINTR is a no-op: the loop's readiness is
+   level-triggered, so the read simply happens on the next cycle. *)
+let read_chunk t =
+  let buf, off = Wire.Decoder.reserve t.dec 65536 in
+  match Unix.read t.fd buf off 65536 with
+  | 0 -> `Eof
+  | n ->
+      Wire.Decoder.commit t.dec n;
+      `Data
+  | exception
+      Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+      `Nothing
+  | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.ENOTCONN), _, _) ->
+      `Reset
+
+(* Decode everything buffered, applying the in-flight bound per
+   batch.  Refusals (BUSY, protocol errors) take a slot in the same
+   queue as admitted requests so that replies always come back in
+   request order — a pipelining client matches them up positionally. *)
+let decode_batch t =
   let admitted = ref 0 in
   let rec collect () =
     match Wire.Decoder.next_request t.dec with
@@ -384,51 +432,261 @@ let process_available t =
         t.stats.requests <- t.stats.requests + 1;
         if !admitted >= t.limits.Limits.max_inflight then
           Queue.push
-            (`Refuse
-              (err Wire.Busy "more than %d requests in flight"
-                 t.limits.Limits.max_inflight))
-            pending
+            (Refuse
+               (err Wire.Busy "more than %d requests in flight"
+                  t.limits.Limits.max_inflight))
+            t.pending
         else begin
           incr admitted;
-          Queue.push (`Exec r) pending
+          Queue.push (Exec r) t.pending
         end;
         collect ()
     | `Bad m ->
-        Queue.push (`Refuse (err Wire.Proto "%s" m)) pending;
+        Queue.push (Refuse (err Wire.Proto "%s" m)) t.pending;
         collect ()
     | `Await -> ()
     | `Corrupt m ->
-        Queue.push (`Refuse (err Wire.Proto "corrupt stream: %s" m)) pending;
-        t.closing <- true
+        Queue.push
+          (Refuse (err Wire.Proto "corrupt stream: %s" m))
+          t.pending;
+        (* framing is gone: answer what decoded, then close *)
+        t.input_done <- true
   in
-  collect ();
-  Queue.iter
-    (function
-      | `Exec r -> reply t (exec_request t r)
-      | `Refuse e -> reply t e)
-    pending
+  collect ()
+
+(* How long one watch wait may park before its helper thread reports
+   back: the ceiling on shutdown observance while watching (push
+   latency stays one commit — the mutator's commit wakes the parked
+   wait immediately). *)
+let watch_poll_ns = 50_000_000
+
+(* [pump] drains the pending queue in order; a blocking op consumes
+   its queue slot and parks the session, and its completion resumes
+   the pump.  When the queue empties after EOF or a drain request the
+   session flips to [closing] (flush, then the loop closes the fd). *)
+let rec pump t =
+  if (not t.parked) && not t.closed then
+    match Queue.take_opt t.pending with
+    | Some (Refuse e) ->
+        reply t e;
+        pump t
+    | Some (Exec r) -> (
+        (* Release already-encoded replies before a full-structure
+           stream: the cheap replies of a pipelined batch must not
+           wait out a traversal three orders of magnitude costlier
+           than they are, and the client drains them while we fold.
+           This also bounds output growth across a run of consecutive
+           snapshot requests to about one reply. *)
+        (match r.Wire.cmd with
+        | Wire.Snapshot_iter _ when Wire.Obuf.pending t.out > 0 ->
+            try_flush t
+        | _ -> ());
+        match exec_step t r with `Done -> pump t | `Parked -> ())
+    | None ->
+        if t.draining || t.input_done then t.closing <- true;
+        arm_watch t
+
+and exec_step t (r : Wire.request) : [ `Done | `Parked ] =
+  match r.Wire.cmd with
+  | Wire.Blpop (name, ms) as cmd when not t.in_multi ->
+      exec_blocking t cmd r.Wire.hint name ms ~wrap:(fun v ->
+          Wire.Array [ Wire.Bulk name; Wire.Bulk v ])
+  | Wire.Btake (name, ms) as cmd when not t.in_multi ->
+      exec_blocking t cmd r.Wire.hint name ms ~wrap:(fun v -> Wire.Bulk v)
+  | Wire.Snapshot_iter name when not t.in_multi ->
+      exec_snapshot_iter t r name;
+      `Done
+  | _ ->
+      reply t (exec_request t r);
+      `Done
+
+(* A blocking queue pop ([BLPOP]/[BTAKE]).  [timeout_ms <= 0] means
+   wait indefinitely — the waiter is still bounded by shutdown (the
+   registry's drain flag is in its read set) and by the wait-table
+   cap, checked before parking so a flood of blocking clients gets
+   [BUSY] instead of filling the helper pool.  Timing out is not an
+   error for a blocking op: it replies [Nil], like Redis.
+
+   The wait runs on a helper thread; the session stays registered
+   with the loop (reads masked) and other sessions keep being
+   served.  The helper computes the reply off-loop, then [post]s a
+   closure that re-enters the session on the loop thread: record the
+   latency, reply, resume the pump, flush. *)
+and exec_blocking t cmd hint name timeout_ms ~wrap : [ `Done | `Parked ] =
+  match Registry.blocking_pop t.reg name with
+  | Error e ->
+      reply t e;
+      `Done
+  | Ok (algo, thunk) ->
+      let stm = Registry.stm_for t.reg algo in
+      if S.waiting stm >= t.limits.Limits.max_waiters then begin
+        reply t (err Wire.Busy "wait table full (%d waiters)" (S.waiting stm));
+        `Done
+      end
+      else begin
+        let sem = Option.value hint ~default:Polytm.Semantics.Classic in
+        let label = label_of cmd sem in
+        let t0 = R.now () in
+        (* Fast path: an item is already queued, so the pop cannot
+           block — take it on the loop thread and skip the whole
+           helper/park/post hop.  Under a producer backlog this is
+           what keeps consumption at pop speed instead of at
+           park-wakeup speed; the helper path below is only for a
+           genuinely empty queue. *)
+        let fast =
+          match Registry.resolve t.reg (Wire.Deq name) with
+          | Error _ -> None
+          | Ok (_, deq) -> (
+              match
+                S.try_atomically ?budget:t.limits.Limits.op_budget ~sem ~label
+                  stm
+                  (fun _tx -> deq ())
+              with
+              | S.Committed (Wire.Bulk v) -> Some (wrap v)
+              | S.Committed _ (* Nil: genuinely empty *)
+              | S.Exhausted _ | S.Deadline_exceeded _ ->
+                  None
+              | exception S.Invalid_operation _ ->
+                  (* e.g. a snapshot-hinted pop: let the ordinary
+                     path produce its usual typed reply *)
+                  None)
+        in
+        match fast with
+        | Some resp ->
+            let dt = R.now () - t0 in
+            Hist.record t.stats.lat_by_sem.(sem_index sem) dt;
+            Hist.record t.stats.lat_all dt;
+            reply t resp;
+            `Done
+        | None ->
+        let deadline =
+          if timeout_ms <= 0 then None else Some (t0 + (timeout_ms * 1_000_000))
+        in
+        t.parked <- true;
+        t.services.submit (fun () ->
+            let resp =
+              match
+                S.try_atomically ?deadline ~sem ~label stm (fun _tx ->
+                    thunk ())
+              with
+              | S.Committed (`Got v) -> wrap v
+              | S.Committed `Drained -> Wire.Nil
+              | S.Deadline_exceeded _ -> Wire.Nil
+              | S.Exhausted { attempts; _ } ->
+                  err Wire.Exhausted "retry budget spent after %d attempts"
+                    attempts
+              | exception S.Invalid_operation m ->
+                  err Wire.Sem_violation "%s" m
+            in
+            let dt = R.now () - t0 in
+            t.services.post (fun () ->
+                Hist.record t.stats.lat_by_sem.(sem_index sem) dt;
+                Hist.record t.stats.lat_all dt;
+                t.parked <- false;
+                if not t.closed then begin
+                  reply t resp;
+                  pump t;
+                  try_flush t
+                end));
+        `Parked
+      end
+
+(* Keep one watch wait outstanding while the session has
+   subscriptions: the helper parks in [wait_dirty] (commit-woken,
+   [watch_poll_ns]-bounded) and reports the changed names back to the
+   loop, which emits the [Push] frames.  Pushes are server-initiated:
+   they bypass [reply] so they never count as request replies.  The
+   session keeps serving requests while the wait is out — that is the
+   point of offloading it. *)
+and arm_watch t =
+  if
+    (not t.watch_inflight)
+    && t.watches <> []
+    && (not t.closed)
+    && (not t.closing)
+    && not (t.stop ())
+  then begin
+    t.watch_inflight <- true;
+    let ws = t.watches in
+    t.services.submit (fun () ->
+        let names = Registry.wait_dirty t.reg ws ~timeout_ns:watch_poll_ns in
+        t.services.post (fun () ->
+            t.watch_inflight <- false;
+            if not t.closed then begin
+              List.iter
+                (fun n ->
+                  if
+                    List.exists
+                      (fun w -> Registry.watch_name w = n)
+                      t.watches
+                  then Wire.write_response_obuf t.out (Wire.Push n))
+                names;
+              try_flush t;
+              arm_watch t
+            end))
+  end
+
+(* ---- loop-facing surface ------------------------------------------------ *)
+
+let on_readable t =
+  if not t.closed then begin
+    (match read_chunk t with
+    | `Data -> decode_batch t
+    | `Eof -> t.input_done <- true
+    | `Nothing -> ()
+    | `Reset -> t.closed <- true);
+    pump t;
+    try_flush t
+  end
 
 (* After a shutdown request: consume whatever already arrived (without
-   blocking), answer it, flush, and let the caller close.  In-flight
-   requests are drained, not dropped. *)
-let final_drain t =
-  Unix.set_nonblock t.fd;
-  (try
-     let rec slurp () =
-       match Unix.read t.fd t.rbuf 0 (Bytes.length t.rbuf) with
-       | 0 -> ()
-       | n ->
-           Wire.Decoder.feed t.dec t.rbuf 0 n;
-           slurp ()
-     in
-     slurp ()
-   with
-  | Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
-  | Unix.Unix_error _ -> ());
-  process_available t;
-  flush t
+   blocking), answer it, flush, and let the loop close.  In-flight
+   requests are drained, not dropped — including a blocking op the
+   drain decodes: it parks, [set_draining]'s commit wakes it to a
+   [Nil], and its completion finishes the drain. *)
+let begin_drain t =
+  if (not t.draining) && not t.closed then begin
+    t.draining <- true;
+    let rec slurp () =
+      match read_chunk t with
+      | `Data -> slurp ()
+      | `Eof -> t.input_done <- true
+      | `Nothing -> ()
+      | `Reset -> t.closed <- true
+    in
+    slurp ();
+    if not t.closed then begin
+      decode_batch t;
+      pump t;
+      try_flush t
+    end
+  end
 
-let create ?(stop = fun () -> false) ~limits ~registry ~stats fd =
+let wants_read t =
+  (not t.closed) && (not t.closing) && (not t.parked) && (not t.input_done)
+  && (not t.draining)
+  && Queue.is_empty t.pending
+  && Wire.Obuf.pending t.out = 0
+
+let wants_write t = (not t.closed) && Wire.Obuf.pending t.out > 0
+
+let finished t =
+  t.closed
+  || t.closing
+     && (not t.parked)
+     && Queue.is_empty t.pending
+     && Wire.Obuf.pending t.out = 0
+
+let fd t = t.fd
+
+(* Release watch subscriptions and mark the session dead; late helper
+   completions find [closed] set and drop their output. *)
+let teardown t =
+  List.iter (Registry.unwatch t.reg) t.watches;
+  t.watches <- [];
+  t.closed <- true
+
+let create ?(stop = fun () -> false) ~limits ~registry ~stats ~services fd =
   Limits.validate limits;
   {
     fd;
@@ -436,79 +694,20 @@ let create ?(stop = fun () -> false) ~limits ~registry ~stats fd =
     limits;
     stats;
     stop;
+    services;
     dec = Wire.Decoder.create ~max_frame:limits.Limits.max_frame ();
-    out = Buffer.create 4096;
-    rbuf = Bytes.create 65536;
+    out = Wire.Obuf.create ~initial:8192 ();
+    scratch = Wire.Obuf.create ~initial:4096 ();
+    pending = Queue.create ();
     in_multi = false;
     multi_hint = None;
     multi_rev = [];
     multi_count = 0;
     watches = [];
+    watch_inflight = false;
+    parked = false;
+    draining = false;
+    input_done = false;
     closing = false;
+    closed = false;
   }
-
-(* How long one watch wait may park before the session looks at its
-   socket again: the ceiling on request latency while watching (push
-   latency stays one commit — the mutator's commit wakes the parked
-   poll immediately). *)
-let watch_poll_ns = 50_000_000
-
-(* Emit a [Push] frame per watched structure that changed, parking up
-   to {!watch_poll_ns} waiting for one.  Pushes are server-initiated:
-   they bypass {!reply} so they never count as request replies. *)
-let service_watches t =
-  match Registry.wait_dirty t.reg t.watches ~timeout_ns:watch_poll_ns with
-  | [] -> ()
-  | names ->
-      List.iter (fun n -> Wire.write_response t.out (Wire.Push n)) names;
-      flush t
-
-let drop_watches t =
-  List.iter (Registry.unwatch t.reg) t.watches;
-  t.watches <- []
-
-let serve t =
-  (* One blocking-read round; [`Closed] ends the session. *)
-  let read_once () =
-    match Unix.read t.fd t.rbuf 0 (Bytes.length t.rbuf) with
-    | exception Unix.Unix_error (Unix.EINTR, _, _) -> `Continue
-    | exception Unix.Unix_error (Unix.ECONNRESET, _, _) -> `Closed
-    | 0 ->
-        (* Orderly client close: whatever was decodable has already
-           been executed and flushed; nothing to drain. *)
-        `Closed
-    | n ->
-        Wire.Decoder.feed t.dec t.rbuf 0 n;
-        process_available t;
-        flush t;
-        if t.closing then `Closed else `Continue
-  in
-  let rec loop () =
-    if t.stop () then final_drain t
-    else if t.watches = [] then (
-      match read_once () with `Closed -> () | `Continue -> loop ())
-    else begin
-      (* Watching: the session must notice both socket input and
-         commit notifications, which cannot share one wait — so it
-         alternates an instant readability check with a genuinely
-         parked (commit-woken, [watch_poll_ns]-bounded) dirty wait. *)
-      let readable =
-        match Unix.select [ t.fd ] [] [] 0.0 with
-        | r, _, _ -> r <> []
-        | exception Unix.Unix_error (Unix.EINTR, _, _) -> false
-      in
-      if readable then (
-        match read_once () with `Closed -> () | `Continue -> loop ())
-      else begin
-        service_watches t;
-        loop ()
-      end
-    end
-  in
-  loop ();
-  drop_watches t
-
-(* Convenience used by polytmd's workers. *)
-let handle ?stop ~limits ~registry ~stats fd =
-  let t = create ?stop ~limits ~registry ~stats fd in
-  serve t

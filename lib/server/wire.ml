@@ -96,12 +96,96 @@ let ok = Simple "OK"
 let pong = Simple "PONG"
 let queued = Simple "QUEUED"
 
+(* ---- output buffer ------------------------------------------------------ *)
+
+(* A grow-only byte sink for the reply path.  Unlike [Buffer.t] it
+   exposes its backing store, so a session can hand the pending region
+   straight to [Unix.write] — no [Buffer.contents] copy, no per-frame
+   string.  [start] tracks the flushed prefix: a partial write just
+   advances it, and the buffer resets to offset 0 once drained. *)
+module Obuf = struct
+  type t = { mutable buf : Bytes.t; mutable start : int; mutable len : int }
+
+  let create ?(initial = 4096) () =
+    { buf = Bytes.create initial; start = 0; len = 0 }
+
+  let clear t =
+    t.start <- 0;
+    t.len <- 0
+
+  let length t = t.len
+  let pending t = t.len - t.start
+
+  let contents t = Bytes.sub_string t.buf t.start (t.len - t.start)
+
+  (* The pending region, for the caller's own [write]. *)
+  let peek t = (t.buf, t.start, t.len - t.start)
+
+  (* [n] pending bytes were written out. *)
+  let consumed t n =
+    t.start <- t.start + n;
+    if t.start = t.len then begin
+      t.start <- 0;
+      t.len <- 0
+    end
+
+  let reserve t n =
+    let need = t.len + n in
+    if need > Bytes.length t.buf then begin
+      let cap = ref (Bytes.length t.buf * 2) in
+      while need > !cap do
+        cap := !cap * 2
+      done;
+      let dst = Bytes.create !cap in
+      Bytes.blit t.buf 0 dst 0 t.len;
+      t.buf <- dst
+    end
+
+  let add_char t c =
+    reserve t 1;
+    Bytes.unsafe_set t.buf t.len c;
+    t.len <- t.len + 1
+
+  let add_string t s =
+    let n = String.length s in
+    reserve t n;
+    Bytes.blit_string s 0 t.buf t.len n;
+    t.len <- t.len + n
+
+  let add_obuf t (src : t) =
+    reserve t src.len;
+    Bytes.blit src.buf 0 t.buf t.len src.len;
+    t.len <- t.len + src.len
+end
+
 (* ---- encoding ---------------------------------------------------------- *)
 
 let digits n =
   (* Decimal width of a non-negative int. *)
   let rec go acc n = if n < 10 then acc else go (acc + 1) (n / 10) in
   go 1 (if n < 0 then 0 else n)
+
+(* Decimal width of any int, sign included. *)
+let int_width n = if n < 0 then 1 + digits (-n) else digits n
+
+(* Append the decimal form of [n] without going through
+   [string_of_int] — the reply hot path must not allocate. *)
+let obuf_add_int (t : Obuf.t) n =
+  let w = int_width n in
+  Obuf.reserve t w;
+  let buf = t.Obuf.buf in
+  let base = t.Obuf.len in
+  let neg = n < 0 in
+  if neg then Bytes.unsafe_set buf base '-';
+  let fin = if neg then base + 1 else base in
+  let v = ref (if neg then -n else n) in
+  let i = ref (base + w - 1) in
+  while !i >= fin do
+    Bytes.unsafe_set buf !i (Char.unsafe_chr (Char.code '0' + (!v mod 10)));
+    v := !v / 10;
+    decr i
+  done;
+  t.Obuf.len <- base + w
 
 let sem_field = function
   | Polytm.Semantics.Classic -> "~classic"
@@ -218,6 +302,99 @@ let write_response buf r =
   add_frame_header buf (response_body_len r);
   add_response_body buf r
 
+(* ---- direct-to-buffer encoding ------------------------------------------ *)
+
+(* Same grammar as [add_response_body]/[write_response], emitted
+   straight into an {!Obuf} with inlined integer formatting: the
+   steady-state reply path allocates nothing (buffer growth amortizes
+   to zero on a reused session buffer).  Byte-for-byte identical to
+   the [Buffer] encoders — the protocol tests hold both to the same
+   goldens. *)
+
+(* Body length without [string_of_int]: the frame header needs it
+   before the body is written. *)
+let rec response_len = function
+  | Simple s -> 1 + String.length s + 1
+  | Int n -> 1 + int_width n + 1
+  | Bulk s -> bulk_len s
+  | Nil -> 2
+  | Error (c, m) ->
+      1 + String.length (err_code_to_string c) + 1 + String.length m + 1
+  | Array l ->
+      let rec items acc = function
+        | [] -> acc
+        | r :: rest -> items (acc + response_len r) rest
+      in
+      items (1 + digits (List.length l) + 1) l
+  | Push s -> 1 + String.length s + 1
+
+let obuf_add_bulk ob s =
+  Obuf.add_char ob '$';
+  obuf_add_int ob (String.length s);
+  Obuf.add_char ob '\n';
+  Obuf.add_string ob s;
+  Obuf.add_char ob '\n'
+
+let obuf_add_int_item ob n =
+  Obuf.add_char ob ':';
+  obuf_add_int ob n;
+  Obuf.add_char ob '\n'
+
+let obuf_add_array_header ob n =
+  Obuf.add_char ob '*';
+  obuf_add_int ob n;
+  Obuf.add_char ob '\n'
+
+let obuf_add_frame_header ob body_len =
+  Obuf.add_char ob '#';
+  obuf_add_int ob body_len;
+  Obuf.add_char ob '\n'
+
+let rec obuf_add_response_body ob = function
+  | Simple s ->
+      no_newline "simple string" s;
+      Obuf.add_char ob '+';
+      Obuf.add_string ob s;
+      Obuf.add_char ob '\n'
+  | Int n -> obuf_add_int_item ob n
+  | Bulk s -> obuf_add_bulk ob s
+  | Nil -> Obuf.add_string ob "_\n"
+  | Error (c, m) ->
+      no_newline "error message" m;
+      Obuf.add_char ob '-';
+      Obuf.add_string ob (err_code_to_string c);
+      Obuf.add_char ob ' ';
+      Obuf.add_string ob m;
+      Obuf.add_char ob '\n'
+  | Array l ->
+      obuf_add_array_header ob (List.length l);
+      let rec go = function
+        | [] -> ()
+        | r :: rest ->
+            obuf_add_response_body ob r;
+            go rest
+      in
+      go l
+  | Push s ->
+      no_newline "push name" s;
+      Obuf.add_char ob '>';
+      Obuf.add_string ob s;
+      Obuf.add_char ob '\n'
+
+let write_response_obuf ob r =
+  obuf_add_frame_header ob (response_len r);
+  obuf_add_response_body ob r
+
+(* Frame a pre-encoded array body: [items] holds [count] response
+   bodies already encoded (the snapshot fast path streams entries into
+   it during its fold, skipping the intermediate response tree).  The
+   emitted bytes equal [write_response ob (Array [...])]. *)
+let write_framed_array ob ~count ~(items : Obuf.t) =
+  let body_len = 1 + digits count + 1 + Obuf.length items in
+  obuf_add_frame_header ob body_len;
+  obuf_add_array_header ob count;
+  Obuf.add_obuf ob items
+
 (* ---- body parsing ------------------------------------------------------ *)
 
 (* Body parsers work on a complete frame body; any failure raises
@@ -229,9 +406,13 @@ exception Bad of string
 
 let bad fmt = Printf.ksprintf (fun m -> raise (Bad m)) fmt
 
-type cursor = { body : string; mutable pos : int }
+(* The cursor walks a frame body {e in place}: [body] is (a view of)
+   the decoder's internal buffer, [base]/[limit] bound this frame.
+   Field payloads are copied out with [String.sub]; the frame body
+   itself is never copied into a per-frame string. *)
+type cursor = { body : string; base : int; mutable pos : int; limit : int }
 
-let peek c = if c.pos >= String.length c.body then bad "truncated body" else c.body.[c.pos]
+let peek c = if c.pos >= c.limit then bad "truncated body" else c.body.[c.pos]
 
 let advance c = c.pos <- c.pos + 1
 
@@ -273,22 +454,22 @@ let parse_int_line c =
 let parse_line c =
   (* Bytes up to the next '\n' (consumed). *)
   match String.index_from_opt c.body c.pos '\n' with
-  | None -> bad "unterminated line"
-  | Some i ->
+  | Some i when i < c.limit ->
       let s = String.sub c.body c.pos (i - c.pos) in
       c.pos <- i + 1;
       s
+  | Some _ | None -> bad "unterminated line"
 
 let parse_bulk c =
   expect c '$';
   let len = parse_nat c in
-  if c.pos + len + 1 > String.length c.body then bad "bulk overruns frame";
+  if c.pos + len + 1 > c.limit then bad "bulk overruns frame";
   let s = String.sub c.body c.pos len in
   c.pos <- c.pos + len;
   expect c '\n';
   s
 
-let at_end c = c.pos = String.length c.body
+let at_end c = c.pos = c.limit
 
 let int_arg what s =
   match int_of_string_opt s with
@@ -342,8 +523,9 @@ let request_of_fields fields =
   in
   { hint; cmd }
 
-let parse_request_body body =
-  let c = { body; pos = 0 } in
+let parse_request_body ~off ~len body =
+  let limit = off + len in
+  let c = { body; base = off; pos = off; limit } in
   expect c '*';
   let n = parse_nat c in
   if n = 0 then bad "empty request array";
@@ -384,15 +566,16 @@ let rec parse_response c depth =
   | '*' ->
       advance c;
       let n = parse_nat c in
-      if n > String.length c.body then bad "array longer than frame";
+      if n > c.limit - c.base then bad "array longer than frame";
       Array (List.init n (fun _ -> parse_response c (depth + 1)))
   | '>' ->
       advance c;
       Push (parse_line c)
   | ch -> bad "unknown response type byte %C" ch
 
-let parse_response_body body =
-  let c = { body; pos = 0 } in
+let parse_response_body ~off ~len body =
+  let limit = off + len in
+  let c = { body; base = off; pos = off; limit } in
   let r = parse_response c 0 in
   if not (at_end c) then bad "trailing bytes in frame";
   r
@@ -444,7 +627,33 @@ module Decoder = struct
   (* Longest header: '#' + digits of max_frame + '\n'. *)
   let max_header = 2 + 10
 
-  let next_body t : string item =
+  (* Direct-fill API: [reserve t n] compacts/grows so at least [n]
+     writable bytes exist past the filled prefix and returns the
+     buffer with the fill offset — a [Unix.read] can land bytes
+     straight in the decoder, skipping the intermediate read buffer
+     and its [feed] blit.  [commit t n] publishes [n] filled bytes. *)
+  let reserve t n =
+    if t.len + n > Bytes.length t.buf then begin
+      let live = t.len - t.pos in
+      let need = live + n in
+      let cap = ref (Bytes.length t.buf) in
+      while need > !cap do
+        cap := !cap * 2
+      done;
+      let dst = if !cap > Bytes.length t.buf then Bytes.create !cap else t.buf in
+      Bytes.blit t.buf t.pos dst 0 live;
+      t.buf <- dst;
+      t.len <- live;
+      t.pos <- 0
+    end;
+    (t.buf, t.len)
+
+  let commit t n = t.len <- t.len + n
+
+  (* Scan (and consume) the next complete frame, returning the body's
+     bounds inside [t.buf].  The region stays valid only until the
+     next [feed]/[reserve] — callers parse immediately. *)
+  let next_frame t : (int * int) item =
     match t.dead with
     | Some m -> `Corrupt m
     | None ->
@@ -471,35 +680,76 @@ module Decoder = struct
               (Printf.sprintf "bad byte %C in frame header" (Bytes.get t.buf !i))
           else if !i = t.pos + 1 then die t "frame header without length"
           else begin
-            let body_len =
-              int_of_string (Bytes.sub_string t.buf (t.pos + 1) (!i - t.pos - 1))
-            in
+            (* Digits only, bounded width: accumulate directly. *)
+            let body_len = ref 0 in
+            for j = t.pos + 1 to !i - 1 do
+              body_len := (!body_len * 10) + (Char.code (Bytes.get t.buf j) - Char.code '0')
+            done;
+            let body_len = !body_len in
             if body_len > t.max_frame then
               die t (Printf.sprintf "frame of %d bytes exceeds limit" body_len)
             else begin
               let total = !i + 1 - t.pos + body_len in
               if buffered t < total then `Await
               else begin
-                let body = Bytes.sub_string t.buf (!i + 1) body_len in
+                let off = !i + 1 in
                 t.pos <- t.pos + total;
                 if t.pos = t.len then begin
                   t.pos <- 0;
                   t.len <- 0
                 end;
-                `Ok body
+                `Ok (off, body_len)
               end
             end
           end
         end
 
+  (* Parse a consumed frame in place.  [Bytes.unsafe_to_string] is
+     sound here: the buffer is not mutated between the scan and the
+     parse, and every byte sequence that escapes the parser is copied
+     out with [String.sub]. *)
   let next_with parse t =
-    match next_body t with
+    match next_frame t with
     | (`Await | `Corrupt _ | `Bad _) as r -> r
-    | `Ok body -> (
-        match parse body with
+    | `Ok (off, len) -> (
+        match parse ~off ~len (Bytes.unsafe_to_string t.buf) with
         | v -> `Ok v
         | exception Bad m -> `Bad m)
 
   let next_request t = next_with parse_request_body t
   let next_response t = next_with parse_response_body t
+
+  (* Frame-level classification without building the response tree:
+     load generators only need the reply's type byte (was it an
+     error?), not its payload, and skipping the tree keeps the client
+     from becoming the bottleneck it is trying to measure. *)
+  let next_response_class t : char item =
+    match next_frame t with
+    | (`Await | `Corrupt _ | `Bad _) as r -> r
+    | `Ok (_, 0) -> `Bad "truncated body"
+    | `Ok (off, _) -> `Ok (Bytes.get t.buf off)
+
+  (* One notch richer than [next_response_class]: split the error
+     class on the BUSY code (load generators count backpressure
+     refusals separately from application errors) and surface [Nil]
+     (miss / blocking-op timeout).  Still skips the body — a framed
+     snapshot reply of thousands of items costs one length-prefixed
+     hop, not a tree of allocations. *)
+  let next_response_brief t : [ `Value | `Nil | `Busy | `Err ] item =
+    match next_frame t with
+    | (`Await | `Corrupt _ | `Bad _) as r -> r
+    | `Ok (_, 0) -> `Bad "truncated body"
+    | `Ok (off, len) -> (
+        match Bytes.get t.buf off with
+        | '_' -> `Ok `Nil
+        | '-' ->
+            if
+              len >= 5
+              && Bytes.get t.buf (off + 1) = 'B'
+              && Bytes.get t.buf (off + 2) = 'U'
+              && Bytes.get t.buf (off + 3) = 'S'
+              && Bytes.get t.buf (off + 4) = 'Y'
+            then `Ok `Busy
+            else `Ok `Err
+        | _ -> `Ok `Value)
 end

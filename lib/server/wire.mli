@@ -132,6 +132,67 @@ val write_response : Buffer.t -> response -> unit
 (** @raise Invalid_argument if a {!Simple} or {!Error} payload
     contains a newline (they are line-delimited on the wire). *)
 
+(** {1 Zero-copy output}
+
+    {!Obuf} is the reply path's output sink: a grow-only byte buffer
+    whose backing store is handed straight to [Unix.write] — no
+    [Buffer.contents] copy, no per-frame string.  [start] tracks the
+    flushed prefix so a partial write resumes where it stopped. *)
+
+module Obuf : sig
+  type t
+
+  val create : ?initial:int -> unit -> t
+  val clear : t -> unit
+
+  val length : t -> int
+  (** Total encoded bytes (including any already-flushed prefix). *)
+
+  val pending : t -> int
+  (** Bytes encoded but not yet consumed. *)
+
+  val contents : t -> string
+  (** Copy of the pending region — tests and diagnostics only. *)
+
+  val peek : t -> Bytes.t * int * int
+  (** [(buf, off, len)] of the pending region, for the caller's own
+      [write].  Valid until the next mutation. *)
+
+  val consumed : t -> int -> unit
+  (** Mark [n] pending bytes written; the buffer resets to offset 0
+      once fully drained. *)
+
+  val add_char : t -> char -> unit
+  val add_string : t -> string -> unit
+end
+
+val write_response_obuf : Obuf.t -> response -> unit
+(** One complete frame, byte-identical to {!write_response}, with no
+    intermediate allocation (inlined integer formatting, direct byte
+    stores). *)
+
+val response_len : response -> int
+(** Body length of the encoded response, allocation-free. *)
+
+(** Body-fragment writers for streaming encoders: a producer that
+    knows its output is one big array (the snapshot fast path) can
+    encode items into a scratch {!Obuf} as it walks the structure and
+    wrap them with {!write_framed_array}, never materialising the
+    response tree.  The emitted bytes equal
+    [write_response ob (Array items)]. *)
+
+val obuf_add_int_item : Obuf.t -> int -> unit
+(** [:n\n] *)
+
+val obuf_add_bulk : Obuf.t -> string -> unit
+(** [$len\nbytes\n] *)
+
+val obuf_add_array_header : Obuf.t -> int -> unit
+(** [*n\n] *)
+
+val write_framed_array : Obuf.t -> count:int -> items:Obuf.t -> unit
+(** Frame header + [*count\n] + the pre-encoded [items] body. *)
+
 (** {1 Incremental decoding} *)
 
 module Decoder : sig
@@ -146,6 +207,16 @@ module Decoder : sig
   (** [feed t b off len] appends bytes; call after every read. *)
 
   val feed_string : t -> string -> unit
+
+  val reserve : t -> int -> Bytes.t * int
+  (** [reserve t n] makes room for [n] more bytes and returns the
+      internal buffer with its fill offset, so a [read] can deposit
+      bytes directly (no intermediate buffer, no {!feed} blit).
+      Follow with {!commit}.  The pair is invalidated by any other
+      decoder call. *)
+
+  val commit : t -> int -> unit
+  (** Publish [n] bytes deposited after {!reserve}. *)
 
   val buffered : t -> int
   (** Bytes held but not yet consumed by a complete frame. *)
@@ -162,4 +233,16 @@ module Decoder : sig
 
   val next_request : t -> request item
   val next_response : t -> response item
+
+  val next_response_class : t -> char item
+  (** Consume the next response frame returning only its type byte
+      ([+ : $ _ - * >]), without building the response tree — for
+      load generators that count reply classes at full rate. *)
+
+  val next_response_brief : t -> [ `Value | `Nil | `Busy | `Err ] item
+  (** Like {!next_response_class} but splits errors on the [BUSY]
+      code and surfaces [Nil], the classes a load generator counts.
+      The body is skipped in O(1): a snapshot reply of thousands of
+      items costs one frame-length hop, so the measuring client never
+      becomes the bottleneck it is measuring. *)
 end

@@ -19,6 +19,7 @@ module Wire = Polytm_server.Wire
 module Limits = Polytm_server.Limits
 module Registry = Polytm_server.Registry
 module Session = Polytm_server.Session
+module Evloop = Polytm_server.Evloop
 module Sem = Polytm.Semantics
 module S = Registry.S
 
@@ -72,7 +73,7 @@ let with_session ?(limits = Limits.default) f =
   let stop = Atomic.make false in
   let dom =
     Domain.spawn (fun () ->
-        Session.handle
+        Evloop.handle
           ~stop:(fun () -> Atomic.get stop)
           ~limits ~registry ~stats server_fd)
   in
@@ -364,7 +365,7 @@ let test_shutdown_drains_and_releases () =
   let stats = Session.create_stats () in
   let dom =
     Domain.spawn (fun () ->
-        Session.handle ~limits:Limits.default ~registry:registry_after ~stats
+        Evloop.handle ~limits:Limits.default ~registry:registry_after ~stats
           server_fd)
   in
   write_all client_fd
@@ -639,6 +640,264 @@ let test_mixed_algo_structures () =
           Alcotest.failf "mixed-algo batch: unexpected replies %s"
             (String.concat " | " (List.map pp_resp got)))
 
+(* ---- short-I/O fuzz: the state machine vs pathological scheduling ------ *)
+
+(* The session must be insensitive to how bytes arrive and leave: the
+   same pipelined batch, fed one byte at a time into a session whose
+   peer drains replies in dribbles through shrunken kernel buffers
+   (short writes, EAGAIN on both directions, reads with nothing
+   buffered), must produce the exact reply byte stream of a
+   well-behaved run.  This drives [Session] directly — no event loop —
+   so the poke order is the property's random input. *)
+
+(* The generated batches contain no parking op (BLPOP/BTAKE) and no
+   WATCH, so neither helper hook fires. *)
+let inline_services =
+  { Session.submit = (fun f -> f ()); post = (fun f -> f ()) }
+
+let drive_session ~rng ~pathological batch_bytes =
+  let server_fd, client_fd =
+    Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0
+  in
+  Unix.set_nonblock server_fd;
+  Unix.set_nonblock client_fd;
+  if pathological then begin
+    (* Kernel buffers at their floor: a snapshot reply no longer fits,
+       so flushing must survive short writes and EAGAIN tails. *)
+    (try Unix.setsockopt_int server_fd Unix.SO_SNDBUF 4096 with _ -> ());
+    try Unix.setsockopt_int client_fd Unix.SO_RCVBUF 4096 with _ -> ()
+  end;
+  let registry = Registry.create () in
+  List.iter
+    (fun (k, n) ->
+      match Registry.ensure registry k n with
+      | Ok _ -> ()
+      | Error _ -> assert false)
+    [ (Wire.Kmap, "m"); (Wire.Kset, "s"); (Wire.Kqueue, "q") ];
+  let stats = Session.create_stats () in
+  let sess =
+    Session.create ~limits:Limits.default ~registry ~stats
+      ~services:inline_services server_fd
+  in
+  let out = Buffer.create 4096 in
+  let rbuf = Bytes.create 65536 in
+  let len = String.length batch_bytes in
+  let sent = ref 0 in
+  let input_closed = ref false in
+  let send n =
+    (match Unix.write_substring client_fd batch_bytes !sent n with
+    | w -> sent := !sent + w
+    | exception
+        Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+      ->
+        ());
+    if !sent = len && not !input_closed then begin
+      input_closed := true;
+      Unix.shutdown client_fd Unix.SHUTDOWN_SEND
+    end
+  in
+  let drain budget =
+    match Unix.read client_fd rbuf 0 (min budget (Bytes.length rbuf)) with
+    | 0 -> ()
+    | n -> Buffer.add_subbytes out rbuf 0 n
+    | exception
+        Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+      ->
+        ()
+  in
+  let steps = ref 0 in
+  while not (Session.finished sess) do
+    incr steps;
+    if !steps > 2_000_000 then Alcotest.fail "fuzz driver made no progress";
+    if pathological then
+      match Random.State.int rng 5 with
+      | 0 -> if !sent < len then send (min (1 + Random.State.int rng 3) (len - !sent))
+      | 1 -> Session.on_readable sess (* often with nothing buffered *)
+      | 2 -> Session.try_flush sess (* often against a full peer buffer *)
+      | 3 -> drain (1 + Random.State.int rng 7)
+      | _ -> drain 65536
+    else begin
+      if !sent < len then send (len - !sent);
+      Session.on_readable sess;
+      Session.try_flush sess;
+      drain 65536
+    end
+  done;
+  Session.teardown sess;
+  (try Unix.close server_fd with _ -> ());
+  (* the flushed tail is buffered in the socket; EOF ends it *)
+  let rec tail () =
+    match Unix.read client_fd rbuf 0 65536 with
+    | 0 -> ()
+    | n ->
+        Buffer.add_subbytes out rbuf 0 n;
+        tail ()
+    | exception
+        Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+      ->
+        tail ()
+  in
+  tail ();
+  (try Unix.close client_fd with _ -> ());
+  Buffer.contents out
+
+let fuzz_batch_gen =
+  QCheck.Gen.(
+    let key = int_range 0 50 in
+    let value =
+      string_size
+        ~gen:(map (fun n -> Char.chr (97 + n)) (int_range 0 25))
+        (int_range 0 120)
+    in
+    let cmd =
+      frequency
+        [
+          (3, map2 (fun k v -> Wire.Put ("m", k, v)) key value);
+          (2, map (fun k -> Wire.Get ("m", k)) key);
+          (1, map (fun k -> Wire.Del ("m", k)) key);
+          (1, map (fun k -> Wire.Contains ("m", k)) key);
+          (1, map (fun k -> Wire.Add ("s", k)) key);
+          (1, map (fun k -> Wire.Remove ("s", k)) key);
+          (1, return (Wire.Size "m"));
+          (2, return (Wire.Snapshot_iter "m"));
+          (1, map (fun v -> Wire.Enq ("q", v)) value);
+          (1, return (Wire.Deq "q"));
+          (1, return Wire.Ping);
+          (1, return Wire.Multi);
+          (1, return Wire.Multi_end);
+        ]
+    in
+    let hint =
+      frequency
+        [
+          (4, return None);
+          (1, return (Some Sem.Classic));
+          (1, return (Some Sem.Elastic));
+          (1, return (Some Sem.Snapshot));
+        ]
+    in
+    (* <= 60 requests: both runs stay under the in-flight admission
+       bound however the reads batch up, so BUSY cannot diverge. *)
+    list_size (int_range 1 60) (pair hint cmd))
+
+let pp_batch batch =
+  String.concat "; "
+    (List.map
+       (fun (hint, cmd) ->
+         let h =
+           match hint with None -> "" | Some s -> "~" ^ Sem.to_string s ^ " "
+         in
+         h ^ Wire.cmd_name cmd)
+       batch)
+
+let session_short_io_property =
+  QCheck.Test.make ~count:30
+    ~name:"short-I/O fuzz round-trips batches byte-identically"
+    (QCheck.make fuzz_batch_gen ~print:pp_batch)
+    (fun batch ->
+      let bytes =
+        encode (List.map (fun (hint, cmd) -> { Wire.hint; cmd }) batch)
+      in
+      let rng = Random.State.make [| Test_seed.seed; Hashtbl.hash batch |] in
+      let clean = drive_session ~rng ~pathological:false bytes in
+      let fuzzed = drive_session ~rng ~pathological:true bytes in
+      if not (String.equal clean fuzzed) then
+        QCheck.Test.fail_reportf
+          "reply streams diverge: clean %d bytes, fuzzed %d bytes"
+          (String.length clean) (String.length fuzzed);
+      true)
+
+(* ---- steady-state allocation probe -------------------------------------- *)
+
+(* The reply path must not allocate per-frame strings: replies are
+   encoded straight into the session's reusable output buffer and
+   written from it.  [Gc.minor_words] counts every minor allocation
+   exactly, and it is per-domain, so the session is driven inline on
+   the test thread (the driver itself allocates nothing per op).  Two
+   budgets pin the property: a lean bound on PING (no transaction),
+   and a bound on GETs of a 1 KiB value that a single per-frame copy
+   of the reply payload (~128 words) would already blow. *)
+let alloc_words_per_op ~warm_rounds ~rounds batch n_replies =
+  let server_fd, client_fd =
+    Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0
+  in
+  Unix.set_nonblock server_fd;
+  Unix.set_nonblock client_fd;
+  let registry = Registry.create () in
+  (match Registry.ensure registry Wire.Kmap "m" with
+  | Ok _ -> ()
+  | Error _ -> assert false);
+  let stats = Session.create_stats () in
+  let sess =
+    Session.create ~limits:Limits.default ~registry ~stats
+      ~services:inline_services server_fd
+  in
+  let rbuf = Bytes.create 65536 in
+  let drain () =
+    let rec go () =
+      match Unix.read client_fd rbuf 0 65536 with
+      | 0 -> ()
+      | _ -> go ()
+      | exception
+          Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+        ->
+          ()
+    in
+    go ()
+  in
+  let target = ref 0 in
+  let round () =
+    (* the batch fits the (previously drained) kernel buffer, so the
+       non-blocking write goes through whole *)
+    write_all client_fd batch;
+    target := !target + n_replies;
+    let guard = ref 0 in
+    while stats.Session.replies < !target do
+      incr guard;
+      if !guard > 10_000 then Alcotest.fail "alloc probe made no progress";
+      Session.on_readable sess;
+      Session.try_flush sess;
+      drain ()
+    done;
+    Session.try_flush sess;
+    drain ()
+  in
+  for _ = 1 to warm_rounds do
+    round ()
+  done;
+  let w0 = Gc.minor_words () in
+  for _ = 1 to rounds do
+    round ()
+  done;
+  let dw = Gc.minor_words () -. w0 in
+  Session.teardown sess;
+  (try Unix.close server_fd with _ -> ());
+  (try Unix.close client_fd with _ -> ());
+  dw /. float_of_int (rounds * n_replies)
+
+let test_steady_state_allocation () =
+  let n = 256 in
+  let pings = encode (List.init n (fun _ -> req Wire.Ping)) in
+  let ping_words = alloc_words_per_op ~warm_rounds:2 ~rounds:4 pings n in
+  if ping_words > 64.0 then
+    Alcotest.failf "PING path allocates %.1f words/op (budget 64)" ping_words;
+  (* seed one 1 KiB value, then hammer GETs of it: the ~1 KiB reply
+     payload must stream through the output buffer without being
+     copied into any per-frame string *)
+  let seed_and_get =
+    encode
+      (req (Wire.Put ("m", 7, String.make 1024 'x'))
+      :: List.init n (fun _ -> req (Wire.Get ("m", 7))))
+  in
+  let get_words =
+    alloc_words_per_op ~warm_rounds:2 ~rounds:4 seed_and_get (n + 1)
+  in
+  (* measured ~151 words/op of decode + transaction machinery; one
+     per-frame copy of the 1 KiB payload alone is ~128 words more *)
+  if get_words > 192.0 then
+    Alcotest.failf "GET(1KiB) path allocates %.1f words/op (budget 192)"
+      get_words
+
 let suite =
   ( "server",
     [
@@ -672,4 +931,7 @@ let suite =
         test_kind_mismatch_and_unknown;
       Alcotest.test_case "NORec structure next to a TL2 one" `Quick
         test_mixed_algo_structures;
+      Test_seed.to_alcotest session_short_io_property;
+      Alcotest.test_case "steady-state reply path allocation budget" `Quick
+        test_steady_state_allocation;
     ] )
