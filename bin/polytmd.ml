@@ -24,6 +24,16 @@ let workers_t =
        & info [ "workers"; "w" ] ~docv:"N"
            ~doc:"Worker domains serving connections.")
 
+let shards_t =
+  Arg.(value & opt int 1
+       & info [ "shards" ] ~docv:"K"
+           ~doc:"Independent STM instances per algorithm.  Keys
+                 hash-route to their owner shard, so single-key
+                 requests never contend across shards; MULTI batches
+                 spanning shards commit through the cross-shard
+                 two-phase protocol.  Default 1 (the classic
+                 single-instance server).")
+
 let max_inflight_t =
   Arg.(value & opt int Limits.default.Limits.max_inflight
        & info [ "max-inflight" ] ~docv:"N"
@@ -142,7 +152,7 @@ let collect parse = function
           | _, Error m -> Error m)
         (Ok []) xs
 
-let main listen workers max_inflight max_multi op_budget op_deadline_us
+let main listen workers shards max_inflight max_multi op_budget op_deadline_us
     debug_ops structs default_algo stats_json trace max_seconds quiet =
   let listeners =
     match collect parse_listener listen with
@@ -167,6 +177,7 @@ let main listen workers max_inflight max_multi op_budget op_deadline_us
           Srv.default_config with
           Srv.listeners;
           workers;
+          shards;
           limits;
           prestructs;
           default_algo;
@@ -190,7 +201,8 @@ let () =
   in
   let term =
     Term.(ret
-            (const main $ listen_t $ workers_t $ max_inflight_t $ max_multi_t
+            (const main $ listen_t $ workers_t $ shards_t $ max_inflight_t
+           $ max_multi_t
            $ budget_t $ deadline_t $ debug_ops_t $ struct_t $ algo_t
            $ stats_json_t $ trace_t $ max_seconds_t $ quiet_t))
   in

@@ -132,6 +132,36 @@ module Explore = Polytm_runtime.Explore
 module R = Polytm_runtime.Sim_runtime
 module AM = Polytm_structs.Adapters.Make (Polytm_runtime.Sim_runtime)
 
+(* The cross-shard 2PC window (DESIGN.md §S20): one transaction writes
+   [a] on shard 0 and [b] on shard 1; a spanning snapshot must observe
+   the two writes atomically.  [stabilize:false] skips the bound
+   vector's re-check pass, deliberately reintroducing the torn read
+   for the [--expect-violation] self-test. *)
+let shard_2pc_program ~stabilize () =
+  let s0 = AM.S.create ~cm:Polytm.Contention.Suicide () in
+  let s1 = AM.S.create ~cm:Polytm.Contention.Suicide () in
+  let stms = [ s0; s1 ] in
+  let a = AM.S.tvar s0 0 and b = AM.S.tvar s1 0 in
+  let writer () =
+    AM.S.atomically_multi ~label:"span-write" stms (fun () ->
+        AM.S.atomically s0 (fun tx -> AM.S.write tx a 1);
+        AM.S.atomically s1 (fun tx -> AM.S.write tx b 1))
+  in
+  let reader () =
+    let av, bv =
+      AM.S.snapshot_multi ~label:"span-read"
+        ~unsafe_no_stabilize:(not stabilize) stms (fun () ->
+          ( AM.S.atomically s0 (fun tx -> AM.S.read tx a),
+            AM.S.atomically s1 (fun tx -> AM.S.read tx b) ))
+    in
+    assert (av = bv)
+  in
+  let t1 = Sim.spawn writer and t2 = Sim.spawn reader in
+  Sim.join t1;
+  Sim.join t2;
+  assert (AM.S.atomically s0 (fun tx -> AM.S.read tx a) = 1);
+  assert (AM.S.atomically s1 (fun tx -> AM.S.read tx b) = 1)
+
 let scenarios : (string * string * (unit -> unit)) list =
   [
     ( "stm-increments",
@@ -198,6 +228,17 @@ let scenarios : (string * string * (unit -> unit)) list =
         Sim.join c;
         Sim.join p;
         assert (!got = Some 7) );
+    ( "shard-2pc",
+      "a cross-shard transaction writing two shards is never read torn: \
+       a concurrent spanning snapshot sees neither write or both, under \
+       every schedule of the two-phase commit window",
+      fun () -> shard_2pc_program ~stabilize:true () );
+    ( "shard-2pc-broken",
+      "self-test, run with --expect-violation: a spanning snapshot that \
+       skips the bound vector's re-check pass can collect one shard's \
+       clock before a cross-shard commit and the other's after it, \
+       observing the torn intermediate state",
+      fun () -> shard_2pc_program ~stabilize:false () );
   ]
 
 let scenario_t =

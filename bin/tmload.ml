@@ -57,11 +57,49 @@ type mix = {
   update_pct : int;
   snapshot_pct : int;
   hot_pct : int;  (* % of ops aimed at the hottest 10% of the keyspace *)
+  hot_set : int array;  (* the hot keys themselves, balanced per shard *)
 }
+
+(* The server's placement function (Polytm.Shard.index_of_hash),
+   replicated so the generator can reason about key ownership — the
+   hash is deterministic across processes by design. *)
+let shard_of ~shards k =
+  let h = k * 0x9E3779B1 in
+  let h = h lxor (h lsr 16) in
+  (h land max_int) mod shards
+
+(* The hot set is 10% of the keyspace.  Against a 1-shard server it is
+   simply the lowest keys, as before.  Against a K-shard server a
+   prefix hot set would hash to an arbitrary (and possibly lopsided)
+   subset of shards, silently diluting the requested skew on some
+   shards and sparing others; instead the hot set takes the first
+   [10% / K] keys OWNED BY each shard, so every shard sees the same
+   hot/cold contrast and --hot keeps meaning what it says. *)
+let build_hot_set ~shards ~keys =
+  let target = max 1 (keys / 10) in
+  if shards <= 1 then Array.init target Fun.id
+  else begin
+    let per = max 1 (target / shards) in
+    let buckets = Array.make shards [] in
+    let counts = Array.make shards 0 in
+    let remaining = ref (shards * per) in
+    let k = ref 0 in
+    while !remaining > 0 && !k < keys do
+      let s = shard_of ~shards !k in
+      if counts.(s) < per then begin
+        buckets.(s) <- !k :: buckets.(s);
+        counts.(s) <- counts.(s) + 1;
+        decr remaining
+      end;
+      incr k
+    done;
+    Array.of_list (List.concat_map List.rev (Array.to_list buckets))
+  end
 
 let pick_key mix rng =
   let r = Random.State.int rng 100 in
-  if r < mix.hot_pct then Random.State.int rng (max 1 (mix.keys / 10))
+  if r < mix.hot_pct then
+    mix.hot_set.(Random.State.int rng (Array.length mix.hot_set))
   else Random.State.int rng mix.keys
 
 let gen_request mix rng : Wire.request * Polytm.Semantics.t =
@@ -639,6 +677,14 @@ let hot_t =
            ~doc:"Key skew: percentage of ops aimed at the hottest 10%
                  of the keyspace (0 = uniform).")
 
+let shards_t =
+  Arg.(value & opt int 1
+       & info [ "shards" ] ~docv:"K"
+           ~doc:"Match the server's $(b,--shards): the hot set is
+                 drawn per shard (using the server's placement hash)
+                 instead of as a key-range prefix, so $(b,--hot) skew
+                 lands with the same intensity on every shard.")
+
 let rate_t =
   Arg.(value & opt (some float) None
        & info [ "rate" ] ~docv:"OPS_PER_SEC"
@@ -690,8 +736,8 @@ let timeout_t =
            ~doc:"prodcons only: per-BLPOP timeout in milliseconds
                  (0 = wait until shutdown).")
 
-let main addr conns pipeline seconds warmup keys update snapshot hot rate seed
-    json fail_on_errors scenario producers timeout_ms =
+let main addr conns pipeline seconds warmup keys update snapshot hot shards
+    rate seed json fail_on_errors scenario producers timeout_ms =
   let addr =
     if String.length addr > 5 && String.sub addr 0 5 = "unix:" then
       `Unix (String.sub addr 5 (String.length addr - 5))
@@ -738,7 +784,15 @@ let main addr conns pipeline seconds warmup keys update snapshot hot rate seed
         exit 1
       end
   | `Mixed ->
-  let mix = { keys; update_pct = update; snapshot_pct = snapshot; hot_pct = hot } in
+  let mix =
+    {
+      keys;
+      update_pct = update;
+      snapshot_pct = snapshot;
+      hot_pct = hot;
+      hot_set = build_hot_set ~shards ~keys;
+    }
+  in
   let t0 = Unix.gettimeofday () in
   let total =
     mixed_driver ~addr ~mix ~conns ~pipeline ~rate ~warmup ~seconds ~seed
@@ -764,7 +818,8 @@ let () =
   let doc = "Load generator for the polytmd transactional store daemon." in
   let term =
     Term.(const main $ addr_t $ conns_t $ pipeline_t $ seconds_t $ warmup_t
-          $ keys_t $ update_t $ snapshot_t $ hot_t $ rate_t $ seed_t $ json_t
-          $ fail_errors_t $ scenario_t $ producers_t $ timeout_t)
+          $ keys_t $ update_t $ snapshot_t $ hot_t $ shards_t $ rate_t
+          $ seed_t $ json_t $ fail_errors_t $ scenario_t $ producers_t
+          $ timeout_t)
   in
   exit (Cmd.eval (Cmd.v (Cmd.info "tmload" ~version:"1.0.0" ~doc) term))

@@ -46,6 +46,9 @@ let default_impls =
     "stm-list";
     "stm-hash";
     "stm-skiplist";
+    "sharded-map";
+    "sharded-hash";
+    "sharded-queue";
     "boosted-set";
     "coarse-lock-list";
     "cow-array-set";
@@ -104,6 +107,17 @@ module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) = struct
     | "stm-hash" -> set (AM.stm_hash ~profile:Ad.mixed_profile (stm ()))
     | "stm-skiplist" ->
         set (AM.stm_skiplist ~profile:Ad.mixed_profile (stm ()))
+    | "sharded-map" ->
+        (* Keyspace partitioned across 8 per-shard instances: point
+           ops route to owners, [size] is a cross-shard snapshot — the
+           churn rounds hammer exactly the bound-vector protocol. *)
+        set
+          (AM.sharded_map ~profile:Ad.mixed_profile ~shards:8 (fun _ ->
+               stm ()))
+    | "sharded-hash" ->
+        set
+          (AM.sharded_hash ~profile:Ad.mixed_profile ~shards:8 (fun _ ->
+               stm ()))
     | "boosted-set" -> set (AM.boosted (stm ()))
     | "coarse-lock-list" -> set (AM.coarse ())
     | "cow-array-set" -> set (AM.cow ())
@@ -136,6 +150,14 @@ module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) = struct
         set ~atomic_size:true (AM.lazy_list ())
     | "stm-queue" ->
         let q, events = AM.record_queue (AM.stm_queue (stm ())) in
+        Queue_impl (q, events)
+    | "sharded-queue" ->
+        (* Pinned whole to its key's owner shard: FIFO order cannot be
+           hash-partitioned, so the history must be indistinguishable
+           from a single-instance queue's. *)
+        let q, events =
+          AM.record_queue (AM.sharded_queue ~shards:8 (fun _ -> stm ()))
+        in
         Queue_impl (q, events)
     | "stm-queue-blocking" ->
         (* Consumers park on empty instead of returning [None]

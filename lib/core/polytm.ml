@@ -43,3 +43,4 @@ module Semantics = Semantics
 module Contention = Contention
 module Stm_intf = Stm_intf
 module Stm = Stm
+module Shard = Shard

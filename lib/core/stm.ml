@@ -220,10 +220,20 @@ module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) : Stm_intf.S = struct
   }
 
   and t = {
+    uid : int;
+        (** creation-order identifier; fixes the canonical instance
+            order every cross-instance commit acquires intents in, so
+            two multis over overlapping instance sets never deadlock *)
     clock : int R.atomic;
         (** TL2: the global version clock.  NOrec: the global sequence
             lock — even values are quiescent timestamps, an odd value
             means a write commit is writing back. *)
+    multi_inflight : int R.atomic;
+        (** cross-instance commits currently spanning this instance:
+            set on every member {e before} its validation, cleared
+            after the last member unlocks.  [snapshot_multi] refuses to
+            draw a clock bound while nonzero — the privatization fence
+            that keeps a reader from observing half of a multi. *)
     algo : [ `Tl2 | `Norec ];  (** the ownership/validation policy *)
     skip_validation : bool;
         (** testing backdoor: a NOrec instance that skips the value
@@ -270,6 +280,8 @@ module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) : Stm_intf.S = struct
     c_parks : R.counter;
     c_wakes : R.counter;
     c_wake_timeouts : R.counter;
+    c_multi_commits : R.counter;
+    c_multi_escalations : R.counter;
     (* history recording: single-scheduler runs only *)
     mutable recording : bool;
     mutable log_rev : recorded list;
@@ -289,6 +301,11 @@ module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) : Stm_intf.S = struct
                              at most one waiter per thread per instance *)
   }
 
+  (* Creation order defines the canonical instance order (a plain
+     Stdlib atomic: instance creation is setup-time, never on a
+     transactional path, and charging it would shift sim schedules). *)
+  let instance_uids = Atomic.make 0
+
   let create ?(cm = Contention.default) ?(elastic_window = 2)
       ?(max_attempts = 10_000) ?(on_exhaustion = `Serialize)
       ?(extend_on_stale = true) ?(versions = 2) ?(gv = `Gv1)
@@ -304,7 +321,9 @@ module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) : Stm_intf.S = struct
         (Invalid_operation
            "unsafe_skip_validation is the NOrec conformance self-test knob");
     {
+      uid = Atomic.fetch_and_add instance_uids 1;
       clock = R.atomic 0;
+      multi_inflight = R.atomic 0;
       algo;
       skip_validation = unsafe_skip_validation;
       skip_wake_validation = unsafe_skip_wake_validation;
@@ -359,6 +378,8 @@ module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) : Stm_intf.S = struct
       c_parks = R.counter ();
       c_wakes = R.counter ();
       c_wake_timeouts = R.counter ();
+      c_multi_commits = R.counter ();
+      c_multi_escalations = R.counter ();
       recording = false;
       log_rev = [];
       aborted_rev = [];
@@ -1774,6 +1795,596 @@ module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) : Stm_intf.S = struct
         run_optimistic stm ctx sem label ~budget ~deadline ~serial_ok:false f
 
   (* ------------------------------------------------------------------ *)
+  (* Cross-instance transactions — the sharded store's commit engine     *)
+
+  (* Canonical member order: sort by creation uid and drop duplicates.
+     Every cross-instance operation touches its members in this order
+     (intent acquisition, token acquisition), so two overlapping multis
+     can never deadlock through each other's instances. *)
+  let canonical_instances stms =
+    let arr = Array.of_list stms in
+    Array.sort (fun (a : t) b -> compare a.uid b.uid) arr;
+    let n = Array.length arr in
+    let uniq = ref 0 in
+    for i = 0 to n - 1 do
+      if !uniq = 0 || arr.(i) != arr.(!uniq - 1) then begin
+        arr.(!uniq) <- arr.(i);
+        incr uniq
+      end
+    done;
+    Array.sub arr 0 !uniq
+
+  (* Value-validate a read-only NOrec member at a pinned even clock,
+     never waiting: while a multi holds intents on other members,
+     waiting out another instance's write-back could deadlock two
+     multis against each other, so an in-flight commit aborts this
+     attempt instead (the retry loop, and ultimately the token
+     escalation, restore progress). *)
+  let multi_norec_validate tx =
+    let stm = tx.stm in
+    if not stm.skip_validation then begin
+      let time = R.get stm.clock in
+      if time land 1 = 1 then abort_with Lock_busy;
+      if not (norec_reads_hold tx) then abort_with Read_invalid;
+      if not (norec_window_holds tx) then abort_with Window_broken;
+      if R.get stm.clock <> time then abort_with Read_invalid;
+      tx.rv <- time
+    end
+
+  (* Seize a NOrec member's sequence lock without blocking.  A CAS from
+     the current even clock both locks out every other commit on that
+     instance and freezes its read validity; when the clock moved past
+     the member's timestamp, the read set is value-checked under the
+     held lock (the clock cannot move again), releasing on failure. *)
+  let multi_norec_seize tx =
+    let stm = tx.stm in
+    let rec go () =
+      let time = R.get stm.clock in
+      if time land 1 = 1 then abort_with Lock_busy
+      else if R.cas stm.clock time (time + 1) then begin
+        if
+          time <> tx.rv
+          && (not stm.skip_validation)
+          && not (norec_reads_hold tx && norec_window_holds tx)
+        then begin
+          R.set stm.clock time;
+          abort_with Read_invalid
+        end;
+        tx.rv <- time
+      end
+      else go ()
+    in
+    go ()
+
+  (* The TL2 pieces of [write_back]/[version_and_write_back], split so
+     a multi can publish EVERY member's values before releasing ANY
+     lock.  No fast path: a multi always validated in phase 1b, so the
+     wv draw never needs the exclusive-increment proof. *)
+  let multi_draw_wv tx =
+    match tx.stm.gv with
+    | `Gv1 -> R.fetch_and_add tx.stm.clock 1 + 1
+    | `Gv4 ->
+        let cur = R.get tx.stm.clock in
+        if R.cas tx.stm.clock cur (cur + 1) then cur + 1
+        else R.get tx.stm.clock
+
+  let multi_write_back tx wv =
+    Flat_table.iter_ascending
+      (fun _ (WEntry w) ->
+        let d = R.get w.wvar.data in
+        R.set w.wvar.data
+          {
+            value = w.wvalue;
+            version = wv;
+            older =
+              take_chain (tx.stm.versions - 1) ((d.value, d.version) :: d.older);
+          };
+        record_event tx w.wvar ~is_write:true)
+      tx.writes
+
+  let multi_unlock tx wv =
+    Flat_table.iter_ascending
+      (fun _ (WEntry w) ->
+        R.set w.wvar.lock (Unlocked wv);
+        w.locked_version <- -1)
+      tx.writes
+
+  (* Commit a cross-instance transaction: two-phase commit over the
+     member instances' clocks.  Phase 1 acquires every member's commit
+     intent in canonical order — TL2 write locks in ascending location
+     order, the NOrec sequence lock — then validates every member,
+     including read-only ones, refusing to block on foreign state
+     while holding any intent.  Phase 2 is the commit point: draw each
+     member's write version, publish every member's values, and only
+     then release any intent, so no reader can observe one member's
+     writes without the others'.
+
+     [multi_inflight] is raised on every member before validation and
+     dropped after the last release.  Validation treats a foreign
+     raised flag as a conflict, and [snapshot_multi] refuses to draw a
+     bound while one is raised: without that fence, a third
+     transaction could close a serialization cycle through an instance
+     this multi only reads — commit on a member after our validation,
+     be observed by a reader that then validates against another
+     member we have not written back yet (the privatization-safety
+     argument, DESIGN §S20). *)
+  let multi_commit txs =
+    let n = Array.length txs in
+    (* Admission, member order: respect a serial-token holder (before
+       holding any intent — no hold-and-wait), then join the in-flight
+       count [enter_serial_mode] drains, and raise the flag. *)
+    Array.iter
+      (fun tx ->
+        if not tx.holds_token then
+          while R.token_held tx.stm.serial_token do
+            R.pause 4
+          done)
+      txs;
+    Array.iter
+      (fun tx ->
+        ignore (R.fetch_and_add tx.stm.active_commits 1);
+        ignore (R.fetch_and_add tx.stm.multi_inflight 1))
+      txs;
+    let seized = Array.make n false in
+    let leave () =
+      Array.iter
+        (fun tx ->
+          ignore (R.fetch_and_add tx.stm.multi_inflight (-1));
+          ignore (R.fetch_and_add tx.stm.active_commits (-1)))
+        txs
+    in
+    let release_intents () =
+      Array.iteri
+        (fun i tx ->
+          match tx.stm.algo with
+          | `Tl2 -> release_all tx
+          | `Norec -> if seized.(i) then R.set tx.stm.clock tx.rv)
+        txs
+    in
+    match
+      (* Phase 1: intents, canonical instance order. *)
+      Array.iteri
+        (fun i tx ->
+          match tx.stm.algo with
+          | `Tl2 ->
+              Flat_table.iter_ascending (fun _ e -> acquire tx e) tx.writes;
+              if (not tx.holds_token) && R.get tx.owner.killed then
+                abort_with Killed
+          | `Norec ->
+              if not (Flat_table.is_empty tx.writes) then begin
+                multi_norec_seize tx;
+                seized.(i) <- true
+              end)
+        txs;
+      (* Phase 1b: validate every member (a seized NOrec member was
+         already value-checked under its held sequence lock). *)
+      Array.iteri
+        (fun i tx ->
+          if R.get tx.stm.multi_inflight > 1 then abort_with Lock_busy;
+          if not seized.(i) then
+            match tx.stm.algo with
+            | `Tl2 -> validate tx
+            | `Norec -> multi_norec_validate tx)
+        txs
+    with
+    | exception e ->
+        release_intents ();
+        leave ();
+        raise e
+    | () ->
+        let wvs =
+          Array.map
+            (fun tx ->
+              if Flat_table.is_empty tx.writes then -1
+              else
+                match tx.stm.algo with
+                | `Tl2 -> multi_draw_wv tx
+                | `Norec -> tx.rv + 2)
+            txs
+        in
+        Array.iteri
+          (fun i tx -> if wvs.(i) >= 0 then multi_write_back tx wvs.(i))
+          txs;
+        Array.iteri
+          (fun i tx ->
+            if wvs.(i) >= 0 then
+              match tx.stm.algo with
+              | `Tl2 -> multi_unlock tx wvs.(i)
+              | `Norec -> R.set tx.stm.clock wvs.(i))
+          txs;
+        leave ();
+        Array.iteri (fun i tx -> if wvs.(i) >= 0 then notify_waiters tx) txs
+
+  (* The optimistic budget before a multi escalates to the token slow
+     path.  Deliberately small: a multi's conflict window spans every
+     member, so a few rounds of backoff tell us what thousands would. *)
+  let multi_optimistic_cap = 16
+
+  let atomically_multi ?(sem = Semantics.Classic) ?(label = "") ?budget stms f
+      =
+    if Semantics.equal sem Semantics.Snapshot then
+      raise
+        (Invalid_operation
+           "atomically_multi is for updating transactions; use snapshot_multi");
+    match stms with
+    | [] -> raise (Invalid_operation "atomically_multi: no instances")
+    | [ stm ] -> atomically ~sem ~label ?budget stm (fun _tx -> f ())
+    | _ ->
+        let arr = canonical_instances stms in
+        if Array.length arr = 1 then
+          atomically ~sem ~label ?budget arr.(0) (fun _tx -> f ())
+        else begin
+          let k = Array.length arr in
+          let ctxs = Array.map (fun stm -> R.tls_get stm.current) arr in
+          let live (ctx : thread_ctx) =
+            match ctx.cur_tx with Some o when o.live -> true | _ -> false
+          in
+          if Array.for_all live ctxs then
+            (* Every member already carries a live transaction: an
+               enclosing cross-instance transaction spans (at least)
+               these instances, so this call flattens into it exactly
+               as a nested [atomically] flattens into its outer
+               transaction — the enclosing commit provides the
+               atomicity.  This is what lets a sharded structure's
+               aggregate run unchanged inside a cross-shard [MULTI]. *)
+            f ()
+          else begin
+          Array.iter
+            (fun (ctx : thread_ctx) ->
+              match ctx.cur_tx with
+              | Some outer when outer.live ->
+                  raise
+                    (Invalid_operation
+                       "atomically_multi inside a live transaction on a \
+                        member instance")
+              | Some _ | None -> ())
+            ctxs;
+          (* One descriptor per member, re-armed across attempts; the
+             thunk's nested [atomically] calls flatten into them. *)
+          let txs =
+            Array.mapi (fun i stm -> fresh_tx stm ctxs.(i).stores sem label) arr
+          in
+          let cap =
+            match budget with Some b -> max 1 b | None -> multi_optimistic_cap
+          in
+          let arm_all ~token n =
+            Array.iteri
+              (fun i tx ->
+                arm_tx tx;
+                tx.attempt <- n;
+                tx.holds_token <- token;
+                R.add_counter tx.stm.c_starts 1;
+                emit_begin tx n;
+                if token then emit_serialize tx n;
+                ctxs.(i).cur_tx <- Some tx)
+              txs
+          in
+          let cleanup_all () =
+            Array.iteri
+              (fun i tx ->
+                tx.live <- false;
+                ctxs.(i).cur_tx <- None)
+              txs
+          in
+          let account_commit () =
+            Array.iter
+              (fun tx ->
+                R.add_counter tx.stm.c_commits 1;
+                R.add_counter tx.stm.c_multi_commits 1;
+                if tx.holds_token then R.add_counter tx.stm.c_serial_commits 1)
+              txs
+          in
+          let account_abort reason =
+            Array.iter
+              (fun tx ->
+                let sets = abort_sets tx in
+                record_aborted tx;
+                R.add_counter tx.stm.c_aborts 1;
+                R.add_counter (abort_counter tx.stm reason) 1;
+                emit_abort tx reason sets)
+              txs
+          in
+          let run_all_hooks ~aborted =
+            Array.iter (fun tx -> run_hooks tx ~aborted) txs
+          in
+          let fail_retry () =
+            raise
+              (Invalid_operation
+                 "retry inside a cross-instance transaction (a parked \
+                  waiter cannot span instances)")
+          in
+          let enter_all () = Array.iter enter_serial_mode arr in
+          let exit_all () =
+            for i = k - 1 downto 0 do
+              exit_serial_mode arr.(i)
+            done
+          in
+          (* The slow path: serialize every member — tokens in
+             canonical order, in-flight commits drained — then re-run
+             with a commit that cannot lose a conflict (bar the same
+             straggler race [serial_fallback] tolerates; the loop
+             re-enters and a later attempt truly runs alone). *)
+          let rec escalate n0 =
+            Array.iter
+              (fun (stm : t) ->
+                R.add_counter stm.c_multi_escalations 1;
+                R.add_counter stm.c_budget_exhaustions 1)
+              arr;
+            enter_all ();
+            let rec go n =
+              arm_all ~token:true n;
+              match
+                let result = f () in
+                multi_commit txs;
+                result
+              with
+              | result ->
+                  cleanup_all ();
+                  exit_all ();
+                  account_commit ();
+                  run_all_hooks ~aborted:false;
+                  result
+              | exception Abort_tx reason -> (
+                  account_abort reason;
+                  cleanup_all ();
+                  exit_all ();
+                  run_all_hooks ~aborted:true;
+                  match reason with
+                  | Explicit -> raise (Too_many_attempts (Explicit, n))
+                  | Retry -> fail_retry ()
+                  | _ ->
+                      enter_all ();
+                      go (n + 1))
+              | exception e ->
+                  account_abort Explicit;
+                  cleanup_all ();
+                  exit_all ();
+                  run_all_hooks ~aborted:true;
+                  raise e
+            in
+            go n0
+          and attempt n =
+            arm_all ~token:false n;
+            match
+              let result = f () in
+              multi_commit txs;
+              result
+            with
+            | result ->
+                cleanup_all ();
+                account_commit ();
+                run_all_hooks ~aborted:false;
+                result
+            | exception Abort_tx reason -> (
+                account_abort reason;
+                cleanup_all ();
+                run_all_hooks ~aborted:true;
+                match reason with
+                | Retry -> fail_retry ()
+                | Explicit when n >= cap ->
+                    raise (Too_many_attempts (Explicit, n))
+                | reason ->
+                    if n >= cap && reason <> Explicit then escalate (n + 1)
+                    else begin
+                      let pause =
+                        Contention.retry_pause arr.(0).cm ~attempt:n
+                      in
+                      if pause > 0 then R.pause pause;
+                      attempt (n + 1)
+                    end)
+            | exception e ->
+                account_abort Explicit;
+                cleanup_all ();
+                run_all_hooks ~aborted:true;
+                raise e
+          in
+          attempt 1
+          end
+        end
+
+  (* A consistent cross-instance read-only snapshot.  The bound vector
+     comes from a double collect: pass 1 draws every member's stable
+     clock while that member has no serial-token holder and no
+     cross-instance commit in flight; pass 2 re-checks that every
+     member's clock and both flags are unchanged.  Success means every
+     bound was simultaneously current throughout a common interval
+     (between the end of pass 1 and the start of pass 2), so the
+     vector is a consistent cut of the whole store; per-location
+     in-flight write-backs below a bound are absorbed by the ordinary
+     single-instance snapshot reads.  [unsafe_no_stabilize] skips
+     pass 2 — the deliberately-torn ordering the Explore model check
+     must catch — and must never be used otherwise. *)
+  let snapshot_collect arr ~unsafe =
+    let k = Array.length arr in
+    let ubs = Array.make k 0 in
+    let stable_clock (stm : t) =
+      match stm.algo with
+      | `Tl2 -> R.get stm.clock
+      | `Norec -> norec_stable_clock stm
+    in
+    let quiescent (stm : t) =
+      (not (R.token_held stm.serial_token)) && R.get stm.multi_inflight = 0
+    in
+    let rec collect () =
+      for i = 0 to k - 1 do
+        let stm = arr.(i) in
+        while not (quiescent stm) do
+          R.pause 2
+        done;
+        ubs.(i) <- stable_clock stm
+      done;
+      if not unsafe then begin
+        let ok = ref true in
+        for i = 0 to k - 1 do
+          let stm = arr.(i) in
+          if not (quiescent stm && stable_clock stm = ubs.(i)) then ok := false
+        done;
+        if not !ok then begin
+          R.pause 2;
+          collect ()
+        end
+      end
+    in
+    collect ();
+    ubs
+
+  (* Bound-vector redraws before a cross-instance snapshot escalates to
+     the token path (each redraw is cheap; only a sustained update
+     storm outrunning the backup chains ever gets this far). *)
+  let snapshot_multi_cap = 64
+
+  let snapshot_multi ?(label = "") ?(unsafe_no_stabilize = false) stms f =
+    match stms with
+    | [] -> raise (Invalid_operation "snapshot_multi: no instances")
+    | [ stm ] ->
+        atomically ~sem:Semantics.Snapshot ~label stm (fun _tx -> f ())
+    | _ ->
+        let arr = canonical_instances stms in
+        if Array.length arr = 1 then
+          atomically ~sem:Semantics.Snapshot ~label arr.(0) (fun _tx -> f ())
+        else begin
+          let k = Array.length arr in
+          let ctxs = Array.map (fun stm -> R.tls_get stm.current) arr in
+          let live (ctx : thread_ctx) =
+            match ctx.cur_tx with Some o when o.live -> true | _ -> false
+          in
+          if Array.for_all live ctxs then
+            (* Flatten into an enclosing cross-instance transaction
+               spanning every member (see [atomically_multi]); its
+               bound vector / commit governs consistency. *)
+            f ()
+          else begin
+          Array.iter
+            (fun (ctx : thread_ctx) ->
+              match ctx.cur_tx with
+              | Some outer when outer.live ->
+                  raise
+                    (Invalid_operation
+                       "snapshot_multi inside a live transaction on a member \
+                        instance")
+              | Some _ | None -> ())
+            ctxs;
+          let txs =
+            Array.mapi
+              (fun i stm ->
+                fresh_tx stm ctxs.(i).stores Semantics.Snapshot label)
+              arr
+          in
+          let arm_all ~token n =
+            Array.iteri
+              (fun i tx ->
+                arm_tx tx;
+                tx.attempt <- n;
+                tx.holds_token <- token;
+                R.add_counter tx.stm.c_starts 1;
+                emit_begin tx n;
+                if token then emit_serialize tx n;
+                ctxs.(i).cur_tx <- Some tx)
+              txs
+          in
+          let cleanup_all () =
+            Array.iteri
+              (fun i tx ->
+                tx.live <- false;
+                ctxs.(i).cur_tx <- None)
+              txs
+          in
+          let account_commit () =
+            Array.iter
+              (fun tx ->
+                (* Read-only by construction: the free commit path. *)
+                commit tx;
+                R.add_counter tx.stm.c_commits 1;
+                R.add_counter tx.stm.c_multi_commits 1;
+                if tx.holds_token then R.add_counter tx.stm.c_serial_commits 1)
+              txs
+          in
+          let account_abort reason =
+            Array.iter
+              (fun tx ->
+                let sets = abort_sets tx in
+                record_aborted tx;
+                R.add_counter tx.stm.c_aborts 1;
+                R.add_counter (abort_counter tx.stm reason) 1;
+                emit_abort tx reason sets)
+              txs
+          in
+          let run_all_hooks ~aborted =
+            Array.iter (fun tx -> run_hooks tx ~aborted) txs
+          in
+          let enter_all () = Array.iter enter_serial_mode arr in
+          let exit_all () =
+            for i = k - 1 downto 0 do
+              exit_serial_mode arr.(i)
+            done
+          in
+          (* Token slow path: with every member serialized nothing can
+             commit, so freshly-armed bounds are trivially consistent
+             and every read is a current version. *)
+          let rec escalate n =
+            Array.iter
+              (fun (stm : t) -> R.add_counter stm.c_multi_escalations 1)
+              arr;
+            enter_all ();
+            arm_all ~token:true n;
+            match f () with
+            | result ->
+                cleanup_all ();
+                exit_all ();
+                account_commit ();
+                run_all_hooks ~aborted:false;
+                result
+            | exception Abort_tx reason -> (
+                account_abort reason;
+                cleanup_all ();
+                exit_all ();
+                run_all_hooks ~aborted:true;
+                match reason with
+                | Snapshot_too_old ->
+                    (* A straggler committed past a chain: re-enter. *)
+                    escalate (n + 1)
+                | reason -> raise (Too_many_attempts (reason, n)))
+            | exception e ->
+                account_abort Explicit;
+                cleanup_all ();
+                exit_all ();
+                run_all_hooks ~aborted:true;
+                raise e
+          and attempt n =
+            if n > snapshot_multi_cap then escalate n
+            else begin
+              arm_all ~token:false n;
+              let ubs = snapshot_collect arr ~unsafe:unsafe_no_stabilize in
+              Array.iteri
+                (fun i tx ->
+                  tx.rv <- ubs.(i);
+                  tx.snapshot_ub <- ubs.(i))
+                txs;
+              match f () with
+              | result ->
+                  cleanup_all ();
+                  account_commit ();
+                  run_all_hooks ~aborted:false;
+                  result
+              | exception Abort_tx reason -> (
+                  account_abort reason;
+                  cleanup_all ();
+                  run_all_hooks ~aborted:true;
+                  match reason with
+                  | Snapshot_too_old -> attempt (n + 1)
+                  | reason -> raise (Too_many_attempts (reason, n)))
+              | exception e ->
+                  account_abort Explicit;
+                  cleanup_all ();
+                  run_all_hooks ~aborted:true;
+                  raise e
+            end
+          in
+          attempt 1
+          end
+        end
+
+  (* ------------------------------------------------------------------ *)
   (* Statistics and recording                                            *)
 
   type stats = {
@@ -1797,6 +2408,8 @@ module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) : Stm_intf.S = struct
     parks : int;
     wakes : int;
     wake_timeouts : int;
+    multi_commits : int;
+    multi_escalations : int;
   }
 
   let stats stm =
@@ -1821,6 +2434,8 @@ module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) : Stm_intf.S = struct
       parks = R.read_counter stm.c_parks;
       wakes = R.read_counter stm.c_wakes;
       wake_timeouts = R.read_counter stm.c_wake_timeouts;
+      multi_commits = R.read_counter stm.c_multi_commits;
+      multi_escalations = R.read_counter stm.c_multi_escalations;
     }
 
   let reset_counter c = R.add_counter c (-R.read_counter c)
@@ -1833,7 +2448,8 @@ module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) : Stm_intf.S = struct
         stm.c_killed; stm.c_explicit; stm.c_cuts; stm.c_extensions;
         stm.c_stale_reads; stm.c_fast_commits; stm.c_ro_commits;
         stm.c_serial_commits; stm.c_budget_exhaustions; stm.c_retry_waits;
-        stm.c_parks; stm.c_wakes; stm.c_wake_timeouts;
+        stm.c_parks; stm.c_wakes; stm.c_wake_timeouts; stm.c_multi_commits;
+        stm.c_multi_escalations;
       ]
 
   let pp_stats ppf s =
@@ -1842,11 +2458,12 @@ module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) : Stm_intf.S = struct
        window_broken=%d snapshot_too_old=%d killed=%d explicit=%d@ cuts=%d \
        extensions=%d stale_reads=%d fast_commits=%d ro_commits=%d@ \
        serial_commits=%d budget_exhaustions=%d@ retry_waits=%d parks=%d \
-       wakes=%d wake_timeouts=%d@]"
+       wakes=%d wake_timeouts=%d@ multi_commits=%d multi_escalations=%d@]"
       s.starts s.commits s.aborts s.lock_busy s.read_invalid s.window_broken
       s.snapshot_too_old s.killed s.explicit_aborts s.cuts s.extensions
       s.stale_reads s.fast_commits s.ro_commits s.serial_commits
       s.budget_exhaustions s.retry_waits s.parks s.wakes s.wake_timeouts
+      s.multi_commits s.multi_escalations
 
   let record stm on =
     stm.recording <- on;

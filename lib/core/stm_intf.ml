@@ -242,6 +242,74 @@ module type S = sig
       [Committed] of [f]'s result (the outer call reports the fate of
       the merged transaction). *)
 
+  (** {1 Cross-instance transactions}
+
+      The sharded store's commit engine (DESIGN §S20).  A shard router
+      owns one instance per shard; single-shard operations use plain
+      {!atomically} on the owner instance, and only operations that
+      genuinely span shards pay for the protocols below. *)
+
+  val atomically_multi :
+    ?sem:Semantics.t ->
+    ?label:string ->
+    ?budget:int ->
+    t list ->
+    (unit -> 'a) ->
+    'a
+  (** [atomically_multi stms f] runs [f] as one atomic transaction
+      spanning every instance in [stms]: nested {!atomically} calls on
+      a member instance flatten into that member's sub-transaction,
+      and all members commit together via a two-phase commit over
+      their clocks — per-member commit intents acquired in canonical
+      (creation-order) instance order, every member's read set
+      validated against its own clock, then every member's values
+      written back before any intent is released.  A reader can never
+      observe one member's writes without the others'.
+
+      Conflicts abort and re-run the whole multi under backoff;
+      [budget] (default 16) optimistic rounds later it {e escalates}:
+      the serialization token of every member is taken in canonical
+      order, in-flight commits drain, and the re-run commits
+      guaranteed — the same slow path as the single-instance serial
+      fallback, so cross-shard batches are livelock-free.
+
+      With zero or one (distinct) instances this is exactly
+      {!atomically} — the single-shard path is untouched.
+
+      @raise Invalid_operation for [sem:Snapshot] (use
+      {!snapshot_multi}), for {!retry} inside [f] (a parked waiter
+      cannot span instances), or when the calling thread already has a
+      live transaction on a member instance.
+      @raise Too_many_attempts when [f] aborts explicitly on every
+      attempt (a user decision escalation cannot override). *)
+
+  val snapshot_multi :
+    ?label:string ->
+    ?unsafe_no_stabilize:bool ->
+    t list ->
+    (unit -> 'a) ->
+    'a
+  (** [snapshot_multi stms f] runs [f] as a read-only snapshot
+      spanning every instance in [stms]: nested calls on a member
+      flatten into a [Snapshot]-semantics sub-transaction whose bound
+      is that member's slot in a {e consistent bound vector} — drawn
+      by double collect (read every member's stable clock while no
+      serial token is held and no cross-instance commit is in flight
+      there, then re-check all of them unchanged), so the reads across
+      all members form one consistent cut of the whole store.  Like
+      single-instance snapshots it never impedes updaters; unlike
+      them it may redraw its bounds (update storms outrunning the
+      backup chains) and, after 64 redraws, escalates to the
+      serialization tokens.
+
+      [unsafe_no_stabilize] skips the re-check pass, deliberately
+      allowing a torn cross-instance read; it exists solely so the
+      Explore model check can prove it would catch that bug, and must
+      never be used otherwise.
+
+      @raise Invalid_operation on a write inside [f], or when the
+      calling thread already has a live transaction on a member. *)
+
   val read : tx -> 'a tvar -> 'a
   (** Transactional read, honouring the transaction's semantics. *)
 
@@ -383,6 +451,13 @@ module type S = sig
             validation failure re-runs immediately without parking) *)
     wakes : int;  (** parks ended by a committing writer's notify *)
     wake_timeouts : int;  (** parks ended by the call's deadline *)
+    multi_commits : int;
+        (** commits this instance took part in as a member of a
+            cross-instance transaction ({!atomically_multi} /
+            {!snapshot_multi}) *)
+    multi_escalations : int;
+        (** times a cross-instance transaction on this instance gave
+            up optimism and escalated to the serialization tokens *)
   }
 
   val stats : t -> stats

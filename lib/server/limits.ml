@@ -24,10 +24,13 @@ type t = {
           [try_atomically ~deadline]; [None] means no deadline *)
   max_waiters : int;
       (** parked blocking ops ([BLPOP]/[BTAKE] waiters, watch polls)
-          tolerated per STM instance; a blocking op arriving when the
-          wait table is already this full is answered [BUSY] instead
-          of parking, so a flood of blocking clients cannot pin every
-          worker domain *)
+          tolerated server-wide, across every STM instance and shard;
+          a blocking op arriving when the shared budget
+          ([Registry.reserve_waiter]) is exhausted is answered [BUSY]
+          instead of parking, so a flood of blocking clients cannot
+          pin every worker domain.  (Earlier versions checked the
+          limit against one instance's wait table, so [N] instances
+          admitted [N * max_waiters] parked ops.) *)
   debug_ops : bool;
       (** accept [DEBUG-ABORT] probe requests (tests and CI smoke);
           off by default *)

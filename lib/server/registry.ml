@@ -1,51 +1,67 @@
 (** Named transactional structures hosted by the server, plus the
     translation from wire commands to STM operations.
 
-    One registry owns two STM instances (over the domains runtime) —
-    one per algorithm, TL2 and NORec — and a name -> structure table,
-    so a server can host a NORec map next to a TL2 queue (DESIGN.md
-    §S17).  Each structure is pinned at creation to one instance; the
-    session runs the per-request transaction on the instance of the
-    structure(s) it touches, which is what lets nested structure
-    operations flatten into it.  The table itself is a persistent
-    association list behind an [Atomic]: lookups on the request hot
-    path are a single atomic load, and the rare creations CAS a new
-    list in.  The {e contents} of every structure are transactional —
-    the registry only maps names to roots.
+    One registry owns two {e shard routers} over the domains runtime —
+    one per algorithm, TL2 and NORec — each holding [shards]
+    independent STM instances (own clock, wait queue, contention
+    manager; DESIGN.md §S20).  Structures are sharded: a map or set
+    partitions its key range across the owner router's instances
+    behind the unchanged structure API, and a queue (whose FIFO order
+    cannot be hash-partitioned) is pinned whole to the shard owning
+    its name.  Each structure is pinned at creation to one algorithm;
+    the session runs the per-request transaction on the instance(s)
+    the operation touches — the owner shard for a point operation, the
+    whole router for a cross-shard aggregate — which is what lets
+    nested structure operations flatten into it.  With [shards = 1]
+    (the default) every path degenerates to the single-instance code
+    the pre-sharding server ran.  The name table itself is a
+    persistent association list behind an [Atomic]: lookups on the
+    request hot path are a single atomic load, and the rare creations
+    CAS a new list in.  The {e contents} of every structure are
+    transactional — the registry only maps names to roots.
 
     Command execution is split in two phases on purpose:
 
     - {!resolve} runs {e outside} any transaction: it checks the
       structure exists and the operation matches its kind, returning
-      either an error response or a thunk.
-    - the thunk runs {e inside} the session's [try_atomically]; the
-      structure operations it calls open nested transactions that
-      flatten into the session's outer one, which is how a whole
-      [MULTI] batch, or a single hinted op, executes under exactly one
-      transaction of the hinted semantics.
+      either an error response or a {!resolved} record naming the
+      {!site} (which instances are involved) and the thunk.
+    - the thunk runs {e inside} the session's transaction — a plain
+      [try_atomically] on the owner instance for a {!Single} site, a
+      cross-instance [atomically_multi]/[snapshot_multi] for a
+      {!Spanning} one; the structure operations it calls open nested
+      transactions that flatten into it either way.
 
     Pre-resolving keeps failures atomic: a [MULTI] batch either
     resolves completely or executes not at all, so no partial batch is
     ever visible. *)
 
 module S = Polytm.Stm.Make (Polytm_runtime.Domain_runtime)
-module Smap = Polytm_structs.Stm_map.Make (S)
-module Sset = Polytm_structs.Stm_hash_set.Make (S)
-module Squeue = Polytm_structs.Stm_queue.Make (S)
+module Shd = Polytm_structs.Sharded.Make (S)
+module Router = Shd.Router
+module Squeue = Shd.Queue_part
 
 type entry =
-  | Emap of string Smap.t
-  | Eset of Sset.t
-  | Equeue of string Squeue.t
+  | Emap of string Shd.Map.t
+  | Eset of Shd.Hash_set.t
+  | Equeue of string Squeue.t * int
+      (** the queue and the index of the shard it is pinned to *)
 
 type algo = [ `Tl2 | `Norec ]
 
-(* A structure is pinned to the instance it was created on.  [dirty]
-   and [watchers] drive WATCH push subscriptions: mutating thunks set
-   [dirty] inside their own transaction — but only while [watchers] is
-   positive, so unwatched structures pay a single atomic load — and a
-   watching session's poll transaction reads (and clears) it, parking
-   via [S.retry] until the next mutation's commit wakes it. *)
+(* A structure is pinned to the algorithm (and router) it was created
+   on.  [dirty] and [watchers] drive WATCH push subscriptions: the
+   dirty flag lives on the router's {e control shard} (shard 0), where
+   watch waits park; mutating operations mark it — inside their own
+   transaction when the server runs one shard (so the mark is atomic
+   with the mutation, exactly the pre-sharding behaviour), after the
+   commit when it runs several (the mutation's owner shard cannot
+   host a transaction over the control shard's tvar, and marking
+   {e before} the data commit could let a watcher consume the
+   notification, re-read stale data, and never hear about the actual
+   change).  A watching session's poll transaction reads (and clears)
+   the flag, parking via [S.retry] until the next mark's commit wakes
+   it. *)
 type slot = {
   entry : entry;
   algo : algo;
@@ -54,46 +70,100 @@ type slot = {
 }
 
 type t = {
-  stm : S.t;  (** the TL2 instance *)
-  stm_norec : S.t;
+  tl2 : Router.t;
+  norec : Router.t;
   default_algo : algo;  (** applied to wire [NEW] (no algo on the wire) *)
   entries : (string * slot) list Atomic.t;
-  draining : bool S.tvar;  (** on the TL2 instance *)
-  draining_norec : bool S.tvar;
+  draining : bool S.tvar array;  (** per TL2 shard, element [i] on shard [i] *)
+  draining_norec : bool S.tvar array;
+  waiters : int Atomic.t;
+      (** parked blocking ops, server-wide: one budget across every
+          instance of both routers (see {!reserve_waiter}) *)
 }
 
-let create ?stm ?stm_norec ?(default_algo = `Tl2) () =
-  let stm = match stm with Some s -> s | None -> S.create () in
-  let stm_norec =
-    match stm_norec with Some s -> s | None -> S.create ~algo:`Norec ()
+let create ?(shards = 1) ?stm ?stm_norec ?(default_algo = `Tl2) () =
+  if shards < 1 then invalid_arg "Registry: shards must be >= 1";
+  (match stm with
+  | Some s when S.algo s <> `Tl2 ->
+      invalid_arg "Registry: stm must be a TL2 instance"
+  | _ -> ());
+  (match stm_norec with
+  | Some s when S.algo s <> `Norec ->
+      invalid_arg "Registry: stm_norec must be a NORec instance"
+  | _ -> ());
+  (* An injected instance (tests pin instances for determinism)
+     becomes shard 0; further shards are fresh siblings. *)
+  let tl2 =
+    Router.create ~shards (fun i ->
+        match (i, stm) with 0, Some s -> s | _ -> S.create ())
   in
-  if S.algo stm <> `Tl2 then invalid_arg "Registry: stm must be a TL2 instance";
-  if S.algo stm_norec <> `Norec then
-    invalid_arg "Registry: stm_norec must be a NORec instance";
+  let norec =
+    Router.create ~shards (fun i ->
+        match (i, stm_norec) with
+        | 0, Some s -> s
+        | _ -> S.create ~algo:`Norec ())
+  in
   {
-    stm;
-    stm_norec;
+    tl2;
+    norec;
     default_algo;
     entries = Atomic.make [];
-    draining = S.tvar stm false;
-    draining_norec = S.tvar stm_norec false;
+    draining = Array.init shards (fun i -> S.tvar (Router.shard tl2 i) false);
+    draining_norec =
+      Array.init shards (fun i -> S.tvar (Router.shard norec i) false);
+    waiters = Atomic.make 0;
   }
 
-let stm t = t.stm
-let stm_for t = function `Tl2 -> t.stm | `Norec -> t.stm_norec
-let default_algo t = t.default_algo
-let draining_for t = function `Tl2 -> t.draining | `Norec -> t.draining_norec
+let router_for t = function `Tl2 -> t.tl2 | `Norec -> t.norec
+let shard_count t = Router.count t.tl2
 
-(* Flip the drain flag on both instances, each in a transaction of its
-   own: the commits wake every parked waiter whose read set includes
-   the flag (all blocking server ops read it first), so parked
-   sessions resurface and answer [Nil] instead of sleeping through
-   shutdown. *)
+(* The control shard: shard 0, home of the dirty and drain flags.
+   With one shard it {e is} the instance, so these accessors keep
+   their pre-sharding meaning. *)
+let stm t = Router.shard t.tl2 0
+let stm_for t algo = Router.shard (router_for t algo) 0
+let instances t algo = Router.all (router_for t algo)
+let default_algo t = t.default_algo
+let drains_for t = function `Tl2 -> t.draining | `Norec -> t.draining_norec
+
+(* Flip the drain flag of every shard of both routers, each in a
+   transaction of its own: the commits wake every parked waiter whose
+   read set includes its shard's flag (all blocking server ops read
+   their home shard's flag first), so parked sessions resurface and
+   answer [Nil] instead of sleeping through shutdown. *)
 let set_draining t =
-  S.atomically ~label:"set-draining" t.stm (fun tx ->
-      S.write tx t.draining true);
-  S.atomically ~label:"set-draining" t.stm_norec (fun tx ->
-      S.write tx t.draining_norec true)
+  List.iter
+    (fun algo ->
+      let router = router_for t algo in
+      Array.iteri
+        (fun i flag ->
+          S.atomically ~label:"set-draining" (Router.shard router i) (fun tx ->
+              S.write tx flag true))
+        (drains_for t algo))
+    [ `Tl2; `Norec ]
+
+(* ---- the server-wide waiter budget ------------------------------------- *)
+
+(* One atomic budget for every parked blocking op on the server,
+   whatever instance it parks on.  The pre-sharding admission check
+   compared [S.waiting] of the {e one} instance the op targeted
+   against the cap, which (a) let TL2 and NORec waiters each fill a
+   whole cap — and K shards fill K caps — and (b) raced: two sessions
+   could both pass the check and both park past the limit.  Reserving
+   a slot {e before} parking (and releasing it on wake or timeout)
+   closes both holes: the CAS admits at most [limit] reservations no
+   matter how many instances exist or how the checks interleave. *)
+let reserve_waiter t ~limit =
+  let rec go () =
+    let n = Atomic.get t.waiters in
+    if n >= limit then false
+    else if Atomic.compare_and_set t.waiters n (n + 1) then true
+    else go ()
+  in
+  go ()
+
+let release_waiter t = Atomic.decr t.waiters
+let waiting t = Atomic.get t.waiters
 let algo_name = function `Tl2 -> "tl2" | `Norec -> "norec"
 
 let algo_of_name = function
@@ -116,18 +186,37 @@ let kind_of_entry = function
    matches (so clients can ensure their structures without
    coordination) and is a typed error when it does not.  The algorithm
    is fixed at first creation — the wire carries no algo, so an
-   ensure of an existing name never migrates it between instances. *)
+   ensure of an existing name never migrates it between instances.
+
+   First-touch race audit: two sessions racing to create ["map:x"]
+   both build a fresh slot, but the CAS linearises them — exactly one
+   swaps its slot in; the loser re-runs [go], finds the winner's slot
+   under the name, and converges on it ([Ok `Existed]).  The loser's
+   orphan structure was never published and is collected.  A lookup
+   racing the creation either sees the old list (NOSTRUCT — the
+   structure did not exist yet at its linearisation point) or the new
+   one; it can never see a half-initialised slot because the slot is
+   fully built before the CAS publishes it.  The socketpair e2e test
+   hammers this with racing first-touch creation from four
+   connections. *)
 let ensure ?algo t kind name =
   let algo = Option.value algo ~default:t.default_algo in
-  let stm = stm_for t algo in
+  let router = router_for t algo in
   let fresh () =
     let entry =
       match kind with
-      | Wire.Kmap -> Emap (Smap.create stm)
-      | Wire.Kset -> Eset (Sset.create stm)
-      | Wire.Kqueue -> Equeue (Squeue.create stm)
+      | Wire.Kmap -> Emap (Shd.Map.create router)
+      | Wire.Kset -> Eset (Shd.Hash_set.create router)
+      | Wire.Kqueue ->
+          let home = Router.index_of_key router name in
+          Equeue (Squeue.create (Router.shard router home), home)
     in
-    { entry; algo; dirty = S.tvar stm false; watchers = Atomic.make 0 }
+    {
+      entry;
+      algo;
+      dirty = S.tvar (Router.shard router 0) false;
+      watchers = Atomic.make 0;
+    }
   in
   let rec go () =
     let cur = Atomic.get t.entries in
@@ -160,114 +249,186 @@ let mismatch cmd entry =
   err Wire.Bad_op "%s does not apply to a %s" (Wire.cmd_name cmd)
     (Wire.kind_to_string (kind_of_entry entry))
 
-(* Mark [slot] changed, atomically with the mutation that calls this
-   (the nested transaction flattens into the session's outer one).
-   Watch-free structures pay one atomic load and no transactional
-   write — enabling subscriptions costs nothing until someone
-   subscribes. *)
+(* Where a resolved command's transaction must run: one owner instance
+   (point operations, anything on a pinned queue, every operation of a
+   1-shard server) or the set of instances a cross-shard aggregate
+   spans.  The session opens the matching transaction shape and the
+   thunk flattens into it. *)
+type site = Single of S.t | Spanning of S.t list
+
+type resolved = {
+  algo : algo;
+  site : site;
+  touched : slot option;
+      (** mark this slot dirty once the transaction committed — only
+          set on mutating commands of a multi-shard server; 1-shard
+          mutators mark inline, inside their own transaction *)
+  run : unit -> Wire.response;
+}
+
+(* Mark [slot] changed.  On a 1-shard server this is called inside the
+   mutating transaction (the nested transaction flattens into it, so
+   the mark commits atomically with the mutation); on a multi-shard
+   server the session calls it after the commit, as its own small
+   transaction on the control shard.  Watch-free structures pay one
+   atomic load and no transactional write — enabling subscriptions
+   costs nothing until someone subscribes. *)
 let touch t slot =
   if Atomic.get slot.watchers > 0 then
     S.atomically ~label:"mark-dirty" (stm_for t slot.algo) (fun tx ->
         S.write tx slot.dirty true)
 
-(* [resolve t cmd] is either an immediate error response or a thunk to
-   run inside the session's transaction, paired with the algorithm of
-   the instance the transaction must run on.  Only plain structure
-   operations resolve here — PING/NEW/MULTI/DEBUG-ABORT and the
-   blocking/subscription ops are session concerns. *)
-let resolve t cmd : (algo * (unit -> Wire.response), Wire.response) result =
+let home_of t (s : slot) home = Router.shard (router_for t s.algo) home
+
+(* The aggregate site of a sharded structure: its whole router, unless
+   the server runs one shard (then the aggregate is an ordinary
+   single-instance transaction — exactly the pre-sharding path). *)
+let span insts = match insts with [ s ] -> Single s | l -> Spanning l
+
+let resolve t cmd : (resolved, Wire.response) result =
   let with_slot name k =
     match List.assoc_opt name (Atomic.get t.entries) with
     | None -> Error (err Wire.No_struct "no structure named %S" name)
-    | Some s -> Result.map (fun thunk -> (s.algo, thunk)) (k s)
+    | Some s -> k s
   in
-  let with_entry name k = with_slot name (fun s -> k s.entry) in
-  (* A mutating thunk also marks the slot dirty for its watchers. *)
-  let marking s thunk () =
-    let r = thunk () in
-    touch t s;
-    r
+  let ok (s : slot) site run = Ok { algo = s.algo; site; touched = None; run } in
+  (* A mutating thunk also marks the slot dirty for its watchers:
+     inline when one shard (atomic with the mutation), deferred to
+     the session's post-commit hook when several (see [touch]). *)
+  let mutating (s : slot) site thunk =
+    if shard_count t = 1 then
+      Ok
+        {
+          algo = s.algo;
+          site;
+          touched = None;
+          run =
+            (fun () ->
+              let r = thunk () in
+              touch t s;
+              r);
+        }
+    else Ok { algo = s.algo; site; touched = Some s; run = thunk }
   in
   match cmd with
   | Wire.Get (name, key) ->
-      with_entry name (function
-        | Emap m ->
-            Ok
-              (fun () ->
-                match Smap.find_opt m key with
-                | Some v -> Wire.Bulk v
-                | None -> Wire.Nil)
-        | e -> Error (mismatch cmd e))
+      with_slot name (fun s ->
+          match s.entry with
+          | Emap m ->
+              ok s
+                (Single (Shd.Map.owner m key))
+                (fun () ->
+                  match Shd.Map.find_opt m key with
+                  | Some v -> Wire.Bulk v
+                  | None -> Wire.Nil)
+          | e -> Error (mismatch cmd e))
   | Wire.Put (name, key, v) ->
       with_slot name (fun s ->
           match s.entry with
-          | Emap m -> Ok (marking s (fun () -> bool_resp (Smap.add m key v)))
+          | Emap m ->
+              mutating s
+                (Single (Shd.Map.owner m key))
+                (fun () -> bool_resp (Shd.Map.add m key v))
           | e -> Error (mismatch cmd e))
   | Wire.Del (name, key) ->
       with_slot name (fun s ->
           match s.entry with
-          | Emap m -> Ok (marking s (fun () -> bool_resp (Smap.remove m key)))
+          | Emap m ->
+              mutating s
+                (Single (Shd.Map.owner m key))
+                (fun () -> bool_resp (Shd.Map.remove m key))
           | e -> Error (mismatch cmd e))
   | Wire.Contains (name, key) ->
-      with_entry name (function
-        | Emap m -> Ok (fun () -> bool_resp (Smap.mem m key))
-        | Eset s -> Ok (fun () -> bool_resp (Sset.contains s key))
-        | e -> Error (mismatch cmd e))
+      with_slot name (fun s ->
+          match s.entry with
+          | Emap m ->
+              ok s
+                (Single (Shd.Map.owner m key))
+                (fun () -> bool_resp (Shd.Map.mem m key))
+          | Eset hs ->
+              ok s
+                (Single (Shd.Hash_set.owner hs key))
+                (fun () -> bool_resp (Shd.Hash_set.contains hs key))
+          | e -> Error (mismatch cmd e))
   | Wire.Add (name, key) ->
       with_slot name (fun s ->
           match s.entry with
-          | Eset set -> Ok (marking s (fun () -> bool_resp (Sset.add set key)))
+          | Eset hs ->
+              mutating s
+                (Single (Shd.Hash_set.owner hs key))
+                (fun () -> bool_resp (Shd.Hash_set.add hs key))
           | e -> Error (mismatch cmd e))
   | Wire.Remove (name, key) ->
       with_slot name (fun s ->
           match s.entry with
-          | Eset set ->
-              Ok (marking s (fun () -> bool_resp (Sset.remove set key)))
+          | Eset hs ->
+              mutating s
+                (Single (Shd.Hash_set.owner hs key))
+                (fun () -> bool_resp (Shd.Hash_set.remove hs key))
           | e -> Error (mismatch cmd e))
   | Wire.Size name ->
-      with_entry name (function
-        | Emap m -> Ok (fun () -> Wire.Int (Smap.size m))
-        | Eset s -> Ok (fun () -> Wire.Int (Sset.size s))
-        | Equeue q -> Ok (fun () -> Wire.Int (Squeue.length q)))
+      with_slot name (fun s ->
+          match s.entry with
+          | Emap m ->
+              ok s
+                (span (Shd.Map.instances m))
+                (fun () -> Wire.Int (Shd.Map.size m))
+          | Eset hs ->
+              ok s
+                (span (Shd.Hash_set.instances hs))
+                (fun () -> Wire.Int (Shd.Hash_set.size hs))
+          | Equeue (q, home) ->
+              ok s
+                (Single (home_of t s home))
+                (fun () -> Wire.Int (Squeue.length q)))
   | Wire.Snapshot_iter name ->
-      with_entry name (function
-        | Emap m ->
-            Ok
-              (fun () ->
-                Wire.Array
-                  (List.map
-                     (fun (k, v) -> Wire.Array [ Wire.Int k; Wire.Bulk v ])
-                     (Smap.to_list m)))
-        | Eset s ->
-            Ok
-              (fun () ->
-                Wire.Array (List.map (fun k -> Wire.Int k) (Sset.to_list s)))
-        | Equeue q ->
-            Ok
-              (fun () ->
-                Wire.Array (List.map (fun v -> Wire.Bulk v) (Squeue.to_list q))))
+      with_slot name (fun s ->
+          match s.entry with
+          | Emap m ->
+              ok s
+                (span (Shd.Map.instances m))
+                (fun () ->
+                  Wire.Array
+                    (List.map
+                       (fun (k, v) -> Wire.Array [ Wire.Int k; Wire.Bulk v ])
+                       (Shd.Map.to_list m)))
+          | Eset hs ->
+              ok s
+                (span (Shd.Hash_set.instances hs))
+                (fun () ->
+                  Wire.Array
+                    (List.map (fun k -> Wire.Int k) (Shd.Hash_set.to_list hs)))
+          | Equeue (q, home) ->
+              ok s
+                (Single (home_of t s home))
+                (fun () ->
+                  Wire.Array
+                    (List.map (fun v -> Wire.Bulk v) (Squeue.to_list q))))
   | Wire.Enq (name, v) ->
       with_slot name (fun s ->
           match s.entry with
-          | Equeue q ->
-              Ok
-                (marking s (fun () ->
-                     Squeue.enqueue q v;
-                     Wire.ok))
+          | Equeue (q, home) ->
+              mutating s
+                (Single (home_of t s home))
+                (fun () ->
+                  Squeue.enqueue q v;
+                  Wire.ok)
           | e -> Error (mismatch cmd e))
   | Wire.Deq name ->
       with_slot name (fun s ->
           match s.entry with
-          | Equeue q ->
-              Ok
-                (marking s (fun () ->
-                     match Squeue.dequeue_opt q with
-                     | Some v -> Wire.Bulk v
-                     | None -> Wire.Nil))
+          | Equeue (q, home) ->
+              mutating s
+                (Single (home_of t s home))
+                (fun () ->
+                  match Squeue.dequeue_opt q with
+                  | Some v -> Wire.Bulk v
+                  | None -> Wire.Nil)
           | e -> Error (mismatch cmd e))
   | Wire.Ping | Wire.New _ | Wire.Multi | Wire.Multi_end | Wire.Debug_abort _
   | Wire.Blpop _ | Wire.Btake _ | Wire.Watch _ | Wire.Unwatch _ ->
-      Error (err Wire.Bad_op "%s is not a structure operation" (Wire.cmd_name cmd))
+      Error
+        (err Wire.Bad_op "%s is not a structure operation" (Wire.cmd_name cmd))
 
 (* ---- streaming snapshot fast path -------------------------------------- *)
 
@@ -278,62 +439,70 @@ let resolve t cmd : (algo * (unit -> Wire.response), Wire.response) result =
    [Wire.write_framed_array] with the returned element count, are
    byte-identical to [Wire.write_response] of the tree the slow path
    builds.  The thunk clears the scratch first so an aborted attempt's
-   partial output never leaks into the retry. *)
+   partial output never leaks into the retry.  A sharded map streams
+   the k-way merge of its parts' ascending-order lists, so global key
+   order on the wire is unchanged. *)
 let snapshot_stream t name (items : Wire.Obuf.t) :
-    (algo * (unit -> int), Wire.response) result =
-  match List.assoc_opt name (Atomic.get t.entries) with
-  | None -> Error (err Wire.No_struct "no structure named %S" name)
-  | Some s ->
-      let enc =
-        match s.entry with
-        | Emap m ->
-            fun () ->
-              Wire.Obuf.clear items;
-              Smap.fold m
-                (fun n k v ->
-                  Wire.obuf_add_array_header items 2;
-                  Wire.obuf_add_int_item items k;
-                  Wire.obuf_add_bulk items v;
-                  n + 1)
-                0
-        | Eset hs ->
-            fun () ->
-              Wire.Obuf.clear items;
-              List.fold_left
-                (fun n k ->
-                  Wire.obuf_add_int_item items k;
-                  n + 1)
-                0 (Sset.to_list hs)
-        | Equeue q ->
-            fun () ->
-              Wire.Obuf.clear items;
-              List.fold_left
-                (fun n v ->
-                  Wire.obuf_add_bulk items v;
-                  n + 1)
-                0 (Squeue.to_list q)
-      in
-      Ok (s.algo, enc)
-
-(* ---- blocking ops and subscriptions ------------------------------------ *)
-
-(* Resolve a blocking queue pop into a thunk for the session to run
-   inside its own deadline-bounded transaction.  The drain flag is read
-   {e first}, so it is in the read set when [retry] parks: the shutdown
-   path's [set_draining] commit wakes the waiter, which re-runs, sees
-   the flag, and surfaces [`Drained] — no session ever sleeps through a
-   drain.  A successful pop marks the slot dirty like any mutation. *)
-let blocking_pop t name :
-    (algo * (unit -> [ `Got of string | `Drained ]), Wire.response) result =
+    (site * (unit -> int), Wire.response) result =
   match List.assoc_opt name (Atomic.get t.entries) with
   | None -> Error (err Wire.No_struct "no structure named %S" name)
   | Some s -> (
       match s.entry with
-      | Equeue q ->
-          let stm = stm_for t s.algo in
-          let drain = draining_for t s.algo in
+      | Emap m ->
+          let enc () =
+            Wire.Obuf.clear items;
+            List.fold_left
+              (fun n (k, v) ->
+                Wire.obuf_add_array_header items 2;
+                Wire.obuf_add_int_item items k;
+                Wire.obuf_add_bulk items v;
+                n + 1)
+              0 (Shd.Map.to_list m)
+          in
+          Ok (span (Shd.Map.instances m), enc)
+      | Eset hs ->
+          let enc () =
+            Wire.Obuf.clear items;
+            List.fold_left
+              (fun n k ->
+                Wire.obuf_add_int_item items k;
+                n + 1)
+              0 (Shd.Hash_set.to_list hs)
+          in
+          Ok (span (Shd.Hash_set.instances hs), enc)
+      | Equeue (q, home) ->
+          let enc () =
+            Wire.Obuf.clear items;
+            List.fold_left
+              (fun n v ->
+                Wire.obuf_add_bulk items v;
+                n + 1)
+              0 (Squeue.to_list q)
+          in
+          Ok (Single (home_of t s home), enc))
+
+(* ---- blocking ops and subscriptions ------------------------------------ *)
+
+(* Resolve a blocking queue pop into a thunk for the session to run
+   inside its own deadline-bounded transaction on the queue's home
+   instance (returned alongside).  The home shard's drain flag is read
+   {e first}, so it is in the read set when [retry] parks: the
+   shutdown path's [set_draining] commit on that shard wakes the
+   waiter, which re-runs, sees the flag, and surfaces [`Drained] — no
+   session ever sleeps through a drain.  A successful pop marks the
+   slot dirty like any mutation (the mark follows the pop's own
+   transaction, so it is post-commit by construction). *)
+let blocking_pop t name :
+    (S.t * (unit -> [ `Got of string | `Drained ]), Wire.response) result =
+  match List.assoc_opt name (Atomic.get t.entries) with
+  | None -> Error (err Wire.No_struct "no structure named %S" name)
+  | Some s -> (
+      match s.entry with
+      | Equeue (q, home) ->
+          let stm = home_of t s home in
+          let drain = (drains_for t s.algo).(home) in
           Ok
-            ( s.algo,
+            ( stm,
               fun () ->
                 let r =
                   S.atomically stm (fun tx ->
@@ -362,13 +531,14 @@ let watch_name w = w.wname
 module R = Polytm_runtime.Domain_runtime
 
 (* Collect the names of watched structures that changed since the last
-   call, clearing their dirty flags.  When every watch lives on one
-   instance the session genuinely {e parks} ([S.retry] on the dirty
-   flags plus the drain flag) until a mutation's commit wakes it or
-   [timeout_ns] passes — push latency is one commit, not one poll
-   interval.  Watches spanning both instances cannot share a
-   transaction, so they fall back to a non-blocking per-instance check
-   and the caller's pacing. *)
+   call, clearing their dirty flags.  Dirty flags live on the control
+   shard of their algorithm, so when every watch lives on one
+   algorithm the session genuinely {e parks} ([S.retry] on the dirty
+   flags plus the control shard's drain flag) until a mark's commit
+   wakes it or [timeout_ns] passes — push latency is one commit, not
+   one poll interval.  Watches spanning both algorithms cannot share a
+   transaction, so they fall back to a non-blocking per-algorithm
+   check and the caller's pacing. *)
 let wait_dirty t ws ~timeout_ns =
   let collect tx ws =
     List.filter_map
@@ -386,7 +556,7 @@ let wait_dirty t ws ~timeout_ns =
       match List.sort_uniq compare (List.map (fun w -> w.wslot.algo) ws) with
       | [ algo ] -> (
           let stm = stm_for t algo in
-          let drain = draining_for t algo in
+          let drain = (drains_for t algo).(0) in
           let deadline = R.now () + timeout_ns in
           match
             S.try_atomically ~deadline ~label:"watch-wait" stm (fun tx ->

@@ -30,6 +30,10 @@ type listener = Tcp of string * int | Unix_sock of string
 type config = {
   listeners : listener list;
   workers : int;
+  shards : int;
+      (** independent STM instances per algorithm; single-key requests
+          hash-route to their owner shard, cross-shard batches commit
+          through the two-phase protocol (DESIGN.md §S20) *)
   limits : Limits.t;
   prestructs : (Wire.kind * string * Registry.algo) list;
       (** structures created before accepting (so clients need no
@@ -48,6 +52,7 @@ let default_config =
   {
     listeners = [ Tcp ("127.0.0.1", 7411) ];
     workers = 4;
+    shards = 1;
     limits = Limits.default;
     prestructs = [];
     default_algo = `Tl2;
@@ -129,8 +134,33 @@ let hist_json h =
       ("max_us", T.Json.Float (float_of_int (Hist.max h) /. 1000.));
     ]
 
-let stats_json_doc ~elapsed_s (stats : Session.stats) ~events_lost agg_snapshot
-    =
+(* Per-shard STM counters, labelled ["<algo>/<shard>"]: the scaling
+   story in one table — commit/abort totals per instance show whether
+   load actually spread across the shards, and the multi counters show
+   how much of it paid the cross-shard two-phase protocol. *)
+let shard_stats_json registry =
+  let per algo =
+    List.mapi
+      (fun i stm ->
+        let st = S.stats stm in
+        ( Printf.sprintf "%s/%d" (Registry.algo_name algo) i,
+          T.Json.Obj
+            [
+              ("starts", T.Json.Int st.S.starts);
+              ("commits", T.Json.Int st.S.commits);
+              ("aborts", T.Json.Int st.S.aborts);
+              ("serial_commits", T.Json.Int st.S.serial_commits);
+              ("multi_commits", T.Json.Int st.S.multi_commits);
+              ("multi_escalations", T.Json.Int st.S.multi_escalations);
+              ("parks", T.Json.Int st.S.parks);
+              ("wakes", T.Json.Int st.S.wakes);
+            ] ))
+      (Registry.instances registry algo)
+  in
+  T.Json.Obj (per `Tl2 @ per `Norec)
+
+let stats_json_doc ~elapsed_s ~registry (stats : Session.stats) ~events_lost
+    agg_snapshot =
   let sem_name i = Polytm.Semantics.to_string (Session.sem_of_index i) in
   T.Json.Obj
     [
@@ -153,6 +183,7 @@ let stats_json_doc ~elapsed_s (stats : Session.stats) ~events_lost agg_snapshot
                        (sem_name i, hist_json stats.Session.lat_by_sem.(i))))
             );
           ] );
+      ("shards", shard_stats_json registry);
       ("telemetry", T.Export.snapshot_json agg_snapshot);
       ("telemetry_events_lost", T.Json.Int events_lost);
     ]
@@ -175,10 +206,12 @@ let run ?registry cfg =
   let registry =
     match registry with
     | Some r -> r
-    | None -> Registry.create ~default_algo:cfg.default_algo ()
+    | None ->
+        Registry.create ~shards:cfg.shards ~default_algo:cfg.default_algo ()
   in
   Limits.validate cfg.limits;
   if cfg.workers < 1 then invalid_arg "Server: workers must be >= 1";
+  if cfg.shards < 1 then invalid_arg "Server: shards must be >= 1";
   if cfg.listeners = [] then invalid_arg "Server: no listeners";
   List.iter
     (fun (kind, name, algo) ->
@@ -194,13 +227,16 @@ let run ?registry cfg =
       Some (T.Ring.create ~lanes:(cfg.workers + 1) ~capacity:cfg.ring_capacity ())
     else None
   in
-  (* Both instances share the ring: lanes are picked per domain, so
-     TL2 and NORec transactions interleave safely in the same sink. *)
+  (* Every instance of both routers shares the ring: lanes are picked
+     per domain, so transactions from any shard of either algorithm
+     interleave safely in the same sink. *)
+  let all_instances () =
+    Registry.instances registry `Tl2 @ Registry.instances registry `Norec
+  in
   Option.iter
     (fun r ->
       let sink = Some (T.Ring.sink r) in
-      S.set_sink (Registry.stm registry) sink;
-      S.set_sink (Registry.stm_for registry `Norec) sink)
+      List.iter (fun stm -> S.set_sink stm sink) (all_instances ()))
     ring;
   let stop = Atomic.make false in
   let stop_fn () = Atomic.get stop in
@@ -292,14 +328,14 @@ let run ?registry cfg =
   let elapsed_s = Unix.gettimeofday () -. t_start in
   let stats = Session.create_stats () in
   Array.iter (fun s -> Session.merge_stats ~into:stats s) worker_stats;
-  S.set_sink (Registry.stm registry) None;
-  S.set_sink (Registry.stm_for registry `Norec) None;
+  List.iter (fun stm -> S.set_sink stm None) (all_instances ());
   let events = match ring with Some r -> T.Ring.drain r | None -> [] in
   let events_lost = match ring with Some r -> T.Ring.overwritten r | None -> 0 in
   Option.iter
     (fun path ->
       let doc =
-        stats_json_doc ~elapsed_s stats ~events_lost (T.Agg.of_events events)
+        stats_json_doc ~elapsed_s ~registry stats ~events_lost
+          (T.Agg.of_events events)
       in
       write_file path (T.Json.to_string doc))
     cfg.stats_json;

@@ -182,13 +182,16 @@ let reply t resp =
           t.stats.other_errors <- t.stats.other_errors + 1)
   | _ -> ())
 
-(* Run [f] as one transaction of [sem] on the instance of [algo] —
-   the structure's pinned algorithm, so the nested structure
-   operations flatten into this transaction — translating the
-   structured outcome and the semantics-violation exception into
-   typed error replies.  This is where the wire meets PR 4's liveness
-   API. *)
-let run_tx t ~algo ~sem ~label ?budget ?deadline_us
+(* Run [f] as one transaction of [sem] on [stm] — the owner instance
+   the registry resolved, so the nested structure operations flatten
+   into this transaction — translating the structured outcome and the
+   semantics-violation exception into typed error replies.  This is
+   where the wire meets PR 4's liveness API.  A structural-invariant
+   violation surfaces here as a typed error too: the exception rode
+   the abort path out of [try_atomically], so the attempt's effects
+   are already discarded and the server survives a corrupted node
+   instead of dying on an assertion. *)
+let run_tx t ~stm ~sem ~label ?budget ?deadline_us
     (f : S.tx -> Wire.response) : Wire.response =
   let budget = match budget with Some _ as b -> b | None -> t.limits.op_budget in
   let deadline_us =
@@ -197,21 +200,63 @@ let run_tx t ~algo ~sem ~label ?budget ?deadline_us
   let t0 = R.now () in
   let deadline = Option.map (fun us -> t0 + (us * 1000)) deadline_us in
   let resp =
-    match
-      S.try_atomically ?budget ?deadline ~sem ~label
-        (Registry.stm_for t.reg algo) f
-    with
+    match S.try_atomically ?budget ?deadline ~sem ~label stm f with
     | S.Committed r -> r
     | S.Exhausted { attempts; _ } ->
         err Wire.Exhausted "retry budget spent after %d attempts" attempts
     | S.Deadline_exceeded { attempts; _ } ->
         err Wire.Deadline "deadline passed after %d attempts" attempts
     | exception S.Invalid_operation m -> err Wire.Sem_violation "%s" m
+    | exception Polytm_structs.Stm_map.Invariant_violation m ->
+        err Wire.Bad_op "invariant violation (transaction aborted): %s" m
   in
   let dt = R.now () - t0 in
   Hist.record t.stats.lat_by_sem.(sem_index sem) dt;
   Hist.record t.stats.lat_all dt;
   resp
+
+(* Run [f] as one cross-shard transaction spanning [stms] — the
+   registry resolved a {!Registry.Spanning} site (a whole-structure
+   aggregate on a multi-shard server, or a [MULTI] batch whose keys
+   hash to several shards).  A snapshot hint takes the consistent
+   bound vector; anything else is the two-phase commit over the member
+   shard clocks, escalating to the serialization tokens when the
+   optimistic budget runs dry ([Too_many_attempts] is the analogue of
+   [Exhausted]).  Single-shard batches never reach this function: they
+   keep the one-shot [run_tx] path untouched. *)
+let run_spanning t ~stms ~sem ~label (f : unit -> Wire.response) :
+    Wire.response =
+  let t0 = R.now () in
+  let resp =
+    match
+      if Polytm.Semantics.equal sem Polytm.Semantics.Snapshot then
+        S.snapshot_multi ~label stms f
+      else S.atomically_multi ~sem ~label ?budget:t.limits.op_budget stms f
+    with
+    | r -> r
+    | exception S.Too_many_attempts (_, attempts) ->
+        err Wire.Exhausted "retry budget spent after %d attempts" attempts
+    | exception S.Invalid_operation m -> err Wire.Sem_violation "%s" m
+    | exception Polytm_structs.Stm_map.Invariant_violation m ->
+        err Wire.Bad_op "invariant violation (transaction aborted): %s" m
+  in
+  let dt = R.now () - t0 in
+  Hist.record t.stats.lat_by_sem.(sem_index sem) dt;
+  Hist.record t.stats.lat_all dt;
+  resp
+
+(* Post-commit dirty marks for watchers: a multi-shard server's
+   mutators defer their mark to here (the data commit must precede the
+   notification — see the registry).  An error reply means nothing
+   committed, so nothing is marked. *)
+let touch_committed t (resolved : Registry.resolved list) resp =
+  match resp with
+  | Wire.Error _ -> ()
+  | _ ->
+      List.iter
+        (fun (r : Registry.resolved) ->
+          Option.iter (Registry.touch t.reg) r.Registry.touched)
+        resolved
 
 let reset_multi t =
   t.in_multi <- false;
@@ -231,39 +276,79 @@ let exec_multi_end t =
       | [] -> Ok (List.rev acc)
       | c :: rest -> (
           match Registry.resolve t.reg c with
-          | Ok (algo, thunk) -> resolve_all ((c, algo, thunk) :: acc) rest
+          | Ok r -> resolve_all ((c, r) :: acc) rest
           | Error e -> Error (c, e))
     in
     match resolve_all [] cmds with
     | Error (c, Wire.Error (code, m)) ->
         err code "batch rejected at %s: %s" (Wire.cmd_name c) m
     | Error (_, e) -> e
-    | Ok thunks -> (
-        (* One batch is one transaction, and a transaction runs on one
-           instance: a batch spanning structures pinned to different
-           algorithms cannot be atomic, so it is refused before
-           executing anything (same all-or-nothing rule as a
-           resolution failure). *)
+    | Ok resolved -> (
+        (* A batch spanning structures pinned to different algorithms
+           is refused before executing anything (same all-or-nothing
+           rule as a resolution failure): TL2 and NORec instances
+           validate against incomparable clocks, so one batch cannot
+           promise one serialization point across both. *)
         let algos =
-          List.sort_uniq compare (List.map (fun (_, a, _) -> a) thunks)
+          List.sort_uniq compare
+            (List.map (fun (_, (r : Registry.resolved)) -> r.Registry.algo)
+               resolved)
         in
         match algos with
         | [] | _ :: _ :: _ ->
             err Wire.Bad_op
               "batch mixes structures on different algorithms (%s)"
               (String.concat ", " (List.map Registry.algo_name algos))
-        | [ algo ] ->
+        | [ _ ] ->
             let sem = Option.value hint ~default:Polytm.Semantics.Classic in
-            run_tx t ~algo ~sem ~label:(label_of Wire.Multi_end sem)
-              (fun _tx ->
-                Wire.Array (List.map (fun (_, _, thunk) -> thunk ()) thunks)))
+            let label = label_of Wire.Multi_end sem in
+            let rs = List.map snd resolved in
+            let body () =
+              Wire.Array
+                (List.map (fun (r : Registry.resolved) -> r.Registry.run ()) rs)
+            in
+            (* The batch's site is the union of its commands' sites:
+               one owner instance keeps the existing one-shot path
+               (every batch of a 1-shard server lands here, so its
+               wire behaviour is untouched); several instances commit
+               through the cross-shard two-phase protocol, the thunks
+               flattening into the armed member transactions. *)
+            let insts =
+              List.concat_map
+                (fun (r : Registry.resolved) ->
+                  match r.Registry.site with
+                  | Registry.Single s -> [ s ]
+                  | Registry.Spanning l -> l)
+                rs
+            in
+            let distinct =
+              List.fold_left
+                (fun acc s -> if List.memq s acc then acc else s :: acc)
+                [] insts
+            in
+            let resp =
+              match distinct with
+              | [ stm ] -> run_tx t ~stm ~sem ~label (fun _tx -> body ())
+              | stms -> run_spanning t ~stms ~sem ~label body
+            in
+            touch_committed t rs resp;
+            resp)
 
 let exec_single t (r : Wire.request) cmd =
   let sem = Option.value r.hint ~default:(Registry.default_sem cmd) in
   match Registry.resolve t.reg cmd with
   | Error e -> e
-  | Ok (algo, thunk) ->
-      run_tx t ~algo ~sem ~label:(label_of cmd sem) (fun _tx -> thunk ())
+  | Ok res ->
+      let label = label_of cmd sem in
+      let resp =
+        match res.Registry.site with
+        | Registry.Single stm ->
+            run_tx t ~stm ~sem ~label (fun _tx -> res.Registry.run ())
+        | Registry.Spanning stms ->
+            run_spanning t ~stms ~sem ~label res.Registry.run
+      in
+      touch_committed t [ res ] resp;
+      resp
 
 (* Non-parking requests: everything except BLPOP/BTAKE outside MULTI
    (those park on a helper thread, handled in [exec_step]) and the
@@ -326,7 +411,7 @@ let exec_request t (r : Wire.request) : Wire.response =
            exercisable deterministically. *)
         let budget = Some (Option.value budget ~default:2) in
         run_tx t
-          ~algo:(Registry.default_algo t.reg)
+          ~stm:(Registry.stm_for t.reg (Registry.default_algo t.reg))
           ~sem:Polytm.Semantics.Classic
           ~label:(label_of r.cmd Polytm.Semantics.Classic)
           ?budget ?deadline_us
@@ -354,17 +439,17 @@ let exec_request t (r : Wire.request) : Wire.response =
 let exec_snapshot_iter t (r : Wire.request) name =
   let cmd = r.Wire.cmd in
   let sem = Option.value r.hint ~default:(Registry.default_sem cmd) in
+  let label = label_of cmd sem in
   match Registry.snapshot_stream t.reg name t.scratch with
   | Error e -> reply t e
-  | Ok (algo, enc) ->
+  | Ok (Registry.Single stm, enc) ->
       let budget = t.limits.Limits.op_budget in
       let deadline_us = t.limits.Limits.op_deadline_us in
       let t0 = R.now () in
       let deadline = Option.map (fun us -> t0 + (us * 1000)) deadline_us in
       (match
-         S.try_atomically ?budget ?deadline ~sem ~label:(label_of cmd sem)
-           (Registry.stm_for t.reg algo)
-           (fun _tx -> enc ())
+         S.try_atomically ?budget ?deadline ~sem ~label stm (fun _tx ->
+             enc ())
        with
       | S.Committed count ->
           Wire.write_framed_array t.out ~count ~items:t.scratch;
@@ -375,6 +460,31 @@ let exec_snapshot_iter t (r : Wire.request) name =
       | S.Deadline_exceeded { attempts; _ } ->
           reply t
             (err Wire.Deadline "deadline passed after %d attempts" attempts)
+      | exception S.Invalid_operation m ->
+          reply t (err Wire.Sem_violation "%s" m));
+      let dt = R.now () - t0 in
+      Hist.record t.stats.lat_by_sem.(sem_index sem) dt;
+      Hist.record t.stats.lat_all dt
+  | Ok (Registry.Spanning stms, enc) ->
+      (* The structure spans several shards: the stream runs under the
+         cross-instance protocol — a consistent bound vector for the
+         default snapshot hint, the two-phase commit otherwise.  The
+         encoder clears the scratch on every attempt, so a redrawn
+         bound vector's retry never leaks a torn prefix. *)
+      let t0 = R.now () in
+      (match
+         if Polytm.Semantics.equal sem Polytm.Semantics.Snapshot then
+           S.snapshot_multi ~label stms enc
+         else
+           S.atomically_multi ~sem ~label ?budget:t.limits.Limits.op_budget
+             stms enc
+       with
+      | count ->
+          Wire.write_framed_array t.out ~count ~items:t.scratch;
+          t.stats.replies <- t.stats.replies + 1
+      | exception S.Too_many_attempts (_, attempts) ->
+          reply t
+            (err Wire.Exhausted "retry budget spent after %d attempts" attempts)
       | exception S.Invalid_operation m ->
           reply t (err Wire.Sem_violation "%s" m));
       let dt = R.now () - t0 in
@@ -501,11 +611,14 @@ and exec_step t (r : Wire.request) : [ `Done | `Parked ] =
       `Done
 
 (* A blocking queue pop ([BLPOP]/[BTAKE]).  [timeout_ms <= 0] means
-   wait indefinitely — the waiter is still bounded by shutdown (the
-   registry's drain flag is in its read set) and by the wait-table
-   cap, checked before parking so a flood of blocking clients gets
-   [BUSY] instead of filling the helper pool.  Timing out is not an
-   error for a blocking op: it replies [Nil], like Redis.
+   wait indefinitely — the waiter is still bounded by shutdown (its
+   home shard's drain flag is in its read set) and by the server-wide
+   waiter budget: a slot is {e reserved} before parking (atomically,
+   so racing sessions cannot jointly overshoot the cap, whatever
+   instances they park on) and released when the wait completes; a
+   blocking op that cannot reserve gets [BUSY] instead of filling the
+   helper pool.  Timing out is not an error for a blocking op: it
+   replies [Nil], like Redis.
 
    The wait runs on a helper thread; the session stays registered
    with the loop (reads masked) and other sessions keep being
@@ -517,79 +630,90 @@ and exec_blocking t cmd hint name timeout_ms ~wrap : [ `Done | `Parked ] =
   | Error e ->
       reply t e;
       `Done
-  | Ok (algo, thunk) ->
-      let stm = Registry.stm_for t.reg algo in
-      if S.waiting stm >= t.limits.Limits.max_waiters then begin
-        reply t (err Wire.Busy "wait table full (%d waiters)" (S.waiting stm));
-        `Done
-      end
-      else begin
-        let sem = Option.value hint ~default:Polytm.Semantics.Classic in
-        let label = label_of cmd sem in
-        let t0 = R.now () in
-        (* Fast path: an item is already queued, so the pop cannot
-           block — take it on the loop thread and skip the whole
-           helper/park/post hop.  Under a producer backlog this is
-           what keeps consumption at pop speed instead of at
-           park-wakeup speed; the helper path below is only for a
-           genuinely empty queue. *)
-        let fast =
-          match Registry.resolve t.reg (Wire.Deq name) with
-          | Error _ -> None
-          | Ok (_, deq) -> (
-              match
-                S.try_atomically ?budget:t.limits.Limits.op_budget ~sem ~label
-                  stm
-                  (fun _tx -> deq ())
-              with
-              | S.Committed (Wire.Bulk v) -> Some (wrap v)
-              | S.Committed _ (* Nil: genuinely empty *)
-              | S.Exhausted _ | S.Deadline_exceeded _ ->
-                  None
-              | exception S.Invalid_operation _ ->
-                  (* e.g. a snapshot-hinted pop: let the ordinary
-                     path produce its usual typed reply *)
-                  None)
-        in
-        match fast with
-        | Some resp ->
-            let dt = R.now () - t0 in
-            Hist.record t.stats.lat_by_sem.(sem_index sem) dt;
-            Hist.record t.stats.lat_all dt;
-            reply t resp;
+  | Ok (stm, thunk) ->
+      let sem = Option.value hint ~default:Polytm.Semantics.Classic in
+      let label = label_of cmd sem in
+      let t0 = R.now () in
+      (* Fast path: an item is already queued, so the pop cannot
+         block — take it on the loop thread and skip the whole
+         helper/park/post hop (no reservation needed: nothing parks).
+         Under a producer backlog this is what keeps consumption at
+         pop speed instead of at park-wakeup speed; the helper path
+         below is only for a genuinely empty queue. *)
+      let fast =
+        match Registry.resolve t.reg (Wire.Deq name) with
+        | Error _ -> None
+        | Ok deq -> (
+            match
+              S.try_atomically ?budget:t.limits.Limits.op_budget ~sem ~label
+                stm
+                (fun _tx -> deq.Registry.run ())
+            with
+            | S.Committed (Wire.Bulk v) ->
+                touch_committed t [ deq ] (Wire.Bulk v);
+                Some (wrap v)
+            | S.Committed _ (* Nil: genuinely empty *)
+            | S.Exhausted _ | S.Deadline_exceeded _ ->
+                None
+            | exception S.Invalid_operation _ ->
+                (* e.g. a snapshot-hinted pop: let the ordinary
+                   path produce its usual typed reply *)
+                None)
+      in
+      (match fast with
+      | Some resp ->
+          let dt = R.now () - t0 in
+          Hist.record t.stats.lat_by_sem.(sem_index sem) dt;
+          Hist.record t.stats.lat_all dt;
+          reply t resp;
+          `Done
+      | None ->
+          if
+            not
+              (Registry.reserve_waiter t.reg
+                 ~limit:t.limits.Limits.max_waiters)
+          then begin
+            reply t
+              (err Wire.Busy "wait table full (%d waiters)"
+                 (Registry.waiting t.reg));
             `Done
-        | None ->
-        let deadline =
-          if timeout_ms <= 0 then None else Some (t0 + (timeout_ms * 1_000_000))
-        in
-        t.parked <- true;
-        t.services.submit (fun () ->
-            let resp =
-              match
-                S.try_atomically ?deadline ~sem ~label stm (fun _tx ->
-                    thunk ())
-              with
-              | S.Committed (`Got v) -> wrap v
-              | S.Committed `Drained -> Wire.Nil
-              | S.Deadline_exceeded _ -> Wire.Nil
-              | S.Exhausted { attempts; _ } ->
-                  err Wire.Exhausted "retry budget spent after %d attempts"
-                    attempts
-              | exception S.Invalid_operation m ->
-                  err Wire.Sem_violation "%s" m
+          end
+          else begin
+            let deadline =
+              if timeout_ms <= 0 then None
+              else Some (t0 + (timeout_ms * 1_000_000))
             in
-            let dt = R.now () - t0 in
-            t.services.post (fun () ->
-                Hist.record t.stats.lat_by_sem.(sem_index sem) dt;
-                Hist.record t.stats.lat_all dt;
-                t.parked <- false;
-                if not t.closed then begin
-                  reply t resp;
-                  pump t;
-                  try_flush t
-                end));
-        `Parked
-      end
+            t.parked <- true;
+            t.services.submit (fun () ->
+                let resp =
+                  match
+                    S.try_atomically ?deadline ~sem ~label stm (fun _tx ->
+                        thunk ())
+                  with
+                  | S.Committed (`Got v) -> wrap v
+                  | S.Committed `Drained -> Wire.Nil
+                  | S.Deadline_exceeded _ -> Wire.Nil
+                  | S.Exhausted { attempts; _ } ->
+                      err Wire.Exhausted "retry budget spent after %d attempts"
+                        attempts
+                  | exception S.Invalid_operation m ->
+                      err Wire.Sem_violation "%s" m
+                in
+                (* Release on wake {e and} on timeout: the reservation
+                   covers exactly the interval the helper may park. *)
+                Registry.release_waiter t.reg;
+                let dt = R.now () - t0 in
+                t.services.post (fun () ->
+                    Hist.record t.stats.lat_by_sem.(sem_index sem) dt;
+                    Hist.record t.stats.lat_all dt;
+                    t.parked <- false;
+                    if not t.closed then begin
+                      reply t resp;
+                      pump t;
+                      try_flush t
+                    end));
+            `Parked
+          end)
 
 (* Keep one watch wait outstanding while the session has
    subscriptions: the helper parks in [wait_dirty] (commit-woken,

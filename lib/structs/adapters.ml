@@ -44,6 +44,7 @@ let mixed_profile =
 
 module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) = struct
   module S = Stm.Make (R)
+  module Sharded = Sharded.Make (S)
   module List_set = Stm_list_set.Make (S)
   module Hash_set = Stm_hash_set.Make (S)
   module Skiplist = Stm_skiplist.Make (S)
@@ -164,6 +165,52 @@ module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) = struct
       contains = Skiplist.contains t;
       size = (fun () -> Skiplist.size t);
       to_list = (fun () -> Skiplist.to_list t);
+    }
+
+  (* Sharded variants: the same structure APIs, key ranges partitioned
+     across a shard router (one STM instance per shard, point ops
+     routed to the owner, aggregates through the cross-instance
+     protocols).  [mk] creates each shard's instance, so callers pin
+     the contention manager and algorithm per shard. *)
+
+  let sharded_map ?(profile = classic_profile) ?(shards = 4) mk =
+    let router = Sharded.Router.create ~shards mk in
+    let t = Sharded.Map.create ~size_sem:profile.size_sem router in
+    {
+      name = Printf.sprintf "sharded-map(%s,%d)" profile.profile_name shards;
+      add = (fun k -> Sharded.Map.add t k ());
+      remove = Sharded.Map.remove t;
+      contains = Sharded.Map.mem t;
+      size = (fun () -> Sharded.Map.size t);
+      to_list = (fun () -> List.map fst (Sharded.Map.to_list t));
+    }
+
+  let sharded_hash ?(profile = classic_profile) ?(shards = 4) ?buckets mk =
+    let router = Sharded.Router.create ~shards mk in
+    let t =
+      Sharded.Hash_set.create ~parse_sem:profile.parse_sem
+        ~size_sem:profile.size_sem ?buckets router
+    in
+    {
+      name = Printf.sprintf "sharded-hash(%s,%d)" profile.profile_name shards;
+      add = Sharded.Hash_set.add t;
+      remove = Sharded.Hash_set.remove t;
+      contains = Sharded.Hash_set.contains t;
+      size = (fun () -> Sharded.Hash_set.size t);
+      to_list = (fun () -> Sharded.Hash_set.to_list t);
+    }
+
+  (* A sharded queue is pinned whole to its key's owner shard (FIFO
+     cannot be hash-partitioned element-wise); the adapter's point is
+     that the pinned queue behaves exactly like a single-instance
+     one. *)
+  let sharded_queue ?(shards = 4) mk =
+    let router = Sharded.Router.create ~shards mk in
+    let t = Sharded.queue_on router "conformance-queue" in
+    {
+      q_name = "sharded-queue";
+      enq = Sharded.Queue_part.enqueue t;
+      deq = (fun () -> Sharded.Queue_part.dequeue_opt t);
     }
 
   let boosted ?buckets stm =

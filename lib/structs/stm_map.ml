@@ -13,6 +13,13 @@
 
 open Polytm
 
+exception Invariant_violation of string
+(** A structural invariant did not hold mid-operation.  Raised {e
+    inside} the enclosing transaction, so it propagates through the
+    abort path: the attempt's effects are discarded, locks released,
+    accounting done — the transaction fails, the process survives.  A
+    server catches it per-request and answers a typed error. *)
+
 module Make (S : Stm_intf.S) = struct
   type 'v node = Leaf | Node of 'v cell
 
@@ -166,7 +173,17 @@ module Make (S : Stm_intf.S) = struct
                     (* Replace by the successor: splice the right
                        subtree's minimum into this slot. *)
                     match take_min tx c.right with
-                    | None -> assert false
+                    | None ->
+                        (* Both children read [Node] above, yet the
+                           right subtree produced no minimum: the tree
+                           is structurally corrupt (a rebalance bug,
+                           not a data race — the transaction reread
+                           the same tvars).  Fail the transaction, not
+                           the process. *)
+                        raise
+                          (Invariant_violation
+                             "stm_map.remove: interior node with two \
+                              children has no successor")
                     | Some (sk, sv) ->
                         let cell = make_cell t.stm sk sv in
                         S.write tx cell.left (S.read tx c.left);

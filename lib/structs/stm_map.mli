@@ -9,6 +9,14 @@
 
 open Polytm
 
+exception Invariant_violation of string
+(** A structural invariant did not hold mid-operation (e.g. an
+    interior node with two children but no successor — a rebalance
+    bug).  Raised inside the enclosing transaction so the attempt's
+    effects are discarded through the ordinary abort path: the
+    transaction fails, the process survives, and a server can answer a
+    typed error instead of dying. *)
+
 module Make (S : Stm_intf.S) : sig
   type 'v t
 

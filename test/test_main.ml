@@ -24,6 +24,7 @@ let () =
       Test_norec.suite;
       Test_retry.suite;
       Test_flat_structs.suite;
+      Test_sharded.suite;
       Test_wire.suite;
       Test_server.suite;
       Test_goldens.suite;

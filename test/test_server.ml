@@ -63,12 +63,14 @@ let recv_n fd n =
   done;
   List.rev !out
 
-(* Run [f client_fd registry stats stop_flag] against a live session. *)
-let with_session ?(limits = Limits.default) f =
+(* Run [f client_fd registry stats stop_flag] against a live session.
+   [?shards] sizes the registry's per-algorithm router (default: the
+   classic single-instance server). *)
+let with_session ?(limits = Limits.default) ?(shards = 1) f =
   let server_fd, client_fd =
     Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0
   in
-  let registry = Registry.create () in
+  let registry = Registry.create ~shards () in
   let stats = Session.create_stats () in
   let stop = Atomic.make false in
   let dom =
@@ -84,6 +86,43 @@ let with_session ?(limits = Limits.default) f =
     try Unix.close server_fd with _ -> ()
   in
   match f client_fd registry stats (stop, server_fd) with
+  | v ->
+      finally ();
+      v
+  | exception e ->
+      finally ();
+      raise e
+
+(* Run [f client_fds registry] against [conns] live sessions sharing
+   one registry — one socketpair and one session domain each. *)
+let with_sessions ?(limits = Limits.default) ?(shards = 1) ~conns f =
+  let registry = Registry.create ~shards () in
+  let stop = Atomic.make false in
+  let pairs =
+    Array.init conns (fun _ -> Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0)
+  in
+  let doms =
+    Array.map
+      (fun (server_fd, _) ->
+        Domain.spawn (fun () ->
+            Evloop.handle
+              ~stop:(fun () -> Atomic.get stop)
+              ~limits ~registry ~stats:(Session.create_stats ()) server_fd))
+      pairs
+  in
+  let finally () =
+    Array.iter
+      (fun (_, cfd) ->
+        try Unix.shutdown cfd Unix.SHUTDOWN_SEND with _ -> ())
+      pairs;
+    Array.iter Domain.join doms;
+    Array.iter
+      (fun (sfd, cfd) ->
+        (try Unix.close cfd with _ -> ());
+        try Unix.close sfd with _ -> ())
+      pairs
+  in
+  match f (Array.map snd pairs) registry with
   | v ->
       finally ();
       v
@@ -185,7 +224,7 @@ let gen_op rng : Wire.request =
   | 11 -> req ~hint:Sem.Classic (Wire.Enq ("q", v))
   | _ -> req ~hint:Sem.Classic (Wire.Deq "q")
 
-let test_pipeline_matches_oracle () =
+let test_pipeline_matches_oracle ?(shards = 1) () =
   let rng = Random.State.make [| 0xBEEF |] in
   let ops = List.init 150 (fun _ -> gen_op rng) in
   let setup =
@@ -201,7 +240,7 @@ let test_pipeline_matches_oracle () =
     List.map (fun (r : Wire.request) -> oracle_step maps sets queue r.Wire.cmd) ops
   in
   let limits = { Limits.default with Limits.max_inflight = 4096 } in
-  with_session ~limits (fun fd _reg stats _ ->
+  with_session ~limits ~shards (fun fd _reg stats _ ->
       write_all fd (encode setup);
       let got_setup = recv_n fd (List.length setup) in
       Alcotest.check resps_t "setup replies"
@@ -406,7 +445,10 @@ let eventually ?(timeout_s = 10.0) pred =
    "producer connection" without a second session. *)
 let produce reg name v =
   match Registry.resolve reg (Wire.Enq (name, v)) with
-  | Ok (_, thunk) -> ignore (thunk () : Wire.response)
+  | Ok r ->
+      ignore (r.Registry.run () : Wire.response);
+      (* a session marks watched structures dirty post-commit *)
+      Option.iter (Registry.touch reg) r.Registry.touched
   | Error _ -> Alcotest.fail "producer could not resolve ENQ"
 
 (* The acceptance-criteria scenario: the server answers a BLPOP issued
@@ -461,36 +503,45 @@ let test_blocking_timeout_and_refusals () =
           Alcotest.failf "BLPOP in MULTI should be BADOP, got %s"
             (String.concat " | " (List.map pp_resp got)))
 
+(* The waiter budget is one server-wide account, not a per-instance
+   table: a slot consumed by a waiter parked against the TL2 instance
+   must refuse admission to a blocking op on the NORec one, and
+   vice versa.  (The old per-instance check let two backends jointly
+   park 2x the cap, and K shards would have made it Kx.) *)
 let test_blpop_busy_when_wait_table_full () =
   let limits = { Limits.default with Limits.max_waiters = 1 } in
   with_session ~limits (fun fd reg _ _ ->
       write_all fd (encode [ req (Wire.New (Wire.Kqueue, "q")) ]);
       Alcotest.check resps_t "queue created" [ Wire.ok ] (recv_n fd 1);
-      (* Fill the single wait-table slot with an out-of-session
-         blocking consumer. *)
-      let thunk =
-        match Registry.blocking_pop reg "q" with
-        | Ok (_, thunk) -> thunk
-        | Error _ -> Alcotest.fail "blocking_pop on a fresh queue"
-      in
-      let stm = Registry.stm reg in
-      let occupant =
-        Domain.spawn (fun () -> S.try_atomically stm (fun _tx -> thunk ()))
-      in
-      Alcotest.(check bool) "occupant parked" true
-        (eventually (fun () -> S.waiting stm = 1));
-      (* The session's blocking op now bounces instead of parking. *)
-      write_all fd (encode [ req (Wire.Blpop ("q", 0)) ]);
-      (match recv_n fd 1 with
-      | [ Wire.Error (Wire.Busy, _) ] -> ()
+      (match Registry.ensure ~algo:`Norec reg Wire.Kqueue "nq" with
+      | Ok `Created -> ()
+      | _ -> Alcotest.fail "could not create the NORec queue");
+      (* Take the single budget slot the way a parked waiter from
+         another session does: reserve before parking. *)
+      Alcotest.(check bool) "slot reserved" true
+        (Registry.reserve_waiter reg ~limit:limits.Limits.max_waiters);
+      Alcotest.(check bool) "budget exhausted for a second waiter" false
+        (Registry.reserve_waiter reg ~limit:limits.Limits.max_waiters);
+      (* Blocking ops now bounce on BOTH backends' structures — the
+         instances cannot jointly exceed the cap. *)
+      write_all fd
+        (encode [ req (Wire.Blpop ("q", 0)); req (Wire.Blpop ("nq", 0)) ]);
+      (match recv_n fd 2 with
+      | [ Wire.Error (Wire.Busy, _); Wire.Error (Wire.Busy, _) ] -> ()
       | got ->
-          Alcotest.failf "full wait table should be BUSY, got %s"
+          Alcotest.failf "full waiter budget should be BUSY twice, got %s"
             (String.concat " | " (List.map pp_resp got)));
-      (* The occupant is still live: a push wakes and completes it. *)
-      produce reg "q" "wake";
-      match Domain.join occupant with
-      | S.Committed (`Got "wake") -> ()
-      | _ -> Alcotest.fail "occupant should have consumed the pushed value")
+      (* Releasing the slot restores service; the wake hands it back. *)
+      Registry.release_waiter reg;
+      write_all fd (encode [ req (Wire.Blpop ("nq", 0)) ]);
+      Alcotest.(check bool) "waiter admitted after release" true
+        (eventually (fun () -> Registry.waiting reg = 1));
+      produce reg "nq" "wake";
+      Alcotest.check resps_t "woken after the slot freed up"
+        [ Wire.Array [ Wire.Bulk "nq"; Wire.Bulk "wake" ] ]
+        (recv_n fd 1);
+      Alcotest.(check bool) "budget returned on wake" true
+        (eventually (fun () -> Registry.waiting reg = 0)))
 
 let test_watch_pushes_notifications () =
   with_session (fun fd reg _ _ ->
@@ -500,7 +551,7 @@ let test_watch_pushes_notifications () =
         (recv_n fd 2);
       (* A mutation committed by another client pushes a frame. *)
       (match Registry.resolve reg (Wire.Put ("m", 1, "x")) with
-      | Ok (_, thunk) -> ignore (thunk () : Wire.response)
+      | Ok r -> ignore (r.Registry.run () : Wire.response)
       | Error _ -> Alcotest.fail "resolve PUT");
       Alcotest.check resps_t "push notification arrives" [ Wire.Push "m" ]
         (recv_n fd 1);
@@ -510,7 +561,7 @@ let test_watch_pushes_notifications () =
       Alcotest.check resps_t "served while watching"
         [ Wire.Bulk "x"; Wire.ok ] (recv_n fd 2);
       (match Registry.resolve reg (Wire.Put ("m", 2, "y")) with
-      | Ok (_, thunk) -> ignore (thunk () : Wire.response)
+      | Ok r -> ignore (r.Registry.run () : Wire.response)
       | Error _ -> Alcotest.fail "resolve PUT");
       write_all fd (encode [ req Wire.Ping ]);
       (* No Push frame precedes the PONG: the subscription is gone. *)
@@ -536,6 +587,170 @@ let test_shutdown_wakes_parked_waiter () =
         [ Wire.Nil ] (recv_n fd 1);
       Alcotest.(check bool) "no waiter survives the drain" true
         (eventually (fun () -> S.waiting (Registry.stm reg) = 0)))
+
+(* ---- sharded server: --shards K behind the same wire protocol ---------- *)
+
+(* Cross-shard MULTI, spanning snapshots, blocking and WATCH against an
+   8-shard registry: every reply must be exactly the single-instance
+   one — sharding is invisible on the wire. *)
+let test_sharded_server_surface () =
+  with_session ~shards:8 (fun fd reg _ _ ->
+      Alcotest.(check int) "registry routes across 8 shards" 8
+        (Registry.shard_count reg);
+      write_all fd
+        (encode
+           [ req (Wire.New (Wire.Kmap, "m")); req (Wire.New (Wire.Kqueue, "q")) ]);
+      Alcotest.check resps_t "created" [ Wire.ok; Wire.ok ] (recv_n fd 2);
+      (* Point ops hash-route to owner shards. *)
+      let n = 32 in
+      write_all fd
+        (encode
+           (List.init n (fun k -> req (Wire.Put ("m", k, "v" ^ string_of_int k)))));
+      Alcotest.check resps_t "every put lands fresh on its owner shard"
+        (List.init n (fun _ -> Wire.Int 1))
+        (recv_n fd n);
+      (* Aggregates span shards: SIZE counts them all, SNAPSHOT-ITER
+         merges the parts in global key order. *)
+      write_all fd
+        (encode
+           [ req (Wire.Size "m"); req ~hint:Sem.Snapshot (Wire.Snapshot_iter "m") ]);
+      Alcotest.check resps_t "spanning aggregates"
+        [
+          Wire.Int n;
+          Wire.Array
+            (List.init n (fun k ->
+                 Wire.Array [ Wire.Int k; Wire.Bulk ("v" ^ string_of_int k) ]));
+        ]
+        (recv_n fd 2);
+      (* A MULTI batch whose keys live on different shards commits as
+         one cross-shard transaction; its effects land together. *)
+      write_all fd
+        (encode
+           [
+             req Wire.Multi;
+             req (Wire.Put ("m", 100, "hundred"));
+             req (Wire.Put ("m", 101, "hundred-one"));
+             req (Wire.Del ("m", 0));
+             req Wire.Multi_end;
+             req (Wire.Size "m");
+           ]);
+      Alcotest.check resps_t "cross-shard MULTI commits atomically"
+        [
+          Wire.ok;
+          Wire.queued;
+          Wire.queued;
+          Wire.queued;
+          Wire.Array [ Wire.Int 1; Wire.Int 1; Wire.Int 1 ];
+          Wire.Int (n + 1);
+        ]
+        (recv_n fd 6);
+      (* A snapshot write inside a spanning MULTI still discards the
+         whole batch with a typed error. *)
+      write_all fd
+        (encode
+           [
+             req ~hint:Sem.Snapshot Wire.Multi;
+             req (Wire.Put ("m", 200, "nope"));
+             req (Wire.Put ("m", 201, "nope"));
+             req Wire.Multi_end;
+             req (Wire.Contains ("m", 200));
+           ]);
+      (match recv_n fd 5 with
+      | [ Wire.Simple "OK"; Wire.Simple "QUEUED"; Wire.Simple "QUEUED";
+          Wire.Error (Wire.Sem_violation, _); Wire.Int 0 ] ->
+          ()
+      | got ->
+          Alcotest.failf "snapshot write in spanning MULTI: %s"
+            (String.concat " | " (List.map pp_resp got)));
+      (* Blocking pops park on the queue's home shard and are woken by
+         a commit there. *)
+      write_all fd (encode [ req (Wire.Blpop ("q", 0)) ]);
+      Alcotest.(check bool) "consumer parked on the home shard" true
+        (eventually (fun () -> Registry.waiting reg = 1));
+      produce reg "q" "job";
+      Alcotest.check resps_t "woken by the producer's commit"
+        [ Wire.Array [ Wire.Bulk "q"; Wire.Bulk "job" ] ]
+        (recv_n fd 1);
+      (* WATCH still observes commits: with K > 1 the dirty mark is
+         made after the data commit, and must still arrive. *)
+      write_all fd (encode [ req (Wire.Watch "m") ]);
+      Alcotest.check resps_t "watch accepted" [ Wire.ok ] (recv_n fd 1);
+      (match Registry.resolve reg (Wire.Put ("m", 7, "update")) with
+      | Ok r ->
+          ignore (r.Registry.run () : Wire.response);
+          Option.iter (Registry.touch reg) r.Registry.touched
+      | Error _ -> Alcotest.fail "resolve PUT");
+      Alcotest.check resps_t "push notification crosses the shard router"
+        [ Wire.Push "m" ] (recv_n fd 1))
+
+(* ---- registry creation races (4 connections) ---------------------------- *)
+
+(* First touch: four connections race NEW on the same names, then
+   write through whichever instance they resolved.  All writes must
+   land in ONE converged structure — a loser writing to an orphaned
+   duplicate would simply vanish from the final snapshot. *)
+let test_first_touch_creation_race () =
+  with_sessions ~conns:4 (fun fds reg ->
+      let n = Array.length fds in
+      let barrier = Atomic.make 0 in
+      let drivers =
+        Array.mapi
+          (fun i fd ->
+            Domain.spawn (fun () ->
+                (* all four fire their NEW batch as close together as
+                   the scheduler allows *)
+                Atomic.incr barrier;
+                while Atomic.get barrier < n do
+                  Domain.cpu_relax ()
+                done;
+                write_all fd
+                  (encode
+                     [
+                       req (Wire.New (Wire.Kmap, "x"));
+                       req (Wire.New (Wire.Kqueue, "jobs"));
+                       req (Wire.Put ("x", i, "conn" ^ string_of_int i));
+                       req (Wire.Enq ("jobs", "job" ^ string_of_int i));
+                     ]);
+                recv_n fd 4))
+          fds
+      in
+      let replies = Array.map Domain.join drivers in
+      (* Exactly one connection created each structure; every other
+         reply is EXISTS — never an error, never a second instance. *)
+      let created name_idx =
+        Array.fold_left
+          (fun acc rs ->
+            match List.nth rs name_idx with
+            | Wire.Simple "OK" -> acc + 1
+            | Wire.Simple "EXISTS" -> acc
+            | r -> Alcotest.failf "NEW race reply: %s" (pp_resp r))
+          0 replies
+      in
+      Alcotest.(check int) "one creator for the map" 1 (created 0);
+      Alcotest.(check int) "one creator for the queue" 1 (created 1);
+      Array.iteri
+        (fun i rs ->
+          Alcotest.(check resp_t)
+            (Printf.sprintf "conn %d's put landed" i)
+            (Wire.Int 1) (List.nth rs 2))
+        replies;
+      (* All four writes are in the one converged map and queue. *)
+      write_all fds.(0)
+        (encode
+           [
+             req (Wire.Size "x");
+             req ~hint:Sem.Snapshot (Wire.Snapshot_iter "x");
+             req (Wire.Size "jobs");
+           ]);
+      (match recv_n fds.(0) 3 with
+      | [ Wire.Int sx; Wire.Array items; Wire.Int sq ] ->
+          Alcotest.(check int) "map holds all four writes" 4 sx;
+          Alcotest.(check int) "snapshot sees all four" 4 (List.length items);
+          Alcotest.(check int) "queue holds all four jobs" 4 sq
+      | got ->
+          Alcotest.failf "converged check: %s"
+            (String.concat " | " (List.map pp_resp got)));
+      ignore reg)
 
 (* ---- misc surface ------------------------------------------------------ *)
 
@@ -902,7 +1117,13 @@ let suite =
   ( "server",
     [
       Alcotest.test_case "pipelined mixed semantics match oracle" `Quick
-        test_pipeline_matches_oracle;
+        (test_pipeline_matches_oracle ~shards:1);
+      Alcotest.test_case "same pipeline, 8-shard registry" `Quick
+        (test_pipeline_matches_oracle ~shards:8);
+      Alcotest.test_case "sharded server surface" `Quick
+        test_sharded_server_surface;
+      Alcotest.test_case "first-touch creation race converges" `Quick
+        test_first_touch_creation_race;
       Alcotest.test_case "MULTI commits atomically" `Quick
         test_multi_commits_atomically;
       Alcotest.test_case "unresolvable MULTI executes nothing" `Quick

@@ -141,10 +141,47 @@ let test_snapshot_iteration_consistent () =
       ((S.stats stm).S.read_invalid + (S.stats stm).S.lock_busy)
   done
 
+let test_invariant_violation_aborts_not_crashes () =
+  (* A corrupt-structure detection ([Invariant_violation]) raised
+     mid-operation must travel the abort path: the transaction's
+     buffered effects are discarded, its locks are released, and the
+     exception surfaces to the caller typed — the process survives and
+     the instance stays fully usable.  The raise site itself guards a
+     state unreachable without genuine memory corruption (the
+     transaction rereads the same tvars), so the injection raises the
+     exception from inside a transaction that has already buffered map
+     writes — exactly the state a detected corruption would abort
+     from. *)
+  let stm = S.create () in
+  let m = M.create stm in
+  List.iter (fun k -> ignore (M.add m k (k * 10))) [ 5; 1; 9; 3; 7 ];
+  (match
+     S.atomically stm (fun _tx ->
+         (* flattens into this transaction: buffered, not yet visible *)
+         ignore (M.add m 42 420);
+         ignore (M.remove m 5);
+         raise
+           (Polytm_structs.Stm_map.Invariant_violation "injected corruption"))
+   with
+  | () -> Alcotest.fail "injected violation should have raised"
+  | exception Polytm_structs.Stm_map.Invariant_violation m ->
+      Alcotest.(check string) "typed exception surfaces" "injected corruption"
+        m);
+  Alcotest.(check (option int)) "buffered add discarded" None
+    (M.find_opt m 42);
+  Alcotest.(check (option int)) "buffered remove discarded" (Some 50)
+    (M.find_opt m 5);
+  Alcotest.(check bool) "tree invariants intact" true (M.invariants_hold m);
+  (* No lock survives the abort: a fresh transaction commits. *)
+  Alcotest.(check bool) "instance usable afterwards" true (M.add m 42 420);
+  Alcotest.(check int) "size reflects only committed ops" 6 (M.size m)
+
 let suite =
   ( "stm-map",
     [
       Alcotest.test_case "basics" `Quick test_basic;
+      Alcotest.test_case "invariant violation aborts, not crashes" `Quick
+        test_invariant_violation_aborts_not_crashes;
       Alcotest.test_case "ordered iteration" `Quick test_ordered_iteration;
       Test_seed.to_alcotest model_property;
       Test_seed.to_alcotest balance_property;
