@@ -102,6 +102,43 @@ let max_seconds_t =
 let quiet_t =
   Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"No exit summary.")
 
+let dir_t =
+  Arg.(value & opt (some string) None
+       & info [ "dir" ] ~docv:"DIR"
+           ~doc:"Durability root: append-only op log, checkpoints and
+                 manifest live here, and the store recovers from it on
+                 startup.  Omitting $(b,--dir) runs fully in memory
+                 (the pre-durability server, byte for byte).")
+
+let fsync_t =
+  let fsync_conv =
+    Arg.enum [ ("always", `Always); ("everysec", `Everysec); ("no", `No) ]
+  in
+  Arg.(value & opt fsync_conv `Everysec
+       & info [ "fsync" ] ~docv:"WHEN"
+           ~doc:"When op-log appends reach the disk: $(b,always) syncs
+                 before any mutation is acknowledged (group commit per
+                 pipelined batch), $(b,everysec) syncs from a
+                 background thread (at most ~1s of acked writes at
+                 risk), $(b,no) leaves it to the OS.  Only meaningful
+                 with $(b,--dir).")
+
+let checkpoint_sec_t =
+  Arg.(value & opt float 60.
+       & info [ "checkpoint-sec" ] ~docv:"SEC"
+           ~doc:"Automatic checkpoint cadence: fold every structure
+                 into a fresh checkpoint and truncate the op log every
+                 SEC seconds.  0 disables the cadence (BGSAVE still
+                 checkpoints on demand).  Only meaningful with
+                 $(b,--dir).")
+
+let no_persist_t =
+  Arg.(value & flag
+       & info [ "no-persist" ]
+           ~doc:"Ignore $(b,--dir) and run in memory — for comparing a
+                 durable configuration against its in-memory baseline
+                 without editing the command line.")
+
 let parse_listener s =
   if String.length s > 5 && String.sub s 0 5 = "unix:" then
     Ok (Srv.Unix_sock (String.sub s 5 (String.length s - 5)))
@@ -153,7 +190,8 @@ let collect parse = function
         (Ok []) xs
 
 let main listen workers shards max_inflight max_multi op_budget op_deadline_us
-    debug_ops structs default_algo stats_json trace max_seconds quiet =
+    debug_ops structs default_algo stats_json trace max_seconds quiet dir fsync
+    checkpoint_sec no_persist =
   let listeners =
     match collect parse_listener listen with
     | Ok [] -> Ok [ Srv.Tcp ("127.0.0.1", 7411) ]
@@ -185,11 +223,15 @@ let main listen workers shards max_inflight max_multi op_budget op_deadline_us
           trace;
           max_seconds;
           quiet;
+          persist_dir = (if no_persist then None else dir);
+          fsync;
+          checkpoint_sec;
         }
       in
       match Srv.run cfg with
       | _handle -> `Ok ()
       | exception Invalid_argument m -> `Error (false, m)
+      | exception Failure m -> `Error (false, m)
       | exception Unix.Unix_error (e, fn, arg) ->
           `Error
             (false, Printf.sprintf "%s(%s): %s" fn arg (Unix.error_message e)))
@@ -204,6 +246,7 @@ let () =
             (const main $ listen_t $ workers_t $ shards_t $ max_inflight_t
            $ max_multi_t
            $ budget_t $ deadline_t $ debug_ops_t $ struct_t $ algo_t
-           $ stats_json_t $ trace_t $ max_seconds_t $ quiet_t))
+           $ stats_json_t $ trace_t $ max_seconds_t $ quiet_t $ dir_t
+           $ fsync_t $ checkpoint_sec_t $ no_persist_t))
   in
   exit (Cmd.eval (Cmd.v (Cmd.info "polytmd" ~version:"1.0.0" ~doc) term))

@@ -30,6 +30,8 @@ type counters = {
   mutable busy : int;
   mutable app_errors : int;  (* typed server errors other than BUSY *)
   mutable proto_errors : int;  (* malformed/corrupt replies *)
+  mutable reconnects : int;  (* --restart-after: connections re-established *)
+  mutable lost : int;  (* in-flight requests dropped by a connection death *)
   lat : Hist.t;
 }
 
@@ -42,6 +44,8 @@ let new_counters () =
     busy = 0;
     app_errors = 0;
     proto_errors = 0;
+    reconnects = 0;
+    lost = 0;
     lat = Hist.create ();
   }
 
@@ -207,15 +211,16 @@ let sleep_until t =
    an independent socket, decoder and [pipeline]-deep window, so the
    server-side workload is identical. *)
 type cstate = {
-  cfd : Unix.file_descr;
+  mutable cfd : Unix.file_descr;
   rng : Random.State.t;
-  cdec : Wire.Decoder.t;
+  mutable cdec : Wire.Decoder.t;
   cout : Buffer.t;
   cinflight : (int * int) Queue.t;
   mutable alive : bool;
 }
 
-let mixed_driver ~addr ~mix ~conns ~pipeline ~rate ~warmup ~seconds ~seed =
+let mixed_driver ~addr ~mix ~conns ~pipeline ~rate ~warmup ~seconds ~seed
+    ~restart_after =
   let c = ref (new_counters ()) in
   let states =
     Array.init conns (fun i ->
@@ -229,9 +234,45 @@ let mixed_driver ~addr ~mix ~conns ~pipeline ~rate ~warmup ~seconds ~seed =
         })
   in
   let rbuf = Bytes.create 65536 in
+  (* With --restart-after SEC, connection deaths from SEC into the
+     measured run on are an *expected* server restart, not a failure:
+     the in-flight window is written off (counted, not erroring) and
+     the connection re-established against the recovered server. *)
+  let t_allow = ref infinity in
+  let allow () = Unix.gettimeofday () >= !t_allow in
   let kill s =
-    s.alive <- false;
-    Queue.clear s.cinflight
+    if s.alive then begin
+      !c.lost <- !c.lost + Queue.length s.cinflight;
+      s.alive <- false;
+      Queue.clear s.cinflight;
+      Buffer.clear s.cout;
+      try Unix.close s.cfd with Unix.Unix_error _ -> ()
+    end
+  in
+  let reconnect s =
+    match connect addr with
+    | exception Unix.Unix_error _ -> ()
+    | fd -> (
+        try
+          s.cfd <- fd;
+          s.cdec <- Wire.Decoder.create ();
+          Buffer.clear s.cout;
+          (* the restart may have lost a last-moment NEW under --fsync
+             everysec; re-ensure before resuming traffic *)
+          Wire.write_request s.cout
+            { Wire.hint = None; cmd = Wire.New (Wire.Kmap, "bench") };
+          send_all s.cfd s.cout;
+          let q = Queue.create () in
+          Queue.push (R.now (), 0) q;
+          read_responses s.cfd s.cdec rbuf (new_counters ()) q 1;
+          s.alive <- true;
+          !c.reconnects <- !c.reconnects + 1
+        with Unix.Unix_error _ | Dead _ -> (
+          try Unix.close fd with Unix.Unix_error _ -> ()))
+  in
+  let revive () =
+    if allow () then
+      Array.iter (fun s -> if not s.alive then reconnect s) states
   in
   let enqueue ?at s =
     let req, sem = gen_request mix s.rng in
@@ -246,7 +287,7 @@ let mixed_driver ~addr ~mix ~conns ~pipeline ~rate ~warmup ~seconds ~seed =
     done;
     try send_all s.cfd s.cout
     with Unix.Unix_error _ ->
-      !c.proto_errors <- !c.proto_errors + 1;
+      if not (allow ()) then !c.proto_errors <- !c.proto_errors + 1;
       kill s
   in
   (* Consume every complete reply currently buffered for [s]. *)
@@ -270,7 +311,7 @@ let mixed_driver ~addr ~mix ~conns ~pipeline ~rate ~warmup ~seconds ~seed =
           ignore (Queue.pop s.cinflight);
           pop ()
       | `Corrupt _ ->
-          !c.proto_errors <- !c.proto_errors + 1;
+          if not (allow ()) then !c.proto_errors <- !c.proto_errors + 1;
           kill s
       | `Await -> ()
     in
@@ -321,11 +362,16 @@ let mixed_driver ~addr ~mix ~conns ~pipeline ~rate ~warmup ~seconds ~seed =
   let run_closed t_stop =
     filling := true;
     while Unix.gettimeofday () < t_stop do
+      revive ();
       Array.iter
         (fun s -> if s.alive && Queue.is_empty s.cinflight then refill s)
         states;
       match waiting () with
-      | [] -> raise (Dead "all connections lost")
+      | [] ->
+          if allow () then
+            (* server down, restart pending: poll the reconnect *)
+            sleep_until (Unix.gettimeofday () +. 0.05)
+          else raise (Dead "all connections lost")
       | rds -> (
           match Unix.select rds [] [] 0.2 with
           | rs, _, _ -> List.iter (fun fd -> read_into (state_of fd)) rs
@@ -346,6 +392,7 @@ let mixed_driver ~addr ~mix ~conns ~pipeline ~rate ~warmup ~seconds ~seed =
     let next = ref (Unix.gettimeofday ()) in
     let rr = ref 0 in
     while Unix.gettimeofday () < t_stop do
+      revive ();
       let now = Unix.gettimeofday () in
       if now < !next then (
         match waiting () with
@@ -397,6 +444,9 @@ let mixed_driver ~addr ~mix ~conns ~pipeline ~rate ~warmup ~seconds ~seed =
        drain_all ()
      end;
      c := new_counters ();
+     (match restart_after with
+     | Some sec -> t_allow := Unix.gettimeofday () +. sec
+     | None -> ());
      run (Unix.gettimeofday () +. seconds);
      (* Drain the tail so every sent request is accounted for. *)
      drain_all ()
@@ -508,6 +558,8 @@ let merge cs =
       tot.busy <- tot.busy + c.busy;
       tot.app_errors <- tot.app_errors + c.app_errors;
       tot.proto_errors <- tot.proto_errors + c.proto_errors;
+      tot.reconnects <- tot.reconnects + c.reconnects;
+      tot.lost <- tot.lost + c.lost;
       Hist.merge_into ~into:tot.lat c.lat)
     cs;
   tot
@@ -547,10 +599,11 @@ let write_json path label elapsed (c : counters) =
     \ \"throughput_ops_per_sec\":%g,\n\
     \ \"elapsed_s\":%g,\n\
     \ \"ops\":{\"total\":%d,\"classic\":%d,\"elastic\":%d,\"snapshot\":%d},\n\
-    \ \"errors\":{\"busy\":%d,\"app\":%d,\"protocol\":%d}}\n"
+    \ \"errors\":{\"busy\":%d,\"app\":%d,\"protocol\":%d},\n\
+    \ \"restart\":{\"reconnects\":%d,\"lost_inflight\":%d}}\n"
     (String.concat "," records)
     thr elapsed c.got c.ops_by_sem.(0) c.ops_by_sem.(1) c.ops_by_sem.(2)
-    c.busy c.app_errors c.proto_errors;
+    c.busy c.app_errors c.proto_errors c.reconnects c.lost;
   close_out oc
 
 (* Same BENCH_*.json record shape, one section of rows plus a meta
@@ -626,7 +679,10 @@ let report label elapsed conns (c : counters) =
     (float_of_int (Hist.max c.lat) /. 1000.)
     (Hist.mean c.lat /. 1000.);
   Printf.printf "  errors:     busy=%d app=%d protocol=%d\n%!" c.busy
-    c.app_errors c.proto_errors
+    c.app_errors c.proto_errors;
+  if c.reconnects > 0 || c.lost > 0 then
+    Printf.printf "  restarts:   reconnects=%d lost_inflight=%d\n%!"
+      c.reconnects c.lost
 
 (* ---- cmdliner ---------------------------------------------------------- *)
 
@@ -736,8 +792,20 @@ let timeout_t =
            ~doc:"prodcons only: per-BLPOP timeout in milliseconds
                  (0 = wait until shutdown).")
 
+let restart_after_t =
+  Arg.(value & opt (some float) None
+       & info [ "restart-after" ] ~docv:"SEC"
+           ~doc:"Expect the server to restart (kill + recovery) any
+                 time from SEC seconds into the measured run:
+                 connection deaths after that point are not fatal —
+                 the in-flight window is written off, the client
+                 reconnects (re-ensuring the bench structure) and
+                 keeps driving load against the recovered server,
+                 reporting reconnects and lost in-flight requests
+                 instead of protocol errors.  Mixed scenario only.")
+
 let main addr conns pipeline seconds warmup keys update snapshot hot shards
-    rate seed json fail_on_errors scenario producers timeout_ms =
+    rate seed json fail_on_errors scenario producers timeout_ms restart_after =
   let addr =
     if String.length addr > 5 && String.sub addr 0 5 = "unix:" then
       `Unix (String.sub addr 5 (String.length addr - 5))
@@ -796,6 +864,7 @@ let main addr conns pipeline seconds warmup keys update snapshot hot shards
   let t0 = Unix.gettimeofday () in
   let total =
     mixed_driver ~addr ~mix ~conns ~pipeline ~rate ~warmup ~seconds ~seed
+      ~restart_after
   in
   let elapsed = Unix.gettimeofday () -. t0 -. warmup in
   let label =
@@ -820,6 +889,6 @@ let () =
     Term.(const main $ addr_t $ conns_t $ pipeline_t $ seconds_t $ warmup_t
           $ keys_t $ update_t $ snapshot_t $ hot_t $ shards_t $ rate_t
           $ seed_t $ json_t $ fail_errors_t $ scenario_t $ producers_t
-          $ timeout_t)
+          $ timeout_t $ restart_after_t)
   in
   exit (Cmd.eval (Cmd.v (Cmd.info "tmload" ~version:"1.0.0" ~doc) term))

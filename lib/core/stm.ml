@@ -289,6 +289,14 @@ module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) : Stm_intf.S = struct
     (* telemetry: the lifecycle hook is a single field test when no
        sink is installed — no clock read, no allocation *)
     mutable telemetry : T.sink option;
+    (* durability: fired once per write commit with the commit stamp,
+       inside the commit critical section (locks / sequence lock still
+       held), so invocation order equals serialization order.  Same
+       discipline as [telemetry]: a single field test when absent, so
+       the default server path charges nothing and sim schedules are
+       untouched.  The hook must not raise and must not run
+       transactions. *)
+    mutable commit_hook : (int -> unit) option;
   }
 
   (* Everything a thread keeps between [atomically] calls, fetched
@@ -384,6 +392,7 @@ module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) : Stm_intf.S = struct
       log_rev = [];
       aborted_rev = [];
       telemetry = None;
+      commit_hook = None;
     }
 
   let tvar stm v =
@@ -450,6 +459,8 @@ module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) : Stm_intf.S = struct
 
   let set_sink stm s = stm.telemetry <- s
   let sink stm = stm.telemetry
+  let set_commit_hook stm h = stm.commit_hook <- h
+  let commit_hook stm = stm.commit_hook
 
   (* Event payloads are built inside the [Some] branch at every call
      site, so with no sink installed the hook costs one load and one
@@ -1179,12 +1190,20 @@ module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) : Stm_intf.S = struct
      have been invalidated) requires the clock increment to be
      exclusively ours: a GV4 adopter always validates, since the
      committer it shares wv with could have invalidated its reads. *)
+  (* The durability hook fires after validation succeeds and before
+     write-back: the per-location locks are still held, so no
+     dependent commit can start until this one's record is handed to
+     the logger — hook invocation order is serialization order. *)
+  let fire_commit_hook stm wv =
+    match stm.commit_hook with None -> () | Some h -> h wv
+
   let version_and_write_back tx =
     match tx.stm.gv with
     | `Gv1 ->
         let wv = R.fetch_and_add tx.stm.clock 1 + 1 in
         if wv = tx.rv + 1 then R.add_counter tx.stm.c_fast_commits 1
         else validate tx;
+        fire_commit_hook tx.stm wv;
         write_back tx wv
     | `Gv4 ->
         let cur = R.get tx.stm.clock in
@@ -1195,6 +1214,7 @@ module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) : Stm_intf.S = struct
         if exclusive && wv = tx.rv + 1 then
           R.add_counter tx.stm.c_fast_commits 1
         else validate tx;
+        fire_commit_hook tx.stm wv;
         write_back tx wv
 
   (* NOrec write commit: acquire the sequence lock by CASing the clock
@@ -1220,6 +1240,7 @@ module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) : Stm_intf.S = struct
     in
     acquire_seqlock true;
     let wv = tx.rv + 2 in
+    fire_commit_hook stm wv;
     Flat_table.iter_ascending
       (fun _ (WEntry w) ->
         let d = R.get w.wvar.data in
@@ -1982,6 +2003,13 @@ module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) : Stm_intf.S = struct
                 | `Norec -> tx.rv + 2)
             txs
         in
+        (* Durability hooks before any member writes back: every
+           member still holds its intents, so a dependent commit (or a
+           snapshot bound, via the [multi_inflight] fence) cannot
+           interleave between the members' log records. *)
+        Array.iteri
+          (fun i tx -> if wvs.(i) >= 0 then fire_commit_hook tx.stm wvs.(i))
+          txs;
         Array.iteri
           (fun i tx -> if wvs.(i) >= 0 then multi_write_back tx wvs.(i))
           txs;
@@ -2233,26 +2261,47 @@ module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) : Stm_intf.S = struct
      storm outrunning the backup chains ever gets this far). *)
   let snapshot_multi_cap = 64
 
-  let snapshot_multi ?(label = "") ?(unsafe_no_stabilize = false) stms f =
+  let snapshot_multi ?(label = "") ?(unsafe_no_stabilize = false) ?bounds stms
+      f =
+    (* [bounds], when supplied, receives the committed attempt's
+       per-instance clock bound — the vector the checkpointer hands to
+       log compaction: every commit with stamp <= bound for its
+       instance is inside the snapshot, every stamp > bound is not
+       (the [multi_inflight] fence in [snapshot_collect] makes the cut
+       atomic even across 2PC commits). *)
+    let put_bounds l = match bounds with None -> () | Some b -> b := l in
+    let single stm =
+      atomically ~sem:Semantics.Snapshot ~label stm (fun tx ->
+          let r = f () in
+          put_bounds [ (stm, tx.snapshot_ub) ];
+          r)
+    in
     match stms with
     | [] -> raise (Invalid_operation "snapshot_multi: no instances")
-    | [ stm ] ->
-        atomically ~sem:Semantics.Snapshot ~label stm (fun _tx -> f ())
+    | [ stm ] -> single stm
     | _ ->
         let arr = canonical_instances stms in
-        if Array.length arr = 1 then
-          atomically ~sem:Semantics.Snapshot ~label arr.(0) (fun _tx -> f ())
+        if Array.length arr = 1 then single arr.(0)
         else begin
           let k = Array.length arr in
           let ctxs = Array.map (fun stm -> R.tls_get stm.current) arr in
           let live (ctx : thread_ctx) =
             match ctx.cur_tx with Some o when o.live -> true | _ -> false
           in
-          if Array.for_all live ctxs then
+          if Array.for_all live ctxs then begin
             (* Flatten into an enclosing cross-instance transaction
                spanning every member (see [atomically_multi]); its
                bound vector / commit governs consistency. *)
+            put_bounds
+              (Array.to_list
+                 (Array.map
+                    (fun (ctx : thread_ctx) ->
+                      match ctx.cur_tx with
+                      | Some tx -> (tx.stm, tx.snapshot_ub)
+                      | None -> assert false)
+                    ctxs));
             f ()
+          end
           else begin
           Array.iter
             (fun (ctx : thread_ctx) ->
@@ -2288,6 +2337,11 @@ module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) : Stm_intf.S = struct
                 tx.live <- false;
                 ctxs.(i).cur_tx <- None)
               txs
+          in
+          let capture_bounds () =
+            put_bounds
+              (Array.to_list
+                 (Array.map (fun tx -> (tx.stm, tx.snapshot_ub)) txs))
           in
           let account_commit () =
             Array.iter
@@ -2329,6 +2383,7 @@ module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) : Stm_intf.S = struct
             arm_all ~token:true n;
             match f () with
             | result ->
+                capture_bounds ();
                 cleanup_all ();
                 exit_all ();
                 account_commit ();
@@ -2362,6 +2417,7 @@ module Make (R : Polytm_runtime.Runtime_intf.RUNTIME) : Stm_intf.S = struct
                 txs;
               match f () with
               | result ->
+                  capture_bounds ();
                   cleanup_all ();
                   account_commit ();
                   run_all_hooks ~aborted:false;

@@ -286,6 +286,7 @@ module type S = sig
   val snapshot_multi :
     ?label:string ->
     ?unsafe_no_stabilize:bool ->
+    ?bounds:(t * int) list ref ->
     t list ->
     (unit -> 'a) ->
     'a
@@ -306,6 +307,13 @@ module type S = sig
       allowing a torn cross-instance read; it exists solely so the
       Explore model check can prove it would catch that bug, and must
       never be used otherwise.
+
+      [bounds], when supplied, receives the committed attempt's
+      per-instance clock bounds: a commit on a member instance is
+      inside the snapshot iff its stamp is [<=] the member's bound.
+      This is the cut vector the checkpointer hands to log compaction
+      (every logged record with a larger stamp must be replayed on
+      recovery, every smaller one is already in the checkpoint).
 
       @raise Invalid_operation on a write inside [f], or when the
       calling thread already has a live transaction on a member. *)
@@ -415,6 +423,23 @@ module type S = sig
       transactions is not synchronised. *)
 
   val sink : t -> Polytm_telemetry.sink option
+
+  val set_commit_hook : t -> (int -> unit) option -> unit
+  (** Install (or remove) the durability hook: called once per write
+      commit with the commit stamp (the version written back), {e
+      inside} the commit critical section — after validation decides
+      the commit will succeed, before any lock or sequence-lock
+      release.  Because no dependent commit can start until this
+      commit releases, invocation order equals serialization order:
+      appending a record per invocation yields a log whose replay
+      reproduces the store.  Cross-instance (2PC) commits fire the
+      hook once per written member, all members' intents still held.
+      The callback must be fast, must never raise, and must not run
+      transactions on any instance.  Like {!set_sink}, the hook is a
+      single mutable-field test when absent — the default path charges
+      nothing and sim schedules are untouched. *)
+
+  val commit_hook : t -> (int -> unit) option
 
   val cause_of_reason : abort_reason -> Polytm_telemetry.cause
   (** Total mapping from the STM's abort reasons onto the telemetry

@@ -1,0 +1,157 @@
+(** The append-only op log writer.
+
+    Records are appended by the STM commit hook {e inside} the commit
+    critical section, so the append path must never block on disk:
+    [append] serialises the record into an in-memory buffer under the
+    append mutex and returns a sequence number; the actual
+    [write]+[fsync] happens later, under a {e separate} sync mutex, on
+    whichever thread needs durability first — the event-loop flush
+    path ([`Always]), the once-a-second tick ([`Everysec]), or
+    shutdown ([`No]).
+
+    Group commit falls out of the split: while one thread is inside
+    [fsync], every other session keeps appending to the buffer; when
+    the sync finishes, the next waiter's [wait_durable] re-check
+    usually finds its sequence number already covered (the sync it
+    waited on swallowed the whole batch), so N pipelined acks cost one
+    [fsync], not N. *)
+
+type policy = [ `Always | `Everysec | `No ]
+
+let policy_to_string = function
+  | `Always -> "always"
+  | `Everysec -> "everysec"
+  | `No -> "no"
+
+let policy_of_string = function
+  | "always" -> Some `Always
+  | "everysec" -> Some `Everysec
+  | "no" -> Some `No
+  | _ -> None
+
+type t = {
+  path : string;
+  fd : Unix.file_descr;
+  mu : Mutex.t;  (** guards [buf], [seq], [bytes] — the append side *)
+  mutable buf : Buffer.t;
+  mutable spare : Buffer.t;  (** double buffer: swapped in under [mu],
+                                 drained to the fd outside it *)
+  mutable seq : int;  (** records appended (buffered or written) *)
+  mutable bytes : int;  (** bytes appended since open *)
+  sync_mu : Mutex.t;  (** serialises write+fsync and [closed] *)
+  mutable synced_seq : int;  (** highest seq covered by an [fsync] *)
+  mutable closed : bool;
+  mutable syncs : int;  (** fsyncs issued, for INFO / telemetry *)
+}
+
+(* Open (creating if absent) for append; an empty file gets the
+   magic.  The caller is responsible for having scanned/truncated the
+   file first — this writer only ever moves forward. *)
+let open_log path =
+  let fd = Unix.openfile path [ O_WRONLY; O_CREAT; O_APPEND ] 0o644 in
+  let size = (Unix.fstat fd).st_size in
+  if size = 0 then begin
+    let m = Bytes.of_string Frame.log_magic in
+    let n = Unix.write fd m 0 (Bytes.length m) in
+    assert (n = Bytes.length m)
+  end;
+  {
+    path;
+    fd;
+    mu = Mutex.create ();
+    buf = Buffer.create 4096;
+    spare = Buffer.create 4096;
+    seq = 0;
+    bytes = (if size = 0 then Frame.magic_len else size);
+    sync_mu = Mutex.create ();
+    synced_seq = 0;
+    closed = false;
+    syncs = 0;
+  }
+
+let append t hdr ~payload =
+  Mutex.lock t.mu;
+  let before = Buffer.length t.buf in
+  Frame.encode t.buf hdr ~payload;
+  t.bytes <- t.bytes + (Buffer.length t.buf - before);
+  t.seq <- t.seq + 1;
+  let seq = t.seq in
+  Mutex.unlock t.mu;
+  seq
+
+let write_all fd b pos len =
+  let pos = ref pos and len = ref len in
+  while !len > 0 do
+    match Unix.write fd b !pos !len with
+    | n ->
+        pos := !pos + n;
+        len := !len - n
+    | exception Unix.Unix_error (EINTR, _, _) -> ()
+  done
+
+(* Drain the buffer to the fd and fsync; must hold [sync_mu]. *)
+let sync_locked t =
+  if not t.closed then begin
+    Mutex.lock t.mu;
+    let target = t.seq in
+    let pending = t.buf in
+    t.buf <- t.spare;
+    t.spare <- pending;
+    Mutex.unlock t.mu;
+    (* Appends continue into the other buffer while we do I/O. *)
+    if Buffer.length pending > 0 then begin
+      let b = Buffer.to_bytes pending in
+      Buffer.clear pending;
+      write_all t.fd b 0 (Bytes.length b)
+    end;
+    Unix.fsync t.fd;
+    t.syncs <- t.syncs + 1;
+    if target > t.synced_seq then t.synced_seq <- target
+  end
+
+let sync t =
+  Mutex.lock t.sync_mu;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.sync_mu)
+    (fun () -> sync_locked t)
+
+(* Block until record [seq] is on disk.  The unlocked fast-path read
+   of [synced_seq] can at worst be stale (too small), which only sends
+   us to the locked re-check. *)
+let wait_durable t seq =
+  if t.synced_seq < seq then begin
+    Mutex.lock t.sync_mu;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock t.sync_mu)
+      (fun () -> if t.synced_seq < seq then sync_locked t)
+  end
+
+let seq t =
+  Mutex.lock t.mu;
+  let s = t.seq in
+  Mutex.unlock t.mu;
+  s
+
+let synced_seq t = t.synced_seq
+let syncs t = t.syncs
+
+let bytes t =
+  Mutex.lock t.mu;
+  let b = t.bytes in
+  Mutex.unlock t.mu;
+  b
+
+(* Final sync then close.  Safe against concurrent [wait_durable]:
+   after the final [sync_locked], [synced_seq = seq], so no later
+   waiter can reach the fd, and [closed] stops any racing slow path
+   already queued on [sync_mu]. *)
+let close t =
+  Mutex.lock t.sync_mu;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.sync_mu)
+    (fun () ->
+      if not t.closed then begin
+        sync_locked t;
+        t.closed <- true;
+        Unix.close t.fd
+      end)

@@ -1,0 +1,40 @@
+(** CRC-32 (IEEE 802.3, reflected polynomial [0xEDB88320]),
+    table-driven, one table lookup per byte.  Every record in the op
+    log and checkpoint files carries the CRC of its body so recovery
+    can distinguish "clean end of log" from "torn tail" from
+    "corrupted middle" without trusting lengths alone.
+
+    Hand-rolled because the container ships no checksum library and a
+    32-entry-per-byte table is 40 lines; the constants are the
+    standard ones (zlib, PNG, ethernet), so any external tool can
+    re-verify a log file. *)
+
+let table =
+  lazy
+    (let t = Array.make 256 0 in
+     for n = 0 to 255 do
+       let c = ref n in
+       for _ = 0 to 7 do
+         if !c land 1 = 1 then c := 0xEDB88320 lxor (!c lsr 1)
+         else c := !c lsr 1
+       done;
+       t.(n) <- !c
+     done;
+     t)
+
+(* Running update: feed [len] bytes of [s] starting at [pos] into an
+   accumulator previously returned by [update] (or [0] to start).  The
+   pre/post conditioning (xor with 0xFFFFFFFF) happens in [finish] /
+   here via the standard one's-complement trick. *)
+let update crc s pos len =
+  if pos < 0 || len < 0 || pos + len > String.length s then
+    invalid_arg "Crc32.update";
+  let t = Lazy.force table in
+  let c = ref (crc lxor 0xFFFFFFFF) in
+  for i = pos to pos + len - 1 do
+    c := t.((!c lxor Char.code (String.unsafe_get s i)) land 0xFF)
+         lxor (!c lsr 8)
+  done;
+  !c lxor 0xFFFFFFFF
+
+let string s = update 0 s 0 (String.length s)

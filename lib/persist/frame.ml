@@ -1,0 +1,201 @@
+(** The on-disk record format shared by the op log and checkpoint
+    files.
+
+    A persist file is an 8-byte magic followed by a sequence of
+    records:
+
+    {v
+      record  = u32_le body_len | u32_le crc32(body) | body
+      body    = u8 rtype | u8 algo | u16_le shard | u64_le stamp | payload
+    v}
+
+    [rtype] distinguishes ops ([rt_op], payload = the mutation's wire
+    request frame, exactly as the client sent it), structure creations
+    ([rt_new], payload = a [NEW] wire frame), a checkpoint's bound
+    vector ([rt_bounds]) and its trailer ([rt_trailer]).  [algo] and
+    [shard] locate the STM instance the record committed on; [stamp]
+    is that instance's commit version, which is what log compaction
+    filters against (replay a record iff its stamp exceeds the
+    checkpoint's bound for that instance).
+
+    Scanning never raises on malformed input: a file is parsed as the
+    longest valid prefix plus a typed {!tear} describing where and why
+    parsing stopped — the caller decides whether a tear is a benign
+    crash artifact (end of the active log) or grounds to refuse
+    service (middle of a checkpoint). *)
+
+let log_magic = "PTMLOG1\n"
+let ckpt_magic = "PTMCKP1\n"
+let magic_len = 8
+
+let rt_op = 1
+let rt_new = 2
+let rt_bounds = 3
+let rt_trailer = 4
+
+(* Body length sanity bound: header fields plus the server's largest
+   admissible wire frame (8 MiB default [max_frame]) with headroom for
+   a full MULTI batch.  A length above this is corruption, not data. *)
+let max_body = 256 * 1024 * 1024
+let body_hdr_len = 1 + 1 + 2 + 8
+let min_body = body_hdr_len
+
+type header = { rtype : int; algo : int; shard : int; stamp : int }
+type record = { hdr : header; payload : string }
+
+let encode_body hdr ~payload =
+  let b = Buffer.create (body_hdr_len + String.length payload) in
+  Buffer.add_uint8 b hdr.rtype;
+  Buffer.add_uint8 b hdr.algo;
+  Buffer.add_uint16_le b hdr.shard;
+  Buffer.add_int64_le b (Int64.of_int hdr.stamp);
+  Buffer.add_string b payload;
+  Buffer.contents b
+
+(* Append one framed record to [buf]. *)
+let encode buf hdr ~payload =
+  let body = encode_body hdr ~payload in
+  Buffer.add_int32_le buf (Int32.of_int (String.length body));
+  Buffer.add_int32_le buf (Int32.of_int (Crc32.string body));
+  Buffer.add_string buf body
+
+let decode_body body =
+  let n = String.length body in
+  if n < min_body then None
+  else
+    Some
+      {
+        hdr =
+          {
+            rtype = Char.code body.[0];
+            algo = Char.code body.[1];
+            shard = String.get_uint16_le body 2;
+            stamp = Int64.to_int (String.get_int64_le body 4);
+          };
+        payload = String.sub body body_hdr_len (n - body_hdr_len);
+      }
+
+(* ------------------------------------------------------------------ *)
+(* Scanning                                                            *)
+
+type tear_reason =
+  | Bad_magic  (** file does not start with the expected 8 bytes *)
+  | Truncated_header  (** EOF inside a record's len/crc prefix *)
+  | Truncated_body  (** EOF inside a record body *)
+  | Crc_mismatch  (** body bytes present but checksum wrong *)
+  | Bad_length  (** length field outside [min_body, max_body] *)
+
+let tear_reason_to_string = function
+  | Bad_magic -> "bad-magic"
+  | Truncated_header -> "truncated-header"
+  | Truncated_body -> "truncated-body"
+  | Crc_mismatch -> "crc-mismatch"
+  | Bad_length -> "bad-length"
+
+type tear = { at : int;  (** byte offset of the record that failed *)
+              reason : tear_reason }
+
+type scan = {
+  records : int;  (** valid records delivered to the callback *)
+  valid_bytes : int;
+      (** offset one past the last valid record — the truncation
+          point that keeps exactly the longest valid prefix *)
+  tear : tear option;  (** [None] iff the file ended cleanly *)
+}
+
+let pp_tear ppf t =
+  Format.fprintf ppf "%s at byte %d" (tear_reason_to_string t.reason) t.at
+
+(* Scan [path], calling [f index record] for each valid record in
+   order.  Stops at the first malformed record; never raises on
+   malformed {e content} (I/O errors — [ENOENT], permissions — do
+   raise [Sys_error], which callers treat as "no such file"). *)
+let scan_file ~magic ~path ~f =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let file_len = in_channel_length ic in
+      let read_exactly n =
+        (* [really_input_string] raises [End_of_file] on a short read;
+           we want the short read to be a typed tear instead. *)
+        let pos = pos_in ic in
+        if file_len - pos < n then None
+        else Some (really_input_string ic n)
+      in
+      let tear_at at reason records valid_bytes =
+        { records; valid_bytes; tear = Some { at; reason } }
+      in
+      match read_exactly magic_len with
+      | None -> tear_at 0 Bad_magic 0 0
+      | Some m when not (String.equal m magic) -> tear_at 0 Bad_magic 0 0
+      | Some _ ->
+          let rec loop records valid_bytes =
+            let at = pos_in ic in
+            if at = file_len then { records; valid_bytes; tear = None }
+            else
+              match read_exactly 8 with
+              | None -> tear_at at Truncated_header records valid_bytes
+              | Some prefix -> (
+                  let len = Int32.to_int (String.get_int32_le prefix 0) in
+                  let crc =
+                    Int32.to_int (String.get_int32_le prefix 4)
+                    land 0xFFFFFFFF
+                  in
+                  if len < min_body || len > max_body then
+                    tear_at at Bad_length records valid_bytes
+                  else
+                    match read_exactly len with
+                    | None -> tear_at at Truncated_body records valid_bytes
+                    | Some body -> (
+                        if Crc32.string body <> crc then
+                          tear_at at Crc_mismatch records valid_bytes
+                        else
+                          match decode_body body with
+                          | None -> tear_at at Bad_length records valid_bytes
+                          | Some r ->
+                              f records r;
+                              loop (records + 1) (pos_in ic)))
+          in
+          loop 0 magic_len)
+
+(* ------------------------------------------------------------------ *)
+(* Checkpoint bound-vector and trailer payloads                        *)
+
+(* bounds payload = u16_le count, then count * (u8 algo | u16_le shard
+   | u64_le bound); trailer payload = u64_le record count (records
+   between the magic and the trailer, trailer excluded). *)
+
+let encode_bounds entries =
+  let b = Buffer.create (2 + (11 * List.length entries)) in
+  Buffer.add_uint16_le b (List.length entries);
+  List.iter
+    (fun (algo, shard, bound) ->
+      Buffer.add_uint8 b algo;
+      Buffer.add_uint16_le b shard;
+      Buffer.add_int64_le b (Int64.of_int bound))
+    entries;
+  Buffer.contents b
+
+let decode_bounds s =
+  if String.length s < 2 then None
+  else
+    let count = String.get_uint16_le s 0 in
+    if String.length s <> 2 + (11 * count) then None
+    else
+      let entry i =
+        let off = 2 + (11 * i) in
+        ( Char.code s.[off],
+          String.get_uint16_le s (off + 1),
+          Int64.to_int (String.get_int64_le s (off + 3)) )
+      in
+      Some (List.init count entry)
+
+let encode_count n =
+  let b = Buffer.create 8 in
+  Buffer.add_int64_le b (Int64.of_int n);
+  Buffer.contents b
+
+let decode_count s =
+  if String.length s <> 8 then None
+  else Some (Int64.to_int (String.get_int64_le s 0))

@@ -67,6 +67,45 @@ type slot = {
   algo : algo;
   dirty : bool S.tvar;
   watchers : int Atomic.t;
+  ops : int Atomic.t;
+      (** structure operations resolved against this slot, for [INFO]
+          — counted at {!resolve} time (admitted, whether or not the
+          transaction later succeeds) *)
+}
+
+(* The durability subsystem, seen from the session and registry side
+   as a record of closures: [lib/persist] cannot depend on the server
+   (the server depends on it), and threading a concrete handle through
+   every session/evloop signature would churn every test.  [None]
+   (the default) disables persistence: each field is consulted behind
+   an option test, so the non-persistent server charges nothing.  See
+   [Persist] for the implementation and the arm/finish protocol. *)
+type persist_ops = {
+  p_arm : string -> unit;
+      (** arm the calling thread's pending-record slot with an encoded
+          wire frame; the next committing write transaction {e on this
+          thread} appends it to the op log (from inside the STM commit
+          hook, stamped with the commit version) *)
+  p_finish : unit -> (Polytm_persist.Aof.t * int) option;
+      (** disarm: returns the log writer and record sequence number
+          when the armed payload was appended (the op mutated and
+          committed), [None] when it never reached a write commit
+          (read-only / failed op).  The writer is part of the ticket
+          because a checkpoint can rotate the active log between the
+          append and the ack. *)
+  p_wait_durable : Polytm_persist.Aof.t -> int -> unit;
+      (** block until record [seq] of that log writer is fsynced
+          (group commit: one [fsync] covers every record buffered
+          before it) *)
+  p_always : bool;  (** fsync policy is [`Always]: sessions must call
+                        [p_wait_durable] before acking mutations *)
+  p_log_new : Wire.kind -> string -> algo -> unit;
+      (** append a structure-creation record (registry creations are
+          CAS-published outside any transaction, so the commit hook
+          never sees them) *)
+  p_bgsave : unit -> Wire.response;
+  p_lastsave : unit -> Wire.response;
+  p_info : unit -> (string * string) list;
 }
 
 type t = {
@@ -79,6 +118,10 @@ type t = {
   waiters : int Atomic.t;
       (** parked blocking ops, server-wide: one budget across every
           instance of both routers (see {!reserve_waiter}) *)
+  started_at : float;  (** wall-clock creation time, for [INFO] uptime *)
+  mutable persist : persist_ops option;
+      (** installed once, after recovery and before the listeners
+          open; [None] while recovering and on non-persistent servers *)
 }
 
 let create ?(shards = 1) ?stm ?stm_norec ?(default_algo = `Tl2) () =
@@ -112,6 +155,8 @@ let create ?(shards = 1) ?stm ?stm_norec ?(default_algo = `Tl2) () =
     draining_norec =
       Array.init shards (fun i -> S.tvar (Router.shard norec i) false);
     waiters = Atomic.make 0;
+    started_at = Unix.gettimeofday ();
+    persist = None;
   }
 
 let router_for t = function `Tl2 -> t.tl2 | `Norec -> t.norec
@@ -216,6 +261,7 @@ let ensure ?algo t kind name =
       algo;
       dirty = S.tvar (Router.shard router 0) false;
       watchers = Atomic.make 0;
+      ops = Atomic.make 0;
     }
   in
   let rec go () =
@@ -230,6 +276,14 @@ let ensure ?algo t kind name =
                  Printf.sprintf "%s exists with kind %s" name
                    (Wire.kind_to_string (kind_of_entry s.entry)) ))
     | None ->
+        (* Log the creation {e before} the CAS publishes the name: a
+           racing session can only reach the structure (and append op
+           records for it) after the CAS, so the NEW record always
+           precedes the ops that need it.  A CAS loser's duplicate NEW
+           replays as an idempotent ensure. *)
+        (match t.persist with
+        | Some p -> p.p_log_new kind name algo
+        | None -> ());
         if Atomic.compare_and_set t.entries cur ((name, fresh ()) :: cur) then
           Ok `Created
         else go ()
@@ -289,7 +343,9 @@ let resolve t cmd : (resolved, Wire.response) result =
   let with_slot name k =
     match List.assoc_opt name (Atomic.get t.entries) with
     | None -> Error (err Wire.No_struct "no structure named %S" name)
-    | Some s -> k s
+    | Some s ->
+        Atomic.incr s.ops;
+        k s
   in
   let ok (s : slot) site run = Ok { algo = s.algo; site; touched = None; run } in
   (* A mutating thunk also marks the slot dirty for its watchers:
@@ -426,7 +482,8 @@ let resolve t cmd : (resolved, Wire.response) result =
                   | None -> Wire.Nil)
           | e -> Error (mismatch cmd e))
   | Wire.Ping | Wire.New _ | Wire.Multi | Wire.Multi_end | Wire.Debug_abort _
-  | Wire.Blpop _ | Wire.Btake _ | Wire.Watch _ | Wire.Unwatch _ ->
+  | Wire.Blpop _ | Wire.Btake _ | Wire.Watch _ | Wire.Unwatch _ | Wire.Info
+  | Wire.Bgsave | Wire.Lastsave ->
       Error
         (err Wire.Bad_op "%s is not a structure operation" (Wire.cmd_name cmd))
 
@@ -582,3 +639,54 @@ let wait_dirty t ws ~timeout_ns =
 let default_sem = function
   | Wire.Snapshot_iter _ -> Polytm.Semantics.Snapshot
   | _ -> Polytm.Semantics.Classic
+
+(* ---- introspection ----------------------------------------------------- *)
+
+(* Stable name order, for INFO output and the checkpoint writer (a
+   deterministic checkpoint file for a given state makes the recovery
+   differential tests byte-comparable). *)
+let slots t =
+  List.sort
+    (fun (a, _) (b, _) -> String.compare a b)
+    (Atomic.get t.entries)
+
+let info t =
+  let base =
+    [
+      ( "uptime_sec",
+        string_of_int
+          (int_of_float (Unix.gettimeofday () -. t.started_at)) );
+      ("shards", string_of_int (shard_count t));
+      ("default_algo", algo_name t.default_algo);
+      ("structures", string_of_int (List.length (Atomic.get t.entries)));
+      ("waiting", string_of_int (waiting t));
+    ]
+  in
+  let per_struct =
+    List.map
+      (fun (name, s) ->
+        ( "struct_" ^ name,
+          Printf.sprintf "kind=%s,algo=%s,ops=%d"
+            (Wire.kind_to_string (kind_of_entry s.entry))
+            (algo_name s.algo) (Atomic.get s.ops) ))
+      (slots t)
+  in
+  let persist =
+    match t.persist with
+    | None -> [ ("persist", "off") ]
+    | Some p -> ("persist", "on") :: p.p_info ()
+  in
+  base @ per_struct @ persist
+
+(* INFO's wire shape: one [Bulk] of "key:value" lines, so a probe can
+   split on newlines without a response-tree walk. *)
+let info_response t =
+  let b = Buffer.create 512 in
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_string b k;
+      Buffer.add_char b ':';
+      Buffer.add_string b v;
+      Buffer.add_char b '\n')
+    (info t);
+  Wire.Bulk (Buffer.contents b)

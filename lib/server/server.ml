@@ -46,6 +46,19 @@ type config = {
   ring_capacity : int;  (** telemetry ring slots per lane *)
   max_seconds : float option;  (** self-terminate after this long *)
   quiet : bool;
+  persist_dir : string option;
+      (** durability root ([--dir]): op log + checkpoints + manifest.
+          [None] (the default) disables persistence entirely — no
+          hooks installed, no arming, byte-identical behaviour to the
+          pre-durability server *)
+  fsync : Polytm_persist.Aof.policy;
+      (** when log appends reach the disk: [`Always] fsyncs before any
+          mutation is acked (group commit per pipelined batch),
+          [`Everysec] syncs from a background thread, [`No] leaves it
+          to the OS *)
+  checkpoint_sec : float;
+      (** automatic checkpoint cadence; [0.] disables (BGSAVE still
+          works) *)
 }
 
 let default_config =
@@ -61,6 +74,9 @@ let default_config =
     ring_capacity = 1 lsl 14;
     max_seconds = None;
     quiet = false;
+    persist_dir = None;
+    fsync = `Everysec;
+    checkpoint_sec = 60.;
   }
 
 (* Accept-level backpressure: connections held across all loops before
@@ -159,11 +175,21 @@ let shard_stats_json registry =
   in
   T.Json.Obj (per `Tl2 @ per `Norec)
 
-let stats_json_doc ~elapsed_s ~registry (stats : Session.stats) ~events_lost
-    agg_snapshot =
+let stats_json_doc ~elapsed_s ~registry ?persist (stats : Session.stats)
+    ~events_lost agg_snapshot =
   let sem_name i = Polytm.Semantics.to_string (Session.sem_of_index i) in
   T.Json.Obj
-    [
+    ((* the durability counters appear only when persistence is on, so
+        a persistence-off run's stats document is byte-identical to
+        the pre-durability server's *)
+     (match persist with
+     | None -> []
+     | Some kvs ->
+         [
+           ( "persist",
+             T.Json.Obj (List.map (fun (k, v) -> (k, T.Json.Int v)) kvs) );
+         ])
+    @ [
       ( "server",
         T.Json.Obj
           [
@@ -183,10 +209,10 @@ let stats_json_doc ~elapsed_s ~registry (stats : Session.stats) ~events_lost
                        (sem_name i, hist_json stats.Session.lat_by_sem.(i))))
             );
           ] );
-      ("shards", shard_stats_json registry);
-      ("telemetry", T.Export.snapshot_json agg_snapshot);
-      ("telemetry_events_lost", T.Json.Int events_lost);
-    ]
+        ("shards", shard_stats_json registry);
+        ("telemetry", T.Export.snapshot_json agg_snapshot);
+        ("telemetry_events_lost", T.Json.Int events_lost);
+      ])
 
 let write_file path s =
   let oc = open_out path in
@@ -213,6 +239,19 @@ let run ?registry cfg =
   if cfg.workers < 1 then invalid_arg "Server: workers must be >= 1";
   if cfg.shards < 1 then invalid_arg "Server: shards must be >= 1";
   if cfg.listeners = [] then invalid_arg "Server: no listeners";
+  (* Recovery runs first — before pre-created structures, so a
+     recovered structure wins a name tie (the prestruct ensure then
+     just converges on it), and before anything can commit.  The
+     server refuses to serve on a recovery failure: coming up empty
+     over a corrupt data directory would silently discard the store. *)
+  let recovered =
+    match cfg.persist_dir with
+    | None -> None
+    | Some dir -> (
+        match Persist.recover ~dir registry with
+        | Ok r -> Some (dir, r)
+        | Error m -> failwith ("polytmd: recovery failed: " ^ m))
+  in
   List.iter
     (fun (kind, name, algo) ->
       match Registry.ensure ~algo registry kind name with
@@ -220,6 +259,24 @@ let run ?registry cfg =
       | Error _ ->
           invalid_arg (Printf.sprintf "Server: prestruct %S conflicts" name))
     cfg.prestructs;
+  (* Activation (fresh generation checkpoint + hook install) comes
+     after the prestructs so the startup checkpoint captures them —
+     their creation predates the hooks, so only the checkpoint records
+     them. *)
+  let persist =
+    Option.map
+      (fun (dir, r) ->
+        match Persist.activate ~dir ~policy:cfg.fsync registry r with
+        | Ok p ->
+            if not cfg.quiet then
+              Printf.printf
+                "polytmd: recovered %d records in %.1f ms (tail: %s)\n%!"
+                r.Persist.r_replayed r.Persist.r_ms
+                (match r.Persist.r_tear with None -> "clean" | Some m -> m);
+            p
+        | Error m -> failwith ("polytmd: persistence unavailable: " ^ m))
+      recovered
+  in
   (* Telemetry: a lock-free ring so the request path never takes a
      lock for observability; drained once after the loops join. *)
   let ring =
@@ -254,6 +311,44 @@ let run ?registry cfg =
   let loops = Array.init cfg.workers (fun _ -> Evloop.create ~stop:stop_fn ()) in
   let loop_doms =
     Array.map (fun l -> Domain.spawn (fun () -> Evloop.run l)) loops
+  in
+  (* The persistence housekeeper: the [`Everysec] group sync and the
+     automatic checkpoint cadence.  A plain systhread — both duties
+     are I/O-bound and sub-second-latency-tolerant. *)
+  let persist_stop = Atomic.make false in
+  let persist_thread =
+    Option.map
+      (fun p ->
+        Thread.create
+          (fun () ->
+            let rec go last_sync last_ckpt =
+              if not (Atomic.get persist_stop) then begin
+                Thread.delay 0.2;
+                let now = Unix.gettimeofday () in
+                let last_sync =
+                  if cfg.fsync = `Everysec && now -. last_sync >= 1.0 then begin
+                    Persist.tick p;
+                    now
+                  end
+                  else last_sync
+                in
+                let last_ckpt =
+                  if
+                    cfg.checkpoint_sec > 0.
+                    && now -. last_ckpt >= cfg.checkpoint_sec
+                  then begin
+                    ignore (Persist.bgsave p);
+                    now
+                  end
+                  else last_ckpt
+                in
+                go last_sync last_ckpt
+              end
+            in
+            let t0 = Unix.gettimeofday () in
+            go t0 t0)
+          ())
+      persist
   in
   (* Dispatch to the least-loaded loop so one loop never aggregates
      every long-lived connection while the others idle. *)
@@ -322,6 +417,11 @@ let run ?registry cfg =
   Registry.set_draining registry;
   Active.nudge active;
   Array.iter Domain.join loop_doms;
+  (* Every session has answered and flushed, so every armed record is
+     appended; [Persist.stop] syncs the tail and closes the log. *)
+  Atomic.set persist_stop true;
+  Option.iter Thread.join persist_thread;
+  Option.iter Persist.stop persist;
   Sys.set_signal Sys.sigterm prev_term;
   Sys.set_signal Sys.sigint prev_int;
   Sys.set_signal Sys.sigpipe prev_pipe;
@@ -334,15 +434,18 @@ let run ?registry cfg =
   Option.iter
     (fun path ->
       let doc =
-        stats_json_doc ~elapsed_s ~registry stats ~events_lost
-          (T.Agg.of_events events)
+        stats_json_doc ~elapsed_s ~registry
+          ?persist:(Option.map (fun _ -> T.Persist.counters ()) persist)
+          stats ~events_lost (T.Agg.of_events events)
       in
       write_file path (T.Json.to_string doc))
     cfg.stats_json;
   Option.iter
     (fun path ->
       write_file path
-        (T.Json.to_string (T.Export.chrome_trace ~process_name:"polytmd" events)))
+        (T.Json.to_string
+           (T.Export.chrome_trace ~process_name:"polytmd"
+              ~extra:(T.Persist.lane ()) events)))
     cfg.trace;
   if not cfg.quiet then
     Printf.printf

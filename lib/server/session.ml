@@ -110,7 +110,7 @@ let merge_stats ~into src =
 let op_classes =
   [ "PING"; "NEW"; "GET"; "PUT"; "DEL"; "CONTAINS"; "ADD"; "REMOVE"; "SIZE";
     "SNAPSHOT-ITER"; "ENQ"; "DEQ"; "BLPOP"; "BTAKE"; "WATCH"; "UNWATCH";
-    "MULTI"; "MULTI-END"; "DEBUG-ABORT" ]
+    "MULTI"; "MULTI-END"; "INFO"; "BGSAVE"; "LASTSAVE"; "DEBUG-ABORT" ]
 
 let label_table : (string * int, string) Hashtbl.t =
   let t = Hashtbl.create 64 in
@@ -156,6 +156,11 @@ type t = {
   mutable multi_rev : Wire.cmd list;  (** queued batch, newest first *)
   mutable multi_count : int;
   mutable watches : Registry.watch list;  (** active WATCH subscriptions *)
+  mutable durables : (Polytm_persist.Aof.t * int) list;
+      (** op-log append tickets awaiting fsync before their replies may
+          leave the socket — only populated under [--fsync always];
+          drained by [try_flush] (group commit: one wait covers the
+          whole pipelined batch).  Loop-thread state, like the rest. *)
   mutable watch_inflight : bool;  (** a watch wait is out on a helper *)
   mutable parked : bool;  (** a blocking op is out on a helper *)
   mutable draining : bool;  (** stop observed: answer, flush, close *)
@@ -165,6 +170,55 @@ type t = {
 }
 
 let err = Registry.err
+
+(* ---- durability arming --------------------------------------------------
+
+   The persist layer's commit hook runs inside the STM commit and only
+   knows the commit stamp; the session tells it {e what} to log by
+   arming the executing thread with the encoded mutation before the
+   transaction and disarming after (see [Registry.persist_ops]).  Arm
+   and finish must run on the thread that commits — the loop thread
+   for ordinary requests, the helper thread for parked blocking ops. *)
+
+let arm_persist t cmds =
+  match t.reg.Registry.persist with
+  | None -> false
+  | Some p -> (
+      match List.filter Wire.is_mutation cmds with
+      | [] -> false
+      | muts ->
+          let b = Buffer.create 64 in
+          List.iter
+            (fun cmd -> Wire.write_request b { Wire.hint = None; cmd })
+            muts;
+          p.Registry.p_arm (Buffer.contents b);
+          true)
+
+(* Disarm on the committing thread; the ticket is [Some] iff the armed
+   payload reached the log (the transaction write-committed). *)
+let finish_persist t ~armed =
+  if not armed then None
+  else
+    match t.reg.Registry.persist with
+    | None -> None
+    | Some p -> p.Registry.p_finish ()
+
+(* Loop thread only: under [`Always] the reply may not leave before
+   the record is on disk, so queue the ticket for [try_flush]. *)
+let note_durable t ticket =
+  match (ticket, t.reg.Registry.persist) with
+  | Some tk, Some p when p.Registry.p_always -> t.durables <- tk :: t.durables
+  | _ -> ()
+
+let with_persist t cmds (f : unit -> Wire.response) : Wire.response =
+  let armed = arm_persist t cmds in
+  match f () with
+  | resp ->
+      note_durable t (finish_persist t ~armed);
+      resp
+  | exception e ->
+      ignore (finish_persist t ~armed);
+      raise e
 
 let reply t resp =
   Wire.write_response_obuf t.out resp;
@@ -327,9 +381,10 @@ let exec_multi_end t =
                 [] insts
             in
             let resp =
-              match distinct with
-              | [ stm ] -> run_tx t ~stm ~sem ~label (fun _tx -> body ())
-              | stms -> run_spanning t ~stms ~sem ~label body
+              with_persist t cmds (fun () ->
+                  match distinct with
+                  | [ stm ] -> run_tx t ~stm ~sem ~label (fun _tx -> body ())
+                  | stms -> run_spanning t ~stms ~sem ~label body)
             in
             touch_committed t rs resp;
             resp)
@@ -341,11 +396,12 @@ let exec_single t (r : Wire.request) cmd =
   | Ok res ->
       let label = label_of cmd sem in
       let resp =
-        match res.Registry.site with
-        | Registry.Single stm ->
-            run_tx t ~stm ~sem ~label (fun _tx -> res.Registry.run ())
-        | Registry.Spanning stms ->
-            run_spanning t ~stms ~sem ~label res.Registry.run
+        with_persist t [ cmd ] (fun () ->
+            match res.Registry.site with
+            | Registry.Single stm ->
+                run_tx t ~stm ~sem ~label (fun _tx -> res.Registry.run ())
+            | Registry.Spanning stms ->
+                run_spanning t ~stms ~sem ~label res.Registry.run)
       in
       touch_committed t [ res ] resp;
       resp
@@ -390,6 +446,19 @@ let exec_request t (r : Wire.request) : Wire.response =
         | Ok `Created -> Wire.ok
         | Ok `Existed -> Wire.Simple "EXISTS"
         | Error e -> e)
+  | Wire.Info ->
+      if t.in_multi then err Wire.Bad_op "INFO is not allowed inside MULTI"
+      else Registry.info_response t.reg
+  | Wire.Lastsave -> (
+      if t.in_multi then err Wire.Bad_op "LASTSAVE is not allowed inside MULTI"
+      else
+        match t.reg.Registry.persist with
+        | None -> err Wire.Bad_op "persistence is disabled"
+        | Some p -> p.Registry.p_lastsave ())
+  | Wire.Bgsave ->
+      (* only reachable inside MULTI; [exec_step] routes BGSAVE to a
+         helper thread otherwise (a checkpoint would stall the loop) *)
+      err Wire.Bad_op "BGSAVE is not allowed inside MULTI"
   | Wire.Multi ->
       if t.in_multi then err Wire.Bad_op "MULTI cannot nest"
       else begin
@@ -499,6 +568,34 @@ let exec_snapshot_iter t (r : Wire.request) name =
    EINTR and EAGAIN leave the buffer untouched for the same retry. *)
 let try_flush t =
   if (not t.closed) && Wire.Obuf.pending t.out > 0 then begin
+    (* Under [--fsync always] no ack may leave before its op-log
+       record is synced.  One wait per distinct log writer suffices —
+       syncing is ordered, so the highest sequence number covers every
+       earlier ticket (group commit over the whole pipelined batch).
+       Distinct writers appear only when a checkpoint rotated the log
+       mid-batch. *)
+    (match t.durables with
+    | [] -> ()
+    | ds -> (
+        t.durables <- [];
+        match t.reg.Registry.persist with
+        | None -> ()
+        | Some p ->
+            let latest =
+              List.fold_left
+                (fun acc (aof, seq) ->
+                  let rec bump = function
+                    | [] -> [ (aof, seq) ]
+                    | (a, s) :: rest when a == aof ->
+                        (a, max s seq) :: rest
+                    | x :: rest -> x :: bump rest
+                  in
+                  bump acc)
+                [] ds
+            in
+            List.iter
+              (fun (aof, seq) -> p.Registry.p_wait_durable aof seq)
+              latest));
     let buf, off, len = Wire.Obuf.peek t.out in
     match Unix.write t.fd buf off len with
     | n -> Wire.Obuf.consumed t.out n
@@ -606,9 +703,32 @@ and exec_step t (r : Wire.request) : [ `Done | `Parked ] =
   | Wire.Snapshot_iter name when not t.in_multi ->
       exec_snapshot_iter t r name;
       `Done
+  | Wire.Bgsave when not t.in_multi -> exec_bgsave t
   | _ ->
       reply t (exec_request t r);
       `Done
+
+(* BGSAVE rides the same helper/park/post machinery as a blocking op:
+   the checkpoint's snapshot fold and file write run off-loop, writers
+   on other connections keep committing (snapshots never impede
+   updaters), and this session resumes when the save is published. *)
+and exec_bgsave t : [ `Done | `Parked ] =
+  match t.reg.Registry.persist with
+  | None ->
+      reply t (err Wire.Bad_op "persistence is disabled");
+      `Done
+  | Some p ->
+      t.parked <- true;
+      t.services.submit (fun () ->
+          let resp = p.Registry.p_bgsave () in
+          t.services.post (fun () ->
+              t.parked <- false;
+              if not t.closed then begin
+                reply t resp;
+                pump t;
+                try_flush t
+              end));
+      `Parked
 
 (* A blocking queue pop ([BLPOP]/[BTAKE]).  [timeout_ms <= 0] means
    wait indefinitely — the waiter is still bounded by shutdown (its
@@ -643,22 +763,29 @@ and exec_blocking t cmd hint name timeout_ms ~wrap : [ `Done | `Parked ] =
       let fast =
         match Registry.resolve t.reg (Wire.Deq name) with
         | Error _ -> None
-        | Ok deq -> (
-            match
-              S.try_atomically ?budget:t.limits.Limits.op_budget ~sem ~label
-                stm
-                (fun _tx -> deq.Registry.run ())
-            with
-            | S.Committed (Wire.Bulk v) ->
-                touch_committed t [ deq ] (Wire.Bulk v);
-                Some (wrap v)
-            | S.Committed _ (* Nil: genuinely empty *)
-            | S.Exhausted _ | S.Deadline_exceeded _ ->
-                None
-            | exception S.Invalid_operation _ ->
-                (* e.g. a snapshot-hinted pop: let the ordinary
-                   path produce its usual typed reply *)
-                None)
+        | Ok deq ->
+            (* Logged as the [DEQ] it behaves as: replaying a plain
+               pop reproduces the taken element. *)
+            let armed = arm_persist t [ Wire.Deq name ] in
+            let out =
+              match
+                S.try_atomically ?budget:t.limits.Limits.op_budget ~sem ~label
+                  stm
+                  (fun _tx -> deq.Registry.run ())
+              with
+              | S.Committed (Wire.Bulk v) ->
+                  touch_committed t [ deq ] (Wire.Bulk v);
+                  Some (wrap v)
+              | S.Committed _ (* Nil: genuinely empty *)
+              | S.Exhausted _ | S.Deadline_exceeded _ ->
+                  None
+              | exception S.Invalid_operation _ ->
+                  (* e.g. a snapshot-hinted pop: let the ordinary
+                     path produce its usual typed reply *)
+                  None
+            in
+            note_durable t (finish_persist t ~armed);
+            out
       in
       (match fast with
       | Some resp ->
@@ -685,6 +812,9 @@ and exec_blocking t cmd hint name timeout_ms ~wrap : [ `Done | `Parked ] =
             in
             t.parked <- true;
             t.services.submit (fun () ->
+                (* Arm on {e this} thread: the commit (and so the
+                   hook) happens here, not on the loop. *)
+                let armed = arm_persist t [ Wire.Deq name ] in
                 let resp =
                   match
                     S.try_atomically ?deadline ~sem ~label stm (fun _tx ->
@@ -699,11 +829,13 @@ and exec_blocking t cmd hint name timeout_ms ~wrap : [ `Done | `Parked ] =
                   | exception S.Invalid_operation m ->
                       err Wire.Sem_violation "%s" m
                 in
+                let ticket = finish_persist t ~armed in
                 (* Release on wake {e and} on timeout: the reservation
                    covers exactly the interval the helper may park. *)
                 Registry.release_waiter t.reg;
                 let dt = R.now () - t0 in
                 t.services.post (fun () ->
+                    note_durable t ticket;
                     Hist.record t.stats.lat_by_sem.(sem_index sem) dt;
                     Hist.record t.stats.lat_all dt;
                     t.parked <- false;
@@ -828,6 +960,7 @@ let create ?(stop = fun () -> false) ~limits ~registry ~stats ~services fd =
     multi_rev = [];
     multi_count = 0;
     watches = [];
+    durables = [];
     watch_inflight = false;
     parked = false;
     draining = false;

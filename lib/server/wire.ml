@@ -30,6 +30,9 @@ type cmd =
   | Unwatch of string
   | Multi
   | Multi_end
+  | Info
+  | Bgsave
+  | Lastsave
   | Debug_abort of { budget : int option; deadline_us : int option }
 
 type request = { hint : Polytm.Semantics.t option; cmd : cmd }
@@ -53,7 +56,22 @@ let cmd_name = function
   | Unwatch _ -> "UNWATCH"
   | Multi -> "MULTI"
   | Multi_end -> "MULTI-END"
+  | Info -> "INFO"
+  | Bgsave -> "BGSAVE"
+  | Lastsave -> "LASTSAVE"
   | Debug_abort _ -> "DEBUG-ABORT"
+
+(* Commands the durability layer must log: everything that can change
+   a structure's contents.  [Deq]/[Blpop]/[Btake] are conditional
+   mutations — a pop of an empty queue commits read-only and the
+   commit hook never fires, so arming them is harmless. *)
+let is_mutation = function
+  | Put _ | Del _ | Add _ | Remove _ | Enq _ | Deq _ | Blpop _ | Btake _ ->
+      true
+  | Ping | New _ | Get _ | Contains _ | Size _ | Snapshot_iter _ | Watch _
+  | Unwatch _ | Multi | Multi_end | Info | Bgsave | Lastsave
+  | Debug_abort _ ->
+      false
 
 type err_code =
   | Proto
@@ -221,6 +239,9 @@ let fields_of_request r =
     | Unwatch s -> [ "UNWATCH"; s ]
     | Multi -> [ "MULTI" ]
     | Multi_end -> [ "MULTI-END" ]
+    | Info -> [ "INFO" ]
+    | Bgsave -> [ "BGSAVE" ]
+    | Lastsave -> [ "LASTSAVE" ]
     | Debug_abort { budget; deadline_us } ->
         [ "DEBUG-ABORT"; opt_int_field budget; opt_int_field deadline_us ]
   in
@@ -512,6 +533,9 @@ let request_of_fields fields =
     | [ "UNWATCH"; s ] -> Unwatch s
     | [ "MULTI" ] -> Multi
     | [ "MULTI-END" ] -> Multi_end
+    | [ "INFO" ] -> Info
+    | [ "BGSAVE" ] -> Bgsave
+    | [ "LASTSAVE" ] -> Lastsave
     | [ "DEBUG-ABORT"; b; d ] ->
         Debug_abort
           {

@@ -71,6 +71,20 @@ type cmd =
   | Multi_end
       (** execute the queued batch as {e one} transaction; replies an
           array with one element per queued command *)
+  | Info
+      (** server introspection: replies one [Bulk] of "key:value"
+          lines — uptime, per-structure op counts, waiting gauge, and
+          (when durability is on) persist stats — so smoke jobs and
+          operators need not scrape [--stats-json] files *)
+  | Bgsave
+      (** force a checkpoint now: folds every structure inside a
+          snapshot transaction (writers stay live) and truncates the
+          op log up to the captured bound vector; replies [Simple
+          "OK"] when the checkpoint is published, an [Err] when
+          persistence is off or a checkpoint is already running *)
+  | Lastsave
+      (** unix time (seconds) of the last published checkpoint, [Int
+          0] if none yet; [Err] when persistence is off *)
   | Debug_abort of { budget : int option; deadline_us : int option }
       (** test/probe op (disabled unless the server enables debug ops):
           a transaction that explicitly aborts every attempt, so the
@@ -84,6 +98,12 @@ type request = { hint : Polytm.Semantics.t option; cmd : cmd }
 
 val cmd_name : cmd -> string
 (** Wire operation name, e.g. ["SNAPSHOT-ITER"]. *)
+
+val is_mutation : cmd -> bool
+(** Whether the command can change a structure's contents — the set
+    the durability layer arms for op-log appends.  Conditional
+    mutations ([DEQ] of an empty queue) count: arming is free when the
+    transaction commits read-only. *)
 
 (** {1 Responses} *)
 

@@ -27,5 +27,6 @@ let () =
       Test_sharded.suite;
       Test_wire.suite;
       Test_server.suite;
+      Test_persist.suite;
       Test_goldens.suite;
     ]

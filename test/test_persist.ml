@@ -1,0 +1,644 @@
+(* Durability tests (DESIGN.md §S21): the record format, the op log +
+   checkpoint + recovery pipeline, and the server glue.
+
+   - Frame fuzz (qcheck): a file cut at a random byte, or with a
+     random byte flipped, scans as {e exactly} the longest valid
+     prefix of its records plus a typed tear — never an exception,
+     never a short or long prefix.
+   - Deterministic recovery differential: a seeded mixed workload
+     (pipelined ops, a MULTI batch, a mid-run BGSAVE) against a live
+     server under [`Always], then a simulated crash (no shutdown, no
+     final sync); recovery into a fresh registry must reproduce the
+     live store byte for byte — for both algorithms and both 1- and
+     8-shard routers.
+   - Torn-tail cut exactness on a {e real} crash log: truncating the
+     log mid-record recovers the same state as truncating at the
+     preceding record boundary, and the boundary states are exactly
+     the write prefixes.
+   - BGSAVE concurrency: the server keeps answering writes while a
+     checkpoint folds, and the checkpoint truncates the log
+     (generation bump, old files deleted).
+   - INFO: uptime/struct/persist lines, and the persistence-off
+     server's typed refusals for BGSAVE/LASTSAVE. *)
+
+module Wire = Polytm_server.Wire
+module Limits = Polytm_server.Limits
+module Registry = Polytm_server.Registry
+module Session = Polytm_server.Session
+module Evloop = Polytm_server.Evloop
+module Persist = Polytm_server.Persist
+module P = Polytm_persist
+module S = Registry.S
+
+let prop = Test_seed.to_alcotest
+
+(* ---- plumbing ---------------------------------------------------------- *)
+
+let write_all fd s =
+  let len = String.length s in
+  let off = ref 0 in
+  while !off < len do
+    off := !off + Unix.write_substring fd s !off (len - !off)
+  done
+
+let send fd cmds =
+  let b = Buffer.create 256 in
+  List.iter (fun cmd -> Wire.write_request b { Wire.hint = None; cmd }) cmds;
+  write_all fd (Buffer.contents b)
+
+let recv_n fd n =
+  let dec = Wire.Decoder.create () in
+  let buf = Bytes.create 65536 in
+  let out = ref [] in
+  let got = ref 0 in
+  while !got < n do
+    (let rec pop () =
+       if !got < n then
+         match Wire.Decoder.next_response dec with
+         | `Ok r ->
+             out := r :: !out;
+             incr got;
+             pop ()
+         | `Await -> ()
+         | `Bad m -> Alcotest.failf "malformed reply: %s" m
+         | `Corrupt m -> Alcotest.failf "corrupt reply stream: %s" m
+     in
+     pop ());
+    if !got < n then
+      match Unix.read fd buf 0 (Bytes.length buf) with
+      | 0 -> Alcotest.failf "server closed with %d/%d replies" !got n
+      | len -> Wire.Decoder.feed dec buf 0 len
+  done;
+  List.rev !out
+
+let roundtrip fd cmds =
+  send fd cmds;
+  recv_n fd (List.length cmds)
+
+let rec resp_str = function
+  | Wire.Simple s -> "+" ^ s
+  | Wire.Int n -> ":" ^ string_of_int n
+  | Wire.Bulk s -> "$" ^ s
+  | Wire.Nil -> "_"
+  | Wire.Error (c, m) -> "-" ^ Wire.err_code_to_string c ^ " " ^ m
+  | Wire.Array l -> "[" ^ String.concat "," (List.map resp_str l) ^ "]"
+  | Wire.Push s -> ">" ^ s
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+      Array.iter (fun n -> rm_rf (Filename.concat path n)) (Sys.readdir path);
+      Unix.rmdir path
+  | _ -> Unix.unlink path
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+
+let fresh_dir =
+  let c = ref 0 in
+  fun tag ->
+    incr c;
+    let d =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "polytm-persist-%d-%s-%d" (Unix.getpid ()) tag !c)
+    in
+    rm_rf d;
+    d
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+(* Canonical whole-store dump via one consistent snapshot — the
+   equality oracle for recovery (map/set entries sorted, queue order
+   preserved). *)
+let dump reg =
+  let insts = Registry.instances reg `Tl2 @ Registry.instances reg `Norec in
+  S.snapshot_multi insts (fun () ->
+      String.concat "\n"
+        (List.map
+           (fun (name, (slot : Registry.slot)) ->
+             let body =
+               match slot.Registry.entry with
+               | Registry.Emap m ->
+                   String.concat ";"
+                     (List.map
+                        (fun (k, v) -> Printf.sprintf "%d=%s" k v)
+                        (List.sort compare (Registry.Shd.Map.to_list m)))
+               | Registry.Eset h ->
+                   String.concat ";"
+                     (List.map string_of_int
+                        (List.sort compare (Registry.Shd.Hash_set.to_list h)))
+               | Registry.Equeue (q, _) ->
+                   String.concat ";" (Registry.Squeue.to_list q)
+             in
+             name ^ "{" ^ body ^ "}")
+           (Registry.slots reg)))
+
+(* Run [f client_fd registry persist] against one live session with
+   durability active.  [graceful:false] simulates a crash: the session
+   drains (so every acked reply is out) but [Persist.stop] — the final
+   sync and close — never runs; under [`Always] everything acked is
+   already on disk, which is exactly the durability contract. *)
+let run_session ?(limits = Limits.default) ?(shards = 1) ?(algo = `Tl2)
+    ?(graceful = false) ~dir ~policy f =
+  let registry = Registry.create ~shards ~default_algo:algo () in
+  let recovered =
+    match Persist.recover ~dir registry with
+    | Ok r -> r
+    | Error m -> Alcotest.failf "recover: %s" m
+  in
+  let p =
+    match Persist.activate ~dir ~policy registry recovered with
+    | Ok p -> p
+    | Error m -> Alcotest.failf "activate: %s" m
+  in
+  let server_fd, client_fd = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let stop = Atomic.make false in
+  let stats = Session.create_stats () in
+  let dom =
+    Domain.spawn (fun () ->
+        Evloop.handle
+          ~stop:(fun () -> Atomic.get stop)
+          ~limits ~registry ~stats server_fd)
+  in
+  let finally () =
+    (try Unix.shutdown client_fd Unix.SHUTDOWN_SEND with _ -> ());
+    Domain.join dom;
+    (try Unix.close client_fd with _ -> ());
+    (try Unix.close server_fd with _ -> ());
+    if graceful then Persist.stop p
+  in
+  match f client_fd registry p with
+  | v ->
+      finally ();
+      v
+  | exception e ->
+      finally ();
+      raise e
+
+let recover_fresh ?(shards = 1) ?(algo = `Tl2) ~dir () =
+  let reg = Registry.create ~shards ~default_algo:algo () in
+  match Persist.recover ~dir reg with
+  | Ok r -> (reg, r)
+  | Error m -> Alcotest.failf "recover: %s" m
+
+(* ---- frame-level fuzz --------------------------------------------------- *)
+
+let gen_record =
+  QCheck.Gen.(
+    let* rtype = oneofl [ P.Frame.rt_op; P.Frame.rt_new ] in
+    let* algo = int_range 0 1 in
+    let* shard = int_range 0 64 in
+    let* stamp = int_range 0 1_000_000 in
+    let+ payload = string_size ~gen:(map Char.chr (0 -- 255)) (0 -- 60) in
+    { P.Frame.hdr = { P.Frame.rtype; algo; shard; stamp }; payload })
+
+let encode_log records =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b P.Frame.log_magic;
+  let ends = ref [ Buffer.length b ] in
+  List.iter
+    (fun (r : P.Frame.record) ->
+      P.Frame.encode b r.hdr ~payload:r.payload;
+      ends := Buffer.length b :: !ends)
+    records;
+  (Buffer.contents b, List.rev !ends)
+
+let scan_records path =
+  let acc = ref [] in
+  let scan =
+    P.Frame.scan_file ~magic:P.Frame.log_magic ~path ~f:(fun _ r ->
+        acc := r :: !acc)
+  in
+  (List.rev !acc, scan)
+
+let record_eq (a : P.Frame.record) (b : P.Frame.record) =
+  a.hdr = b.hdr && String.equal a.payload b.payload
+
+(* A file cut at byte [x] scans as exactly the records fully before
+   [x], with a tear unless [x] is a record boundary. *)
+let prop_torn_tail =
+  QCheck.Test.make ~count:300 ~name:"scan of a cut log = longest valid prefix"
+    QCheck.(
+      make
+        Gen.(
+          let* records = list_size (int_range 1 15) gen_record in
+          let+ cut = float_range 0. 1. in
+          (records, cut)))
+    (fun (records, cutf) ->
+      let bytes, ends = encode_log records in
+      let cut = int_of_float (cutf *. float_of_int (String.length bytes)) in
+      let cut = min cut (String.length bytes) in
+      let path = Filename.temp_file "polytm-cut" ".ptmlog" in
+      Fun.protect
+        ~finally:(fun () -> Sys.remove path)
+        (fun () ->
+          write_file path (String.sub bytes 0 cut);
+          let got, scan = scan_records path in
+          let expected =
+            if cut < P.Frame.magic_len then []
+            else
+              List.filteri
+                (fun i _ -> List.nth ends (i + 1) <= cut)
+                records
+          in
+          let boundary = List.exists (fun e -> e = cut) ends in
+          List.length got = List.length expected
+          && List.for_all2 record_eq got expected
+          && scan.P.Frame.tear = None = (boundary && cut >= P.Frame.magic_len)
+          && scan.P.Frame.records = List.length expected))
+
+(* Flipping one byte inside record [j]'s frame loses [j] and its
+   suffix, never a record before it, and never raises. *)
+let prop_bitflip =
+  QCheck.Test.make ~count:300 ~name:"scan of a corrupted log stops at the flip"
+    QCheck.(
+      make
+        Gen.(
+          let* records = list_size (int_range 1 12) gen_record in
+          let* posf = float_range 0. 1. in
+          let+ delta = int_range 1 255 in
+          (records, posf, delta)))
+    (fun (records, posf, delta) ->
+      let bytes, ends = encode_log records in
+      let body_len = String.length bytes - P.Frame.magic_len in
+      QCheck.assume (body_len > 0);
+      let pos =
+        P.Frame.magic_len
+        + min (body_len - 1) (int_of_float (posf *. float_of_int body_len))
+      in
+      let flipped = Bytes.of_string bytes in
+      Bytes.set flipped pos
+        (Char.chr ((Char.code bytes.[pos] + delta) land 0xff));
+      let path = Filename.temp_file "polytm-flip" ".ptmlog" in
+      Fun.protect
+        ~finally:(fun () -> Sys.remove path)
+        (fun () ->
+          write_file path (Bytes.to_string flipped);
+          let got, scan = scan_records path in
+          (* index of the record whose frame contains [pos] *)
+          let j =
+            let rec go i = function
+              | e :: _ when pos < e -> i
+              | _ :: rest -> go (i + 1) rest
+              | [] -> i
+            in
+            go (-1) ends
+          in
+          let expected = List.filteri (fun i _ -> i < j) records in
+          List.length got = List.length expected
+          && List.for_all2 record_eq got expected
+          && scan.P.Frame.tear <> None))
+
+(* ---- deterministic recovery differential -------------------------------- *)
+
+let gen_ops st n =
+  List.init n (fun i ->
+      let k = Random.State.int st 50 in
+      let v = Printf.sprintf "v%d-%d" i k in
+      match Random.State.int st 8 with
+      | 0 | 1 | 2 -> Wire.Put ("m", k, v)
+      | 3 -> Wire.Del ("m", k)
+      | 4 -> Wire.Add ("s", k)
+      | 5 -> Wire.Remove ("s", k)
+      | 6 -> Wire.Enq ("q", v)
+      | _ -> Wire.Deq "q")
+
+let chunks n l =
+  let rec go acc cur k = function
+    | [] -> List.rev (if cur = [] then acc else List.rev cur :: acc)
+    | x :: rest ->
+        if k = n then go (List.rev cur :: acc) [ x ] 1 rest
+        else go acc (x :: cur) (k + 1) rest
+  in
+  go [] [] 0 l
+
+let test_recovery_differential ~algo ~shards () =
+  let dir = fresh_dir "diff" in
+  let st =
+    Random.State.make
+      [| Test_seed.seed; shards; (match algo with `Tl2 -> 1 | `Norec -> 2) |]
+  in
+  let live =
+    run_session ~dir ~policy:`Always ~shards ~algo (fun fd reg _p ->
+        let r =
+          roundtrip fd
+            [
+              Wire.New (Wire.Kmap, "m");
+              Wire.New (Wire.Kset, "s");
+              Wire.New (Wire.Kqueue, "q");
+            ]
+        in
+        List.iter
+          (function Wire.Simple _ -> () | _ -> Alcotest.fail "NEW failed")
+          r;
+        List.iter
+          (fun batch -> ignore (roundtrip fd batch))
+          (chunks 32 (gen_ops st 150));
+        (* mid-run checkpoint: log rotation + compaction while the
+           session keeps going afterwards *)
+        (match roundtrip fd [ Wire.Bgsave ] with
+        | [ Wire.Simple "OK" ] -> ()
+        | [ r ] ->
+            Alcotest.failf "BGSAVE: %s"
+              (resp_str r)
+        | _ -> assert false);
+        List.iter
+          (fun batch -> ignore (roundtrip fd batch))
+          (chunks 32 (gen_ops st 150));
+        (* one cross-key MULTI batch: logged as one record *)
+        let batch =
+          [ Wire.Put ("m", 1001, "multi-a"); Wire.Add ("s", 1002);
+            Wire.Enq ("q", "multi-c") ]
+        in
+        ignore
+          (roundtrip fd
+             ((Wire.Multi :: batch) @ [ Wire.Multi_end ]));
+        dump reg)
+  in
+  (* crash: no Persist.stop ran.  Recover into a fresh registry. *)
+  let reg2, r = recover_fresh ~shards ~algo ~dir () in
+  Alcotest.(check (option string)) "clean tail" None r.Persist.r_tear;
+  Alcotest.(check string) "recovered store = live store" live (dump reg2);
+  rm_rf dir
+
+(* ---- torn-tail cut exactness on a real crash log ------------------------ *)
+
+let test_torn_tail_real () =
+  let dir = fresh_dir "torn" in
+  let n = 30 in
+  run_session ~dir ~policy:`Always (fun fd _reg _p ->
+      ignore (roundtrip fd [ Wire.New (Wire.Kmap, "m") ]);
+      (* one op per roundtrip: commit order = key order, so the log is
+         NEW, PUT 0, PUT 1, ... and a prefix of it is a known state *)
+      for i = 0 to n - 1 do
+        match roundtrip fd [ Wire.Put ("m", i, "v" ^ string_of_int i) ] with
+        | [ Wire.Int _ ] -> ()
+        | _ -> Alcotest.fail "PUT failed"
+      done);
+  let gen =
+    match P.Layout.read_manifest ~dir with
+    | Some g -> g
+    | None -> Alcotest.fail "no manifest"
+  in
+  let path = P.Layout.log_path ~dir gen in
+  let full = read_file path in
+  (* record boundaries from the length prefixes *)
+  let boundaries =
+    let rec go off acc =
+      if off >= String.length full then List.rev acc
+      else
+        let len = Int32.to_int (String.get_int32_le full off) in
+        let e = off + 8 + len in
+        go e (e :: acc)
+    in
+    go P.Frame.magic_len [ P.Frame.magic_len ]
+  in
+  Alcotest.(check int) "one NEW + n PUTs" (n + 2) (List.length boundaries);
+  let state_at_cut cut ~expect_tear =
+    write_file path (String.sub full 0 cut);
+    let reg, r = recover_fresh ~dir () in
+    (match (expect_tear, r.Persist.r_tear) with
+    | true, None -> Alcotest.fail "expected a reported tear"
+    | false, Some m -> Alcotest.failf "unexpected tear: %s" m
+    | _ -> ());
+    dump reg
+  in
+  let expected_at k =
+    (* state after NEW + the first [k - 1] puts (record 0 is the NEW) *)
+    if k = 0 then ""
+    else
+      "m{"
+      ^ String.concat ";"
+          (List.init (k - 1) (fun i -> Printf.sprintf "%d=v%d" i i))
+      ^ "}"
+  in
+  List.iteri
+    (fun k b ->
+      let clean = state_at_cut b ~expect_tear:false in
+      Alcotest.(check string)
+        (Printf.sprintf "clean cut after %d records" k)
+        (expected_at k) clean;
+      (* a cut one byte short of the next boundary tears mid-record
+         and must recover exactly the boundary state *)
+      if k + 1 < List.length boundaries then begin
+        let next = List.nth boundaries (k + 1) in
+        let torn = state_at_cut (next - 1) ~expect_tear:true in
+        Alcotest.(check string)
+          (Printf.sprintf "torn cut inside record %d" k)
+          clean torn
+      end)
+    boundaries;
+  write_file path full;
+  rm_rf dir
+
+(* ---- BGSAVE concurrency and log truncation ------------------------------ *)
+
+let test_bgsave_concurrent () =
+  let dir = fresh_dir "bgsave" in
+  let registry = Registry.create ~shards:1 ~default_algo:`Tl2 () in
+  let recovered =
+    match Persist.recover ~dir registry with
+    | Ok r -> r
+    | Error m -> Alcotest.failf "recover: %s" m
+  in
+  let p =
+    match Persist.activate ~dir ~policy:`No registry recovered with
+    | Ok p -> p
+    | Error m -> Alcotest.failf "activate: %s" m
+  in
+  let stop = Atomic.make false in
+  let pairs =
+    Array.init 2 (fun _ -> Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0)
+  in
+  let doms =
+    Array.map
+      (fun (sfd, _) ->
+        Domain.spawn (fun () ->
+            Evloop.handle
+              ~stop:(fun () -> Atomic.get stop)
+              ~limits:Limits.default ~registry
+              ~stats:(Session.create_stats ())
+              sfd))
+      pairs
+  in
+  let writer = snd pairs.(0) and saver = snd pairs.(1) in
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter
+        (fun (_, cfd) ->
+          try Unix.shutdown cfd Unix.SHUTDOWN_SEND with _ -> ())
+        pairs;
+      Array.iter Domain.join doms;
+      Array.iter
+        (fun (sfd, cfd) ->
+          (try Unix.close cfd with _ -> ());
+          try Unix.close sfd with _ -> ())
+        pairs;
+      Persist.stop p)
+    (fun () ->
+      ignore (roundtrip writer [ Wire.New (Wire.Kmap, "m") ]);
+      (* fatten the store so the checkpoint fold takes real time *)
+      List.iter
+        (fun batch -> ignore (roundtrip writer batch))
+        (chunks 64
+           (List.init 20_000 (fun i -> Wire.Put ("m", i, "x" ^ string_of_int i))));
+      let gen0 =
+        match P.Layout.read_manifest ~dir with Some g -> g | None -> 0
+      in
+      (* launch the checkpoint, then keep writing while it runs: the
+         writer's replies prove the server stayed available *)
+      send saver [ Wire.Bgsave ];
+      List.iter
+        (fun batch ->
+          List.iter
+            (function
+              | Wire.Int _ -> ()
+              | r ->
+                  Alcotest.failf "write during BGSAVE: %s"
+                    (resp_str r))
+            (roundtrip writer batch))
+        (chunks 32
+           (List.init 200 (fun i -> Wire.Put ("m", 50_000 + i, "y"))));
+      (match recv_n saver 1 with
+      | [ Wire.Simple "OK" ] -> ()
+      | [ r ] ->
+          Alcotest.failf "BGSAVE: %s" (resp_str r)
+      | _ -> assert false);
+      (* generation bumped; the old generation's files are gone *)
+      let gen1 =
+        match P.Layout.read_manifest ~dir with Some g -> g | None -> 0
+      in
+      Alcotest.(check int) "generation bumped" (gen0 + 1) gen1;
+      Alcotest.(check bool)
+        "old log truncated" false
+        (Sys.file_exists (P.Layout.log_path ~dir gen0));
+      Alcotest.(check bool)
+        "old checkpoint deleted" false
+        (Sys.file_exists (P.Layout.ckpt_path ~dir gen0));
+      Alcotest.(check bool)
+        "new checkpoint exists" true
+        (Sys.file_exists (P.Layout.ckpt_path ~dir gen1));
+      (* LASTSAVE moved; INFO reports the new generation *)
+      (match roundtrip saver [ Wire.Lastsave ] with
+      | [ Wire.Int ts ] ->
+          Alcotest.(check bool) "LASTSAVE is recent" true (ts > 0)
+      | _ -> Alcotest.fail "LASTSAVE failed");
+      match roundtrip saver [ Wire.Info ] with
+      | [ Wire.Bulk info ] ->
+          let has line =
+            List.exists
+              (fun l -> String.length l >= String.length line
+                        && String.sub l 0 (String.length line) = line)
+              (String.split_on_char '\n' info)
+          in
+          Alcotest.(check bool) "INFO persist:on" true (has "persist:on");
+          Alcotest.(check bool)
+            "INFO persist_gen" true
+            (has (Printf.sprintf "persist_gen:%d" gen1));
+          Alcotest.(check bool) "INFO struct ops" true (has "struct_m:")
+      | _ -> Alcotest.fail "INFO failed");
+  (* the checkpointed store recovers *)
+  let reg2, r = recover_fresh ~dir () in
+  Alcotest.(check (option string)) "clean tail" None r.Persist.r_tear;
+  let d = dump reg2 in
+  Alcotest.(check bool) "recovered the fattened map" true
+    (String.length d > 100_000);
+  rm_rf dir
+
+(* ---- INFO / persistence-off refusals ------------------------------------ *)
+
+let test_info_and_off_refusals () =
+  let server_fd, client_fd = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let registry = Registry.create () in
+  let stop = Atomic.make false in
+  let dom =
+    Domain.spawn (fun () ->
+        Evloop.handle
+          ~stop:(fun () -> Atomic.get stop)
+          ~limits:Limits.default ~registry
+          ~stats:(Session.create_stats ())
+          server_fd)
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.shutdown client_fd Unix.SHUTDOWN_SEND with _ -> ());
+      Domain.join dom;
+      (try Unix.close client_fd with _ -> ());
+      try Unix.close server_fd with _ -> ())
+    (fun () ->
+      ignore (roundtrip client_fd [ Wire.New (Wire.Kmap, "m") ]);
+      ignore (roundtrip client_fd [ Wire.Put ("m", 1, "a") ]);
+      (match roundtrip client_fd [ Wire.Info ] with
+      | [ Wire.Bulk info ] ->
+          let lines = String.split_on_char '\n' info in
+          let has prefix =
+            List.exists
+              (fun l ->
+                String.length l >= String.length prefix
+                && String.sub l 0 (String.length prefix) = prefix)
+              lines
+          in
+          Alcotest.(check bool) "uptime" true (has "uptime_sec:");
+          Alcotest.(check bool) "structures" true (has "structures:1");
+          Alcotest.(check bool) "struct ops" true (has "struct_m:kind=map");
+          Alcotest.(check bool) "persist off" true (has "persist:off")
+      | _ -> Alcotest.fail "INFO failed");
+      (match roundtrip client_fd [ Wire.Bgsave ] with
+      | [ Wire.Error (Wire.Bad_op, _) ] -> ()
+      | _ -> Alcotest.fail "BGSAVE should be refused without --dir");
+      match roundtrip client_fd [ Wire.Lastsave ] with
+      | [ Wire.Error (Wire.Bad_op, _) ] -> ()
+      | _ -> Alcotest.fail "LASTSAVE should be refused without --dir")
+
+(* ---- blocking ops are logged -------------------------------------------- *)
+
+let test_blocking_pop_logged () =
+  let dir = fresh_dir "blpop" in
+  let live =
+    run_session ~dir ~policy:`Always (fun fd reg _p ->
+        ignore (roundtrip fd [ Wire.New (Wire.Kqueue, "q") ]);
+        ignore
+          (roundtrip fd [ Wire.Enq ("q", "a"); Wire.Enq ("q", "b") ]);
+        (* BLPOP with an item ready takes the fast path; it must be
+           logged (as a DEQ) like any other mutation *)
+        (match roundtrip fd [ Wire.Blpop ("q", 1000) ] with
+        | [ Wire.Array [ Wire.Bulk "q"; Wire.Bulk "a" ] ] -> ()
+        | _ -> Alcotest.fail "BLPOP fast path failed");
+        dump reg)
+  in
+  let reg2, _ = recover_fresh ~dir () in
+  Alcotest.(check string) "pop survived the crash" live (dump reg2);
+  Alcotest.(check bool) "queue holds only b" true
+    (String.length live > 0 && live = "q{b}");
+  rm_rf dir
+
+let suite =
+  ( "persist",
+    [
+      prop prop_torn_tail;
+      prop prop_bitflip;
+      Alcotest.test_case "recovery differential (tl2, 1 shard)" `Quick
+        (test_recovery_differential ~algo:`Tl2 ~shards:1);
+      Alcotest.test_case "recovery differential (tl2, 8 shards)" `Quick
+        (test_recovery_differential ~algo:`Tl2 ~shards:8);
+      Alcotest.test_case "recovery differential (norec, 1 shard)" `Quick
+        (test_recovery_differential ~algo:`Norec ~shards:1);
+      Alcotest.test_case "recovery differential (norec, 8 shards)" `Quick
+        (test_recovery_differential ~algo:`Norec ~shards:8);
+      Alcotest.test_case "torn-tail cut exactness on a crash log" `Quick
+        test_torn_tail_real;
+      Alcotest.test_case "BGSAVE concurrent with writers truncates the log"
+        `Quick test_bgsave_concurrent;
+      Alcotest.test_case "INFO lines; BGSAVE/LASTSAVE refused without --dir"
+        `Quick test_info_and_off_refusals;
+      Alcotest.test_case "blocking pop is logged and recovers" `Quick
+        test_blocking_pop_logged;
+    ] )
